@@ -1,0 +1,52 @@
+//! **Ablation (beyond the paper's tables)** — inspects the learned α/β/γ
+//! combiner weights and compares the PA variants, quantifying how much of
+//! PA-TMR's gain each component carries. DESIGN.md lists this as the
+//! design-choice ablation for the combination layer of §III-D.
+
+use imre_bench::{build_pipeline, dataset_configs, header, seeds};
+use imre_core::ModelSpec;
+use imre_eval::{format_table, metric};
+
+fn main() {
+    header("Ablation: combiner mixing weights and per-component gains", "paper §III-D design choice");
+    let seed = seeds()[0];
+
+    for config in dataset_configs() {
+        let p = build_pipeline(&config);
+        let mut rows = Vec::new();
+        for spec in [ModelSpec::pcnn_att(), ModelSpec::pa_t(), ModelSpec::pa_mr(), ModelSpec::pa_tmr()] {
+            let model = p.train_system(spec, seed);
+            let ev = p.evaluate_model(&model);
+            // Combiner weights exist only for PA variants.
+            let (alpha, beta, gamma) = match model.store.find("comb.alpha") {
+                Some(a) => {
+                    let b = model.store.find("comb.beta").expect("beta");
+                    let g = model.store.find("comb.gamma").expect("gamma");
+                    (
+                        model.store.get(a).data()[0],
+                        model.store.get(b).data()[0],
+                        model.store.get(g).data()[0],
+                    )
+                }
+                None => (f32::NAN, f32::NAN, f32::NAN),
+            };
+            rows.push(vec![
+                spec.name(),
+                metric(ev.auc),
+                metric(ev.f1),
+                format!("{alpha:.3}"),
+                format!("{beta:.3}"),
+                format!("{gamma:.3}"),
+            ]);
+        }
+        println!(
+            "\n{}",
+            format_table(
+                &format!("Combiner ablation — {}", config.name),
+                &["model", "AUC", "F1", "α (MR)", "β (T)", "γ (RE)"],
+                &rows,
+            )
+        );
+    }
+    println!("(α, β, γ are the learned mixing weights of P(r) = softmax(w(αC_MR + βC_T + γRE) + b))");
+}

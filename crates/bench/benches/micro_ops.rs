@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the hot substrate operations: matmul,
+//! PCNN forward+backward, selective attention, LINE epochs, proximity-graph
+//! construction, and skip-gram pretraining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imre_core::{featurize, HyperParams, ModelSpec, ReModel};
+use imre_corpus::{generate_unlabeled, Dataset, UnlabeledConfig};
+use imre_eval::smoke_config;
+use imre_graph::{train_line, LineConfig, ProximityGraph};
+use imre_nn::{GradStore, ParamStore, Tape};
+use imre_tensor::{Tensor, TensorRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = TensorRng::seed(1);
+        let a = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pcnn_step(c: &mut Criterion) {
+    let ds = Dataset::generate(&smoke_config(1));
+    let hp = HyperParams::scaled();
+    let bags = imre_core::prepare_bags(&ds.train, &hp);
+    let types = imre_core::entity_type_table(&ds.world);
+    let ctx = imre_core::BagContext { entity_embedding: None, entity_types: &types };
+    let mut model = ReModel::new(
+        ModelSpec::pcnn_att(),
+        &hp,
+        ds.vocab.len(),
+        ds.num_relations(),
+        imre_corpus::NUM_COARSE_TYPES,
+        hp.entity_dim,
+        7,
+    );
+    let bag = bags.iter().max_by_key(|b| b.sentences.len()).expect("bags").clone();
+    let mut rng = TensorRng::seed(3);
+    c.bench_function("pcnn_att_bag_forward_backward", |b| {
+        b.iter(|| {
+            std::hint::black_box(model.bag_loss_and_backward(&bag, &ctx, 1.0, &mut rng));
+            model.grads.zero();
+        });
+    });
+    c.bench_function("pcnn_att_bag_predict", |b| {
+        b.iter(|| std::hint::black_box(model.predict(&bag, &ctx)));
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(5);
+    let mut store = ParamStore::new();
+    let att = imre_core::SelectiveAttention::new(&mut store, "att", 192, 53, &mut rng);
+    let xs_data = Tensor::rand_uniform(&[12, 192], -1.0, 1.0, &mut rng);
+    c.bench_function("selective_attention_12x192", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new(&store);
+            let xs = tape.leaf(xs_data.clone());
+            std::hint::black_box(att.aggregate(&mut tape, xs, 7));
+        });
+    });
+    let _ = GradStore::zeros_like(&store);
+}
+
+fn bench_graph_and_line(c: &mut Criterion) {
+    let ds = Dataset::generate(&smoke_config(2));
+    let co = generate_unlabeled(&ds.world, &UnlabeledConfig::default());
+    c.bench_function("proximity_graph_build", |b| {
+        b.iter(|| {
+            std::hint::black_box(ProximityGraph::from_counts(
+                co.iter().map(|(&p, &cnt)| (p, cnt)),
+                ds.world.num_entities(),
+                2,
+            ))
+        });
+    });
+    let graph = ProximityGraph::from_counts(co.iter().map(|(&p, &cnt)| (p, cnt)), ds.world.num_entities(), 2);
+    c.bench_function("line_10k_samples", |b| {
+        b.iter(|| {
+            std::hint::black_box(train_line(
+                &graph,
+                &LineConfig { dim: 32, samples_per_epoch: 10_000, epochs: 1, ..Default::default() },
+            ))
+        });
+    });
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let ds = Dataset::generate(&smoke_config(3));
+    let sentences: Vec<_> = ds.train.iter().flat_map(|b| b.sentences.iter().cloned()).collect();
+    c.bench_function("featurize_corpus", |b| {
+        b.iter(|| {
+            for s in &sentences {
+                std::hint::black_box(featurize(s, 30, 30));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_pcnn_step,
+    bench_attention,
+    bench_graph_and_line,
+    bench_featurize
+);
+criterion_main!(benches);

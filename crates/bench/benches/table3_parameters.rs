@@ -1,0 +1,26 @@
+//! **Table III** — hyperparameter settings: the paper's values next to the
+//! CPU-scaled values this reproduction trains with.
+
+use imre_bench::header;
+use imre_core::HyperParams;
+use imre_eval::format_table;
+
+fn main() {
+    header("Table III: parameter settings", "paper Table III");
+    let paper = HyperParams::paper();
+    let scaled = HyperParams::scaled();
+    let rows: Vec<Vec<String>> = paper
+        .table3_rows()
+        .into_iter()
+        .zip(scaled.table3_rows())
+        .map(|((sym, desc, pv), (_, _, sv))| vec![sym.to_string(), desc.to_string(), pv, sv])
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "(width-like parameters scaled for CPU; scale-free ones kept)",
+            &["symbol", "description", "paper", "this repro"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,51 @@
+//! **Table V / Figure 8** — the case study: nearest entities of *Seattle*
+//! and *University of Washington* in the learned entity-embedding space,
+//! plus a 3-D PCA projection (the paper uses the TensorFlow Embedding
+//! Projector; we print coordinates).
+
+use imre_bench::{build_pipeline, dataset_configs, header};
+use imre_graph::{nearest, pca_project};
+
+fn main() {
+    header("Table V + Figure 8: entity-embedding case study", "paper Table V / Fig. 8");
+    let p = build_pipeline(&dataset_configs()[0]);
+    let ds = &p.dataset;
+
+    for name in ["University_of_Washington", "Seattle"] {
+        match ds.world.entity_by_name(name) {
+            None => println!("\n(entity {name} not present at this scale — run without IMRE_FAST)"),
+            Some(id) => {
+                println!("\nTop 10 nearest entities of {name}:");
+                for (rank, (v, cos)) in nearest(&p.embedding, id.0, 10).into_iter().enumerate() {
+                    println!("{:>3}. {:<40} cos {:+.3}", rank + 1, ds.world.entities[v].name, cos);
+                }
+            }
+        }
+    }
+
+    // Figure 8: project the two case-study clusters into 3-D
+    println!("\nFigure 8 — 3-D PCA coordinates of the case-study neighbourhood:");
+    if let Some(uw) = ds.world.entity_by_name("University_of_Washington") {
+        let mut ids: Vec<usize> = vec![uw.0];
+        ids.extend(nearest(&p.embedding, uw.0, 8).into_iter().map(|(v, _)| v));
+        if let Some(sea) = ds.world.entity_by_name("Seattle") {
+            ids.push(sea.0);
+            ids.extend(nearest(&p.embedding, sea.0, 8).into_iter().map(|(v, _)| v));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let rows: Vec<Vec<f32>> = ids.iter().map(|&v| p.embedding.vector(v).to_vec()).collect();
+        let mat = imre_tensor::Tensor::from_rows(&rows);
+        let proj = pca_project(&mat, 3, 7);
+        for (k, &v) in ids.iter().enumerate() {
+            println!(
+                "{:<40} ({:+.3}, {:+.3}, {:+.3})",
+                ds.world.entities[v].name,
+                proj.at(k, 0),
+                proj.at(k, 1),
+                proj.at(k, 2)
+            );
+        }
+    }
+    println!("\n(paper's finding: universities cluster together, cities cluster together)");
+}

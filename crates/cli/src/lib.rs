@@ -1,0 +1,272 @@
+//! Implementation of the `imre` command-line interface.
+//!
+//! Kept as a library so the argument parser and each subcommand are unit
+//! testable; `main.rs` is a thin shim.
+
+use imre_core::{HyperParams, ModelSpec};
+use imre_corpus::stats::{fig1_bands, pair_frequency_histogram, summarize};
+use imre_corpus::DatasetConfig;
+use imre_eval::Pipeline;
+use imre_graph::nearest;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+imre — Implicit Mutual Relations for Neural Relation Extraction (ICDE 2020 reproduction)
+
+USAGE:
+  imre stats      --dataset <nyt|gds|smoke> [--seed N]
+  imre train      --dataset <nyt|gds|smoke> [--model SPEC] [--epochs N] [--seed N] --out FILE
+  imre eval       --dataset <nyt|gds|smoke> --model-file FILE [--seed N]
+  imre compare    --dataset <nyt|gds|smoke> [--seeds N] [--epochs N]
+  imre case-study --dataset <nyt|gds|smoke> [--entity NAME] [--k N]
+
+MODEL SPECS: pcnn, pcnn-att, cnn-att, gru-att, bgwa, pa-t, pa-mr, pa-tmr";
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; message explains what.
+    Usage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Parsed `--key value` flags after the subcommand.
+pub struct Flags {
+    map: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs; rejects dangling keys.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| usage(format!("expected --flag, got {key:?}")))?;
+            let value = it.next().ok_or_else(|| usage(format!("--{key} needs a value")))?;
+            map.insert(key.to_string(), value.clone());
+        }
+        Ok(Flags { map })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.map.get(key).map(String::as_str).ok_or_else(|| usage(format!("missing --{key}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed number flag.
+    pub fn number<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| usage(format!("--{key} {v:?} is not a valid number"))),
+        }
+    }
+}
+
+/// Resolves a dataset name to its generator config.
+pub fn dataset_config(name: &str, seed: u64) -> Result<DatasetConfig, CliError> {
+    match name {
+        "nyt" => Ok(imre_corpus::nyt_sim(seed)),
+        "gds" => Ok(imre_corpus::gds_sim(seed)),
+        "smoke" => Ok(imre_eval::smoke_config(seed)),
+        other => Err(usage(format!("unknown dataset {other:?} (nyt, gds, smoke)"))),
+    }
+}
+
+/// Resolves a model-spec name (Table IV row) to a [`ModelSpec`].
+pub fn model_spec(name: &str) -> Result<ModelSpec, CliError> {
+    match name {
+        "pcnn" => Ok(ModelSpec::pcnn()),
+        "pcnn-att" => Ok(ModelSpec::pcnn_att()),
+        "cnn-att" => Ok(ModelSpec::cnn_att()),
+        "gru-att" => Ok(ModelSpec::gru_att()),
+        "bgwa" => Ok(ModelSpec::bgwa()),
+        "pa-t" => Ok(ModelSpec::pa_t()),
+        "pa-mr" => Ok(ModelSpec::pa_mr()),
+        "pa-tmr" => Ok(ModelSpec::pa_tmr()),
+        other => Err(usage(format!("unknown model {other:?}"))),
+    }
+}
+
+fn hp_with_epochs(epochs: usize) -> HyperParams {
+    let mut hp = HyperParams::scaled();
+    if epochs > 0 {
+        hp.epochs = epochs;
+    }
+    hp
+}
+
+/// Entry point used by `main` and the tests.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage("no subcommand"));
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "stats" => cmd_stats(&flags),
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "compare" => cmd_compare(&flags),
+        "case-study" => cmd_case_study(&flags),
+        other => Err(usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.number("seed", 1u64)?;
+    let config = dataset_config(flags.required("dataset")?, seed)?;
+    let ds = imre_corpus::Dataset::generate(&config);
+    let s = summarize(&ds);
+    println!("dataset: {}", s.name);
+    println!("relations (incl. NA): {}", s.num_relations);
+    println!("train: {} sentences, {} pairs", s.train_sentences, s.train_pairs);
+    println!("test:  {} sentences, {} pairs", s.test_sentences, s.test_pairs);
+    println!("\npairs per sentence-count band (Figure 1):");
+    for (label, count) in pair_frequency_histogram(&ds.train, &fig1_bands()) {
+        println!("  {label:<8} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.number("seed", 1u64)?;
+    let epochs = flags.number("epochs", 0usize)?;
+    let config = dataset_config(flags.required("dataset")?, seed)?;
+    let spec = model_spec(flags.optional("model").unwrap_or("pa-tmr"))?;
+    let out = PathBuf::from(flags.required("out")?);
+
+    println!("building pipeline for {} …", config.name);
+    let pipeline = Pipeline::build(&config, hp_with_epochs(epochs));
+    println!("training {} …", spec.name());
+    let model = pipeline.train_system(spec, seed);
+    let ev = pipeline.evaluate_model(&model);
+    println!("held-out: AUC {:.4}, F1 {:.4}, P@100 {:.2}", ev.auc, ev.f1, ev.p_at_100);
+    imre_core::save_model(&model, &out)?;
+    println!("model written to {}", out.display());
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.number("seed", 1u64)?;
+    let config = dataset_config(flags.required("dataset")?, seed)?;
+    let path = PathBuf::from(flags.required("model-file")?);
+    let model = imre_core::load_model(&path)?;
+    println!("loaded {} ({} parameters)", model.spec.name(), model.store.num_scalars());
+    let pipeline = Pipeline::build(&config, model.hp.clone());
+    let ev = pipeline.evaluate_model(&model);
+    println!("held-out: AUC {:.4}, P {:.4}, R {:.4}, F1 {:.4}, P@100 {:.2}, P@200 {:.2}",
+        ev.auc, ev.precision, ev.recall, ev.f1, ev.p_at_100, ev.p_at_200);
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.number("seed", 1u64)?;
+    let n_seeds: u64 = flags.number("seeds", 1u64)?;
+    let epochs = flags.number("epochs", 0usize)?;
+    let config = dataset_config(flags.required("dataset")?, seed)?;
+    let pipeline = Pipeline::build(&config, hp_with_epochs(epochs));
+    let seeds: Vec<u64> = (0..n_seeds.max(1)).map(|i| 100 + 37 * i).collect();
+    println!("{:<10} {:>8} {:>8} {:>8}", "model", "AUC", "F1", "P@100");
+    for spec in [ModelSpec::pcnn(), ModelSpec::pcnn_att(), ModelSpec::pa_t(), ModelSpec::pa_mr(), ModelSpec::pa_tmr()] {
+        let m = imre_eval::mean_evaluation(&pipeline.run_system_seeds(spec, &seeds));
+        println!("{:<10} {:>8.4} {:>8.4} {:>8.2}", spec.name(), m.auc, m.f1, m.p_at_100);
+    }
+    Ok(())
+}
+
+fn cmd_case_study(flags: &Flags) -> Result<(), CliError> {
+    let seed = flags.number("seed", 1u64)?;
+    let k = flags.number("k", 10usize)?;
+    let config = dataset_config(flags.required("dataset")?, seed)?;
+    let entity = flags.optional("entity").unwrap_or("Seattle");
+    let pipeline = Pipeline::build(&config, HyperParams::scaled());
+    let world = &pipeline.dataset.world;
+    let Some(id) = world.entity_by_name(entity) else {
+        return Err(usage(format!("entity {entity:?} not in this world (try --dataset nyt)")));
+    };
+    println!("top {k} nearest entities of {entity}:");
+    for (rank, (v, cos)) in nearest(&pipeline.embedding, id.0, k).into_iter().enumerate() {
+        println!("{:>3}. {:<40} cos {:+.3}", rank + 1, world.entities[v].name, cos);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs() {
+        let f = Flags::parse(&s(&["--dataset", "nyt", "--seed", "7"])).unwrap();
+        assert_eq!(f.required("dataset").unwrap(), "nyt");
+        assert_eq!(f.number("seed", 0u64).unwrap(), 7);
+        assert_eq!(f.number("missing", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn flags_reject_dangling_value() {
+        assert!(Flags::parse(&s(&["--dataset"])).is_err());
+        assert!(Flags::parse(&s(&["dataset", "nyt"])).is_err());
+    }
+
+    #[test]
+    fn model_spec_names_resolve() {
+        assert_eq!(model_spec("pa-tmr").unwrap(), ModelSpec::pa_tmr());
+        assert_eq!(model_spec("bgwa").unwrap(), ModelSpec::bgwa());
+        assert!(model_spec("nope").is_err());
+    }
+
+    #[test]
+    fn dataset_names_resolve() {
+        assert_eq!(dataset_config("nyt", 1).unwrap().name, "NYT-sim");
+        assert_eq!(dataset_config("gds", 1).unwrap().name, "GDS-sim");
+        assert!(dataset_config("imagenet", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_usage_error() {
+        match run(&s(&["frobnicate"])) {
+            Err(CliError::Usage(_)) => {}
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_runs_on_smoke() {
+        run(&s(&["stats", "--dataset", "smoke", "--seed", "3"])).unwrap();
+    }
+
+    #[test]
+    fn train_eval_roundtrip_on_smoke() {
+        let dir = std::env::temp_dir().join("imre_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.imrm");
+        let mp = model_path.to_str().unwrap();
+        run(&s(&["train", "--dataset", "smoke", "--model", "pcnn", "--epochs", "2", "--out", mp])).unwrap();
+        run(&s(&["eval", "--dataset", "smoke", "--model-file", mp])).unwrap();
+        std::fs::remove_file(&model_path).ok();
+    }
+}

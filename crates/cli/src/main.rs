@@ -1,0 +1,30 @@
+//! `imre` — command-line interface to the relation-extraction system.
+//!
+//! ```text
+//! imre stats   --dataset nyt                      # Table II / Figure 1 statistics
+//! imre train   --dataset nyt --model pa-tmr --epochs 8 --out model.imrm
+//! imre eval    --dataset nyt --model-file model.imrm
+//! imre case-study --dataset nyt --entity Seattle  # Table V nearest neighbours
+//! imre compare --dataset gds --seeds 3            # Table IV mini-run
+//! ```
+//!
+//! Datasets are generated deterministically from their seed, so `train` and
+//! `eval` reconstruct identical corpora without shipping data files.
+
+use imre_cli::{run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", imre_cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(CliError::Io(e)) => {
+            eprintln!("io error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Bag aggregation (paper §III-C step 3).
+//!
+//! The selective attention of Lin et al. (2016) scores each sentence in a
+//! bag against a relation query through a bilinear form with diagonal `A`:
+//!
+//! ```text
+//! q_j = x_j A r        α_j = softmax(q)_j        X_bag = Σ_j α_j x_j
+//! ```
+//!
+//! Since `A` is diagonal, `x_j A r = x_j · (a ⊙ r)`, which maps onto the
+//! tape's `mul` + `matvec` ops. Models without attention aggregate by mean
+//! (every sentence weighted equally — no noise mitigation, which is exactly
+//! why plain PCNN trails PCNN+ATT in the paper's Table IV).
+
+use imre_nn::{ParamId, ParamStore, Tape, Var};
+use imre_tensor::TensorRng;
+
+/// How a bag of sentence encodings becomes one bag vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Unweighted mean over sentences.
+    Mean,
+    /// Selective attention queried by relation.
+    Att,
+}
+
+/// Learned selective-attention parameters.
+pub struct SelectiveAttention {
+    /// Diagonal of the bilinear matrix `A`, shape `[dim]`.
+    a_diag: ParamId,
+    /// Relation query vectors, shape `[num_relations, dim]`.
+    queries: ParamId,
+}
+
+impl SelectiveAttention {
+    /// Registers attention parameters under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, num_relations: usize, rng: &mut TensorRng) -> Self {
+        // A starts at identity so early training behaves like dot-product
+        // attention; queries start small-random.
+        let a_diag = store.register(&format!("{name}.a_diag"), imre_tensor::Tensor::ones(&[dim]));
+        let queries = store.uniform(&format!("{name}.queries"), &[num_relations, dim], 0.1, rng);
+        SelectiveAttention { a_diag, queries }
+    }
+
+    /// Attention scores `α` for a `[n, dim]` bag queried by `relation`.
+    pub fn weights(&self, tape: &mut Tape, xs: Var, relation: usize) -> Var {
+        let a = tape.param(self.a_diag);
+        let q2 = tape.gather(self.queries, &[relation]);
+        let q = tape.reshape(q2, &[tape_cols(tape, xs)]);
+        let ar = tape.mul(a, q);
+        let scores = tape.matvec(xs, ar);
+        tape.softmax(scores)
+    }
+
+    /// Aggregates a `[n, dim]` bag into a rank-1 bag vector using the
+    /// attention distribution for `relation`.
+    pub fn aggregate(&self, tape: &mut Tape, xs: Var, relation: usize) -> Var {
+        let alpha = self.weights(tape, xs, relation);
+        tape.weighted_sum_rows(xs, alpha)
+    }
+}
+
+/// Mean aggregation of a `[n, dim]` bag.
+pub fn mean_aggregate(tape: &mut Tape, xs: Var) -> Var {
+    tape.mean_rows(xs)
+}
+
+fn tape_cols(tape: &Tape, v: Var) -> usize {
+    tape.value(v).cols()
+}
+
+/// Word-level attention (BGWA, Jat et al. 2018): scores each token state
+/// through a small MLP and pools tokens by the resulting distribution.
+pub struct WordAttention {
+    w: ParamId,
+    v: ParamId,
+}
+
+impl WordAttention {
+    /// Registers word-attention parameters for `token_dim`-wide states.
+    pub fn new(store: &mut ParamStore, name: &str, token_dim: usize, rng: &mut TensorRng) -> Self {
+        let w = store.xavier(&format!("{name}.w"), token_dim, token_dim, rng);
+        let v = store.uniform(&format!("{name}.v"), &[token_dim], 0.1, rng);
+        WordAttention { w, v }
+    }
+
+    /// Pools `[T, token_dim]` token states into a rank-1 sentence vector:
+    /// `β_t = softmax(v · tanh(W h_t))`, output `Σ_t β_t h_t`.
+    pub fn pool(&self, tape: &mut Tape, states: Var) -> Var {
+        let w = tape.param(self.w);
+        let proj = tape.matmul(states, w);
+        let act = tape.tanh(proj);
+        let v = tape.param(self.v);
+        let scores = tape.matvec(act, v);
+        let beta = tape.softmax(scores);
+        tape.weighted_sum_rows(states, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imre_nn::GradStore;
+    use imre_tensor::Tensor;
+
+    #[test]
+    fn attention_weights_sum_to_one() {
+        let mut rng = TensorRng::seed(1);
+        let mut store = ParamStore::new();
+        let att = SelectiveAttention::new(&mut store, "att", 4, 3, &mut rng);
+        let mut tape = Tape::new(&store);
+        let xs = tape.leaf(Tensor::rand_uniform(&[5, 4], -1.0, 1.0, &mut rng));
+        let alpha = att.weights(&mut tape, xs, 1);
+        let sum: f32 = tape.value(alpha).data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(tape.value(alpha).len(), 5);
+    }
+
+    #[test]
+    fn attention_prefers_aligned_sentence() {
+        // With identity A, the sentence most aligned with the query gets
+        // the largest weight.
+        let mut rng = TensorRng::seed(2);
+        let mut store = ParamStore::new();
+        let att = SelectiveAttention::new(&mut store, "att", 2, 1, &mut rng);
+        store.set(store.find("att.queries").unwrap(), Tensor::from_vec(vec![1.0, 0.0], &[1, 2]));
+        let mut tape = Tape::new(&store);
+        let xs = tape.leaf(Tensor::from_vec(
+            vec![
+                0.0, 1.0, // orthogonal to query
+                3.0, 0.0, // aligned
+                1.0, 1.0,
+            ],
+            &[3, 2],
+        ));
+        let alpha = att.weights(&mut tape, xs, 0);
+        let w = tape.value(alpha).data();
+        assert!(w[1] > w[0] && w[1] > w[2], "weights {w:?}");
+    }
+
+    #[test]
+    fn aggregate_is_convex_combination() {
+        let mut rng = TensorRng::seed(3);
+        let mut store = ParamStore::new();
+        let att = SelectiveAttention::new(&mut store, "att", 3, 2, &mut rng);
+        let mut tape = Tape::new(&store);
+        let rows = Tensor::from_vec(vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0], &[2, 3]);
+        let xs = tape.leaf(rows);
+        let agg = att.aggregate(&mut tape, xs, 0);
+        for &v in tape.value(agg).data() {
+            assert!((1.0..=2.0).contains(&v), "aggregate {v} outside hull");
+        }
+    }
+
+    #[test]
+    fn mean_aggregate_matches_manual() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let xs = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let m = mean_aggregate(&mut tape, xs);
+        assert_eq!(tape.value(m).data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn word_attention_pools_to_token_dim() {
+        let mut rng = TensorRng::seed(4);
+        let mut store = ParamStore::new();
+        let wa = WordAttention::new(&mut store, "wa", 6, &mut rng);
+        let mut tape = Tape::new(&store);
+        let states = tape.leaf(Tensor::rand_uniform(&[9, 6], -1.0, 1.0, &mut rng));
+        let pooled = wa.pool(&mut tape, states);
+        assert_eq!(tape.value(pooled).len(), 6);
+    }
+
+    #[test]
+    fn gradients_flow_through_attention() {
+        let mut rng = TensorRng::seed(5);
+        let mut store = ParamStore::new();
+        let att = SelectiveAttention::new(&mut store, "att", 4, 3, &mut rng);
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let xs = tape.leaf(Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng));
+        let agg = att.aggregate(&mut tape, xs, 2);
+        let loss = tape.softmax_cross_entropy(agg, 0);
+        tape.backward(loss, &mut grads);
+        assert!(grads.get(store.find("att.a_diag").unwrap()).norm_l2() > 0.0);
+        let qg = grads.get(store.find("att.queries").unwrap());
+        assert!(qg.row(2).iter().any(|&x| x != 0.0), "queried relation row must update");
+        assert!(qg.row(0).iter().all(|&x| x == 0.0), "unqueried rows must not update");
+    }
+}

@@ -1,0 +1,14 @@
+//! Baseline systems the paper compares against.
+//!
+//! * [`sparse`] — the feature-based, non-neural baselines of Figure 4:
+//!   Mintz (2009) multiclass logistic regression, MultiR (2011)
+//!   multi-instance perceptron, MIMLRE (2012) multi-instance multi-label
+//!   EM. Implemented over hashed sparse lexical features.
+//! * [`rl`] — CNN+RL (Feng 2018): a REINFORCE instance selector wrapped
+//!   around a CNN relation classifier.
+
+pub mod rl;
+pub mod sparse;
+
+pub use rl::{CnnRl, RlConfig};
+pub use sparse::{Mimlre, Mintz, MultiR, SparseFeaturizer};

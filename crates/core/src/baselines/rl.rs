@@ -1,0 +1,212 @@
+//! CNN+RL (Feng et al., AAAI 2018): reinforcement-learning instance
+//! selection around a CNN relation classifier.
+//!
+//! Two modules, as in the paper: an **instance selector** (logistic policy
+//! over sentence encodings, trained with REINFORCE against a moving-average
+//! baseline) and a **relation classifier** (a CNN bag model trained on the
+//! selected sentences). The selector learns to drop noisy sentences; the
+//! classifier's log-likelihood on the cleaned bag is the reward.
+
+use crate::model::{BagContext, ModelSpec, PreparedBag, ReModel};
+use crate::config::HyperParams;
+use imre_nn::Sgd;
+use imre_tensor::{sigmoid_scalar, TensorRng};
+
+/// CNN+RL training schedule.
+#[derive(Debug, Clone)]
+pub struct RlConfig {
+    /// Supervised warm-up epochs for the classifier (all sentences kept).
+    pub pretrain_epochs: usize,
+    /// Joint selector + classifier epochs.
+    pub joint_epochs: usize,
+    /// Classifier learning rate.
+    pub lr: f32,
+    /// Policy learning rate.
+    pub policy_lr: f32,
+    /// Batch size (bags).
+    pub batch_size: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        RlConfig { pretrain_epochs: 3, joint_epochs: 3, lr: 0.2, policy_lr: 0.05, batch_size: 16, seed: 41 }
+    }
+}
+
+/// The CNN+RL system.
+pub struct CnnRl {
+    /// The relation classifier: CNN encoder, mean aggregation over the
+    /// *selected* sentences.
+    pub classifier: ReModel,
+    policy_w: Vec<f32>,
+    policy_b: f32,
+    reward_baseline: f32,
+}
+
+impl CnnRl {
+    /// Builds an untrained CNN+RL system.
+    pub fn new(hp: &HyperParams, vocab_size: usize, num_relations: usize, seed: u64) -> Self {
+        let classifier = ReModel::new(ModelSpec::pcnn(), hp, vocab_size, num_relations, 38, 1, seed);
+        let dim = classifier.sent_dim();
+        CnnRl { classifier, policy_w: vec![0.0; dim], policy_b: 0.0, reward_baseline: 0.0 }
+    }
+
+    fn keep_probability(&self, encoding: &[f32]) -> f32 {
+        let score: f32 = self.policy_w.iter().zip(encoding).map(|(&w, &x)| w * x).sum::<f32>() + self.policy_b;
+        sigmoid_scalar(score)
+    }
+
+    /// Selects the sentence subset the current policy keeps (greedy: keep
+    /// when `p ≥ 0.5`; all kept if the policy would drop everything).
+    pub fn select(&self, bag: &PreparedBag) -> Vec<usize> {
+        let encodings = self.classifier.sentence_encodings(bag);
+        let kept: Vec<usize> = encodings
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| self.keep_probability(e) >= 0.5)
+            .map(|(i, _)| i)
+            .collect();
+        if kept.is_empty() {
+            (0..bag.sentences.len()).collect()
+        } else {
+            kept
+        }
+    }
+
+    fn subset_bag(bag: &PreparedBag, keep: &[usize]) -> PreparedBag {
+        PreparedBag {
+            head: bag.head,
+            tail: bag.tail,
+            label: bag.label,
+            sentences: keep.iter().map(|&i| bag.sentences[i].clone()).collect(),
+        }
+    }
+
+    /// Trains the system: supervised warm-up, then joint REINFORCE.
+    pub fn train(&mut self, bags: &[PreparedBag], ctx: &BagContext, config: &RlConfig) {
+        let mut rng = TensorRng::seed(config.seed);
+        let sgd = Sgd::new(config.lr).with_clip_norm(5.0);
+        let mut order: Vec<usize> = (0..bags.len()).collect();
+
+        // ---- warm-up: train the classifier on whole bags ----
+        for _ in 0..config.pretrain_epochs {
+            rng.shuffle(&mut order);
+            for batch in order.chunks(config.batch_size) {
+                let scale = 1.0 / batch.len() as f32;
+                for &bi in batch {
+                    self.classifier.bag_loss_and_backward(&bags[bi], ctx, scale, &mut rng);
+                }
+                sgd.step(&mut self.classifier.store, &mut self.classifier.grads);
+            }
+        }
+
+        // ---- joint phase ----
+        for _ in 0..config.joint_epochs {
+            rng.shuffle(&mut order);
+            for batch in order.chunks(config.batch_size) {
+                let scale = 1.0 / batch.len() as f32;
+                for &bi in batch {
+                    let bag = &bags[bi];
+                    let encodings = self.classifier.sentence_encodings(bag);
+                    // sample actions from the stochastic policy
+                    let probs: Vec<f32> = encodings.iter().map(|e| self.keep_probability(e)).collect();
+                    let actions: Vec<bool> = probs.iter().map(|&p| rng.bernoulli(p)).collect();
+                    let mut kept: Vec<usize> =
+                        actions.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i).collect();
+                    if kept.is_empty() {
+                        kept = (0..bag.sentences.len()).collect();
+                    }
+                    let sub = Self::subset_bag(bag, &kept);
+                    // classifier step on the selected subset; its loss is
+                    // −log p(gold), so reward = −loss
+                    let loss = self.classifier.bag_loss_and_backward(&sub, ctx, scale, &mut rng);
+                    let reward = -loss;
+                    let advantage = reward - self.reward_baseline;
+                    self.reward_baseline = 0.95 * self.reward_baseline + 0.05 * reward;
+
+                    // REINFORCE: ∇ log π(a|s) = (a − p) · x for a Bernoulli
+                    // logistic policy
+                    for (i, enc) in encodings.iter().enumerate() {
+                        let a = if actions.get(i).copied().unwrap_or(true) { 1.0 } else { 0.0 };
+                        let g = advantage * (a - probs[i]);
+                        for (w, &x) in self.policy_w.iter_mut().zip(enc) {
+                            *w += config.policy_lr * g * x;
+                        }
+                        self.policy_b += config.policy_lr * g;
+                    }
+                }
+                sgd.step(&mut self.classifier.store, &mut self.classifier.grads);
+            }
+        }
+    }
+
+    /// Predicts relation probabilities on the policy-selected subset.
+    pub fn predict(&self, bag: &PreparedBag, ctx: &BagContext) -> Vec<f32> {
+        let keep = self.select(bag);
+        let sub = Self::subset_bag(bag, &keep);
+        self.classifier.predict(&sub, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::entity_type_table;
+    use imre_corpus::{Dataset, DatasetConfig, SentenceGenConfig, WorldConfig};
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig {
+            name: "t".into(),
+            world: WorldConfig { n_relations: 4, entities_per_cluster: 6, facts_per_relation: 12, cluster_reuse_prob: 0.3, seed: 7 },
+            sentence: SentenceGenConfig { noise_prob: 0.3, min_len: 6, max_len: 12 },
+            train_fraction: 0.7,
+            na_train: 10,
+            na_test: 5,
+            na_hard_fraction: 0.5,
+            zipf_alpha: 1.6,
+            max_sentences_per_bag: 6,
+            seed: 9,
+        })
+    }
+
+    #[test]
+    fn trains_and_predicts_distribution() {
+        let ds = dataset();
+        let hp = HyperParams::tiny();
+        let bags = crate::model::prepare_bags(&ds.train, &hp);
+        let types = entity_type_table(&ds.world);
+        let ctx = BagContext { entity_embedding: None, entity_types: &types };
+        let mut rl = CnnRl::new(&hp, ds.vocab.len(), ds.num_relations(), 3);
+        rl.train(&bags, &ctx, &RlConfig { pretrain_epochs: 2, joint_epochs: 1, batch_size: 8, ..Default::default() });
+        let p = rl.predict(&bags[0], &ctx);
+        assert_eq!(p.len(), ds.num_relations());
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn selection_never_empty() {
+        let ds = dataset();
+        let hp = HyperParams::tiny();
+        let bags = crate::model::prepare_bags(&ds.train, &hp);
+        let rl = CnnRl::new(&hp, ds.vocab.len(), ds.num_relations(), 5);
+        for b in bags.iter().take(20) {
+            let kept = rl.select(b);
+            assert!(!kept.is_empty());
+            assert!(kept.iter().all(|&i| i < b.sentences.len()));
+        }
+    }
+
+    #[test]
+    fn subset_bag_preserves_metadata() {
+        let ds = dataset();
+        let hp = HyperParams::tiny();
+        let bags = crate::model::prepare_bags(&ds.train, &hp);
+        let bag = bags.iter().find(|b| b.sentences.len() >= 2).expect("multi-sentence bag");
+        let sub = CnnRl::subset_bag(bag, &[0]);
+        assert_eq!(sub.head, bag.head);
+        assert_eq!(sub.label, bag.label);
+        assert_eq!(sub.sentences.len(), 1);
+    }
+}

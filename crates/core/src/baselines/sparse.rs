@@ -1,0 +1,420 @@
+//! Feature-based (non-neural) baselines: Mintz, MultiR and MIMLRE.
+//!
+//! All three operate on hashed sparse lexical features. They exist because
+//! the paper's Figure 4 plots them (via Lin et al.'s published curves) as
+//! the non-neural reference points on NYT; reproducing the figure requires
+//! running *something* faithful to each method's core idea:
+//!
+//! * **Mintz** — one multiclass logistic-regression over aggregated bag
+//!   features (pure distant supervision, no noise handling).
+//! * **MultiR** — multi-instance perceptron: only the best-scoring sentence
+//!   of a bag is credited/blamed, handling noisy sentences.
+//! * **MIMLRE** — EM over latent per-sentence labels with a noisy-OR bag
+//!   aggregation, handling multi-instance *and* bag-level uncertainty.
+
+use crate::model::PreparedBag;
+use imre_tensor::TensorRng;
+
+/// Hashed sparse feature extraction shared by the three baselines.
+///
+/// Features per sentence: token unigrams, tokens strictly between the two
+/// entity mentions (position-tagged), the ordered entity-pair distance
+/// bucket, and the head/tail coarse-type pair.
+pub struct SparseFeaturizer {
+    /// Feature-space size (power of two).
+    dim: usize,
+}
+
+impl SparseFeaturizer {
+    /// Creates a featurizer with `2^bits` hashed dimensions.
+    pub fn new(bits: u32) -> Self {
+        SparseFeaturizer { dim: 1 << bits }
+    }
+
+    /// Feature-space width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn slot(&self, kind: u64, value: u64) -> usize {
+        // Fibonacci-style mix of (kind, value) into the table.
+        let mut h = kind.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ value.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 31;
+        (h as usize) & (self.dim - 1)
+    }
+
+    /// Extracts the sparse feature indices of one sentence.
+    pub fn sentence_features(&self, s: &crate::features::SentenceFeatures, head_type: usize, tail_type: usize) -> Vec<usize> {
+        let mut feats = Vec::with_capacity(s.tokens.len() + 8);
+        for &t in &s.tokens {
+            feats.push(self.slot(1, t as u64));
+        }
+        let (lo, hi) = (s.head_pos.min(s.tail_pos), s.head_pos.max(s.tail_pos));
+        for (i, &t) in s.tokens[lo..=hi].iter().enumerate() {
+            feats.push(self.slot(2, (t as u64) << 8 | i as u64 & 0xff));
+        }
+        let dist_bucket = ((hi - lo) / 3).min(7) as u64;
+        feats.push(self.slot(3, dist_bucket));
+        feats.push(self.slot(4, (head_type as u64) << 16 | tail_type as u64));
+        feats
+    }
+
+    /// Union (with repeats) of all sentence features of a bag.
+    pub fn bag_features(&self, bag: &PreparedBag, types: &[Vec<usize>]) -> Vec<usize> {
+        let ht = types[bag.head].first().copied().unwrap_or(0);
+        let tt = types[bag.tail].first().copied().unwrap_or(0);
+        bag.sentences.iter().flat_map(|s| self.sentence_features(s, ht, tt)).collect()
+    }
+}
+
+fn scores(w: &[f32], m: usize, dim: usize, feats: &[usize]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m];
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &w[r * dim..(r + 1) * dim];
+        *o = feats.iter().map(|&f| row[f]).sum();
+    }
+    out
+}
+
+fn softmax_vec(scores: &[f32]) -> Vec<f32> {
+    let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scores.iter().map(|&s| (s - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+/// Mintz et al. (2009): distant supervision with multiclass logistic
+/// regression over aggregate bag features.
+pub struct Mintz {
+    featurizer: SparseFeaturizer,
+    w: Vec<f32>,
+    m: usize,
+}
+
+impl Mintz {
+    /// Creates an untrained model with `num_relations` classes.
+    pub fn new(num_relations: usize, feature_bits: u32) -> Self {
+        let featurizer = SparseFeaturizer::new(feature_bits);
+        let dim = featurizer.dim();
+        Mintz { featurizer, w: vec![0.0; num_relations * dim], m: num_relations }
+    }
+
+    /// Trains with plain SGD on the bag-level multiclass logistic loss.
+    pub fn train(&mut self, bags: &[PreparedBag], types: &[Vec<usize>], epochs: usize, lr: f32, seed: u64) {
+        let dim = self.featurizer.dim();
+        let mut rng = TensorRng::seed(seed);
+        let mut order: Vec<usize> = (0..bags.len()).collect();
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            for &bi in &order {
+                let bag = &bags[bi];
+                let feats = self.featurizer.bag_features(bag, types);
+                let p = softmax_vec(&scores(&self.w, self.m, dim, &feats));
+                for (r, &pr) in p.iter().enumerate() {
+                    let g = pr - if r == bag.label { 1.0 } else { 0.0 };
+                    if g.abs() < 1e-8 {
+                        continue;
+                    }
+                    let row = &mut self.w[r * dim..(r + 1) * dim];
+                    for &f in &feats {
+                        row[f] -= lr * g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-relation probabilities for a bag.
+    pub fn predict(&self, bag: &PreparedBag, types: &[Vec<usize>]) -> Vec<f32> {
+        let feats = self.featurizer.bag_features(bag, types);
+        softmax_vec(&scores(&self.w, self.m, self.featurizer.dim(), &feats))
+    }
+}
+
+/// Hoffmann et al. (2011) MultiR, simplified to its multi-instance
+/// perceptron core: credit/blame flows only through each bag's best
+/// sentence for the relevant label.
+pub struct MultiR {
+    featurizer: SparseFeaturizer,
+    w: Vec<f32>,
+    m: usize,
+}
+
+impl MultiR {
+    /// Creates an untrained model.
+    pub fn new(num_relations: usize, feature_bits: u32) -> Self {
+        let featurizer = SparseFeaturizer::new(feature_bits);
+        let dim = featurizer.dim();
+        MultiR { featurizer, w: vec![0.0; num_relations * dim], m: num_relations }
+    }
+
+    fn best_sentence(&self, bag: &PreparedBag, types: &[Vec<usize>], relation: usize) -> Vec<usize> {
+        let dim = self.featurizer.dim();
+        let ht = types[bag.head].first().copied().unwrap_or(0);
+        let tt = types[bag.tail].first().copied().unwrap_or(0);
+        bag.sentences
+            .iter()
+            .map(|s| self.featurizer.sentence_features(s, ht, tt))
+            .max_by(|a, b| {
+                let sa: f32 = a.iter().map(|&f| self.w[relation * dim + f]).sum();
+                let sb: f32 = b.iter().map(|&f| self.w[relation * dim + f]).sum();
+                sa.partial_cmp(&sb).expect("finite scores")
+            })
+            .expect("non-empty bag")
+    }
+
+    /// Perceptron training: when the bag-level argmax is wrong, promote the
+    /// gold label on its best sentence and demote the predicted one.
+    pub fn train(&mut self, bags: &[PreparedBag], types: &[Vec<usize>], epochs: usize, lr: f32, seed: u64) {
+        let dim = self.featurizer.dim();
+        let mut rng = TensorRng::seed(seed);
+        let mut order: Vec<usize> = (0..bags.len()).collect();
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            for &bi in &order {
+                let bag = &bags[bi];
+                let pred = self
+                    .predict(bag, types)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty scores");
+                if pred == bag.label {
+                    continue;
+                }
+                let gold_feats = self.best_sentence(bag, types, bag.label);
+                for &f in &gold_feats {
+                    self.w[bag.label * dim + f] += lr;
+                }
+                let pred_feats = self.best_sentence(bag, types, pred);
+                for &f in &pred_feats {
+                    self.w[pred * dim + f] -= lr;
+                }
+            }
+        }
+    }
+
+    /// Bag scores: per relation, the max sentence score squashed by a
+    /// sigmoid, renormalised into a distribution.
+    pub fn predict(&self, bag: &PreparedBag, types: &[Vec<usize>]) -> Vec<f32> {
+        let dim = self.featurizer.dim();
+        let ht = types[bag.head].first().copied().unwrap_or(0);
+        let tt = types[bag.tail].first().copied().unwrap_or(0);
+        let per_sentence: Vec<Vec<f32>> = bag
+            .sentences
+            .iter()
+            .map(|s| {
+                let feats = self.featurizer.sentence_features(s, ht, tt);
+                scores(&self.w, self.m, dim, &feats)
+            })
+            .collect();
+        let mut best = vec![f32::NEG_INFINITY; self.m];
+        for ss in &per_sentence {
+            for (b, &s) in best.iter_mut().zip(ss) {
+                *b = b.max(s);
+            }
+        }
+        softmax_vec(&best)
+    }
+}
+
+/// Surdeanu et al. (2012) MIMLRE, simplified to hard-EM: latent
+/// per-sentence labels re-estimated each round, per-sentence logistic
+/// regression re-fit, bag prediction by noisy-OR.
+pub struct Mimlre {
+    featurizer: SparseFeaturizer,
+    w: Vec<f32>,
+    m: usize,
+}
+
+impl Mimlre {
+    /// Creates an untrained model.
+    pub fn new(num_relations: usize, feature_bits: u32) -> Self {
+        let featurizer = SparseFeaturizer::new(feature_bits);
+        let dim = featurizer.dim();
+        Mimlre { featurizer, w: vec![0.0; num_relations * dim], m: num_relations }
+    }
+
+    /// Trains with `em_rounds` of hard-EM; each M-step runs one SGD pass
+    /// over the per-sentence logistic loss with the current assignments.
+    pub fn train(&mut self, bags: &[PreparedBag], types: &[Vec<usize>], em_rounds: usize, lr: f32, seed: u64) {
+        let dim = self.featurizer.dim();
+        let mut rng = TensorRng::seed(seed);
+        // initial assignment: every sentence takes the bag label
+        let mut assignments: Vec<Vec<usize>> = bags.iter().map(|b| vec![b.label; b.sentences.len()]).collect();
+        for round in 0..em_rounds {
+            // M-step
+            let mut order: Vec<usize> = (0..bags.len()).collect();
+            rng.shuffle(&mut order);
+            for &bi in &order {
+                let bag = &bags[bi];
+                let ht = types[bag.head].first().copied().unwrap_or(0);
+                let tt = types[bag.tail].first().copied().unwrap_or(0);
+                for (si, s) in bag.sentences.iter().enumerate() {
+                    let feats = self.featurizer.sentence_features(s, ht, tt);
+                    let p = softmax_vec(&scores(&self.w, self.m, dim, &feats));
+                    let label = assignments[bi][si];
+                    for (r, &pr) in p.iter().enumerate() {
+                        let g = pr - if r == label { 1.0 } else { 0.0 };
+                        if g.abs() < 1e-8 {
+                            continue;
+                        }
+                        let row = &mut self.w[r * dim..(r + 1) * dim];
+                        for &f in &feats {
+                            row[f] -= lr * g;
+                        }
+                    }
+                }
+            }
+            // E-step: a sentence keeps the bag label only if the model now
+            // prefers it over NA; at least one sentence always keeps it
+            // (the at-least-one assumption).
+            if round + 1 < em_rounds {
+                for (bi, bag) in bags.iter().enumerate() {
+                    if bag.label == 0 {
+                        continue; // NA bags stay NA
+                    }
+                    let ht = types[bag.head].first().copied().unwrap_or(0);
+                    let tt = types[bag.tail].first().copied().unwrap_or(0);
+                    let mut best_si = 0;
+                    let mut best_p = f32::NEG_INFINITY;
+                    for (si, s) in bag.sentences.iter().enumerate() {
+                        let feats = self.featurizer.sentence_features(s, ht, tt);
+                        let p = softmax_vec(&scores(&self.w, self.m, dim, &feats));
+                        assignments[bi][si] = if p[bag.label] >= p[0] { bag.label } else { 0 };
+                        if p[bag.label] > best_p {
+                            best_p = p[bag.label];
+                            best_si = si;
+                        }
+                    }
+                    assignments[bi][best_si] = bag.label;
+                }
+            }
+        }
+    }
+
+    /// Noisy-OR bag prediction: `P(r|bag) = 1 − Π_s (1 − P(r|s))`,
+    /// renormalised.
+    pub fn predict(&self, bag: &PreparedBag, types: &[Vec<usize>]) -> Vec<f32> {
+        let dim = self.featurizer.dim();
+        let ht = types[bag.head].first().copied().unwrap_or(0);
+        let tt = types[bag.tail].first().copied().unwrap_or(0);
+        let mut not_prob = vec![1.0f32; self.m];
+        for s in &bag.sentences {
+            let feats = self.featurizer.sentence_features(s, ht, tt);
+            let p = softmax_vec(&scores(&self.w, self.m, dim, &feats));
+            for (np, &pi) in not_prob.iter_mut().zip(&p) {
+                *np *= 1.0 - pi;
+            }
+        }
+        let raw: Vec<f32> = not_prob.into_iter().map(|np| 1.0 - np).collect();
+        let z: f32 = raw.iter().sum::<f32>().max(1e-12);
+        raw.into_iter().map(|r| r / z).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::SentenceFeatures;
+
+    fn bag(label: usize, token_sets: &[Vec<usize>]) -> PreparedBag {
+        PreparedBag {
+            head: 0,
+            tail: 1,
+            label,
+            sentences: token_sets
+                .iter()
+                .map(|tokens| SentenceFeatures {
+                    head_offsets: vec![0; tokens.len()],
+                    tail_offsets: vec![1; tokens.len()],
+                    head_pos: 0,
+                    tail_pos: tokens.len() - 1,
+                    tokens: tokens.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Two lexically separable classes: class 1 sentences contain token 100,
+    /// class 2 sentences contain token 200.
+    fn separable_dataset() -> (Vec<PreparedBag>, Vec<Vec<usize>>) {
+        let mut bags = Vec::new();
+        for i in 0..30 {
+            bags.push(bag(1, &[vec![100, 5 + i % 3, 7]]));
+            bags.push(bag(2, &[vec![200, 6 + i % 3, 8]]));
+        }
+        (bags, vec![vec![0], vec![1]])
+    }
+
+    fn accuracy(predict: impl Fn(&PreparedBag) -> Vec<f32>, bags: &[PreparedBag]) -> f32 {
+        let correct = bags
+            .iter()
+            .filter(|b| {
+                let p = predict(b);
+                let am = p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+                am == b.label
+            })
+            .count();
+        correct as f32 / bags.len() as f32
+    }
+
+    #[test]
+    fn featurizer_dims_and_determinism() {
+        let f = SparseFeaturizer::new(10);
+        assert_eq!(f.dim(), 1024);
+        let b = bag(1, &[vec![1, 2, 3]]);
+        let a1 = f.bag_features(&b, &[vec![0], vec![1]]);
+        let a2 = f.bag_features(&b, &[vec![0], vec![1]]);
+        assert_eq!(a1, a2);
+        assert!(a1.iter().all(|&i| i < 1024));
+    }
+
+    #[test]
+    fn mintz_learns_separable_data() {
+        let (bags, types) = separable_dataset();
+        let mut m = Mintz::new(3, 12);
+        m.train(&bags, &types, 5, 0.1, 1);
+        assert!(accuracy(|b| m.predict(b, &types), &bags) > 0.95);
+    }
+
+    #[test]
+    fn multir_learns_despite_noisy_sentence() {
+        // each bag has one signal sentence and one noise sentence shared
+        // across classes — per-bag aggregation would blur, best-sentence
+        // credit assignment should not
+        let mut bags = Vec::new();
+        for i in 0..30 {
+            bags.push(bag(1, &[vec![100, 3 + i % 2], vec![50, 51, 52]]));
+            bags.push(bag(2, &[vec![200, 4 + i % 2], vec![50, 51, 52]]));
+        }
+        let types = vec![vec![0], vec![1]];
+        let mut m = MultiR::new(3, 12);
+        m.train(&bags, &types, 8, 0.5, 2);
+        assert!(accuracy(|b| m.predict(b, &types), &bags) > 0.9);
+    }
+
+    #[test]
+    fn mimlre_learns_separable_data() {
+        let (bags, types) = separable_dataset();
+        let mut m = Mimlre::new(3, 12);
+        m.train(&bags, &types, 3, 0.1, 3);
+        assert!(accuracy(|b| m.predict(b, &types), &bags) > 0.9);
+    }
+
+    #[test]
+    fn predictions_are_distributions() {
+        let (bags, types) = separable_dataset();
+        let m = Mintz::new(3, 10);
+        let p = m.predict(&bags[0], &types);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        let mr = MultiR::new(3, 10);
+        let p = mr.predict(&bags[0], &types);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        let mi = Mimlre::new(3, 10);
+        let p = mi.predict(&bags[0], &types);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+}

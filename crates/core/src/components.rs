@@ -1,0 +1,232 @@
+//! The paper's entity-information components and their combination
+//! (§III-B, §III-D).
+//!
+//! Each component produces a *confidence vector* over the relation labels:
+//!
+//! * [`MrComponent`] — `C_MR = softmax(W_MR · (U_t − U_h) + b_MR)` from the
+//!   LINE entity embeddings (the implicit mutual relation).
+//! * [`TypeComponent`] — `C_T = softmax(W_T · [Type_h ; Type_t] + b_T)` from
+//!   learned coarse-type embeddings (averaged over an entity's types).
+//! * [`Combiner`] — `P(r) = softmax(w(α·C_MR + β·C_T + γ·RE) + b)` with
+//!   learned scalar mixing weights α, β, γ and a final linear map.
+
+use imre_nn::{Linear, ParamId, ParamStore, Tape, Var};
+use imre_tensor::{Tensor, TensorRng};
+
+/// The implicit-mutual-relation confidence head.
+pub struct MrComponent {
+    fc: Linear,
+}
+
+impl MrComponent {
+    /// Registers the head: `entity_dim → num_relations`.
+    pub fn new(store: &mut ParamStore, name: &str, entity_dim: usize, num_relations: usize, rng: &mut TensorRng) -> Self {
+        MrComponent { fc: Linear::new(store, name, entity_dim, num_relations, rng) }
+    }
+
+    /// Pre-softmax relation scores from a precomputed `MR_ij = U_j − U_i`
+    /// vector.
+    ///
+    /// The MR vector is a *constant input* — the entity embeddings are
+    /// learned separately on the proximity graph (the paper trains LINE
+    /// offline); only `W_MR`/`b_MR` receive gradients here.
+    pub fn logits(&self, tape: &mut Tape, mr: Tensor) -> Var {
+        let x = tape.leaf(mr);
+        self.fc.forward_vec(tape, x)
+    }
+
+    /// The paper's `C_MR = softmax(W_MR · MR + b_MR)`.
+    pub fn confidence(&self, tape: &mut Tape, mr: Tensor) -> Var {
+        let logits = self.logits(tape, mr);
+        tape.softmax(logits)
+    }
+}
+
+/// The entity-type confidence head.
+pub struct TypeComponent {
+    type_emb: ParamId,
+    fc: Linear,
+    type_dim: usize,
+}
+
+impl TypeComponent {
+    /// Registers the type-embedding table (`num_types × type_dim`) and the
+    /// confidence head (`2·type_dim → num_relations`).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        num_types: usize,
+        type_dim: usize,
+        num_relations: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let type_emb = store.uniform(&format!("{name}.emb"), &[num_types, type_dim], 0.25, rng);
+        let fc = Linear::new(store, &format!("{name}.fc"), 2 * type_dim, num_relations, rng);
+        TypeComponent { type_emb, fc, type_dim }
+    }
+
+    /// Embeds one entity's type set (mean over multiple types, per paper).
+    fn embed_types(&self, tape: &mut Tape, types: &[usize]) -> Var {
+        debug_assert!(!types.is_empty(), "entity with no types");
+        let rows = tape.gather(self.type_emb, types);
+        tape.mean_rows(rows)
+    }
+
+    /// Pre-softmax relation scores for a head/tail type assignment.
+    pub fn logits(&self, tape: &mut Tape, head_types: &[usize], tail_types: &[usize]) -> Var {
+        let h = self.embed_types(tape, head_types);
+        let t = self.embed_types(tape, tail_types);
+        let cat = tape.concat(&[h, t]);
+        debug_assert_eq!(tape.value(cat).len(), 2 * self.type_dim);
+        self.fc.forward_vec(tape, cat)
+    }
+
+    /// The paper's `C_T = softmax(W_T · [Type_h ; Type_t] + b_T)`.
+    pub fn confidence(&self, tape: &mut Tape, head_types: &[usize], tail_types: &[usize]) -> Var {
+        let logits = self.logits(tape, head_types, tail_types);
+        tape.softmax(logits)
+    }
+}
+
+/// The learned linear combination of component confidences.
+pub struct Combiner {
+    /// Mixing weight for `C_MR`.
+    pub alpha: ParamId,
+    /// Mixing weight for `C_T`.
+    pub beta: ParamId,
+    /// Mixing weight for the base RE model's prediction.
+    pub gamma: ParamId,
+    out: Linear,
+}
+
+impl Combiner {
+    /// Registers α, β, γ (initialised to 1) and the final linear layer.
+    ///
+    /// The linear map is initialised near `κ·I` (κ = 6) rather than Xavier:
+    /// its inputs are probability mixtures in `[0, Σ mixing weights]`, so an
+    /// identity-scaled start turns confidence differences into usable logit
+    /// gaps from step one instead of a near-uniform softmax.
+    pub fn new(store: &mut ParamStore, name: &str, num_relations: usize, rng: &mut TensorRng) -> Self {
+        // The side components start at half the RE model's weight: they are
+        // priors refined by training, while the text pathway carries the
+        // NA-vs-relation decision from the start.
+        let alpha = store.register(&format!("{name}.alpha"), Tensor::full(&[1], 0.5));
+        let beta = store.register(&format!("{name}.beta"), Tensor::full(&[1], 0.5));
+        let gamma = store.register(&format!("{name}.gamma"), Tensor::ones(&[1]));
+        let out = Linear::new(store, &format!("{name}.out"), num_relations, num_relations, rng);
+        let mut w = Tensor::eye(num_relations).scale(6.0);
+        let noise = Tensor::rand_uniform(&[num_relations, num_relations], -0.05, 0.05, rng);
+        w.add_assign(&noise);
+        store.set(out.w, w);
+        Combiner { alpha, beta, gamma, out }
+    }
+
+    /// Combines the available confidences into final *logits* (apply
+    /// softmax or cross-entropy downstream). Missing components (PA-T has
+    /// no `C_MR`, PA-MR no `C_T`) simply drop out of the sum.
+    pub fn combine(&self, tape: &mut Tape, c_mr: Option<Var>, c_t: Option<Var>, re: Var) -> Var {
+        let g = tape.param(self.gamma);
+        let mut acc = tape.scale_by_var(re, g);
+        if let Some(mr) = c_mr {
+            let a = tape.param(self.alpha);
+            let term = tape.scale_by_var(mr, a);
+            acc = tape.add(acc, term);
+        }
+        if let Some(t) = c_t {
+            let b = tape.param(self.beta);
+            let term = tape.scale_by_var(t, b);
+            acc = tape.add(acc, term);
+        }
+        self.out.forward_vec(tape, acc)
+    }
+
+    /// Current `(α, β, γ)` values — reported by the ablation benches.
+    pub fn mixing_weights(&self, store: &ParamStore) -> (f32, f32, f32) {
+        (
+            store.get(self.alpha).data()[0],
+            store.get(self.beta).data()[0],
+            store.get(self.gamma).data()[0],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imre_nn::GradStore;
+
+    #[test]
+    fn mr_confidence_is_distribution() {
+        let mut rng = TensorRng::seed(1);
+        let mut store = ParamStore::new();
+        let mr = MrComponent::new(&mut store, "mr", 8, 5, &mut rng);
+        let mut tape = Tape::new(&store);
+        let c = mr.confidence(&mut tape, Tensor::rand_uniform(&[8], -1.0, 1.0, &mut rng));
+        let v = tape.value(c);
+        assert_eq!(v.len(), 5);
+        assert!((v.sum() - 1.0).abs() < 1e-5);
+        assert!(v.data().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn type_confidence_handles_multi_types() {
+        let mut rng = TensorRng::seed(2);
+        let mut store = ParamStore::new();
+        let ty = TypeComponent::new(&mut store, "ty", 38, 4, 6, &mut rng);
+        let mut tape = Tape::new(&store);
+        let c = ty.confidence(&mut tape, &[0, 5], &[12]);
+        let v = tape.value(c);
+        assert_eq!(v.len(), 6);
+        assert!((v.sum() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn type_mean_over_types_matters() {
+        // entity with types {0} vs {0, 1} must embed differently (average)
+        let mut rng = TensorRng::seed(3);
+        let mut store = ParamStore::new();
+        let ty = TypeComponent::new(&mut store, "ty", 10, 4, 3, &mut rng);
+        let mut tape = Tape::new(&store);
+        let c1 = ty.confidence(&mut tape, &[0], &[2]);
+        let c2 = ty.confidence(&mut tape, &[0, 1], &[2]);
+        assert_ne!(tape.value(c1).data(), tape.value(c2).data());
+    }
+
+    #[test]
+    fn combiner_with_all_components() {
+        let mut rng = TensorRng::seed(4);
+        let mut store = ParamStore::new();
+        let comb = Combiner::new(&mut store, "comb", 4, &mut rng);
+        let mut tape = Tape::new(&store);
+        let c_mr = tape.leaf(Tensor::from_vec(vec![0.7, 0.1, 0.1, 0.1], &[4]));
+        let c_t = tape.leaf(Tensor::from_vec(vec![0.25; 4], &[4]));
+        let re = tape.leaf(Tensor::from_vec(vec![0.1, 0.6, 0.2, 0.1], &[4]));
+        let logits = comb.combine(&mut tape, Some(c_mr), Some(c_t), re);
+        assert_eq!(tape.value(logits).len(), 4);
+    }
+
+    #[test]
+    fn combiner_learns_mixing_weights() {
+        let mut rng = TensorRng::seed(5);
+        let mut store = ParamStore::new();
+        let comb = Combiner::new(&mut store, "comb", 3, &mut rng);
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let c_mr = tape.leaf(Tensor::from_vec(vec![0.8, 0.1, 0.1], &[3]));
+        let re = tape.leaf(Tensor::from_vec(vec![0.3, 0.4, 0.3], &[3]));
+        let logits = comb.combine(&mut tape, Some(c_mr), None, re);
+        let loss = tape.softmax_cross_entropy(logits, 0);
+        tape.backward(loss, &mut grads);
+        assert!(grads.get(comb.alpha).data()[0].abs() > 0.0, "α must receive gradient");
+        assert!(grads.get(comb.gamma).data()[0].abs() > 0.0, "γ must receive gradient");
+        assert_eq!(grads.get(comb.beta).data()[0], 0.0, "β untouched when C_T absent");
+    }
+
+    #[test]
+    fn mixing_weights_readable() {
+        let mut rng = TensorRng::seed(6);
+        let mut store = ParamStore::new();
+        let comb = Combiner::new(&mut store, "comb", 3, &mut rng);
+        assert_eq!(comb.mixing_weights(&store), (0.5, 0.5, 1.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! Hyperparameters (paper Table III).
+//!
+//! The paper's values are kept where scale-free (window 3, dropout 0.5,
+//! position dim 5, type dim 20); width-like parameters (word dim, filter
+//! count, entity-embedding dim, batch size) are scaled down for a CPU-only
+//! reproduction and noted as such. `HyperParams::paper()` returns the
+//! original values for reference/reporting.
+
+/// Model and training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct HyperParams {
+    /// Entity-embedding width `k_e` (LINE output; paper 128).
+    pub entity_dim: usize,
+    /// Entity-type embedding width `k_t` (paper 20).
+    pub type_dim: usize,
+    /// CNN window size `l` (paper 3).
+    pub window: usize,
+    /// CNN filter count `k` (paper 230).
+    pub filters: usize,
+    /// Position-embedding width `k_p` (paper 5).
+    pub pos_dim: usize,
+    /// Word-embedding width `k_w` (paper 50).
+    pub word_dim: usize,
+    /// GRU hidden width per direction (for RNN encoders).
+    pub gru_hidden: usize,
+    /// SGD learning rate (paper 0.3).
+    pub lr: f32,
+    /// Maximum sentence length (paper 120; our corpus caps at 24).
+    pub max_len: usize,
+    /// Dropout probability `p` (paper 0.5).
+    pub dropout: f32,
+    /// Bags per SGD step (paper 160).
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Relative positions are clipped to `±pos_clip`.
+    pub pos_clip: usize,
+}
+
+impl HyperParams {
+    /// CPU-scaled defaults used throughout the reproduction.
+    pub fn scaled() -> Self {
+        HyperParams {
+            entity_dim: 64,
+            type_dim: 10,
+            window: 3,
+            filters: 64,
+            pos_dim: 5,
+            word_dim: 32,
+            gru_hidden: 32,
+            lr: 0.2,
+            max_len: 30,
+            dropout: 0.5,
+            batch_size: 32,
+            epochs: 8,
+            pos_clip: 30,
+        }
+    }
+
+    /// The paper's exact Table III values (for reference; training at this
+    /// width on CPU is possible but slow).
+    pub fn paper() -> Self {
+        HyperParams {
+            entity_dim: 128,
+            type_dim: 20,
+            window: 3,
+            filters: 230,
+            pos_dim: 5,
+            word_dim: 50,
+            gru_hidden: 115,
+            lr: 0.3,
+            max_len: 120,
+            dropout: 0.5,
+            batch_size: 160,
+            epochs: 15,
+            pos_clip: 30,
+        }
+    }
+
+    /// Tiny settings for unit tests and the quickstart example.
+    pub fn tiny() -> Self {
+        HyperParams {
+            entity_dim: 16,
+            type_dim: 4,
+            window: 3,
+            filters: 16,
+            pos_dim: 3,
+            word_dim: 12,
+            gru_hidden: 10,
+            lr: 0.2,
+            max_len: 25,
+            dropout: 0.3,
+            batch_size: 8,
+            epochs: 4,
+            pos_clip: 20,
+        }
+    }
+
+    /// Number of distinct relative-position ids (`2 · pos_clip + 1`).
+    pub fn pos_vocab(&self) -> usize {
+        2 * self.pos_clip + 1
+    }
+
+    /// Rows printed by the Table III bench: `(symbol, description, value)`.
+    pub fn table3_rows(&self) -> Vec<(&'static str, &'static str, String)> {
+        vec![
+            ("ke", "Embedding vector size", self.entity_dim.to_string()),
+            ("kt", "Entity type embedding size", self.type_dim.to_string()),
+            ("l", "Window size", self.window.to_string()),
+            ("k", "CNN filters number", self.filters.to_string()),
+            ("kp", "POS embedding dimension", self.pos_dim.to_string()),
+            ("kw", "Word embedding dimension", self.word_dim.to_string()),
+            ("lr", "Learning rate", format!("{}", self.lr)),
+            ("len", "Sentence max length", self.max_len.to_string()),
+            ("p", "Dropout probability", format!("{}", self.dropout)),
+            ("n", "Batch size", self.batch_size.to_string()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table3() {
+        let p = HyperParams::paper();
+        assert_eq!(p.entity_dim, 128);
+        assert_eq!(p.type_dim, 20);
+        assert_eq!(p.window, 3);
+        assert_eq!(p.filters, 230);
+        assert_eq!(p.pos_dim, 5);
+        assert_eq!(p.word_dim, 50);
+        assert!((p.lr - 0.3).abs() < 1e-6);
+        assert_eq!(p.max_len, 120);
+        assert!((p.dropout - 0.5).abs() < 1e-6);
+        assert_eq!(p.batch_size, 160);
+    }
+
+    #[test]
+    fn pos_vocab_is_odd() {
+        assert_eq!(HyperParams::scaled().pos_vocab() % 2, 1);
+    }
+
+    #[test]
+    fn table3_has_ten_rows() {
+        assert_eq!(HyperParams::paper().table3_rows().len(), 10);
+    }
+}

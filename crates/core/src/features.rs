@@ -1,0 +1,126 @@
+//! Sentence featurisation: token ids plus the two relative-position id
+//! sequences every encoder in the paper consumes.
+
+use imre_corpus::EncodedSentence;
+
+/// A sentence prepared for an encoder: token ids and, per token, its clipped
+/// relative position to the head and tail entities (offset to be a valid
+/// embedding row).
+#[derive(Debug, Clone)]
+pub struct SentenceFeatures {
+    /// Token ids, truncated to the configured maximum length.
+    pub tokens: Vec<usize>,
+    /// Relative-position id w.r.t. the head entity, in `0..2·clip+1`.
+    pub head_offsets: Vec<usize>,
+    /// Relative-position id w.r.t. the tail entity, in `0..2·clip+1`.
+    pub tail_offsets: Vec<usize>,
+    /// Head entity token index after truncation.
+    pub head_pos: usize,
+    /// Tail entity token index after truncation.
+    pub tail_pos: usize,
+}
+
+/// Converts a corpus sentence into encoder features.
+///
+/// Sentences longer than `max_len` are truncated to a window that contains
+/// both entity mentions (sliding the window start just enough); relative
+/// positions are clipped to `±clip` and shifted by `clip` to index an
+/// embedding table of `2·clip + 1` rows.
+pub fn featurize(sentence: &EncodedSentence, max_len: usize, clip: usize) -> SentenceFeatures {
+    let len = sentence.tokens.len();
+    let (start, end) = if len <= max_len {
+        (0, len)
+    } else {
+        // choose a window covering both entities
+        let lo_ent = sentence.head_pos.min(sentence.tail_pos);
+        let hi_ent = sentence.head_pos.max(sentence.tail_pos);
+        let start = lo_ent.min(len - max_len).min(hi_ent.saturating_sub(max_len - 1));
+        (start, (start + max_len).min(len))
+    };
+    let tokens: Vec<usize> = sentence.tokens[start..end].to_vec();
+    let head_pos = sentence.head_pos.saturating_sub(start).min(tokens.len() - 1);
+    let tail_pos = sentence.tail_pos.saturating_sub(start).min(tokens.len() - 1);
+
+    let offset = |i: usize, anchor: usize| -> usize {
+        let rel = i as isize - anchor as isize;
+        let clipped = rel.clamp(-(clip as isize), clip as isize);
+        (clipped + clip as isize) as usize
+    };
+    let head_offsets = (0..tokens.len()).map(|i| offset(i, head_pos)).collect();
+    let tail_offsets = (0..tokens.len()).map(|i| offset(i, tail_pos)).collect();
+
+    SentenceFeatures { tokens, head_offsets, tail_offsets, head_pos, tail_pos }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sentence(tokens: Vec<usize>, head: usize, tail: usize) -> EncodedSentence {
+        EncodedSentence { tokens, head_pos: head, tail_pos: tail, expresses_relation: true }
+    }
+
+    #[test]
+    fn short_sentence_untouched() {
+        let s = sentence(vec![5, 6, 7, 8], 1, 3);
+        let f = featurize(&s, 10, 5);
+        assert_eq!(f.tokens, vec![5, 6, 7, 8]);
+        assert_eq!(f.head_pos, 1);
+        assert_eq!(f.tail_pos, 3);
+    }
+
+    #[test]
+    fn offsets_centered_at_entities() {
+        let s = sentence(vec![0, 1, 2, 3, 4], 2, 4);
+        let f = featurize(&s, 10, 5);
+        // token 0 is 2 left of head → −2 + 5 = 3
+        assert_eq!(f.head_offsets, vec![3, 4, 5, 6, 7]);
+        assert_eq!(f.tail_offsets, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn offsets_clip_at_bounds() {
+        let s = sentence((0..20).collect(), 0, 19);
+        let f = featurize(&s, 30, 4);
+        assert_eq!(f.head_offsets[0], 4); // rel 0
+        assert_eq!(*f.head_offsets.last().unwrap(), 8); // rel 19 clipped to +4
+        assert_eq!(f.tail_offsets[0], 0); // rel −19 clipped to −4
+    }
+
+    #[test]
+    fn truncation_keeps_entities_visible() {
+        let mut tokens: Vec<usize> = (0..50).collect();
+        tokens[20] = 999;
+        tokens[28] = 888;
+        let s = sentence(tokens, 20, 28);
+        let f = featurize(&s, 12, 5);
+        assert_eq!(f.tokens.len(), 12);
+        assert_eq!(f.tokens[f.head_pos], 999, "head token must survive truncation");
+        assert_eq!(f.tokens[f.tail_pos], 888, "tail token must survive truncation");
+    }
+
+    #[test]
+    fn truncation_entities_at_extremes() {
+        // entities further apart than max_len: window must still keep
+        // positions in range (clamped), never panic
+        let s = sentence((0..40).collect(), 0, 39);
+        let f = featurize(&s, 10, 5);
+        assert_eq!(f.tokens.len(), 10);
+        assert!(f.head_pos < 10 && f.tail_pos < 10);
+    }
+
+    #[test]
+    fn position_ids_always_in_embedding_range() {
+        for len in 1..25 {
+            for h in 0..len {
+                for t in 0..len {
+                    let s = sentence((0..len).collect(), h, t);
+                    let f = featurize(&s, 15, 6);
+                    let bound = 2 * 6 + 1;
+                    assert!(f.head_offsets.iter().all(|&o| o < bound));
+                    assert!(f.tail_offsets.iter().all(|&o| o < bound));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! The unified relation-extraction model (paper Figure 2).
+//!
+//! A [`ReModel`] is assembled from a [`ModelSpec`]: a sentence encoder
+//! (CNN / PCNN / bi-GRU), a bag aggregator (mean or selective attention,
+//! optionally with BGWA's word-level attention), and — for the `PA-*`
+//! variants — the entity-type and implicit-mutual-relation components fused
+//! by the learned combiner. Every system row of the paper's Table IV and
+//! Figure 5 is one `ModelSpec`.
+
+use crate::attention::{mean_aggregate, AggKind, SelectiveAttention, WordAttention};
+use crate::components::{Combiner, MrComponent, TypeComponent};
+use crate::config::HyperParams;
+use crate::encoder::{Encoder, EncoderKind};
+use crate::features::{featurize, SentenceFeatures};
+use imre_corpus::{Bag, World};
+use imre_graph::EntityEmbedding;
+use imre_nn::{GradStore, Linear, ParamStore, Tape, Var};
+use imre_tensor::TensorRng;
+
+/// Declarative description of a model variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Sentence encoder architecture.
+    pub encoder: EncoderKind,
+    /// Bag aggregation strategy.
+    pub agg: AggKind,
+    /// Word-level attention inside each sentence (BGWA).
+    pub word_att: bool,
+    /// Include the entity-type component (`…-T`).
+    pub use_type: bool,
+    /// Include the implicit-mutual-relation component (`…-MR`).
+    pub use_mr: bool,
+}
+
+impl ModelSpec {
+    /// Plain PCNN (Zeng 2015): piecewise CNN, mean aggregation.
+    pub fn pcnn() -> Self {
+        ModelSpec { encoder: EncoderKind::Pcnn, agg: AggKind::Mean, word_att: false, use_type: false, use_mr: false }
+    }
+
+    /// PCNN + selective attention (Lin 2016) — the paper's base model.
+    pub fn pcnn_att() -> Self {
+        ModelSpec { agg: AggKind::Att, ..Self::pcnn() }
+    }
+
+    /// CNN + selective attention.
+    pub fn cnn_att() -> Self {
+        ModelSpec { encoder: EncoderKind::Cnn, ..Self::pcnn_att() }
+    }
+
+    /// Bi-GRU + selective attention.
+    pub fn gru_att() -> Self {
+        ModelSpec { encoder: EncoderKind::Gru, ..Self::pcnn_att() }
+    }
+
+    /// BGWA (Jat 2018): bi-GRU with word- and sentence-level attention.
+    pub fn bgwa() -> Self {
+        ModelSpec { encoder: EncoderKind::Gru, agg: AggKind::Att, word_att: true, use_type: false, use_mr: false }
+    }
+
+    /// PA-T: PCNN+ATT with the entity-type component.
+    pub fn pa_t() -> Self {
+        ModelSpec { use_type: true, ..Self::pcnn_att() }
+    }
+
+    /// PA-MR: PCNN+ATT with the implicit-mutual-relation component.
+    pub fn pa_mr() -> Self {
+        ModelSpec { use_mr: true, ..Self::pcnn_att() }
+    }
+
+    /// PA-TMR: the paper's full model.
+    pub fn pa_tmr() -> Self {
+        ModelSpec { use_type: true, use_mr: true, ..Self::pcnn_att() }
+    }
+
+    /// Adds both entity-information components to any base spec (the
+    /// Figure 5 `X → X+TMR` transformation).
+    pub fn with_tmr(self) -> Self {
+        ModelSpec { use_type: true, use_mr: true, ..self }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        if *self == Self::pa_tmr() {
+            return "PA-TMR".to_string();
+        }
+        if *self == Self::pa_t() {
+            return "PA-T".to_string();
+        }
+        if *self == Self::pa_mr() {
+            return "PA-MR".to_string();
+        }
+        if *self == Self::bgwa() {
+            return "BGWA".to_string();
+        }
+        let mut name = self.encoder.name().to_string();
+        if self.word_att {
+            name.push_str("+WATT");
+        }
+        if self.agg == AggKind::Att {
+            name.push_str("+ATT");
+        }
+        match (self.use_type, self.use_mr) {
+            (true, true) => name.push_str("+TMR"),
+            (true, false) => name.push_str("+T"),
+            (false, true) => name.push_str("+MR"),
+            (false, false) => {}
+        }
+        name
+    }
+}
+
+/// A featurised bag ready for training/evaluation.
+#[derive(Debug, Clone)]
+pub struct PreparedBag {
+    /// Head entity id.
+    pub head: usize,
+    /// Tail entity id.
+    pub tail: usize,
+    /// Gold (distant-supervision) relation index.
+    pub label: usize,
+    /// Featurised sentences.
+    pub sentences: Vec<SentenceFeatures>,
+}
+
+/// Featurises a corpus split once, up front.
+pub fn prepare_bags(bags: &[Bag], hp: &HyperParams) -> Vec<PreparedBag> {
+    bags.iter()
+        .map(|b| PreparedBag {
+            head: b.head.0,
+            tail: b.tail.0,
+            label: b.label.0,
+            sentences: b.sentences.iter().map(|s| featurize(s, hp.max_len, hp.pos_clip)).collect(),
+        })
+        .collect()
+}
+
+/// Per-entity coarse-type id lists, extracted from the world model.
+pub fn entity_type_table(world: &World) -> Vec<Vec<usize>> {
+    world.entities.iter().map(|e| e.types.iter().map(|t| t.0).collect()).collect()
+}
+
+/// Side information a model may consume at forward time.
+pub struct BagContext<'a> {
+    /// LINE entity embeddings (required when `use_mr`).
+    pub entity_embedding: Option<&'a EntityEmbedding>,
+    /// Per-entity type ids (required when `use_type`).
+    pub entity_types: &'a [Vec<usize>],
+}
+
+/// An instantiated relation-extraction model with its parameters.
+pub struct ReModel {
+    /// The variant this model implements.
+    pub spec: ModelSpec,
+    /// Hyperparameters the model was built with.
+    pub hp: HyperParams,
+    /// Trainable parameters.
+    pub store: ParamStore,
+    /// Gradient buffers.
+    pub grads: GradStore,
+    encoder: Encoder,
+    word_att: Option<WordAttention>,
+    att: Option<SelectiveAttention>,
+    re_head: Linear,
+    mr: Option<MrComponent>,
+    ty: Option<TypeComponent>,
+    combiner: Option<Combiner>,
+    num_relations: usize,
+    vocab_size: usize,
+    num_types: usize,
+    entity_dim: usize,
+}
+
+impl ReModel {
+    /// Builds a model for a dataset with `vocab_size` tokens,
+    /// `num_relations` labels and `num_types` coarse entity types.
+    /// `entity_dim` is the width of the LINE embeddings fed to the MR
+    /// component (ignored unless `spec.use_mr`).
+    pub fn new(
+        spec: ModelSpec,
+        hp: &HyperParams,
+        vocab_size: usize,
+        num_relations: usize,
+        num_types: usize,
+        entity_dim: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = TensorRng::seed(seed);
+        let mut store = ParamStore::new();
+        let encoder = Encoder::new(spec.encoder, &mut store, "enc", vocab_size, hp, &mut rng);
+        let sent_dim = if spec.word_att { encoder.token_dim() } else { encoder.out_dim() };
+        let word_att = spec
+            .word_att
+            .then(|| WordAttention::new(&mut store, "watt", encoder.token_dim(), &mut rng));
+        let att = (spec.agg == AggKind::Att)
+            .then(|| SelectiveAttention::new(&mut store, "att", sent_dim, num_relations, &mut rng));
+        let re_head = Linear::new(&mut store, "re_head", sent_dim, num_relations, &mut rng);
+        let mr = spec
+            .use_mr
+            .then(|| MrComponent::new(&mut store, "mr", entity_dim, num_relations, &mut rng));
+        let ty = spec
+            .use_type
+            .then(|| TypeComponent::new(&mut store, "ty", num_types, hp.type_dim, num_relations, &mut rng));
+        let combiner = (spec.use_mr || spec.use_type).then(|| Combiner::new(&mut store, "comb", num_relations, &mut rng));
+        let grads = GradStore::zeros_like(&store);
+        ReModel {
+            spec,
+            hp: hp.clone(),
+            store,
+            grads,
+            encoder,
+            word_att,
+            att,
+            re_head,
+            mr,
+            ty,
+            combiner,
+            num_relations,
+            vocab_size,
+            num_types,
+            entity_dim,
+        }
+    }
+
+    /// The vocabulary size the model was built for.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The number of coarse entity types the model was built for.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// The entity-embedding width the MR component expects.
+    pub fn entity_dim(&self) -> usize {
+        self.entity_dim
+    }
+
+    /// Number of relation labels.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Encodes one sentence (dispatching on the BGWA word-attention flag).
+    fn encode_sentence(&self, tape: &mut Tape, feats: &SentenceFeatures, training: bool, rng: &mut TensorRng) -> Var {
+        match &self.word_att {
+            None => self.encoder.encode(tape, feats, training, rng),
+            Some(wa) => {
+                let states = self.encoder.token_states(tape, feats);
+                let pooled = wa.pool(tape, states);
+                tape.tanh(pooled)
+            }
+        }
+    }
+
+    /// Stacks all sentence encodings of a bag into `[n, sent_dim]`.
+    fn bag_matrix(&self, tape: &mut Tape, bag: &PreparedBag, training: bool, rng: &mut TensorRng) -> Var {
+        let rows: Vec<Var> = bag
+            .sentences
+            .iter()
+            .map(|s| self.encode_sentence(tape, s, training, rng))
+            .collect();
+        tape.stack_rows(&rows)
+    }
+
+    /// Pre-softmax component scores for a pair.
+    fn side_logits(&self, tape: &mut Tape, bag: &PreparedBag, ctx: &BagContext) -> (Option<Var>, Option<Var>) {
+        let mr_logits = self.mr.as_ref().map(|mr| {
+            let emb = ctx
+                .entity_embedding
+                .expect("spec.use_mr requires BagContext::entity_embedding");
+            mr.logits(tape, emb.mutual_relation(bag.head, bag.tail))
+        });
+        let t_logits = self.ty.as_ref().map(|ty| {
+            ty.logits(tape, &ctx.entity_types[bag.head], &ctx.entity_types[bag.tail])
+        });
+        (mr_logits, t_logits)
+    }
+
+    /// Component confidences for a pair (shared by train and predict paths).
+    fn side_confidences(&self, tape: &mut Tape, bag: &PreparedBag, ctx: &BagContext) -> (Option<Var>, Option<Var>) {
+        let (mr_logits, t_logits) = self.side_logits(tape, bag, ctx);
+        (mr_logits.map(|l| tape.softmax(l)), t_logits.map(|l| tape.softmax(l)))
+    }
+
+    /// Computes the training loss for one bag and accumulates gradients
+    /// (scaled by `scale`, typically `1 / batch_size`). Returns the loss.
+    pub fn bag_loss_and_backward(&mut self, bag: &PreparedBag, ctx: &BagContext, scale: f32, rng: &mut TensorRng) -> f32 {
+        // Split borrows: the tape reads `store` (a precise field loan),
+        // backward writes `grads`.
+        let store = &self.store;
+        let mut tape = Tape::new(store);
+
+        let xs = self.bag_matrix(&mut tape, bag, true, rng);
+        let bag_vec = match &self.att {
+            Some(att) => att.aggregate(&mut tape, xs, bag.label),
+            None => mean_aggregate(&mut tape, xs),
+        };
+        let re_logits = self.re_head.forward_vec(&mut tape, bag_vec);
+
+        let loss = match &self.combiner {
+            None => tape.softmax_cross_entropy(re_logits, bag.label),
+            Some(comb) => {
+                let re_soft = tape.softmax(re_logits);
+                let (mr_logits, t_logits) = self.side_logits(&mut tape, bag, ctx);
+                let c_mr = mr_logits.map(|l| tape.softmax(l));
+                let c_t = t_logits.map(|l| tape.softmax(l));
+                let logits = comb.combine(&mut tape, c_mr, c_t, re_soft);
+                // Deep supervision: auxiliary cross-entropy on each
+                // component's own logits (weight 0.5). The combined head
+                // (the paper's P(r)) stays the only prediction path; the
+                // auxiliary terms keep gradients flowing through the softmax
+                // bottleneck — without the RE term the encoder starves and
+                // the model collapses to always-NA, and ablations showed the
+                // side-component terms also help PA-TMR (DESIGN.md §4b.2).
+                let mut loss = tape.softmax_cross_entropy(logits, bag.label);
+                for aux_logits in [Some(re_logits), mr_logits, t_logits].into_iter().flatten() {
+                    let aux = tape.softmax_cross_entropy(aux_logits, bag.label);
+                    let scaled = tape.scale(aux, 0.5);
+                    loss = tape.add(loss, scaled);
+                }
+                loss
+            }
+        };
+        let loss_val = tape.value(loss).data()[0];
+        tape.backward_scaled(loss, scale, &mut self.grads);
+        loss_val
+    }
+
+    /// Loads pretrained word embeddings (e.g. skip-gram vectors from
+    /// [`crate::pretrain`]) into the encoder's word table. The table is
+    /// still fine-tuned during training, as in the paper's stack.
+    ///
+    /// # Panics
+    /// If the matrix shape differs from `[vocab_size, word_dim]`.
+    pub fn set_word_embeddings(&mut self, matrix: imre_tensor::Tensor) {
+        self.store.set(self.encoder.frontend().word_emb_id(), matrix);
+    }
+
+    /// Sentence-vector width (the encoder output the heads consume).
+    pub fn sent_dim(&self) -> usize {
+        if self.spec.word_att {
+            self.encoder.token_dim()
+        } else {
+            self.encoder.out_dim()
+        }
+    }
+
+    /// Eval-mode encodings of every sentence in a bag (used by the CNN+RL
+    /// instance selector, which scores sentences outside the tape).
+    pub fn sentence_encodings(&self, bag: &PreparedBag) -> Vec<Vec<f32>> {
+        let mut rng = TensorRng::seed(0);
+        let mut tape = Tape::new(&self.store);
+        bag.sentences
+            .iter()
+            .map(|s| {
+                let v = self.encode_sentence(&mut tape, s, false, &mut rng);
+                tape.value(v).data().to_vec()
+            })
+            .collect()
+    }
+
+    /// Predicts the per-relation probability vector for a bag (eval mode).
+    ///
+    /// With selective attention, each candidate relation queries its own bag
+    /// representation and contributes its diagonal softmax score (Lin et
+    /// al.'s held-out protocol); the `PA-*` variants then pass that score
+    /// vector through the combiner with the side confidences.
+    pub fn predict(&self, bag: &PreparedBag, ctx: &BagContext) -> Vec<f32> {
+        let mut rng = TensorRng::seed(0); // eval mode: dropout disabled, rng unused
+        let mut tape = Tape::new(&self.store);
+        let xs = self.bag_matrix(&mut tape, bag, false, &mut rng);
+
+        let re_scores: Vec<f32> = match &self.att {
+            None => {
+                let bag_vec = mean_aggregate(&mut tape, xs);
+                let logits = self.re_head.forward_vec(&mut tape, bag_vec);
+                let probs = tape.softmax(logits);
+                tape.value(probs).data().to_vec()
+            }
+            Some(att) => (0..self.num_relations)
+                .map(|r| {
+                    let bag_vec = att.aggregate(&mut tape, xs, r);
+                    let logits = self.re_head.forward_vec(&mut tape, bag_vec);
+                    let probs = tape.softmax(logits);
+                    tape.value(probs).data()[r]
+                })
+                .collect(),
+        };
+
+        match &self.combiner {
+            None => re_scores,
+            Some(comb) => {
+                let re = tape.leaf(imre_tensor::Tensor::from_vec(re_scores, &[self.num_relations]));
+                let (c_mr, c_t) = self.side_confidences(&mut tape, bag, ctx);
+                let logits = comb.combine(&mut tape, c_mr, c_t, re);
+                let probs = tape.softmax(logits);
+                tape.value(probs).data().to_vec()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_names_match_paper() {
+        assert_eq!(ModelSpec::pcnn().name(), "PCNN");
+        assert_eq!(ModelSpec::pcnn_att().name(), "PCNN+ATT");
+        assert_eq!(ModelSpec::cnn_att().name(), "CNN+ATT");
+        assert_eq!(ModelSpec::gru_att().name(), "GRU+ATT");
+        assert_eq!(ModelSpec::bgwa().name(), "BGWA");
+        assert_eq!(ModelSpec::pa_t().name(), "PA-T");
+        assert_eq!(ModelSpec::pa_mr().name(), "PA-MR");
+        assert_eq!(ModelSpec::pa_tmr().name(), "PA-TMR");
+        assert_eq!(ModelSpec::gru_att().with_tmr().name(), "GRU+ATT+TMR");
+        assert_eq!(ModelSpec::pcnn().with_tmr().name(), "PCNN+TMR");
+    }
+
+    #[test]
+    fn tmr_composition() {
+        let spec = ModelSpec::pcnn_att().with_tmr();
+        assert_eq!(spec, ModelSpec::pa_tmr());
+    }
+
+    fn toy_bag(label: usize) -> PreparedBag {
+        let sentence = |tokens: Vec<usize>| SentenceFeatures {
+            head_offsets: (0..tokens.len()).map(|i| i.min(8)).collect(),
+            tail_offsets: (0..tokens.len()).map(|i| (i + 1).min(8)).collect(),
+            head_pos: 1,
+            tail_pos: 3,
+            tokens,
+        };
+        PreparedBag { head: 0, tail: 1, label, sentences: vec![sentence(vec![2, 3, 4, 5, 6]), sentence(vec![4, 5, 6, 7, 2])] }
+    }
+
+    fn toy_types() -> Vec<Vec<usize>> {
+        vec![vec![0], vec![1]]
+    }
+
+    fn tiny_hp() -> HyperParams {
+        let mut hp = HyperParams::tiny();
+        hp.pos_clip = 4; // matches toy offsets < 10
+        hp
+    }
+
+    fn build(spec: ModelSpec) -> ReModel {
+        ReModel::new(spec, &tiny_hp(), 10, 4, 5, 8, 7)
+    }
+
+    fn toy_embedding() -> imre_graph::EntityEmbedding {
+        let mut rng = TensorRng::seed(1);
+        imre_graph::EntityEmbedding::from_matrix(imre_tensor::Tensor::rand_uniform(&[3, 8], -1.0, 1.0, &mut rng))
+    }
+
+    #[test]
+    fn predict_returns_distribution_for_every_spec() {
+        let emb = toy_embedding();
+        let types = toy_types();
+        for spec in [
+            ModelSpec::pcnn(),
+            ModelSpec::pcnn_att(),
+            ModelSpec::cnn_att(),
+            ModelSpec::gru_att(),
+            ModelSpec::bgwa(),
+            ModelSpec::pa_t(),
+            ModelSpec::pa_mr(),
+            ModelSpec::pa_tmr(),
+        ] {
+            let model = build(spec);
+            let ctx = BagContext { entity_embedding: Some(&emb), entity_types: &types };
+            let probs = model.predict(&toy_bag(1), &ctx);
+            assert_eq!(probs.len(), 4, "{}", spec.name());
+            assert!(probs.iter().all(|&p| p.is_finite() && p >= 0.0), "{}", spec.name());
+            // combined and mean paths produce true distributions; the
+            // attention diag path produces scores in (0, 1]
+            assert!(probs.iter().all(|&p| p <= 1.0), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_bag() {
+        let emb = toy_embedding();
+        let types = toy_types();
+        let mut model = build(ModelSpec::pa_tmr());
+        let ctx = BagContext { entity_embedding: Some(&emb), entity_types: &types };
+        let bag = toy_bag(2);
+        let mut rng = TensorRng::seed(9);
+        let sgd = imre_nn::Sgd::new(0.2).with_clip_norm(5.0);
+        let mut losses = Vec::new();
+        for _ in 0..25 {
+            let loss = model.bag_loss_and_backward(&bag, &ctx, 1.0, &mut rng);
+            losses.push(loss);
+            sgd.step(&mut model.store, &mut model.grads);
+        }
+        assert!(
+            losses[24] < losses[0] * 0.7,
+            "loss should shrink: {} → {}",
+            losses[0],
+            losses[24]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires")]
+    fn mr_without_embedding_panics() {
+        let types = toy_types();
+        let model = build(ModelSpec::pa_mr());
+        let ctx = BagContext { entity_embedding: None, entity_types: &types };
+        let _ = model.predict(&toy_bag(0), &ctx);
+    }
+
+    #[test]
+    fn prepare_bags_roundtrip() {
+        use imre_corpus::{Dataset, DatasetConfig, SentenceGenConfig, WorldConfig};
+        let ds = Dataset::generate(&DatasetConfig {
+            name: "t".into(),
+            world: WorldConfig { n_relations: 4, entities_per_cluster: 6, facts_per_relation: 8, cluster_reuse_prob: 0.3, seed: 1 },
+            sentence: SentenceGenConfig::default(),
+            train_fraction: 0.7,
+            na_train: 5,
+            na_test: 3,
+            na_hard_fraction: 0.5,
+            zipf_alpha: 2.0,
+            max_sentences_per_bag: 10,
+            seed: 2,
+        });
+        let hp = HyperParams::tiny();
+        let prepared = prepare_bags(&ds.train, &hp);
+        assert_eq!(prepared.len(), ds.train.len());
+        for (p, b) in prepared.iter().zip(&ds.train) {
+            assert_eq!(p.sentences.len(), b.sentences.len());
+            assert_eq!(p.label, b.label.0);
+        }
+        let types = entity_type_table(&ds.world);
+        assert_eq!(types.len(), ds.world.num_entities());
+    }
+}

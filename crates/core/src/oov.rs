@@ -1,0 +1,97 @@
+//! Out-of-vocabulary handling.
+//!
+//! Standard practice in the paper's lineage (Lin et al.'s released code and
+//! successors): the word-embedding vocabulary is built from the *training*
+//! corpus with a minimum-frequency cutoff, and every other token — including
+//! entity mentions that only occur in the test split — maps to a shared
+//! `<unk>` row. Without this, unseen entity tokens inject random untrained
+//! vectors straight into the max-pooling, drowning the lexical signal.
+
+use crate::model::PreparedBag;
+use imre_corpus::UNK;
+use std::collections::HashMap;
+
+/// Counts token frequencies over the training bags, then remaps every token
+/// whose training frequency is below `min_count` to [`UNK`] — in the
+/// training *and* test bags. Returns the number of distinct surviving
+/// tokens (diagnostic).
+pub fn prune_to_train_vocab(train: &mut [PreparedBag], test: &mut [PreparedBag], min_count: usize) -> usize {
+    let mut freq: HashMap<usize, usize> = HashMap::new();
+    for bag in train.iter() {
+        for s in &bag.sentences {
+            for &t in &s.tokens {
+                *freq.entry(t).or_insert(0) += 1;
+            }
+        }
+    }
+    let keep: std::collections::HashSet<usize> = freq
+        .iter()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(&t, _)| t)
+        .collect();
+    let remap = |bags: &mut [PreparedBag]| {
+        for bag in bags.iter_mut() {
+            for s in &mut bag.sentences {
+                for t in &mut s.tokens {
+                    if !keep.contains(t) {
+                        *t = UNK;
+                    }
+                }
+            }
+        }
+    };
+    remap(train);
+    remap(test);
+    keep.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::SentenceFeatures;
+
+    fn bag(tokens: Vec<usize>) -> PreparedBag {
+        PreparedBag {
+            head: 0,
+            tail: 1,
+            label: 1,
+            sentences: vec![SentenceFeatures {
+                head_offsets: vec![0; tokens.len()],
+                tail_offsets: vec![0; tokens.len()],
+                head_pos: 0,
+                tail_pos: tokens.len() - 1,
+                tokens,
+            }],
+        }
+    }
+
+    #[test]
+    fn rare_and_test_only_tokens_become_unk() {
+        let mut train = vec![bag(vec![5, 5, 5, 7]), bag(vec![5, 9, 9])];
+        let mut test = vec![bag(vec![5, 42, 7])];
+        let kept = prune_to_train_vocab(&mut train, &mut test, 2);
+        // 5 occurs 4×, 9 occurs 2× → kept; 7 occurs 1× → UNK; 42 unseen → UNK
+        assert_eq!(kept, 2);
+        assert_eq!(train[0].sentences[0].tokens, vec![5, 5, 5, UNK]);
+        assert_eq!(train[1].sentences[0].tokens, vec![5, 9, 9]);
+        assert_eq!(test[0].sentences[0].tokens, vec![5, UNK, UNK]);
+    }
+
+    #[test]
+    fn min_count_one_keeps_all_train_tokens() {
+        let mut train = vec![bag(vec![3, 4])];
+        let mut test = vec![bag(vec![3, 4, 99])];
+        prune_to_train_vocab(&mut train, &mut test, 1);
+        assert_eq!(train[0].sentences[0].tokens, vec![3, 4]);
+        assert_eq!(test[0].sentences[0].tokens, vec![3, 4, UNK]);
+    }
+
+    #[test]
+    fn positions_untouched() {
+        let mut train = vec![bag(vec![1, 2, 3])];
+        let head_pos = train[0].sentences[0].head_pos;
+        prune_to_train_vocab(&mut train, &mut [], 10);
+        assert_eq!(train[0].sentences[0].head_pos, head_pos);
+        assert_eq!(train[0].sentences[0].tokens, vec![UNK, UNK, UNK]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Skip-gram word-embedding pretraining (word2vec; Mikolov et al. 2013).
+//!
+//! The paper's stack — like every NYT-corpus relation extractor since Lin
+//! et al. — initialises its word embeddings from word2vec vectors trained
+//! on the raw corpus text. That pretraining is unsupervised and sees the
+//! *text* of every split (labels are never used), which is what lets the
+//! encoders handle entity mentions that never occur in the labelled
+//! training pairs. This module is the equivalent substrate: negative-
+//! sampling skip-gram over tokenised sentences, reusing the alias sampler
+//! from `imre-graph`.
+
+use imre_graph::AliasTable;
+use imre_tensor::{sigmoid_scalar, Tensor, TensorRng};
+
+/// Skip-gram hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SkipGramConfig {
+    /// Embedding width (`k_w`).
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linear decay).
+    pub lr: f32,
+    /// Frequent-word subsampling threshold `t` (word2vec's `-sample`):
+    /// a token with corpus frequency `f` is kept with probability
+    /// `sqrt(t/f) + t/f`. Without it, uniformly-distributed frequent words
+    /// dominate the positive pairs and all vectors collapse onto one
+    /// direction. Set to 1.0 to disable.
+    pub subsample: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig { dim: 32, window: 3, negatives: 5, epochs: 5, lr: 0.05, subsample: 1e-3, seed: 73 }
+    }
+}
+
+/// Trains skip-gram embeddings over tokenised sentences.
+///
+/// Returns a `[vocab_size, dim]` matrix; tokens that never occur keep small
+/// random vectors. The noise distribution is the standard unigram^{3/4}.
+///
+/// # Panics
+/// If `vocab_size == 0` or no sentence has at least two tokens.
+pub fn train_skipgram(sentences: &[Vec<usize>], vocab_size: usize, config: &SkipGramConfig) -> Tensor {
+    assert!(vocab_size > 0, "train_skipgram: empty vocabulary");
+    let mut rng = TensorRng::seed(config.seed);
+    let bound = 0.5 / config.dim as f32;
+    let mut vectors = Tensor::rand_uniform(&[vocab_size, config.dim], -bound, bound, &mut rng);
+    let mut contexts = Tensor::zeros(&[vocab_size, config.dim]);
+
+    // unigram^{3/4} noise distribution
+    let mut counts = vec![0.0f32; vocab_size];
+    let mut total_tokens = 0usize;
+    for s in sentences {
+        for &t in s {
+            assert!(t < vocab_size, "train_skipgram: token {t} outside vocab of {vocab_size}");
+            counts[t] += 1.0;
+            total_tokens += 1;
+        }
+    }
+    assert!(
+        sentences.iter().any(|s| s.len() >= 2),
+        "train_skipgram: no sentence with at least two tokens"
+    );
+    // keep-probability per token under frequent-word subsampling
+    let keep_prob: Vec<f32> = counts
+        .iter()
+        .map(|&c| {
+            if c == 0.0 || config.subsample >= 1.0 {
+                return 1.0;
+            }
+            let f = c / total_tokens as f32;
+            ((config.subsample / f).sqrt() + config.subsample / f).min(1.0)
+        })
+        .collect();
+    for c in &mut counts {
+        *c = c.powf(0.75);
+    }
+    let noise = AliasTable::new(&counts);
+
+    let dim = config.dim;
+    let total_steps = (total_tokens * config.epochs).max(1);
+    let mut step = 0usize;
+    let mut kept: Vec<usize> = Vec::new();
+    for _ in 0..config.epochs {
+        for s in sentences {
+            // subsample the sentence, then slide windows over what remains
+            kept.clear();
+            kept.extend(s.iter().copied().filter(|&t| rng.f32() < keep_prob[t]));
+            for (center_idx, &center) in kept.iter().enumerate() {
+                let lr = (config.lr * (1.0 - step as f32 / total_steps as f32)).max(config.lr * 1e-3);
+                step += 1;
+                let lo = center_idx.saturating_sub(config.window);
+                let hi = (center_idx + config.window + 1).min(kept.len());
+                for (ctx_idx, &ctx) in kept.iter().enumerate().take(hi).skip(lo) {
+                    if ctx_idx == center_idx {
+                        continue;
+                    }
+                    sgd_update(&mut vectors, &mut contexts, center, ctx, true, lr, dim);
+                    for _ in 0..config.negatives {
+                        let neg = noise.sample(&mut rng);
+                        if neg != ctx {
+                            sgd_update(&mut vectors, &mut contexts, center, neg, false, lr, dim);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Remove the shared mean direction ("all-but-the-top" postprocessing):
+    // any residual common component carries no distributional information.
+    let mean = vectors.mean_rows();
+    for r in 0..vocab_size {
+        for (v, &m) in vectors.row_mut(r).iter_mut().zip(mean.data()) {
+            *v -= m;
+        }
+    }
+    vectors
+}
+
+fn sgd_update(vectors: &mut Tensor, contexts: &mut Tensor, center: usize, target: usize, positive: bool, lr: f32, dim: usize) {
+    let v = &mut vectors.data_mut()[center * dim..(center + 1) * dim];
+    let c = &mut contexts.data_mut()[target * dim..(target + 1) * dim];
+    let x: f32 = v.iter().zip(c.iter()).map(|(&a, &b)| a * b).sum();
+    let label = if positive { 1.0 } else { 0.0 };
+    let g = lr * (label - sigmoid_scalar(x));
+    for i in 0..dim {
+        let dv = g * c[i];
+        let dc = g * v[i];
+        v[i] += dv;
+        c[i] += dc;
+    }
+}
+
+/// Collects the raw token sequences of corpus bags (train and/or test) for
+/// pretraining. Only the *text* is read — labels never enter.
+pub fn corpus_sentences(bag_sets: &[&[imre_corpus::Bag]]) -> Vec<Vec<usize>> {
+    bag_sets
+        .iter()
+        .flat_map(|bags| bags.iter())
+        .flat_map(|b| b.sentences.iter())
+        .map(|s| s.tokens.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic corpus with two topic groups: tokens 1–4 co-occur, tokens
+    /// 5–8 co-occur, token 0 is background noise.
+    fn topic_corpus(rng: &mut TensorRng) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for _ in 0..600 {
+            let base = if rng.bernoulli(0.5) { 1 } else { 5 };
+            let mut s = Vec::new();
+            for _ in 0..8 {
+                let t = if rng.bernoulli(0.15) { 0 } else { base + rng.below(4) };
+                s.push(t);
+            }
+            out.push(s);
+        }
+        out
+    }
+
+    #[test]
+    fn same_topic_tokens_cluster() {
+        let mut rng = TensorRng::seed(1);
+        let corpus = topic_corpus(&mut rng);
+        let emb = train_skipgram(&corpus, 9, &SkipGramConfig { dim: 16, epochs: 4, ..Default::default() });
+        let vec_of = |t: usize| Tensor::from_vec(emb.row(t).to_vec(), &[16]);
+        let intra = vec_of(1).cosine(&vec_of(2));
+        let inter = vec_of(1).cosine(&vec_of(6));
+        assert!(
+            intra > inter + 0.2,
+            "topic structure not learned: intra {intra} inter {inter}"
+        );
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let corpus = vec![vec![0, 1, 2], vec![2, 1, 0]];
+        let cfg = SkipGramConfig { dim: 8, epochs: 1, ..Default::default() };
+        let a = train_skipgram(&corpus, 5, &cfg);
+        let b = train_skipgram(&corpus, 5, &cfg);
+        assert_eq!(a.shape(), &[5, 8]);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn unused_tokens_keep_small_init() {
+        let corpus = vec![vec![0, 1], vec![1, 0]];
+        let emb = train_skipgram(&corpus, 4, &SkipGramConfig { dim: 8, epochs: 2, ..Default::default() });
+        let unused_norm: f32 = emb.row(3).iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!(unused_norm < 0.5, "unused token norm {unused_norm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocab")]
+    fn oob_token_panics() {
+        let _ = train_skipgram(&[vec![9, 1]], 5, &SkipGramConfig::default());
+    }
+}

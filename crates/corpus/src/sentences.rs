@@ -1,0 +1,201 @@
+//! Distant-supervision sentence generation.
+//!
+//! Each knowledge-graph fact spawns a *bag* of sentences mentioning its
+//! entity pair. A sentence either **expresses** the relation (it contains
+//! trigger words of the relation's schema) or is **noise** (the entities
+//! merely co-occur — the distant-supervision false-positive the paper's
+//! attention machinery exists to down-weight). The per-sentence noise
+//! probability is a dataset knob: NYT-sim is noisier than GDS-sim.
+
+use crate::templates::{RelationSchema, GENERIC_WORDS, NOISE_CONNECTORS};
+use crate::vocab::Vocab;
+use crate::world::{EntityId, World};
+use imre_tensor::TensorRng;
+
+/// One tokenised training/test sentence with entity positions.
+#[derive(Debug, Clone)]
+pub struct EncodedSentence {
+    /// Token ids (no padding; encoders pad/truncate as needed).
+    pub tokens: Vec<usize>,
+    /// Index of the head entity's token.
+    pub head_pos: usize,
+    /// Index of the tail entity's token.
+    pub tail_pos: usize,
+    /// Whether the generator made this sentence express the relation
+    /// (ground-truth provenance; models never see this — it exists for
+    /// noise-sensitivity experiments and tests).
+    pub expresses_relation: bool,
+}
+
+/// Sentence-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SentenceGenConfig {
+    /// Probability a generated sentence is noise (does not express the
+    /// relation) even though distant supervision labels the bag with it.
+    pub noise_prob: f32,
+    /// Minimum sentence length in tokens.
+    pub min_len: usize,
+    /// Maximum sentence length in tokens.
+    pub max_len: usize,
+}
+
+impl Default for SentenceGenConfig {
+    fn default() -> Self {
+        SentenceGenConfig { noise_prob: 0.3, min_len: 8, max_len: 24 }
+    }
+}
+
+/// Generates one sentence for `(head, tail)` under `schema`.
+///
+/// If `schema` is `None` (an `NA` pair) or the noise coin fires, the sentence
+/// is a co-occurrence-only noise sentence.
+pub fn generate_sentence(
+    world: &World,
+    vocab: &mut Vocab,
+    head: EntityId,
+    tail: EntityId,
+    schema: Option<&RelationSchema>,
+    config: &SentenceGenConfig,
+    rng: &mut TensorRng,
+) -> EncodedSentence {
+    let express = match schema {
+        Some(s) if !s.triggers.is_empty() => !rng.bernoulli(config.noise_prob),
+        _ => false,
+    };
+    let len = config.min_len + rng.below(config.max_len - config.min_len + 1);
+
+    // Build a word sequence of `len` slots; place head/tail at random
+    // distinct positions (ordering varies like real text), fill the rest
+    // with generic words, then overwrite 1–2 slots near the entities with
+    // trigger words when the sentence expresses the relation.
+    let mut words: Vec<String> = (0..len)
+        .map(|_| GENERIC_WORDS[rng.below(GENERIC_WORDS.len())].to_string())
+        .collect();
+
+    let hp = rng.below(len);
+    let mut tp = rng.below(len);
+    while tp == hp {
+        tp = rng.below(len);
+    }
+    words[hp] = world.entities[head.0].name.clone();
+    words[tp] = world.entities[tail.0].name.clone();
+
+    if express {
+        let schema = schema.expect("express implies schema");
+        let n_triggers = 1 + rng.below(2.min(schema.triggers.len()));
+        for _ in 0..n_triggers {
+            let trig = &schema.triggers[rng.below(schema.triggers.len())];
+            // place the trigger adjacent to an entity when space permits
+            let anchor = if rng.bernoulli(0.5) { hp } else { tp };
+            let slot = place_near(anchor, len, hp, tp, rng);
+            if let Some(slot) = slot {
+                words[slot] = trig.clone();
+            }
+        }
+    } else {
+        // noise sentences get a connector verb so they are lexically
+        // distinguishable from relation-expressing ones
+        if let Some(slot) = place_near(hp.min(tp) + (tp.max(hp) - tp.min(hp)) / 2, len, hp, tp, rng) {
+            words[slot] = NOISE_CONNECTORS[rng.below(NOISE_CONNECTORS.len())].to_string();
+        }
+    }
+
+    let tokens: Vec<usize> = words.iter().map(|w| vocab.intern(w)).collect();
+    EncodedSentence { tokens, head_pos: hp, tail_pos: tp, expresses_relation: express }
+}
+
+/// Finds a slot near `anchor` that is neither entity position.
+fn place_near(anchor: usize, len: usize, hp: usize, tp: usize, rng: &mut TensorRng) -> Option<usize> {
+    for _ in 0..8 {
+        let offset = rng.below(5) as isize - 2;
+        let slot = anchor as isize + offset;
+        if slot >= 0 && (slot as usize) < len {
+            let slot = slot as usize;
+            if slot != hp && slot != tp {
+                return Some(slot);
+            }
+        }
+    }
+    (0..len).find(|&s| s != hp && s != tp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn setup() -> (World, Vocab, TensorRng) {
+        let w = World::generate(&WorldConfig {
+            n_relations: 8,
+            entities_per_cluster: 6,
+            facts_per_relation: 10,
+            cluster_reuse_prob: 0.4,
+            seed: 5,
+        });
+        (w, Vocab::new(), TensorRng::seed(11))
+    }
+
+    #[test]
+    fn entities_placed_at_reported_positions() {
+        let (w, mut v, mut rng) = setup();
+        let f = w.facts[0];
+        let schema = w.relations[f.relation.0].clone();
+        for _ in 0..50 {
+            let s = generate_sentence(&w, &mut v, f.head, f.tail, Some(&schema), &SentenceGenConfig::default(), &mut rng);
+            assert_eq!(v.word(s.tokens[s.head_pos]), w.entities[f.head.0].name);
+            assert_eq!(v.word(s.tokens[s.tail_pos]), w.entities[f.tail.0].name);
+            assert_ne!(s.head_pos, s.tail_pos);
+        }
+    }
+
+    #[test]
+    fn length_bounds_respected() {
+        let (w, mut v, mut rng) = setup();
+        let f = w.facts[0];
+        let cfg = SentenceGenConfig { noise_prob: 0.5, min_len: 6, max_len: 12 };
+        for _ in 0..100 {
+            let s = generate_sentence(&w, &mut v, f.head, f.tail, None, &cfg, &mut rng);
+            assert!(s.tokens.len() >= 6 && s.tokens.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn expressing_sentences_contain_a_trigger() {
+        let (w, mut v, mut rng) = setup();
+        let f = w.facts[0];
+        let schema = w.relations[f.relation.0].clone();
+        let cfg = SentenceGenConfig { noise_prob: 0.0, ..Default::default() };
+        for _ in 0..30 {
+            let s = generate_sentence(&w, &mut v, f.head, f.tail, Some(&schema), &cfg, &mut rng);
+            assert!(s.expresses_relation);
+            let has_trigger = s.tokens.iter().any(|&t| schema.triggers.iter().any(|tr| tr == v.word(t)));
+            assert!(has_trigger, "expressing sentence lacks trigger");
+        }
+    }
+
+    #[test]
+    fn noise_rate_matches_config() {
+        let (w, mut v, mut rng) = setup();
+        let f = w.facts[0];
+        let schema = w.relations[f.relation.0].clone();
+        let cfg = SentenceGenConfig { noise_prob: 0.4, ..Default::default() };
+        let n = 2000;
+        let noisy = (0..n)
+            .filter(|_| {
+                !generate_sentence(&w, &mut v, f.head, f.tail, Some(&schema), &cfg, &mut rng).expresses_relation
+            })
+            .count();
+        let rate = noisy as f32 / n as f32;
+        assert!((rate - 0.4).abs() < 0.05, "noise rate {rate}");
+    }
+
+    #[test]
+    fn na_sentences_never_express() {
+        let (w, mut v, mut rng) = setup();
+        let (h, t) = w.sample_na_pair(&mut rng);
+        for _ in 0..20 {
+            let s = generate_sentence(&w, &mut v, h, t, None, &SentenceGenConfig::default(), &mut rng);
+            assert!(!s.expresses_relation);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Coarse entity types.
+//!
+//! The paper uses the 38 first-level types of the FIGER hierarchy (Ling &
+//! Weld 2012) via Freebase alignment. Freebase is unavailable offline, so we
+//! carry the same 38 coarse types as a fixed table and assign them inside the
+//! synthetic world model; relations constrain their argument types against
+//! this table exactly as in the paper.
+
+/// Identifier of a coarse entity type (index into [`COARSE_TYPES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub usize);
+
+/// The 38 first-level FIGER types used by the paper's type component.
+pub const COARSE_TYPES: [&str; 38] = [
+    "person",
+    "location",
+    "organization",
+    "art",
+    "building",
+    "event",
+    "broadcast_program",
+    "body_part",
+    "chemistry",
+    "computer",
+    "disease",
+    "education",
+    "finance",
+    "food",
+    "game",
+    "geography",
+    "god",
+    "government",
+    "internet",
+    "language",
+    "law",
+    "living_thing",
+    "medicine",
+    "metropolitan_transit",
+    "military",
+    "music",
+    "news_agency",
+    "newspaper",
+    "play",
+    "product",
+    "rail",
+    "religion",
+    "software",
+    "time",
+    "title",
+    "train",
+    "transit",
+    "written_work",
+];
+
+/// Number of coarse types (38, the first FIGER hierarchy level).
+pub const NUM_COARSE_TYPES: usize = COARSE_TYPES.len();
+
+impl TypeId {
+    /// The type's human-readable name.
+    pub fn name(self) -> &'static str {
+        COARSE_TYPES[self.0]
+    }
+
+    /// Looks up a type by name.
+    pub fn by_name(name: &str) -> Option<TypeId> {
+        COARSE_TYPES.iter().position(|&n| n == name).map(TypeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_38_types() {
+        assert_eq!(NUM_COARSE_TYPES, 38);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = COARSE_TYPES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 38);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        for i in 0..NUM_COARSE_TYPES {
+            let t = TypeId(i);
+            assert_eq!(TypeId::by_name(t.name()), Some(t));
+        }
+        assert_eq!(TypeId::by_name("not_a_type"), None);
+    }
+}

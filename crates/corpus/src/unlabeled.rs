@@ -1,0 +1,257 @@
+//! The synthetic **unlabeled corpus**: entity co-occurrence counts standing
+//! in for the Wikipedia dump the paper mines.
+//!
+//! The paper's proximity graph consumes only one statistic from Wikipedia —
+//! how often two entities appear in the same sentence. We generate those
+//! counts directly from the world model with three ingredients:
+//!
+//! 1. **Fact pairs co-occur** (entities in a real-world relation are
+//!    mentioned together), with Zipf-distributed counts so some pairs are
+//!    barely covered — feeding the paper's Fig. 6 frequency-quantile study.
+//! 2. **Same-cluster entities share neighbours**: each entity co-occurs with
+//!    random members of its own cluster. This gives semantically similar
+//!    entities similar graph neighbourhoods, which is what LINE's
+//!    second-order proximity turns into nearby embeddings.
+//! 3. **Relation-scoped cross-cluster smearing**: a head entity also
+//!    co-occurs (weakly) with *other* members of its partner's cluster —
+//!    e.g. a university is mentioned with several cities — mirroring the
+//!    diffuse co-occurrence structure of a real encyclopedia.
+//!
+//! A uniform random-noise floor keeps the graph from being block-diagonal.
+
+use crate::dataset::Zipf;
+use crate::world::World;
+use imre_tensor::TensorRng;
+use std::collections::HashMap;
+
+/// Undirected co-occurrence counts over entities.
+///
+/// Keys are normalised to `(min, max)`.
+#[derive(Debug, Default, Clone)]
+pub struct CoOccurrence {
+    counts: HashMap<(usize, usize), u32>,
+}
+
+impl CoOccurrence {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(a: usize, b: usize) -> (usize, usize) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Adds `n` co-occurrence events between entities `a` and `b`.
+    ///
+    /// Self-pairs are ignored (an entity does not co-occur with itself).
+    pub fn add(&mut self, a: usize, b: usize, n: u32) {
+        if a == b {
+            return;
+        }
+        *self.counts.entry(Self::key(a, b)).or_insert(0) += n;
+    }
+
+    /// The count for a pair (0 if never seen).
+    pub fn count(&self, a: usize, b: usize) -> u32 {
+        self.counts.get(&Self::key(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct co-occurring pairs.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `((a, b), count)` with `a < b`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &u32)> {
+        self.counts.iter()
+    }
+
+    /// The maximum count over all pairs (0 if empty).
+    pub fn max_count(&self) -> u32 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Configuration for [`generate_unlabeled`].
+#[derive(Debug, Clone)]
+pub struct UnlabeledConfig {
+    /// Fraction of fact pairs that appear in the unlabeled corpus at all.
+    pub fact_coverage: f32,
+    /// Zipf cap for per-fact-pair event counts.
+    pub fact_events_max: usize,
+    /// Zipf exponent for per-fact-pair event counts.
+    pub fact_events_alpha: f64,
+    /// Number of same-cluster co-occurrence partners per entity.
+    pub intra_cluster_partners: usize,
+    /// Events per intra-cluster partner edge.
+    pub intra_cluster_events: u32,
+    /// Cross-cluster smear partners per fact.
+    pub smear_partners: usize,
+    /// Events per smear edge.
+    pub smear_events: u32,
+    /// Uniformly random noise pairs.
+    pub noise_pairs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UnlabeledConfig {
+    fn default() -> Self {
+        UnlabeledConfig {
+            fact_coverage: 0.85,
+            fact_events_max: 120,
+            fact_events_alpha: 1.4,
+            intra_cluster_partners: 5,
+            intra_cluster_events: 6,
+            smear_partners: 3,
+            smear_events: 2,
+            noise_pairs: 2_000,
+            seed: 23,
+        }
+    }
+}
+
+/// Generates the unlabeled-corpus co-occurrence table for a world.
+pub fn generate_unlabeled(world: &World, config: &UnlabeledConfig) -> CoOccurrence {
+    let mut rng = TensorRng::seed(config.seed);
+    let mut co = CoOccurrence::new();
+    let zipf = Zipf::new(config.fact_events_max, config.fact_events_alpha);
+
+    // (1) fact pairs co-occur with long-tailed counts
+    for f in &world.facts {
+        if !rng.bernoulli(config.fact_coverage) {
+            continue;
+        }
+        let events = zipf.sample(&mut rng) as u32;
+        co.add(f.head.0, f.tail.0, events);
+        // (3) smear: the head also co-occurs with other members of the
+        // tail's cluster (and vice versa), weakly
+        let tail_cluster = &world.clusters[world.entities[f.tail.0].cluster];
+        for _ in 0..config.smear_partners {
+            let other = tail_cluster.members[rng.below(tail_cluster.members.len())];
+            co.add(f.head.0, other.0, config.smear_events);
+        }
+        let head_cluster = &world.clusters[world.entities[f.head.0].cluster];
+        for _ in 0..config.smear_partners {
+            let other = head_cluster.members[rng.below(head_cluster.members.len())];
+            co.add(other.0, f.tail.0, config.smear_events);
+        }
+    }
+
+    // (2) same-cluster entities share neighbourhoods
+    for cluster in &world.clusters {
+        for &member in &cluster.members {
+            for _ in 0..config.intra_cluster_partners {
+                let partner = cluster.members[rng.below(cluster.members.len())];
+                co.add(member.0, partner.0, config.intra_cluster_events);
+            }
+        }
+    }
+
+    // noise floor
+    let n = world.num_entities();
+    for _ in 0..config.noise_pairs {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        co.add(a, b, 1);
+    }
+
+    co
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(&WorldConfig {
+            n_relations: 8,
+            entities_per_cluster: 10,
+            facts_per_relation: 20,
+            cluster_reuse_prob: 0.4,
+            seed: 6,
+        })
+    }
+
+    #[test]
+    fn symmetric_and_no_self_pairs() {
+        let mut co = CoOccurrence::new();
+        co.add(3, 1, 5);
+        co.add(1, 3, 2);
+        co.add(2, 2, 9);
+        assert_eq!(co.count(1, 3), 7);
+        assert_eq!(co.count(3, 1), 7);
+        assert_eq!(co.count(2, 2), 0);
+        assert_eq!(co.len(), 1);
+    }
+
+    #[test]
+    fn covered_fact_pairs_have_counts() {
+        let w = world();
+        let cfg = UnlabeledConfig { fact_coverage: 1.0, ..Default::default() };
+        let co = generate_unlabeled(&w, &cfg);
+        for f in &w.facts {
+            assert!(co.count(f.head.0, f.tail.0) > 0, "fact pair missing from unlabeled corpus");
+        }
+    }
+
+    #[test]
+    fn coverage_fraction_respected() {
+        let w = world();
+        let cfg = UnlabeledConfig {
+            fact_coverage: 0.5,
+            smear_partners: 0,
+            intra_cluster_partners: 0,
+            noise_pairs: 0,
+            ..Default::default()
+        };
+        let co = generate_unlabeled(&w, &cfg);
+        let covered = w.facts.iter().filter(|f| co.count(f.head.0, f.tail.0) > 0).count();
+        let frac = covered as f32 / w.facts.len() as f32;
+        assert!((frac - 0.5).abs() < 0.15, "coverage {frac}");
+    }
+
+    #[test]
+    fn same_cluster_entities_share_neighbours() {
+        let w = world();
+        let co = generate_unlabeled(&w, &UnlabeledConfig::default());
+        // pick a cluster with several members and check two members have at
+        // least one common neighbour
+        let cluster = w.clusters.iter().find(|c| c.members.len() >= 3).expect("cluster");
+        let a = cluster.members[0].0;
+        let b = cluster.members[1].0;
+        let common = (0..w.num_entities())
+            .filter(|&e| e != a && e != b && co.count(a, e) > 0 && co.count(b, e) > 0)
+            .count();
+        assert!(common > 0, "same-cluster members share no neighbours");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let w = world();
+        let a = generate_unlabeled(&w, &UnlabeledConfig::default());
+        let b = generate_unlabeled(&w, &UnlabeledConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.max_count(), b.max_count());
+    }
+
+    #[test]
+    fn max_count_tracks_additions() {
+        let mut co = CoOccurrence::new();
+        assert_eq!(co.max_count(), 0);
+        co.add(0, 1, 3);
+        co.add(1, 2, 10);
+        assert_eq!(co.max_count(), 10);
+    }
+}

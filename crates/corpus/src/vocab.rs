@@ -1,0 +1,116 @@
+//! Token vocabulary: string ↔ id interning with reserved special tokens.
+
+use std::collections::HashMap;
+
+/// Reserved padding token id.
+pub const PAD: usize = 0;
+/// Reserved unknown-word token id.
+pub const UNK: usize = 1;
+
+/// A token vocabulary. Ids are dense; 0 and 1 are reserved for `<pad>` and
+/// `<unk>`. Entity surface forms are interned like any other word — the
+/// relation extractors see entity mentions as tokens, so infrequent entities
+/// get poorly-trained word embeddings (the paper's core motivation for the
+/// implicit-mutual-relation component).
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// Creates a vocabulary holding only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab { words: Vec::new(), index: HashMap::new() };
+        let pad = v.intern("<pad>");
+        let unk = v.intern("<unk>");
+        debug_assert_eq!(pad, PAD);
+        debug_assert_eq!(unk, UNK);
+        v
+    }
+
+    /// Returns the id of `word`, adding it if missing.
+    pub fn intern(&mut self, word: &str) -> usize {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len();
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        id
+    }
+
+    /// Looks up a word id; `None` if never interned.
+    pub fn get(&self, word: &str) -> Option<usize> {
+        self.index.get(word).copied()
+    }
+
+    /// Looks up a word id, falling back to [`UNK`].
+    pub fn get_or_unk(&self, word: &str) -> usize {
+        self.get(word).unwrap_or(UNK)
+    }
+
+    /// The surface form for an id.
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    pub fn word(&self, id: usize) -> &str {
+        &self.words[id]
+    }
+
+    /// Number of tokens (including the two specials).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether only the special tokens exist.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() <= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_reserved() {
+        let v = Vocab::new();
+        assert_eq!(v.word(PAD), "<pad>");
+        assert_eq!(v.word(UNK), "<unk>");
+        assert_eq!(v.len(), 2);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("hello");
+        let b = v.intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn lookup_and_fallback() {
+        let mut v = Vocab::new();
+        let id = v.intern("word");
+        assert_eq!(v.get("word"), Some(id));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get_or_unk("missing"), UNK);
+        assert_eq!(v.word(id), "word");
+    }
+
+    #[test]
+    fn ids_dense_and_ordered() {
+        let mut v = Vocab::new();
+        let ids: Vec<usize> = ["a", "b", "c"].iter().map(|w| v.intern(w)).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,460 @@
+//! The synthetic world model: entities organised into semantic clusters,
+//! typed relations, and the knowledge-graph facts that distant supervision
+//! labels sentences against.
+//!
+//! This replaces the Freebase-aligned NYT/GDS ground truth the paper uses.
+//! Two properties matter for the reproduction and are established here:
+//!
+//! 1. **Cluster structure** — semantically similar entities (all
+//!    universities, all cities…) live in one cluster; a relation connects a
+//!    head cluster to a tail cluster. Analogous pairs — (university, city)
+//!    pairs under `located_in` — therefore share neighbourhood structure in
+//!    any co-occurrence graph over this world, which is exactly the property
+//!    the paper's implicit-mutual-relation component exploits.
+//! 2. **Type signatures** — each relation constrains its arguments' coarse
+//!    types, so the entity-type component has signal to learn.
+
+use crate::templates::{build_relations, RelationId, RelationSchema};
+use crate::types::TypeId;
+use imre_tensor::TensorRng;
+use std::collections::HashMap;
+
+/// Identifier of an entity (index into [`World::entities`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub usize);
+
+/// An entity with its name, coarse types and semantic cluster.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Unique surface form, used as a token in generated sentences.
+    pub name: String,
+    /// Coarse types (1–2 per entity; first is the cluster's type).
+    pub types: Vec<TypeId>,
+    /// Index of the semantic cluster this entity belongs to.
+    pub cluster: usize,
+}
+
+/// A semantic cluster: a typed group of interchangeable-role entities.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The coarse type every member carries as its primary type.
+    pub type_id: TypeId,
+    /// Member entity ids.
+    pub members: Vec<EntityId>,
+}
+
+/// A knowledge-graph fact `(head, relation, tail)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fact {
+    /// Head entity.
+    pub head: EntityId,
+    /// Tail entity.
+    pub tail: EntityId,
+    /// Relation label (never `NA`).
+    pub relation: RelationId,
+}
+
+/// Configuration for [`World::generate`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of relation labels including `NA`.
+    pub n_relations: usize,
+    /// Entities per newly created cluster.
+    pub entities_per_cluster: usize,
+    /// Facts sampled per non-`NA` relation.
+    pub facts_per_relation: usize,
+    /// Probability of reusing an existing same-typed cluster for a relation
+    /// argument instead of creating a fresh one (creates realistic overlap).
+    pub cluster_reuse_prob: f32,
+    /// RNG seed; the whole world is a pure function of the config.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            n_relations: 53,
+            entities_per_cluster: 14,
+            facts_per_relation: 60,
+            cluster_reuse_prob: 0.5,
+            seed: 17,
+        }
+    }
+}
+
+/// The generated world: entities, clusters, relations and facts.
+pub struct World {
+    /// All entities; `EntityId` indexes here.
+    pub entities: Vec<Entity>,
+    /// All relation schemas; index 0 is `NA`.
+    pub relations: Vec<RelationSchema>,
+    /// Semantic clusters.
+    pub clusters: Vec<Cluster>,
+    /// All facts (non-`NA`).
+    pub facts: Vec<Fact>,
+    /// Per-relation `(head_cluster, tail_cluster)` assignment (index 0 = NA,
+    /// unused). Needed to sample *hard* NA pairs.
+    pub relation_clusters: Vec<(usize, usize)>,
+    fact_map: HashMap<(usize, usize), RelationId>,
+}
+
+/// Curated entity-name pools keyed by coarse-type name. The first cluster of
+/// each listed type draws from its pool so that the paper's case study
+/// (Table V: nearest neighbours of *Seattle* / *University of Washington*)
+/// reads naturally.
+const NAME_POOLS: &[(&str, &[&str])] = &[
+    (
+        "education",
+        &[
+            "University_of_Washington",
+            "Stanford_University",
+            "Columbia_University",
+            "University_of_Southern_California",
+            "Harvard_University",
+            "Ohio_State_University",
+            "University_of_Michigan",
+            "Northwestern_University",
+            "University_of_Florida",
+            "University_of_Kentucky",
+            "Brigham_Young_University",
+            "Yale_University",
+            "Princeton_University",
+            "Duke_University",
+        ],
+    ),
+    (
+        "location",
+        &[
+            "Seattle",
+            "California",
+            "Los_Angeles",
+            "New_York_City",
+            "Houston",
+            "Dallas",
+            "Texas",
+            "Atlanta",
+            "Cleveland",
+            "Washington",
+            "Chicago",
+            "Boston",
+            "Denver",
+            "Miami",
+        ],
+    ),
+    (
+        "person",
+        &[
+            "Barack_Obama",
+            "John_Roberts",
+            "Maria_Garcia",
+            "Wei_Chen",
+            "Anna_Kowalski",
+            "David_Miller",
+            "Fatima_Hassan",
+            "James_Wilson",
+            "Elena_Petrova",
+            "Carlos_Santos",
+            "Linda_Johnson",
+            "Ahmed_Khan",
+            "Sophie_Martin",
+            "Hiroshi_Tanaka",
+        ],
+    ),
+    (
+        "organization",
+        &[
+            "Acme_Corporation",
+            "Globex_Industries",
+            "Initech_Systems",
+            "Umbrella_Holdings",
+            "Stark_Enterprises",
+            "Wayne_Industries",
+            "Cyberdyne_Labs",
+            "Tyrell_Group",
+            "Wonka_Foods",
+            "Oscorp_Technologies",
+            "Hooli_Networks",
+            "Pied_Piper_Software",
+            "Vandelay_Imports",
+            "Soylent_Nutrition",
+        ],
+    ),
+];
+
+impl World {
+    /// Generates a world deterministically from the config.
+    pub fn generate(config: &WorldConfig) -> World {
+        let mut rng = TensorRng::seed(config.seed);
+        let relations = build_relations(config.n_relations, &mut rng);
+
+        let mut entities: Vec<Entity> = Vec::new();
+        let mut clusters: Vec<Cluster> = Vec::new();
+        // per-type count of created clusters, for name pools & reuse lookups
+        let mut clusters_by_type: HashMap<TypeId, Vec<usize>> = HashMap::new();
+
+        let cluster_for = |type_id: TypeId,
+                               entities: &mut Vec<Entity>,
+                               clusters: &mut Vec<Cluster>,
+                               clusters_by_type: &mut HashMap<TypeId, Vec<usize>>,
+                               rng: &mut TensorRng|
+         -> usize {
+            if let Some(existing) = clusters_by_type.get(&type_id) {
+                if !existing.is_empty() && rng.bernoulli(config.cluster_reuse_prob) {
+                    return existing[rng.below(existing.len())];
+                }
+            }
+            let cluster_idx = clusters.len();
+            let nth_of_type = clusters_by_type.get(&type_id).map_or(0, Vec::len);
+            let pool: Option<&[&str]> = if nth_of_type == 0 {
+                NAME_POOLS.iter().find(|(t, _)| *t == type_id.name()).map(|(_, p)| *p)
+            } else {
+                None
+            };
+            let mut members = Vec::with_capacity(config.entities_per_cluster);
+            for i in 0..config.entities_per_cluster {
+                let name = match pool.and_then(|p| p.get(i)) {
+                    Some(curated) => (*curated).to_string(),
+                    None => format!("{}_c{}_e{}", type_id.name(), cluster_idx, i),
+                };
+                let mut types = vec![type_id];
+                if rng.bernoulli(0.2) {
+                    let extra = TypeId(rng.below(crate::types::NUM_COARSE_TYPES));
+                    if extra != type_id {
+                        types.push(extra);
+                    }
+                }
+                let eid = EntityId(entities.len());
+                entities.push(Entity { name, types, cluster: cluster_idx });
+                members.push(eid);
+            }
+            clusters.push(Cluster { type_id, members });
+            clusters_by_type.entry(type_id).or_default().push(cluster_idx);
+            cluster_idx
+        };
+
+        // Assign head/tail clusters per relation and sample facts.
+        let mut facts = Vec::new();
+        let mut fact_map: HashMap<(usize, usize), RelationId> = HashMap::new();
+        let mut relation_clusters = vec![(0usize, 0usize); 1]; // slot 0 = NA
+        for (ridx, schema) in relations.iter().enumerate().skip(1) {
+            let hc = cluster_for(schema.head_type, &mut entities, &mut clusters, &mut clusters_by_type, &mut rng);
+            let tc = cluster_for(schema.tail_type, &mut entities, &mut clusters, &mut clusters_by_type, &mut rng);
+            relation_clusters.push((hc, tc));
+            let heads = clusters[hc].members.clone();
+            let tails = clusters[tc].members.clone();
+            let mut attempts = 0;
+            let mut sampled = 0;
+            while sampled < config.facts_per_relation && attempts < config.facts_per_relation * 20 {
+                attempts += 1;
+                let h = heads[rng.below(heads.len())];
+                let t = tails[rng.below(tails.len())];
+                if h == t || fact_map.contains_key(&(h.0, t.0)) {
+                    continue;
+                }
+                let rel = RelationId(ridx);
+                fact_map.insert((h.0, t.0), rel);
+                facts.push(Fact { head: h, tail: t, relation: rel });
+                sampled += 1;
+            }
+        }
+
+        World { entities, relations, clusters, facts, relation_clusters, fact_map }
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relation labels (including `NA`).
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The KG relation between two entities, if any (directional).
+    pub fn relation_of(&self, head: EntityId, tail: EntityId) -> Option<RelationId> {
+        self.fact_map.get(&(head.0, tail.0)).copied()
+    }
+
+    /// Looks an entity up by surface name.
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        self.entities.iter().position(|e| e.name == name).map(EntityId)
+    }
+
+    /// Samples an entity pair with **no** KG fact (an `NA` pair), drawn
+    /// uniformly over all entities (typically type-incompatible — an *easy*
+    /// negative).
+    ///
+    /// # Panics
+    /// If no `NA` pair can be found (the world is saturated: essentially
+    /// every ordered pair is a fact). Such a world cannot support distant
+    /// supervision and indicates a mis-sized [`WorldConfig`]; panicking
+    /// with a clear message beats looping forever.
+    pub fn sample_na_pair(&self, rng: &mut TensorRng) -> (EntityId, EntityId) {
+        match self.try_sample_na_pair(rng) {
+            Some(pair) => pair,
+            None => panic!(
+                "World::sample_na_pair: no NA pair exists ({} entities, {} facts) — \
+                 reduce facts_per_relation or enlarge clusters",
+                self.entities.len(),
+                self.facts.len()
+            ),
+        }
+    }
+
+    /// Non-panicking variant of [`World::sample_na_pair`]: `None` when the
+    /// world is saturated (essentially every ordered pair is a fact).
+    pub fn try_sample_na_pair(&self, rng: &mut TensorRng) -> Option<(EntityId, EntityId)> {
+        let n = self.entities.len();
+        for _ in 0..20_000 {
+            let h = EntityId(rng.below(n));
+            let t = EntityId(rng.below(n));
+            if h != t && self.relation_of(h, t).is_none() {
+                return Some((h, t));
+            }
+        }
+        // Rejection sampling failed; exhaustive scan before giving up.
+        for h in 0..n {
+            for t in 0..n {
+                if h != t && self.relation_of(EntityId(h), EntityId(t)).is_none() {
+                    return Some((EntityId(h), EntityId(t)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Samples a **hard** `NA` pair: drawn from the head/tail clusters of a
+    /// random relation, so its types (and neighbourhood structure) are fully
+    /// compatible with that relation — there is just no fact. Real corpora
+    /// are full of these (two co-mentioned same-type entities with no KG
+    /// relation); they are what forces a model to actually read the text
+    /// rather than trust the type/embedding prior.
+    pub fn sample_hard_na_pair(&self, rng: &mut TensorRng) -> (EntityId, EntityId) {
+        match self.try_sample_hard_na_pair(rng) {
+            Some(pair) => pair,
+            None => panic!(
+                "World::sample_hard_na_pair: no NA pair exists ({} entities, {} facts)",
+                self.entities.len(),
+                self.facts.len()
+            ),
+        }
+    }
+
+    /// Non-panicking variant of [`World::sample_hard_na_pair`]; falls back
+    /// to an easy negative when the relation clusters are saturated, and
+    /// `None` when the whole world is.
+    pub fn try_sample_hard_na_pair(&self, rng: &mut TensorRng) -> Option<(EntityId, EntityId)> {
+        for _ in 0..200 {
+            let ridx = 1 + rng.below(self.relations.len() - 1);
+            let (hc, tc) = self.relation_clusters[ridx];
+            let heads = &self.clusters[hc].members;
+            let tails = &self.clusters[tc].members;
+            let h = heads[rng.below(heads.len())];
+            let t = tails[rng.below(tails.len())];
+            if h != t && self.relation_of(h, t).is_none() {
+                return Some((h, t));
+            }
+        }
+        // clusters saturated with facts: fall back to an easy negative
+        self.try_sample_na_pair(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        World::generate(&WorldConfig {
+            n_relations: 10,
+            entities_per_cluster: 8,
+            facts_per_relation: 12,
+            cluster_reuse_prob: 0.5,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn facts_respect_type_signatures() {
+        let w = small_world();
+        for f in &w.facts {
+            let schema = &w.relations[f.relation.0];
+            assert_eq!(w.entities[f.head.0].types[0], schema.head_type, "head type mismatch for {}", schema.name);
+            assert_eq!(w.entities[f.tail.0].types[0], schema.tail_type, "tail type mismatch for {}", schema.name);
+        }
+    }
+
+    #[test]
+    fn facts_unique_per_pair() {
+        let w = small_world();
+        let mut pairs: Vec<(usize, usize)> = w.facts.iter().map(|f| (f.head.0, f.tail.0)).collect();
+        let before = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before);
+    }
+
+    #[test]
+    fn no_self_facts() {
+        let w = small_world();
+        assert!(w.facts.iter().all(|f| f.head != f.tail));
+    }
+
+    #[test]
+    fn relation_lookup_agrees_with_facts() {
+        let w = small_world();
+        for f in &w.facts {
+            assert_eq!(w.relation_of(f.head, f.tail), Some(f.relation));
+        }
+    }
+
+    #[test]
+    fn na_pairs_have_no_fact() {
+        let w = small_world();
+        let mut rng = TensorRng::seed(9);
+        for _ in 0..50 {
+            let (h, t) = w.sample_na_pair(&mut rng);
+            assert!(w.relation_of(h, t).is_none());
+            assert_ne!(h, t);
+        }
+    }
+
+    #[test]
+    fn curated_names_present_in_full_world() {
+        let w = World::generate(&WorldConfig::default());
+        assert!(w.entity_by_name("Seattle").is_some(), "curated city names should exist");
+        assert!(w.entity_by_name("University_of_Washington").is_some());
+    }
+
+    #[test]
+    fn entities_have_valid_clusters_and_types() {
+        let w = small_world();
+        for (i, e) in w.entities.iter().enumerate() {
+            assert!(e.cluster < w.clusters.len());
+            assert!(w.clusters[e.cluster].members.contains(&EntityId(i)));
+            assert!(!e.types.is_empty() && e.types.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(a.num_entities(), b.num_entities());
+        assert_eq!(a.facts.len(), b.facts.len());
+        for (x, y) in a.facts.iter().zip(&b.facts) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn entity_names_unique() {
+        let w = World::generate(&WorldConfig::default());
+        let mut names: Vec<&String> = w.entities.iter().map(|e| &e.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate entity names");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests over the corpus generator: for arbitrary (small)
+//! configurations, the structural invariants of worlds and datasets hold.
+
+use imre_corpus::{Dataset, DatasetConfig, SentenceGenConfig, World, WorldConfig, Zipf, NA};
+use imre_tensor::TensorRng;
+use proptest::prelude::*;
+
+fn world_config() -> impl Strategy<Value = WorldConfig> {
+    (2usize..10, 4usize..10, 5usize..25, 0.0f32..0.8, 0u64..500).prop_map(
+        |(n_relations, epc, fpr, reuse, seed)| WorldConfig {
+            n_relations,
+            entities_per_cluster: epc,
+            facts_per_relation: fpr,
+            cluster_reuse_prob: reuse,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn world_facts_always_type_consistent(cfg in world_config()) {
+        let w = World::generate(&cfg);
+        for f in &w.facts {
+            let schema = &w.relations[f.relation.0];
+            prop_assert_eq!(w.entities[f.head.0].types[0], schema.head_type);
+            prop_assert_eq!(w.entities[f.tail.0].types[0], schema.tail_type);
+            prop_assert_ne!(f.head, f.tail);
+        }
+    }
+
+    #[test]
+    fn world_cluster_membership_consistent(cfg in world_config()) {
+        let w = World::generate(&cfg);
+        for (c_idx, cluster) in w.clusters.iter().enumerate() {
+            for &m in &cluster.members {
+                prop_assert_eq!(w.entities[m.0].cluster, c_idx);
+                prop_assert_eq!(w.entities[m.0].types[0], cluster.type_id);
+            }
+        }
+    }
+
+    #[test]
+    fn hard_na_pairs_are_never_facts(cfg in world_config(), seed in 0u64..100) {
+        let w = World::generate(&cfg);
+        prop_assume!(!w.facts.is_empty());
+        let mut rng = TensorRng::seed(seed);
+        for _ in 0..20 {
+            // a saturated world has no NA pair at all — that is a valid
+            // outcome (None), never a fact pair and never a hang
+            match w.try_sample_hard_na_pair(&mut rng) {
+                None => break,
+                Some((h, t)) => {
+                    prop_assert!(w.relation_of(h, t).is_none());
+                    prop_assert_ne!(h, t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_bags_internally_consistent(cfg in world_config(), noise in 0.0f32..0.9, seed in 0u64..100) {
+        let ds = Dataset::generate(&DatasetConfig {
+            name: "prop".into(),
+            world: cfg,
+            sentence: SentenceGenConfig { noise_prob: noise, min_len: 5, max_len: 12 },
+            train_fraction: 0.7,
+            na_train: 10,
+            na_test: 5,
+            na_hard_fraction: 0.5,
+            zipf_alpha: 1.9,
+            max_sentences_per_bag: 8,
+            seed,
+        });
+        for bag in ds.train.iter().chain(&ds.test) {
+            prop_assert!(!bag.sentences.is_empty());
+            for s in &bag.sentences {
+                prop_assert!(s.head_pos < s.tokens.len());
+                prop_assert!(s.tail_pos < s.tokens.len());
+                prop_assert_ne!(s.head_pos, s.tail_pos);
+                // entity tokens at the declared positions
+                prop_assert_eq!(ds.vocab.word(s.tokens[s.head_pos]), ds.world.entities[bag.head.0].name.as_str());
+                prop_assert_eq!(ds.vocab.word(s.tokens[s.tail_pos]), ds.world.entities[bag.tail.0].name.as_str());
+                // NA bags never express
+                if bag.label == NA {
+                    prop_assert!(!s.expresses_relation);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_support(max_k in 1usize..40, alpha in 0.5f64..3.0, seed in 0u64..100) {
+        let z = Zipf::new(max_k, alpha);
+        let mut rng = TensorRng::seed(seed);
+        for _ in 0..200 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=max_k).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_higher_alpha_concentrates_more(max_k in 10usize..30, seed in 0u64..50) {
+        let flat = Zipf::new(max_k, 0.5);
+        let steep = Zipf::new(max_k, 2.5);
+        let mut rng1 = TensorRng::seed(seed);
+        let mut rng2 = TensorRng::seed(seed);
+        let mean = |z: &Zipf, rng: &mut TensorRng| -> f64 {
+            (0..2000).map(|_| z.sample(rng) as f64).sum::<f64>() / 2000.0
+        };
+        prop_assert!(mean(&steep, &mut rng2) < mean(&flat, &mut rng1));
+    }
+}

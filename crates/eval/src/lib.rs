@@ -1,0 +1,26 @@
+//! # imre-eval
+//!
+//! Evaluation machinery for the `imre` reproduction of Kuang et al. (ICDE
+//! 2020):
+//!
+//! * [`metrics`] — held-out PR curves, AUC, max-F1, P@N (paper §IV-A.2).
+//! * [`heldout`] — running any scoring function over a test split under
+//!   Lin et al.'s held-out protocol; hard-F1 for the slice analyses.
+//! * [`slices`] — the Figure 6 (co-occurrence quantile) and Figure 7
+//!   (sentence count) stratifications.
+//! * [`runner`] — the end-to-end [`Pipeline`] (dataset → proximity graph →
+//!   LINE → train → evaluate) with parallel multi-seed averaging.
+//! * [`report`] — plain-text tables and curve series, the output format of
+//!   every bench in `imre-bench`.
+
+pub mod heldout;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod slices;
+
+pub use heldout::{evaluate_system, hard_f1};
+pub use metrics::{auc, evaluate_predictions, max_f1, p_at_n, pr_curve, Evaluation, PrPoint, Prediction};
+pub use report::{format_labeled_series, format_pr_series, format_table, metric, metric2};
+pub use runner::{mean_evaluation, smoke_config, MeanEvaluation, Pipeline};
+pub use slices::{f1_by_cooccurrence_quantile, f1_by_sentence_count};

@@ -1,0 +1,125 @@
+//! Plain-text rendering of tables and curve series — the output format of
+//! every table/figure bench in `imre-bench`.
+
+use crate::metrics::PrPoint;
+
+/// Renders an aligned text table.
+///
+/// # Panics
+/// If any row's width differs from the header's.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), headers.len(), "format_table: row {i} has {} cells, expected {}", r.len(), headers.len());
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:<w$} | "));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a PR curve as `recall precision` rows, downsampled to at most
+/// `max_points` evenly spaced points (plotting-tool friendly).
+pub fn format_pr_series(name: &str, curve: &[PrPoint], max_points: usize) -> String {
+    let mut out = format!("# series: {name}\n# recall precision\n");
+    if curve.is_empty() {
+        return out;
+    }
+    let step = (curve.len() / max_points.max(1)).max(1);
+    for (i, p) in curve.iter().enumerate() {
+        if i % step == 0 || i == curve.len() - 1 {
+            out.push_str(&format!("{:.4} {:.4}\n", p.recall, p.precision));
+        }
+    }
+    out
+}
+
+/// Renders labelled `(x, y)` points (bar-chart data like Figures 1, 5–7).
+pub fn format_labeled_series(name: &str, points: &[(String, f32)]) -> String {
+    let mut out = format!("# series: {name}\n");
+    for (label, value) in points {
+        out.push_str(&format!("{label:<10} {value:.4}\n"));
+    }
+    out
+}
+
+/// Formats a float metric to the paper's 4-decimal convention.
+pub fn metric(v: f32) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a P@N metric to the paper's 2-decimal convention.
+pub fn metric2(v: f32) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            "T",
+            &["name", "auc"],
+            &[vec!["PCNN".into(), "0.33".into()], vec!["PA-TMR".into(), "0.3939".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].contains("name") && lines[1].contains("auc"));
+        // all data lines equal length (aligned)
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 has 1 cells")]
+    fn ragged_rows_panic() {
+        let _ = format_table("T", &["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn pr_series_downsamples() {
+        let curve: Vec<PrPoint> = (0..1000)
+            .map(|i| PrPoint { precision: 1.0 - i as f32 / 2000.0, recall: i as f32 / 1000.0 })
+            .collect();
+        let s = format_pr_series("x", &curve, 50);
+        let data_lines = s.lines().filter(|l| !l.starts_with('#')).count();
+        assert!(data_lines <= 52, "{data_lines} lines");
+        assert!(s.ends_with("0.9990 0.5005\n"), "last point kept: {s:?}");
+    }
+
+    #[test]
+    fn labeled_series_format() {
+        let s = format_labeled_series("fig", &[("1-5".to_string(), 0.5)]);
+        assert!(s.contains("1-5"));
+        assert!(s.contains("0.5000"));
+    }
+
+    #[test]
+    fn metric_precision() {
+        assert_eq!(metric(0.39391), "0.3939");
+        assert_eq!(metric2(0.831), "0.83");
+    }
+}

@@ -1,0 +1,267 @@
+//! End-to-end experiment pipeline: dataset → unlabeled corpus → proximity
+//! graph → LINE embedding → model training → held-out evaluation.
+//!
+//! Every table/figure bench builds one [`Pipeline`] per dataset and then
+//! trains the systems it compares. Multi-seed runs fan out across threads
+//! (one model per thread; the pipeline is shared read-only).
+
+use crate::heldout::evaluate_system;
+use crate::metrics::Evaluation;
+use imre_core::{
+    entity_type_table, prepare_bags, BagContext, HyperParams, ModelSpec, PreparedBag, ReModel, TrainConfig,
+};
+use imre_corpus::{generate_unlabeled, CoOccurrence, Dataset, DatasetConfig, UnlabeledConfig};
+use imre_graph::{train_line, EntityEmbedding, LineConfig, ProximityGraph};
+
+/// Everything shared by the systems compared within one experiment.
+pub struct Pipeline {
+    /// The generated dataset (world + vocab + splits).
+    pub dataset: Dataset,
+    /// Unlabeled-corpus co-occurrence counts.
+    pub co: CoOccurrence,
+    /// LINE entity embeddings from the proximity graph.
+    pub embedding: EntityEmbedding,
+    /// Pretrained skip-gram word vectors (`[vocab, word_dim]`).
+    pub word_vectors: imre_tensor::Tensor,
+    /// Featurised training bags.
+    pub train_bags: Vec<PreparedBag>,
+    /// Featurised test bags.
+    pub test_bags: Vec<PreparedBag>,
+    /// Per-entity coarse-type ids.
+    pub types: Vec<Vec<usize>>,
+    /// Hyperparameters shared by all systems in the experiment.
+    pub hp: HyperParams,
+}
+
+impl Pipeline {
+    /// Builds the full pipeline for a dataset preset.
+    pub fn build(config: &DatasetConfig, hp: HyperParams) -> Pipeline {
+        let dataset = Dataset::generate(config);
+        let co = generate_unlabeled(&dataset.world, &UnlabeledConfig::default());
+        let graph = ProximityGraph::from_counts(
+            co.iter().map(|(&p, &c)| (p, c)),
+            dataset.world.num_entities(),
+            2,
+        );
+        let line_cfg = LineConfig { dim: hp.entity_dim, ..LineConfig::default() };
+        let embedding = train_line(&graph, &line_cfg);
+        let train_bags = prepare_bags(&dataset.train, &hp);
+        let test_bags = prepare_bags(&dataset.test, &hp);
+        // Word-embedding pretraining, as in the paper's stack (word2vec on
+        // the raw corpus text; unsupervised — labels never enter). This is
+        // what lets encoders handle entity mentions absent from the
+        // labelled training pairs.
+        let raw_sentences = imre_core::corpus_sentences(&[&dataset.train, &dataset.test]);
+        let sg_cfg = imre_core::SkipGramConfig { dim: hp.word_dim, ..Default::default() };
+        let word_vectors = imre_core::train_skipgram(&raw_sentences, dataset.vocab.len(), &sg_cfg);
+        let types = entity_type_table(&dataset.world);
+        Pipeline { dataset, co, embedding, word_vectors, train_bags, test_bags, types, hp }
+    }
+
+    /// The forward-time side information models consume.
+    pub fn ctx(&self) -> BagContext<'_> {
+        BagContext { entity_embedding: Some(&self.embedding), entity_types: &self.types }
+    }
+
+    /// Trains one system variant with the given seed.
+    pub fn train_system(&self, spec: ModelSpec, seed: u64) -> ReModel {
+        let mut model = ReModel::new(
+            spec,
+            &self.hp,
+            self.dataset.vocab.len(),
+            self.dataset.num_relations(),
+            imre_corpus::NUM_COARSE_TYPES,
+            self.embedding.dim(),
+            seed,
+        );
+        model.set_word_embeddings(self.word_vectors.clone());
+        let mut tc = TrainConfig::from_hp(&self.hp, seed ^ 0xabcd);
+        if spec.encoder == imre_core::EncoderKind::Gru {
+            // Recurrent encoders converge in steps, not sentences: at this
+            // corpus scale the conv models get enough SGD steps per epoch
+            // but the GRU does not. A smaller batch gives it ~4× the update
+            // count for identical per-epoch compute.
+            tc.batch_size = (tc.batch_size / 4).max(2);
+        }
+        imre_core::train_model(&mut model, &self.train_bags, &self.ctx(), &tc);
+        model
+    }
+
+    /// Held-out evaluation of a trained model on the test split.
+    pub fn evaluate_model(&self, model: &ReModel) -> Evaluation {
+        let ctx = self.ctx();
+        evaluate_system(&self.test_bags, self.dataset.num_relations(), |bag| model.predict(bag, &ctx))
+    }
+
+    /// Trains and evaluates one system; convenience for single-seed runs.
+    pub fn run_system(&self, spec: ModelSpec, seed: u64) -> Evaluation {
+        let model = self.train_system(spec, seed);
+        self.evaluate_model(&model)
+    }
+
+    /// Trains and evaluates several systems in parallel (one thread per
+    /// `(spec, seed)` pair), returning per-spec seed evaluations in input
+    /// order. This is what the table/figure benches use to exploit cores:
+    /// systems within one experiment are independent given the pipeline.
+    pub fn run_systems_parallel(&self, specs: &[ModelSpec], seeds: &[u64]) -> Vec<Vec<Evaluation>> {
+        let mut out: Vec<Vec<Option<Evaluation>>> = specs.iter().map(|_| vec![None; seeds.len()]).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (si, &spec) in specs.iter().enumerate() {
+                for (ki, &seed) in seeds.iter().enumerate() {
+                    let this = &*self;
+                    handles.push(scope.spawn(move |_| (si, ki, this.run_system(spec, seed))));
+                }
+            }
+            for h in handles {
+                let (si, ki, ev) = h.join().expect("system-run thread panicked");
+                out[si][ki] = Some(ev);
+            }
+        })
+        .expect("crossbeam scope");
+        out.into_iter()
+            .map(|per_seed| per_seed.into_iter().map(|o| o.expect("every run filled")).collect())
+            .collect()
+    }
+
+    /// Trains and evaluates one system across several seeds in parallel,
+    /// returning the per-seed evaluations.
+    pub fn run_system_seeds(&self, spec: ModelSpec, seeds: &[u64]) -> Vec<Evaluation> {
+        if seeds.len() == 1 {
+            return vec![self.run_system(spec, seeds[0])];
+        }
+        let mut out: Vec<Option<Evaluation>> = vec![None; seeds.len()];
+        crossbeam::thread::scope(|scope| {
+            let chunks: Vec<(usize, u64)> = seeds.iter().copied().enumerate().collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(i, seed)| {
+                    let this = &*self;
+                    scope.spawn(move |_| (i, this.run_system(spec, seed)))
+                })
+                .collect();
+            for h in handles {
+                let (i, ev) = h.join().expect("seed-run thread panicked");
+                out[i] = Some(ev);
+            }
+        })
+        .expect("crossbeam scope");
+        out.into_iter().map(|o| o.expect("every seed filled")).collect()
+    }
+}
+
+/// Seed-averaged scalar metrics (the paper reports five-run means).
+#[derive(Debug, Clone)]
+pub struct MeanEvaluation {
+    /// Mean area under the PR curve.
+    pub auc: f32,
+    /// Mean max-F1.
+    pub f1: f32,
+    /// Mean precision at max-F1.
+    pub precision: f32,
+    /// Mean recall at max-F1.
+    pub recall: f32,
+    /// Mean P@100.
+    pub p_at_100: f32,
+    /// Mean P@200.
+    pub p_at_200: f32,
+    /// Number of seeds averaged.
+    pub n_seeds: usize,
+}
+
+/// Averages scalar metrics across seed runs.
+///
+/// # Panics
+/// If `evals` is empty.
+pub fn mean_evaluation(evals: &[Evaluation]) -> MeanEvaluation {
+    assert!(!evals.is_empty(), "mean_evaluation: no runs");
+    let n = evals.len() as f32;
+    MeanEvaluation {
+        auc: evals.iter().map(|e| e.auc).sum::<f32>() / n,
+        f1: evals.iter().map(|e| e.f1).sum::<f32>() / n,
+        precision: evals.iter().map(|e| e.precision).sum::<f32>() / n,
+        recall: evals.iter().map(|e| e.recall).sum::<f32>() / n,
+        p_at_100: evals.iter().map(|e| e.p_at_100).sum::<f32>() / n,
+        p_at_200: evals.iter().map(|e| e.p_at_200).sum::<f32>() / n,
+        n_seeds: evals.len(),
+    }
+}
+
+/// A small, fast dataset config for tests and the quickstart example —
+/// same machinery as the full presets, minutes → seconds.
+pub fn smoke_config(seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        name: "smoke".to_string(),
+        world: imre_corpus::WorldConfig {
+            n_relations: 5,
+            entities_per_cluster: 8,
+            facts_per_relation: 24,
+            cluster_reuse_prob: 0.3,
+            seed: seed ^ 0x5111,
+        },
+        sentence: imre_corpus::SentenceGenConfig { noise_prob: 0.2, min_len: 6, max_len: 14 },
+        train_fraction: 0.7,
+        na_train: 40,
+        na_test: 20,
+            na_hard_fraction: 0.5,
+        zipf_alpha: 1.8,
+        max_sentences_per_bag: 8,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_pipeline() -> Pipeline {
+        let mut hp = HyperParams::tiny();
+        hp.epochs = 12; // the smoke corpus is small; short runs underfit
+        Pipeline::build(&smoke_config(3), hp)
+    }
+
+    #[test]
+    fn pipeline_builds_consistently() {
+        let p = smoke_pipeline();
+        assert_eq!(p.train_bags.len(), p.dataset.train.len());
+        assert_eq!(p.test_bags.len(), p.dataset.test.len());
+        assert_eq!(p.types.len(), p.dataset.world.num_entities());
+        assert_eq!(p.embedding.len(), p.dataset.world.num_entities());
+        assert_eq!(p.embedding.dim(), p.hp.entity_dim);
+    }
+
+    #[test]
+    fn trained_system_beats_untrained() {
+        let p = smoke_pipeline();
+        let untrained = ReModel::new(
+            ModelSpec::pcnn_att(),
+            &p.hp,
+            p.dataset.vocab.len(),
+            p.dataset.num_relations(),
+            imre_corpus::NUM_COARSE_TYPES,
+            p.embedding.dim(),
+            5,
+        );
+        let ev_untrained = p.evaluate_model(&untrained);
+        let ev_trained = p.run_system(ModelSpec::pcnn_att(), 5);
+        assert!(
+            ev_trained.auc > ev_untrained.auc + 0.05,
+            "training must help: {} vs {}",
+            ev_trained.auc,
+            ev_untrained.auc
+        );
+    }
+
+    #[test]
+    fn multi_seed_runs_are_independent_and_parallel() {
+        let p = smoke_pipeline();
+        let evals = p.run_system_seeds(ModelSpec::pcnn(), &[1, 2]);
+        assert_eq!(evals.len(), 2);
+        // different seeds should give (at least slightly) different results
+        assert!((evals[0].auc - evals[1].auc).abs() > 1e-6 || (evals[0].f1 - evals[1].f1).abs() > 1e-6);
+        let mean = mean_evaluation(&evals);
+        assert_eq!(mean.n_seeds, 2);
+        let expected = (evals[0].auc + evals[1].auc) / 2.0;
+        assert!((mean.auc - expected).abs() < 1e-6);
+    }
+}

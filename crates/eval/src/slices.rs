@@ -1,0 +1,129 @@
+//! Stratified evaluation slices for the paper's Figures 6 and 7.
+//!
+//! * **Figure 6** buckets test pairs by their co-occurrence frequency
+//!   *in the unlabeled corpus* (quantiles) and reports F1 per bucket.
+//! * **Figure 7** buckets test pairs by their number of available sentences
+//!   and reports F1 per bucket. (The paper buckets by training-corpus
+//!   sentence count; our held-out split keeps train/test pairs disjoint, so
+//!   the test bag's own sentence count is the faithful analogue — it is the
+//!   quantity that controls how much textual evidence the model sees for
+//!   the pair. Documented in DESIGN.md.)
+
+use crate::heldout::hard_f1;
+use imre_core::PreparedBag;
+use imre_corpus::CoOccurrence;
+
+/// F1 per quantile bucket of unlabeled-corpus co-occurrence counts.
+///
+/// Pairs are sorted by co-occurrence count and cut into `n_buckets` equal
+/// slices; the returned vector holds `(upper-quantile-label, f1)` per
+/// bucket, in increasing co-occurrence order.
+pub fn f1_by_cooccurrence_quantile(
+    bags: &[PreparedBag],
+    co: &CoOccurrence,
+    n_buckets: usize,
+    mut predict: impl FnMut(&PreparedBag) -> Vec<f32>,
+) -> Vec<(String, f32)> {
+    assert!(n_buckets > 0, "need at least one bucket");
+    let mut indexed: Vec<(usize, u32)> = bags
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (i, co.count(b.head, b.tail)))
+        .collect();
+    indexed.sort_by_key(|&(_, c)| c);
+    let per = indexed.len().div_ceil(n_buckets);
+    let mut out = Vec::with_capacity(n_buckets);
+    for (bi, chunk) in indexed.chunks(per).enumerate() {
+        let subset: Vec<PreparedBag> = chunk.iter().map(|&(i, _)| bags[i].clone()).collect();
+        let f1 = hard_f1(&subset, &mut predict);
+        let label = format!("q{}", (bi + 1) * 100 / n_buckets);
+        out.push((label, f1));
+    }
+    out
+}
+
+/// F1 per sentence-count bucket (`1, 2, 3, 4, ≥5`).
+pub fn f1_by_sentence_count(
+    bags: &[PreparedBag],
+    mut predict: impl FnMut(&PreparedBag) -> Vec<f32>,
+) -> Vec<(String, f32)> {
+    let buckets: [(usize, usize); 5] = [(1, 1), (2, 2), (3, 3), (4, 4), (5, usize::MAX)];
+    buckets
+        .iter()
+        .map(|&(lo, hi)| {
+            let subset: Vec<PreparedBag> = bags
+                .iter()
+                .filter(|b| b.sentences.len() >= lo && b.sentences.len() <= hi)
+                .cloned()
+                .collect();
+            let label = if hi == usize::MAX { format!("{lo}+") } else { lo.to_string() };
+            let f1 = if subset.is_empty() { 0.0 } else { hard_f1(&subset, &mut predict) };
+            (label, f1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imre_core::SentenceFeatures;
+
+    fn bag(head: usize, label: usize, n_sentences: usize) -> PreparedBag {
+        let s = SentenceFeatures {
+            tokens: vec![1, 2],
+            head_offsets: vec![0, 1],
+            tail_offsets: vec![1, 0],
+            head_pos: 0,
+            tail_pos: 1,
+        };
+        PreparedBag { head, tail: head + 100, label, sentences: vec![s; n_sentences] }
+    }
+
+    #[test]
+    fn quantile_buckets_cover_all_pairs() {
+        let bags: Vec<PreparedBag> = (0..12).map(|i| bag(i, 1 + i % 2, 1)).collect();
+        let mut co = CoOccurrence::new();
+        for i in 0..12 {
+            co.add(i, i + 100, (i as u32 + 1) * 3);
+        }
+        let out = f1_by_cooccurrence_quantile(&bags, &co, 4, |b| {
+            let mut s = vec![0.0; 3];
+            s[b.label] = 1.0;
+            s
+        });
+        assert_eq!(out.len(), 4);
+        for (label, f1) in &out {
+            assert!(label.starts_with('q'));
+            assert!((f1 - 1.0).abs() < 1e-6, "oracle must be perfect in every bucket");
+        }
+    }
+
+    #[test]
+    fn sentence_count_buckets_route_correctly() {
+        let bags = vec![bag(0, 1, 1), bag(1, 1, 2), bag(2, 1, 7)];
+        // oracle only for bags with ≥5 sentences; others predicted NA
+        let out = f1_by_sentence_count(&bags, |b| {
+            let mut s = vec![1.0, 0.0, 0.0];
+            if b.sentences.len() >= 5 {
+                s = vec![0.0; 3];
+                s[b.label] = 1.0;
+            }
+            s
+        });
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].1, 0.0, "single-sentence bucket predicted NA");
+        assert!((out[4].1 - 1.0).abs() < 1e-6, "5+ bucket predicted correctly");
+        assert_eq!(out[4].0, "5+");
+    }
+
+    #[test]
+    fn empty_bucket_yields_zero() {
+        let bags = vec![bag(0, 1, 1)];
+        let out = f1_by_sentence_count(&bags, |b| {
+            let mut s = vec![0.0; 3];
+            s[b.label] = 1.0;
+            s
+        });
+        assert_eq!(out[1].1, 0.0, "no 2-sentence bags");
+    }
+}

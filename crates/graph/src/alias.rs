@@ -1,0 +1,132 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! LINE training draws millions of edges proportionally to their weight and
+//! negative vertices proportionally to degree^{3/4}; the alias table makes
+//! both constant-time after linear setup.
+
+use imre_tensor::TensorRng;
+
+/// An alias table over `weights.len()` outcomes.
+pub struct AliasTable {
+    prob: Vec<f32>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// # Panics
+    /// If `weights` is empty or sums to zero (or contains a negative value).
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable: empty weight vector");
+        assert!(weights.iter().all(|&w| w >= 0.0), "AliasTable: negative weight");
+        let n = weights.len();
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        assert!(total > 0.0, "AliasTable: zero total weight");
+
+        let mut prob: Vec<f32> = weights.iter().map(|&w| (w as f64 * n as f64 / total) as f32).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are 1.0 up to rounding.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Draws one outcome.
+    #[inline]
+    pub fn sample(&self, rng: &mut TensorRng) -> usize {
+        let i = rng.below(self.prob.len());
+        if rng.f32() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(weights: &[f32], draws: usize, seed: u64) -> Vec<f32> {
+        let table = AliasTable::new(weights);
+        let mut rng = TensorRng::seed(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f32 / draws as f32).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freqs = empirical(&[1.0; 8], 80_000, 1);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let freqs = empirical(&w, 100_000, 2);
+        let total: f32 = w.iter().sum();
+        for (f, &wi) in freqs.iter().zip(&w) {
+            assert!((f - wi / total).abs() < 0.01, "freq {f} expected {}", wi / total);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let freqs = empirical(&[0.0, 1.0, 0.0, 1.0], 20_000, 3);
+        assert_eq!(freqs[0], 0.0);
+        assert_eq!(freqs[2], 0.0);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let freqs = empirical(&[42.0], 100, 4);
+        assert_eq!(freqs[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn all_zero_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weight vector")]
+    fn empty_panics() {
+        let _ = AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Graph-convolutional smoothing of entity embeddings — the paper's stated
+//! future work (§V: "we plan to utilize graph neural networks (GNNs) …
+//! to model auxiliary side information", addressing vertices with few or no
+//! edges).
+//!
+//! This module implements the simplest useful instance: symmetric-normalised
+//! neighbourhood propagation (the message-passing core of GCN, without
+//! trained weights):
+//!
+//! ```text
+//! U' = (1 − λ) · U + λ · D^{-1/2} A D^{-1/2} U
+//! ```
+//!
+//! iterated `hops` times. Low-degree vertices — whose LINE vectors are
+//! undertrained — inherit their neighbourhood's semantics, which is exactly
+//! the failure mode the paper's conclusion calls out.
+
+use crate::line::EntityEmbedding;
+use crate::proximity::ProximityGraph;
+use imre_tensor::Tensor;
+
+/// Configuration for [`propagate`].
+#[derive(Debug, Clone, Copy)]
+pub struct PropagationConfig {
+    /// Mixing coefficient λ ∈ [0, 1]: 0 = no smoothing, 1 = pure
+    /// neighbourhood average.
+    pub lambda: f32,
+    /// Number of propagation steps.
+    pub hops: usize,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig { lambda: 0.5, hops: 2 }
+    }
+}
+
+/// Smooths entity embeddings over the proximity graph.
+///
+/// Isolated vertices are left untouched. Rows are L2-normalised at the end
+/// so downstream cosine queries stay comparable with raw LINE output.
+///
+/// # Panics
+/// If the embedding and graph disagree on the number of entities, or
+/// `lambda` is outside `[0, 1]`.
+pub fn propagate(emb: &EntityEmbedding, graph: &ProximityGraph, config: &PropagationConfig) -> EntityEmbedding {
+    assert_eq!(
+        emb.len(),
+        graph.n_vertices(),
+        "propagate: embedding has {} entities, graph has {}",
+        emb.len(),
+        graph.n_vertices()
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.lambda),
+        "propagate: lambda must be in [0, 1], got {}",
+        config.lambda
+    );
+    let n = emb.len();
+    let d = emb.dim();
+    let mut current = emb.matrix().clone();
+
+    // precompute D^{-1/2}
+    let inv_sqrt_deg: Vec<f32> = (0..n)
+        .map(|v| {
+            let deg = graph.degree(v);
+            if deg > 0.0 {
+                1.0 / deg.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    for _ in 0..config.hops {
+        let mut next = Tensor::zeros(&[n, d]);
+        for v in 0..n {
+            let neighbors = graph.neighbors(v);
+            if neighbors.is_empty() {
+                next.row_mut(v).copy_from_slice(current.row(v));
+                continue;
+            }
+            // message = Σ_u w_vu / (√d_v √d_u) · U_u
+            let mut msg = vec![0.0f32; d];
+            for &(u, w) in neighbors {
+                let coef = w * inv_sqrt_deg[v] * inv_sqrt_deg[u];
+                for (m, &x) in msg.iter_mut().zip(current.row(u)) {
+                    *m += coef * x;
+                }
+            }
+            let row = next.row_mut(v);
+            for ((r, &old), m) in row.iter_mut().zip(current.row(v)).zip(msg) {
+                *r = (1.0 - config.lambda) * old + config.lambda * m;
+            }
+        }
+        current = next;
+    }
+
+    // renormalise rows
+    for v in 0..n {
+        let row = current.row_mut(v);
+        let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for x in row {
+                *x /= norm;
+            }
+        }
+    }
+    EntityEmbedding::from_matrix(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph(n: usize) -> ProximityGraph {
+        let counts: Vec<((usize, usize), u32)> = (0..n - 1).map(|i| ((i, i + 1), 10)).collect();
+        ProximityGraph::from_counts(counts, n, 1)
+    }
+
+    #[test]
+    fn propagation_preserves_shape() {
+        let g = chain_graph(5);
+        let emb = EntityEmbedding::from_matrix(Tensor::eye(5));
+        let out = propagate(&emb, &g, &PropagationConfig::default());
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.dim(), 5);
+    }
+
+    #[test]
+    fn neighbours_become_more_similar() {
+        let g = chain_graph(4);
+        // orthogonal starting vectors
+        let emb = EntityEmbedding::from_matrix(Tensor::eye(4));
+        let before = {
+            let a = Tensor::from_vec(emb.vector(0).to_vec(), &[4]);
+            let b = Tensor::from_vec(emb.vector(1).to_vec(), &[4]);
+            a.cosine(&b)
+        };
+        let out = propagate(&emb, &g, &PropagationConfig { lambda: 0.5, hops: 2 });
+        let after = {
+            let a = Tensor::from_vec(out.vector(0).to_vec(), &[4]);
+            let b = Tensor::from_vec(out.vector(1).to_vec(), &[4]);
+            a.cosine(&b)
+        };
+        assert!(after > before + 0.1, "smoothing should pull neighbours together: {before} → {after}");
+    }
+
+    #[test]
+    fn isolated_vertices_keep_direction() {
+        let counts = vec![((0usize, 1usize), 5u32)]; // vertex 2 isolated
+        let g = ProximityGraph::from_counts(counts, 3, 1);
+        let emb = EntityEmbedding::from_matrix(Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 1.0, 3.0, 4.0],
+            &[3, 2],
+        ));
+        let out = propagate(&emb, &g, &PropagationConfig { lambda: 0.7, hops: 3 });
+        // isolated vertex 2: same direction, unit norm
+        let v = out.vector(2);
+        assert!((v[0] - 0.6).abs() < 1e-5 && (v[1] - 0.8).abs() < 1e-5, "{v:?}");
+    }
+
+    #[test]
+    fn lambda_zero_only_renormalises() {
+        let g = chain_graph(3);
+        let emb = EntityEmbedding::from_matrix(Tensor::from_vec(
+            vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0],
+            &[3, 2],
+        ));
+        let out = propagate(&emb, &g, &PropagationConfig { lambda: 0.0, hops: 3 });
+        assert!((out.vector(0)[0] - 1.0).abs() < 1e-6);
+        assert!(out.vector(0)[1].abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in")]
+    fn bad_lambda_panics() {
+        let g = chain_graph(3);
+        let emb = EntityEmbedding::from_matrix(Tensor::eye(3));
+        let _ = propagate(&emb, &g, &PropagationConfig { lambda: 1.5, hops: 1 });
+    }
+}

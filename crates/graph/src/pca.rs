@@ -1,0 +1,122 @@
+//! Principal-component projection (power iteration with deflation).
+//!
+//! The paper's Figure 8 projects entity embeddings into 3-D with the
+//! TensorFlow Embedding Projector; this module provides the equivalent
+//! PCA so the case-study bench can print 3-D coordinates.
+
+use imre_tensor::{Tensor, TensorRng};
+
+/// Projects the rows of `x` (`[n, d]`) onto the top `k` principal
+/// components, returning `[n, k]` scores.
+///
+/// Uses power iteration with Hotelling deflation on the `d × d` covariance;
+/// for the embedding widths used here (≤ 128) this is exact enough and
+/// dependency-free.
+///
+/// # Panics
+/// If `k > d` or `x` has fewer than 2 rows.
+pub fn pca_project(x: &Tensor, k: usize, seed: u64) -> Tensor {
+    let (n, d) = (x.rows(), x.cols());
+    assert!(n >= 2, "pca_project: need at least 2 rows");
+    assert!(k <= d, "pca_project: k={k} exceeds dimensionality {d}");
+
+    // centre
+    let mean = x.mean_rows();
+    let centered = {
+        let mut c = x.clone();
+        for r in 0..n {
+            for (v, &m) in c.row_mut(r).iter_mut().zip(mean.data()) {
+                *v -= m;
+            }
+        }
+        c
+    };
+
+    // covariance = Xᵀ X / (n − 1)
+    let mut cov = centered.matmul_tn(&centered);
+    cov.map_in_place(|v| v / (n as f32 - 1.0));
+
+    let mut rng = TensorRng::seed(seed);
+    let mut components: Vec<Tensor> = Vec::with_capacity(k);
+    let mut deflated = cov;
+    for _ in 0..k {
+        let mut v = Tensor::rand_uniform(&[d], -1.0, 1.0, &mut rng);
+        // power iteration
+        for _ in 0..200 {
+            let next = deflated.matvec(&v);
+            let norm = next.norm_l2();
+            if norm < 1e-12 {
+                break;
+            }
+            v = next.scale(1.0 / norm);
+        }
+        // deflate: C ← C − λ v vᵀ
+        let lambda = v.dot(&deflated.matvec(&v));
+        let outer = v.outer(&v);
+        deflated = deflated.sub(&outer.scale(lambda));
+        components.push(v);
+    }
+
+    // scores = centered · V
+    let mut out = Tensor::zeros(&[n, k]);
+    for r in 0..n {
+        let row = Tensor::from_vec(centered.row(r).to_vec(), &[d]);
+        for (c, comp) in components.iter().enumerate() {
+            *out.at_mut(r, c) = row.dot(comp);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Points spread mostly along (1,1)/√2 with small orthogonal noise.
+        let mut rng = TensorRng::seed(5);
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let t = rng.uniform(-5.0, 5.0);
+            let noise = rng.uniform(-0.1, 0.1);
+            rows.push(vec![t + noise, t - noise]);
+        }
+        let x = Tensor::from_rows(&rows);
+        let proj = pca_project(&x, 2, 1);
+        // variance of PC1 scores dwarfs PC2
+        let var = |c: usize| {
+            let vals: Vec<f32> = (0..200).map(|r| proj.at(r, c)).collect();
+            let m = vals.iter().sum::<f32>() / 200.0;
+            vals.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / 200.0
+        };
+        assert!(var(0) > var(1) * 100.0, "PC1 var {} PC2 var {}", var(0), var(1));
+    }
+
+    #[test]
+    fn projection_shape() {
+        let mut rng = TensorRng::seed(6);
+        let x = Tensor::rand_uniform(&[10, 8], -1.0, 1.0, &mut rng);
+        let proj = pca_project(&x, 3, 2);
+        assert_eq!(proj.shape(), &[10, 3]);
+        assert!(proj.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scores_are_centered() {
+        let mut rng = TensorRng::seed(7);
+        let x = Tensor::rand_uniform(&[50, 4], 5.0, 9.0, &mut rng);
+        let proj = pca_project(&x, 2, 3);
+        for c in 0..2 {
+            let mean: f32 = (0..50).map(|r| proj.at(r, c)).sum::<f32>() / 50.0;
+            assert!(mean.abs() < 1e-3, "PC{c} mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dimensionality")]
+    fn k_too_large_panics() {
+        let x = Tensor::zeros(&[5, 2]);
+        let _ = pca_project(&x, 3, 1);
+    }
+}

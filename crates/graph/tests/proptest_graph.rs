@@ -1,0 +1,94 @@
+//! Property-based tests for the graph substrate: alias-sampler correctness,
+//! proximity-graph invariants, and LINE output sanity under arbitrary
+//! co-occurrence tables.
+
+use imre_graph::{AliasTable, ProximityGraph};
+use imre_tensor::TensorRng;
+use proptest::prelude::*;
+
+type CountTable = (usize, Vec<((usize, usize), u32)>);
+
+fn cooccurrence_table(max_vertices: usize) -> impl Strategy<Value = CountTable> {
+    (4..=max_vertices).prop_flat_map(|n| {
+        let pairs = proptest::collection::vec(((0..n, 0..n), 1u32..50), 1..60);
+        (Just(n), pairs)
+    })
+}
+
+proptest! {
+    #[test]
+    fn alias_table_empirical_matches_weights(weights in proptest::collection::vec(0.0f32..10.0, 2..12), seed in 0u64..1000) {
+        prop_assume!(weights.iter().sum::<f32>() > 1.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = TensorRng::seed(seed);
+        let draws = 30_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f32 = weights.iter().sum();
+        for (i, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+            let expected = w / total;
+            let observed = c as f32 / draws as f32;
+            prop_assert!((observed - expected).abs() < 0.03, "outcome {i}: {observed} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn proximity_graph_invariants((n, counts) in cooccurrence_table(20), threshold in 1u32..5) {
+        let g = ProximityGraph::from_counts(counts.clone(), n, threshold);
+        // every edge weight in (0, 1]
+        for &(u, v, w) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(u < n && v < n);
+            prop_assert!(w > 0.0 && w <= 1.0);
+        }
+        // adjacency is symmetric and degree counts match
+        for v in 0..n {
+            for &(u, w) in g.neighbors(v) {
+                prop_assert!(g.neighbors(u).iter().any(|&(x, wx)| x == v && (wx - w).abs() < 1e-6));
+            }
+        }
+        // no self loops survive
+        for v in 0..n {
+            prop_assert!(g.neighbors(v).iter().all(|&(u, _)| u != v));
+        }
+    }
+
+    #[test]
+    fn thresholding_is_monotone((n, counts) in cooccurrence_table(16)) {
+        // merge duplicate pairs the way the graph builder sees them summed
+        // upstream: here we just check edge count is antitone in threshold
+        let g1 = ProximityGraph::from_counts(counts.clone(), n, 1);
+        let g2 = ProximityGraph::from_counts(counts.clone(), n, 3);
+        let g3 = ProximityGraph::from_counts(counts, n, 6);
+        prop_assert!(g1.n_edges() >= g2.n_edges());
+        prop_assert!(g2.n_edges() >= g3.n_edges());
+    }
+
+    #[test]
+    fn common_neighbors_subset_of_both((n, counts) in cooccurrence_table(14)) {
+        let g = ProximityGraph::from_counts(counts, n, 1);
+        for a in 0..n.min(5) {
+            for b in 0..n.min(5) {
+                for c in g.common_neighbors(a, b) {
+                    prop_assert!(g.neighbors(a).iter().any(|&(v, _)| v == c));
+                    prop_assert!(g.neighbors(b).iter().any(|&(v, _)| v == c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_symmetric_and_bounded((n, counts) in cooccurrence_table(14)) {
+        let g = ProximityGraph::from_counts(counts, n, 1);
+        for a in 0..n.min(6) {
+            for b in 0..n.min(6) {
+                let j1 = g.neighborhood_jaccard(a, b);
+                let j2 = g.neighborhood_jaccard(b, a);
+                prop_assert!((j1 - j2).abs() < 1e-6);
+                prop_assert!((0.0..=1.0).contains(&j1));
+            }
+        }
+    }
+}

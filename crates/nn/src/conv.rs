@@ -1,0 +1,215 @@
+//! 1-D convolution over a token sequence, implemented as unfold + matmul,
+//! plus the max-pooling heads the paper's CNN/PCNN encoders use.
+
+use crate::param::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use imre_tensor::TensorRng;
+
+/// Same-padded 1-D convolution: input `[T, in_dim] → [T, filters]`.
+///
+/// Zeng et al.'s relation-extraction CNN (and the PCNN variant the paper
+/// builds on) slides `filters` windows of width `window` over the token
+/// sequence. We realise it as `unfold(x, window) · W + b`, which reuses the
+/// matmul kernel and gets the unfold's scatter gradient for free.
+pub struct Conv1d {
+    /// Weight parameter, shape `[window * in_dim, filters]`.
+    pub w: ParamId,
+    /// Bias parameter, shape `[filters]`.
+    pub b: ParamId,
+    window: usize,
+    in_dim: usize,
+    filters: usize,
+}
+
+impl Conv1d {
+    /// Registers a convolution layer under `name`.
+    ///
+    /// # Panics
+    /// If `window` is even or zero.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        filters: usize,
+        window: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(window % 2 == 1 && window > 0, "Conv1d: window must be odd and positive, got {window}");
+        let w = store.xavier(&format!("{name}.w"), window * in_dim, filters, rng);
+        let b = store.zeros(&format!("{name}.b"), &[filters]);
+        Conv1d { w, b, window, in_dim, filters }
+    }
+
+    /// Number of filters (output channels).
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Window (kernel) width.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Applies the convolution: `[T, in_dim] → [T, filters]`.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let u = tape.unfold(x, self.window);
+        let w = tape.param(self.w);
+        let b = tape.param(self.b);
+        let c = tape.matmul(u, w);
+        tape.add_row_broadcast(c, b)
+    }
+}
+
+/// Global max pooling over the whole sequence, then tanh: `[T, k] → [k]`.
+///
+/// This is the pooling of the plain CNN encoder (Zeng et al. 2014).
+pub fn max_pool_tanh(tape: &mut Tape, conv_out: Var) -> Var {
+    let t = tape.value(conv_out).rows();
+    let pooled = tape.piecewise_max(conv_out, &[(0, t)]);
+    tape.tanh(pooled)
+}
+
+/// Piecewise max pooling (Zeng et al. 2015), then tanh: `[T, k] → [3k]`.
+///
+/// The sequence is cut into three segments by the two entity positions
+/// (`head_pos ≤ tail_pos`); each segment is max-pooled separately so the
+/// encoder keeps the structure *before / between / after* the entity pair.
+/// Degenerate cuts (entity at the boundary) fall back to clamped non-empty
+/// segments, matching the standard PCNN implementations.
+pub fn piecewise_max_pool_tanh(tape: &mut Tape, conv_out: Var, head_pos: usize, tail_pos: usize) -> Var {
+    let t = tape.value(conv_out).rows();
+    let segments = pcnn_segments(t, head_pos, tail_pos);
+    let pooled = tape.piecewise_max(conv_out, &segments);
+    tape.tanh(pooled)
+}
+
+/// Computes the three non-empty PCNN segments for a sequence of length `t`
+/// with entity mentions at `head_pos` and `tail_pos`.
+///
+/// # Panics
+/// If `t == 0` or a position is out of range.
+pub fn pcnn_segments(t: usize, head_pos: usize, tail_pos: usize) -> Vec<(usize, usize)> {
+    assert!(t > 0, "pcnn_segments: empty sequence");
+    if t == 1 {
+        return vec![(0, 1), (0, 1), (0, 1)];
+    }
+    let (p1, p2) = if head_pos <= tail_pos { (head_pos, tail_pos) } else { (tail_pos, head_pos) };
+    assert!(p2 < t, "pcnn_segments: entity position {p2} out of range for length {t}");
+    // Boundary-sharing segments, each including its entity token(s), as in
+    // the reference PCNN implementations: [0, p1], [p1, p2], [p2, t). Sharing
+    // the entity rows keeps every segment non-empty for all positions.
+    vec![(0, p1 + 1), (p1, p2 + 1), (p2, t)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::GradStore;
+    use imre_tensor::{assert_close, Tensor};
+
+    #[test]
+    fn conv_shapes() {
+        let mut rng = TensorRng::seed(1);
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, "c", 5, 8, 3, &mut rng);
+        let mut tape = Tape::new(&store);
+        let x = tape.leaf(Tensor::rand_uniform(&[7, 5], -1.0, 1.0, &mut rng));
+        let y = conv.forward(&mut tape, x);
+        assert_eq!(tape.value(y).shape(), &[7, 8]);
+    }
+
+    #[test]
+    fn conv_known_values_window1() {
+        // window 1 degenerates to a per-position linear map — easy oracle.
+        let mut rng = TensorRng::seed(2);
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, "c", 2, 1, 1, &mut rng);
+        store.set(conv.w, Tensor::from_vec(vec![2.0, -1.0], &[2, 1]));
+        store.set(conv.b, Tensor::from_vec(vec![0.5], &[1]));
+        let mut tape = Tape::new(&store);
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 1.0, 3.0, 0.0], &[2, 2]));
+        let y = conv.forward(&mut tape, x);
+        assert_close(tape.value(y).data(), &[1.5, 6.5], 1e-6);
+    }
+
+    #[test]
+    fn conv_window3_uses_neighbours() {
+        let mut rng = TensorRng::seed(3);
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, "c", 1, 1, 3, &mut rng);
+        // W picks only the *previous* token: weights [1, 0, 0]
+        store.set(conv.w, Tensor::from_vec(vec![1.0, 0.0, 0.0], &[3, 1]));
+        store.set(conv.b, Tensor::zeros(&[1]));
+        let mut tape = Tape::new(&store);
+        let x = tape.leaf(Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3, 1]));
+        let y = conv.forward(&mut tape, x);
+        // position 0 has zero-padded left neighbour
+        assert_close(tape.value(y).data(), &[0.0, 10.0, 20.0], 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be odd")]
+    fn even_window_panics() {
+        let mut rng = TensorRng::seed(4);
+        let mut store = ParamStore::new();
+        let _ = Conv1d::new(&mut store, "c", 2, 2, 2, &mut rng);
+    }
+
+    #[test]
+    fn pcnn_segments_cover_and_are_nonempty() {
+        for t in 2..20 {
+            for h in 0..t {
+                for ta in 0..t {
+                    let segs = pcnn_segments(t, h, ta);
+                    assert_eq!(segs.len(), 3);
+                    assert_eq!(segs[0].0, 0);
+                    assert_eq!(segs[2].1, t);
+                    let mut covered = vec![false; t];
+                    for &(lo, hi) in &segs {
+                        assert!(lo < hi, "empty segment {lo}..{hi} for t={t} h={h} ta={ta}");
+                        assert!(hi <= t, "segment {lo}..{hi} exceeds length {t}");
+                        for slot in covered[lo..hi].iter_mut() {
+                            *slot = true;
+                        }
+                    }
+                    assert!(covered.iter().all(|&c| c), "segments do not cover 0..{t} for h={h} ta={ta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_pool_variants_shapes() {
+        let mut rng = TensorRng::seed(5);
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.leaf(Tensor::rand_uniform(&[9, 4], -1.0, 1.0, &mut rng));
+        let g = max_pool_tanh(&mut tape, x);
+        assert_eq!(tape.value(g).shape(), &[4]);
+        let mut tape2 = Tape::new(&store);
+        let x2 = tape2.leaf(Tensor::rand_uniform(&[9, 4], -1.0, 1.0, &mut rng));
+        let p = piecewise_max_pool_tanh(&mut tape2, x2, 2, 6);
+        assert_eq!(tape2.value(p).shape(), &[12]);
+    }
+
+    #[test]
+    fn conv_gradients_flow() {
+        let mut rng = TensorRng::seed(6);
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, "c", 3, 4, 3, &mut rng);
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let x = tape.leaf(Tensor::rand_uniform(&[6, 3], -1.0, 1.0, &mut rng));
+        let c = conv.forward(&mut tape, x);
+        let pooled = piecewise_max_pool_tanh(&mut tape, c, 1, 4);
+        let loss = tape.softmax_cross_entropy(pooled, 0);
+        tape.backward(loss, &mut grads);
+        assert!(grads.get(conv.w).norm_l2() > 0.0);
+        assert!(grads.get(conv.b).norm_l2() > 0.0);
+    }
+}

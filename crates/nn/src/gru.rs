@@ -1,0 +1,278 @@
+//! Gated recurrent unit (GRU) cell and uni/bidirectional sequence encoders.
+//!
+//! The paper's RNN-based baselines (GRU+ATT, BGWA) encode each sentence with
+//! a (bidirectional) GRU. Gates use separate weight matrices per gate, which
+//! keeps the tape free of slicing ops:
+//!
+//! ```text
+//! r_t = σ(x_t·W_r + h_{t−1}·U_r + b_r)
+//! z_t = σ(x_t·W_z + h_{t−1}·U_z + b_z)
+//! n_t = tanh(x_t·W_n + (r_t ⊙ h_{t−1})·U_n + b_n)
+//! h_t = (1 − z_t) ⊙ h_{t−1} + z_t ⊙ n_t
+//! ```
+
+use crate::param::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use imre_tensor::{Tensor, TensorRng};
+
+/// One GRU cell's parameters.
+pub struct GruCell {
+    w_r: ParamId,
+    u_r: ParamId,
+    b_r: ParamId,
+    w_z: ParamId,
+    u_z: ParamId,
+    b_z: ParamId,
+    w_n: ParamId,
+    u_n: ParamId,
+    b_n: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Registers a GRU cell's nine parameter tensors under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
+        let mat = |store: &mut ParamStore, suffix: &str, fi: usize, fo: usize, rng: &mut TensorRng| {
+            store.xavier(&format!("{name}.{suffix}"), fi, fo, rng)
+        };
+        GruCell {
+            w_r: mat(store, "w_r", in_dim, hidden, rng),
+            u_r: mat(store, "u_r", hidden, hidden, rng),
+            b_r: store.zeros(&format!("{name}.b_r"), &[hidden]),
+            w_z: mat(store, "w_z", in_dim, hidden, rng),
+            u_z: mat(store, "u_z", hidden, hidden, rng),
+            b_z: store.zeros(&format!("{name}.b_z"), &[hidden]),
+            w_n: mat(store, "w_n", in_dim, hidden, rng),
+            u_n: mat(store, "u_n", hidden, hidden, rng),
+            b_n: store.zeros(&format!("{name}.b_n"), &[hidden]),
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Records the cell's parameters on the tape once; [`GruCell::step`]
+    /// reuses them across every timestep (recording them per step would
+    /// copy all nine matrices T times).
+    pub fn vars(&self, tape: &mut Tape) -> GruVars {
+        GruVars {
+            w_r: tape.param(self.w_r),
+            u_r: tape.param(self.u_r),
+            b_r: tape.param(self.b_r),
+            w_z: tape.param(self.w_z),
+            u_z: tape.param(self.u_z),
+            b_z: tape.param(self.b_z),
+            w_n: tape.param(self.w_n),
+            u_n: tape.param(self.u_n),
+            b_n: tape.param(self.b_n),
+        }
+    }
+
+    /// One step: `x_t` is rank-1 `[in_dim]`, `h_prev` rank-1 `[hidden]`.
+    /// Returns the new hidden state, rank-1 `[hidden]`.
+    pub fn step(&self, tape: &mut Tape, vars: &GruVars, x_t: Var, h_prev: Var) -> Var {
+        let x2 = tape.reshape(x_t, &[1, self.in_dim]);
+        let h2 = tape.reshape(h_prev, &[1, self.hidden]);
+
+        let gate = |tape: &mut Tape, w: Var, u: Var, b: Var, h_in: Var| {
+            let xw = tape.matmul(x2, w);
+            let hu = tape.matmul(h_in, u);
+            let s = tape.add(xw, hu);
+            tape.add_row_broadcast(s, b)
+        };
+
+        let r_pre = gate(tape, vars.w_r, vars.u_r, vars.b_r, h2);
+        let r = tape.sigmoid(r_pre);
+        let z_pre = gate(tape, vars.w_z, vars.u_z, vars.b_z, h2);
+        let z = tape.sigmoid(z_pre);
+
+        let rh = tape.mul(r, h2);
+        let n_pre = gate(tape, vars.w_n, vars.u_n, vars.b_n, rh);
+        let n = tape.tanh(n_pre);
+
+        // h = (1 − z) ⊙ h_prev + z ⊙ n  ==  h_prev + z ⊙ (n − h_prev)
+        let n_minus_h = tape.sub(n, h2);
+        let delta = tape.mul(z, n_minus_h);
+        let h_new = tape.add(h2, delta);
+        tape.reshape(h_new, &[self.hidden])
+    }
+
+    /// Runs the cell over a `[T, in_dim]` sequence from a zero initial state,
+    /// returning all hidden states stacked as `[T, hidden]`.
+    pub fn run(&self, tape: &mut Tape, xs: Var) -> Var {
+        let t = tape.value(xs).rows();
+        let vars = self.vars(tape);
+        let mut h = tape.leaf(Tensor::zeros(&[self.hidden]));
+        let mut hs = Vec::with_capacity(t);
+        for step in 0..t {
+            let x_t = row_of(tape, xs, step);
+            h = self.step(tape, &vars, x_t, h);
+            hs.push(h);
+        }
+        tape.stack_rows(&hs)
+    }
+
+    /// Runs the cell right-to-left, returning states stacked in the
+    /// *original* (left-to-right) order.
+    pub fn run_reverse(&self, tape: &mut Tape, xs: Var) -> Var {
+        let t = tape.value(xs).rows();
+        let vars = self.vars(tape);
+        let mut h = tape.leaf(Tensor::zeros(&[self.hidden]));
+        let mut hs = vec![None; t];
+        for step in (0..t).rev() {
+            let x_t = row_of(tape, xs, step);
+            h = self.step(tape, &vars, x_t, h);
+            hs[step] = Some(h);
+        }
+        let ordered: Vec<Var> = hs.into_iter().map(|o| o.expect("all steps filled")).collect();
+        tape.stack_rows(&ordered)
+    }
+}
+
+/// The nine parameter vars of a [`GruCell`], recorded once per tape.
+pub struct GruVars {
+    w_r: Var,
+    u_r: Var,
+    b_r: Var,
+    w_z: Var,
+    u_z: Var,
+    b_z: Var,
+    w_n: Var,
+    u_n: Var,
+    b_n: Var,
+}
+
+/// Extracts row `r` of a rank-2 var as a rank-1 var.
+fn row_of(tape: &mut Tape, mat: Var, r: usize) -> Var {
+    tape.slice_row(mat, r)
+}
+
+/// A bidirectional GRU: concatenates forward and backward states per token,
+/// `[T, in_dim] → [T, 2·hidden]`.
+pub struct BiGru {
+    fwd: GruCell,
+    bwd: GruCell,
+}
+
+impl BiGru {
+    /// Registers both directions under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
+        BiGru {
+            fwd: GruCell::new(store, &format!("{name}.fwd"), in_dim, hidden, rng),
+            bwd: GruCell::new(store, &format!("{name}.bwd"), in_dim, hidden, rng),
+        }
+    }
+
+    /// Per-token output width (`2 · hidden`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden()
+    }
+
+    /// Encodes a `[T, in_dim]` sequence to `[T, 2·hidden]`.
+    pub fn forward(&self, tape: &mut Tape, xs: Var) -> Var {
+        let f = self.fwd.run(tape, xs);
+        let b = self.bwd.run_reverse(tape, xs);
+        tape.concat_cols(&[f, b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::GradStore;
+    use imre_tensor::assert_close;
+
+    #[test]
+    fn step_output_bounded() {
+        // h is a convex combination of h_prev (=0) and tanh output ⇒ |h| < 1.
+        let mut rng = TensorRng::seed(1);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 4, 3, &mut rng);
+        let mut tape = Tape::new(&store);
+        let x = tape.leaf(Tensor::rand_uniform(&[4], -2.0, 2.0, &mut rng));
+        let h0 = tape.leaf(Tensor::zeros(&[3]));
+        let vars = cell.vars(&mut tape);
+        let h1 = cell.step(&mut tape, &vars, x, h0);
+        assert_eq!(tape.value(h1).shape(), &[3]);
+        assert!(tape.value(h1).data().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn run_shapes_and_state_evolution() {
+        let mut rng = TensorRng::seed(2);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 5, &mut rng);
+        let mut tape = Tape::new(&store);
+        let xs = tape.leaf(Tensor::rand_uniform(&[6, 3], -1.0, 1.0, &mut rng));
+        let hs = cell.run(&mut tape, xs);
+        assert_eq!(tape.value(hs).shape(), &[6, 5]);
+        // consecutive states differ (the cell is actually recurring)
+        let h0 = tape.value(hs).row(0).to_vec();
+        let h5 = tape.value(hs).row(5).to_vec();
+        assert!(h0.iter().zip(&h5).any(|(a, b)| (a - b).abs() > 1e-6));
+    }
+
+    #[test]
+    fn reverse_run_mirrors_forward_on_reversed_input() {
+        let mut rng = TensorRng::seed(3);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 2, 3, &mut rng);
+        let seq = Tensor::rand_uniform(&[4, 2], -1.0, 1.0, &mut rng);
+        let mut rev_rows: Vec<Vec<f32>> = (0..4).map(|r| seq.row(3 - r).to_vec()).collect();
+
+        let mut tape = Tape::new(&store);
+        let xs = tape.leaf(seq.clone());
+        let back = cell.run_reverse(&mut tape, xs);
+
+        let mut tape2 = Tape::new(&store);
+        let xs_rev = tape2.leaf(Tensor::from_rows(&std::mem::take(&mut rev_rows)));
+        let fwd = cell.run(&mut tape2, xs_rev);
+
+        // run_reverse output at position t equals forward-on-reversed at 3−t
+        for t in 0..4 {
+            assert_close(tape.value(back).row(t), tape2.value(fwd).row(3 - t), 1e-5);
+        }
+    }
+
+    #[test]
+    fn bigru_output_width() {
+        let mut rng = TensorRng::seed(4);
+        let mut store = ParamStore::new();
+        let bi = BiGru::new(&mut store, "bi", 3, 4, &mut rng);
+        let mut tape = Tape::new(&store);
+        let xs = tape.leaf(Tensor::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng));
+        let hs = bi.forward(&mut tape, xs);
+        assert_eq!(tape.value(hs).shape(), &[5, 8]);
+        assert_eq!(bi.out_dim(), 8);
+    }
+
+    #[test]
+    fn gradients_reach_all_gates() {
+        let mut rng = TensorRng::seed(5);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "gru", 3, 4, &mut rng);
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let xs = tape.leaf(Tensor::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng));
+        let hs = cell.run(&mut tape, xs);
+        let pooled = tape.piecewise_max(hs, &[(0, 5)]);
+        let loss = tape.softmax_cross_entropy(pooled, 1);
+        tape.backward(loss, &mut grads);
+        for (id, name, _) in store.iter() {
+            assert!(
+                grads.get(id).norm_l2() > 0.0,
+                "no gradient reached {name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Fully connected (dense) layer.
+
+use crate::param::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use imre_tensor::TensorRng;
+
+/// A dense layer `y = x · W + b` with `W: [in, out]`, `b: [out]`.
+///
+/// All of the paper's confidence heads (`C_MR`, `C_T`, `RE`) are a `Linear`
+/// followed by softmax; the combiner's outer transform is also a `Linear`.
+pub struct Linear {
+    /// Weight parameter, shape `[in_dim, out_dim]`.
+    pub w: ParamId,
+    /// Bias parameter, shape `[out_dim]`.
+    pub b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialised dense layer under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
+        let w = store.xavier(&format!("{name}.w"), in_dim, out_dim, rng);
+        let b = store.zeros(&format!("{name}.b"), &[out_dim]);
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to a rank-2 input `[n, in] → [n, out]`.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = tape.param(self.w);
+        let b = tape.param(self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_row_broadcast(xw, b)
+    }
+
+    /// Applies the layer to a rank-1 input `[in] → [out]`.
+    pub fn forward_vec(&self, tape: &mut Tape, x: Var) -> Var {
+        let x2 = tape.reshape(x, &[1, self.in_dim]);
+        let y2 = self.forward(tape, x2);
+        tape.reshape(y2, &[self.out_dim])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::GradStore;
+    use imre_tensor::{assert_close, Tensor};
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = TensorRng::seed(1);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 2, &mut rng);
+        store.set(layer.w, Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]));
+        store.set(layer.b, Tensor::from_vec(vec![0.5, -0.5], &[2]));
+        let mut tape = Tape::new(&store);
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let y = layer.forward(&mut tape, x);
+        // y0 = 1*1 + 2*0 + 3*1 + 0.5 = 4.5 ; y1 = 0 + 2 + 3 - 0.5 = 4.5
+        assert_close(tape.value(y).data(), &[4.5, 4.5], 1e-6);
+    }
+
+    #[test]
+    fn vec_and_matrix_paths_agree() {
+        let mut rng = TensorRng::seed(2);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 4, 3, &mut rng);
+        let input = Tensor::rand_uniform(&[4], -1.0, 1.0, &mut rng);
+
+        let mut tape = Tape::new(&store);
+        let xv = tape.leaf(input.clone());
+        let yv = layer.forward_vec(&mut tape, xv);
+        let vec_out = tape.value(yv).clone();
+
+        let mut tape2 = Tape::new(&store);
+        let xm = tape2.leaf(input.reshape(&[1, 4]));
+        let ym = layer.forward(&mut tape2, xm);
+        assert_close(vec_out.data(), tape2.value(ym).data(), 1e-6);
+    }
+
+    #[test]
+    fn gradients_flow_to_both_params() {
+        let mut rng = TensorRng::seed(3);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 3, 4, &mut rng);
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let x = tape.leaf(Tensor::rand_uniform(&[3], -1.0, 1.0, &mut rng));
+        let y = layer.forward_vec(&mut tape, x);
+        let loss = tape.softmax_cross_entropy(y, 2);
+        tape.backward(loss, &mut grads);
+        assert!(grads.get(layer.w).norm_l2() > 0.0);
+        assert!(grads.get(layer.b).norm_l2() > 0.0);
+    }
+}

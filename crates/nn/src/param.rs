@@ -1,0 +1,259 @@
+//! Persistent model parameters and their gradient buffers.
+//!
+//! Parameters live outside any single computation tape so that one set of
+//! weights can be trained across many [`crate::Tape`]s (one per bag/batch).
+//! Gradients accumulate in a parallel [`GradStore`]; the optimizer consumes
+//! both and the grad store is zeroed between steps.
+
+use imre_tensor::{Tensor, TensorRng};
+
+/// Handle to a parameter registered in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index of this parameter inside its store.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A named collection of trainable tensors.
+#[derive(Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    tensors: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tensor as a trainable parameter.
+    ///
+    /// # Panics
+    /// If a parameter with the same name already exists.
+    pub fn register(&mut self, name: &str, tensor: Tensor) -> ParamId {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "ParamStore::register: duplicate parameter name {name:?}"
+        );
+        self.names.push(name.to_string());
+        self.tensors.push(tensor);
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Registers a Xavier-initialised `[fan_in, fan_out]` weight.
+    pub fn xavier(&mut self, name: &str, fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> ParamId {
+        self.register(name, Tensor::xavier(fan_in, fan_out, rng))
+    }
+
+    /// Registers a zero-initialised tensor (typical for biases).
+    pub fn zeros(&mut self, name: &str, shape: &[usize]) -> ParamId {
+        self.register(name, Tensor::zeros(shape))
+    }
+
+    /// Registers a uniformly-initialised tensor (typical for embeddings).
+    pub fn uniform(&mut self, name: &str, shape: &[usize], bound: f32, rng: &mut TensorRng) -> ParamId {
+        self.register(name, Tensor::rand_uniform(shape, -bound, bound, rng))
+    }
+
+    /// Borrow a parameter's current value.
+    #[inline]
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutably borrow a parameter (used by optimizers and tests).
+    #[inline]
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Overwrites a parameter's value (e.g. loading pre-trained embeddings).
+    ///
+    /// # Panics
+    /// If the new tensor's shape differs from the registered one.
+    pub fn set(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.tensors[id.0].shape(),
+            value.shape(),
+            "ParamStore::set: shape mismatch for {:?}",
+            self.names[id.0]
+        );
+        self.tensors[id.0] = value;
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of trainable scalars across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterates over `(id, name, tensor)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.names
+            .iter()
+            .zip(&self.tensors)
+            .enumerate()
+            .map(|(i, (n, t))| (ParamId(i), n.as_str(), t))
+    }
+}
+
+/// Gradient buffers mirroring a [`ParamStore`].
+pub struct GradStore {
+    grads: Vec<Tensor>,
+}
+
+impl GradStore {
+    /// Creates zeroed gradient buffers matching `store`'s parameter shapes.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        GradStore { grads: store.tensors.iter().map(|t| Tensor::zeros(t.shape())).collect() }
+    }
+
+    /// Borrow the gradient of a parameter.
+    #[inline]
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutably borrow the gradient of a parameter.
+    #[inline]
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    /// Accumulates `delta` into a parameter's gradient.
+    pub fn accumulate(&mut self, id: ParamId, delta: &Tensor) {
+        self.grads[id.0].add_assign(delta);
+    }
+
+    /// Zeroes all gradients (between optimizer steps).
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Global L2 norm over all gradients (used for clipping).
+    pub fn global_norm(&self) -> f32 {
+        self.grads.iter().map(|g| {
+            let n = g.norm_l2();
+            n * n
+        }).sum::<f32>().sqrt()
+    }
+
+    /// Scales all gradients by a constant (used for clipping / batch mean).
+    pub fn scale(&mut self, s: f32) {
+        for g in &mut self.grads {
+            g.map_in_place(|x| x * s);
+        }
+    }
+
+    /// Number of gradient buffers.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_get_set_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::ones(&[2, 2]));
+        assert_eq!(store.get(id).data(), &[1.0; 4]);
+        store.set(id, Tensor::zeros(&[2, 2]));
+        assert_eq!(store.get(id).data(), &[0.0; 4]);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.find("w"), Some(id));
+        assert_eq!(store.find("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut store = ParamStore::new();
+        store.zeros("w", &[1]);
+        store.zeros("w", &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_wrong_shape_panics() {
+        let mut store = ParamStore::new();
+        let id = store.zeros("w", &[2]);
+        store.set(id, Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn scalar_count() {
+        let mut store = ParamStore::new();
+        store.zeros("a", &[2, 3]);
+        store.zeros("b", &[4]);
+        assert_eq!(store.num_scalars(), 10);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut store = ParamStore::new();
+        let id = store.zeros("w", &[2]);
+        let mut grads = GradStore::zeros_like(&store);
+        grads.accumulate(id, &Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        grads.accumulate(id, &Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(grads.get(id).data(), &[2.0, 4.0]);
+        grads.zero();
+        assert_eq!(grads.get(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_norm_and_scale() {
+        let mut store = ParamStore::new();
+        let a = store.zeros("a", &[1]);
+        let b = store.zeros("b", &[1]);
+        let mut grads = GradStore::zeros_like(&store);
+        grads.accumulate(a, &Tensor::from_vec(vec![3.0], &[1]));
+        grads.accumulate(b, &Tensor::from_vec(vec![4.0], &[1]));
+        assert!((grads.global_norm() - 5.0).abs() < 1e-6);
+        grads.scale(0.5);
+        assert_eq!(grads.get(a).data(), &[1.5]);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut store = ParamStore::new();
+        store.zeros("a", &[1]);
+        store.zeros("b", &[2]);
+        let names: Vec<&str> = store.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

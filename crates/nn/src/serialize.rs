@@ -1,0 +1,184 @@
+//! Binary persistence for parameter stores.
+//!
+//! A released relation-extraction system must save trained weights and load
+//! them later (the paper's pipeline trains LINE offline, then reuses the
+//! embeddings across every model). This module implements a small
+//! self-describing little-endian format — no external serialisation crate:
+//!
+//! ```text
+//! magic "IMRP" | u32 version | u32 n_params
+//! per param: u32 name_len | name bytes | u32 rank | u64 dims… | f32 data…
+//! ```
+
+use crate::param::ParamStore;
+use imre_tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"IMRP";
+const VERSION: u32 = 1;
+
+/// Writes every parameter of `store` to `w`.
+pub fn write_params<W: Write>(store: &ParamStore, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, tensor) in store.iter() {
+        let name_bytes = name.as_bytes();
+        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(name_bytes)?;
+        w.write_all(&(tensor.rank() as u32).to_le_bytes())?;
+        for &d in tensor.shape() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &x in tensor.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a parameter store written by [`write_params`].
+///
+/// # Errors
+/// On malformed input (wrong magic, truncated data, bad version).
+pub fn read_params<R: Read>(r: &mut R) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an IMRP parameter file"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported IMRP version {version}"),
+        ));
+    }
+    let n = read_u32(r)? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..n {
+        let name_len = read_u32(r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rank = read_u32(r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u64(r)? as usize);
+        }
+        let len: usize = shape.iter().product();
+        let mut data = vec![0f32; len];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        store.register(&name, Tensor::from_vec(data, &shape));
+    }
+    Ok(store)
+}
+
+/// Saves a parameter store to a file.
+pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
+    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+    write_params(store, &mut file)
+}
+
+/// Loads a parameter store from a file.
+pub fn load_params(path: &Path) -> io::Result<ParamStore> {
+    let mut file = io::BufReader::new(std::fs::File::open(path)?);
+    read_params(&mut file)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imre_tensor::TensorRng;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = TensorRng::seed(3);
+        let mut store = ParamStore::new();
+        store.xavier("layer.w", 4, 6, &mut rng);
+        store.zeros("layer.b", &[6]);
+        store.uniform("emb", &[10, 3], 0.5, &mut rng);
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_params(&store, &mut buf).unwrap();
+        let loaded = read_params(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for (id, name, tensor) in store.iter() {
+            let lid = loaded.find(name).expect("param present");
+            assert_eq!(loaded.get(lid).shape(), tensor.shape());
+            assert_eq!(loaded.get(lid).data(), tensor.data());
+            let _ = id;
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join("imre_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.imrp");
+        save_params(&store, &path).unwrap();
+        let loaded = load_params(&path).unwrap();
+        assert_eq!(loaded.num_scalars(), store.num_scalars());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        let err = match read_params(&mut buf.as_slice()) {
+            Err(e) => e,
+            Ok(_) => panic!("bad magic accepted"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_params(&store, &mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(read_params(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_params(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = ParamStore::new();
+        let mut buf = Vec::new();
+        write_params(&store, &mut buf).unwrap();
+        let loaded = read_params(&mut buf.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,893 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a forward computation as a flat list of nodes; calling
+//! [`Tape::backward`] walks the list in reverse, propagating gradients to
+//! every node and accumulating parameter gradients into a [`GradStore`].
+//!
+//! The op set is exactly what the paper's models need: dense algebra, the
+//! embedding gather/scatter pair, conv-style unfolding, (piecewise) max
+//! pooling with argmax routing, rank-1 softmax, selective-attention
+//! primitives (`matvec`, `weighted_sum_rows`), and the softmax-cross-entropy
+//! loss. Each op variant owns whatever forward context its backward rule
+//! needs (argmax indices, saved probabilities), so backward never recomputes.
+//!
+//! Typical usage — one tape per training bag:
+//!
+//! ```
+//! use imre_nn::{ParamStore, GradStore, Tape};
+//! use imre_tensor::{Tensor, TensorRng};
+//!
+//! let mut rng = TensorRng::seed(0);
+//! let mut params = ParamStore::new();
+//! let w = params.xavier("w", 4, 3, &mut rng);
+//! let mut grads = GradStore::zeros_like(&params);
+//!
+//! let mut tape = Tape::new(&params);
+//! let x = tape.leaf(Tensor::ones(&[1, 4]));
+//! let wv = tape.param(w);
+//! let h = tape.matmul(x, wv);
+//! let h1 = tape.reshape(h, &[3]);
+//! let loss = tape.softmax_cross_entropy(h1, 1);
+//! tape.backward(loss, &mut grads);
+//! assert_eq!(grads.get(w).shape(), &[4, 3]);
+//! ```
+
+use crate::param::{GradStore, ParamId, ParamStore};
+use imre_tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// A contiguous row segment `[lo, hi)` used by piecewise pooling.
+pub type Segment = (usize, usize);
+
+enum Op {
+    /// Constant input; receives no gradient.
+    Leaf,
+    /// A trainable parameter copied from the store.
+    Param(ParamId),
+    /// Rows of a parameter table (embedding lookup); grads scatter back.
+    GatherParam(ParamId, Vec<usize>),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    /// Matrix plus per-row broadcast bias vector.
+    AddRowBroadcast(Var, Var),
+    Matmul(Var, Var),
+    /// `mat [m,k] · vec [k] → [m]`.
+    MatVec(Var, Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Relu(Var),
+    /// Natural log, input clamped to `LN_EPS` for stability.
+    Ln(Var),
+    /// View with a different shape (same data).
+    Reshape(Var),
+    /// Sliding-window unfold for 1-D convolution: `[T, d] → [T, w*d]`.
+    Unfold { x: Var, window: usize },
+    /// Per-segment column max over rows; output is the concatenation of the
+    /// per-segment max vectors. `argmax[s][c]` is the winning absolute row.
+    PiecewiseMax { x: Var, segments: Vec<Segment>, argmax: Vec<Vec<usize>> },
+    /// Row `r` of a matrix as a rank-1 vector.
+    SliceRow { x: Var, row: usize },
+    /// Column-wise mean of a matrix → rank-1.
+    MeanRows(Var),
+    /// Stack rank-1 vars into a matrix.
+    StackRows(Vec<Var>),
+    /// Concatenate rank-1 vars end-to-end.
+    Concat(Vec<Var>),
+    /// Concatenate rank-2 vars along the column axis (equal row counts).
+    ConcatCols(Vec<Var>),
+    /// Rank-1 softmax; backward uses the saved output.
+    Softmax(Var),
+    /// `x * s` where `s` is a `[1]` tensor (learned mixing weight).
+    ScaleByVar { x: Var, s: Var },
+    /// Attention aggregation: `Σ_i w[i] · mat[i, :]`.
+    WeightedSumRows { mat: Var, weights: Var },
+    /// `−log softmax(logits)[target]`; saves the probability vector.
+    SoftmaxCrossEntropy { logits: Var, target: usize, probs: Tensor },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Minimum input to [`Tape::ln`]; inputs are clamped here to avoid `−∞`.
+pub const LN_EPS: f32 = 1e-8;
+
+/// A recorded forward computation, ready for one backward pass.
+pub struct Tape<'s> {
+    store: &'s ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'s> Tape<'s> {
+    /// Starts an empty tape reading parameter values from `store`.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Tape { store, nodes: Vec::with_capacity(64) }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The current value of a node.
+    #[inline]
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Number of recorded nodes (for tests / diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Records a constant input (no gradient flows into it).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records a parameter; its gradient accumulates into the grad store.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let value = self.store.get(id).clone();
+        self.push(value, Op::Param(id))
+    }
+
+    /// Embedding lookup: records `indices.len()` rows of parameter `id`
+    /// without copying the whole table onto the tape.
+    pub fn gather(&mut self, id: ParamId, indices: &[usize]) -> Var {
+        let value = self.store.get(id).gather_rows(indices);
+        self.push(value, Op::GatherParam(id, indices.to_vec()))
+    }
+
+    // ------------------------------------------------------------------
+    // Algebra
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference `a − b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Multiplication by a compile-time constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Matrix (rank-2) plus broadcast rank-1 bias.
+    pub fn add_row_broadcast(&mut self, mat: Var, bias: Var) -> Var {
+        let v = self.value(mat).add_row_broadcast(self.value(bias));
+        self.push(v, Op::AddRowBroadcast(mat, bias))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Matrix–vector product, result rank-1.
+    pub fn matvec(&mut self, mat: Var, vec: Var) -> Var {
+        let v = self.value(mat).matvec(self.value(vec));
+        self.push(v, Op::MatVec(mat, vec))
+    }
+
+    // ------------------------------------------------------------------
+    // Nonlinearities
+    // ------------------------------------------------------------------
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).tanh();
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).sigmoid();
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).relu();
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Elementwise natural log with input clamped to [`LN_EPS`].
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(LN_EPS).ln());
+        self.push(v, Op::Ln(a))
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// Shape view with identical data.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let v = self.value(a).reshape(shape);
+        self.push(v, Op::Reshape(a))
+    }
+
+    /// Sliding-window unfold: row `t` of the output is the concatenation of
+    /// rows `t − w/2 … t + w/2` of the input (zero padded at the ends).
+    /// The convolution `Conv1d(x, W)` is then `unfold(x, w) · W`.
+    ///
+    /// # Panics
+    /// If `window` is even or zero, or `x` is not rank-2.
+    pub fn unfold(&mut self, x: Var, window: usize) -> Var {
+        assert!(window % 2 == 1 && window > 0, "Tape::unfold: window must be odd and positive, got {window}");
+        let xv = self.value(x);
+        let (t, d) = (xv.rows(), xv.cols());
+        let half = window / 2;
+        let mut out = Tensor::zeros(&[t, window * d]);
+        for row in 0..t {
+            for o in 0..window {
+                // signed source row
+                let src = row as isize + o as isize - half as isize;
+                if src < 0 || src >= t as isize {
+                    continue;
+                }
+                let src = src as usize;
+                let dst_off = row * window * d + o * d;
+                out.data_mut()[dst_off..dst_off + d].copy_from_slice(&xv.data()[src * d..(src + 1) * d]);
+            }
+        }
+        self.push(out, Op::Unfold { x, window })
+    }
+
+    /// Piecewise max pooling: per-column max over each row segment, outputs
+    /// concatenated. With a single `(0, T)` segment this is ordinary global
+    /// max pooling; with the three segments cut by the two entity positions
+    /// it is the PCNN pooling of Zeng et al. (2015).
+    ///
+    /// # Panics
+    /// If any segment is empty or out of range.
+    pub fn piecewise_max(&mut self, x: Var, segments: &[Segment]) -> Var {
+        let xv = self.value(x);
+        let cols = xv.cols();
+        let mut vals = Vec::with_capacity(segments.len() * cols);
+        let mut argmax = Vec::with_capacity(segments.len());
+        for &(lo, hi) in segments {
+            let (v, idx) = xv.max_over_rows(lo, hi);
+            vals.extend_from_slice(v.data());
+            argmax.push(idx);
+        }
+        let out = Tensor::from_vec(vals, &[segments.len() * cols]);
+        self.push(out, Op::PiecewiseMax { x, segments: segments.to_vec(), argmax })
+    }
+
+    /// Row `row` of a rank-2 var as a rank-1 var (gradient scatters back
+    /// into that row only).
+    ///
+    /// # Panics
+    /// If out of range or `x` is not rank-2.
+    pub fn slice_row(&mut self, x: Var, row: usize) -> Var {
+        let v = self.value(x).row_tensor(row);
+        self.push(v, Op::SliceRow { x, row })
+    }
+
+    /// Column-wise mean of a matrix → rank-1 vector.
+    pub fn mean_rows(&mut self, x: Var) -> Var {
+        let v = self.value(x).mean_rows();
+        self.push(v, Op::MeanRows(x))
+    }
+
+    /// Stacks rank-1 vars of equal length into a matrix.
+    pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = rows.iter().map(|&r| self.value(r)).collect();
+        let v = Tensor::stack_rows(&tensors);
+        self.push(v, Op::StackRows(rows.to_vec()))
+    }
+
+    /// Concatenates rank-1 vars end to end.
+    pub fn concat(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat(&tensors);
+        self.push(v, Op::Concat(parts.to_vec()))
+    }
+
+    /// Concatenates rank-2 vars side by side (equal row counts).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    // ------------------------------------------------------------------
+    // Attention / output heads
+    // ------------------------------------------------------------------
+
+    /// Rank-1 softmax.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax();
+        self.push(v, Op::Softmax(a))
+    }
+
+    /// `x` scaled by a learned `[1]` tensor `s` (the paper's α/β/γ weights).
+    ///
+    /// # Panics
+    /// If `s` does not hold exactly one element.
+    pub fn scale_by_var(&mut self, x: Var, s: Var) -> Var {
+        assert_eq!(self.value(s).len(), 1, "Tape::scale_by_var: scale must be a [1] tensor");
+        let sv = self.value(s).data()[0];
+        let v = self.value(x).scale(sv);
+        self.push(v, Op::ScaleByVar { x, s })
+    }
+
+    /// Attention aggregation `Σ_i weights[i] · mat[i, :]` → rank-1.
+    ///
+    /// # Panics
+    /// If `weights.len() != mat.rows()`.
+    pub fn weighted_sum_rows(&mut self, mat: Var, weights: Var) -> Var {
+        let m = self.value(mat);
+        let w = self.value(weights);
+        assert_eq!(w.len(), m.rows(), "Tape::weighted_sum_rows: {} weights for {} rows", w.len(), m.rows());
+        let cols = m.cols();
+        let mut out = vec![0.0f32; cols];
+        for (i, &wi) in w.data().iter().enumerate() {
+            for (o, &x) in out.iter_mut().zip(m.row(i)) {
+                *o += wi * x;
+            }
+        }
+        let v = Tensor::from_vec(out, &[cols]);
+        self.push(v, Op::WeightedSumRows { mat, weights })
+    }
+
+    /// Cross-entropy of rank-1 `logits` against a hard `target` class.
+    /// Returns a `[1]` tensor holding `−log softmax(logits)[target]`.
+    ///
+    /// # Panics
+    /// If `target` is out of range.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, target: usize) -> Var {
+        let l = self.value(logits);
+        assert!(target < l.len(), "Tape::softmax_cross_entropy: target {target} out of {} classes", l.len());
+        let probs = l.softmax();
+        let loss = -(probs.data()[target].max(LN_EPS)).ln();
+        let out = Tensor::from_vec(vec![loss], &[1]);
+        self.push(out, Op::SoftmaxCrossEntropy { logits, target, probs })
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from scalar node `loss`, multiplying
+    /// by `seed`, and accumulates parameter gradients into `grads`.
+    ///
+    /// The tape is consumed: one tape, one backward pass.
+    ///
+    /// # Panics
+    /// If `loss` is not a single-element tensor.
+    pub fn backward_scaled(self, loss: Var, seed: f32, grads: &mut GradStore) {
+        let Tape { store: _, nodes } = self;
+        assert_eq!(nodes[loss.0].value.len(), 1, "Tape::backward: loss must be scalar");
+        let mut adj: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
+        adj[loss.0] = Some(Tensor::from_vec(vec![seed], &[1]));
+
+        // helper to accumulate into adj without double borrow
+        fn acc(adj: &mut [Option<Tensor>], i: usize, delta: Tensor) {
+            match &mut adj[i] {
+                Some(g) => g.add_assign(&delta),
+                slot @ None => *slot = Some(delta),
+            }
+        }
+
+        for i in (0..nodes.len()).rev() {
+            let g = match adj[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &nodes[i];
+            match &node.op {
+                Op::Leaf => {}
+                Op::Param(id) => grads.accumulate(*id, &g),
+                Op::GatherParam(id, indices) => {
+                    grads.get_mut(*id).scatter_add_rows(indices, &g);
+                }
+                Op::Add(a, b) => {
+                    acc(&mut adj, a.0, g.clone());
+                    acc(&mut adj, b.0, g);
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut adj, a.0, g.clone());
+                    acc(&mut adj, b.0, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let da = g.mul(&nodes[b.0].value);
+                    let db = g.mul(&nodes[a.0].value);
+                    acc(&mut adj, a.0, da);
+                    acc(&mut adj, b.0, db);
+                }
+                Op::Scale(a, s) => acc(&mut adj, a.0, g.scale(*s)),
+                Op::AddRowBroadcast(mat, bias) => {
+                    acc(&mut adj, bias.0, g.sum_rows());
+                    acc(&mut adj, mat.0, g);
+                }
+                Op::Matmul(a, b) => {
+                    let da = g.matmul_nt(&nodes[b.0].value);
+                    let db = nodes[a.0].value.matmul_tn(&g);
+                    acc(&mut adj, a.0, da);
+                    acc(&mut adj, b.0, db);
+                }
+                Op::MatVec(mat, vec) => {
+                    let dm = g.outer(&nodes[vec.0].value);
+                    let dv = nodes[mat.0].value.transpose().matvec(&g);
+                    acc(&mut adj, mat.0, dm);
+                    acc(&mut adj, vec.0, dv);
+                }
+                Op::Tanh(a) => {
+                    let y = &node.value;
+                    let da = Tensor::from_vec(
+                        g.data().iter().zip(y.data()).map(|(&gi, &yi)| gi * (1.0 - yi * yi)).collect(),
+                        y.shape(),
+                    );
+                    acc(&mut adj, a.0, da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &node.value;
+                    let da = Tensor::from_vec(
+                        g.data().iter().zip(y.data()).map(|(&gi, &yi)| gi * yi * (1.0 - yi)).collect(),
+                        y.shape(),
+                    );
+                    acc(&mut adj, a.0, da);
+                }
+                Op::Relu(a) => {
+                    let x = &nodes[a.0].value;
+                    let da = Tensor::from_vec(
+                        g.data().iter().zip(x.data()).map(|(&gi, &xi)| if xi > 0.0 { gi } else { 0.0 }).collect(),
+                        x.shape(),
+                    );
+                    acc(&mut adj, a.0, da);
+                }
+                Op::Ln(a) => {
+                    let x = &nodes[a.0].value;
+                    let da = Tensor::from_vec(
+                        g.data().iter().zip(x.data()).map(|(&gi, &xi)| gi / xi.max(LN_EPS)).collect(),
+                        x.shape(),
+                    );
+                    acc(&mut adj, a.0, da);
+                }
+                Op::Reshape(a) => {
+                    let da = g.reshape(nodes[a.0].value.shape());
+                    acc(&mut adj, a.0, da);
+                }
+                Op::Unfold { x, window } => {
+                    let xv = &nodes[x.0].value;
+                    let (t, d) = (xv.rows(), xv.cols());
+                    let half = window / 2;
+                    let mut dx = Tensor::zeros(&[t, d]);
+                    for row in 0..t {
+                        for o in 0..*window {
+                            let src = row as isize + o as isize - half as isize;
+                            if src < 0 || src >= t as isize {
+                                continue;
+                            }
+                            let src = src as usize;
+                            let g_off = row * window * d + o * d;
+                            let dst = &mut dx.data_mut()[src * d..(src + 1) * d];
+                            let gsl = &g.data()[g_off..g_off + d];
+                            for (a, &b) in dst.iter_mut().zip(gsl) {
+                                *a += b;
+                            }
+                        }
+                    }
+                    acc(&mut adj, x.0, dx);
+                }
+                Op::PiecewiseMax { x, segments, argmax } => {
+                    let xv = &nodes[x.0].value;
+                    let cols = xv.cols();
+                    let mut dx = Tensor::zeros(&[xv.rows(), cols]);
+                    for (s, seg_argmax) in argmax.iter().enumerate().take(segments.len()) {
+                        for (c, &r) in seg_argmax.iter().enumerate() {
+                            *dx.at_mut(r, c) += g.data()[s * cols + c];
+                        }
+                    }
+                    acc(&mut adj, x.0, dx);
+                }
+                Op::SliceRow { x, row } => {
+                    let xv = &nodes[x.0].value;
+                    let mut dx = Tensor::zeros(&[xv.rows(), xv.cols()]);
+                    dx.row_mut(*row).copy_from_slice(g.data());
+                    acc(&mut adj, x.0, dx);
+                }
+                Op::MeanRows(x) => {
+                    let xv = &nodes[x.0].value;
+                    let (rows, cols) = (xv.rows(), xv.cols());
+                    let inv = 1.0 / rows as f32;
+                    let mut dx = Tensor::zeros(&[rows, cols]);
+                    for r in 0..rows {
+                        for (d, &gi) in dx.row_mut(r).iter_mut().zip(g.data()) {
+                            *d = gi * inv;
+                        }
+                    }
+                    acc(&mut adj, x.0, dx);
+                }
+                Op::StackRows(rows) => {
+                    let cols = node.value.cols();
+                    for (r, var) in rows.iter().enumerate() {
+                        let slice = Tensor::from_vec(g.data()[r * cols..(r + 1) * cols].to_vec(), &[cols]);
+                        acc(&mut adj, var.0, slice);
+                    }
+                }
+                Op::Concat(parts) => {
+                    let mut off = 0;
+                    for var in parts {
+                        let n = nodes[var.0].value.len();
+                        let slice = Tensor::from_vec(g.data()[off..off + n].to_vec(), &[n]);
+                        acc(&mut adj, var.0, slice);
+                        off += n;
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for var in parts {
+                        let pc = nodes[var.0].value.cols();
+                        let hi = off + pc;
+                        let slice = g.slice_cols(off, hi);
+                        acc(&mut adj, var.0, slice);
+                        off = hi;
+                    }
+                }
+                Op::Softmax(a) => {
+                    // dx = y ⊙ (g − ⟨g, y⟩)
+                    let y = &node.value;
+                    let gy: f32 = g.dot(y);
+                    let da = Tensor::from_vec(
+                        y.data().iter().zip(g.data()).map(|(&yi, &gi)| yi * (gi - gy)).collect(),
+                        y.shape(),
+                    );
+                    acc(&mut adj, a.0, da);
+                }
+                Op::ScaleByVar { x, s } => {
+                    let sv = nodes[s.0].value.data()[0];
+                    let dx = g.scale(sv);
+                    let ds = Tensor::from_vec(vec![g.dot(&nodes[x.0].value)], &[1]);
+                    acc(&mut adj, x.0, dx);
+                    acc(&mut adj, s.0, ds);
+                }
+                Op::WeightedSumRows { mat, weights } => {
+                    let m = &nodes[mat.0].value;
+                    let w = &nodes[weights.0].value;
+                    let cols = m.cols();
+                    let mut dm = Tensor::zeros(&[m.rows(), cols]);
+                    let mut dw = vec![0.0f32; w.len()];
+                    for (i, &wi) in w.data().iter().enumerate() {
+                        let row = m.row(i);
+                        let drow = dm.row_mut(i);
+                        for (d, &gi) in drow.iter_mut().zip(g.data()) {
+                            *d = wi * gi;
+                        }
+                        dw[i] = g.data().iter().zip(row).map(|(&gi, &xi)| gi * xi).sum();
+                    }
+                    acc(&mut adj, mat.0, dm);
+                    acc(&mut adj, weights.0, Tensor::from_vec(dw, &[w.len()]));
+                }
+                Op::SoftmaxCrossEntropy { logits, target, probs } => {
+                    let g0 = g.data()[0];
+                    let mut dl = probs.clone();
+                    dl.data_mut()[*target] -= 1.0;
+                    acc(&mut adj, logits.0, dl.scale(g0));
+                }
+            }
+        }
+    }
+
+    /// [`Tape::backward_scaled`] with seed 1.
+    pub fn backward(self, loss: Var, grads: &mut GradStore) {
+        self.backward_scaled(loss, 1.0, grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamStore;
+    use imre_tensor::{assert_close, TensorRng};
+
+    fn setup() -> (ParamStore, TensorRng) {
+        (ParamStore::new(), TensorRng::seed(42))
+    }
+
+    #[test]
+    fn add_backward_distributes() {
+        let (mut store, _) = setup();
+        let a = store.register("a", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = store.register("b", Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let (va, vb) = (tape.param(a), tape.param(b));
+        let s = tape.add(va, vb);
+        let w = tape.leaf(Tensor::from_vec(vec![2.0, -1.0], &[2]));
+        let m = tape.mul(s, w);
+        // loss = 2*(a0+b0) - (a1+b1); use concat+softmax_ce? simpler: reduce via weighted sum
+        let ones = tape.leaf(Tensor::ones(&[2]));
+        let mat = tape.stack_rows(&[m]);
+        let loss_vec = tape.matvec(mat, ones);
+        let loss = tape.reshape(loss_vec, &[1]);
+        tape.backward(loss, &mut grads);
+        assert_eq!(grads.get(a).data(), &[2.0, -1.0]);
+        assert_eq!(grads.get(b).data(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn matmul_backward_shapes_and_values() {
+        let (mut store, mut rng) = setup();
+        let a = store.register("a", Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng));
+        let b = store.register("b", Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let (va, vb) = (tape.param(a), tape.param(b));
+        let c = tape.matmul(va, vb); // [2,2]
+        let flat = tape.reshape(c, &[4]);
+        let loss = tape.softmax_cross_entropy(flat, 0);
+        tape.backward(loss, &mut grads);
+        assert_eq!(grads.get(a).shape(), &[2, 3]);
+        assert_eq!(grads.get(b).shape(), &[3, 2]);
+        assert!(grads.get(a).norm_l2() > 0.0);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_grad_is_p_minus_onehot() {
+        let (mut store, _) = setup();
+        let l = store.register("logits", Tensor::from_vec(vec![1.0, 2.0, 0.5], &[3]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let vl = tape.param(l);
+        let loss = tape.softmax_cross_entropy(vl, 1);
+        let p = store.get(l).softmax();
+        tape.backward(loss, &mut grads);
+        let expect = vec![p.data()[0], p.data()[1] - 1.0, p.data()[2]];
+        assert_close(grads.get(l).data(), &expect, 1e-5);
+    }
+
+    #[test]
+    fn gather_scatters_gradient_sparsely() {
+        let (mut store, mut rng) = setup();
+        let table = store.register("emb", Tensor::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let rows = tape.gather(table, &[1, 3, 1]);
+        let pooled = tape.piecewise_max(rows, &[(0, 3)]);
+        let loss = tape.softmax_cross_entropy(pooled, 0);
+        tape.backward(loss, &mut grads);
+        let g = grads.get(table);
+        // rows 0, 2, 4 never touched
+        assert_eq!(g.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(g.row(2), &[0.0, 0.0, 0.0]);
+        assert_eq!(g.row(4), &[0.0, 0.0, 0.0]);
+        assert!(g.row(1).iter().chain(g.row(3)).any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn piecewise_max_routes_to_argmax_rows() {
+        let (mut store, _) = setup();
+        let x = store.register(
+            "x",
+            Tensor::from_vec(
+                vec![
+                    1.0, 9.0, //
+                    5.0, 2.0, //
+                    3.0, 7.0, //
+                    0.0, 8.0, //
+                ],
+                &[4, 2],
+            ),
+        );
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(x);
+        let pooled = tape.piecewise_max(vx, &[(0, 2), (2, 4)]); // len 4
+        let loss = tape.softmax_cross_entropy(pooled, 0);
+        tape.backward(loss, &mut grads);
+        let g = grads.get(x);
+        // segment 1 argmax col0 = row1(5.0), col1 = row0(9.0)
+        assert_ne!(g.at(1, 0), 0.0);
+        assert_ne!(g.at(0, 1), 0.0);
+        assert_eq!(g.at(0, 0), 0.0);
+        assert_eq!(g.at(1, 1), 0.0);
+        // segment 2 argmax col0 = row2(3.0), col1 = row3(8.0)
+        assert_ne!(g.at(2, 0), 0.0);
+        assert_ne!(g.at(3, 1), 0.0);
+        assert_eq!(g.at(3, 0), 0.0);
+        assert_eq!(g.at(2, 1), 0.0);
+    }
+
+    #[test]
+    fn unfold_forward_zero_pads() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]));
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(x);
+        let u = tape.unfold(vx, 3);
+        assert_eq!(tape.value(u).shape(), &[3, 3]);
+        assert_eq!(tape.value(u).row(0), &[0.0, 1.0, 2.0]); // left pad
+        assert_eq!(tape.value(u).row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(tape.value(u).row(2), &[2.0, 3.0, 0.0]); // right pad
+    }
+
+    #[test]
+    fn weighted_sum_rows_matches_manual() {
+        let (mut store, _) = setup();
+        let m = store.register("m", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let w = store.register("w", Tensor::from_vec(vec![0.25, 0.75], &[2]));
+        let mut tape = Tape::new(&store);
+        let (vm, vw) = (tape.param(m), tape.param(w));
+        let out = tape.weighted_sum_rows(vm, vw);
+        assert_close(tape.value(out).data(), &[0.25 + 2.25, 0.5 + 3.0], 1e-6);
+    }
+
+    #[test]
+    fn scale_by_var_gradients() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let s = store.register("s", Tensor::from_vec(vec![0.5], &[1]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let (vx, vs) = (tape.param(x), tape.param(s));
+        let y = tape.scale_by_var(vx, vs);
+        let loss = tape.softmax_cross_entropy(y, 0);
+        tape.backward(loss, &mut grads);
+        // ds = dot(dL/dy, x); dL/dy = s_grad_direction — just check non-zero & finite
+        assert!(grads.get(s).data()[0].is_finite());
+        assert!(grads.get(x).norm_l2() > 0.0);
+    }
+
+    #[test]
+    fn softmax_node_backward_sums_to_zero() {
+        // Softmax Jacobian rows sum to zero ⇒ gradient wrt logits sums to ~0.
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![0.2, -0.3, 1.1], &[3]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(x);
+        let sm = tape.softmax(vx);
+        let w = tape.leaf(Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]));
+        let weighted = tape.mul(sm, w);
+        let mat = tape.stack_rows(&[weighted]);
+        let ones = tape.leaf(Tensor::ones(&[3]));
+        let sum_vec = tape.matvec(mat, ones);
+        let loss = tape.reshape(sum_vec, &[1]);
+        tape.backward(loss, &mut grads);
+        let total: f32 = grads.get(x).data().iter().sum();
+        assert!(total.abs() < 1e-5, "softmax grad sum {total}");
+    }
+
+    #[test]
+    fn backward_seed_scales_gradients() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        let mut g1 = GradStore::zeros_like(&store);
+        let mut g2 = GradStore::zeros_like(&store);
+        for (seed, grads) in [(1.0, &mut g1), (2.5, &mut g2)] {
+            let mut tape = Tape::new(&store);
+            let vx = tape.param(x);
+            let loss = tape.softmax_cross_entropy(vx, 0);
+            tape.backward_scaled(loss, seed, grads);
+        }
+        assert_close(g2.get(x).data(), g1.get(x).scale(2.5).data(), 1e-6);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // y = x + x should give dy/dx = 2
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![0.7], &[1]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(x);
+        let y = tape.add(vx, vx);
+        tape.backward(y, &mut grads);
+        assert_close(grads.get(x).data(), &[2.0], 1e-6);
+    }
+
+    #[test]
+    fn concat_cols_backward_splits_gradient() {
+        let (mut store, _) = setup();
+        let a = store.register("a", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = store.register("b", Tensor::from_vec(vec![5.0, 6.0], &[2, 1]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let (va, vb) = (tape.param(a), tape.param(b));
+        let cat = tape.concat_cols(&[va, vb]); // [2,3]
+        assert_eq!(tape.value(cat).shape(), &[2, 3]);
+        assert_eq!(tape.value(cat).row(0), &[1.0, 2.0, 5.0]);
+        let flat = tape.reshape(cat, &[6]);
+        let loss = tape.softmax_cross_entropy(flat, 2); // index 2 = b's first row
+        tape.backward(loss, &mut grads);
+        assert_eq!(grads.get(a).shape(), &[2, 2]);
+        assert_eq!(grads.get(b).shape(), &[2, 1]);
+        // gradient of CE wrt logit 2 is p−1 < 0, lands in b's row 0
+        assert!(grads.get(b).at(0, 0) < 0.0);
+        assert!(grads.get(a).data().iter().all(|&g| g > 0.0), "non-target logits get p > 0");
+    }
+
+    #[test]
+    fn ln_backward_is_reciprocal() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![2.0, 4.0], &[2]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(x);
+        let lx = tape.ln(vx);
+        assert_close(tape.value(lx).data(), &[2.0f32.ln(), 4.0f32.ln()], 1e-6);
+        // reduce via weighted pick of element 0 only
+        let picker = tape.leaf(Tensor::from_vec(vec![1.0, 0.0], &[2]));
+        let prod = tape.mul(lx, picker);
+        let mat = tape.stack_rows(&[prod]);
+        let ones = tape.leaf(Tensor::ones(&[2]));
+        let summed = tape.matvec(mat, ones);
+        let loss = tape.reshape(summed, &[1]);
+        tape.backward(loss, &mut grads);
+        assert_close(grads.get(x).data(), &[0.5, 0.0], 1e-6);
+    }
+
+    #[test]
+    fn mean_rows_backward_distributes_evenly() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(x);
+        let m = tape.mean_rows(vx); // [2]
+        let loss = tape.softmax_cross_entropy(m, 0);
+        tape.backward(loss, &mut grads);
+        let g = grads.get(x);
+        // every row receives the same per-column gradient (1/rows share)
+        assert_close(g.row(0), g.row(1), 1e-6);
+        assert!(g.at(0, 0) < 0.0, "target column pushed up ⇒ negative CE grad");
+    }
+
+    #[test]
+    fn relu_backward_masks_negatives() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(x);
+        let r = tape.relu(vx);
+        let loss = tape.softmax_cross_entropy(r, 1);
+        tape.backward(loss, &mut grads);
+        assert_eq!(grads.get(x).data()[0], 0.0, "negative input blocks gradient");
+        assert_ne!(grads.get(x).data()[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_nonscalar_panics() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::zeros(&[2]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(x);
+        tape.backward(vx, &mut grads);
+    }
+}

@@ -1,0 +1,187 @@
+//! Random initialisation. Every stochastic component in the workspace is
+//! seeded through [`TensorRng`] so that experiments are reproducible.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable random source for tensor initialisation and sampling.
+///
+/// Thin wrapper over [`rand::rngs::StdRng`] so the rest of the workspace
+/// never has to name a concrete RNG type; all randomness flows through here.
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a deterministic RNG from a seed.
+    pub fn seed(seed: u64) -> Self {
+        TensorRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "TensorRng::below: empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Standard normal sample (Box–Muller; no extra dependency needed).
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller transform from two uniforms in (0, 1].
+        let u1: f32 = 1.0 - self.rng.gen::<f32>();
+        let u2: f32 = self.rng.gen::<f32>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.rng.gen::<f32>() < p
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn f32(&mut self) -> f32 {
+        self.rng.gen()
+    }
+
+    /// Uniform `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Derives an independent RNG stream (for per-worker seeding).
+    pub fn fork(&mut self) -> TensorRng {
+        TensorRng::seed(self.u64())
+    }
+}
+
+impl Tensor {
+    /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut TensorRng) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Tensor with i.i.d. normal entries, mean 0 and the given std-dev.
+    pub fn rand_normal(shape: &[usize], std: f32, rng: &mut TensorRng) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.normal() * std).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` weight.
+    ///
+    /// Entries are uniform in `±sqrt(6 / (fan_in + fan_out))` — the standard
+    /// initialisation the paper's stack (and most CNN/RNN RE models) uses.
+    pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(&[fan_in, fan_out], -bound, bound, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = TensorRng::seed(7);
+        let mut b = TensorRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TensorRng::seed(1);
+        let mut b = TensorRng::seed(2);
+        assert_ne!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = TensorRng::seed(3);
+        let t = Tensor::rand_uniform(&[100], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = TensorRng::seed(11);
+        let t = Tensor::rand_normal(&[20_000], 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = TensorRng::seed(5);
+        let w = Tensor::xavier(30, 50, &mut rng);
+        let bound = (6.0f32 / 80.0).sqrt();
+        assert_eq!(w.shape(), &[30, 50]);
+        assert!(w.data().iter().all(|&x| x.abs() <= bound));
+        // not degenerate
+        assert!(w.data().iter().any(|&x| x.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = TensorRng::seed(13);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f32 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = TensorRng::seed(17);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle left slice in order (astronomically unlikely)");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_but_deterministic() {
+        let mut parent1 = TensorRng::seed(42);
+        let mut parent2 = TensorRng::seed(42);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        for _ in 0..10 {
+            assert_eq!(c1.u64(), c2.u64());
+        }
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut rng = TensorRng::seed(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # imre-tensor
+//!
+//! Minimal dense-tensor substrate for the `imre` relation-extraction stack.
+//!
+//! The paper this workspace reproduces (Kuang et al., *Improving Neural Relation
+//! Extraction with Implicit Mutual Relations*, ICDE 2020) was built on a Python
+//! deep-learning framework. No mature equivalent exists in Rust, so this crate
+//! provides the numeric core everything else is built on: a row-major `f32`
+//! [`Tensor`] with the exact operations the models need — elementwise algebra,
+//! (blocked) matrix multiplication, broadcast bias addition, row gather /
+//! scatter-add (embedding lookups), axis reductions with argmax (max pooling),
+//! and numerically stable softmax / log-softmax.
+//!
+//! Design choices:
+//!
+//! * **Row-major, contiguous `Vec<f32>`.** All models in the paper are small
+//!   (hundreds of hidden units); cache-friendly contiguous storage with an
+//!   `ikj`-ordered matmul is fast enough without a BLAS dependency.
+//! * **Panics on shape mismatch.** Like `ndarray`, shape errors are programmer
+//!   errors; every panic message names the operation and both shapes.
+//! * **Mostly rank-1/rank-2.** Sequence and bag structure is handled one level
+//!   up (in `imre-nn` / `imre-core`) by explicit loops over rows, which keeps
+//!   this crate small and easily verified.
+//!
+//! ```
+//! use imre_tensor::Tensor;
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod init;
+mod matmul;
+mod ops;
+mod reduce;
+mod rows;
+mod tensor;
+
+pub use init::TensorRng;
+pub use matmul::matmul_into;
+pub use ops::sigmoid_scalar;
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by the test helpers in this workspace.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts two f32 slices are elementwise close; used across the workspace's tests.
+///
+/// Panics with the first offending index on failure.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "assert_close: length mismatch {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "assert_close: index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Matrix multiplication kernels.
+//!
+//! All kernels use the `ikj` loop order so the innermost loop walks both the
+//! output row and the right operand row contiguously — the standard BLAS-free
+//! trick from the Rust Performance Book's "bounds-check friendly iteration"
+//! advice. At the matrix sizes this workspace uses (≲ 512 per side) this is
+//! within a small factor of a tuned BLAS and keeps the crate dependency-free.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product `self · other` for rank-2 tensors.
+    ///
+    /// # Panics
+    /// If either operand is not rank-2 or the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(
+            k, k2,
+            "Tensor::matmul: inner dimension mismatch {:?} · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.data(), other.data(), out.data_mut(), m, k, n);
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// `self` is `[k, m]`, `other` is `[k, n]`, result is `[m, n]`.
+    ///
+    /// # Panics
+    /// If shapes disagree.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(
+            k, k2,
+            "Tensor::matmul_tn: leading dimension mismatch {:?}ᵀ · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let o = out.data_mut();
+        // out[i][j] += a[l][i] * b[l][j]  — accumulate one rank-1 update per l;
+        // both inner walks are contiguous.
+        for l in 0..k {
+            let arow = &a[l * m..(l + 1) * m];
+            let brow = &b[l * n..(l + 1) * n];
+            for (i, &ai) in arow.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                let orow = &mut o[i * n..(i + 1) * n];
+                for (oj, &bj) in orow.iter_mut().zip(brow) {
+                    *oj += ai * bj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// `self` is `[m, k]`, `other` is `[n, k]`, result is `[m, n]`.
+    ///
+    /// # Panics
+    /// If shapes disagree.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        assert_eq!(
+            k, k2,
+            "Tensor::matmul_nt: trailing dimension mismatch {:?} · {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let o = out.data_mut();
+        // out[i][j] = dot(a_row_i, b_row_j) — both operand walks contiguous.
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * n..(i + 1) * n];
+            for (j, oj) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                *oj = dot(arow, brow);
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product: `self` is `[m, k]`, `v` has `k` elements;
+    /// the result has `m` elements (rank 1).
+    ///
+    /// # Panics
+    /// If shapes disagree.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        assert_eq!(v.len(), k, "Tensor::matvec: {:?} · vec of len {}", self.shape(), v.len());
+        let a = self.data();
+        let x = v.data();
+        let data: Vec<f32> = (0..m).map(|i| dot(&a[i * k..(i + 1) * k], x)).collect();
+        Tensor::from_vec(data, &[m])
+    }
+
+    /// Outer product of two rank-1 tensors: result is `[self.len(), other.len()]`.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        let (m, n) = (self.len(), other.len());
+        let mut out = Tensor::zeros(&[m, n]);
+        let o = out.data_mut();
+        for (i, &a) in self.data().iter().enumerate() {
+            let row = &mut o[i * n..(i + 1) * n];
+            for (r, &b) in row.iter_mut().zip(other.data()) {
+                *r = a * b;
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-way unrolled accumulation: lets the compiler vectorise and avoids
+    // a long sequential dependency chain on the accumulator.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for c in 0..chunks {
+        let i = c * 4;
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Writes `a · b` into `out` where `a` is `[m, k]`, `b` is `[k, n]`.
+///
+/// Exposed for `imre-nn`'s fused kernels.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (l, &al) in arow.iter().enumerate() {
+            if al == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            for (oj, &bj) in orow.iter_mut().zip(brow) {
+                *oj += al * bj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        assert_eq!(a.matmul(&Tensor::eye(4)).data(), a.data());
+        assert_eq!(Tensor::eye(3).matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32 * 0.5).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|i| i as f32 - 4.0).collect(), &[3, 4]);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_close(fast.data(), slow.data(), 1e-5);
+        assert_eq!(fast.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[2, 4]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32).sin()).collect(), &[3, 4]);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_close(fast.data(), slow.data(), 1e-5);
+        assert_eq!(fast.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let v = Tensor::from_vec(vec![1.0, 0.5, -1.0], &[3]);
+        let fast = a.matvec(&v);
+        let slow = a.matmul(&Tensor::from_vec(v.data().to_vec(), &[3, 1]));
+        assert_close(fast.data(), slow.data(), 1e-6);
+        assert_eq!(fast.shape(), &[2]);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]);
+        let o = a.outer(&b);
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn dot_unrolled_matches_naive() {
+        let a: Vec<f32> = (0..23).map(|i| (i as f32).cos()).collect();
+        let b: Vec<f32> = (0..23).map(|i| (i as f32).sin()).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_associativity_approx() {
+        let a = Tensor::from_vec((0..4).map(|i| i as f32 * 0.1).collect(), &[2, 2]);
+        let b = Tensor::from_vec((0..4).map(|i| 1.0 - i as f32 * 0.2).collect(), &[2, 2]);
+        let c = Tensor::from_vec((0..4).map(|i| (i as f32).exp() * 0.01).collect(), &[2, 2]);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert_close(left.data(), right.data(), 1e-5);
+    }
+}

@@ -1,0 +1,306 @@
+//! Elementwise and broadcast arithmetic on [`Tensor`].
+
+use crate::Tensor;
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Elementwise binary ops (shapes must match exactly)
+    // ------------------------------------------------------------------
+
+    fn zip_with(&self, other: &Tensor, op_name: &str, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "Tensor::{op_name}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self.data().iter().zip(other.data()).map(|(&a, &b)| f(a, b)).collect();
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "div", |a, b| a / b)
+    }
+
+    /// In-place elementwise accumulate: `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "Tensor::add_assign: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "Tensor::axpy: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar ops
+    // ------------------------------------------------------------------
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Applies `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.shape())
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Sets every element to zero, retaining the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data_mut().fill(0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast ops
+    // ------------------------------------------------------------------
+
+    /// Adds a rank-1 `bias` of length `cols` to every row of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// If `self` is not rank-2 or `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        let cols = self.cols();
+        assert_eq!(
+            bias.len(),
+            cols,
+            "Tensor::add_row_broadcast: bias of len {} for {} columns",
+            bias.len(),
+            cols
+        );
+        let mut out = self.clone();
+        let b = bias.data();
+        for row in out.data_mut().chunks_mut(cols) {
+            for (x, &bb) in row.iter_mut().zip(b) {
+                *x += bb;
+            }
+        }
+        out
+    }
+
+    /// Multiplies each row elementwise by a rank-1 `scale` of length `cols`.
+    ///
+    /// # Panics
+    /// If `self` is not rank-2 or `scale.len() != self.cols()`.
+    pub fn mul_row_broadcast(&self, scale: &Tensor) -> Tensor {
+        let cols = self.cols();
+        assert_eq!(
+            scale.len(),
+            cols,
+            "Tensor::mul_row_broadcast: scale of len {} for {} columns",
+            scale.len(),
+            cols
+        );
+        let mut out = self.clone();
+        let s = scale.data();
+        for row in out.data_mut().chunks_mut(cols) {
+            for (x, &ss) in row.iter_mut().zip(s) {
+                *x *= ss;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Vector ops
+    // ------------------------------------------------------------------
+
+    /// Dot product of two tensors viewed as flat vectors.
+    ///
+    /// # Panics
+    /// If element counts differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "Tensor::dot: length mismatch {} vs {}",
+            self.len(),
+            other.len()
+        );
+        self.data().iter().zip(other.data()).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Euclidean (L2) norm of the flat buffer.
+    pub fn norm_l2(&self) -> f32 {
+        self.data().iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Cosine similarity between two tensors viewed as flat vectors.
+    ///
+    /// Returns 0 when either vector has zero norm.
+    pub fn cosine(&self, other: &Tensor) -> f32 {
+        let d = self.dot(other);
+        let n = self.norm_l2() * other.norm_l2();
+        if n == 0.0 { 0.0 } else { d / n }
+    }
+
+    // ------------------------------------------------------------------
+    // Activations (forward only; derivatives live in imre-nn's tape)
+    // ------------------------------------------------------------------
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+}
+
+/// Numerically stable logistic sigmoid for scalars, shared across the workspace.
+#[inline]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()])
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let _ = t(&[1.0]).add(&t(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = t(&[1.0, 1.0]);
+        a.add_assign(&t(&[2.0, 3.0]));
+        assert_eq!(a.data(), &[3.0, 4.0]);
+        a.axpy(0.5, &t(&[2.0, 2.0]));
+        assert_eq!(a.data(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, -4.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, -1.0]);
+        assert_eq!(a.map(|x| x * x).data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut a = t(&[1.0, 2.0]);
+        a.fill_zero();
+        assert_eq!(a.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_broadcasts() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0]);
+        assert_eq!(m.add_row_broadcast(&b).data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(m.mul_row_broadcast(&b).data(), &[10.0, 40.0, 30.0, 80.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_row_broadcast")]
+    fn broadcast_bad_len_panics() {
+        let m = Tensor::zeros(&[2, 2]);
+        let _ = m.add_row_broadcast(&t(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn dot_norm_cosine() {
+        let a = t(&[3.0, 4.0]);
+        let b = t(&[4.0, 3.0]);
+        assert_eq!(a.dot(&b), 24.0);
+        assert_eq!(a.norm_l2(), 5.0);
+        assert_close(&[a.cosine(&b)], &[24.0 / 25.0], 1e-6);
+        assert_eq!(a.cosine(&t(&[0.0, 0.0])), 0.0);
+    }
+
+    #[test]
+    fn activations() {
+        let a = t(&[0.0, 1.0, -1.0]);
+        assert_close(a.tanh().data(), &[0.0, 0.76159, -0.76159], 1e-4);
+        assert_close(a.sigmoid().data(), &[0.5, 0.73106, 0.26894], 1e-4);
+        assert_eq!(a.relu().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_scalar_stable_at_extremes() {
+        assert!((sigmoid_scalar(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid_scalar(-100.0).abs() < 1e-6);
+        assert!(sigmoid_scalar(100.0).is_finite());
+        assert!(sigmoid_scalar(-100.0).is_finite());
+        assert_close(&[sigmoid_scalar(0.3)], &[1.0 / (1.0 + (-0.3f32).exp())], 1e-7);
+    }
+}

@@ -1,0 +1,209 @@
+//! Reductions and normalisations: sums, means, axis max (with argmax, the
+//! backbone of piecewise max pooling), and numerically stable softmax.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() { 0.0 } else { self.sum() / self.len() as f32 }
+    }
+
+    /// Maximum element (−∞ for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Column-wise sum of a rank-2 tensor → rank-1 of length `cols`.
+    pub fn sum_rows(&self) -> Tensor {
+        let cols = self.cols();
+        let mut out = vec![0.0f32; cols];
+        for row in self.data().chunks(cols) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Row-wise sum of a rank-2 tensor → rank-1 of length `rows`.
+    pub fn sum_cols(&self) -> Tensor {
+        let cols = self.cols();
+        let data: Vec<f32> = self.data().chunks(cols).map(|r| r.iter().sum()).collect();
+        let n = data.len();
+        Tensor::from_vec(data, &[n])
+    }
+
+    /// Column-wise mean of a rank-2 tensor → rank-1 of length `cols`.
+    pub fn mean_rows(&self) -> Tensor {
+        let rows = self.rows() as f32;
+        self.sum_rows().scale(1.0 / rows)
+    }
+
+    /// Column-wise max over a contiguous row range `[lo, hi)`, returning the
+    /// max values and the *absolute* row index achieving each max.
+    ///
+    /// This is the primitive behind (piecewise) max pooling: `imre-nn` calls
+    /// it once per pooling segment and routes gradients through the argmax.
+    ///
+    /// # Panics
+    /// If `lo >= hi`, `hi > rows`, or `self` is not rank-2.
+    pub fn max_over_rows(&self, lo: usize, hi: usize) -> (Tensor, Vec<usize>) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert!(
+            lo < hi && hi <= rows,
+            "Tensor::max_over_rows: empty or out-of-range segment [{lo}, {hi}) of {rows} rows"
+        );
+        let d = self.data();
+        let mut vals = d[lo * cols..(lo + 1) * cols].to_vec();
+        let mut idx = vec![lo; cols];
+        for r in lo + 1..hi {
+            let row = &d[r * cols..(r + 1) * cols];
+            for c in 0..cols {
+                if row[c] > vals[c] {
+                    vals[c] = row[c];
+                    idx[c] = r;
+                }
+            }
+        }
+        (Tensor::from_vec(vals, &[cols]), idx)
+    }
+
+    /// Index of the maximum element of a rank-1 tensor (first on ties).
+    ///
+    /// # Panics
+    /// If the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "Tensor::argmax: empty tensor");
+        let mut best = 0;
+        let d = self.data();
+        for i in 1..d.len() {
+            if d[i] > d[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Numerically stable softmax over a rank-1 tensor.
+    pub fn softmax(&self) -> Tensor {
+        let m = self.max();
+        let exps: Vec<f32> = self.data().iter().map(|&x| (x - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        Tensor::from_vec(exps.iter().map(|&e| e / z).collect(), self.shape())
+    }
+
+    /// Numerically stable log-softmax over a rank-1 tensor.
+    pub fn log_softmax(&self) -> Tensor {
+        let m = self.max();
+        let z: f32 = self.data().iter().map(|&x| (x - m).exp()).sum();
+        let lz = z.ln() + m;
+        self.map(|x| x - lz)
+    }
+
+    /// Row-wise softmax of a rank-2 tensor.
+    pub fn softmax_rows(&self) -> Tensor {
+        let cols = self.cols();
+        let mut out = self.clone();
+        for row in out.data_mut().chunks_mut(cols) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                z += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= z;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn sum_mean_max() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(Tensor::zeros(&[0]).mean(), 0.0);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.sum_rows().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_cols().data(), &[6.0, 15.0]);
+        assert_eq!(t.mean_rows().data(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn max_over_rows_values_and_argmax() {
+        let t = Tensor::from_vec(
+            vec![
+                1.0, 9.0, //
+                5.0, 2.0, //
+                3.0, 7.0, //
+            ],
+            &[3, 2],
+        );
+        let (v, idx) = t.max_over_rows(0, 3);
+        assert_eq!(v.data(), &[5.0, 9.0]);
+        assert_eq!(idx, vec![1, 0]);
+        let (v2, idx2) = t.max_over_rows(1, 3);
+        assert_eq!(v2.data(), &[5.0, 7.0]);
+        assert_eq!(idx2, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_over_rows")]
+    fn max_over_rows_empty_segment_panics() {
+        let _ = Tensor::zeros(&[3, 2]).max_over_rows(2, 2);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0], &[4]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let t = Tensor::from_vec(vec![1000.0, 1000.0, 999.0], &[3]);
+        let s = t.softmax();
+        assert!((s.sum() - 1.0).abs() < 1e-5);
+        assert!(s.data().iter().all(|x| x.is_finite() && *x > 0.0));
+        assert!(s.data()[0] > s.data()[2]);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let t = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.0], &[4]);
+        let ls = t.log_softmax();
+        let s = t.softmax();
+        let exp_ls: Vec<f32> = ls.data().iter().map(|&x| x.exp()).collect();
+        assert_close(&exp_ls, s.data(), 1e-5);
+    }
+
+    #[test]
+    fn softmax_rows_each_row_normalised() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let row_sum: f32 = (0..3).map(|c| s.at(r, c)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // shift invariance: rows differing by a constant have equal softmax
+        assert_close(&[s.at(0, 0), s.at(0, 1), s.at(0, 2)], &[s.at(1, 0), s.at(1, 1), s.at(1, 2)], 1e-5);
+    }
+}

@@ -1,0 +1,265 @@
+//! Row-structured operations: slicing, gathering (embedding lookup),
+//! scatter-add (embedding gradient), stacking and concatenation.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Borrow row `r` of a rank-2 tensor as a slice.
+    ///
+    /// # Panics
+    /// If out of bounds or not rank-2.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert!(r < rows, "Tensor::row: row {r} out of bounds for {:?}", self.shape());
+        &self.data()[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrow row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// If out of bounds or not rank-2.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert!(r < rows, "Tensor::row_mut: row {r} out of bounds for {rows} rows");
+        let c = cols;
+        &mut self.data_mut()[r * c..(r + 1) * c]
+    }
+
+    /// Copies row `r` into a new rank-1 tensor.
+    pub fn row_tensor(&self, r: usize) -> Tensor {
+        Tensor::from_vec(self.row(r).to_vec(), &[self.cols()])
+    }
+
+    /// Gathers rows by index into a new `[indices.len(), cols]` tensor.
+    ///
+    /// This is the embedding-lookup primitive: `table.gather_rows(&token_ids)`.
+    ///
+    /// # Panics
+    /// If any index is out of bounds or `self` is not rank-2.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let (rows, cols) = (self.rows(), self.cols());
+        let mut data = Vec::with_capacity(indices.len() * cols);
+        for &i in indices {
+            assert!(i < rows, "Tensor::gather_rows: index {i} out of bounds for {rows} rows");
+            data.extend_from_slice(&self.data()[i * cols..(i + 1) * cols]);
+        }
+        Tensor::from_vec(data, &[indices.len(), cols])
+    }
+
+    /// Scatter-add: for each `k`, adds row `k` of `updates` into row
+    /// `indices[k]` of `self`. Repeated indices accumulate.
+    ///
+    /// This is the gradient of [`Tensor::gather_rows`] and is how embedding
+    /// tables receive sparse updates.
+    ///
+    /// # Panics
+    /// If shapes disagree or any index is out of bounds.
+    pub fn scatter_add_rows(&mut self, indices: &[usize], updates: &Tensor) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert_eq!(updates.rows(), indices.len(), "Tensor::scatter_add_rows: {} updates for {} indices", updates.rows(), indices.len());
+        assert_eq!(updates.cols(), cols, "Tensor::scatter_add_rows: update width {} vs table width {}", updates.cols(), cols);
+        for (k, &i) in indices.iter().enumerate() {
+            assert!(i < rows, "Tensor::scatter_add_rows: index {i} out of bounds for {rows} rows");
+            let dst = &mut self.data_mut()[i * cols..(i + 1) * cols];
+            let src = &updates.data()[k * cols..(k + 1) * cols];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Stacks rank-1 tensors of equal length into a rank-2 tensor.
+    ///
+    /// # Panics
+    /// If `rows` is empty or lengths differ.
+    pub fn stack_rows(rows: &[&Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "Tensor::stack_rows: nothing to stack");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "Tensor::stack_rows: row {i} has len {} expected {cols}", r.len());
+            data.extend_from_slice(r.data());
+        }
+        Tensor::from_vec(data, &[rows.len(), cols])
+    }
+
+    /// Concatenates rank-1 tensors end to end.
+    pub fn concat(parts: &[&Tensor]) -> Tensor {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut data = Vec::with_capacity(total);
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        Tensor::from_vec(data, &[total])
+    }
+
+    /// Concatenates rank-2 tensors along the column axis (same row count).
+    ///
+    /// # Panics
+    /// If row counts differ or `parts` is empty.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "Tensor::concat_cols: nothing to concatenate");
+        let rows = parts[0].rows();
+        let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.rows(), rows, "Tensor::concat_cols: part {i} has {} rows expected {rows}", p.rows());
+        }
+        let mut out = Tensor::zeros(&[rows, total_cols]);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                let pc = p.cols();
+                out.data_mut()[r * total_cols + off..r * total_cols + off + pc]
+                    .copy_from_slice(p.row(r));
+                off += pc;
+            }
+        }
+        out
+    }
+
+    /// Vertically concatenates rank-2 tensors (same column count).
+    ///
+    /// # Panics
+    /// If column counts differ or `parts` is empty.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "Tensor::concat_rows: nothing to concatenate");
+        let cols = parts[0].cols();
+        let total_rows: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut data = Vec::with_capacity(total_rows * cols);
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.cols(), cols, "Tensor::concat_rows: part {i} has {} cols expected {cols}", p.cols());
+            data.extend_from_slice(p.data());
+        }
+        Tensor::from_vec(data, &[total_rows, cols])
+    }
+
+    /// Returns the sub-matrix of rows `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If the range is invalid.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Tensor {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert!(lo <= hi && hi <= rows, "Tensor::slice_rows: bad range [{lo}, {hi}) of {rows}");
+        Tensor::from_vec(self.data()[lo * cols..hi * cols].to_vec(), &[hi - lo, cols])
+    }
+
+    /// Returns the columns `[lo, hi)` of every row as a new tensor.
+    ///
+    /// # Panics
+    /// If the range is invalid.
+    pub fn slice_cols(&self, lo: usize, hi: usize) -> Tensor {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert!(lo <= hi && hi <= cols, "Tensor::slice_cols: bad range [{lo}, {hi}) of {cols}");
+        let w = hi - lo;
+        let mut data = Vec::with_capacity(rows * w);
+        for r in 0..rows {
+            data.extend_from_slice(&self.data()[r * cols + lo..r * cols + hi]);
+        }
+        Tensor::from_vec(data, &[rows, w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> Tensor {
+        Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])
+    }
+
+    #[test]
+    fn row_access() {
+        let t = m23();
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.row_tensor(0).data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_mut_edits() {
+        let mut t = m23();
+        t.row_mut(0)[1] = 9.0;
+        assert_eq!(t.at(0, 1), 9.0);
+    }
+
+    #[test]
+    fn gather_rows_lookup() {
+        let t = m23();
+        let g = t.gather_rows(&[1, 0, 1]);
+        assert_eq!(g.shape(), &[3, 3]);
+        assert_eq!(g.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(g.row(2), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather_rows")]
+    fn gather_rows_oob_panics() {
+        let _ = m23().gather_rows(&[2]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_repeats() {
+        let mut table = Tensor::zeros(&[3, 2]);
+        let upd = Tensor::from_vec(vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0], &[3, 2]);
+        table.scatter_add_rows(&[0, 2, 0], &upd);
+        assert_eq!(table.row(0), &[4.0, 4.0]); // rows 0 and 2 of upd both land on row 0
+        assert_eq!(table.row(1), &[0.0, 0.0]);
+        assert_eq!(table.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_is_gather_adjoint() {
+        // <gather(T, idx), U> == <T, scatter(idx, U)> — the adjoint identity
+        // the autograd relies on.
+        let t = m23();
+        let idx = [0usize, 1, 1];
+        let u = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0, 1.0, 1.0, 3.0, 2.0, 1.0], &[3, 3]);
+        let lhs = t.gather_rows(&idx).dot(&u);
+        let mut scat = Tensor::zeros(&[2, 3]);
+        scat.scatter_add_rows(&idx, &u);
+        let rhs = t.dot(&scat);
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stack_and_concat() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let s = Tensor::stack_rows(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 2]);
+        let c = Tensor::concat(&[&a, &b]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_cols_interleaves() {
+        let a = m23();
+        let b = Tensor::from_vec(vec![7.0, 8.0], &[2, 1]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 4]);
+        assert_eq!(c.row(0), &[1.0, 2.0, 3.0, 7.0]);
+        assert_eq!(c.row(1), &[4.0, 5.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = m23();
+        let b = m23();
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), &[4, 3]);
+        assert_eq!(c.row(3), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slicing() {
+        let t = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[4, 3]);
+        let r = t.slice_rows(1, 3);
+        assert_eq!(r.shape(), &[2, 3]);
+        assert_eq!(r.row(0), &[3.0, 4.0, 5.0]);
+        let c = t.slice_cols(1, 3);
+        assert_eq!(c.shape(), &[4, 2]);
+        assert_eq!(c.row(0), &[1.0, 2.0]);
+        assert_eq!(c.row(3), &[10.0, 11.0]);
+    }
+}

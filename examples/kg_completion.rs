@@ -1,0 +1,53 @@
+//! Knowledge-graph completion — the paper's motivating application
+//! (§I: "extract factual triplets from plain text for KG completion").
+//!
+//! Trains PA-TMR on the NYT-like corpus, then sweeps the held-out bags,
+//! emitting the new `(head, relation, tail)` triplets the model is most
+//! confident about — exactly how a downstream KG team would consume this
+//! library — and reports how many of them the (held-out) KG confirms.
+//!
+//! ```text
+//! cargo run --release --example kg_completion
+//! ```
+
+use imre::core::{HyperParams, ModelSpec};
+use imre::eval::Pipeline;
+
+fn main() {
+    println!("KG completion with PA-TMR\n");
+    let mut hp = HyperParams::scaled();
+    hp.epochs = 6;
+    let pipeline = Pipeline::build(&imre::corpus::nyt_sim(11), hp);
+    let model = pipeline.train_system(ModelSpec::pa_tmr(), 42);
+    let ctx = pipeline.ctx();
+
+    // Score every candidate (pair, relation) on the held-out bags.
+    let mut candidates: Vec<(f32, usize, usize, usize)> = Vec::new();
+    for bag in &pipeline.test_bags {
+        let scores = model.predict(bag, &ctx);
+        for (r, &s) in scores.iter().enumerate().skip(1) {
+            candidates.push((s, bag.head, bag.tail, r));
+        }
+    }
+    candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+
+    println!("top 15 extracted triplets:");
+    println!("{:<7} {:<28} {:<38} {:<28} {}", "score", "head", "relation", "tail", "in KG?");
+    let world = &pipeline.dataset.world;
+    let mut hits = 0;
+    for &(score, h, t, r) in candidates.iter().take(15) {
+        let gold = world
+            .relation_of(imre::corpus::EntityId(h), imre::corpus::EntityId(t))
+            .map(|rel| rel.0 == r)
+            .unwrap_or(false);
+        hits += gold as usize;
+        println!(
+            "{score:<7.3} {:<28} {:<38} {:<28} {}",
+            world.entities[h].name,
+            world.relations[r].name,
+            world.entities[t].name,
+            if gold { "yes" } else { "no" }
+        );
+    }
+    println!("\n{hits}/15 of the top extractions are confirmed KG facts (precision@15 = {:.2})", hits as f32 / 15.0);
+}

@@ -1,0 +1,49 @@
+//! Quickstart: the whole system on a small corpus in under a minute.
+//!
+//! Builds a distant-supervision dataset, mines the implicit mutual
+//! relations from the unlabeled corpus (proximity graph → LINE), trains the
+//! paper's PA-TMR model next to its PCNN+ATT base, and prints held-out
+//! metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use imre::core::{HyperParams, ModelSpec};
+use imre::eval::{smoke_config, Pipeline};
+
+fn main() {
+    println!("imre quickstart — Kuang et al., ICDE 2020 reproduction\n");
+
+    // 1. Build everything the experiment needs: dataset, unlabeled corpus,
+    //    proximity graph, LINE entity embeddings, featurised bags.
+    let mut hp = HyperParams::scaled();
+    hp.epochs = 10;
+    hp.batch_size = 8;
+    let pipeline = Pipeline::build(&smoke_config(7), hp);
+    println!(
+        "dataset: {} train bags, {} test bags, {} relations, vocab {}",
+        pipeline.train_bags.len(),
+        pipeline.test_bags.len(),
+        pipeline.dataset.num_relations(),
+        pipeline.dataset.vocab.len(),
+    );
+    println!(
+        "entity embeddings: {} entities × {} dims (LINE over the proximity graph)\n",
+        pipeline.embedding.len(),
+        pipeline.embedding.dim()
+    );
+
+    // 2. Train the base model and the paper's full model.
+    for spec in [ModelSpec::pcnn_att(), ModelSpec::pa_tmr()] {
+        let ev = pipeline.run_system(spec, 42);
+        println!(
+            "{:<9}  AUC {:.4}  F1 {:.4}  P@100 {:.2}",
+            spec.name(),
+            ev.auc,
+            ev.f1,
+            ev.p_at_100
+        );
+    }
+    println!("\nPA-TMR = PCNN+ATT + entity types + implicit mutual relations (paper §III-D).");
+}

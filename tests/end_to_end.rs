@@ -1,0 +1,77 @@
+//! Cross-crate integration tests: the full pipeline (corpus → proximity
+//! graph → LINE → model → held-out metrics) at smoke scale.
+
+use imre::core::{HyperParams, ModelSpec, ReModel};
+use imre::eval::{smoke_config, Pipeline};
+
+fn smoke_pipeline(seed: u64) -> Pipeline {
+    let mut hp = HyperParams::tiny();
+    hp.epochs = 12; // the smoke corpus is tiny; shorter runs underfit
+    Pipeline::build(&smoke_config(seed), hp)
+}
+
+#[test]
+fn full_pipeline_trains_and_evaluates() {
+    let p = smoke_pipeline(3);
+    let ev = p.run_system(ModelSpec::pcnn_att(), 42);
+    assert!(ev.auc > 0.0 && ev.auc <= 1.0);
+    assert!(ev.f1 > 0.0 && ev.f1 <= 1.0);
+    assert!(!ev.curve.is_empty());
+}
+
+#[test]
+fn training_beats_untrained_model() {
+    let p = smoke_pipeline(5);
+    let untrained = ReModel::new(
+        ModelSpec::pcnn_att(),
+        &p.hp,
+        p.dataset.vocab.len(),
+        p.dataset.num_relations(),
+        imre::corpus::NUM_COARSE_TYPES,
+        p.embedding.dim(),
+        9,
+    );
+    let before = p.evaluate_model(&untrained).auc;
+    let after = p.run_system(ModelSpec::pcnn_att(), 9).auc;
+    assert!(after > before + 0.02, "training must help: {before} → {after}");
+}
+
+#[test]
+fn every_paper_system_runs_end_to_end() {
+    let p = smoke_pipeline(7);
+    for spec in [
+        ModelSpec::pcnn(),
+        ModelSpec::pcnn_att(),
+        ModelSpec::cnn_att(),
+        ModelSpec::gru_att(),
+        ModelSpec::bgwa(),
+        ModelSpec::pa_t(),
+        ModelSpec::pa_mr(),
+        ModelSpec::pa_tmr(),
+    ] {
+        let ev = p.run_system(spec, 11);
+        assert!(
+            ev.auc.is_finite() && ev.auc > 0.0,
+            "{} produced degenerate AUC {}",
+            spec.name(),
+            ev.auc
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_under_seeds() {
+    let a = smoke_pipeline(13).run_system(ModelSpec::pcnn(), 21);
+    let b = smoke_pipeline(13).run_system(ModelSpec::pcnn(), 21);
+    assert_eq!(a.auc, b.auc);
+    assert_eq!(a.f1, b.f1);
+}
+
+#[test]
+fn entity_embedding_supports_mr_queries() {
+    let p = smoke_pipeline(17);
+    let f = p.dataset.world.facts[0];
+    let mr = p.embedding.mutual_relation(f.head.0, f.tail.0);
+    assert_eq!(mr.len(), p.hp.entity_dim);
+    assert!(mr.data().iter().all(|x| x.is_finite()));
+}

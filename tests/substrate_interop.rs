@@ -1,0 +1,111 @@
+//! Integration tests exercising substrate crates *together* in ways unit
+//! tests cannot: corpus → graph, graph → core, corpus → nn.
+
+use imre::corpus::{generate_unlabeled, Dataset, UnlabeledConfig};
+use imre::eval::smoke_config;
+use imre::graph::{nearest, train_line, LineConfig, ProximityGraph};
+use imre::nn::{GradStore, ParamStore, Sgd, Tape};
+use imre::tensor::{Tensor, TensorRng};
+
+#[test]
+fn proximity_graph_from_generated_unlabeled_corpus() {
+    let ds = Dataset::generate(&smoke_config(31));
+    let co = generate_unlabeled(&ds.world, &UnlabeledConfig::default());
+    let graph = ProximityGraph::from_counts(co.iter().map(|(&p, &c)| (p, c)), ds.world.num_entities(), 2);
+    assert!(graph.n_edges() > ds.world.facts.len() / 2, "graph too sparse: {} edges", graph.n_edges());
+    // weights respect the paper's normalisation
+    for &(_, _, w) in graph.edges() {
+        assert!(w > 0.0 && w <= 1.0);
+    }
+}
+
+#[test]
+fn line_embeddings_respect_world_clusters() {
+    let ds = Dataset::generate(&smoke_config(33));
+    let co = generate_unlabeled(&ds.world, &UnlabeledConfig::default());
+    let graph = ProximityGraph::from_counts(co.iter().map(|(&p, &c)| (p, c)), ds.world.num_entities(), 2);
+    let emb = train_line(&graph, &LineConfig { dim: 32, samples_per_epoch: 60_000, epochs: 2, ..Default::default() });
+
+    // For entities with edges, nearest neighbours should over-represent the
+    // query's own cluster relative to chance.
+    let mut same_cluster_hits = 0usize;
+    let mut total = 0usize;
+    for cluster in ds.world.clusters.iter().take(6) {
+        if cluster.members.len() < 3 {
+            continue;
+        }
+        let q = cluster.members[0].0;
+        if graph.out_degree(q) == 0 {
+            continue;
+        }
+        for (v, _) in nearest(&emb, q, 5) {
+            total += 1;
+            if ds.world.entities[v].cluster == ds.world.entities[q].cluster {
+                same_cluster_hits += 1;
+            }
+        }
+    }
+    assert!(total > 0);
+    let hit_rate = same_cluster_hits as f32 / total as f32;
+    let chance = 1.0 / ds.world.clusters.len() as f32;
+    assert!(
+        hit_rate > chance * 3.0,
+        "cluster structure not reflected: hit rate {hit_rate:.3} vs chance {chance:.3}"
+    );
+}
+
+#[test]
+fn autograd_trains_on_generated_tokens() {
+    // Sanity: a linear bag-of-embeddings classifier over generated sentences
+    // learns to separate two relations (substrate-level smoke of corpus+nn).
+    let ds = Dataset::generate(&smoke_config(35));
+    let mut rng = TensorRng::seed(3);
+    let mut params = ParamStore::new();
+    let emb = params.uniform("emb", &[ds.vocab.len(), 16], 0.3, &mut rng);
+    let w = params.xavier("w", 16, ds.num_relations(), &mut rng);
+    let mut grads = GradStore::zeros_like(&params);
+    let sgd = Sgd::new(0.3);
+
+    let examples: Vec<(&Vec<usize>, usize)> = ds
+        .train
+        .iter()
+        .flat_map(|b| b.sentences.iter().map(move |s| (&s.tokens, b.label.0)))
+        .collect();
+
+    let mut first_loss = 0.0;
+    let mut last_loss = 0.0;
+    for epoch in 0..5 {
+        let mut total = 0.0f32;
+        for &(tokens, label) in examples.iter().take(300) {
+            let mut tape = Tape::new(&params);
+            let rows = tape.gather(emb, tokens);
+            let pooled = tape.mean_rows(rows);
+            let p2 = tape.reshape(pooled, &[1, 16]);
+            let wv = tape.param(w);
+            let logits2 = tape.matmul(p2, wv);
+            let logits = tape.reshape(logits2, &[ds.num_relations()]);
+            let loss = tape.softmax_cross_entropy(logits, label);
+            total += tape.value(loss).data()[0];
+            tape.backward(loss, &mut grads);
+            sgd.step(&mut params, &mut grads);
+        }
+        if epoch == 0 {
+            first_loss = total;
+        }
+        last_loss = total;
+    }
+    assert!(last_loss < first_loss * 0.8, "bag-of-embeddings failed to learn: {first_loss} → {last_loss}");
+}
+
+#[test]
+fn tensor_rng_streams_reproduce_dataset_exactly() {
+    let a = Dataset::generate(&smoke_config(37));
+    let b = Dataset::generate(&smoke_config(37));
+    assert_eq!(a.vocab.len(), b.vocab.len());
+    let sa: usize = a.train.iter().map(|x| x.sentences.len()).sum();
+    let sb: usize = b.train.iter().map(|x| x.sentences.len()).sum();
+    assert_eq!(sa, sb);
+    let t1 = Tensor::rand_uniform(&[8], -1.0, 1.0, &mut TensorRng::seed(5));
+    let t2 = Tensor::rand_uniform(&[8], -1.0, 1.0, &mut TensorRng::seed(5));
+    assert_eq!(t1.data(), t2.data());
+}
