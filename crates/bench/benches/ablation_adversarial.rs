@@ -8,7 +8,10 @@ use imre_core::{train_adversarial, AdvConfig, ModelSpec, ReModel, TrainConfig};
 use imre_eval::{format_table, metric};
 
 fn main() {
-    header("Extension: FGM adversarial training vs standard training", "paper §II-B noise mitigation");
+    header(
+        "Extension: FGM adversarial training vs standard training",
+        "paper §II-B noise mitigation",
+    );
     let seed = seeds()[0];
     let config = &dataset_configs()[0];
     let p = build_pipeline(config);
@@ -20,7 +23,10 @@ fn main() {
     rows.push(vec!["PCNN+ATT".to_string(), metric(ev.auc), metric(ev.f1)]);
 
     // adversarially trained PCNN+ATT
-    for (label, eps) in [("PCNN+ATT+ADV ε=0.02", 0.02f32), ("PCNN+ATT+ADV ε=0.05", 0.05)] {
+    for (label, eps) in [
+        ("PCNN+ATT+ADV ε=0.02", 0.02f32),
+        ("PCNN+ATT+ADV ε=0.05", 0.05),
+    ] {
         let mut model = ReModel::new(
             ModelSpec::pcnn_att(),
             &p.hp,
@@ -32,7 +38,16 @@ fn main() {
         );
         model.set_word_embeddings(p.word_vectors.clone());
         let tc = TrainConfig::from_hp(&p.hp, seed ^ 0xabcd);
-        train_adversarial(&mut model, &p.train_bags, &p.ctx(), &tc, &AdvConfig { epsilon: eps, adv_weight: 1.0 });
+        train_adversarial(
+            &mut model,
+            &p.train_bags,
+            &p.ctx(),
+            &tc,
+            &AdvConfig {
+                epsilon: eps,
+                adv_weight: 1.0,
+            },
+        );
         let ev = p.evaluate_model(&model);
         rows.push(vec![label.to_string(), metric(ev.auc), metric(ev.f1)]);
     }

@@ -8,13 +8,21 @@ use imre_core::ModelSpec;
 use imre_eval::{format_table, metric};
 
 fn main() {
-    header("Ablation: combiner mixing weights and per-component gains", "paper §III-D design choice");
+    header(
+        "Ablation: combiner mixing weights and per-component gains",
+        "paper §III-D design choice",
+    );
     let seed = seeds()[0];
 
     for config in dataset_configs() {
         let p = build_pipeline(&config);
         let mut rows = Vec::new();
-        for spec in [ModelSpec::pcnn_att(), ModelSpec::pa_t(), ModelSpec::pa_mr(), ModelSpec::pa_tmr()] {
+        for spec in [
+            ModelSpec::pcnn_att(),
+            ModelSpec::pa_t(),
+            ModelSpec::pa_mr(),
+            ModelSpec::pa_tmr(),
+        ] {
             let model = p.train_system(spec, seed);
             let ev = p.evaluate_model(&model);
             // Combiner weights exist only for PA variants.
@@ -48,5 +56,7 @@ fn main() {
             )
         );
     }
-    println!("(α, β, γ are the learned mixing weights of P(r) = softmax(w(αC_MR + βC_T + γRE) + b))");
+    println!(
+        "(α, β, γ are the learned mixing weights of P(r) = softmax(w(αC_MR + βC_T + γRE) + b))"
+    );
 }

@@ -27,14 +27,20 @@ fn mr_separation(emb: &EntityEmbedding, world: &imre_corpus::World) -> f32 {
         }
         for i in 0..3 {
             for j in (i + 1)..4 {
-                intra.push(emb.mutual_relation(ps[i].0, ps[i].1).cosine(&emb.mutual_relation(ps[j].0, ps[j].1)));
+                intra.push(
+                    emb.mutual_relation(ps[i].0, ps[i].1)
+                        .cosine(&emb.mutual_relation(ps[j].0, ps[j].1)),
+                );
             }
         }
         let other = (r % (world.num_relations() - 1)) + 1;
         if other != r && by_rel[other].len() >= 2 {
             for &(h1, t1) in ps.iter().take(2) {
                 for &(h2, t2) in by_rel[other].iter().take(2) {
-                    inter.push(emb.mutual_relation(h1, t1).cosine(&emb.mutual_relation(h2, t2)));
+                    inter.push(
+                        emb.mutual_relation(h1, t1)
+                            .cosine(&emb.mutual_relation(h2, t2)),
+                    );
                 }
             }
         }
@@ -44,7 +50,10 @@ fn mr_separation(emb: &EntityEmbedding, world: &imre_corpus::World) -> f32 {
 }
 
 fn main() {
-    header("Extension: GNN propagation over the proximity graph", "paper §V future work");
+    header(
+        "Extension: GNN propagation over the proximity graph",
+        "paper §V future work",
+    );
     let seed = seeds()[0];
     let config = &dataset_configs()[0];
     let mut p = build_pipeline(config);
@@ -59,21 +68,47 @@ fn main() {
     let raw_ev = {
         let model = p.train_system(ModelSpec::pa_mr(), seed);
         let ctx = p.ctx();
-        evaluate_system(&p.test_bags, p.dataset.num_relations(), |b| model.predict(b, &ctx))
+        evaluate_system(&p.test_bags, p.dataset.num_relations(), |b| {
+            model.predict(b, &ctx)
+        })
     };
-    rows.push(vec!["LINE (paper)".to_string(), format!("{raw_sep:.4}"), metric(raw_ev.auc), metric(raw_ev.f1)]);
+    rows.push(vec![
+        "LINE (paper)".to_string(),
+        format!("{raw_sep:.4}"),
+        metric(raw_ev.auc),
+        metric(raw_ev.f1),
+    ]);
 
     for (label, cfg) in [
-        ("LINE + GCN λ=0.3 ×1", PropagationConfig { lambda: 0.3, hops: 1 }),
-        ("LINE + GCN λ=0.5 ×2", PropagationConfig { lambda: 0.5, hops: 2 }),
+        (
+            "LINE + GCN λ=0.3 ×1",
+            PropagationConfig {
+                lambda: 0.3,
+                hops: 1,
+            },
+        ),
+        (
+            "LINE + GCN λ=0.5 ×2",
+            PropagationConfig {
+                lambda: 0.5,
+                hops: 2,
+            },
+        ),
     ] {
         let smoothed = propagate(&p.embedding, &graph, &cfg);
         let sep = mr_separation(&smoothed, &p.dataset.world);
         p.embedding = smoothed;
         let model = p.train_system(ModelSpec::pa_mr(), seed);
         let ctx = p.ctx();
-        let ev = evaluate_system(&p.test_bags, p.dataset.num_relations(), |b| model.predict(b, &ctx));
-        rows.push(vec![label.to_string(), format!("{sep:.4}"), metric(ev.auc), metric(ev.f1)]);
+        let ev = evaluate_system(&p.test_bags, p.dataset.num_relations(), |b| {
+            model.predict(b, &ctx)
+        });
+        rows.push(vec![
+            label.to_string(),
+            format!("{sep:.4}"),
+            metric(ev.auc),
+            metric(ev.f1),
+        ]);
     }
 
     println!(

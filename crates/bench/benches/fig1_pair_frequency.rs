@@ -11,16 +11,26 @@ use imre_corpus::stats::{fig1_bands, pair_frequency_histogram};
 use imre_corpus::Dataset;
 
 fn main() {
-    header("Figure 1: entity pairs per training-sentence-count band", "paper Fig. 1");
+    header(
+        "Figure 1: entity pairs per training-sentence-count band",
+        "paper Fig. 1",
+    );
     for config in dataset_configs() {
         let ds = Dataset::generate(&config);
         let hist = pair_frequency_histogram(&ds.train, &fig1_bands());
         let total: usize = hist.iter().map(|(_, c)| c).sum();
         println!("\n[{}] training pairs: {total}", ds.name);
-        println!("{:<10} {:>10} {:>9} {:>12}", "band", "pairs", "share", "log10(pairs)");
+        println!(
+            "{:<10} {:>10} {:>9} {:>12}",
+            "band", "pairs", "share", "log10(pairs)"
+        );
         for (label, count) in &hist {
             let share = 100.0 * *count as f32 / total.max(1) as f32;
-            let log = if *count > 0 { (*count as f32).log10() } else { f32::NEG_INFINITY };
+            let log = if *count > 0 {
+                (*count as f32).log10()
+            } else {
+                f32::NEG_INFINITY
+            };
             println!("{label:<10} {count:>10} {share:>8.1}% {log:>12.2}");
         }
         let short = hist[0].1 + hist[1].1;

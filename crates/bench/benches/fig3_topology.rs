@@ -11,11 +11,15 @@ use imre_corpus::{generate_unlabeled, Dataset, UnlabeledConfig};
 use imre_graph::ProximityGraph;
 
 fn main() {
-    header("Figure 3: topological similarity in the proximity graph", "paper Fig. 3");
+    header(
+        "Figure 3: topological similarity in the proximity graph",
+        "paper Fig. 3",
+    );
     let config = &dataset_configs()[0];
     let ds = Dataset::generate(config);
     let co = generate_unlabeled(&ds.world, &UnlabeledConfig::default());
-    let graph = ProximityGraph::from_counts(co.iter().map(|(&p, &c)| (p, c)), ds.world.num_entities(), 2);
+    let graph =
+        ProximityGraph::from_counts(co.iter().map(|(&p, &c)| (p, c)), ds.world.num_entities(), 2);
     println!(
         "graph: {} vertices, {} edges",
         graph.n_vertices(),
@@ -23,14 +27,21 @@ fn main() {
     );
 
     // the paper's concrete example pair, when the curated names exist
-    if let (Some(a), Some(b)) = (ds.world.entity_by_name("Houston"), ds.world.entity_by_name("Dallas")) {
+    if let (Some(a), Some(b)) = (
+        ds.world.entity_by_name("Houston"),
+        ds.world.entity_by_name("Dallas"),
+    ) {
         let common = graph.common_neighbors(a.0, b.0);
         println!(
             "\nHouston vs Dallas: {} common neighbours, Jaccard {:.3}",
             common.len(),
             graph.neighborhood_jaccard(a.0, b.0)
         );
-        let names: Vec<&str> = common.iter().take(8).map(|&v| ds.world.entities[v].name.as_str()).collect();
+        let names: Vec<&str> = common
+            .iter()
+            .take(8)
+            .map(|&v| ds.world.entities[v].name.as_str())
+            .collect();
         println!("shared neighbours include: {names:?}");
     }
 
@@ -48,7 +59,13 @@ fn main() {
             cross.push(graph.neighborhood_jaccard(w[0].members[0].0, w[1].members[0].0));
         }
     }
-    let mean = |v: &[f32]| if v.is_empty() { 0.0 } else { v.iter().sum::<f32>() / v.len() as f32 };
+    let mean = |v: &[f32]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f32>() / v.len() as f32
+        }
+    };
     println!("\nmean neighbourhood Jaccard:");
     println!("  same-cluster pairs  : {:.3}", mean(&same));
     println!("  cross-cluster pairs : {:.3}", mean(&cross));

@@ -11,7 +11,12 @@ use imre_eval::{evaluate_system, format_pr_series};
 fn main() {
     header("Figure 4: precision-recall curves", "paper Fig. 4");
     let seed = seeds()[0];
-    let specs = [ModelSpec::pcnn(), ModelSpec::pcnn_att(), ModelSpec::bgwa(), ModelSpec::pa_tmr()];
+    let specs = [
+        ModelSpec::pcnn(),
+        ModelSpec::pcnn_att(),
+        ModelSpec::bgwa(),
+        ModelSpec::pa_tmr(),
+    ];
 
     for (di, config) in dataset_configs().iter().enumerate() {
         let p = build_pipeline(config);

@@ -9,9 +9,17 @@ use imre_core::ModelSpec;
 use imre_eval::{format_table, mean_evaluation, metric};
 
 fn main() {
-    header("Figure 5: base models with and without TMR components", "paper Fig. 5");
+    header(
+        "Figure 5: base models with and without TMR components",
+        "paper Fig. 5",
+    );
     let seed_list = seeds();
-    let bases = [ModelSpec::gru_att(), ModelSpec::cnn_att(), ModelSpec::pcnn(), ModelSpec::pcnn_att()];
+    let bases = [
+        ModelSpec::gru_att(),
+        ModelSpec::cnn_att(),
+        ModelSpec::pcnn(),
+        ModelSpec::pcnn_att(),
+    ];
 
     for config in dataset_configs() {
         let p = build_pipeline(&config);
@@ -43,7 +51,11 @@ fn main() {
         println!(
             "\n{}",
             format_table(
-                &format!("Figure 5 — {} (AUC, {} seed(s))", config.name, seed_list.len()),
+                &format!(
+                    "Figure 5 — {} (AUC, {} seed(s))",
+                    config.name,
+                    seed_list.len()
+                ),
                 &["base model", "base AUC", "+TMR AUC", "Δ", "Δ%"],
                 &rows,
             )

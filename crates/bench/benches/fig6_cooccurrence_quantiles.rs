@@ -9,7 +9,10 @@ use imre_core::ModelSpec;
 use imre_eval::{f1_by_cooccurrence_quantile, format_table};
 
 fn main() {
-    header("Figure 6: F1 by unlabeled-corpus co-occurrence quantile", "paper Fig. 6");
+    header(
+        "Figure 6: F1 by unlabeled-corpus co-occurrence quantile",
+        "paper Fig. 6",
+    );
     let seed = seeds()[0];
     const BUCKETS: usize = 5;
 
@@ -18,13 +21,20 @@ fn main() {
         let base = p.train_system(ModelSpec::pcnn_att(), seed);
         let full = p.train_system(ModelSpec::pa_tmr(), seed);
         let ctx = p.ctx();
-        let base_f1 = f1_by_cooccurrence_quantile(&p.test_bags, &p.co, BUCKETS, |b| base.predict(b, &ctx));
-        let full_f1 = f1_by_cooccurrence_quantile(&p.test_bags, &p.co, BUCKETS, |b| full.predict(b, &ctx));
+        let base_f1 =
+            f1_by_cooccurrence_quantile(&p.test_bags, &p.co, BUCKETS, |b| base.predict(b, &ctx));
+        let full_f1 =
+            f1_by_cooccurrence_quantile(&p.test_bags, &p.co, BUCKETS, |b| full.predict(b, &ctx));
         let rows: Vec<Vec<String>> = base_f1
             .iter()
             .zip(&full_f1)
             .map(|((label, b), (_, f))| {
-                vec![label.clone(), format!("{b:.4}"), format!("{f:.4}"), format!("{:+.4}", f - b)]
+                vec![
+                    label.clone(),
+                    format!("{b:.4}"),
+                    format!("{f:.4}"),
+                    format!("{:+.4}", f - b),
+                ]
             })
             .collect();
         println!(

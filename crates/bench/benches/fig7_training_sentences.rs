@@ -12,7 +12,10 @@ use imre_core::ModelSpec;
 use imre_eval::{f1_by_sentence_count, format_table};
 
 fn main() {
-    header("Figure 7: F1 by number of sentences per entity pair", "paper Fig. 7");
+    header(
+        "Figure 7: F1 by number of sentences per entity pair",
+        "paper Fig. 7",
+    );
     let seed = seeds()[0];
 
     for config in dataset_configs() {
@@ -26,7 +29,12 @@ fn main() {
             .iter()
             .zip(&full_f1)
             .map(|((label, b), (_, f))| {
-                vec![label.clone(), format!("{b:.4}"), format!("{f:.4}"), format!("{:+.4}", f - b)]
+                vec![
+                    label.clone(),
+                    format!("{b:.4}"),
+                    format!("{f:.4}"),
+                    format!("{:+.4}", f - b),
+                ]
             })
             .collect();
         println!(
@@ -38,5 +46,7 @@ fn main() {
             )
         );
     }
-    println!("(paper: PA-TMR outperforms PCNN+ATT most for pairs with inadequate training sentences)");
+    println!(
+        "(paper: PA-TMR outperforms PCNN+ATT most for pairs with inadequate training sentences)"
+    );
 }

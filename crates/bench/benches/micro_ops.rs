@@ -28,7 +28,10 @@ fn bench_pcnn_step(c: &mut Criterion) {
     let hp = HyperParams::scaled();
     let bags = imre_core::prepare_bags(&ds.train, &hp);
     let types = imre_core::entity_type_table(&ds.world);
-    let ctx = imre_core::BagContext { entity_embedding: None, entity_types: &types };
+    let ctx = imre_core::BagContext {
+        entity_embedding: None,
+        entity_types: &types,
+    };
     let mut model = ReModel::new(
         ModelSpec::pcnn_att(),
         &hp,
@@ -38,7 +41,11 @@ fn bench_pcnn_step(c: &mut Criterion) {
         hp.entity_dim,
         7,
     );
-    let bag = bags.iter().max_by_key(|b| b.sentences.len()).expect("bags").clone();
+    let bag = bags
+        .iter()
+        .max_by_key(|b| b.sentences.len())
+        .expect("bags")
+        .clone();
     let mut rng = TensorRng::seed(3);
     c.bench_function("pcnn_att_bag_forward_backward", |b| {
         b.iter(|| {
@@ -78,12 +85,21 @@ fn bench_graph_and_line(c: &mut Criterion) {
             ))
         });
     });
-    let graph = ProximityGraph::from_counts(co.iter().map(|(&p, &cnt)| (p, cnt)), ds.world.num_entities(), 2);
+    let graph = ProximityGraph::from_counts(
+        co.iter().map(|(&p, &cnt)| (p, cnt)),
+        ds.world.num_entities(),
+        2,
+    );
     c.bench_function("line_10k_samples", |b| {
         b.iter(|| {
             std::hint::black_box(train_line(
                 &graph,
-                &LineConfig { dim: 32, samples_per_epoch: 10_000, epochs: 1, ..Default::default() },
+                &LineConfig {
+                    dim: 32,
+                    samples_per_epoch: 10_000,
+                    epochs: 1,
+                    ..Default::default()
+                },
             ))
         });
     });
@@ -91,7 +107,11 @@ fn bench_graph_and_line(c: &mut Criterion) {
 
 fn bench_featurize(c: &mut Criterion) {
     let ds = Dataset::generate(&smoke_config(3));
-    let sentences: Vec<_> = ds.train.iter().flat_map(|b| b.sentences.iter().cloned()).collect();
+    let sentences: Vec<_> = ds
+        .train
+        .iter()
+        .flat_map(|b| b.sentences.iter().cloned())
+        .collect();
     c.bench_function("featurize_corpus", |b| {
         b.iter(|| {
             for s in &sentences {

@@ -1,0 +1,182 @@
+//! Serving-engine saturation throughput: requests/sec as a function of the
+//! micro-batch bound and worker count.
+//!
+//! The benchmark trains one smoke-scale PA-TMR model, freezes it into a
+//! [`imre_serve::Bundle`], and then pushes saturation bursts through the
+//! engine. On a single core the win from `batch_max > 1` comes from
+//! amortization, not parallelism: one scheduler wakeup, one registry
+//! resolution, and one reused inference tape per *batch* instead of per
+//! *request*.
+//!
+//! After the timed groups it prints a requests/sec summary and the engine's
+//! per-stage latency histogram dump (queue wait / featurize / forward).
+//!
+//! Honors `CRITERION_SAMPLE_MS` for a quick CI smoke run.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use imre_core::{HyperParams, ModelSpec};
+use imre_eval::{smoke_config, Pipeline};
+use imre_graph::EntityEmbedding;
+use imre_serve::{EngineConfig, InferRequest, Registry, ServeHandle, ServingModel};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Requests per saturation burst. Larger than any `batch_max` under test so
+/// the coalescing window always fills.
+const BURST: usize = 64;
+
+struct Fixture {
+    registry: Arc<Registry>,
+    requests: Vec<InferRequest>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let hp = HyperParams {
+            epochs: 1,
+            ..HyperParams::tiny()
+        };
+        let pipeline = Pipeline::build(&smoke_config(9), hp);
+        let model = pipeline.train_system(ModelSpec::pa_tmr(), 13);
+        let embedding = EntityEmbedding::from_matrix(pipeline.embedding.matrix().clone());
+        let bundle = imre_serve::Bundle::new(
+            model,
+            pipeline.dataset.vocab.clone(),
+            &pipeline.dataset.world,
+            Some(embedding),
+        );
+        let serving = ServingModel::new(bundle).expect("bundle validates");
+        let names: Vec<String> = serving
+            .bundle()
+            .entities
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        let requests = (0..BURST)
+            .map(|i| {
+                let head = names[i % names.len()].clone();
+                let tail = names[(i * 7 + 3) % names.len()].clone();
+                let text = format!("records show {head} associated with {tail} in the region");
+                InferRequest {
+                    model: "smoke".to_string(),
+                    head,
+                    tail,
+                    text,
+                    top_k: 3,
+                }
+            })
+            .collect();
+        let registry = Arc::new(Registry::new());
+        registry.insert("smoke", serving);
+        Fixture { registry, requests }
+    })
+}
+
+fn engine(workers: usize, batch_max: usize) -> ServeHandle {
+    ServeHandle::start(
+        Arc::clone(&fixture().registry),
+        EngineConfig {
+            workers,
+            batch_max,
+            batch_deadline: Duration::from_millis(1),
+            queue_capacity: 2 * BURST,
+        },
+    )
+}
+
+/// Submits the whole burst up front (saturating the queue), then waits for
+/// every reply. Returns the number of requests served.
+fn burst(handle: &ServeHandle) -> usize {
+    let pending: Vec<_> = fixture()
+        .requests
+        .iter()
+        .map(|r| handle.submit(r.clone()).expect("submit"))
+        .collect();
+    let n = pending.len();
+    for p in pending {
+        p.wait().expect("reply");
+    }
+    n
+}
+
+fn bench_batch_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput/batch");
+    for &batch_max in &[1usize, 4, 8, 16] {
+        let handle = engine(1, batch_max);
+        group.bench_with_input(
+            BenchmarkId::new("burst64/batch", batch_max),
+            &batch_max,
+            |b, _| {
+                b.iter(|| std::hint::black_box(burst(&handle)));
+            },
+        );
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_worker_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput/workers");
+    for &workers in &[1usize, 2, 4] {
+        let handle = engine(workers, 8);
+        group.bench_with_input(
+            BenchmarkId::new("burst64/workers", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| std::hint::black_box(burst(&handle)));
+            },
+        );
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+/// Non-criterion summary: measured requests/sec per batch bound, plus the
+/// per-stage histogram dump from a fresh engine after one sustained run.
+fn print_summary() {
+    println!("\n=== serve_throughput summary (burst = {BURST}, workers = 1) ===");
+    let mut rps_b1 = 0.0f64;
+    for &batch_max in &[1usize, 8] {
+        let handle = engine(1, batch_max);
+        burst(&handle); // warm up
+        burst(&handle);
+        // Best sample mean (same statistic criterion uses): each sample
+        // averages several bursts, which is stabler than a single-burst min.
+        let (samples, bursts_per_sample) = (5, 8);
+        let mut best = Duration::MAX;
+        let mut served = 0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..bursts_per_sample {
+                served += burst(&handle);
+            }
+            best = best.min(start.elapsed() / bursts_per_sample);
+        }
+        let rps = BURST as f64 / best.as_secs_f64();
+        if batch_max == 1 {
+            rps_b1 = rps;
+        }
+        let speedup = if batch_max == 1 {
+            String::new()
+        } else {
+            format!("  ({:.2}x vs batch=1)", rps / rps_b1)
+        };
+        println!("batch_max={batch_max:>2}  {rps:>9.1} req/s{speedup}");
+        if batch_max == 8 {
+            println!(
+                "\n--- engine stats after {} requests ---",
+                served + 2 * BURST
+            );
+            println!("{}", handle.stats_text());
+        }
+        handle.shutdown();
+    }
+}
+
+criterion_group!(benches, bench_batch_bound, bench_worker_count);
+
+fn main() {
+    benches();
+    print_summary();
+}

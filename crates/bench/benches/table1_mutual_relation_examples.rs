@@ -12,7 +12,10 @@ use imre_bench::{build_pipeline, dataset_configs, header};
 use imre_graph::nearest_pairs;
 
 fn main() {
-    header("Table I: implicit mutual relations between entity pairs", "paper Table I");
+    header(
+        "Table I: implicit mutual relations between entity pairs",
+        "paper Table I",
+    );
     let p = build_pipeline(&dataset_configs()[0]);
     let ds = &p.dataset;
 
@@ -48,7 +51,10 @@ fn main() {
 
     println!("{:<4} {:<55} {:>9}", "ID", "entity pair", "sentences");
     for (i, &(h, t)) in pairs.iter().take(6).enumerate() {
-        let label = format!("({}, {})", ds.world.entities[h].name, ds.world.entities[t].name);
+        let label = format!(
+            "({}, {})",
+            ds.world.entities[h].name, ds.world.entities[t].name
+        );
         println!("{:<4} {:<55} {:>9}", i + 1, label, sentence_count(h, t));
     }
 

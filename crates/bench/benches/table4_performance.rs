@@ -10,11 +10,18 @@
 use imre_bench::{build_pipeline, dataset_configs, header, seeds};
 use imre_core::baselines::{CnnRl, RlConfig};
 use imre_core::ModelSpec;
-use imre_eval::{evaluate_system, format_table, mean_evaluation, metric, metric2, Evaluation, Pipeline};
+use imre_eval::{
+    evaluate_system, format_table, mean_evaluation, metric, metric2, Evaluation, Pipeline,
+};
 use std::time::Instant;
 
 fn run_cnn_rl(p: &Pipeline, seed: u64) -> Evaluation {
-    let mut rl = CnnRl::new(&p.hp, p.dataset.vocab.len(), p.dataset.num_relations(), seed);
+    let mut rl = CnnRl::new(
+        &p.hp,
+        p.dataset.vocab.len(),
+        p.dataset.num_relations(),
+        seed,
+    );
     let cfg = RlConfig {
         pretrain_epochs: p.hp.epochs / 2,
         joint_epochs: p.hp.epochs - p.hp.epochs / 2,
@@ -25,7 +32,9 @@ fn run_cnn_rl(p: &Pipeline, seed: u64) -> Evaluation {
     rl.classifier.set_word_embeddings(p.word_vectors.clone());
     let ctx = p.ctx();
     rl.train(&p.train_bags, &ctx, &cfg);
-    evaluate_system(&p.test_bags, p.dataset.num_relations(), |bag| rl.predict(bag, &ctx))
+    evaluate_system(&p.test_bags, p.dataset.num_relations(), |bag| {
+        rl.predict(bag, &ctx)
+    })
 }
 
 fn main() {
@@ -47,7 +56,12 @@ fn main() {
         let mut rows = Vec::new();
         let t = Instant::now();
         let all_evals = p.run_systems_parallel(&specs, &seed_list);
-        println!("  {} systems × {} seed(s) trained in {:?}", specs.len(), seed_list.len(), t.elapsed());
+        println!(
+            "  {} systems × {} seed(s) trained in {:?}",
+            specs.len(),
+            seed_list.len(),
+            t.elapsed()
+        );
         for (spec, evals) in specs.iter().zip(&all_evals) {
             let m = mean_evaluation(evals);
             println!("  {}: auc {:.4}", spec.name(), m.auc);
@@ -82,7 +96,15 @@ fn main() {
             "\n{}",
             format_table(
                 &format!("Table IV — {} ({} seed(s))", config.name, seed_list.len()),
-                &["method", "AUC", "Precision", "Recall", "F1", "P@100", "P@200"],
+                &[
+                    "method",
+                    "AUC",
+                    "Precision",
+                    "Recall",
+                    "F1",
+                    "P@100",
+                    "P@200"
+                ],
                 &rows,
             )
         );

@@ -7,7 +7,10 @@ use imre_bench::{build_pipeline, dataset_configs, header};
 use imre_graph::{nearest, pca_project};
 
 fn main() {
-    header("Table V + Figure 8: entity-embedding case study", "paper Table V / Fig. 8");
+    header(
+        "Table V + Figure 8: entity-embedding case study",
+        "paper Table V / Fig. 8",
+    );
     let p = build_pipeline(&dataset_configs()[0]);
     let ds = &p.dataset;
 
@@ -17,7 +20,12 @@ fn main() {
             Some(id) => {
                 println!("\nTop 10 nearest entities of {name}:");
                 for (rank, (v, cos)) in nearest(&p.embedding, id.0, 10).into_iter().enumerate() {
-                    println!("{:>3}. {:<40} cos {:+.3}", rank + 1, ds.world.entities[v].name, cos);
+                    println!(
+                        "{:>3}. {:<40} cos {:+.3}",
+                        rank + 1,
+                        ds.world.entities[v].name,
+                        cos
+                    );
                 }
             }
         }
@@ -34,7 +42,10 @@ fn main() {
         }
         ids.sort_unstable();
         ids.dedup();
-        let rows: Vec<Vec<f32>> = ids.iter().map(|&v| p.embedding.vector(v).to_vec()).collect();
+        let rows: Vec<Vec<f32>> = ids
+            .iter()
+            .map(|&v| p.embedding.vector(v).to_vec())
+            .collect();
         let mat = imre_tensor::Tensor::from_rows(&rows);
         let proj = pca_project(&mat, 3, 7);
         for (k, &v) in ids.iter().enumerate() {

@@ -21,7 +21,10 @@ use imre_eval::Pipeline;
 
 /// Number of seeds to average, from `IMRE_SEEDS` (default 1).
 pub fn seeds() -> Vec<u64> {
-    let n: u64 = std::env::var("IMRE_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let n: u64 = std::env::var("IMRE_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     (0..n.max(1)).map(|i| 100 + i * 37).collect()
 }
 
@@ -34,7 +37,10 @@ pub fn fast_mode() -> bool {
 /// settings, with an `IMRE_EPOCHS` override.
 pub fn bench_hp() -> HyperParams {
     let mut hp = HyperParams::scaled();
-    if let Some(e) = std::env::var("IMRE_EPOCHS").ok().and_then(|s| s.parse().ok()) {
+    if let Some(e) = std::env::var("IMRE_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
         hp.epochs = e;
     }
     hp

@@ -18,9 +18,12 @@ imre — Implicit Mutual Relations for Neural Relation Extraction (ICDE 2020 rep
 USAGE:
   imre stats      --dataset <nyt|gds|smoke> [--seed N]
   imre train      --dataset <nyt|gds|smoke> [--model SPEC] [--epochs N] [--seed N] --out FILE
+                  [--bundle FILE]   also write a self-contained .imrb serving bundle
   imre eval       --dataset <nyt|gds|smoke> --model-file FILE [--seed N]
   imre compare    --dataset <nyt|gds|smoke> [--seeds N] [--epochs N]
   imre case-study --dataset <nyt|gds|smoke> [--entity NAME] [--k N]
+  imre serve      --bundle FILE [--name NAME] [--addr HOST:PORT] [--workers N]
+                  [--batch N] [--deadline-ms N] [--queue N]
 
 MODEL SPECS: pcnn, pcnn-att, cnn-att, gru-att, bgwa, pa-t, pa-mr, pa-tmr";
 
@@ -31,6 +34,14 @@ pub enum CliError {
     Usage(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// Serving-engine failure (bad bundle, engine error).
+    Serve(imre_serve::ServeError),
+}
+
+impl From<imre_serve::ServeError> for CliError {
+    fn from(e: imre_serve::ServeError) -> Self {
+        CliError::Serve(e)
+    }
 }
 
 impl From<std::io::Error> for CliError {
@@ -57,7 +68,9 @@ impl Flags {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| usage(format!("expected --flag, got {key:?}")))?;
-            let value = it.next().ok_or_else(|| usage(format!("--{key} needs a value")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| usage(format!("--{key} needs a value")))?;
             map.insert(key.to_string(), value.clone());
         }
         Ok(Flags { map })
@@ -65,7 +78,10 @@ impl Flags {
 
     /// A required string flag.
     pub fn required(&self, key: &str) -> Result<&str, CliError> {
-        self.map.get(key).map(String::as_str).ok_or_else(|| usage(format!("missing --{key}")))
+        self.map
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| usage(format!("missing --{key}")))
     }
 
     /// An optional string flag.
@@ -77,7 +93,9 @@ impl Flags {
     pub fn number<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.map.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| usage(format!("--{key} {v:?} is not a valid number"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage(format!("--{key} {v:?} is not a valid number"))),
         }
     }
 }
@@ -88,7 +106,9 @@ pub fn dataset_config(name: &str, seed: u64) -> Result<DatasetConfig, CliError> 
         "nyt" => Ok(imre_corpus::nyt_sim(seed)),
         "gds" => Ok(imre_corpus::gds_sim(seed)),
         "smoke" => Ok(imre_eval::smoke_config(seed)),
-        other => Err(usage(format!("unknown dataset {other:?} (nyt, gds, smoke)"))),
+        other => Err(usage(format!(
+            "unknown dataset {other:?} (nyt, gds, smoke)"
+        ))),
     }
 }
 
@@ -127,6 +147,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "eval" => cmd_eval(&flags),
         "compare" => cmd_compare(&flags),
         "case-study" => cmd_case_study(&flags),
+        "serve" => cmd_serve(&flags),
         other => Err(usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -138,8 +159,14 @@ fn cmd_stats(flags: &Flags) -> Result<(), CliError> {
     let s = summarize(&ds);
     println!("dataset: {}", s.name);
     println!("relations (incl. NA): {}", s.num_relations);
-    println!("train: {} sentences, {} pairs", s.train_sentences, s.train_pairs);
-    println!("test:  {} sentences, {} pairs", s.test_sentences, s.test_pairs);
+    println!(
+        "train: {} sentences, {} pairs",
+        s.train_sentences, s.train_pairs
+    );
+    println!(
+        "test:  {} sentences, {} pairs",
+        s.test_sentences, s.test_pairs
+    );
     println!("\npairs per sentence-count band (Figure 1):");
     for (label, count) in pair_frequency_histogram(&ds.train, &fig1_bands()) {
         println!("  {label:<8} {count}");
@@ -159,10 +186,65 @@ fn cmd_train(flags: &Flags) -> Result<(), CliError> {
     println!("training {} …", spec.name());
     let model = pipeline.train_system(spec, seed);
     let ev = pipeline.evaluate_model(&model);
-    println!("held-out: AUC {:.4}, F1 {:.4}, P@100 {:.2}", ev.auc, ev.f1, ev.p_at_100);
+    println!(
+        "held-out: AUC {:.4}, F1 {:.4}, P@100 {:.2}",
+        ev.auc, ev.f1, ev.p_at_100
+    );
     imre_core::save_model(&model, &out)?;
     println!("model written to {}", out.display());
+    if let Some(bundle_out) = flags.optional("bundle") {
+        let bundle_out = PathBuf::from(bundle_out);
+        let embedding =
+            imre_graph::EntityEmbedding::from_matrix(pipeline.embedding.matrix().clone());
+        let bundle = imre_serve::Bundle::new(
+            model,
+            pipeline.dataset.vocab.clone(),
+            &pipeline.dataset.world,
+            Some(embedding),
+        );
+        imre_serve::save_bundle(&bundle, &bundle_out)?;
+        println!("serving bundle written to {}", bundle_out.display());
+    }
     Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    let bundle_path = PathBuf::from(flags.required("bundle")?);
+    let name = flags.optional("name").unwrap_or("default");
+    let addr = flags.optional("addr").unwrap_or("127.0.0.1:7878");
+    let config = imre_serve::EngineConfig {
+        workers: flags.number("workers", 2usize)?.max(1),
+        batch_max: flags.number("batch", 8usize)?.max(1),
+        batch_deadline: std::time::Duration::from_millis(flags.number("deadline-ms", 2u64)?),
+        queue_capacity: flags.number("queue", 256usize)?.max(1),
+    };
+
+    let registry = std::sync::Arc::new(imre_serve::Registry::new());
+    registry.load_file(name, &bundle_path)?;
+    let model = registry.get(name).expect("model registered above");
+    println!(
+        "serving {} as {name:?} ({} relations, {} entities, vocab {})",
+        model.bundle().model.spec.name(),
+        model.num_relations(),
+        model.bundle().entities.len(),
+        model.bundle().vocab.len(),
+    );
+    let handle = imre_serve::ServeHandle::start(registry, config);
+    let server = imre_serve::TcpServer::spawn(handle.clone(), addr)?;
+    let bound = server.local_addr();
+    println!(
+        "listening on {bound} — try: echo ping | nc {} {}",
+        bound.ip(),
+        bound.port()
+    );
+    println!(
+        "workers={} batch_max={} deadline={:?} queue={}",
+        config.workers, config.batch_max, config.batch_deadline, config.queue_capacity
+    );
+    // Serve until killed; the listener thread owns the accept loop.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_eval(flags: &Flags) -> Result<(), CliError> {
@@ -170,11 +252,17 @@ fn cmd_eval(flags: &Flags) -> Result<(), CliError> {
     let config = dataset_config(flags.required("dataset")?, seed)?;
     let path = PathBuf::from(flags.required("model-file")?);
     let model = imre_core::load_model(&path)?;
-    println!("loaded {} ({} parameters)", model.spec.name(), model.store.num_scalars());
+    println!(
+        "loaded {} ({} parameters)",
+        model.spec.name(),
+        model.store.num_scalars()
+    );
     let pipeline = Pipeline::build(&config, model.hp.clone());
     let ev = pipeline.evaluate_model(&model);
-    println!("held-out: AUC {:.4}, P {:.4}, R {:.4}, F1 {:.4}, P@100 {:.2}, P@200 {:.2}",
-        ev.auc, ev.precision, ev.recall, ev.f1, ev.p_at_100, ev.p_at_200);
+    println!(
+        "held-out: AUC {:.4}, P {:.4}, R {:.4}, F1 {:.4}, P@100 {:.2}, P@200 {:.2}",
+        ev.auc, ev.precision, ev.recall, ev.f1, ev.p_at_100, ev.p_at_200
+    );
     Ok(())
 }
 
@@ -186,9 +274,21 @@ fn cmd_compare(flags: &Flags) -> Result<(), CliError> {
     let pipeline = Pipeline::build(&config, hp_with_epochs(epochs));
     let seeds: Vec<u64> = (0..n_seeds.max(1)).map(|i| 100 + 37 * i).collect();
     println!("{:<10} {:>8} {:>8} {:>8}", "model", "AUC", "F1", "P@100");
-    for spec in [ModelSpec::pcnn(), ModelSpec::pcnn_att(), ModelSpec::pa_t(), ModelSpec::pa_mr(), ModelSpec::pa_tmr()] {
+    for spec in [
+        ModelSpec::pcnn(),
+        ModelSpec::pcnn_att(),
+        ModelSpec::pa_t(),
+        ModelSpec::pa_mr(),
+        ModelSpec::pa_tmr(),
+    ] {
         let m = imre_eval::mean_evaluation(&pipeline.run_system_seeds(spec, &seeds));
-        println!("{:<10} {:>8.4} {:>8.4} {:>8.2}", spec.name(), m.auc, m.f1, m.p_at_100);
+        println!(
+            "{:<10} {:>8.4} {:>8.4} {:>8.2}",
+            spec.name(),
+            m.auc,
+            m.f1,
+            m.p_at_100
+        );
     }
     Ok(())
 }
@@ -201,11 +301,21 @@ fn cmd_case_study(flags: &Flags) -> Result<(), CliError> {
     let pipeline = Pipeline::build(&config, HyperParams::scaled());
     let world = &pipeline.dataset.world;
     let Some(id) = world.entity_by_name(entity) else {
-        return Err(usage(format!("entity {entity:?} not in this world (try --dataset nyt)")));
+        return Err(usage(format!(
+            "entity {entity:?} not in this world (try --dataset nyt)"
+        )));
     };
     println!("top {k} nearest entities of {entity}:");
-    for (rank, (v, cos)) in nearest(&pipeline.embedding, id.0, k).into_iter().enumerate() {
-        println!("{:>3}. {:<40} cos {:+.3}", rank + 1, world.entities[v].name, cos);
+    for (rank, (v, cos)) in nearest(&pipeline.embedding, id.0, k)
+        .into_iter()
+        .enumerate()
+    {
+        println!(
+            "{:>3}. {:<40} cos {:+.3}",
+            rank + 1,
+            world.entities[v].name,
+            cos
+        );
     }
     Ok(())
 }
@@ -230,6 +340,59 @@ mod tests {
     fn flags_reject_dangling_value() {
         assert!(Flags::parse(&s(&["--dataset"])).is_err());
         assert!(Flags::parse(&s(&["dataset", "nyt"])).is_err());
+        // A dangling key at the end of an otherwise valid list is still an error.
+        assert!(Flags::parse(&s(&["--dataset", "nyt", "--out"])).is_err());
+    }
+
+    #[test]
+    fn flags_repeated_key_last_wins() {
+        let f = Flags::parse(&s(&["--seed", "1", "--seed", "9"])).unwrap();
+        assert_eq!(f.number("seed", 0u64).unwrap(), 9);
+    }
+
+    #[test]
+    fn flags_serve_flag_set_parses() {
+        let f = Flags::parse(&s(&[
+            "--bundle",
+            "m.imrb",
+            "--name",
+            "prod",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--batch",
+            "16",
+            "--deadline-ms",
+            "5",
+            "--queue",
+            "512",
+        ]))
+        .unwrap();
+        assert_eq!(f.required("bundle").unwrap(), "m.imrb");
+        assert_eq!(f.optional("name"), Some("prod"));
+        assert_eq!(f.optional("addr"), Some("127.0.0.1:0"));
+        assert_eq!(f.number("workers", 2usize).unwrap(), 4);
+        assert_eq!(f.number("batch", 8usize).unwrap(), 16);
+        assert_eq!(f.number("deadline-ms", 2u64).unwrap(), 5);
+        assert_eq!(f.number("queue", 256usize).unwrap(), 512);
+    }
+
+    #[test]
+    fn flags_non_numeric_value_is_usage_error() {
+        let f = Flags::parse(&s(&["--workers", "many"])).unwrap();
+        match f.number("workers", 2usize) {
+            Err(CliError::Usage(_)) => {}
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_requires_bundle_flag() {
+        match run(&s(&["serve", "--name", "default"])) {
+            Err(CliError::Usage(_)) => {}
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -265,7 +428,18 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let model_path = dir.join("m.imrm");
         let mp = model_path.to_str().unwrap();
-        run(&s(&["train", "--dataset", "smoke", "--model", "pcnn", "--epochs", "2", "--out", mp])).unwrap();
+        run(&s(&[
+            "train",
+            "--dataset",
+            "smoke",
+            "--model",
+            "pcnn",
+            "--epochs",
+            "2",
+            "--out",
+            mp,
+        ]))
+        .unwrap();
         run(&s(&["eval", "--dataset", "smoke", "--model-file", mp])).unwrap();
         std::fs::remove_file(&model_path).ok();
     }

@@ -26,5 +26,9 @@ fn main() {
             eprintln!("io error: {e}");
             std::process::exit(1);
         }
+        Err(CliError::Serve(e)) => {
+            eprintln!("serve error: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -27,7 +27,10 @@ pub struct AdvConfig {
 
 impl Default for AdvConfig {
     fn default() -> Self {
-        AdvConfig { epsilon: 0.05, adv_weight: 1.0 }
+        AdvConfig {
+            epsilon: 0.05,
+            adv_weight: 1.0,
+        }
     }
 }
 
@@ -45,7 +48,9 @@ impl Perturbation {
         if norm < 1e-12 {
             return None;
         }
-        Some(Perturbation { delta: grad.scale(epsilon / norm) })
+        Some(Perturbation {
+            delta: grad.scale(epsilon / norm),
+        })
     }
 
     fn apply(&self, table: &mut Tensor) {
@@ -116,7 +121,8 @@ pub fn train_adversarial(
         for batch in order.chunks(tc.batch_size) {
             let scale = 1.0 / batch.len() as f32;
             for &bi in batch {
-                let (clean, _adv) = adversarial_bag_step(model, &bags[bi], ctx, scale, config, &mut rng);
+                let (clean, _adv) =
+                    adversarial_bag_step(model, &bags[bi], ctx, scale, config, &mut rng);
                 epoch_loss += clean as f64;
             }
             sgd.step(&mut model.store, &mut model.grads);
@@ -138,8 +144,18 @@ mod tests {
     fn dataset() -> Dataset {
         Dataset::generate(&DatasetConfig {
             name: "adv".into(),
-            world: WorldConfig { n_relations: 4, entities_per_cluster: 6, facts_per_relation: 12, cluster_reuse_prob: 0.3, seed: 7 },
-            sentence: SentenceGenConfig { noise_prob: 0.2, min_len: 6, max_len: 12 },
+            world: WorldConfig {
+                n_relations: 4,
+                entities_per_cluster: 6,
+                facts_per_relation: 12,
+                cluster_reuse_prob: 0.3,
+                seed: 7,
+            },
+            sentence: SentenceGenConfig {
+                noise_prob: 0.2,
+                min_len: 6,
+                max_len: 12,
+            },
             train_fraction: 0.7,
             na_train: 10,
             na_test: 5,
@@ -182,19 +198,34 @@ mod tests {
         hp.dropout = 0.0;
         let bags = prepare_bags(&ds.train, &hp);
         let types = entity_type_table(&ds.world);
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
-        let mut model = ReModel::new(ModelSpec::pcnn_att(), &hp, ds.vocab.len(), ds.num_relations(), 38, 8, 3);
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
+        let mut model = ReModel::new(
+            ModelSpec::pcnn_att(),
+            &hp,
+            ds.vocab.len(),
+            ds.num_relations(),
+            38,
+            8,
+            3,
+        );
         let mut rng = TensorRng::seed(5);
         let mut higher = 0;
         let n = 10;
         for bag in bags.iter().take(n) {
-            let (clean, adv) = adversarial_bag_step(&mut model, bag, &ctx, 1.0, &AdvConfig::default(), &mut rng);
+            let (clean, adv) =
+                adversarial_bag_step(&mut model, bag, &ctx, 1.0, &AdvConfig::default(), &mut rng);
             model.grads.zero();
             if adv >= clean - 1e-4 {
                 higher += 1;
             }
         }
-        assert!(higher >= n - 2, "adversarial loss should (almost) always exceed clean: {higher}/{n}");
+        assert!(
+            higher >= n - 2,
+            "adversarial loss should (almost) always exceed clean: {higher}/{n}"
+        );
     }
 
     #[test]
@@ -203,9 +234,27 @@ mod tests {
         let hp = HyperParams::tiny();
         let bags = prepare_bags(&ds.train, &hp);
         let types = entity_type_table(&ds.world);
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
-        let mut model = ReModel::new(ModelSpec::pcnn_att(), &hp, ds.vocab.len(), ds.num_relations(), 38, 8, 9);
-        let tc = TrainConfig { epochs: 6, batch_size: 8, lr: 0.2, lr_decay: 0.95, clip_norm: 5.0, seed: 13 };
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
+        let mut model = ReModel::new(
+            ModelSpec::pcnn_att(),
+            &hp,
+            ds.vocab.len(),
+            ds.num_relations(),
+            38,
+            8,
+            9,
+        );
+        let tc = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 0.2,
+            lr_decay: 0.95,
+            clip_norm: 5.0,
+            seed: 13,
+        };
         let stats = train_adversarial(&mut model, &bags, &ctx, &tc, &AdvConfig::default());
         assert!(
             stats.final_loss() < stats.epoch_losses[0] * 0.9,

@@ -34,7 +34,13 @@ pub struct SelectiveAttention {
 
 impl SelectiveAttention {
     /// Registers attention parameters under `name`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, num_relations: usize, rng: &mut TensorRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        num_relations: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
         // A starts at identity so early training behaves like dot-product
         // attention; queries start small-random.
         let a_diag = store.register(&format!("{name}.a_diag"), imre_tensor::Tensor::ones(&[dim]));
@@ -123,7 +129,10 @@ mod tests {
         let mut rng = TensorRng::seed(2);
         let mut store = ParamStore::new();
         let att = SelectiveAttention::new(&mut store, "att", 2, 1, &mut rng);
-        store.set(store.find("att.queries").unwrap(), Tensor::from_vec(vec![1.0, 0.0], &[1, 2]));
+        store.set(
+            store.find("att.queries").unwrap(),
+            Tensor::from_vec(vec![1.0, 0.0], &[1, 2]),
+        );
         let mut tape = Tape::new(&store);
         let xs = tape.leaf(Tensor::from_vec(
             vec![
@@ -185,7 +194,13 @@ mod tests {
         tape.backward(loss, &mut grads);
         assert!(grads.get(store.find("att.a_diag").unwrap()).norm_l2() > 0.0);
         let qg = grads.get(store.find("att.queries").unwrap());
-        assert!(qg.row(2).iter().any(|&x| x != 0.0), "queried relation row must update");
-        assert!(qg.row(0).iter().all(|&x| x == 0.0), "unqueried rows must not update");
+        assert!(
+            qg.row(2).iter().any(|&x| x != 0.0),
+            "queried relation row must update"
+        );
+        assert!(
+            qg.row(0).iter().all(|&x| x == 0.0),
+            "unqueried rows must not update"
+        );
     }
 }

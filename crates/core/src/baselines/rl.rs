@@ -7,8 +7,8 @@
 //! selected sentences). The selector learns to drop noisy sentences; the
 //! classifier's log-likelihood on the cleaned bag is the reward.
 
-use crate::model::{BagContext, ModelSpec, PreparedBag, ReModel};
 use crate::config::HyperParams;
+use crate::model::{BagContext, ModelSpec, PreparedBag, ReModel};
 use imre_nn::Sgd;
 use imre_tensor::{sigmoid_scalar, TensorRng};
 
@@ -31,7 +31,14 @@ pub struct RlConfig {
 
 impl Default for RlConfig {
     fn default() -> Self {
-        RlConfig { pretrain_epochs: 3, joint_epochs: 3, lr: 0.2, policy_lr: 0.05, batch_size: 16, seed: 41 }
+        RlConfig {
+            pretrain_epochs: 3,
+            joint_epochs: 3,
+            lr: 0.2,
+            policy_lr: 0.05,
+            batch_size: 16,
+            seed: 41,
+        }
     }
 }
 
@@ -48,13 +55,32 @@ pub struct CnnRl {
 impl CnnRl {
     /// Builds an untrained CNN+RL system.
     pub fn new(hp: &HyperParams, vocab_size: usize, num_relations: usize, seed: u64) -> Self {
-        let classifier = ReModel::new(ModelSpec::pcnn(), hp, vocab_size, num_relations, 38, 1, seed);
+        let classifier = ReModel::new(
+            ModelSpec::pcnn(),
+            hp,
+            vocab_size,
+            num_relations,
+            38,
+            1,
+            seed,
+        );
         let dim = classifier.sent_dim();
-        CnnRl { classifier, policy_w: vec![0.0; dim], policy_b: 0.0, reward_baseline: 0.0 }
+        CnnRl {
+            classifier,
+            policy_w: vec![0.0; dim],
+            policy_b: 0.0,
+            reward_baseline: 0.0,
+        }
     }
 
     fn keep_probability(&self, encoding: &[f32]) -> f32 {
-        let score: f32 = self.policy_w.iter().zip(encoding).map(|(&w, &x)| w * x).sum::<f32>() + self.policy_b;
+        let score: f32 = self
+            .policy_w
+            .iter()
+            .zip(encoding)
+            .map(|(&w, &x)| w * x)
+            .sum::<f32>()
+            + self.policy_b;
         sigmoid_scalar(score)
     }
 
@@ -96,7 +122,8 @@ impl CnnRl {
             for batch in order.chunks(config.batch_size) {
                 let scale = 1.0 / batch.len() as f32;
                 for &bi in batch {
-                    self.classifier.bag_loss_and_backward(&bags[bi], ctx, scale, &mut rng);
+                    self.classifier
+                        .bag_loss_and_backward(&bags[bi], ctx, scale, &mut rng);
                 }
                 sgd.step(&mut self.classifier.store, &mut self.classifier.grads);
             }
@@ -111,17 +138,24 @@ impl CnnRl {
                     let bag = &bags[bi];
                     let encodings = self.classifier.sentence_encodings(bag);
                     // sample actions from the stochastic policy
-                    let probs: Vec<f32> = encodings.iter().map(|e| self.keep_probability(e)).collect();
+                    let probs: Vec<f32> =
+                        encodings.iter().map(|e| self.keep_probability(e)).collect();
                     let actions: Vec<bool> = probs.iter().map(|&p| rng.bernoulli(p)).collect();
-                    let mut kept: Vec<usize> =
-                        actions.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i).collect();
+                    let mut kept: Vec<usize> = actions
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &a)| a)
+                        .map(|(i, _)| i)
+                        .collect();
                     if kept.is_empty() {
                         kept = (0..bag.sentences.len()).collect();
                     }
                     let sub = Self::subset_bag(bag, &kept);
                     // classifier step on the selected subset; its loss is
                     // −log p(gold), so reward = −loss
-                    let loss = self.classifier.bag_loss_and_backward(&sub, ctx, scale, &mut rng);
+                    let loss = self
+                        .classifier
+                        .bag_loss_and_backward(&sub, ctx, scale, &mut rng);
                     let reward = -loss;
                     let advantage = reward - self.reward_baseline;
                     self.reward_baseline = 0.95 * self.reward_baseline + 0.05 * reward;
@@ -129,7 +163,11 @@ impl CnnRl {
                     // REINFORCE: ∇ log π(a|s) = (a − p) · x for a Bernoulli
                     // logistic policy
                     for (i, enc) in encodings.iter().enumerate() {
-                        let a = if actions.get(i).copied().unwrap_or(true) { 1.0 } else { 0.0 };
+                        let a = if actions.get(i).copied().unwrap_or(true) {
+                            1.0
+                        } else {
+                            0.0
+                        };
                         let g = advantage * (a - probs[i]);
                         for (w, &x) in self.policy_w.iter_mut().zip(enc) {
                             *w += config.policy_lr * g * x;
@@ -159,8 +197,18 @@ mod tests {
     fn dataset() -> Dataset {
         Dataset::generate(&DatasetConfig {
             name: "t".into(),
-            world: WorldConfig { n_relations: 4, entities_per_cluster: 6, facts_per_relation: 12, cluster_reuse_prob: 0.3, seed: 7 },
-            sentence: SentenceGenConfig { noise_prob: 0.3, min_len: 6, max_len: 12 },
+            world: WorldConfig {
+                n_relations: 4,
+                entities_per_cluster: 6,
+                facts_per_relation: 12,
+                cluster_reuse_prob: 0.3,
+                seed: 7,
+            },
+            sentence: SentenceGenConfig {
+                noise_prob: 0.3,
+                min_len: 6,
+                max_len: 12,
+            },
             train_fraction: 0.7,
             na_train: 10,
             na_test: 5,
@@ -177,9 +225,21 @@ mod tests {
         let hp = HyperParams::tiny();
         let bags = crate::model::prepare_bags(&ds.train, &hp);
         let types = entity_type_table(&ds.world);
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
         let mut rl = CnnRl::new(&hp, ds.vocab.len(), ds.num_relations(), 3);
-        rl.train(&bags, &ctx, &RlConfig { pretrain_epochs: 2, joint_epochs: 1, batch_size: 8, ..Default::default() });
+        rl.train(
+            &bags,
+            &ctx,
+            &RlConfig {
+                pretrain_epochs: 2,
+                joint_epochs: 1,
+                batch_size: 8,
+                ..Default::default()
+            },
+        );
         let p = rl.predict(&bags[0], &ctx);
         assert_eq!(p.len(), ds.num_relations());
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
@@ -203,7 +263,10 @@ mod tests {
         let ds = dataset();
         let hp = HyperParams::tiny();
         let bags = crate::model::prepare_bags(&ds.train, &hp);
-        let bag = bags.iter().find(|b| b.sentences.len() >= 2).expect("multi-sentence bag");
+        let bag = bags
+            .iter()
+            .find(|b| b.sentences.len() >= 2)
+            .expect("multi-sentence bag");
         let sub = CnnRl::subset_bag(bag, &[0]);
         assert_eq!(sub.head, bag.head);
         assert_eq!(sub.label, bag.label);

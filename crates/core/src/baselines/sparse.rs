@@ -39,13 +39,19 @@ impl SparseFeaturizer {
     #[inline]
     fn slot(&self, kind: u64, value: u64) -> usize {
         // Fibonacci-style mix of (kind, value) into the table.
-        let mut h = kind.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ value.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        let mut h =
+            kind.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ value.wrapping_mul(0xbf58_476d_1ce4_e5b9);
         h ^= h >> 31;
         (h as usize) & (self.dim - 1)
     }
 
     /// Extracts the sparse feature indices of one sentence.
-    pub fn sentence_features(&self, s: &crate::features::SentenceFeatures, head_type: usize, tail_type: usize) -> Vec<usize> {
+    pub fn sentence_features(
+        &self,
+        s: &crate::features::SentenceFeatures,
+        head_type: usize,
+        tail_type: usize,
+    ) -> Vec<usize> {
         let mut feats = Vec::with_capacity(s.tokens.len() + 8);
         for &t in &s.tokens {
             feats.push(self.slot(1, t as u64));
@@ -64,7 +70,10 @@ impl SparseFeaturizer {
     pub fn bag_features(&self, bag: &PreparedBag, types: &[Vec<usize>]) -> Vec<usize> {
         let ht = types[bag.head].first().copied().unwrap_or(0);
         let tt = types[bag.tail].first().copied().unwrap_or(0);
-        bag.sentences.iter().flat_map(|s| self.sentence_features(s, ht, tt)).collect()
+        bag.sentences
+            .iter()
+            .flat_map(|s| self.sentence_features(s, ht, tt))
+            .collect()
     }
 }
 
@@ -97,11 +106,22 @@ impl Mintz {
     pub fn new(num_relations: usize, feature_bits: u32) -> Self {
         let featurizer = SparseFeaturizer::new(feature_bits);
         let dim = featurizer.dim();
-        Mintz { featurizer, w: vec![0.0; num_relations * dim], m: num_relations }
+        Mintz {
+            featurizer,
+            w: vec![0.0; num_relations * dim],
+            m: num_relations,
+        }
     }
 
     /// Trains with plain SGD on the bag-level multiclass logistic loss.
-    pub fn train(&mut self, bags: &[PreparedBag], types: &[Vec<usize>], epochs: usize, lr: f32, seed: u64) {
+    pub fn train(
+        &mut self,
+        bags: &[PreparedBag],
+        types: &[Vec<usize>],
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) {
         let dim = self.featurizer.dim();
         let mut rng = TensorRng::seed(seed);
         let mut order: Vec<usize> = (0..bags.len()).collect();
@@ -146,10 +166,19 @@ impl MultiR {
     pub fn new(num_relations: usize, feature_bits: u32) -> Self {
         let featurizer = SparseFeaturizer::new(feature_bits);
         let dim = featurizer.dim();
-        MultiR { featurizer, w: vec![0.0; num_relations * dim], m: num_relations }
+        MultiR {
+            featurizer,
+            w: vec![0.0; num_relations * dim],
+            m: num_relations,
+        }
     }
 
-    fn best_sentence(&self, bag: &PreparedBag, types: &[Vec<usize>], relation: usize) -> Vec<usize> {
+    fn best_sentence(
+        &self,
+        bag: &PreparedBag,
+        types: &[Vec<usize>],
+        relation: usize,
+    ) -> Vec<usize> {
         let dim = self.featurizer.dim();
         let ht = types[bag.head].first().copied().unwrap_or(0);
         let tt = types[bag.tail].first().copied().unwrap_or(0);
@@ -166,7 +195,14 @@ impl MultiR {
 
     /// Perceptron training: when the bag-level argmax is wrong, promote the
     /// gold label on its best sentence and demote the predicted one.
-    pub fn train(&mut self, bags: &[PreparedBag], types: &[Vec<usize>], epochs: usize, lr: f32, seed: u64) {
+    pub fn train(
+        &mut self,
+        bags: &[PreparedBag],
+        types: &[Vec<usize>],
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) {
         let dim = self.featurizer.dim();
         let mut rng = TensorRng::seed(seed);
         let mut order: Vec<usize> = (0..bags.len()).collect();
@@ -234,16 +270,30 @@ impl Mimlre {
     pub fn new(num_relations: usize, feature_bits: u32) -> Self {
         let featurizer = SparseFeaturizer::new(feature_bits);
         let dim = featurizer.dim();
-        Mimlre { featurizer, w: vec![0.0; num_relations * dim], m: num_relations }
+        Mimlre {
+            featurizer,
+            w: vec![0.0; num_relations * dim],
+            m: num_relations,
+        }
     }
 
     /// Trains with `em_rounds` of hard-EM; each M-step runs one SGD pass
     /// over the per-sentence logistic loss with the current assignments.
-    pub fn train(&mut self, bags: &[PreparedBag], types: &[Vec<usize>], em_rounds: usize, lr: f32, seed: u64) {
+    pub fn train(
+        &mut self,
+        bags: &[PreparedBag],
+        types: &[Vec<usize>],
+        em_rounds: usize,
+        lr: f32,
+        seed: u64,
+    ) {
         let dim = self.featurizer.dim();
         let mut rng = TensorRng::seed(seed);
         // initial assignment: every sentence takes the bag label
-        let mut assignments: Vec<Vec<usize>> = bags.iter().map(|b| vec![b.label; b.sentences.len()]).collect();
+        let mut assignments: Vec<Vec<usize>> = bags
+            .iter()
+            .map(|b| vec![b.label; b.sentences.len()])
+            .collect();
         for round in 0..em_rounds {
             // M-step
             let mut order: Vec<usize> = (0..bags.len()).collect();
@@ -354,7 +404,12 @@ mod tests {
             .iter()
             .filter(|b| {
                 let p = predict(b);
-                let am = p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+                let am = p
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
                 am == b.label
             })
             .count();

@@ -20,8 +20,16 @@ pub struct MrComponent {
 
 impl MrComponent {
     /// Registers the head: `entity_dim → num_relations`.
-    pub fn new(store: &mut ParamStore, name: &str, entity_dim: usize, num_relations: usize, rng: &mut TensorRng) -> Self {
-        MrComponent { fc: Linear::new(store, name, entity_dim, num_relations, rng) }
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        entity_dim: usize,
+        num_relations: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        MrComponent {
+            fc: Linear::new(store, name, entity_dim, num_relations, rng),
+        }
     }
 
     /// Pre-softmax relation scores from a precomputed `MR_ij = U_j − U_i`
@@ -61,8 +69,18 @@ impl TypeComponent {
         rng: &mut TensorRng,
     ) -> Self {
         let type_emb = store.uniform(&format!("{name}.emb"), &[num_types, type_dim], 0.25, rng);
-        let fc = Linear::new(store, &format!("{name}.fc"), 2 * type_dim, num_relations, rng);
-        TypeComponent { type_emb, fc, type_dim }
+        let fc = Linear::new(
+            store,
+            &format!("{name}.fc"),
+            2 * type_dim,
+            num_relations,
+            rng,
+        );
+        TypeComponent {
+            type_emb,
+            fc,
+            type_dim,
+        }
     }
 
     /// Embeds one entity's type set (mean over multiple types, per paper).
@@ -106,19 +124,35 @@ impl Combiner {
     /// its inputs are probability mixtures in `[0, Σ mixing weights]`, so an
     /// identity-scaled start turns confidence differences into usable logit
     /// gaps from step one instead of a near-uniform softmax.
-    pub fn new(store: &mut ParamStore, name: &str, num_relations: usize, rng: &mut TensorRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        num_relations: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
         // The side components start at half the RE model's weight: they are
         // priors refined by training, while the text pathway carries the
         // NA-vs-relation decision from the start.
         let alpha = store.register(&format!("{name}.alpha"), Tensor::full(&[1], 0.5));
         let beta = store.register(&format!("{name}.beta"), Tensor::full(&[1], 0.5));
         let gamma = store.register(&format!("{name}.gamma"), Tensor::ones(&[1]));
-        let out = Linear::new(store, &format!("{name}.out"), num_relations, num_relations, rng);
+        let out = Linear::new(
+            store,
+            &format!("{name}.out"),
+            num_relations,
+            num_relations,
+            rng,
+        );
         let mut w = Tensor::eye(num_relations).scale(6.0);
         let noise = Tensor::rand_uniform(&[num_relations, num_relations], -0.05, 0.05, rng);
         w.add_assign(&noise);
         store.set(out.w, w);
-        Combiner { alpha, beta, gamma, out }
+        Combiner {
+            alpha,
+            beta,
+            gamma,
+            out,
+        }
     }
 
     /// Combines the available confidences into final *logits* (apply
@@ -217,9 +251,19 @@ mod tests {
         let logits = comb.combine(&mut tape, Some(c_mr), None, re);
         let loss = tape.softmax_cross_entropy(logits, 0);
         tape.backward(loss, &mut grads);
-        assert!(grads.get(comb.alpha).data()[0].abs() > 0.0, "α must receive gradient");
-        assert!(grads.get(comb.gamma).data()[0].abs() > 0.0, "γ must receive gradient");
-        assert_eq!(grads.get(comb.beta).data()[0], 0.0, "β untouched when C_T absent");
+        assert!(
+            grads.get(comb.alpha).data()[0].abs() > 0.0,
+            "α must receive gradient"
+        );
+        assert!(
+            grads.get(comb.gamma).data()[0].abs() > 0.0,
+            "γ must receive gradient"
+        );
+        assert_eq!(
+            grads.get(comb.beta).data()[0],
+            0.0,
+            "β untouched when C_T absent"
+        );
     }
 
     #[test]

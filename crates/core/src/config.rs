@@ -105,7 +105,11 @@ impl HyperParams {
     pub fn table3_rows(&self) -> Vec<(&'static str, &'static str, String)> {
         vec![
             ("ke", "Embedding vector size", self.entity_dim.to_string()),
-            ("kt", "Entity type embedding size", self.type_dim.to_string()),
+            (
+                "kt",
+                "Entity type embedding size",
+                self.type_dim.to_string(),
+            ),
             ("l", "Window size", self.window.to_string()),
             ("k", "CNN filters number", self.filters.to_string()),
             ("kp", "POS embedding dimension", self.pos_dim.to_string()),

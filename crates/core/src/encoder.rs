@@ -47,11 +47,37 @@ pub struct Frontend {
 
 impl Frontend {
     /// Registers the three embedding tables under `name`.
-    pub fn new(store: &mut ParamStore, name: &str, vocab_size: usize, hp: &HyperParams, rng: &mut TensorRng) -> Self {
-        let word_emb = store.uniform(&format!("{name}.word_emb"), &[vocab_size, hp.word_dim], 0.25, rng);
-        let head_pos_emb = store.uniform(&format!("{name}.head_pos_emb"), &[hp.pos_vocab(), hp.pos_dim], 0.25, rng);
-        let tail_pos_emb = store.uniform(&format!("{name}.tail_pos_emb"), &[hp.pos_vocab(), hp.pos_dim], 0.25, rng);
-        Frontend { word_emb, head_pos_emb, tail_pos_emb, in_dim: hp.word_dim + 2 * hp.pos_dim }
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab_size: usize,
+        hp: &HyperParams,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let word_emb = store.uniform(
+            &format!("{name}.word_emb"),
+            &[vocab_size, hp.word_dim],
+            0.25,
+            rng,
+        );
+        let head_pos_emb = store.uniform(
+            &format!("{name}.head_pos_emb"),
+            &[hp.pos_vocab(), hp.pos_dim],
+            0.25,
+            rng,
+        );
+        let tail_pos_emb = store.uniform(
+            &format!("{name}.tail_pos_emb"),
+            &[hp.pos_vocab(), hp.pos_dim],
+            0.25,
+            rng,
+        );
+        Frontend {
+            word_emb,
+            head_pos_emb,
+            tail_pos_emb,
+            in_dim: hp.word_dim + 2 * hp.pos_dim,
+        }
     }
 
     /// Per-token input width (`k_w + 2·k_p`).
@@ -101,11 +127,25 @@ impl Encoder {
         let in_dim = frontend.in_dim();
         let (variant, out_dim) = match kind {
             EncoderKind::Cnn => {
-                let conv = Conv1d::new(store, &format!("{name}.conv"), in_dim, hp.filters, hp.window, rng);
+                let conv = Conv1d::new(
+                    store,
+                    &format!("{name}.conv"),
+                    in_dim,
+                    hp.filters,
+                    hp.window,
+                    rng,
+                );
                 (Variant::Cnn(conv), hp.filters)
             }
             EncoderKind::Pcnn => {
-                let conv = Conv1d::new(store, &format!("{name}.conv"), in_dim, hp.filters, hp.window, rng);
+                let conv = Conv1d::new(
+                    store,
+                    &format!("{name}.conv"),
+                    in_dim,
+                    hp.filters,
+                    hp.window,
+                    rng,
+                );
                 (Variant::Pcnn(conv), 3 * hp.filters)
             }
             EncoderKind::Gru => {
@@ -113,7 +153,12 @@ impl Encoder {
                 (Variant::Gru(gru), 2 * hp.gru_hidden)
             }
         };
-        Encoder { frontend, variant, dropout: Dropout::new(hp.dropout), out_dim }
+        Encoder {
+            frontend,
+            variant,
+            dropout: Dropout::new(hp.dropout),
+            out_dim,
+        }
     }
 
     /// Sentence-vector width.

@@ -34,12 +34,20 @@ pub fn featurize(sentence: &EncodedSentence, max_len: usize, clip: usize) -> Sen
         // choose a window covering both entities
         let lo_ent = sentence.head_pos.min(sentence.tail_pos);
         let hi_ent = sentence.head_pos.max(sentence.tail_pos);
-        let start = lo_ent.min(len - max_len).min(hi_ent.saturating_sub(max_len - 1));
+        let start = lo_ent
+            .min(len - max_len)
+            .min(hi_ent.saturating_sub(max_len - 1));
         (start, (start + max_len).min(len))
     };
     let tokens: Vec<usize> = sentence.tokens[start..end].to_vec();
-    let head_pos = sentence.head_pos.saturating_sub(start).min(tokens.len() - 1);
-    let tail_pos = sentence.tail_pos.saturating_sub(start).min(tokens.len() - 1);
+    let head_pos = sentence
+        .head_pos
+        .saturating_sub(start)
+        .min(tokens.len() - 1);
+    let tail_pos = sentence
+        .tail_pos
+        .saturating_sub(start)
+        .min(tokens.len() - 1);
 
     let offset = |i: usize, anchor: usize| -> usize {
         let rel = i as isize - anchor as isize;
@@ -49,7 +57,13 @@ pub fn featurize(sentence: &EncodedSentence, max_len: usize, clip: usize) -> Sen
     let head_offsets = (0..tokens.len()).map(|i| offset(i, head_pos)).collect();
     let tail_offsets = (0..tokens.len()).map(|i| offset(i, tail_pos)).collect();
 
-    SentenceFeatures { tokens, head_offsets, tail_offsets, head_pos, tail_pos }
+    SentenceFeatures {
+        tokens,
+        head_offsets,
+        tail_offsets,
+        head_pos,
+        tail_pos,
+    }
 }
 
 #[cfg(test)]
@@ -57,7 +71,12 @@ mod tests {
     use super::*;
 
     fn sentence(tokens: Vec<usize>, head: usize, tail: usize) -> EncodedSentence {
-        EncodedSentence { tokens, head_pos: head, tail_pos: tail, expresses_relation: true }
+        EncodedSentence {
+            tokens,
+            head_pos: head,
+            tail_pos: tail,
+            expresses_relation: true,
+        }
     }
 
     #[test]
@@ -95,8 +114,14 @@ mod tests {
         let s = sentence(tokens, 20, 28);
         let f = featurize(&s, 12, 5);
         assert_eq!(f.tokens.len(), 12);
-        assert_eq!(f.tokens[f.head_pos], 999, "head token must survive truncation");
-        assert_eq!(f.tokens[f.tail_pos], 888, "tail token must survive truncation");
+        assert_eq!(
+            f.tokens[f.head_pos], 999,
+            "head token must survive truncation"
+        );
+        assert_eq!(
+            f.tokens[f.tail_pos], 888,
+            "tail token must survive truncation"
+        );
     }
 
     #[test]

@@ -35,48 +35,83 @@ pub struct ModelSpec {
 impl ModelSpec {
     /// Plain PCNN (Zeng 2015): piecewise CNN, mean aggregation.
     pub fn pcnn() -> Self {
-        ModelSpec { encoder: EncoderKind::Pcnn, agg: AggKind::Mean, word_att: false, use_type: false, use_mr: false }
+        ModelSpec {
+            encoder: EncoderKind::Pcnn,
+            agg: AggKind::Mean,
+            word_att: false,
+            use_type: false,
+            use_mr: false,
+        }
     }
 
     /// PCNN + selective attention (Lin 2016) — the paper's base model.
     pub fn pcnn_att() -> Self {
-        ModelSpec { agg: AggKind::Att, ..Self::pcnn() }
+        ModelSpec {
+            agg: AggKind::Att,
+            ..Self::pcnn()
+        }
     }
 
     /// CNN + selective attention.
     pub fn cnn_att() -> Self {
-        ModelSpec { encoder: EncoderKind::Cnn, ..Self::pcnn_att() }
+        ModelSpec {
+            encoder: EncoderKind::Cnn,
+            ..Self::pcnn_att()
+        }
     }
 
     /// Bi-GRU + selective attention.
     pub fn gru_att() -> Self {
-        ModelSpec { encoder: EncoderKind::Gru, ..Self::pcnn_att() }
+        ModelSpec {
+            encoder: EncoderKind::Gru,
+            ..Self::pcnn_att()
+        }
     }
 
     /// BGWA (Jat 2018): bi-GRU with word- and sentence-level attention.
     pub fn bgwa() -> Self {
-        ModelSpec { encoder: EncoderKind::Gru, agg: AggKind::Att, word_att: true, use_type: false, use_mr: false }
+        ModelSpec {
+            encoder: EncoderKind::Gru,
+            agg: AggKind::Att,
+            word_att: true,
+            use_type: false,
+            use_mr: false,
+        }
     }
 
     /// PA-T: PCNN+ATT with the entity-type component.
     pub fn pa_t() -> Self {
-        ModelSpec { use_type: true, ..Self::pcnn_att() }
+        ModelSpec {
+            use_type: true,
+            ..Self::pcnn_att()
+        }
     }
 
     /// PA-MR: PCNN+ATT with the implicit-mutual-relation component.
     pub fn pa_mr() -> Self {
-        ModelSpec { use_mr: true, ..Self::pcnn_att() }
+        ModelSpec {
+            use_mr: true,
+            ..Self::pcnn_att()
+        }
     }
 
     /// PA-TMR: the paper's full model.
     pub fn pa_tmr() -> Self {
-        ModelSpec { use_type: true, use_mr: true, ..Self::pcnn_att() }
+        ModelSpec {
+            use_type: true,
+            use_mr: true,
+            ..Self::pcnn_att()
+        }
     }
 
     /// Adds both entity-information components to any base spec (the
     /// Figure 5 `X → X+TMR` transformation).
     pub fn with_tmr(self) -> Self {
-        ModelSpec { use_type: true, use_mr: true, ..self }
+        ModelSpec {
+            use_type: true,
+            use_mr: true,
+            ..self
+        }
     }
 
     /// Display name matching the paper's tables.
@@ -130,14 +165,22 @@ pub fn prepare_bags(bags: &[Bag], hp: &HyperParams) -> Vec<PreparedBag> {
             head: b.head.0,
             tail: b.tail.0,
             label: b.label.0,
-            sentences: b.sentences.iter().map(|s| featurize(s, hp.max_len, hp.pos_clip)).collect(),
+            sentences: b
+                .sentences
+                .iter()
+                .map(|s| featurize(s, hp.max_len, hp.pos_clip))
+                .collect(),
         })
         .collect()
 }
 
 /// Per-entity coarse-type id lists, extracted from the world model.
 pub fn entity_type_table(world: &World) -> Vec<Vec<usize>> {
-    world.entities.iter().map(|e| e.types.iter().map(|t| t.0).collect()).collect()
+    world
+        .entities
+        .iter()
+        .map(|e| e.types.iter().map(|t| t.0).collect())
+        .collect()
 }
 
 /// Side information a model may consume at forward time.
@@ -188,7 +231,11 @@ impl ReModel {
         let mut rng = TensorRng::seed(seed);
         let mut store = ParamStore::new();
         let encoder = Encoder::new(spec.encoder, &mut store, "enc", vocab_size, hp, &mut rng);
-        let sent_dim = if spec.word_att { encoder.token_dim() } else { encoder.out_dim() };
+        let sent_dim = if spec.word_att {
+            encoder.token_dim()
+        } else {
+            encoder.out_dim()
+        };
         let word_att = spec
             .word_att
             .then(|| WordAttention::new(&mut store, "watt", encoder.token_dim(), &mut rng));
@@ -198,10 +245,18 @@ impl ReModel {
         let mr = spec
             .use_mr
             .then(|| MrComponent::new(&mut store, "mr", entity_dim, num_relations, &mut rng));
-        let ty = spec
-            .use_type
-            .then(|| TypeComponent::new(&mut store, "ty", num_types, hp.type_dim, num_relations, &mut rng));
-        let combiner = (spec.use_mr || spec.use_type).then(|| Combiner::new(&mut store, "comb", num_relations, &mut rng));
+        let ty = spec.use_type.then(|| {
+            TypeComponent::new(
+                &mut store,
+                "ty",
+                num_types,
+                hp.type_dim,
+                num_relations,
+                &mut rng,
+            )
+        });
+        let combiner = (spec.use_mr || spec.use_type)
+            .then(|| Combiner::new(&mut store, "comb", num_relations, &mut rng));
         let grads = GradStore::zeros_like(&store);
         ReModel {
             spec,
@@ -243,7 +298,13 @@ impl ReModel {
     }
 
     /// Encodes one sentence (dispatching on the BGWA word-attention flag).
-    fn encode_sentence(&self, tape: &mut Tape, feats: &SentenceFeatures, training: bool, rng: &mut TensorRng) -> Var {
+    fn encode_sentence(
+        &self,
+        tape: &mut Tape,
+        feats: &SentenceFeatures,
+        training: bool,
+        rng: &mut TensorRng,
+    ) -> Var {
         match &self.word_att {
             None => self.encoder.encode(tape, feats, training, rng),
             Some(wa) => {
@@ -255,7 +316,13 @@ impl ReModel {
     }
 
     /// Stacks all sentence encodings of a bag into `[n, sent_dim]`.
-    fn bag_matrix(&self, tape: &mut Tape, bag: &PreparedBag, training: bool, rng: &mut TensorRng) -> Var {
+    fn bag_matrix(
+        &self,
+        tape: &mut Tape,
+        bag: &PreparedBag,
+        training: bool,
+        rng: &mut TensorRng,
+    ) -> Var {
         let rows: Vec<Var> = bag
             .sentences
             .iter()
@@ -265,7 +332,12 @@ impl ReModel {
     }
 
     /// Pre-softmax component scores for a pair.
-    fn side_logits(&self, tape: &mut Tape, bag: &PreparedBag, ctx: &BagContext) -> (Option<Var>, Option<Var>) {
+    fn side_logits(
+        &self,
+        tape: &mut Tape,
+        bag: &PreparedBag,
+        ctx: &BagContext,
+    ) -> (Option<Var>, Option<Var>) {
         let mr_logits = self.mr.as_ref().map(|mr| {
             let emb = ctx
                 .entity_embedding
@@ -273,20 +345,38 @@ impl ReModel {
             mr.logits(tape, emb.mutual_relation(bag.head, bag.tail))
         });
         let t_logits = self.ty.as_ref().map(|ty| {
-            ty.logits(tape, &ctx.entity_types[bag.head], &ctx.entity_types[bag.tail])
+            ty.logits(
+                tape,
+                &ctx.entity_types[bag.head],
+                &ctx.entity_types[bag.tail],
+            )
         });
         (mr_logits, t_logits)
     }
 
     /// Component confidences for a pair (shared by train and predict paths).
-    fn side_confidences(&self, tape: &mut Tape, bag: &PreparedBag, ctx: &BagContext) -> (Option<Var>, Option<Var>) {
+    fn side_confidences(
+        &self,
+        tape: &mut Tape,
+        bag: &PreparedBag,
+        ctx: &BagContext,
+    ) -> (Option<Var>, Option<Var>) {
         let (mr_logits, t_logits) = self.side_logits(tape, bag, ctx);
-        (mr_logits.map(|l| tape.softmax(l)), t_logits.map(|l| tape.softmax(l)))
+        (
+            mr_logits.map(|l| tape.softmax(l)),
+            t_logits.map(|l| tape.softmax(l)),
+        )
     }
 
     /// Computes the training loss for one bag and accumulates gradients
     /// (scaled by `scale`, typically `1 / batch_size`). Returns the loss.
-    pub fn bag_loss_and_backward(&mut self, bag: &PreparedBag, ctx: &BagContext, scale: f32, rng: &mut TensorRng) -> f32 {
+    pub fn bag_loss_and_backward(
+        &mut self,
+        bag: &PreparedBag,
+        ctx: &BagContext,
+        scale: f32,
+        rng: &mut TensorRng,
+    ) -> f32 {
         // Split borrows: the tape reads `store` (a precise field loan),
         // backward writes `grads`.
         let store = &self.store;
@@ -335,7 +425,8 @@ impl ReModel {
     /// # Panics
     /// If the matrix shape differs from `[vocab_size, word_dim]`.
     pub fn set_word_embeddings(&mut self, matrix: imre_tensor::Tensor) {
-        self.store.set(self.encoder.frontend().word_emb_id(), matrix);
+        self.store
+            .set(self.encoder.frontend().word_emb_id(), matrix);
     }
 
     /// Sentence-vector width (the encoder output the heads consume).
@@ -351,7 +442,7 @@ impl ReModel {
     /// instance selector, which scores sentences outside the tape).
     pub fn sentence_encodings(&self, bag: &PreparedBag) -> Vec<Vec<f32>> {
         let mut rng = TensorRng::seed(0);
-        let mut tape = Tape::new(&self.store);
+        let mut tape = Tape::inference(&self.store);
         bag.sentences
             .iter()
             .map(|s| {
@@ -368,21 +459,35 @@ impl ReModel {
     /// al.'s held-out protocol); the `PA-*` variants then pass that score
     /// vector through the combiner with the side confidences.
     pub fn predict(&self, bag: &PreparedBag, ctx: &BagContext) -> Vec<f32> {
+        let mut tape = Tape::inference(&self.store);
+        self.predict_into(&mut tape, bag, ctx)
+    }
+
+    /// [`ReModel::predict`] onto a caller-supplied tape. The serving engine
+    /// uses this to run a whole micro-batch on one tape (see
+    /// [`ReModel::predict_batch`]); the tape should be an inference tape and
+    /// is left holding the last bag's graph — call [`Tape::reset`] between
+    /// bags.
+    pub fn predict_into<'a>(
+        &'a self,
+        tape: &mut Tape<'a>,
+        bag: &PreparedBag,
+        ctx: &BagContext,
+    ) -> Vec<f32> {
         let mut rng = TensorRng::seed(0); // eval mode: dropout disabled, rng unused
-        let mut tape = Tape::new(&self.store);
-        let xs = self.bag_matrix(&mut tape, bag, false, &mut rng);
+        let xs = self.bag_matrix(tape, bag, false, &mut rng);
 
         let re_scores: Vec<f32> = match &self.att {
             None => {
-                let bag_vec = mean_aggregate(&mut tape, xs);
-                let logits = self.re_head.forward_vec(&mut tape, bag_vec);
+                let bag_vec = mean_aggregate(tape, xs);
+                let logits = self.re_head.forward_vec(tape, bag_vec);
                 let probs = tape.softmax(logits);
                 tape.value(probs).data().to_vec()
             }
             Some(att) => (0..self.num_relations)
                 .map(|r| {
-                    let bag_vec = att.aggregate(&mut tape, xs, r);
-                    let logits = self.re_head.forward_vec(&mut tape, bag_vec);
+                    let bag_vec = att.aggregate(tape, xs, r);
+                    let logits = self.re_head.forward_vec(tape, bag_vec);
                     let probs = tape.softmax(logits);
                     tape.value(probs).data()[r]
                 })
@@ -392,13 +497,43 @@ impl ReModel {
         match &self.combiner {
             None => re_scores,
             Some(comb) => {
-                let re = tape.leaf(imre_tensor::Tensor::from_vec(re_scores, &[self.num_relations]));
-                let (c_mr, c_t) = self.side_confidences(&mut tape, bag, ctx);
-                let logits = comb.combine(&mut tape, c_mr, c_t, re);
+                let re = tape.leaf(imre_tensor::Tensor::from_vec(
+                    re_scores,
+                    &[self.num_relations],
+                ));
+                let (c_mr, c_t) = self.side_confidences(tape, bag, ctx);
+                let logits = comb.combine(tape, c_mr, c_t, re);
                 let probs = tape.softmax(logits);
                 tape.value(probs).data().to_vec()
             }
         }
+    }
+
+    /// Predicts a whole micro-batch of bags on one reused inference tape.
+    /// Produces exactly the same scores as calling [`ReModel::predict`] per
+    /// bag (each bag's graph is independent; the tape is reset in between),
+    /// but amortizes tape allocation across the batch.
+    pub fn predict_batch(&self, bags: &[&PreparedBag], ctx: &BagContext) -> Vec<Vec<f32>> {
+        let mut tape = Tape::inference(&self.store);
+        bags.iter()
+            .map(|bag| {
+                tape.reset();
+                self.predict_into(&mut tape, bag, ctx)
+            })
+            .collect()
+    }
+
+    /// Predicts and returns `(relation, score)` pairs sorted by descending
+    /// score (ties broken by relation id for determinism).
+    pub fn predict_ranked(&self, bag: &PreparedBag, ctx: &BagContext) -> Vec<(usize, f32)> {
+        let scores = self.predict(bag, ctx);
+        let mut ranked: Vec<(usize, f32)> = scores.into_iter().enumerate().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked
     }
 }
 
@@ -434,7 +569,12 @@ mod tests {
             tail_pos: 3,
             tokens,
         };
-        PreparedBag { head: 0, tail: 1, label, sentences: vec![sentence(vec![2, 3, 4, 5, 6]), sentence(vec![4, 5, 6, 7, 2])] }
+        PreparedBag {
+            head: 0,
+            tail: 1,
+            label,
+            sentences: vec![sentence(vec![2, 3, 4, 5, 6]), sentence(vec![4, 5, 6, 7, 2])],
+        }
     }
 
     fn toy_types() -> Vec<Vec<usize>> {
@@ -453,7 +593,12 @@ mod tests {
 
     fn toy_embedding() -> imre_graph::EntityEmbedding {
         let mut rng = TensorRng::seed(1);
-        imre_graph::EntityEmbedding::from_matrix(imre_tensor::Tensor::rand_uniform(&[3, 8], -1.0, 1.0, &mut rng))
+        imre_graph::EntityEmbedding::from_matrix(imre_tensor::Tensor::rand_uniform(
+            &[3, 8],
+            -1.0,
+            1.0,
+            &mut rng,
+        ))
     }
 
     #[test]
@@ -471,10 +616,17 @@ mod tests {
             ModelSpec::pa_tmr(),
         ] {
             let model = build(spec);
-            let ctx = BagContext { entity_embedding: Some(&emb), entity_types: &types };
+            let ctx = BagContext {
+                entity_embedding: Some(&emb),
+                entity_types: &types,
+            };
             let probs = model.predict(&toy_bag(1), &ctx);
             assert_eq!(probs.len(), 4, "{}", spec.name());
-            assert!(probs.iter().all(|&p| p.is_finite() && p >= 0.0), "{}", spec.name());
+            assert!(
+                probs.iter().all(|&p| p.is_finite() && p >= 0.0),
+                "{}",
+                spec.name()
+            );
             // combined and mean paths produce true distributions; the
             // attention diag path produces scores in (0, 1]
             assert!(probs.iter().all(|&p| p <= 1.0), "{}", spec.name());
@@ -486,7 +638,10 @@ mod tests {
         let emb = toy_embedding();
         let types = toy_types();
         let mut model = build(ModelSpec::pa_tmr());
-        let ctx = BagContext { entity_embedding: Some(&emb), entity_types: &types };
+        let ctx = BagContext {
+            entity_embedding: Some(&emb),
+            entity_types: &types,
+        };
         let bag = toy_bag(2);
         let mut rng = TensorRng::seed(9);
         let sgd = imre_nn::Sgd::new(0.2).with_clip_norm(5.0);
@@ -509,7 +664,10 @@ mod tests {
     fn mr_without_embedding_panics() {
         let types = toy_types();
         let model = build(ModelSpec::pa_mr());
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
         let _ = model.predict(&toy_bag(0), &ctx);
     }
 
@@ -518,7 +676,13 @@ mod tests {
         use imre_corpus::{Dataset, DatasetConfig, SentenceGenConfig, WorldConfig};
         let ds = Dataset::generate(&DatasetConfig {
             name: "t".into(),
-            world: WorldConfig { n_relations: 4, entities_per_cluster: 6, facts_per_relation: 8, cluster_reuse_prob: 0.3, seed: 1 },
+            world: WorldConfig {
+                n_relations: 4,
+                entities_per_cluster: 6,
+                facts_per_relation: 8,
+                cluster_reuse_prob: 0.3,
+                seed: 1,
+            },
             sentence: SentenceGenConfig::default(),
             train_fraction: 0.7,
             na_train: 5,

@@ -15,7 +15,11 @@ use std::collections::HashMap;
 /// whose training frequency is below `min_count` to [`UNK`] — in the
 /// training *and* test bags. Returns the number of distinct surviving
 /// tokens (diagnostic).
-pub fn prune_to_train_vocab(train: &mut [PreparedBag], test: &mut [PreparedBag], min_count: usize) -> usize {
+pub fn prune_to_train_vocab(
+    train: &mut [PreparedBag],
+    test: &mut [PreparedBag],
+    min_count: usize,
+) -> usize {
     let mut freq: HashMap<usize, usize> = HashMap::new();
     for bag in train.iter() {
         for s in &bag.sentences {

@@ -31,7 +31,13 @@ pub fn write_model<W: Write>(model: &ReModel, w: &mut W) -> io::Result<()> {
         AggKind::Mean => 0u8,
         AggKind::Att => 1,
     };
-    w.write_all(&[enc, agg, model.spec.word_att as u8, model.spec.use_type as u8, model.spec.use_mr as u8])?;
+    w.write_all(&[
+        enc,
+        agg,
+        model.spec.word_att as u8,
+        model.spec.use_type as u8,
+        model.spec.use_mr as u8,
+    ])?;
     // shape arguments
     for v in [
         model.vocab_size() as u64,
@@ -72,11 +78,17 @@ pub fn read_model<R: Read>(r: &mut R) -> io::Result<ReModel> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an IMRM model file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an IMRM model file",
+        ));
     }
     let version = read_u32(r)?;
     if version != VERSION {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("unsupported IMRM version {version}")));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported IMRM version {version}"),
+        ));
     }
     let mut flags = [0u8; 5];
     r.read_exact(&mut flags)?;
@@ -84,12 +96,22 @@ pub fn read_model<R: Read>(r: &mut R) -> io::Result<ReModel> {
         0 => EncoderKind::Cnn,
         1 => EncoderKind::Pcnn,
         2 => EncoderKind::Gru,
-        other => return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad encoder tag {other}"))),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad encoder tag {other}"),
+            ))
+        }
     };
     let agg = match flags[1] {
         0 => AggKind::Mean,
         1 => AggKind::Att,
-        other => return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad aggregation tag {other}"))),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad aggregation tag {other}"),
+            ))
+        }
     };
     let spec = ModelSpec {
         encoder,
@@ -121,16 +143,31 @@ pub fn read_model<R: Read>(r: &mut R) -> io::Result<ReModel> {
 
     // Rebuild the architecture (seed irrelevant — weights are overwritten)
     // and copy the trained values in by name.
-    let mut model = ReModel::new(spec, &hp, vocab_size, num_relations, num_types, entity_dim, 0);
+    let mut model = ReModel::new(
+        spec,
+        &hp,
+        vocab_size,
+        num_relations,
+        num_types,
+        entity_dim,
+        0,
+    );
     if loaded.len() != model.store.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("weight count mismatch: file has {}, architecture needs {}", loaded.len(), model.store.len()),
+            format!(
+                "weight count mismatch: file has {}, architecture needs {}",
+                loaded.len(),
+                model.store.len()
+            ),
         ));
     }
     for (_, name, tensor) in loaded.iter() {
         let id = model.store.find(name).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("unexpected parameter {name:?} in file"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected parameter {name:?} in file"),
+            )
         })?;
         if model.store.get(id).shape() != tensor.shape() {
             return Err(io::Error::new(
@@ -195,7 +232,11 @@ mod tests {
                     cluster_reuse_prob: 0.3,
                     seed: seed ^ 0x5111,
                 },
-                sentence: SentenceGenConfig { noise_prob: 0.2, min_len: 6, max_len: 14 },
+                sentence: SentenceGenConfig {
+                    noise_prob: 0.2,
+                    min_len: 6,
+                    max_len: 14,
+                },
                 train_fraction: 0.7,
                 na_train: 30,
                 na_test: 15,
@@ -212,9 +253,27 @@ mod tests {
         let hp = HyperParams::tiny();
         let bags = prepare_bags(&ds.train, &hp);
         let types = entity_type_table(&ds.world);
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
-        let mut model = ReModel::new(ModelSpec::pa_t(), &hp, ds.vocab.len(), ds.num_relations(), 38, hp.entity_dim, 7);
-        let tc = crate::train::TrainConfig { epochs: 2, batch_size: 8, lr: 0.2, lr_decay: 0.95, clip_norm: 5.0, seed: 3 };
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
+        let mut model = ReModel::new(
+            ModelSpec::pa_t(),
+            &hp,
+            ds.vocab.len(),
+            ds.num_relations(),
+            38,
+            hp.entity_dim,
+            7,
+        );
+        let tc = crate::train::TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            lr: 0.2,
+            lr_decay: 0.95,
+            clip_norm: 5.0,
+            seed: 3,
+        };
         crate::train::train_model(&mut model, &bags, &ctx, &tc);
         (model, ds)
     }
@@ -229,7 +288,10 @@ mod tests {
         let hp = HyperParams::tiny();
         let test = prepare_bags(&ds.test, &hp);
         let types = entity_type_table(&ds.world);
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
         for bag in test.iter().take(10) {
             let a = model.predict(bag, &ctx);
             let b = loaded.predict(bag, &ctx);

@@ -37,7 +37,15 @@ pub struct SkipGramConfig {
 
 impl Default for SkipGramConfig {
     fn default() -> Self {
-        SkipGramConfig { dim: 32, window: 3, negatives: 5, epochs: 5, lr: 0.05, subsample: 1e-3, seed: 73 }
+        SkipGramConfig {
+            dim: 32,
+            window: 3,
+            negatives: 5,
+            epochs: 5,
+            lr: 0.05,
+            subsample: 1e-3,
+            seed: 73,
+        }
     }
 }
 
@@ -48,7 +56,11 @@ impl Default for SkipGramConfig {
 ///
 /// # Panics
 /// If `vocab_size == 0` or no sentence has at least two tokens.
-pub fn train_skipgram(sentences: &[Vec<usize>], vocab_size: usize, config: &SkipGramConfig) -> Tensor {
+pub fn train_skipgram(
+    sentences: &[Vec<usize>],
+    vocab_size: usize,
+    config: &SkipGramConfig,
+) -> Tensor {
     assert!(vocab_size > 0, "train_skipgram: empty vocabulary");
     let mut rng = TensorRng::seed(config.seed);
     let bound = 0.5 / config.dim as f32;
@@ -60,7 +72,10 @@ pub fn train_skipgram(sentences: &[Vec<usize>], vocab_size: usize, config: &Skip
     let mut total_tokens = 0usize;
     for s in sentences {
         for &t in s {
-            assert!(t < vocab_size, "train_skipgram: token {t} outside vocab of {vocab_size}");
+            assert!(
+                t < vocab_size,
+                "train_skipgram: token {t} outside vocab of {vocab_size}"
+            );
             counts[t] += 1.0;
             total_tokens += 1;
         }
@@ -95,7 +110,8 @@ pub fn train_skipgram(sentences: &[Vec<usize>], vocab_size: usize, config: &Skip
             kept.clear();
             kept.extend(s.iter().copied().filter(|&t| rng.f32() < keep_prob[t]));
             for (center_idx, &center) in kept.iter().enumerate() {
-                let lr = (config.lr * (1.0 - step as f32 / total_steps as f32)).max(config.lr * 1e-3);
+                let lr =
+                    (config.lr * (1.0 - step as f32 / total_steps as f32)).max(config.lr * 1e-3);
                 step += 1;
                 let lo = center_idx.saturating_sub(config.window);
                 let hi = (center_idx + config.window + 1).min(kept.len());
@@ -125,7 +141,15 @@ pub fn train_skipgram(sentences: &[Vec<usize>], vocab_size: usize, config: &Skip
     vectors
 }
 
-fn sgd_update(vectors: &mut Tensor, contexts: &mut Tensor, center: usize, target: usize, positive: bool, lr: f32, dim: usize) {
+fn sgd_update(
+    vectors: &mut Tensor,
+    contexts: &mut Tensor,
+    center: usize,
+    target: usize,
+    positive: bool,
+    lr: f32,
+    dim: usize,
+) {
     let v = &mut vectors.data_mut()[center * dim..(center + 1) * dim];
     let c = &mut contexts.data_mut()[target * dim..(target + 1) * dim];
     let x: f32 = v.iter().zip(c.iter()).map(|(&a, &b)| a * b).sum();
@@ -162,7 +186,11 @@ mod tests {
             let base = if rng.bernoulli(0.5) { 1 } else { 5 };
             let mut s = Vec::new();
             for _ in 0..8 {
-                let t = if rng.bernoulli(0.15) { 0 } else { base + rng.below(4) };
+                let t = if rng.bernoulli(0.15) {
+                    0
+                } else {
+                    base + rng.below(4)
+                };
                 s.push(t);
             }
             out.push(s);
@@ -174,7 +202,15 @@ mod tests {
     fn same_topic_tokens_cluster() {
         let mut rng = TensorRng::seed(1);
         let corpus = topic_corpus(&mut rng);
-        let emb = train_skipgram(&corpus, 9, &SkipGramConfig { dim: 16, epochs: 4, ..Default::default() });
+        let emb = train_skipgram(
+            &corpus,
+            9,
+            &SkipGramConfig {
+                dim: 16,
+                epochs: 4,
+                ..Default::default()
+            },
+        );
         let vec_of = |t: usize| Tensor::from_vec(emb.row(t).to_vec(), &[16]);
         let intra = vec_of(1).cosine(&vec_of(2));
         let inter = vec_of(1).cosine(&vec_of(6));
@@ -187,7 +223,11 @@ mod tests {
     #[test]
     fn shapes_and_determinism() {
         let corpus = vec![vec![0, 1, 2], vec![2, 1, 0]];
-        let cfg = SkipGramConfig { dim: 8, epochs: 1, ..Default::default() };
+        let cfg = SkipGramConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        };
         let a = train_skipgram(&corpus, 5, &cfg);
         let b = train_skipgram(&corpus, 5, &cfg);
         assert_eq!(a.shape(), &[5, 8]);
@@ -197,7 +237,15 @@ mod tests {
     #[test]
     fn unused_tokens_keep_small_init() {
         let corpus = vec![vec![0, 1], vec![1, 0]];
-        let emb = train_skipgram(&corpus, 4, &SkipGramConfig { dim: 8, epochs: 2, ..Default::default() });
+        let emb = train_skipgram(
+            &corpus,
+            4,
+            &SkipGramConfig {
+                dim: 8,
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let unused_norm: f32 = emb.row(3).iter().map(|x| x * x).sum::<f32>().sqrt();
         assert!(unused_norm < 0.5, "unused token norm {unused_norm}");
     }

@@ -54,7 +54,12 @@ impl TrainStats {
 /// Gradients are averaged over each mini-batch (`scale = 1/batch`), clipped
 /// by global norm, and applied with SGD whose learning rate decays per
 /// epoch — the paper's optimisation setup.
-pub fn train_model(model: &mut ReModel, bags: &[PreparedBag], ctx: &BagContext, config: &TrainConfig) -> TrainStats {
+pub fn train_model(
+    model: &mut ReModel,
+    bags: &[PreparedBag],
+    ctx: &BagContext,
+    config: &TrainConfig,
+) -> TrainStats {
     assert!(!bags.is_empty(), "train_model: no training bags");
     let mut rng = TensorRng::seed(config.seed);
     let mut sgd = Sgd::new(config.lr).with_clip_norm(config.clip_norm);
@@ -87,8 +92,18 @@ mod tests {
     fn tiny_dataset() -> Dataset {
         Dataset::generate(&DatasetConfig {
             name: "t".into(),
-            world: WorldConfig { n_relations: 4, entities_per_cluster: 6, facts_per_relation: 10, cluster_reuse_prob: 0.3, seed: 3 },
-            sentence: SentenceGenConfig { noise_prob: 0.1, min_len: 6, max_len: 12 },
+            world: WorldConfig {
+                n_relations: 4,
+                entities_per_cluster: 6,
+                facts_per_relation: 10,
+                cluster_reuse_prob: 0.3,
+                seed: 3,
+            },
+            sentence: SentenceGenConfig {
+                noise_prob: 0.1,
+                min_len: 6,
+                max_len: 12,
+            },
             train_fraction: 0.7,
             na_train: 8,
             na_test: 4,
@@ -105,9 +120,27 @@ mod tests {
         let hp = HyperParams::tiny();
         let bags = prepare_bags(&ds.train, &hp);
         let types = entity_type_table(&ds.world);
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
-        let mut model = ReModel::new(ModelSpec::pcnn_att(), &hp, ds.vocab.len(), ds.num_relations(), 38, 8, 11);
-        let tc = TrainConfig { epochs: 8, batch_size: 8, lr: 0.2, lr_decay: 0.95, clip_norm: 5.0, seed: 13 };
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
+        let mut model = ReModel::new(
+            ModelSpec::pcnn_att(),
+            &hp,
+            ds.vocab.len(),
+            ds.num_relations(),
+            38,
+            8,
+            11,
+        );
+        let tc = TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            lr: 0.2,
+            lr_decay: 0.95,
+            clip_norm: 5.0,
+            seed: 13,
+        };
         let stats = train_model(&mut model, &bags, &ctx, &tc);
         assert_eq!(stats.epoch_losses.len(), 8);
         assert!(
@@ -123,9 +156,27 @@ mod tests {
         let hp = HyperParams::tiny();
         let bags = prepare_bags(&ds.train, &hp);
         let types = entity_type_table(&ds.world);
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
-        let mut model = ReModel::new(ModelSpec::pcnn_att(), &hp, ds.vocab.len(), ds.num_relations(), 38, 8, 17);
-        let tc = TrainConfig { epochs: 6, batch_size: 8, lr: 0.2, lr_decay: 0.95, clip_norm: 5.0, seed: 19 };
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
+        let mut model = ReModel::new(
+            ModelSpec::pcnn_att(),
+            &hp,
+            ds.vocab.len(),
+            ds.num_relations(),
+            38,
+            8,
+            17,
+        );
+        let tc = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 0.2,
+            lr_decay: 0.95,
+            clip_norm: 5.0,
+            seed: 19,
+        };
         train_model(&mut model, &bags, &ctx, &tc);
         let correct = bags
             .iter()
@@ -150,9 +201,19 @@ mod tests {
         let ds = tiny_dataset();
         let hp = HyperParams::tiny();
         let types = entity_type_table(&ds.world);
-        let ctx = BagContext { entity_embedding: None, entity_types: &types };
+        let ctx = BagContext {
+            entity_embedding: None,
+            entity_types: &types,
+        };
         let mut model = ReModel::new(ModelSpec::pcnn(), &hp, ds.vocab.len(), 4, 38, 8, 1);
-        let tc = TrainConfig { epochs: 1, batch_size: 4, lr: 0.1, lr_decay: 1.0, clip_norm: 5.0, seed: 1 };
+        let tc = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            lr: 0.1,
+            lr_decay: 1.0,
+            clip_norm: 5.0,
+            seed: 1,
+        };
         let _ = train_model(&mut model, &[], &ctx, &tc);
     }
 }

@@ -56,7 +56,10 @@ impl Zipf {
     /// Draws a sample in `1..=max_k`.
     pub fn sample(&self, rng: &mut TensorRng) -> usize {
         let u = rng.f32() as f64;
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite CDF")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite CDF"))
+        {
             Ok(i) | Err(i) => (i + 1).min(self.cumulative.len()),
         }
     }
@@ -116,13 +119,38 @@ impl Dataset {
         rng.shuffle(&mut fact_indices);
         let n_train = (fact_indices.len() as f32 * config.train_fraction).round() as usize;
 
-        let make_bag = |world: &World, vocab: &mut Vocab, head: EntityId, tail: EntityId, label: RelationId, rng: &mut TensorRng| -> Bag {
+        let make_bag = |world: &World,
+                        vocab: &mut Vocab,
+                        head: EntityId,
+                        tail: EntityId,
+                        label: RelationId,
+                        rng: &mut TensorRng|
+         -> Bag {
             let n = zipf.sample(rng);
-            let schema = if label == NA { None } else { Some(world.relations[label.0].clone()) };
+            let schema = if label == NA {
+                None
+            } else {
+                Some(world.relations[label.0].clone())
+            };
             let sentences = (0..n)
-                .map(|_| generate_sentence(world, vocab, head, tail, schema.as_ref(), &config.sentence, rng))
+                .map(|_| {
+                    generate_sentence(
+                        world,
+                        vocab,
+                        head,
+                        tail,
+                        schema.as_ref(),
+                        &config.sentence,
+                        rng,
+                    )
+                })
                 .collect();
-            Bag { head, tail, label, sentences }
+            Bag {
+                head,
+                tail,
+                label,
+                sentences,
+            }
         };
 
         let mut train = Vec::with_capacity(n_train + config.na_train);
@@ -138,11 +166,8 @@ impl Dataset {
         }
 
         // NA bags: sampled pairs with no fact, disjoint between splits.
-        let mut used: std::collections::HashSet<(usize, usize)> = world
-            .facts
-            .iter()
-            .map(|f| (f.head.0, f.tail.0))
-            .collect();
+        let mut used: std::collections::HashSet<(usize, usize)> =
+            world.facts.iter().map(|f| (f.head.0, f.tail.0)).collect();
         for (count, split) in [(config.na_train, &mut train), (config.na_test, &mut test)] {
             'bags: for _ in 0..count {
                 // bounded rejection sampling: a saturated or tiny world may
@@ -173,7 +198,13 @@ impl Dataset {
         rng.shuffle(&mut train);
         rng.shuffle(&mut test);
 
-        Dataset { name: config.name.clone(), world, vocab, train, test }
+        Dataset {
+            name: config.name.clone(),
+            world,
+            vocab,
+            train,
+            test,
+        }
     }
 
     /// Number of relation labels including `NA`.
@@ -212,7 +243,11 @@ pub fn nyt_sim(seed: u64) -> DatasetConfig {
             cluster_reuse_prob: 0.5,
             seed: seed ^ 0x9e37_79b9,
         },
-        sentence: SentenceGenConfig { noise_prob: 0.55, min_len: 8, max_len: 24 },
+        sentence: SentenceGenConfig {
+            noise_prob: 0.55,
+            min_len: 8,
+            max_len: 24,
+        },
         train_fraction: 0.72,
         na_train: 3400,
         na_test: 1300,
@@ -236,7 +271,11 @@ pub fn gds_sim(seed: u64) -> DatasetConfig {
             cluster_reuse_prob: 0.3,
             seed: seed ^ 0x51f1_5ead,
         },
-        sentence: SentenceGenConfig { noise_prob: 0.15, min_len: 8, max_len: 20 },
+        sentence: SentenceGenConfig {
+            noise_prob: 0.15,
+            min_len: 8,
+            max_len: 20,
+        },
         train_fraction: 0.70,
         na_train: 300,
         na_test: 130,
@@ -291,7 +330,10 @@ mod tests {
         let train_pairs: std::collections::HashSet<(usize, usize)> =
             ds.train.iter().map(|b| (b.head.0, b.tail.0)).collect();
         for b in &ds.test {
-            assert!(!train_pairs.contains(&(b.head.0, b.tail.0)), "pair leaks across splits");
+            assert!(
+                !train_pairs.contains(&(b.head.0, b.tail.0)),
+                "pair leaks across splits"
+            );
         }
     }
 

@@ -41,7 +41,11 @@ pub struct SentenceGenConfig {
 
 impl Default for SentenceGenConfig {
     fn default() -> Self {
-        SentenceGenConfig { noise_prob: 0.3, min_len: 8, max_len: 24 }
+        SentenceGenConfig {
+            noise_prob: 0.3,
+            min_len: 8,
+            max_len: 24,
+        }
     }
 }
 
@@ -95,17 +99,29 @@ pub fn generate_sentence(
     } else {
         // noise sentences get a connector verb so they are lexically
         // distinguishable from relation-expressing ones
-        if let Some(slot) = place_near(hp.min(tp) + (tp.max(hp) - tp.min(hp)) / 2, len, hp, tp, rng) {
+        if let Some(slot) = place_near(hp.min(tp) + (tp.max(hp) - tp.min(hp)) / 2, len, hp, tp, rng)
+        {
             words[slot] = NOISE_CONNECTORS[rng.below(NOISE_CONNECTORS.len())].to_string();
         }
     }
 
     let tokens: Vec<usize> = words.iter().map(|w| vocab.intern(w)).collect();
-    EncodedSentence { tokens, head_pos: hp, tail_pos: tp, expresses_relation: express }
+    EncodedSentence {
+        tokens,
+        head_pos: hp,
+        tail_pos: tp,
+        expresses_relation: express,
+    }
 }
 
 /// Finds a slot near `anchor` that is neither entity position.
-fn place_near(anchor: usize, len: usize, hp: usize, tp: usize, rng: &mut TensorRng) -> Option<usize> {
+fn place_near(
+    anchor: usize,
+    len: usize,
+    hp: usize,
+    tp: usize,
+    rng: &mut TensorRng,
+) -> Option<usize> {
     for _ in 0..8 {
         let offset = rng.below(5) as isize - 2;
         let slot = anchor as isize + offset;
@@ -141,7 +157,15 @@ mod tests {
         let f = w.facts[0];
         let schema = w.relations[f.relation.0].clone();
         for _ in 0..50 {
-            let s = generate_sentence(&w, &mut v, f.head, f.tail, Some(&schema), &SentenceGenConfig::default(), &mut rng);
+            let s = generate_sentence(
+                &w,
+                &mut v,
+                f.head,
+                f.tail,
+                Some(&schema),
+                &SentenceGenConfig::default(),
+                &mut rng,
+            );
             assert_eq!(v.word(s.tokens[s.head_pos]), w.entities[f.head.0].name);
             assert_eq!(v.word(s.tokens[s.tail_pos]), w.entities[f.tail.0].name);
             assert_ne!(s.head_pos, s.tail_pos);
@@ -152,7 +176,11 @@ mod tests {
     fn length_bounds_respected() {
         let (w, mut v, mut rng) = setup();
         let f = w.facts[0];
-        let cfg = SentenceGenConfig { noise_prob: 0.5, min_len: 6, max_len: 12 };
+        let cfg = SentenceGenConfig {
+            noise_prob: 0.5,
+            min_len: 6,
+            max_len: 12,
+        };
         for _ in 0..100 {
             let s = generate_sentence(&w, &mut v, f.head, f.tail, None, &cfg, &mut rng);
             assert!(s.tokens.len() >= 6 && s.tokens.len() <= 12);
@@ -164,11 +192,17 @@ mod tests {
         let (w, mut v, mut rng) = setup();
         let f = w.facts[0];
         let schema = w.relations[f.relation.0].clone();
-        let cfg = SentenceGenConfig { noise_prob: 0.0, ..Default::default() };
+        let cfg = SentenceGenConfig {
+            noise_prob: 0.0,
+            ..Default::default()
+        };
         for _ in 0..30 {
             let s = generate_sentence(&w, &mut v, f.head, f.tail, Some(&schema), &cfg, &mut rng);
             assert!(s.expresses_relation);
-            let has_trigger = s.tokens.iter().any(|&t| schema.triggers.iter().any(|tr| tr == v.word(t)));
+            let has_trigger = s
+                .tokens
+                .iter()
+                .any(|&t| schema.triggers.iter().any(|tr| tr == v.word(t)));
             assert!(has_trigger, "expressing sentence lacks trigger");
         }
     }
@@ -178,11 +212,15 @@ mod tests {
         let (w, mut v, mut rng) = setup();
         let f = w.facts[0];
         let schema = w.relations[f.relation.0].clone();
-        let cfg = SentenceGenConfig { noise_prob: 0.4, ..Default::default() };
+        let cfg = SentenceGenConfig {
+            noise_prob: 0.4,
+            ..Default::default()
+        };
         let n = 2000;
         let noisy = (0..n)
             .filter(|_| {
-                !generate_sentence(&w, &mut v, f.head, f.tail, Some(&schema), &cfg, &mut rng).expresses_relation
+                !generate_sentence(&w, &mut v, f.head, f.tail, Some(&schema), &cfg, &mut rng)
+                    .expresses_relation
             })
             .count();
         let rate = noisy as f32 / n as f32;
@@ -194,7 +232,15 @@ mod tests {
         let (w, mut v, mut rng) = setup();
         let (h, t) = w.sample_na_pair(&mut rng);
         for _ in 0..20 {
-            let s = generate_sentence(&w, &mut v, h, t, None, &SentenceGenConfig::default(), &mut rng);
+            let s = generate_sentence(
+                &w,
+                &mut v,
+                h,
+                t,
+                None,
+                &SentenceGenConfig::default(),
+                &mut rng,
+            );
             assert!(!s.expresses_relation);
         }
     }

@@ -37,7 +37,10 @@ pub fn fig1_bands() -> Vec<Band> {
         Band { lo: 11, hi: 20 },
         Band { lo: 21, hi: 50 },
         Band { lo: 51, hi: 100 },
-        Band { lo: 101, hi: usize::MAX },
+        Band {
+            lo: 101,
+            hi: usize::MAX,
+        },
     ]
 }
 
@@ -47,14 +50,21 @@ pub fn pair_frequency_histogram(bags: &[Bag], bands: &[Band]) -> Vec<(String, us
     bands
         .iter()
         .map(|band| {
-            let count = bags.iter().filter(|b| band.contains(b.sentences.len())).count();
+            let count = bags
+                .iter()
+                .filter(|b| band.contains(b.sentences.len()))
+                .count();
             (band.label(), count)
         })
         .collect()
 }
 
 /// Counts entity pairs per *unlabeled-corpus co-occurrence* band.
-pub fn cooccurrence_histogram(bags: &[Bag], co: &CoOccurrence, bands: &[Band]) -> Vec<(String, usize)> {
+pub fn cooccurrence_histogram(
+    bags: &[Bag],
+    co: &CoOccurrence,
+    bands: &[Band],
+) -> Vec<(String, usize)> {
     bands
         .iter()
         .map(|band| {
@@ -127,7 +137,14 @@ mod tests {
     #[test]
     fn band_labels() {
         assert_eq!(Band { lo: 1, hi: 5 }.label(), "1-5");
-        assert_eq!(Band { lo: 101, hi: usize::MAX }.label(), "101+");
+        assert_eq!(
+            Band {
+                lo: 101,
+                hi: usize::MAX
+            }
+            .label(),
+            "101+"
+        );
     }
 
     #[test]
@@ -154,7 +171,10 @@ mod tests {
         assert_eq!(s.train_pairs, d.train.len());
         assert_eq!(s.test_pairs, d.test.len());
         assert_eq!(s.num_relations, 5);
-        assert!(s.train_sentences >= s.train_pairs, "at least one sentence per bag");
+        assert!(
+            s.train_sentences >= s.train_pairs,
+            "at least one sentence per bag"
+        );
     }
 
     #[test]

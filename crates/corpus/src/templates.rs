@@ -33,21 +33,96 @@ pub struct RelationSchema {
 ///
 /// Types reference [`crate::types::COARSE_TYPES`] by name.
 const CURATED: &[(&str, &str, &str, &[&str])] = &[
-    ("/location/location/contains", "location", "location", &["in", "within", "part", "contains", "area"]),
-    ("/people/person/place_of_birth", "person", "location", &["born", "native", "birthplace", "raised"]),
-    ("/people/person/nationality", "person", "location", &["citizen", "nationality", "from"]),
-    ("/business/company/founders", "organization", "person", &["founded", "founder", "started", "established"]),
-    ("/people/person/place_lived", "person", "location", &["lives", "resident", "moved", "home"]),
-    ("/location/country/capital", "location", "location", &["capital", "seat", "government"]),
-    ("/people/person/employee_of", "person", "organization", &["works", "employee", "joined", "staff"]),
-    ("/education/university/located_in", "education", "location", &["campus", "located", "university", "in"]),
-    ("/business/company/place_founded", "organization", "location", &["founded", "headquarters", "based"]),
-    ("/people/person/children", "person", "person", &["son", "daughter", "child", "father", "mother"]),
-    ("/sports/team/location", "organization", "location", &["team", "plays", "stadium", "hosts"]),
-    ("/film/film/directed_by", "art", "person", &["directed", "film", "director", "shot"]),
-    ("/music/artist/origin", "music", "location", &["band", "formed", "origin", "scene"]),
-    ("/government/politician/represents", "person", "government", &["senator", "elected", "represents", "district"]),
-    ("/book/author/wrote", "person", "written_work", &["wrote", "author", "published", "novel"]),
+    (
+        "/location/location/contains",
+        "location",
+        "location",
+        &["in", "within", "part", "contains", "area"],
+    ),
+    (
+        "/people/person/place_of_birth",
+        "person",
+        "location",
+        &["born", "native", "birthplace", "raised"],
+    ),
+    (
+        "/people/person/nationality",
+        "person",
+        "location",
+        &["citizen", "nationality", "from"],
+    ),
+    (
+        "/business/company/founders",
+        "organization",
+        "person",
+        &["founded", "founder", "started", "established"],
+    ),
+    (
+        "/people/person/place_lived",
+        "person",
+        "location",
+        &["lives", "resident", "moved", "home"],
+    ),
+    (
+        "/location/country/capital",
+        "location",
+        "location",
+        &["capital", "seat", "government"],
+    ),
+    (
+        "/people/person/employee_of",
+        "person",
+        "organization",
+        &["works", "employee", "joined", "staff"],
+    ),
+    (
+        "/education/university/located_in",
+        "education",
+        "location",
+        &["campus", "located", "university", "in"],
+    ),
+    (
+        "/business/company/place_founded",
+        "organization",
+        "location",
+        &["founded", "headquarters", "based"],
+    ),
+    (
+        "/people/person/children",
+        "person",
+        "person",
+        &["son", "daughter", "child", "father", "mother"],
+    ),
+    (
+        "/sports/team/location",
+        "organization",
+        "location",
+        &["team", "plays", "stadium", "hosts"],
+    ),
+    (
+        "/film/film/directed_by",
+        "art",
+        "person",
+        &["directed", "film", "director", "shot"],
+    ),
+    (
+        "/music/artist/origin",
+        "music",
+        "location",
+        &["band", "formed", "origin", "scene"],
+    ),
+    (
+        "/government/politician/represents",
+        "person",
+        "government",
+        &["senator", "elected", "represents", "district"],
+    ),
+    (
+        "/book/author/wrote",
+        "person",
+        "written_work",
+        &["wrote", "author", "published", "novel"],
+    ),
 ];
 
 /// Builds `n_relations` schemas (including `NA` at index 0).
@@ -60,7 +135,10 @@ const CURATED: &[(&str, &str, &str, &[&str])] = &[
 /// # Panics
 /// If `n_relations` is 0.
 pub fn build_relations(n_relations: usize, rng: &mut TensorRng) -> Vec<RelationSchema> {
-    assert!(n_relations > 0, "build_relations: need at least the NA relation");
+    assert!(
+        n_relations > 0,
+        "build_relations: need at least the NA relation"
+    );
     let mut out = Vec::with_capacity(n_relations);
     out.push(RelationSchema {
         name: "NA".to_string(),
@@ -106,25 +184,96 @@ const POPULAR_TYPE_COUNT: usize = 10;
 /// Triggers shared across several relations — lexical ambiguity that keeps
 /// single-word cues from being sufficient.
 pub const SHARED_TRIGGERS: [&str; 8] = [
-    "joined", "opened", "led", "supported", "launched", "signed", "served", "backed",
+    "joined",
+    "opened",
+    "led",
+    "supported",
+    "launched",
+    "signed",
+    "served",
+    "backed",
 ];
 
 /// Generic filler vocabulary used by every sentence (relation-neutral).
 pub const GENERIC_WORDS: [&str; 60] = [
-    "the", "a", "an", "of", "and", "to", "was", "is", "were", "are", "on", "at", "by", "with",
-    "for", "that", "this", "it", "as", "from", "said", "reported", "according", "officials",
-    "yesterday", "today", "week", "year", "month", "new", "old", "large", "small", "local",
-    "national", "announced", "visited", "met", "spoke", "during", "after", "before", "while",
-    "city", "state", "country", "company", "group", "president", "director", "member", "people",
-    "news", "story", "report", "article", "interview", "meeting", "conference", "event",
+    "the",
+    "a",
+    "an",
+    "of",
+    "and",
+    "to",
+    "was",
+    "is",
+    "were",
+    "are",
+    "on",
+    "at",
+    "by",
+    "with",
+    "for",
+    "that",
+    "this",
+    "it",
+    "as",
+    "from",
+    "said",
+    "reported",
+    "according",
+    "officials",
+    "yesterday",
+    "today",
+    "week",
+    "year",
+    "month",
+    "new",
+    "old",
+    "large",
+    "small",
+    "local",
+    "national",
+    "announced",
+    "visited",
+    "met",
+    "spoke",
+    "during",
+    "after",
+    "before",
+    "while",
+    "city",
+    "state",
+    "country",
+    "company",
+    "group",
+    "president",
+    "director",
+    "member",
+    "people",
+    "news",
+    "story",
+    "report",
+    "article",
+    "interview",
+    "meeting",
+    "conference",
+    "event",
 ];
 
 /// Noise sentence connectors — used for sentences that mention both entities
 /// without expressing their KG relation (the distant-supervision failure
 /// mode the paper's Figure-of-merit experiments depend on).
 pub const NOISE_CONNECTORS: [&str; 12] = [
-    "visited", "mentioned", "discussed", "near", "alongside", "compared",
-    "toured", "praised", "criticized", "photographed", "interviewed", "hosted",
+    "visited",
+    "mentioned",
+    "discussed",
+    "near",
+    "alongside",
+    "compared",
+    "toured",
+    "praised",
+    "criticized",
+    "photographed",
+    "interviewed",
+    "hosted",
 ];
 
 #[cfg(test)]
@@ -157,7 +306,11 @@ mod tests {
         let mut rng = TensorRng::seed(3);
         let rels = build_relations(53, &mut rng);
         for (k, r) in rels.iter().enumerate().skip(16) {
-            let unique = r.triggers.iter().filter(|t| t.starts_with(&format!("rel{k}_"))).count();
+            let unique = r
+                .triggers
+                .iter()
+                .filter(|t| t.starts_with(&format!("rel{k}_")))
+                .count();
             assert_eq!(unique, 3, "{} should keep 3 unique triggers", r.name);
             assert!(r.triggers.len() <= 4);
         }
@@ -167,14 +320,20 @@ mod tests {
             .flat_map(|r| &r.triggers)
             .filter(|t| SHARED_TRIGGERS.contains(&t.as_str()))
             .count();
-        assert!(shared_used > 5, "shared triggers should appear ({shared_used})");
+        assert!(
+            shared_used > 5,
+            "shared triggers should appear ({shared_used})"
+        );
     }
 
     #[test]
     fn synthetic_type_signatures_collide() {
         let mut rng = TensorRng::seed(4);
         let rels = build_relations(53, &mut rng);
-        let mut sigs: Vec<(usize, usize)> = rels[16..].iter().map(|r| (r.head_type.0, r.tail_type.0)).collect();
+        let mut sigs: Vec<(usize, usize)> = rels[16..]
+            .iter()
+            .map(|r| (r.head_type.0, r.tail_type.0))
+            .collect();
         let before = sigs.len();
         sigs.sort_unstable();
         sigs.dedup();

@@ -199,10 +199,16 @@ mod tests {
     #[test]
     fn covered_fact_pairs_have_counts() {
         let w = world();
-        let cfg = UnlabeledConfig { fact_coverage: 1.0, ..Default::default() };
+        let cfg = UnlabeledConfig {
+            fact_coverage: 1.0,
+            ..Default::default()
+        };
         let co = generate_unlabeled(&w, &cfg);
         for f in &w.facts {
-            assert!(co.count(f.head.0, f.tail.0) > 0, "fact pair missing from unlabeled corpus");
+            assert!(
+                co.count(f.head.0, f.tail.0) > 0,
+                "fact pair missing from unlabeled corpus"
+            );
         }
     }
 
@@ -217,7 +223,11 @@ mod tests {
             ..Default::default()
         };
         let co = generate_unlabeled(&w, &cfg);
-        let covered = w.facts.iter().filter(|f| co.count(f.head.0, f.tail.0) > 0).count();
+        let covered = w
+            .facts
+            .iter()
+            .filter(|f| co.count(f.head.0, f.tail.0) > 0)
+            .count();
         let frac = covered as f32 / w.facts.len() as f32;
         assert!((frac - 0.5).abs() < 0.15, "coverage {frac}");
     }
@@ -228,7 +238,11 @@ mod tests {
         let co = generate_unlabeled(&w, &UnlabeledConfig::default());
         // pick a cluster with several members and check two members have at
         // least one common neighbour
-        let cluster = w.clusters.iter().find(|c| c.members.len() >= 3).expect("cluster");
+        let cluster = w
+            .clusters
+            .iter()
+            .find(|c| c.members.len() >= 3)
+            .expect("cluster");
         let a = cluster.members[0].0;
         let b = cluster.members[1].0;
         let common = (0..w.num_entities())

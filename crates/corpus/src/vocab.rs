@@ -27,7 +27,10 @@ impl Default for Vocab {
 impl Vocab {
     /// Creates a vocabulary holding only the special tokens.
     pub fn new() -> Self {
-        let mut v = Vocab { words: Vec::new(), index: HashMap::new() };
+        let mut v = Vocab {
+            words: Vec::new(),
+            index: HashMap::new(),
+        };
         let pad = v.intern("<pad>");
         let unk = v.intern("<unk>");
         debug_assert_eq!(pad, PAD);

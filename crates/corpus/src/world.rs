@@ -193,10 +193,10 @@ impl World {
         let mut clusters_by_type: HashMap<TypeId, Vec<usize>> = HashMap::new();
 
         let cluster_for = |type_id: TypeId,
-                               entities: &mut Vec<Entity>,
-                               clusters: &mut Vec<Cluster>,
-                               clusters_by_type: &mut HashMap<TypeId, Vec<usize>>,
-                               rng: &mut TensorRng|
+                           entities: &mut Vec<Entity>,
+                           clusters: &mut Vec<Cluster>,
+                           clusters_by_type: &mut HashMap<TypeId, Vec<usize>>,
+                           rng: &mut TensorRng|
          -> usize {
             if let Some(existing) = clusters_by_type.get(&type_id) {
                 if !existing.is_empty() && rng.bernoulli(config.cluster_reuse_prob) {
@@ -206,7 +206,10 @@ impl World {
             let cluster_idx = clusters.len();
             let nth_of_type = clusters_by_type.get(&type_id).map_or(0, Vec::len);
             let pool: Option<&[&str]> = if nth_of_type == 0 {
-                NAME_POOLS.iter().find(|(t, _)| *t == type_id.name()).map(|(_, p)| *p)
+                NAME_POOLS
+                    .iter()
+                    .find(|(t, _)| *t == type_id.name())
+                    .map(|(_, p)| *p)
             } else {
                 None
             };
@@ -224,11 +227,18 @@ impl World {
                     }
                 }
                 let eid = EntityId(entities.len());
-                entities.push(Entity { name, types, cluster: cluster_idx });
+                entities.push(Entity {
+                    name,
+                    types,
+                    cluster: cluster_idx,
+                });
                 members.push(eid);
             }
             clusters.push(Cluster { type_id, members });
-            clusters_by_type.entry(type_id).or_default().push(cluster_idx);
+            clusters_by_type
+                .entry(type_id)
+                .or_default()
+                .push(cluster_idx);
             cluster_idx
         };
 
@@ -237,8 +247,20 @@ impl World {
         let mut fact_map: HashMap<(usize, usize), RelationId> = HashMap::new();
         let mut relation_clusters = vec![(0usize, 0usize); 1]; // slot 0 = NA
         for (ridx, schema) in relations.iter().enumerate().skip(1) {
-            let hc = cluster_for(schema.head_type, &mut entities, &mut clusters, &mut clusters_by_type, &mut rng);
-            let tc = cluster_for(schema.tail_type, &mut entities, &mut clusters, &mut clusters_by_type, &mut rng);
+            let hc = cluster_for(
+                schema.head_type,
+                &mut entities,
+                &mut clusters,
+                &mut clusters_by_type,
+                &mut rng,
+            );
+            let tc = cluster_for(
+                schema.tail_type,
+                &mut entities,
+                &mut clusters,
+                &mut clusters_by_type,
+                &mut rng,
+            );
             relation_clusters.push((hc, tc));
             let heads = clusters[hc].members.clone();
             let tails = clusters[tc].members.clone();
@@ -253,12 +275,23 @@ impl World {
                 }
                 let rel = RelationId(ridx);
                 fact_map.insert((h.0, t.0), rel);
-                facts.push(Fact { head: h, tail: t, relation: rel });
+                facts.push(Fact {
+                    head: h,
+                    tail: t,
+                    relation: rel,
+                });
                 sampled += 1;
             }
         }
 
-        World { entities, relations, clusters, facts, relation_clusters, fact_map }
+        World {
+            entities,
+            relations,
+            clusters,
+            facts,
+            relation_clusters,
+            fact_map,
+        }
     }
 
     /// Number of entities.
@@ -278,7 +311,10 @@ impl World {
 
     /// Looks an entity up by surface name.
     pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
-        self.entities.iter().position(|e| e.name == name).map(EntityId)
+        self.entities
+            .iter()
+            .position(|e| e.name == name)
+            .map(EntityId)
     }
 
     /// Samples an entity pair with **no** KG fact (an `NA` pair), drawn
@@ -380,8 +416,16 @@ mod tests {
         let w = small_world();
         for f in &w.facts {
             let schema = &w.relations[f.relation.0];
-            assert_eq!(w.entities[f.head.0].types[0], schema.head_type, "head type mismatch for {}", schema.name);
-            assert_eq!(w.entities[f.tail.0].types[0], schema.tail_type, "tail type mismatch for {}", schema.name);
+            assert_eq!(
+                w.entities[f.head.0].types[0], schema.head_type,
+                "head type mismatch for {}",
+                schema.name
+            );
+            assert_eq!(
+                w.entities[f.tail.0].types[0], schema.tail_type,
+                "tail type mismatch for {}",
+                schema.name
+            );
         }
     }
 
@@ -423,7 +467,10 @@ mod tests {
     #[test]
     fn curated_names_present_in_full_world() {
         let w = World::generate(&WorldConfig::default());
-        assert!(w.entity_by_name("Seattle").is_some(), "curated city names should exist");
+        assert!(
+            w.entity_by_name("Seattle").is_some(),
+            "curated city names should exist"
+        );
         assert!(w.entity_by_name("University_of_Washington").is_some());
     }
 

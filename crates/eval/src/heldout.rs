@@ -30,10 +30,16 @@ pub fn evaluate_system(
         let scores = predict(bag);
         debug_assert_eq!(scores.len(), num_relations);
         for (r, &score) in scores.iter().enumerate().skip(1) {
-            predictions.push(Prediction { score, correct: bag.label == r });
+            predictions.push(Prediction {
+                score,
+                correct: bag.label == r,
+            });
         }
     }
-    assert!(positives > 0, "evaluate_system: no non-NA bags in the test split");
+    assert!(
+        positives > 0,
+        "evaluate_system: no non-NA bags in the test split"
+    );
     evaluate_predictions(predictions, positives)
 }
 
@@ -108,7 +114,11 @@ mod tests {
         let mut c = 0u32;
         let ev = evaluate_system(&bags, 3, |_| {
             c += 1;
-            vec![0.1, ((c * 37 % 11) as f32) / 11.0, ((c * 53 % 7) as f32) / 7.0]
+            vec![
+                0.1,
+                ((c * 37 % 11) as f32) / 11.0,
+                ((c * 53 % 7) as f32) / 7.0,
+            ]
         });
         assert!(ev.auc > 0.0 && ev.auc < 1.0);
         assert!(ev.f1 > 0.0 && ev.f1 < 1.0);

@@ -20,7 +20,9 @@ pub mod runner;
 pub mod slices;
 
 pub use heldout::{evaluate_system, hard_f1};
-pub use metrics::{auc, evaluate_predictions, max_f1, p_at_n, pr_curve, Evaluation, PrPoint, Prediction};
+pub use metrics::{
+    auc, evaluate_predictions, max_f1, p_at_n, pr_curve, Evaluation, PrPoint, Prediction,
+};
 pub use report::{format_labeled_series, format_pr_series, format_table, metric, metric2};
 pub use runner::{mean_evaluation, smoke_config, MeanEvaluation, Pipeline};
 pub use slices::{f1_by_cooccurrence_quantile, f1_by_sentence_count};

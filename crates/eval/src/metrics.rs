@@ -115,7 +115,15 @@ pub fn evaluate_predictions(predictions: Vec<Prediction>, total_positives: usize
     let curve = pr_curve(predictions, total_positives);
     let a = auc(&curve);
     let (f1, precision, recall) = max_f1(&curve);
-    Evaluation { curve, auc: a, f1, precision, recall, p_at_100: p100, p_at_200: p200 }
+    Evaluation {
+        curve,
+        auc: a,
+        f1,
+        precision,
+        recall,
+        p_at_100: p100,
+        p_at_200: p200,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +136,12 @@ mod tests {
 
     #[test]
     fn perfect_ranking_has_unit_auc() {
-        let preds = vec![pred(0.9, true), pred(0.8, true), pred(0.2, false), pred(0.1, false)];
+        let preds = vec![
+            pred(0.9, true),
+            pred(0.8, true),
+            pred(0.2, false),
+            pred(0.1, false),
+        ];
         let ev = evaluate_predictions(preds, 2);
         assert!((ev.auc - 1.0).abs() < 1e-6, "auc {}", ev.auc);
         assert!((ev.f1 - 1.0).abs() < 1e-6);
@@ -136,7 +149,12 @@ mod tests {
 
     #[test]
     fn inverted_ranking_has_low_auc() {
-        let preds = vec![pred(0.9, false), pred(0.8, false), pred(0.2, true), pred(0.1, true)];
+        let preds = vec![
+            pred(0.9, false),
+            pred(0.8, false),
+            pred(0.2, true),
+            pred(0.1, true),
+        ];
         let ev = evaluate_predictions(preds, 2);
         assert!(ev.auc < 0.5, "auc {}", ev.auc);
     }
@@ -165,7 +183,9 @@ mod tests {
 
     #[test]
     fn auc_bounded() {
-        let preds: Vec<Prediction> = (0..50).map(|i| pred((i as f32).sin().abs(), i % 2 == 0)).collect();
+        let preds: Vec<Prediction> = (0..50)
+            .map(|i| pred((i as f32).sin().abs(), i % 2 == 0))
+            .collect();
         let ev = evaluate_predictions(preds, 25);
         assert!(ev.auc >= 0.0 && ev.auc <= 1.0);
         assert!(ev.f1 >= 0.0 && ev.f1 <= 1.0);
@@ -173,7 +193,12 @@ mod tests {
 
     #[test]
     fn p_at_n_counts_top() {
-        let preds = vec![pred(0.9, true), pred(0.8, false), pred(0.7, true), pred(0.6, true)];
+        let preds = vec![
+            pred(0.9, true),
+            pred(0.8, false),
+            pred(0.7, true),
+            pred(0.6, true),
+        ];
         assert!((p_at_n(&preds, 2) - 0.5).abs() < 1e-6);
         assert!((p_at_n(&preds, 4) - 0.75).abs() < 1e-6);
         // n beyond length falls back to all predictions
@@ -183,9 +208,18 @@ mod tests {
     #[test]
     fn max_f1_picks_best_tradeoff() {
         let curve = vec![
-            PrPoint { precision: 1.0, recall: 0.1 },
-            PrPoint { precision: 0.8, recall: 0.5 },
-            PrPoint { precision: 0.3, recall: 0.9 },
+            PrPoint {
+                precision: 1.0,
+                recall: 0.1,
+            },
+            PrPoint {
+                precision: 0.8,
+                recall: 0.5,
+            },
+            PrPoint {
+                precision: 0.3,
+                recall: 0.9,
+            },
         ];
         let (f1, p, r) = max_f1(&curve);
         assert!((p - 0.8).abs() < 1e-6 && (r - 0.5).abs() < 1e-6);

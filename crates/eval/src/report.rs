@@ -9,7 +9,13 @@ use crate::metrics::PrPoint;
 /// If any row's width differs from the header's.
 pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     for (i, r) in rows.iter().enumerate() {
-        assert_eq!(r.len(), headers.len(), "format_table: row {i} has {} cells, expected {}", r.len(), headers.len());
+        assert_eq!(
+            r.len(),
+            headers.len(),
+            "format_table: row {i} has {} cells, expected {}",
+            r.len(),
+            headers.len()
+        );
     }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -84,7 +90,10 @@ mod tests {
         let t = format_table(
             "T",
             &["name", "auc"],
-            &[vec!["PCNN".into(), "0.33".into()], vec!["PA-TMR".into(), "0.3939".into()]],
+            &[
+                vec!["PCNN".into(), "0.33".into()],
+                vec!["PA-TMR".into(), "0.3939".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines[0], "T");
@@ -102,7 +111,10 @@ mod tests {
     #[test]
     fn pr_series_downsamples() {
         let curve: Vec<PrPoint> = (0..1000)
-            .map(|i| PrPoint { precision: 1.0 - i as f32 / 2000.0, recall: i as f32 / 1000.0 })
+            .map(|i| PrPoint {
+                precision: 1.0 - i as f32 / 2000.0,
+                recall: i as f32 / 1000.0,
+            })
             .collect();
         let s = format_pr_series("x", &curve, 50);
         let data_lines = s.lines().filter(|l| !l.starts_with('#')).count();

@@ -8,7 +8,8 @@
 use crate::heldout::evaluate_system;
 use crate::metrics::Evaluation;
 use imre_core::{
-    entity_type_table, prepare_bags, BagContext, HyperParams, ModelSpec, PreparedBag, ReModel, TrainConfig,
+    entity_type_table, prepare_bags, BagContext, HyperParams, ModelSpec, PreparedBag, ReModel,
+    TrainConfig,
 };
 use imre_corpus::{generate_unlabeled, CoOccurrence, Dataset, DatasetConfig, UnlabeledConfig};
 use imre_graph::{train_line, EntityEmbedding, LineConfig, ProximityGraph};
@@ -43,7 +44,10 @@ impl Pipeline {
             dataset.world.num_entities(),
             2,
         );
-        let line_cfg = LineConfig { dim: hp.entity_dim, ..LineConfig::default() };
+        let line_cfg = LineConfig {
+            dim: hp.entity_dim,
+            ..LineConfig::default()
+        };
         let embedding = train_line(&graph, &line_cfg);
         let train_bags = prepare_bags(&dataset.train, &hp);
         let test_bags = prepare_bags(&dataset.test, &hp);
@@ -52,15 +56,30 @@ impl Pipeline {
         // what lets encoders handle entity mentions absent from the
         // labelled training pairs.
         let raw_sentences = imre_core::corpus_sentences(&[&dataset.train, &dataset.test]);
-        let sg_cfg = imre_core::SkipGramConfig { dim: hp.word_dim, ..Default::default() };
+        let sg_cfg = imre_core::SkipGramConfig {
+            dim: hp.word_dim,
+            ..Default::default()
+        };
         let word_vectors = imre_core::train_skipgram(&raw_sentences, dataset.vocab.len(), &sg_cfg);
         let types = entity_type_table(&dataset.world);
-        Pipeline { dataset, co, embedding, word_vectors, train_bags, test_bags, types, hp }
+        Pipeline {
+            dataset,
+            co,
+            embedding,
+            word_vectors,
+            train_bags,
+            test_bags,
+            types,
+            hp,
+        }
     }
 
     /// The forward-time side information models consume.
     pub fn ctx(&self) -> BagContext<'_> {
-        BagContext { entity_embedding: Some(&self.embedding), entity_types: &self.types }
+        BagContext {
+            entity_embedding: Some(&self.embedding),
+            entity_types: &self.types,
+        }
     }
 
     /// Trains one system variant with the given seed.
@@ -90,7 +109,9 @@ impl Pipeline {
     /// Held-out evaluation of a trained model on the test split.
     pub fn evaluate_model(&self, model: &ReModel) -> Evaluation {
         let ctx = self.ctx();
-        evaluate_system(&self.test_bags, self.dataset.num_relations(), |bag| model.predict(bag, &ctx))
+        evaluate_system(&self.test_bags, self.dataset.num_relations(), |bag| {
+            model.predict(bag, &ctx)
+        })
     }
 
     /// Trains and evaluates one system; convenience for single-seed runs.
@@ -104,23 +125,28 @@ impl Pipeline {
     /// order. This is what the table/figure benches use to exploit cores:
     /// systems within one experiment are independent given the pipeline.
     pub fn run_systems_parallel(&self, specs: &[ModelSpec], seeds: &[u64]) -> Vec<Vec<Evaluation>> {
-        let mut out: Vec<Vec<Option<Evaluation>>> = specs.iter().map(|_| vec![None; seeds.len()]).collect();
-        crossbeam::thread::scope(|scope| {
+        let mut out: Vec<Vec<Option<Evaluation>>> =
+            specs.iter().map(|_| vec![None; seeds.len()]).collect();
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (si, &spec) in specs.iter().enumerate() {
                 for (ki, &seed) in seeds.iter().enumerate() {
                     let this = &*self;
-                    handles.push(scope.spawn(move |_| (si, ki, this.run_system(spec, seed))));
+                    handles.push(scope.spawn(move || (si, ki, this.run_system(spec, seed))));
                 }
             }
             for h in handles {
                 let (si, ki, ev) = h.join().expect("system-run thread panicked");
                 out[si][ki] = Some(ev);
             }
-        })
-        .expect("crossbeam scope");
+        });
         out.into_iter()
-            .map(|per_seed| per_seed.into_iter().map(|o| o.expect("every run filled")).collect())
+            .map(|per_seed| {
+                per_seed
+                    .into_iter()
+                    .map(|o| o.expect("every run filled"))
+                    .collect()
+            })
             .collect()
     }
 
@@ -131,22 +157,23 @@ impl Pipeline {
             return vec![self.run_system(spec, seeds[0])];
         }
         let mut out: Vec<Option<Evaluation>> = vec![None; seeds.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let chunks: Vec<(usize, u64)> = seeds.iter().copied().enumerate().collect();
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|(i, seed)| {
                     let this = &*self;
-                    scope.spawn(move |_| (i, this.run_system(spec, seed)))
+                    scope.spawn(move || (i, this.run_system(spec, seed)))
                 })
                 .collect();
             for h in handles {
                 let (i, ev) = h.join().expect("seed-run thread panicked");
                 out[i] = Some(ev);
             }
-        })
-        .expect("crossbeam scope");
-        out.into_iter().map(|o| o.expect("every seed filled")).collect()
+        });
+        out.into_iter()
+            .map(|o| o.expect("every seed filled"))
+            .collect()
     }
 }
 
@@ -199,11 +226,15 @@ pub fn smoke_config(seed: u64) -> DatasetConfig {
             cluster_reuse_prob: 0.3,
             seed: seed ^ 0x5111,
         },
-        sentence: imre_corpus::SentenceGenConfig { noise_prob: 0.2, min_len: 6, max_len: 14 },
+        sentence: imre_corpus::SentenceGenConfig {
+            noise_prob: 0.2,
+            min_len: 6,
+            max_len: 14,
+        },
         train_fraction: 0.7,
         na_train: 40,
         na_test: 20,
-            na_hard_fraction: 0.5,
+        na_hard_fraction: 0.5,
         zipf_alpha: 1.8,
         max_sentences_per_bag: 8,
         seed,
@@ -258,7 +289,9 @@ mod tests {
         let evals = p.run_system_seeds(ModelSpec::pcnn(), &[1, 2]);
         assert_eq!(evals.len(), 2);
         // different seeds should give (at least slightly) different results
-        assert!((evals[0].auc - evals[1].auc).abs() > 1e-6 || (evals[0].f1 - evals[1].f1).abs() > 1e-6);
+        assert!(
+            (evals[0].auc - evals[1].auc).abs() > 1e-6 || (evals[0].f1 - evals[1].f1).abs() > 1e-6
+        );
         let mean = mean_evaluation(&evals);
         assert_eq!(mean.n_seeds, 2);
         let expected = (evals[0].auc + evals[1].auc) / 2.0;

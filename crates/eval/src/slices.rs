@@ -56,8 +56,16 @@ pub fn f1_by_sentence_count(
                 .filter(|b| b.sentences.len() >= lo && b.sentences.len() <= hi)
                 .cloned()
                 .collect();
-            let label = if hi == usize::MAX { format!("{lo}+") } else { lo.to_string() };
-            let f1 = if subset.is_empty() { 0.0 } else { hard_f1(&subset, &mut predict) };
+            let label = if hi == usize::MAX {
+                format!("{lo}+")
+            } else {
+                lo.to_string()
+            };
+            let f1 = if subset.is_empty() {
+                0.0
+            } else {
+                hard_f1(&subset, &mut predict)
+            };
             (label, f1)
         })
         .collect()
@@ -76,7 +84,12 @@ mod tests {
             head_pos: 0,
             tail_pos: 1,
         };
-        PreparedBag { head, tail: head + 100, label, sentences: vec![s; n_sentences] }
+        PreparedBag {
+            head,
+            tail: head + 100,
+            label,
+            sentences: vec![s; n_sentences],
+        }
     }
 
     #[test]
@@ -94,7 +107,10 @@ mod tests {
         assert_eq!(out.len(), 4);
         for (label, f1) in &out {
             assert!(label.starts_with('q'));
-            assert!((f1 - 1.0).abs() < 1e-6, "oracle must be perfect in every bucket");
+            assert!(
+                (f1 - 1.0).abs() < 1e-6,
+                "oracle must be perfect in every bucket"
+            );
         }
     }
 
@@ -112,7 +128,10 @@ mod tests {
         });
         assert_eq!(out.len(), 5);
         assert_eq!(out[0].1, 0.0, "single-sentence bucket predicted NA");
-        assert!((out[4].1 - 1.0).abs() < 1e-6, "5+ bucket predicted correctly");
+        assert!(
+            (out[4].1 - 1.0).abs() < 1e-6,
+            "5+ bucket predicted correctly"
+        );
         assert_eq!(out[4].0, "5+");
     }
 

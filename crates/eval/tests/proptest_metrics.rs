@@ -5,8 +5,11 @@ use imre_eval::{auc, evaluate_predictions, max_f1, p_at_n, pr_curve, Prediction}
 use proptest::prelude::*;
 
 fn predictions() -> impl Strategy<Value = Vec<Prediction>> {
-    proptest::collection::vec((0.0f32..1.0, proptest::bool::ANY), 2..200)
-        .prop_map(|v| v.into_iter().map(|(score, correct)| Prediction { score, correct }).collect())
+    proptest::collection::vec((0.0f32..1.0, proptest::bool::ANY), 2..200).prop_map(|v| {
+        v.into_iter()
+            .map(|(score, correct)| Prediction { score, correct })
+            .collect()
+    })
 }
 
 fn positives(preds: &[Prediction]) -> usize {

@@ -19,12 +19,18 @@ impl AliasTable {
     /// If `weights` is empty or sums to zero (or contains a negative value).
     pub fn new(weights: &[f32]) -> Self {
         assert!(!weights.is_empty(), "AliasTable: empty weight vector");
-        assert!(weights.iter().all(|&w| w >= 0.0), "AliasTable: negative weight");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "AliasTable: negative weight"
+        );
         let n = weights.len();
         let total: f64 = weights.iter().map(|&w| w as f64).sum();
         assert!(total > 0.0, "AliasTable: zero total weight");
 
-        let mut prob: Vec<f32> = weights.iter().map(|&w| (w as f64 * n as f64 / total) as f32).collect();
+        let mut prob: Vec<f32> = weights
+            .iter()
+            .map(|&w| (w as f64 * n as f64 / total) as f32)
+            .collect();
         let mut alias = vec![0usize; n];
         let mut small: Vec<usize> = Vec::new();
         let mut large: Vec<usize> = Vec::new();
@@ -101,7 +107,11 @@ mod tests {
         let freqs = empirical(&w, 100_000, 2);
         let total: f32 = w.iter().sum();
         for (f, &wi) in freqs.iter().zip(&w) {
-            assert!((f - wi / total).abs() < 0.01, "freq {f} expected {}", wi / total);
+            assert!(
+                (f - wi / total).abs() < 0.01,
+                "freq {f} expected {}",
+                wi / total
+            );
         }
     }
 

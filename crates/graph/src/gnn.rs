@@ -31,7 +31,10 @@ pub struct PropagationConfig {
 
 impl Default for PropagationConfig {
     fn default() -> Self {
-        PropagationConfig { lambda: 0.5, hops: 2 }
+        PropagationConfig {
+            lambda: 0.5,
+            hops: 2,
+        }
     }
 }
 
@@ -43,7 +46,11 @@ impl Default for PropagationConfig {
 /// # Panics
 /// If the embedding and graph disagree on the number of entities, or
 /// `lambda` is outside `[0, 1]`.
-pub fn propagate(emb: &EntityEmbedding, graph: &ProximityGraph, config: &PropagationConfig) -> EntityEmbedding {
+pub fn propagate(
+    emb: &EntityEmbedding,
+    graph: &ProximityGraph,
+    config: &PropagationConfig,
+) -> EntityEmbedding {
     assert_eq!(
         emb.len(),
         graph.n_vertices(),
@@ -137,13 +144,23 @@ mod tests {
             let b = Tensor::from_vec(emb.vector(1).to_vec(), &[4]);
             a.cosine(&b)
         };
-        let out = propagate(&emb, &g, &PropagationConfig { lambda: 0.5, hops: 2 });
+        let out = propagate(
+            &emb,
+            &g,
+            &PropagationConfig {
+                lambda: 0.5,
+                hops: 2,
+            },
+        );
         let after = {
             let a = Tensor::from_vec(out.vector(0).to_vec(), &[4]);
             let b = Tensor::from_vec(out.vector(1).to_vec(), &[4]);
             a.cosine(&b)
         };
-        assert!(after > before + 0.1, "smoothing should pull neighbours together: {before} → {after}");
+        assert!(
+            after > before + 0.1,
+            "smoothing should pull neighbours together: {before} → {after}"
+        );
     }
 
     #[test]
@@ -154,10 +171,20 @@ mod tests {
             vec![1.0, 0.0, 0.0, 1.0, 3.0, 4.0],
             &[3, 2],
         ));
-        let out = propagate(&emb, &g, &PropagationConfig { lambda: 0.7, hops: 3 });
+        let out = propagate(
+            &emb,
+            &g,
+            &PropagationConfig {
+                lambda: 0.7,
+                hops: 3,
+            },
+        );
         // isolated vertex 2: same direction, unit norm
         let v = out.vector(2);
-        assert!((v[0] - 0.6).abs() < 1e-5 && (v[1] - 0.8).abs() < 1e-5, "{v:?}");
+        assert!(
+            (v[0] - 0.6).abs() < 1e-5 && (v[1] - 0.8).abs() < 1e-5,
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -167,7 +194,14 @@ mod tests {
             vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0],
             &[3, 2],
         ));
-        let out = propagate(&emb, &g, &PropagationConfig { lambda: 0.0, hops: 3 });
+        let out = propagate(
+            &emb,
+            &g,
+            &PropagationConfig {
+                lambda: 0.0,
+                hops: 3,
+            },
+        );
         assert!((out.vector(0)[0] - 1.0).abs() < 1e-6);
         assert!(out.vector(0)[1].abs() < 1e-6);
     }
@@ -177,6 +211,13 @@ mod tests {
     fn bad_lambda_panics() {
         let g = chain_graph(3);
         let emb = EntityEmbedding::from_matrix(Tensor::eye(3));
-        let _ = propagate(&emb, &g, &PropagationConfig { lambda: 1.5, hops: 1 });
+        let _ = propagate(
+            &emb,
+            &g,
+            &PropagationConfig {
+                lambda: 1.5,
+                hops: 1,
+            },
+        );
     }
 }

@@ -84,7 +84,10 @@ impl EntityEmbedding {
     pub fn mutual_relation(&self, head: usize, tail: usize) -> Tensor {
         let h = self.vectors.row(head);
         let t = self.vectors.row(tail);
-        Tensor::from_vec(t.iter().zip(h).map(|(&tj, &hj)| tj - hj).collect(), &[self.dim()])
+        Tensor::from_vec(
+            t.iter().zip(h).map(|(&tj, &hj)| tj - hj).collect(),
+            &[self.dim()],
+        )
     }
 
     /// Wraps a precomputed matrix (for tests and serialization round-trips).
@@ -129,7 +132,11 @@ pub fn train_line(graph: &ProximityGraph, config: &LineConfig) -> EntityEmbeddin
 
             let (u, v, _) = graph.edges()[edge_table.sample(&mut rng)];
             // undirected edge: treat both directions, alternating cheaply
-            let (src, dst) = if done.is_multiple_of(2) { (u, v) } else { (v, u) };
+            let (src, dst) = if done.is_multiple_of(2) {
+                (u, v)
+            } else {
+                (v, u)
+            };
 
             // ---- first order: shared table ----
             sgd_pair(&mut first, src, dst, true, lr, half);
@@ -174,7 +181,15 @@ fn sgd_pair(table: &mut Tensor, a: usize, b: usize, positive: bool, lr: f32, dim
 }
 
 /// One update where the source lives in `vertex` and target in `context`.
-fn sgd_cross(vertex: &mut Tensor, context: &mut Tensor, src: usize, dst: usize, positive: bool, lr: f32, dim: usize) {
+fn sgd_cross(
+    vertex: &mut Tensor,
+    context: &mut Tensor,
+    src: usize,
+    dst: usize,
+    positive: bool,
+    lr: f32,
+    dim: usize,
+) {
     let vs = &mut vertex.data_mut()[src * dim..(src + 1) * dim];
     let cs = &mut context.data_mut()[dst * dim..(dst + 1) * dim];
     let x: f32 = vs.iter().zip(cs.iter()).map(|(&p, &q)| p * q).sum();
@@ -240,7 +255,14 @@ mod tests {
     }
 
     fn fast_config(seed: u64) -> LineConfig {
-        LineConfig { dim: 16, negatives: 5, samples_per_epoch: 30_000, epochs: 2, lr: 0.05, seed }
+        LineConfig {
+            dim: 16,
+            negatives: 5,
+            samples_per_epoch: 30_000,
+            epochs: 2,
+            lr: 0.05,
+            seed,
+        }
     }
 
     #[test]
@@ -294,7 +316,11 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = two_community_graph();
-        let cfg = LineConfig { samples_per_epoch: 5_000, epochs: 1, ..fast_config(7) };
+        let cfg = LineConfig {
+            samples_per_epoch: 5_000,
+            epochs: 1,
+            ..fast_config(7)
+        };
         let a = train_line(&g, &cfg);
         let b = train_line(&g, &cfg);
         assert_eq!(a.matrix().data(), b.matrix().data());
@@ -309,7 +335,10 @@ mod tests {
             let first: f32 = row[..8].iter().map(|x| x * x).sum::<f32>().sqrt();
             let second: f32 = row[8..].iter().map(|x| x * x).sum::<f32>().sqrt();
             assert!((first - 1.0).abs() < 1e-4, "first-order half norm {first}");
-            assert!((second - 1.0).abs() < 1e-4, "second-order half norm {second}");
+            assert!(
+                (second - 1.0).abs() < 1e-4,
+                "second-order half norm {second}"
+            );
         }
     }
 

@@ -90,7 +90,12 @@ mod tests {
             let m = vals.iter().sum::<f32>() / 200.0;
             vals.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / 200.0
         };
-        assert!(var(0) > var(1) * 100.0, "PC1 var {} PC2 var {}", var(0), var(1));
+        assert!(
+            var(0) > var(1) * 100.0,
+            "PC1 var {} PC2 var {}",
+            var(0),
+            var(1)
+        );
     }
 
     #[test]

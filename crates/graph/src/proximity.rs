@@ -41,14 +41,21 @@ impl ProximityGraph {
         let mut edges = Vec::with_capacity(kept.len());
         let mut adjacency = vec![Vec::new(); n_vertices];
         for ((a, b), c) in kept {
-            assert!(a < n_vertices && b < n_vertices, "ProximityGraph: vertex out of range");
+            assert!(
+                a < n_vertices && b < n_vertices,
+                "ProximityGraph: vertex out of range"
+            );
             let (u, v) = if a < b { (a, b) } else { (b, a) };
             let w = ((c + 1) as f32).ln() / denom;
             edges.push((u, v, w));
             adjacency[u].push((v, w));
             adjacency[v].push((u, w));
         }
-        ProximityGraph { n_vertices, edges, adjacency }
+        ProximityGraph {
+            n_vertices,
+            edges,
+            adjacency,
+        }
     }
 
     /// Number of vertices.
@@ -85,7 +92,8 @@ impl ProximityGraph {
     /// of topological similarity ("semantic proximity can be evaluated by
     /// the number of common neighbors").
     pub fn common_neighbors(&self, a: usize, b: usize) -> Vec<usize> {
-        let set: std::collections::HashSet<usize> = self.adjacency[a].iter().map(|&(v, _)| v).collect();
+        let set: std::collections::HashSet<usize> =
+            self.adjacency[a].iter().map(|&(v, _)| v).collect();
         self.adjacency[b]
             .iter()
             .map(|&(v, _)| v)
@@ -95,8 +103,10 @@ impl ProximityGraph {
 
     /// Jaccard similarity of the two vertices' neighbour sets.
     pub fn neighborhood_jaccard(&self, a: usize, b: usize) -> f32 {
-        let sa: std::collections::HashSet<usize> = self.adjacency[a].iter().map(|&(v, _)| v).collect();
-        let sb: std::collections::HashSet<usize> = self.adjacency[b].iter().map(|&(v, _)| v).collect();
+        let sa: std::collections::HashSet<usize> =
+            self.adjacency[a].iter().map(|&(v, _)| v).collect();
+        let sb: std::collections::HashSet<usize> =
+            self.adjacency[b].iter().map(|&(v, _)| v).collect();
         let inter = sa.intersection(&sb).count();
         let union = sa.union(&sb).count();
         if union == 0 {
@@ -113,7 +123,13 @@ mod tests {
 
     fn graph() -> ProximityGraph {
         ProximityGraph::from_counts(
-            vec![((0, 1), 10), ((1, 2), 5), ((0, 2), 2), ((2, 3), 1), ((3, 3), 50)],
+            vec![
+                ((0, 1), 10),
+                ((1, 2), 5),
+                ((0, 2), 2),
+                ((2, 3), 1),
+                ((3, 3), 50),
+            ],
             4,
             2,
         )
@@ -149,8 +165,14 @@ mod tests {
     fn adjacency_symmetric() {
         let g = graph();
         for &(u, v, w) in g.edges() {
-            assert!(g.neighbors(u).iter().any(|&(x, wx)| x == v && (wx - w).abs() < 1e-7));
-            assert!(g.neighbors(v).iter().any(|&(x, wx)| x == u && (wx - w).abs() < 1e-7));
+            assert!(g
+                .neighbors(u)
+                .iter()
+                .any(|&(x, wx)| x == v && (wx - w).abs() < 1e-7));
+            assert!(g
+                .neighbors(v)
+                .iter()
+                .any(|&(x, wx)| x == u && (wx - w).abs() < 1e-7));
         }
     }
 

@@ -34,10 +34,19 @@ impl Conv1d {
         window: usize,
         rng: &mut TensorRng,
     ) -> Self {
-        assert!(window % 2 == 1 && window > 0, "Conv1d: window must be odd and positive, got {window}");
+        assert!(
+            window % 2 == 1 && window > 0,
+            "Conv1d: window must be odd and positive, got {window}"
+        );
         let w = store.xavier(&format!("{name}.w"), window * in_dim, filters, rng);
         let b = store.zeros(&format!("{name}.b"), &[filters]);
-        Conv1d { w, b, window, in_dim, filters }
+        Conv1d {
+            w,
+            b,
+            window,
+            in_dim,
+            filters,
+        }
     }
 
     /// Number of filters (output channels).
@@ -81,7 +90,12 @@ pub fn max_pool_tanh(tape: &mut Tape, conv_out: Var) -> Var {
 /// encoder keeps the structure *before / between / after* the entity pair.
 /// Degenerate cuts (entity at the boundary) fall back to clamped non-empty
 /// segments, matching the standard PCNN implementations.
-pub fn piecewise_max_pool_tanh(tape: &mut Tape, conv_out: Var, head_pos: usize, tail_pos: usize) -> Var {
+pub fn piecewise_max_pool_tanh(
+    tape: &mut Tape,
+    conv_out: Var,
+    head_pos: usize,
+    tail_pos: usize,
+) -> Var {
     let t = tape.value(conv_out).rows();
     let segments = pcnn_segments(t, head_pos, tail_pos);
     let pooled = tape.piecewise_max(conv_out, &segments);
@@ -98,8 +112,15 @@ pub fn pcnn_segments(t: usize, head_pos: usize, tail_pos: usize) -> Vec<(usize, 
     if t == 1 {
         return vec![(0, 1), (0, 1), (0, 1)];
     }
-    let (p1, p2) = if head_pos <= tail_pos { (head_pos, tail_pos) } else { (tail_pos, head_pos) };
-    assert!(p2 < t, "pcnn_segments: entity position {p2} out of range for length {t}");
+    let (p1, p2) = if head_pos <= tail_pos {
+        (head_pos, tail_pos)
+    } else {
+        (tail_pos, head_pos)
+    };
+    assert!(
+        p2 < t,
+        "pcnn_segments: entity position {p2} out of range for length {t}"
+    );
     // Boundary-sharing segments, each including its entity token(s), as in
     // the reference PCNN implementations: [0, p1], [p1, p2], [p2, t). Sharing
     // the entity rows keeps every segment non-empty for all positions.
@@ -177,7 +198,10 @@ mod tests {
                             *slot = true;
                         }
                     }
-                    assert!(covered.iter().all(|&c| c), "segments do not cover 0..{t} for h={h} ta={ta}");
+                    assert!(
+                        covered.iter().all(|&c| c),
+                        "segments do not cover 0..{t} for h={h} ta={ta}"
+                    );
                 }
             }
         }

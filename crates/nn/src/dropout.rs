@@ -20,7 +20,10 @@ impl Dropout {
     /// # Panics
     /// If `p` is not in `[0, 1)`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "Dropout: p must be in [0,1), got {p}"
+        );
         Dropout { p }
     }
 
@@ -36,7 +39,9 @@ impl Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let n: usize = shape.iter().product();
-        let mask_data: Vec<f32> = (0..n).map(|_| if rng.bernoulli(keep) { scale } else { 0.0 }).collect();
+        let mask_data: Vec<f32> = (0..n)
+            .map(|_| if rng.bernoulli(keep) { scale } else { 0.0 })
+            .collect();
         let mask = tape.leaf(Tensor::from_vec(mask_data, &shape));
         tape.mul(x, mask)
     }
@@ -66,7 +71,11 @@ mod tests {
         let y = Dropout::new(0.5).forward(&mut tape, x, true, &mut rng);
         let out = tape.value(y);
         let zeros = out.data().iter().filter(|&&v| v == 0.0).count();
-        let twos = out.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        let twos = out
+            .data()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
         assert_eq!(zeros + twos, 10_000, "values must be 0 or 1/(1-p)");
         assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.03);
         // expectation preserved

@@ -50,7 +50,10 @@ pub fn check_param_gradient(
         max_abs = max_abs.max(abs);
         max_rel = max_rel.max(rel);
     }
-    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +222,11 @@ mod tests {
             }
         };
         let report = check_param_gradient(&mut params, emb, 1e-2, &loss, &grad);
-        assert!(report.max_rel_diff < TOL, "emb gradcheck rel {}", report.max_rel_diff);
+        assert!(
+            report.max_rel_diff < TOL,
+            "emb gradcheck rel {}",
+            report.max_rel_diff
+        );
     }
 
     #[test]
@@ -231,7 +238,11 @@ mod tests {
         let mat = params.uniform("mat", &[4, 3], 1.0, &mut rng);
         let query = params.uniform("query", &[3], 1.0, &mut rng);
 
-        fn forward<'a>(store: &'a ParamStore, mat: ParamId, query: ParamId) -> (Tape<'a>, crate::tape::Var) {
+        fn forward<'a>(
+            store: &'a ParamStore,
+            mat: ParamId,
+            query: ParamId,
+        ) -> (Tape<'a>, crate::tape::Var) {
             let mut tape = Tape::new(store);
             let m = tape.param(mat);
             let q = tape.param(query);

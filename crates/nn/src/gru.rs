@@ -32,10 +32,17 @@ pub struct GruCell {
 
 impl GruCell {
     /// Registers a GRU cell's nine parameter tensors under `name`.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
-        let mat = |store: &mut ParamStore, suffix: &str, fi: usize, fo: usize, rng: &mut TensorRng| {
-            store.xavier(&format!("{name}.{suffix}"), fi, fo, rng)
-        };
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let mat =
+            |store: &mut ParamStore, suffix: &str, fi: usize, fo: usize, rng: &mut TensorRng| {
+                store.xavier(&format!("{name}.{suffix}"), fi, fo, rng)
+            };
         GruCell {
             w_r: mat(store, "w_r", in_dim, hidden, rng),
             u_r: mat(store, "u_r", hidden, hidden, rng),
@@ -134,7 +141,10 @@ impl GruCell {
             h = self.step(tape, &vars, x_t, h);
             hs[step] = Some(h);
         }
-        let ordered: Vec<Var> = hs.into_iter().map(|o| o.expect("all steps filled")).collect();
+        let ordered: Vec<Var> = hs
+            .into_iter()
+            .map(|o| o.expect("all steps filled"))
+            .collect();
         tape.stack_rows(&ordered)
     }
 }
@@ -166,7 +176,13 @@ pub struct BiGru {
 
 impl BiGru {
     /// Registers both directions under `name`.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
         BiGru {
             fwd: GruCell::new(store, &format!("{name}.fwd"), in_dim, hidden, rng),
             bwd: GruCell::new(store, &format!("{name}.bwd"), in_dim, hidden, rng),
@@ -269,10 +285,7 @@ mod tests {
         let loss = tape.softmax_cross_entropy(pooled, 1);
         tape.backward(loss, &mut grads);
         for (id, name, _) in store.iter() {
-            assert!(
-                grads.get(id).norm_l2() > 0.0,
-                "no gradient reached {name}"
-            );
+            assert!(grads.get(id).norm_l2() > 0.0, "no gradient reached {name}");
         }
     }
 }

@@ -19,10 +19,21 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a Xavier-initialised dense layer under `name`.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
         let w = store.xavier(&format!("{name}.w"), in_dim, out_dim, rng);
         let b = store.zeros(&format!("{name}.b"), &[out_dim]);
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input width.
@@ -62,7 +73,10 @@ mod tests {
         let mut rng = TensorRng::seed(1);
         let mut store = ParamStore::new();
         let layer = Linear::new(&mut store, "fc", 3, 2, &mut rng);
-        store.set(layer.w, Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]));
+        store.set(
+            layer.w,
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]),
+        );
         store.set(layer.b, Tensor::from_vec(vec![0.5, -0.5], &[2]));
         let mut tape = Tape::new(&store);
         let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));

@@ -18,7 +18,11 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate, no decay, no clipping.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, weight_decay: 0.0, clip_norm: None }
+        Sgd {
+            lr,
+            weight_decay: 0.0,
+            clip_norm: None,
+        }
     }
 
     /// Builder: sets L2 weight decay.
@@ -75,9 +79,23 @@ impl Adam {
     /// Adam with default moments (β₁ 0.9, β₂ 0.999, ε 1e-8), buffers sized
     /// to match `params`.
     pub fn new(lr: f32, params: &ParamStore) -> Self {
-        let m = params.iter().map(|(_, _, t)| Tensor::zeros(t.shape())).collect();
-        let v = params.iter().map(|(_, _, t)| Tensor::zeros(t.shape())).collect();
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m, v }
+        let m = params
+            .iter()
+            .map(|(_, _, t)| Tensor::zeros(t.shape()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|(_, _, t)| Tensor::zeros(t.shape()))
+            .collect();
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m,
+            v,
+        }
     }
 
     /// Applies one Adam update and zeroes the grads.
@@ -85,7 +103,11 @@ impl Adam {
     /// # Panics
     /// If `params` gained parameters since construction.
     pub fn step(&mut self, params: &mut ParamStore, grads: &mut GradStore) {
-        assert_eq!(params.len(), self.m.len(), "Adam::step: parameter count changed since Adam::new");
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "Adam::step: parameter count changed since Adam::new"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -115,7 +137,11 @@ mod tests {
     use crate::param::{GradStore, ParamStore};
     use crate::tape::Tape;
 
-    fn quadratic_loss_grad(params: &ParamStore, grads: &mut GradStore, id: crate::param::ParamId) -> f32 {
+    fn quadratic_loss_grad(
+        params: &ParamStore,
+        grads: &mut GradStore,
+        id: crate::param::ParamId,
+    ) -> f32 {
         // loss = Σ x² via tape: softmax CE won't do; just compute grad = 2x manually
         let x = params.get(id).clone();
         grads.accumulate(id, &x.scale(2.0));
@@ -156,7 +182,10 @@ mod tests {
         grads.accumulate(id, &Tensor::from_vec(vec![100.0], &[1]));
         let sgd = Sgd::new(1.0).with_clip_norm(1.0);
         sgd.step(&mut params, &mut grads);
-        assert!((params.get(id).data()[0] + 1.0).abs() < 1e-5, "clip should bound the step to lr·clip");
+        assert!(
+            (params.get(id).data()[0] + 1.0).abs() < 1e-5,
+            "clip should bound the step to lr·clip"
+        );
     }
 
     #[test]
@@ -176,7 +205,11 @@ mod tests {
             let _ = quadratic_loss_grad(&params, &mut grads, id);
             adam.step(&mut params, &mut grads);
         }
-        assert!(params.get(id).norm_l2() < 0.05, "norm {}", params.get(id).norm_l2());
+        assert!(
+            params.get(id).norm_l2() < 0.05,
+            "norm {}",
+            params.get(id).norm_l2()
+        );
     }
 
     #[test]
@@ -211,6 +244,11 @@ mod tests {
             tape.backward(loss, &mut grads);
             sgd.step(&mut params, &mut grads);
         }
-        assert!(losses[29] < losses[0] * 0.5, "loss did not halve: {} → {}", losses[0], losses[29]);
+        assert!(
+            losses[29] < losses[0] * 0.5,
+            "loss did not halve: {} → {}",
+            losses[0],
+            losses[29]
+        );
     }
 }

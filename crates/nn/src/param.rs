@@ -46,7 +46,13 @@ impl ParamStore {
     }
 
     /// Registers a Xavier-initialised `[fan_in, fan_out]` weight.
-    pub fn xavier(&mut self, name: &str, fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> ParamId {
+    pub fn xavier(
+        &mut self,
+        name: &str,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut TensorRng,
+    ) -> ParamId {
         self.register(name, Tensor::xavier(fan_in, fan_out, rng))
     }
 
@@ -56,7 +62,13 @@ impl ParamStore {
     }
 
     /// Registers a uniformly-initialised tensor (typical for embeddings).
-    pub fn uniform(&mut self, name: &str, shape: &[usize], bound: f32, rng: &mut TensorRng) -> ParamId {
+    pub fn uniform(
+        &mut self,
+        name: &str,
+        shape: &[usize],
+        bound: f32,
+        rng: &mut TensorRng,
+    ) -> ParamId {
         self.register(name, Tensor::rand_uniform(shape, -bound, bound, rng))
     }
 
@@ -129,7 +141,13 @@ pub struct GradStore {
 impl GradStore {
     /// Creates zeroed gradient buffers matching `store`'s parameter shapes.
     pub fn zeros_like(store: &ParamStore) -> Self {
-        GradStore { grads: store.tensors.iter().map(|t| Tensor::zeros(t.shape())).collect() }
+        GradStore {
+            grads: store
+                .tensors
+                .iter()
+                .map(|t| Tensor::zeros(t.shape()))
+                .collect(),
+        }
     }
 
     /// Borrow the gradient of a parameter.
@@ -158,10 +176,14 @@ impl GradStore {
 
     /// Global L2 norm over all gradients (used for clipping).
     pub fn global_norm(&self) -> f32 {
-        self.grads.iter().map(|g| {
-            let n = g.norm_l2();
-            n * n
-        }).sum::<f32>().sqrt()
+        self.grads
+            .iter()
+            .map(|g| {
+                let n = g.norm_l2();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Scales all gradients by a constant (used for clipping / batch mean).

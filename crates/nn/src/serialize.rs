@@ -46,7 +46,10 @@ pub fn read_params<R: Read>(r: &mut R) -> io::Result<ParamStore> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an IMRP parameter file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an IMRP parameter file",
+        ));
     }
     let version = read_u32(r)?;
     if version != VERSION {

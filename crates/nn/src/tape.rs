@@ -66,12 +66,22 @@ enum Op {
     /// View with a different shape (same data).
     Reshape(Var),
     /// Sliding-window unfold for 1-D convolution: `[T, d] → [T, w*d]`.
-    Unfold { x: Var, window: usize },
+    Unfold {
+        x: Var,
+        window: usize,
+    },
     /// Per-segment column max over rows; output is the concatenation of the
     /// per-segment max vectors. `argmax[s][c]` is the winning absolute row.
-    PiecewiseMax { x: Var, segments: Vec<Segment>, argmax: Vec<Vec<usize>> },
+    PiecewiseMax {
+        x: Var,
+        segments: Vec<Segment>,
+        argmax: Vec<Vec<usize>>,
+    },
     /// Row `r` of a matrix as a rank-1 vector.
-    SliceRow { x: Var, row: usize },
+    SliceRow {
+        x: Var,
+        row: usize,
+    },
     /// Column-wise mean of a matrix → rank-1.
     MeanRows(Var),
     /// Stack rank-1 vars into a matrix.
@@ -83,15 +93,42 @@ enum Op {
     /// Rank-1 softmax; backward uses the saved output.
     Softmax(Var),
     /// `x * s` where `s` is a `[1]` tensor (learned mixing weight).
-    ScaleByVar { x: Var, s: Var },
+    ScaleByVar {
+        x: Var,
+        s: Var,
+    },
     /// Attention aggregation: `Σ_i w[i] · mat[i, :]`.
-    WeightedSumRows { mat: Var, weights: Var },
+    WeightedSumRows {
+        mat: Var,
+        weights: Var,
+    },
     /// `−log softmax(logits)[target]`; saves the probability vector.
-    SoftmaxCrossEntropy { logits: Var, target: usize, probs: Tensor },
+    SoftmaxCrossEntropy {
+        logits: Var,
+        target: usize,
+        probs: Tensor,
+    },
 }
 
-struct Node {
-    value: Tensor,
+/// A node's forward value: owned for computed results, borrowed straight
+/// from the [`ParamStore`] for parameters (avoids cloning weight tables).
+enum Val<'s> {
+    Owned(Tensor),
+    Borrowed(&'s Tensor),
+}
+
+impl Val<'_> {
+    #[inline]
+    fn tensor(&self) -> &Tensor {
+        match self {
+            Val::Owned(t) => t,
+            Val::Borrowed(t) => t,
+        }
+    }
+}
+
+struct Node<'s> {
+    value: Val<'s>,
     op: Op,
 }
 
@@ -99,18 +136,55 @@ struct Node {
 pub const LN_EPS: f32 = 1e-8;
 
 /// A recorded forward computation, ready for one backward pass.
+///
+/// Tapes come in two flavours: [`Tape::new`] records every op's backward
+/// context for a later [`Tape::backward`] pass, while [`Tape::inference`]
+/// skips all backward bookkeeping (ops are stored as gradient-free leaves),
+/// which makes pure forward passes cheaper and lets one tape be reused
+/// across many inputs via [`Tape::reset`].
 pub struct Tape<'s> {
     store: &'s ParamStore,
-    nodes: Vec<Node>,
+    nodes: Vec<Node<'s>>,
+    record: bool,
 }
 
 impl<'s> Tape<'s> {
-    /// Starts an empty tape reading parameter values from `store`.
+    /// Starts an empty recording tape reading parameter values from `store`.
     pub fn new(store: &'s ParamStore) -> Self {
-        Tape { store, nodes: Vec::with_capacity(64) }
+        Tape {
+            store,
+            nodes: Vec::with_capacity(64),
+            record: true,
+        }
+    }
+
+    /// Starts a forward-only tape: no backward context is recorded, and
+    /// [`Tape::backward`] panics. Use for prediction / serving paths.
+    pub fn inference(store: &'s ParamStore) -> Self {
+        Tape {
+            store,
+            nodes: Vec::with_capacity(64),
+            record: false,
+        }
+    }
+
+    /// Whether this tape records backward context.
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
+    /// Clears all nodes but keeps the allocation, so one tape can serve a
+    /// whole batch of forward passes without reallocating.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.push_val(Val::Owned(value), op)
+    }
+
+    fn push_val(&mut self, value: Val<'s>, op: Op) -> Var {
+        let op = if self.record { op } else { Op::Leaf };
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
@@ -118,7 +192,7 @@ impl<'s> Tape<'s> {
     /// The current value of a node.
     #[inline]
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+        self.nodes[v.0].value.tensor()
     }
 
     /// Number of recorded nodes (for tests / diagnostics).
@@ -141,9 +215,9 @@ impl<'s> Tape<'s> {
     }
 
     /// Records a parameter; its gradient accumulates into the grad store.
+    /// The value is borrowed from the store, never cloned.
     pub fn param(&mut self, id: ParamId) -> Var {
-        let value = self.store.get(id).clone();
-        self.push(value, Op::Param(id))
+        self.push_val(Val::Borrowed(self.store.get(id)), Op::Param(id))
     }
 
     /// Embedding lookup: records `indices.len()` rows of parameter `id`
@@ -244,7 +318,10 @@ impl<'s> Tape<'s> {
     /// # Panics
     /// If `window` is even or zero, or `x` is not rank-2.
     pub fn unfold(&mut self, x: Var, window: usize) -> Var {
-        assert!(window % 2 == 1 && window > 0, "Tape::unfold: window must be odd and positive, got {window}");
+        assert!(
+            window % 2 == 1 && window > 0,
+            "Tape::unfold: window must be odd and positive, got {window}"
+        );
         let xv = self.value(x);
         let (t, d) = (xv.rows(), xv.cols());
         let half = window / 2;
@@ -258,7 +335,8 @@ impl<'s> Tape<'s> {
                 }
                 let src = src as usize;
                 let dst_off = row * window * d + o * d;
-                out.data_mut()[dst_off..dst_off + d].copy_from_slice(&xv.data()[src * d..(src + 1) * d]);
+                out.data_mut()[dst_off..dst_off + d]
+                    .copy_from_slice(&xv.data()[src * d..(src + 1) * d]);
             }
         }
         self.push(out, Op::Unfold { x, window })
@@ -282,7 +360,14 @@ impl<'s> Tape<'s> {
             argmax.push(idx);
         }
         let out = Tensor::from_vec(vals, &[segments.len() * cols]);
-        self.push(out, Op::PiecewiseMax { x, segments: segments.to_vec(), argmax })
+        self.push(
+            out,
+            Op::PiecewiseMax {
+                x,
+                segments: segments.to_vec(),
+                argmax,
+            },
+        )
     }
 
     /// Row `row` of a rank-2 var as a rank-1 var (gradient scatters back
@@ -337,7 +422,11 @@ impl<'s> Tape<'s> {
     /// # Panics
     /// If `s` does not hold exactly one element.
     pub fn scale_by_var(&mut self, x: Var, s: Var) -> Var {
-        assert_eq!(self.value(s).len(), 1, "Tape::scale_by_var: scale must be a [1] tensor");
+        assert_eq!(
+            self.value(s).len(),
+            1,
+            "Tape::scale_by_var: scale must be a [1] tensor"
+        );
         let sv = self.value(s).data()[0];
         let v = self.value(x).scale(sv);
         self.push(v, Op::ScaleByVar { x, s })
@@ -350,7 +439,13 @@ impl<'s> Tape<'s> {
     pub fn weighted_sum_rows(&mut self, mat: Var, weights: Var) -> Var {
         let m = self.value(mat);
         let w = self.value(weights);
-        assert_eq!(w.len(), m.rows(), "Tape::weighted_sum_rows: {} weights for {} rows", w.len(), m.rows());
+        assert_eq!(
+            w.len(),
+            m.rows(),
+            "Tape::weighted_sum_rows: {} weights for {} rows",
+            w.len(),
+            m.rows()
+        );
         let cols = m.cols();
         let mut out = vec![0.0f32; cols];
         for (i, &wi) in w.data().iter().enumerate() {
@@ -369,11 +464,22 @@ impl<'s> Tape<'s> {
     /// If `target` is out of range.
     pub fn softmax_cross_entropy(&mut self, logits: Var, target: usize) -> Var {
         let l = self.value(logits);
-        assert!(target < l.len(), "Tape::softmax_cross_entropy: target {target} out of {} classes", l.len());
+        assert!(
+            target < l.len(),
+            "Tape::softmax_cross_entropy: target {target} out of {} classes",
+            l.len()
+        );
         let probs = l.softmax();
         let loss = -(probs.data()[target].max(LN_EPS)).ln();
         let out = Tensor::from_vec(vec![loss], &[1]);
-        self.push(out, Op::SoftmaxCrossEntropy { logits, target, probs })
+        self.push(
+            out,
+            Op::SoftmaxCrossEntropy {
+                logits,
+                target,
+                probs,
+            },
+        )
     }
 
     // ------------------------------------------------------------------
@@ -386,10 +492,23 @@ impl<'s> Tape<'s> {
     /// The tape is consumed: one tape, one backward pass.
     ///
     /// # Panics
-    /// If `loss` is not a single-element tensor.
+    /// If `loss` is not a single-element tensor, or the tape was built with
+    /// [`Tape::inference`] (no backward context was recorded).
     pub fn backward_scaled(self, loss: Var, seed: f32, grads: &mut GradStore) {
-        let Tape { store: _, nodes } = self;
-        assert_eq!(nodes[loss.0].value.len(), 1, "Tape::backward: loss must be scalar");
+        let Tape {
+            store: _,
+            nodes,
+            record,
+        } = self;
+        assert!(
+            record,
+            "Tape::backward: cannot differentiate an inference tape"
+        );
+        assert_eq!(
+            nodes[loss.0].value.tensor().len(),
+            1,
+            "Tape::backward: loss must be scalar"
+        );
         let mut adj: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
         adj[loss.0] = Some(Tensor::from_vec(vec![seed], &[1]));
 
@@ -422,8 +541,8 @@ impl<'s> Tape<'s> {
                     acc(&mut adj, b.0, g.scale(-1.0));
                 }
                 Op::Mul(a, b) => {
-                    let da = g.mul(&nodes[b.0].value);
-                    let db = g.mul(&nodes[a.0].value);
+                    let da = g.mul(nodes[b.0].value.tensor());
+                    let db = g.mul(nodes[a.0].value.tensor());
                     acc(&mut adj, a.0, da);
                     acc(&mut adj, b.0, db);
                 }
@@ -433,55 +552,71 @@ impl<'s> Tape<'s> {
                     acc(&mut adj, mat.0, g);
                 }
                 Op::Matmul(a, b) => {
-                    let da = g.matmul_nt(&nodes[b.0].value);
-                    let db = nodes[a.0].value.matmul_tn(&g);
+                    let da = g.matmul_nt(nodes[b.0].value.tensor());
+                    let db = nodes[a.0].value.tensor().matmul_tn(&g);
                     acc(&mut adj, a.0, da);
                     acc(&mut adj, b.0, db);
                 }
                 Op::MatVec(mat, vec) => {
-                    let dm = g.outer(&nodes[vec.0].value);
-                    let dv = nodes[mat.0].value.transpose().matvec(&g);
+                    let dm = g.outer(nodes[vec.0].value.tensor());
+                    let dv = nodes[mat.0].value.tensor().transpose().matvec(&g);
                     acc(&mut adj, mat.0, dm);
                     acc(&mut adj, vec.0, dv);
                 }
                 Op::Tanh(a) => {
-                    let y = &node.value;
+                    let y = node.value.tensor();
                     let da = Tensor::from_vec(
-                        g.data().iter().zip(y.data()).map(|(&gi, &yi)| gi * (1.0 - yi * yi)).collect(),
+                        g.data()
+                            .iter()
+                            .zip(y.data())
+                            .map(|(&gi, &yi)| gi * (1.0 - yi * yi))
+                            .collect(),
                         y.shape(),
                     );
                     acc(&mut adj, a.0, da);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &node.value;
+                    let y = node.value.tensor();
                     let da = Tensor::from_vec(
-                        g.data().iter().zip(y.data()).map(|(&gi, &yi)| gi * yi * (1.0 - yi)).collect(),
+                        g.data()
+                            .iter()
+                            .zip(y.data())
+                            .map(|(&gi, &yi)| gi * yi * (1.0 - yi))
+                            .collect(),
                         y.shape(),
                     );
                     acc(&mut adj, a.0, da);
                 }
                 Op::Relu(a) => {
-                    let x = &nodes[a.0].value;
+                    let x = &nodes[a.0].value.tensor();
                     let da = Tensor::from_vec(
-                        g.data().iter().zip(x.data()).map(|(&gi, &xi)| if xi > 0.0 { gi } else { 0.0 }).collect(),
+                        g.data()
+                            .iter()
+                            .zip(x.data())
+                            .map(|(&gi, &xi)| if xi > 0.0 { gi } else { 0.0 })
+                            .collect(),
                         x.shape(),
                     );
                     acc(&mut adj, a.0, da);
                 }
                 Op::Ln(a) => {
-                    let x = &nodes[a.0].value;
+                    let x = &nodes[a.0].value.tensor();
                     let da = Tensor::from_vec(
-                        g.data().iter().zip(x.data()).map(|(&gi, &xi)| gi / xi.max(LN_EPS)).collect(),
+                        g.data()
+                            .iter()
+                            .zip(x.data())
+                            .map(|(&gi, &xi)| gi / xi.max(LN_EPS))
+                            .collect(),
                         x.shape(),
                     );
                     acc(&mut adj, a.0, da);
                 }
                 Op::Reshape(a) => {
-                    let da = g.reshape(nodes[a.0].value.shape());
+                    let da = g.reshape(nodes[a.0].value.tensor().shape());
                     acc(&mut adj, a.0, da);
                 }
                 Op::Unfold { x, window } => {
-                    let xv = &nodes[x.0].value;
+                    let xv = &nodes[x.0].value.tensor();
                     let (t, d) = (xv.rows(), xv.cols());
                     let half = window / 2;
                     let mut dx = Tensor::zeros(&[t, d]);
@@ -502,8 +637,12 @@ impl<'s> Tape<'s> {
                     }
                     acc(&mut adj, x.0, dx);
                 }
-                Op::PiecewiseMax { x, segments, argmax } => {
-                    let xv = &nodes[x.0].value;
+                Op::PiecewiseMax {
+                    x,
+                    segments,
+                    argmax,
+                } => {
+                    let xv = &nodes[x.0].value.tensor();
                     let cols = xv.cols();
                     let mut dx = Tensor::zeros(&[xv.rows(), cols]);
                     for (s, seg_argmax) in argmax.iter().enumerate().take(segments.len()) {
@@ -514,13 +653,13 @@ impl<'s> Tape<'s> {
                     acc(&mut adj, x.0, dx);
                 }
                 Op::SliceRow { x, row } => {
-                    let xv = &nodes[x.0].value;
+                    let xv = &nodes[x.0].value.tensor();
                     let mut dx = Tensor::zeros(&[xv.rows(), xv.cols()]);
                     dx.row_mut(*row).copy_from_slice(g.data());
                     acc(&mut adj, x.0, dx);
                 }
                 Op::MeanRows(x) => {
-                    let xv = &nodes[x.0].value;
+                    let xv = &nodes[x.0].value.tensor();
                     let (rows, cols) = (xv.rows(), xv.cols());
                     let inv = 1.0 / rows as f32;
                     let mut dx = Tensor::zeros(&[rows, cols]);
@@ -532,16 +671,17 @@ impl<'s> Tape<'s> {
                     acc(&mut adj, x.0, dx);
                 }
                 Op::StackRows(rows) => {
-                    let cols = node.value.cols();
+                    let cols = node.value.tensor().cols();
                     for (r, var) in rows.iter().enumerate() {
-                        let slice = Tensor::from_vec(g.data()[r * cols..(r + 1) * cols].to_vec(), &[cols]);
+                        let slice =
+                            Tensor::from_vec(g.data()[r * cols..(r + 1) * cols].to_vec(), &[cols]);
                         acc(&mut adj, var.0, slice);
                     }
                 }
                 Op::Concat(parts) => {
                     let mut off = 0;
                     for var in parts {
-                        let n = nodes[var.0].value.len();
+                        let n = nodes[var.0].value.tensor().len();
                         let slice = Tensor::from_vec(g.data()[off..off + n].to_vec(), &[n]);
                         acc(&mut adj, var.0, slice);
                         off += n;
@@ -550,7 +690,7 @@ impl<'s> Tape<'s> {
                 Op::ConcatCols(parts) => {
                     let mut off = 0;
                     for var in parts {
-                        let pc = nodes[var.0].value.cols();
+                        let pc = nodes[var.0].value.tensor().cols();
                         let hi = off + pc;
                         let slice = g.slice_cols(off, hi);
                         acc(&mut adj, var.0, slice);
@@ -559,24 +699,28 @@ impl<'s> Tape<'s> {
                 }
                 Op::Softmax(a) => {
                     // dx = y ⊙ (g − ⟨g, y⟩)
-                    let y = &node.value;
+                    let y = node.value.tensor();
                     let gy: f32 = g.dot(y);
                     let da = Tensor::from_vec(
-                        y.data().iter().zip(g.data()).map(|(&yi, &gi)| yi * (gi - gy)).collect(),
+                        y.data()
+                            .iter()
+                            .zip(g.data())
+                            .map(|(&yi, &gi)| yi * (gi - gy))
+                            .collect(),
                         y.shape(),
                     );
                     acc(&mut adj, a.0, da);
                 }
                 Op::ScaleByVar { x, s } => {
-                    let sv = nodes[s.0].value.data()[0];
+                    let sv = nodes[s.0].value.tensor().data()[0];
                     let dx = g.scale(sv);
-                    let ds = Tensor::from_vec(vec![g.dot(&nodes[x.0].value)], &[1]);
+                    let ds = Tensor::from_vec(vec![g.dot(nodes[x.0].value.tensor())], &[1]);
                     acc(&mut adj, x.0, dx);
                     acc(&mut adj, s.0, ds);
                 }
                 Op::WeightedSumRows { mat, weights } => {
-                    let m = &nodes[mat.0].value;
-                    let w = &nodes[weights.0].value;
+                    let m = &nodes[mat.0].value.tensor();
+                    let w = &nodes[weights.0].value.tensor();
                     let cols = m.cols();
                     let mut dm = Tensor::zeros(&[m.rows(), cols]);
                     let mut dw = vec![0.0f32; w.len()];
@@ -591,7 +735,11 @@ impl<'s> Tape<'s> {
                     acc(&mut adj, mat.0, dm);
                     acc(&mut adj, weights.0, Tensor::from_vec(dw, &[w.len()]));
                 }
-                Op::SoftmaxCrossEntropy { logits, target, probs } => {
+                Op::SoftmaxCrossEntropy {
+                    logits,
+                    target,
+                    probs,
+                } => {
                     let g0 = g.data()[0];
                     let mut dl = probs.clone();
                     dl.data_mut()[*target] -= 1.0;
@@ -827,7 +975,10 @@ mod tests {
         assert_eq!(grads.get(b).shape(), &[2, 1]);
         // gradient of CE wrt logit 2 is p−1 < 0, lands in b's row 0
         assert!(grads.get(b).at(0, 0) < 0.0);
-        assert!(grads.get(a).data().iter().all(|&g| g > 0.0), "non-target logits get p > 0");
+        assert!(
+            grads.get(a).data().iter().all(|&g| g > 0.0),
+            "non-target logits get p > 0"
+        );
     }
 
     #[test]
@@ -863,7 +1014,10 @@ mod tests {
         let g = grads.get(x);
         // every row receives the same per-column gradient (1/rows share)
         assert_close(g.row(0), g.row(1), 1e-6);
-        assert!(g.at(0, 0) < 0.0, "target column pushed up ⇒ negative CE grad");
+        assert!(
+            g.at(0, 0) < 0.0,
+            "target column pushed up ⇒ negative CE grad"
+        );
     }
 
     #[test]
@@ -876,8 +1030,65 @@ mod tests {
         let r = tape.relu(vx);
         let loss = tape.softmax_cross_entropy(r, 1);
         tape.backward(loss, &mut grads);
-        assert_eq!(grads.get(x).data()[0], 0.0, "negative input blocks gradient");
+        assert_eq!(
+            grads.get(x).data()[0],
+            0.0,
+            "negative input blocks gradient"
+        );
         assert_ne!(grads.get(x).data()[1], 0.0);
+    }
+
+    #[test]
+    fn inference_tape_matches_recording_forward() {
+        let (mut store, mut rng) = setup();
+        let w = store.register("w", Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng));
+        let emb = store.register("emb", Tensor::rand_uniform(&[6, 4], -1.0, 1.0, &mut rng));
+        let run = |tape: &mut Tape| -> Vec<f32> {
+            let rows = tape.gather(emb, &[0, 2, 5]);
+            let wv = tape.param(w);
+            let h = tape.matmul(rows, wv);
+            let t = tape.tanh(h);
+            let pooled = tape.piecewise_max(t, &[(0, 2), (2, 3)]);
+            let sm = tape.softmax(pooled);
+            tape.value(sm).data().to_vec()
+        };
+        let mut rec = Tape::new(&store);
+        let mut inf = Tape::inference(&store);
+        assert_eq!(run(&mut rec), run(&mut inf));
+        assert!(!inf.is_recording());
+    }
+
+    #[test]
+    fn inference_tape_reset_reuses_allocation() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let mut tape = Tape::inference(&store);
+        let first = {
+            let vx = tape.param(x);
+            let y = tape.tanh(vx);
+            tape.value(y).data().to_vec()
+        };
+        assert_eq!(tape.len(), 2);
+        tape.reset();
+        assert!(tape.is_empty());
+        let second = {
+            let vx = tape.param(x);
+            let y = tape.tanh(vx);
+            tape.value(y).data().to_vec()
+        };
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot differentiate an inference tape")]
+    fn backward_on_inference_tape_panics() {
+        let (mut store, _) = setup();
+        let x = store.register("x", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let mut grads = GradStore::zeros_like(&store);
+        let mut tape = Tape::inference(&store);
+        let vx = tape.param(x);
+        let loss = tape.softmax_cross_entropy(vx, 0);
+        tape.backward(loss, &mut grads);
     }
 
     #[test]

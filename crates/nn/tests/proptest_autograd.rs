@@ -8,11 +8,20 @@ use proptest::prelude::*;
 
 const TOL: f32 = 3e-2;
 
-fn check_all(params: &mut ParamStore, loss: &dyn Fn(&ParamStore) -> f32, grad: &dyn Fn(&ParamStore, &mut GradStore)) {
+fn check_all(
+    params: &mut ParamStore,
+    loss: &dyn Fn(&ParamStore) -> f32,
+    grad: &dyn Fn(&ParamStore, &mut GradStore),
+) {
     let ids: Vec<ParamId> = params.iter().map(|(id, _, _)| id).collect();
     for id in ids {
         let r = check_param_gradient(params, id, 1e-2, loss, grad);
-        assert!(r.max_rel_diff < TOL, "param {:?}: rel diff {}", id, r.max_rel_diff);
+        assert!(
+            r.max_rel_diff < TOL,
+            "param {:?}: rel diff {}",
+            id,
+            r.max_rel_diff
+        );
     }
 }
 

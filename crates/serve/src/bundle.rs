@@ -1,0 +1,306 @@
+//! Self-contained serving artifacts (`.imrb` bundles).
+//!
+//! A trained [`ReModel`] alone cannot serve raw text: it speaks token ids
+//! and entity ids. A [`Bundle`] freezes everything the request pipeline
+//! needs next to the model — the vocabulary, the entity table (names +
+//! coarse types), the relation names, and (for `*-MR` models) the LINE
+//! entity embeddings — so one file is a complete, loadable serving unit.
+//!
+//! Layout (`IMRB` v1, little-endian): magic, version, vocabulary words,
+//! entity table, relation names, optional embedding matrix, then the model
+//! in the existing `IMRM` format.
+
+use imre_core::{read_model, write_model, ReModel};
+use imre_corpus::{Vocab, World};
+use imre_graph::EntityEmbedding;
+use imre_tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"IMRB";
+const VERSION: u32 = 1;
+
+/// A frozen serving artifact: model plus the lookup tables that turn raw
+/// text and entity names into model inputs.
+pub struct Bundle {
+    /// Token vocabulary the model was trained with.
+    pub vocab: Vocab,
+    /// Entity table: `(surface name, coarse type ids)` indexed by entity id.
+    pub entities: Vec<(String, Vec<usize>)>,
+    /// Relation names indexed by relation id (index 0 is NA).
+    pub relations: Vec<String>,
+    /// LINE entity embeddings; required when the model uses the implicit
+    /// mutual-relation component.
+    pub embedding: Option<EntityEmbedding>,
+    /// The trained model.
+    pub model: ReModel,
+}
+
+impl Bundle {
+    /// Assembles a bundle from a trained model and the world it was trained
+    /// on. `embedding` must be given for `*-MR` models.
+    pub fn new(
+        model: ReModel,
+        vocab: Vocab,
+        world: &World,
+        embedding: Option<EntityEmbedding>,
+    ) -> Self {
+        let entities = world
+            .entities
+            .iter()
+            .map(|e| (e.name.clone(), e.types.iter().map(|t| t.0).collect()))
+            .collect();
+        let relations = world.relations.iter().map(|r| r.name.clone()).collect();
+        Bundle {
+            vocab,
+            entities,
+            relations,
+            embedding,
+            model,
+        }
+    }
+
+    /// Checks the cross-references between the tables and the model.
+    ///
+    /// # Errors
+    /// With a description of the first inconsistency found.
+    pub fn validate(&self) -> io::Result<()> {
+        let fail = |msg: String| Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        if self.model.vocab_size() != self.vocab.len() {
+            return fail(format!(
+                "vocab size mismatch: model expects {}, bundle has {}",
+                self.model.vocab_size(),
+                self.vocab.len()
+            ));
+        }
+        if self.model.num_relations() != self.relations.len() {
+            return fail(format!(
+                "relation count mismatch: model expects {}, bundle has {}",
+                self.model.num_relations(),
+                self.relations.len()
+            ));
+        }
+        if self.model.spec.use_mr {
+            match &self.embedding {
+                None => {
+                    return fail(
+                        "model uses mutual relations but bundle has no entity embedding".into(),
+                    )
+                }
+                Some(emb) => {
+                    if emb.len() != self.entities.len() {
+                        return fail(format!(
+                            "embedding rows ({}) != entity count ({})",
+                            emb.len(),
+                            self.entities.len()
+                        ));
+                    }
+                    if emb.dim() != self.model.entity_dim() {
+                        return fail(format!(
+                            "embedding dim ({}) != model entity dim ({})",
+                            emb.dim(),
+                            self.model.entity_dim()
+                        ));
+                    }
+                }
+            }
+        }
+        if self.model.spec.use_type {
+            if let Some((name, tys)) = self
+                .entities
+                .iter()
+                .find(|(_, tys)| tys.iter().any(|&t| t >= self.model.num_types()))
+            {
+                return fail(format!("entity {name:?} has type id {tys:?} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes a bundle to a writer.
+pub fn write_bundle<W: Write>(bundle: &Bundle, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    // vocabulary (all words in id order, specials included)
+    write_u64(w, bundle.vocab.len() as u64)?;
+    for id in 0..bundle.vocab.len() {
+        write_str(w, bundle.vocab.word(id))?;
+    }
+    // entity table
+    write_u64(w, bundle.entities.len() as u64)?;
+    for (name, types) in &bundle.entities {
+        write_str(w, name)?;
+        write_u64(w, types.len() as u64)?;
+        for &t in types {
+            write_u64(w, t as u64)?;
+        }
+    }
+    // relation names
+    write_u64(w, bundle.relations.len() as u64)?;
+    for name in &bundle.relations {
+        write_str(w, name)?;
+    }
+    // optional entity embedding
+    match &bundle.embedding {
+        None => w.write_all(&[0u8])?,
+        Some(emb) => {
+            w.write_all(&[1u8])?;
+            let m = emb.matrix();
+            write_u64(w, m.rows() as u64)?;
+            write_u64(w, m.cols() as u64)?;
+            for &x in m.data() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+    }
+    write_model(&bundle.model, w)
+}
+
+/// Reads a bundle written by [`write_bundle`] and validates it.
+///
+/// # Errors
+/// On malformed input or inconsistent tables.
+pub fn read_bundle<R: Read>(r: &mut R) -> io::Result<Bundle> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an IMRB bundle file",
+        ));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported IMRB version {version}"),
+        ));
+    }
+    let vocab_len = read_u64(r)? as usize;
+    if vocab_len < 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "vocabulary misses the special tokens",
+        ));
+    }
+    let mut vocab = Vocab::new();
+    for id in 0..vocab_len {
+        let word = read_str(r)?;
+        if id < 2 {
+            // `Vocab::new` pre-interns <pad>/<unk>; just check they match.
+            if vocab.word(id) != word {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "special token {id} is {word:?}, expected {:?}",
+                        vocab.word(id)
+                    ),
+                ));
+            }
+        } else if vocab.intern(&word) != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("duplicate vocabulary word {word:?}"),
+            ));
+        }
+    }
+    let num_entities = read_u64(r)? as usize;
+    let mut entities = Vec::with_capacity(num_entities);
+    for _ in 0..num_entities {
+        let name = read_str(r)?;
+        let n_types = read_u64(r)? as usize;
+        let mut types = Vec::with_capacity(n_types);
+        for _ in 0..n_types {
+            types.push(read_u64(r)? as usize);
+        }
+        entities.push((name, types));
+    }
+    let num_relations = read_u64(r)? as usize;
+    let mut relations = Vec::with_capacity(num_relations);
+    for _ in 0..num_relations {
+        relations.push(read_str(r)?);
+    }
+    let mut has_embedding = [0u8];
+    r.read_exact(&mut has_embedding)?;
+    let embedding = match has_embedding[0] {
+        0 => None,
+        1 => {
+            let rows = read_u64(r)? as usize;
+            let cols = read_u64(r)? as usize;
+            let mut data = vec![0.0f32; rows * cols];
+            for x in &mut data {
+                let mut buf = [0u8; 4];
+                r.read_exact(&mut buf)?;
+                *x = f32::from_le_bytes(buf);
+            }
+            Some(EntityEmbedding::from_matrix(Tensor::from_vec(
+                data,
+                &[rows, cols],
+            )))
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad embedding flag {other}"),
+            ));
+        }
+    };
+    let model = read_model(r)?;
+    let bundle = Bundle {
+        vocab,
+        entities,
+        relations,
+        embedding,
+        model,
+    };
+    bundle.validate()?;
+    Ok(bundle)
+}
+
+/// Saves a bundle to a file.
+pub fn save_bundle(bundle: &Bundle, path: &Path) -> io::Result<()> {
+    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+    write_bundle(bundle, &mut file)
+}
+
+/// Loads a bundle from a file.
+pub fn load_bundle(path: &Path) -> io::Result<Bundle> {
+    let mut file = io::BufReader::new(std::fs::File::open(path)?);
+    read_bundle(&mut file)
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible string length {len}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}

@@ -1,0 +1,267 @@
+//! Micro-batching inference engine: bounded queue + worker pool.
+//!
+//! Requests enter through [`ServeHandle::submit`] into a bounded queue
+//! ([`crate::queue::BoundedQueue`]); worker threads coalesce up to
+//! `batch_max` requests arriving within `batch_deadline` into one batch,
+//! group them by model, and run each group as a single batched forward pass
+//! on a reused inference tape. Batching trades a bounded amount of latency
+//! (the deadline) for amortized per-request overhead — one dequeue wakeup,
+//! one registry resolution and one tape allocation per batch instead of per
+//! request.
+//!
+//! Shutdown is graceful: [`ServeHandle::shutdown`] closes the queue (new
+//! submissions get [`ServeError::ShuttingDown`]) and joins the workers,
+//! which drain and answer every already-queued request before exiting.
+
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::pipeline::{InferRequest, InferResponse};
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::Registry;
+use imre_core::PreparedBag;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads running forward passes. `0` is allowed (useful in
+    /// tests: requests queue up but nothing drains them).
+    pub workers: usize,
+    /// Maximum requests coalesced into one micro-batch.
+    pub batch_max: usize,
+    /// How long a worker waits for the batch to fill after the first
+    /// request arrives.
+    pub batch_deadline: Duration,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            batch_max: 8,
+            batch_deadline: Duration::from_millis(2),
+            queue_capacity: 256,
+        }
+    }
+}
+
+struct Job {
+    request: InferRequest,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<InferResponse, ServeError>>,
+}
+
+struct Shared {
+    registry: Arc<Registry>,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    config: EngineConfig,
+}
+
+/// A pending response; resolve it with [`Pending::wait`].
+pub struct Pending {
+    rx: mpsc::Receiver<Result<InferResponse, ServeError>>,
+}
+
+impl Pending {
+    /// Blocks until the engine answers.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn poll(&self) -> Option<Result<InferResponse, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Cloneable handle to a running engine — the in-process serving API.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServeHandle {
+    /// Starts the worker pool and returns the handle.
+    pub fn start(registry: Arc<Registry>, config: EngineConfig) -> ServeHandle {
+        let shared = Arc::new(Shared {
+            registry,
+            queue: BoundedQueue::new(config.queue_capacity.max(1)),
+            metrics: Metrics::default(),
+            config,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("imre-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ServeHandle {
+            shared,
+            workers: Arc::new(Mutex::new(workers)),
+        }
+    }
+
+    /// The registry this engine serves from (register/swap models here at
+    /// any time).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Engine metrics (live; also rendered by [`ServeHandle::stats_text`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The text `stats` dump.
+    pub fn stats_text(&self) -> String {
+        self.shared.metrics.render()
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity and
+    /// [`ServeError::ShuttingDown`] after [`ServeHandle::shutdown`].
+    pub fn submit(&self, request: InferRequest) -> Result<Pending, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                Metrics::inc(&self.shared.metrics.submitted);
+                Ok(Pending { rx })
+            }
+            Err(PushError::Full(_)) => {
+                Metrics::inc(&self.shared.metrics.rejected_full);
+                Err(ServeError::QueueFull {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits and blocks for the answer.
+    pub fn infer(&self, request: InferRequest) -> Result<InferResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Stops accepting new requests, drains and answers everything already
+    /// queued, and joins the workers. Idempotent; any clone of the handle
+    /// may call it.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let cfg = &shared.config;
+    while let Some(batch) = shared.queue.pop_batch(cfg.batch_max, cfg.batch_deadline) {
+        if batch.is_empty() {
+            continue;
+        }
+        let dequeued = Instant::now();
+        Metrics::inc(&shared.metrics.batches);
+        shared
+            .metrics
+            .batched_jobs
+            .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        for job in &batch {
+            let wait = dequeued.saturating_duration_since(job.enqueued);
+            shared.metrics.queue_wait.record(wait.as_micros() as u64);
+        }
+        // Group by model so each group runs as one batched forward pass.
+        let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, job) in batch.iter().enumerate() {
+            groups
+                .entry(job.request.model.as_str())
+                .or_default()
+                .push(i);
+        }
+        let mut replies: Vec<Option<Result<InferResponse, ServeError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        for (model_name, indices) in groups {
+            run_group(shared, &batch, dequeued, model_name, &indices, &mut replies);
+        }
+        for (job, reply) in batch.iter().zip(replies) {
+            let reply = reply.unwrap_or(Err(ServeError::ShuttingDown));
+            match &reply {
+                Ok(_) => Metrics::inc(&shared.metrics.completed),
+                Err(_) => Metrics::inc(&shared.metrics.errors),
+            }
+            // A vanished receiver just means the client gave up waiting.
+            let _ = job.reply.send(reply);
+        }
+    }
+}
+
+fn run_group(
+    shared: &Shared,
+    batch: &[Job],
+    dequeued: Instant,
+    model_name: &str,
+    indices: &[usize],
+    replies: &mut [Option<Result<InferResponse, ServeError>>],
+) {
+    let model = match shared.registry.get(model_name) {
+        Some(m) => m,
+        None => {
+            for &i in indices {
+                replies[i] = Some(Err(ServeError::UnknownModel(model_name.to_string())));
+            }
+            return;
+        }
+    };
+    // Featurize each request, timing the stage per request.
+    let mut prepared: Vec<(usize, PreparedBag, u64)> = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let start = Instant::now();
+        match model.featurize_request(&batch[i].request) {
+            Ok(bag) => {
+                let us = start.elapsed().as_micros() as u64;
+                shared.metrics.featurize.record(us);
+                prepared.push((i, bag, us));
+            }
+            Err(e) => replies[i] = Some(Err(e)),
+        }
+    }
+    if prepared.is_empty() {
+        return;
+    }
+    // One batched forward pass over every featurizable request; the cost is
+    // attributed evenly across the requests it served.
+    let bags: Vec<&PreparedBag> = prepared.iter().map(|(_, bag, _)| bag).collect();
+    let start = Instant::now();
+    let scores = model.predict_prepared_batch(&bags);
+    let forward_share = (start.elapsed().as_micros() as u64) / prepared.len() as u64;
+    for ((i, _, featurize_us), scores) in prepared.iter().zip(scores) {
+        shared.metrics.forward.record(forward_share);
+        let job = &batch[*i];
+        replies[*i] = Some(Ok(InferResponse {
+            model: model_name.to_string(),
+            ranked: model.rank(&scores, job.request.top_k),
+            queue_us: dequeued.saturating_duration_since(job.enqueued).as_micros() as u64,
+            featurize_us: *featurize_us,
+            forward_us: forward_share,
+        }));
+    }
+}

@@ -1,0 +1,95 @@
+//! Typed serving errors, including the backpressure rejection.
+
+use std::fmt;
+
+/// Everything that can go wrong between accepting a request and answering it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is at capacity; the caller should back off
+    /// and retry. This is the engine's backpressure signal — requests are
+    /// rejected at submission time, never silently dropped mid-flight.
+    QueueFull {
+        /// Configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The engine is shutting down and no longer accepts new requests
+    /// (already-queued requests are still drained and answered).
+    ShuttingDown,
+    /// No model with this name is registered.
+    UnknownModel(String),
+    /// The request names an entity the model's entity table does not know,
+    /// and the model needs entity side information (types / mutual
+    /// relations) to score the pair.
+    UnknownEntity(String),
+    /// The named entity does not occur as a token of the request text, so
+    /// no mention position can be assigned.
+    MentionNotFound(String),
+    /// The request text contains no tokens.
+    EmptyText,
+    /// The request line/fields could not be parsed.
+    BadRequest(String),
+    /// A model artifact is internally inconsistent (e.g. a bundle whose
+    /// embedding width does not match the model's MR component).
+    BadArtifact(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code, used by the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::QueueFull { .. } => "queue-full",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::UnknownModel(_) => "unknown-model",
+            ServeError::UnknownEntity(_) => "unknown-entity",
+            ServeError::MentionNotFound(_) => "mention-not-found",
+            ServeError::EmptyText => "empty-text",
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::BadArtifact(_) => "bad-artifact",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::UnknownModel(name) => write!(f, "no model named {name:?} is registered"),
+            ServeError::UnknownEntity(name) => {
+                write!(f, "entity {name:?} not in the model's entity table")
+            }
+            ServeError::MentionNotFound(name) => {
+                write!(f, "entity {name:?} does not occur in the request text")
+            }
+            ServeError::EmptyText => write!(f, "request text is empty"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::BadArtifact(msg) => write!(f, "bad model artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            ServeError::QueueFull { capacity: 4 },
+            ServeError::ShuttingDown,
+            ServeError::UnknownModel("m".into()),
+            ServeError::UnknownEntity("e".into()),
+            ServeError::MentionNotFound("e".into()),
+            ServeError::EmptyText,
+            ServeError::BadRequest("x".into()),
+            ServeError::BadArtifact("x".into()),
+        ];
+        let codes: std::collections::HashSet<_> = all.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), all.len());
+        assert_eq!(ServeError::QueueFull { capacity: 4 }.code(), "queue-full");
+    }
+}

@@ -1,0 +1,184 @@
+//! Lock-free serving metrics: per-stage latency histograms and counters.
+//!
+//! Histograms use fixed log-spaced microsecond buckets so recording is one
+//! atomic increment — no allocation, no locking, safe to share across all
+//! workers and connection threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive, in µs) of the histogram buckets; one final
+/// overflow bucket catches everything slower.
+pub const BUCKET_BOUNDS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000,
+];
+
+const NUM_BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// A fixed-bucket latency histogram in microseconds.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+/// Plain-data copy of a histogram for inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (last bucket is overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values in µs.
+    pub sum_us: u64,
+}
+
+impl Histogram {
+    /// Records one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        use std::fmt::Write;
+        let snap = self.snapshot();
+        let mean = if snap.count == 0 {
+            0.0
+        } else {
+            snap.sum_us as f64 / snap.count as f64
+        };
+        let _ = writeln!(out, "{name}: count={} mean_us={mean:.1}", snap.count);
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            match BUCKET_BOUNDS_US.get(i) {
+                Some(&bound) => {
+                    let _ = writeln!(out, "  le_{bound}us {n}");
+                }
+                None => {
+                    let _ = writeln!(out, "  overflow {n}");
+                }
+            }
+        }
+    }
+}
+
+/// All engine metrics in one shareable struct.
+#[derive(Default)]
+pub struct Metrics {
+    /// Time a request sat in the queue before a worker dequeued it.
+    pub queue_wait: Histogram,
+    /// Tokenization + featurization time, per request.
+    pub featurize: Histogram,
+    /// Forward-pass time, per request (a batched pass is attributed evenly
+    /// across the requests it served).
+    pub forward: Histogram,
+    /// Requests accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests answered successfully.
+    pub completed: AtomicU64,
+    /// Requests rejected at submission because the queue was full.
+    pub rejected_full: AtomicU64,
+    /// Requests answered with a serving error.
+    pub errors: AtomicU64,
+    /// Micro-batches executed.
+    pub batches: AtomicU64,
+    /// Total requests over all micro-batches (`/ batches` = mean batch size).
+    pub batched_jobs: AtomicU64,
+}
+
+impl Metrics {
+    /// Bumps a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the `stats` text dump served over the wire protocol.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let jobs = self.batched_jobs.load(Ordering::Relaxed);
+        let mean_batch = if batches == 0 {
+            0.0
+        } else {
+            jobs as f64 / batches as f64
+        };
+        let _ = writeln!(
+            out,
+            "requests: submitted={} completed={} errors={} rejected_queue_full={}",
+            self.submitted.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.rejected_full.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(out, "batches: count={batches} mean_size={mean_batch:.2}");
+        self.queue_wait.render("queue_wait_us", &mut out);
+        self.featurize.render("featurize_us", &mut out);
+        self.forward.render("forward_us", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lands_in_correct_bucket() {
+        let h = Histogram::default();
+        h.record(40); // ≤ 50
+        h.record(50); // ≤ 50 (inclusive)
+        h.record(51); // ≤ 100
+        h.record(2_000_000); // overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(*snap.buckets.last().unwrap(), 1);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum_us, 40 + 50 + 51 + 2_000_000);
+    }
+
+    #[test]
+    fn render_contains_counters_and_nonzero_buckets() {
+        let m = Metrics::default();
+        m.queue_wait.record(120);
+        m.featurize.record(80);
+        m.forward.record(900);
+        Metrics::inc(&m.submitted);
+        Metrics::inc(&m.completed);
+        let text = m.render();
+        assert!(text.contains("submitted=1"));
+        assert!(text.contains("queue_wait_us: count=1"));
+        assert!(
+            text.contains("le_250us 1"),
+            "120µs lands in le_250 bucket:\n{text}"
+        );
+        assert!(text.contains("forward_us: count=1"));
+    }
+}

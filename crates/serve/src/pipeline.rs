@@ -1,0 +1,214 @@
+//! Request pipeline: raw text + entity names → featurized bag → scores.
+//!
+//! A [`ServingModel`] wraps a [`Bundle`] with the lookup structures needed
+//! at request time and exposes the full path the engine runs per request:
+//! whitespace tokenization, mention location, relative-position
+//! featurization ([`imre_core::featurize`]), bag construction, and the
+//! (optionally batched) forward pass.
+
+use crate::bundle::Bundle;
+use crate::error::ServeError;
+use imre_core::{featurize, BagContext, PreparedBag};
+use imre_corpus::EncodedSentence;
+use std::collections::HashMap;
+
+/// One inference request, as submitted by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferRequest {
+    /// Registered model to run.
+    pub model: String,
+    /// Head entity surface name (must occur as a token of `text`).
+    pub head: String,
+    /// Tail entity surface name (must occur as a token of `text`).
+    pub tail: String,
+    /// Whitespace-tokenized sentence text; `|` separates the sentences of a
+    /// multi-sentence bag.
+    pub text: String,
+    /// How many top relations to return (0 = all).
+    pub top_k: usize,
+}
+
+/// One scored relation in a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedRelation {
+    /// Relation name from the bundle's relation table.
+    pub relation: String,
+    /// Model probability for the relation.
+    pub score: f32,
+}
+
+/// A completed inference with its per-stage timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Model that served the request.
+    pub model: String,
+    /// Relations sorted by descending score, truncated to `top_k`.
+    pub ranked: Vec<RankedRelation>,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_us: u64,
+    /// Tokenization + featurization time.
+    pub featurize_us: u64,
+    /// Forward-pass time (this request's share of its micro-batch).
+    pub forward_us: u64,
+}
+
+/// A bundle prepared for serving: adds the entity-name index and exposes
+/// the request pipeline.
+pub struct ServingModel {
+    bundle: Bundle,
+    entity_index: HashMap<String, usize>,
+    entity_types: Vec<Vec<usize>>,
+}
+
+impl ServingModel {
+    /// Wraps a validated bundle.
+    ///
+    /// # Errors
+    /// [`ServeError::BadArtifact`] when the bundle's tables are inconsistent
+    /// with the model architecture.
+    pub fn new(bundle: Bundle) -> Result<Self, ServeError> {
+        bundle
+            .validate()
+            .map_err(|e| ServeError::BadArtifact(e.to_string()))?;
+        let entity_index = bundle
+            .entities
+            .iter()
+            .enumerate()
+            .map(|(id, (name, _))| (name.clone(), id))
+            .collect();
+        let entity_types = bundle
+            .entities
+            .iter()
+            .map(|(_, types)| types.clone())
+            .collect();
+        Ok(ServingModel {
+            bundle,
+            entity_index,
+            entity_types,
+        })
+    }
+
+    /// The wrapped bundle.
+    pub fn bundle(&self) -> &Bundle {
+        &self.bundle
+    }
+
+    /// Number of relations this model scores.
+    pub fn num_relations(&self) -> usize {
+        self.bundle.relations.len()
+    }
+
+    /// The forward-time side context (entity types, LINE embeddings).
+    pub fn ctx(&self) -> BagContext<'_> {
+        BagContext {
+            entity_embedding: self.bundle.embedding.as_ref(),
+            entity_types: &self.entity_types,
+        }
+    }
+
+    /// Resolves an entity name to its id, or errors if the model needs
+    /// entity side information it cannot look up for an unknown entity.
+    fn entity_id(&self, name: &str) -> Result<usize, ServeError> {
+        match self.entity_index.get(name) {
+            Some(&id) => Ok(id),
+            // Plain text models treat an unknown entity like any
+            // out-of-vocabulary token; only the side components need ids.
+            None if !self.bundle.model.spec.use_mr && !self.bundle.model.spec.use_type => Ok(0),
+            None => Err(ServeError::UnknownEntity(name.to_string())),
+        }
+    }
+
+    /// Tokenizes and featurizes a request into a [`PreparedBag`].
+    ///
+    /// # Errors
+    /// When the text is empty, a mention cannot be located, or an entity is
+    /// unknown to a model that needs entity side information.
+    pub fn featurize_request(&self, req: &InferRequest) -> Result<PreparedBag, ServeError> {
+        let head_id = self.entity_id(&req.head)?;
+        let tail_id = self.entity_id(&req.tail)?;
+        let hp = &self.bundle.model.hp;
+        let mut sentences = Vec::new();
+        for raw in req.text.split('|') {
+            let words: Vec<&str> = raw.split_whitespace().collect();
+            if words.is_empty() {
+                continue;
+            }
+            let head_pos = words
+                .iter()
+                .position(|&w| w == req.head)
+                .ok_or_else(|| ServeError::MentionNotFound(req.head.clone()))?;
+            // When head and tail share a surface form, prefer a second
+            // occurrence for the tail mention.
+            let tail_pos = words
+                .iter()
+                .enumerate()
+                .position(|(i, &w)| w == req.tail && (req.head != req.tail || i != head_pos))
+                .or_else(|| (req.head == req.tail).then_some(head_pos))
+                .ok_or_else(|| ServeError::MentionNotFound(req.tail.clone()))?;
+            let tokens = words
+                .iter()
+                .map(|w| self.bundle.vocab.get_or_unk(w))
+                .collect();
+            let encoded = EncodedSentence {
+                tokens,
+                head_pos,
+                tail_pos,
+                expresses_relation: false,
+            };
+            sentences.push(featurize(&encoded, hp.max_len, hp.pos_clip));
+        }
+        if sentences.is_empty() {
+            return Err(ServeError::EmptyText);
+        }
+        Ok(PreparedBag {
+            head: head_id,
+            tail: tail_id,
+            label: 0,
+            sentences,
+        })
+    }
+
+    /// Scores a featurized bag (single forward pass, unbatched).
+    pub fn predict_prepared(&self, bag: &PreparedBag) -> Vec<f32> {
+        self.bundle.model.predict(bag, &self.ctx())
+    }
+
+    /// Scores a slice of featurized bags on one reused inference tape; the
+    /// scores are identical to per-bag [`ServingModel::predict_prepared`].
+    pub fn predict_prepared_batch(&self, bags: &[&PreparedBag]) -> Vec<Vec<f32>> {
+        self.bundle.model.predict_batch(bags, &self.ctx())
+    }
+
+    /// Turns a score vector into named relations ranked by descending score
+    /// (ties by relation id), truncated to `top_k` (0 = all).
+    pub fn rank(&self, scores: &[f32], top_k: usize) -> Vec<RankedRelation> {
+        let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let k = if top_k == 0 {
+            ranked.len()
+        } else {
+            top_k.min(ranked.len())
+        };
+        ranked
+            .into_iter()
+            .take(k)
+            .map(|(r, score)| RankedRelation {
+                relation: self.bundle.relations[r].clone(),
+                score,
+            })
+            .collect()
+    }
+
+    /// The whole pipeline in one call (featurize → forward → rank), used by
+    /// single-shot callers and tests; the engine runs the stages separately
+    /// so it can batch the forward pass.
+    pub fn infer(&self, req: &InferRequest) -> Result<Vec<RankedRelation>, ServeError> {
+        let bag = self.featurize_request(req)?;
+        let scores = self.predict_prepared(&bag);
+        Ok(self.rank(&scores, req.top_k))
+    }
+}

@@ -1,0 +1,192 @@
+//! Line-delimited text protocol for the TCP front-end.
+//!
+//! One request per line; every response is one or more lines terminated by
+//! an empty line, so plain `nc` works as a client:
+//!
+//! ```text
+//! infer model=default k=3 head=Seattle tail=Washington text=Seattle is in Washington
+//! ok located_in:0.91 NA:0.05 founded_by:0.02
+//!
+//! stats
+//! requests: submitted=1 completed=1 errors=0 rejected_queue_full=0
+//! ...
+//!
+//! models     → ok default
+//! ping       → ok pong
+//! quit       → closes the connection
+//! ```
+//!
+//! Errors come back as `err <code> <message>` with the stable codes from
+//! [`ServeError::code`].
+
+use crate::engine::ServeHandle;
+use crate::error::ServeError;
+use crate::pipeline::{InferRequest, InferResponse};
+
+/// What the connection loop should do after answering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Send these lines (an empty terminator line is appended on the wire).
+    Lines(Vec<String>),
+    /// Close the connection.
+    Quit,
+}
+
+/// Parses an `infer` command's `key=value` arguments.
+///
+/// `text=` must come last: it consumes the rest of the line verbatim.
+pub fn parse_infer(args: &str) -> Result<InferRequest, ServeError> {
+    let mut req = InferRequest {
+        model: String::new(),
+        head: String::new(),
+        tail: String::new(),
+        text: String::new(),
+        top_k: 0,
+    };
+    let mut rest = args.trim_start();
+    while !rest.is_empty() {
+        if let Some(text) = rest.strip_prefix("text=") {
+            req.text = text.to_string();
+            break;
+        }
+        let token = rest
+            .split_whitespace()
+            .next()
+            .expect("non-empty rest has a token");
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| ServeError::BadRequest(format!("expected key=value, got {token:?}")))?;
+        match key {
+            "model" => req.model = value.to_string(),
+            "head" => req.head = value.to_string(),
+            "tail" => req.tail = value.to_string(),
+            "k" => {
+                req.top_k = value.parse().map_err(|_| {
+                    ServeError::BadRequest(format!("k must be a number, got {value:?}"))
+                })?;
+            }
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown infer argument {other:?}"
+                )))
+            }
+        }
+        rest = rest[token.len()..].trim_start();
+    }
+    for (field, name) in [
+        (&req.model, "model"),
+        (&req.head, "head"),
+        (&req.tail, "tail"),
+        (&req.text, "text"),
+    ] {
+        if field.is_empty() {
+            return Err(ServeError::BadRequest(format!(
+                "missing required argument {name}="
+            )));
+        }
+    }
+    Ok(req)
+}
+
+/// Formats a successful inference as a single `ok` line.
+pub fn format_response(resp: &InferResponse) -> String {
+    let mut line = String::from("ok");
+    for r in &resp.ranked {
+        line.push_str(&format!(" {}:{:.6}", r.relation, r.score));
+    }
+    line
+}
+
+/// Formats an error as an `err` line.
+pub fn format_error(err: &ServeError) -> String {
+    format!("err {} {err}", err.code())
+}
+
+/// Dispatches one request line against the engine.
+pub fn handle_line(handle: &ServeHandle, line: &str) -> Reply {
+    let line = line.trim();
+    let (command, args) = match line.split_once(char::is_whitespace) {
+        Some((c, a)) => (c, a),
+        None => (line, ""),
+    };
+    match command {
+        "" => Reply::Lines(vec![]),
+        "quit" => Reply::Quit,
+        "ping" => Reply::Lines(vec!["ok pong".to_string()]),
+        "models" => {
+            let mut line = String::from("ok");
+            for name in handle.registry().names() {
+                line.push(' ');
+                line.push_str(&name);
+            }
+            Reply::Lines(vec![line])
+        }
+        "stats" => Reply::Lines(handle.stats_text().lines().map(str::to_string).collect()),
+        "infer" => {
+            let result = parse_infer(args).and_then(|req| handle.infer(req));
+            match result {
+                Ok(resp) => Reply::Lines(vec![format_response(&resp)]),
+                Err(e) => Reply::Lines(vec![format_error(&e)]),
+            }
+        }
+        other => Reply::Lines(vec![format_error(&ServeError::BadRequest(format!(
+            "unknown command {other:?}"
+        )))]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_infer_full_line() {
+        let req =
+            parse_infer("model=m k=3 head=Seattle tail=Washington text=Seattle is in Washington")
+                .unwrap();
+        assert_eq!(req.model, "m");
+        assert_eq!(req.top_k, 3);
+        assert_eq!(req.head, "Seattle");
+        assert_eq!(req.tail, "Washington");
+        assert_eq!(req.text, "Seattle is in Washington");
+    }
+
+    #[test]
+    fn parse_infer_text_keeps_equals_signs() {
+        let req = parse_infer("model=m head=a tail=b text=a = b | a b").unwrap();
+        assert_eq!(req.text, "a = b | a b");
+    }
+
+    #[test]
+    fn parse_infer_missing_field_rejected() {
+        let err = parse_infer("model=m head=a text=a b").unwrap_err();
+        assert_eq!(err.code(), "bad-request");
+        assert!(err.to_string().contains("tail"));
+    }
+
+    #[test]
+    fn parse_infer_bad_k_rejected() {
+        assert_eq!(
+            parse_infer("model=m k=lots head=a tail=b text=a b")
+                .unwrap_err()
+                .code(),
+            "bad-request"
+        );
+    }
+
+    #[test]
+    fn parse_infer_unknown_key_rejected() {
+        assert_eq!(
+            parse_infer("model=m beam=7 head=a tail=b text=a b")
+                .unwrap_err()
+                .code(),
+            "bad-request"
+        );
+    }
+
+    #[test]
+    fn format_error_carries_code() {
+        let line = format_error(&ServeError::QueueFull { capacity: 8 });
+        assert!(line.starts_with("err queue-full "));
+    }
+}

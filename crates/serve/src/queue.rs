@@ -1,0 +1,221 @@
+//! Bounded multi-producer/multi-consumer queue with batched dequeue.
+//!
+//! Built on `Mutex<VecDeque> + Condvar` so the whole engine stays std-only.
+//! Producers never block: [`BoundedQueue::try_push`] fails fast when the
+//! queue is at capacity (the engine's backpressure signal). Consumers call
+//! [`BoundedQueue::pop_batch`], which blocks for the first item and then
+//! coalesces up to `max` items arriving within a deadline — the micro-batch
+//! window.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused; the rejected value is handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue holds `capacity` items already.
+    Full(T),
+    /// [`BoundedQueue::close`] was called; no new work is accepted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue. See the module docs for the contract.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BoundedQueue: capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue length (racy; for stats only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for stats only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking; fails when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues a micro-batch.
+    ///
+    /// Blocks until at least one item is available, then keeps collecting
+    /// until `max` items are held or `deadline` has elapsed since the first
+    /// item was taken. Returns `None` only when the queue is closed *and*
+    /// fully drained — so a consumer loop drains every queued item before
+    /// exiting, which is what makes shutdown graceful.
+    pub fn pop_batch(&self, max: usize, deadline: Duration) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+        let mut out = Vec::with_capacity(max.min(inner.items.len()));
+        let window_ends = Instant::now() + deadline;
+        loop {
+            while out.len() < max {
+                match inner.items.pop_front() {
+                    Some(item) => out.push(item),
+                    None => break,
+                }
+            }
+            if out.len() >= max || inner.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= window_ends {
+                break;
+            }
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(inner, window_ends - now)
+                .expect("queue poisoned");
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                break;
+            }
+        }
+        Some(out)
+    }
+
+    /// Stops accepting new items and wakes all consumers. Already-queued
+    /// items remain poppable until drained.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closed_queue_rejects_push_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
+        assert_eq!(q.pop_batch(4, Duration::ZERO), Some(vec![1]));
+        assert_eq!(q.pop_batch(4, Duration::ZERO), None);
+    }
+
+    #[test]
+    fn batch_respects_max() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap().len(), 4);
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap().len(), 4);
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_across_threads() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..8 {
+                    q.try_push(i).unwrap();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 8 {
+            got.extend(q.pop_batch(8, Duration::from_millis(50)).unwrap());
+        }
+        producer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, Duration::from_millis(1)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

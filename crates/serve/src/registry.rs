@@ -1,0 +1,87 @@
+//! Named model registry with hot-swap.
+//!
+//! Models live behind `Arc`s inside an `RwLock`ed map: lookups are cheap
+//! shared reads, and swapping a model in or out never interrupts requests
+//! already running against the old `Arc` — they finish on the version they
+//! resolved, new requests see the new one.
+
+use crate::error::ServeError;
+use crate::pipeline::ServingModel;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// A concurrent name → model map.
+#[derive(Default)]
+pub struct Registry {
+    models: RwLock<HashMap<String, Arc<ServingModel>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or hot-swaps) a model under `name`, returning the model
+    /// it replaced, if any.
+    pub fn insert(
+        &self,
+        name: impl Into<String>,
+        model: ServingModel,
+    ) -> Option<Arc<ServingModel>> {
+        self.models
+            .write()
+            .expect("registry poisoned")
+            .insert(name.into(), Arc::new(model))
+    }
+
+    /// Loads an `.imrb` bundle from disk and registers it under `name`.
+    ///
+    /// # Errors
+    /// [`ServeError::BadArtifact`] when the file cannot be read or fails
+    /// validation.
+    pub fn load_file(&self, name: impl Into<String>, path: &Path) -> Result<(), ServeError> {
+        let bundle = crate::bundle::load_bundle(path)
+            .map_err(|e| ServeError::BadArtifact(format!("{}: {e}", path.display())))?;
+        self.insert(name, ServingModel::new(bundle)?);
+        Ok(())
+    }
+
+    /// Resolves a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ServingModel>> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Unregisters a model; in-flight requests against it still finish.
+    pub fn remove(&self, name: &str) -> Option<Arc<ServingModel>> {
+        self.models.write().expect("registry poisoned").remove(name)
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry poisoned").len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,114 @@
+//! TCP front-end: line-delimited protocol over `std::net::TcpListener`.
+//!
+//! The accept loop runs on its own thread with a non-blocking listener
+//! polled against a stop flag; each connection gets a thread running the
+//! [`crate::protocol`] dispatch. [`TcpServer::stop`] flips the flag, joins
+//! the accept loop, and shuts the engine's request intake via the shared
+//! [`ServeHandle`] semantics (connections see request errors, then close).
+
+use crate::engine::ServeHandle;
+use crate::protocol::{handle_line, Reply};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A running TCP front-end.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 picks a free port) and
+    /// starts serving the engine behind `handle`.
+    ///
+    /// # Errors
+    /// When the address cannot be bound.
+    pub fn spawn(handle: ServeHandle, addr: &str) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("imre-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &handle, &stop))
+                .expect("spawn accept thread")
+        };
+        Ok(TcpServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept loop. Existing
+    /// connection threads wind down on their next poll tick.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let handle = handle.clone();
+                let _ = std::thread::Builder::new()
+                    .name("imre-serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &handle);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: &ServeHandle) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // peer closed
+        }
+        match handle_line(handle, &line) {
+            Reply::Quit => return Ok(()),
+            Reply::Lines(lines) => {
+                let mut out = String::new();
+                for l in &lines {
+                    out.push_str(l);
+                    out.push('\n');
+                }
+                out.push('\n'); // empty terminator line
+                writer.write_all(out.as_bytes())?;
+                writer.flush()?;
+            }
+        }
+    }
+}

@@ -2,27 +2,52 @@
 //! seeded through [`TensorRng`] so that experiments are reproducible.
 
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A seedable random source for tensor initialisation and sampling.
 ///
-/// Thin wrapper over [`rand::rngs::StdRng`] so the rest of the workspace
-/// never has to name a concrete RNG type; all randomness flows through here.
+/// Self-contained xoshiro256** generator (Blackman & Vigna) seeded through
+/// SplitMix64, so the workspace carries no external RNG dependency and every
+/// stochastic component draws from one reproducible stream.
 pub struct TensorRng {
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl TensorRng {
     /// Creates a deterministic RNG from a seed.
     pub fn seed(seed: u64) -> Self {
-        TensorRng { rng: StdRng::seed_from_u64(seed) }
+        // SplitMix64 expansion of the seed into four non-zero words.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TensorRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform sample in `[lo, hi)`.
     #[inline]
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.gen_range(lo..hi)
+        lo + self.f32() * (hi - lo)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -32,39 +57,40 @@ impl TensorRng {
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "TensorRng::below: empty range");
-        self.rng.gen_range(0..n)
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Standard normal sample (Box–Muller; no extra dependency needed).
     pub fn normal(&mut self) -> f32 {
         // Box–Muller transform from two uniforms in (0, 1].
-        let u1: f32 = 1.0 - self.rng.gen::<f32>();
-        let u2: f32 = self.rng.gen::<f32>();
+        let u1: f32 = 1.0 - self.f32();
+        let u2: f32 = self.f32();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
     /// Bernoulli trial with success probability `p`.
     #[inline]
     pub fn bernoulli(&mut self, p: f32) -> bool {
-        self.rng.gen::<f32>() < p
+        self.f32() < p
     }
 
     /// Uniform `f32` in `[0, 1)`.
     #[inline]
     pub fn f32(&mut self) -> f32 {
-        self.rng.gen()
+        // 24 high-quality bits → the full f32 mantissa range in [0, 1).
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Uniform `u64`.
     #[inline]
     pub fn u64(&mut self) -> u64 {
-        self.rng.gen()
+        self.next_u64()
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.below(i + 1);
             xs.swap(i, j);
         }
     }
@@ -132,7 +158,12 @@ mod tests {
         let mut rng = TensorRng::seed(11);
         let t = Tensor::rand_normal(&[20_000], 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }
@@ -163,7 +194,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle left slice in order (astronomically unlikely)");
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left slice in order (astronomically unlikely)"
+        );
     }
 
     #[test]

@@ -49,7 +49,13 @@ pub const TEST_EPS: f32 = 1e-4;
 ///
 /// Panics with the first offending index on failure.
 pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
-    assert_eq!(a.len(), b.len(), "assert_close: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "assert_close: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         assert!(
             (x - y).abs() <= tol,

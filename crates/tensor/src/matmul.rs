@@ -17,7 +17,8 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "Tensor::matmul: inner dimension mismatch {:?} · {:?}",
             self.shape(),
             other.shape()
@@ -37,7 +38,8 @@ impl Tensor {
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "Tensor::matmul_tn: leading dimension mismatch {:?}ᵀ · {:?}",
             self.shape(),
             other.shape()
@@ -74,7 +76,8 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "Tensor::matmul_nt: trailing dimension mismatch {:?} · {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -102,7 +105,13 @@ impl Tensor {
     /// If shapes disagree.
     pub fn matvec(&self, v: &Tensor) -> Tensor {
         let (m, k) = (self.rows(), self.cols());
-        assert_eq!(v.len(), k, "Tensor::matvec: {:?} · vec of len {}", self.shape(), v.len());
+        assert_eq!(
+            v.len(),
+            k,
+            "Tensor::matvec: {:?} · vec of len {}",
+            self.shape(),
+            v.len()
+        );
         let a = self.data();
         let x = v.data();
         let data: Vec<f32> = (0..m).map(|i| dot(&a[i * k..(i + 1) * k], x)).collect();

@@ -15,7 +15,12 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let data = self.data().iter().zip(other.data()).map(|(&a, &b)| f(a, b)).collect();
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
         Tensor::from_vec(data, self.shape())
     }
 
@@ -164,7 +169,11 @@ impl Tensor {
             self.len(),
             other.len()
         );
-        self.data().iter().zip(other.data()).map(|(&a, &b)| a * b).sum()
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Euclidean (L2) norm of the flat buffer.
@@ -178,7 +187,11 @@ impl Tensor {
     pub fn cosine(&self, other: &Tensor) -> f32 {
         let d = self.dot(other);
         let n = self.norm_l2() * other.norm_l2();
-        if n == 0.0 { 0.0 } else { d / n }
+        if n == 0.0 {
+            0.0
+        } else {
+            d / n
+        }
     }
 
     // ------------------------------------------------------------------
@@ -301,6 +314,10 @@ mod tests {
         assert!(sigmoid_scalar(-100.0).abs() < 1e-6);
         assert!(sigmoid_scalar(100.0).is_finite());
         assert!(sigmoid_scalar(-100.0).is_finite());
-        assert_close(&[sigmoid_scalar(0.3)], &[1.0 / (1.0 + (-0.3f32).exp())], 1e-7);
+        assert_close(
+            &[sigmoid_scalar(0.3)],
+            &[1.0 / (1.0 + (-0.3f32).exp())],
+            1e-7,
+        );
     }
 }

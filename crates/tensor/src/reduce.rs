@@ -11,12 +11,19 @@ impl Tensor {
 
     /// Arithmetic mean of all elements (0 for an empty tensor).
     pub fn mean(&self) -> f32 {
-        if self.is_empty() { 0.0 } else { self.sum() / self.len() as f32 }
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
     }
 
     /// Maximum element (−∞ for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Column-wise sum of a rank-2 tensor → rank-1 of length `cols`.
@@ -204,6 +211,10 @@ mod tests {
             assert!((row_sum - 1.0).abs() < 1e-5);
         }
         // shift invariance: rows differing by a constant have equal softmax
-        assert_close(&[s.at(0, 0), s.at(0, 1), s.at(0, 2)], &[s.at(1, 0), s.at(1, 1), s.at(1, 2)], 1e-5);
+        assert_close(
+            &[s.at(0, 0), s.at(0, 1), s.at(0, 2)],
+            &[s.at(1, 0), s.at(1, 1), s.at(1, 2)],
+            1e-5,
+        );
     }
 }

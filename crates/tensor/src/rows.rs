@@ -11,7 +11,11 @@ impl Tensor {
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         let (rows, cols) = (self.rows(), self.cols());
-        assert!(r < rows, "Tensor::row: row {r} out of bounds for {:?}", self.shape());
+        assert!(
+            r < rows,
+            "Tensor::row: row {r} out of bounds for {:?}",
+            self.shape()
+        );
         &self.data()[r * cols..(r + 1) * cols]
     }
 
@@ -22,7 +26,10 @@ impl Tensor {
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         let (rows, cols) = (self.rows(), self.cols());
-        assert!(r < rows, "Tensor::row_mut: row {r} out of bounds for {rows} rows");
+        assert!(
+            r < rows,
+            "Tensor::row_mut: row {r} out of bounds for {rows} rows"
+        );
         let c = cols;
         &mut self.data_mut()[r * c..(r + 1) * c]
     }
@@ -42,7 +49,10 @@ impl Tensor {
         let (rows, cols) = (self.rows(), self.cols());
         let mut data = Vec::with_capacity(indices.len() * cols);
         for &i in indices {
-            assert!(i < rows, "Tensor::gather_rows: index {i} out of bounds for {rows} rows");
+            assert!(
+                i < rows,
+                "Tensor::gather_rows: index {i} out of bounds for {rows} rows"
+            );
             data.extend_from_slice(&self.data()[i * cols..(i + 1) * cols]);
         }
         Tensor::from_vec(data, &[indices.len(), cols])
@@ -58,10 +68,25 @@ impl Tensor {
     /// If shapes disagree or any index is out of bounds.
     pub fn scatter_add_rows(&mut self, indices: &[usize], updates: &Tensor) {
         let (rows, cols) = (self.rows(), self.cols());
-        assert_eq!(updates.rows(), indices.len(), "Tensor::scatter_add_rows: {} updates for {} indices", updates.rows(), indices.len());
-        assert_eq!(updates.cols(), cols, "Tensor::scatter_add_rows: update width {} vs table width {}", updates.cols(), cols);
+        assert_eq!(
+            updates.rows(),
+            indices.len(),
+            "Tensor::scatter_add_rows: {} updates for {} indices",
+            updates.rows(),
+            indices.len()
+        );
+        assert_eq!(
+            updates.cols(),
+            cols,
+            "Tensor::scatter_add_rows: update width {} vs table width {}",
+            updates.cols(),
+            cols
+        );
         for (k, &i) in indices.iter().enumerate() {
-            assert!(i < rows, "Tensor::scatter_add_rows: index {i} out of bounds for {rows} rows");
+            assert!(
+                i < rows,
+                "Tensor::scatter_add_rows: index {i} out of bounds for {rows} rows"
+            );
             let dst = &mut self.data_mut()[i * cols..(i + 1) * cols];
             let src = &updates.data()[k * cols..(k + 1) * cols];
             for (d, &s) in dst.iter_mut().zip(src) {
@@ -79,7 +104,12 @@ impl Tensor {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "Tensor::stack_rows: row {i} has len {} expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "Tensor::stack_rows: row {i} has len {} expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r.data());
         }
         Tensor::from_vec(data, &[rows.len(), cols])
@@ -100,11 +130,19 @@ impl Tensor {
     /// # Panics
     /// If row counts differ or `parts` is empty.
     pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "Tensor::concat_cols: nothing to concatenate");
+        assert!(
+            !parts.is_empty(),
+            "Tensor::concat_cols: nothing to concatenate"
+        );
         let rows = parts[0].rows();
         let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
         for (i, p) in parts.iter().enumerate() {
-            assert_eq!(p.rows(), rows, "Tensor::concat_cols: part {i} has {} rows expected {rows}", p.rows());
+            assert_eq!(
+                p.rows(),
+                rows,
+                "Tensor::concat_cols: part {i} has {} rows expected {rows}",
+                p.rows()
+            );
         }
         let mut out = Tensor::zeros(&[rows, total_cols]);
         for r in 0..rows {
@@ -124,12 +162,20 @@ impl Tensor {
     /// # Panics
     /// If column counts differ or `parts` is empty.
     pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "Tensor::concat_rows: nothing to concatenate");
+        assert!(
+            !parts.is_empty(),
+            "Tensor::concat_rows: nothing to concatenate"
+        );
         let cols = parts[0].cols();
         let total_rows: usize = parts.iter().map(|p| p.rows()).sum();
         let mut data = Vec::with_capacity(total_rows * cols);
         for (i, p) in parts.iter().enumerate() {
-            assert_eq!(p.cols(), cols, "Tensor::concat_rows: part {i} has {} cols expected {cols}", p.cols());
+            assert_eq!(
+                p.cols(),
+                cols,
+                "Tensor::concat_rows: part {i} has {} cols expected {cols}",
+                p.cols()
+            );
             data.extend_from_slice(p.data());
         }
         Tensor::from_vec(data, &[total_rows, cols])
@@ -141,7 +187,10 @@ impl Tensor {
     /// If the range is invalid.
     pub fn slice_rows(&self, lo: usize, hi: usize) -> Tensor {
         let (rows, cols) = (self.rows(), self.cols());
-        assert!(lo <= hi && hi <= rows, "Tensor::slice_rows: bad range [{lo}, {hi}) of {rows}");
+        assert!(
+            lo <= hi && hi <= rows,
+            "Tensor::slice_rows: bad range [{lo}, {hi}) of {rows}"
+        );
         Tensor::from_vec(self.data()[lo * cols..hi * cols].to_vec(), &[hi - lo, cols])
     }
 
@@ -151,7 +200,10 @@ impl Tensor {
     /// If the range is invalid.
     pub fn slice_cols(&self, lo: usize, hi: usize) -> Tensor {
         let (rows, cols) = (self.rows(), self.cols());
-        assert!(lo <= hi && hi <= cols, "Tensor::slice_cols: bad range [{lo}, {hi}) of {cols}");
+        assert!(
+            lo <= hi && hi <= cols,
+            "Tensor::slice_cols: bad range [{lo}, {hi}) of {cols}"
+        );
         let w = hi - lo;
         let mut data = Vec::with_capacity(rows * w);
         for r in 0..rows {

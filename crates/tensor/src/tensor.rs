@@ -31,13 +31,19 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// A tensor of ones with the given shape.
@@ -48,7 +54,10 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![value; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -62,7 +71,10 @@ impl Tensor {
 
     /// A rank-1 tensor holding `0.0, 1.0, …, (n-1) as f32`.
     pub fn arange(n: usize) -> Self {
-        Tensor { shape: vec![n], data: (0..n).map(|i| i as f32).collect() }
+        Tensor {
+            shape: vec![n],
+            data: (0..n).map(|i| i as f32).collect(),
+        }
     }
 
     /// Builds a rank-2 tensor from rows; every row must have equal length.
@@ -74,10 +86,18 @@ impl Tensor {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "Tensor::from_rows: row {i} has len {} expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "Tensor::from_rows: row {i} has len {} expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Tensor { shape: vec![rows.len(), cols], data }
+        Tensor {
+            shape: vec![rows.len(), cols],
+            data,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -131,7 +151,12 @@ impl Tensor {
     /// If rank is not 2.
     #[inline]
     pub fn rows(&self) -> usize {
-        assert_eq!(self.rank(), 2, "Tensor::rows: expected rank-2, got shape {:?}", self.shape);
+        assert_eq!(
+            self.rank(),
+            2,
+            "Tensor::rows: expected rank-2, got shape {:?}",
+            self.shape
+        );
         self.shape[0]
     }
 
@@ -141,7 +166,12 @@ impl Tensor {
     /// If rank is not 2.
     #[inline]
     pub fn cols(&self) -> usize {
-        assert_eq!(self.rank(), 2, "Tensor::cols: expected rank-2, got shape {:?}", self.shape);
+        assert_eq!(
+            self.rank(),
+            2,
+            "Tensor::cols: expected rank-2, got shape {:?}",
+            self.shape
+        );
         self.shape[1]
     }
 
@@ -152,7 +182,11 @@ impl Tensor {
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> f32 {
         let (rows, cols) = (self.rows(), self.cols());
-        assert!(r < rows && c < cols, "Tensor::at: ({r},{c}) out of bounds for {:?}", self.shape);
+        assert!(
+            r < rows && c < cols,
+            "Tensor::at: ({r},{c}) out of bounds for {:?}",
+            self.shape
+        );
         self.data[r * cols + c]
     }
 
@@ -163,7 +197,11 @@ impl Tensor {
     #[inline]
     pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
         let (rows, cols) = (self.rows(), self.cols());
-        assert!(r < rows && c < cols, "Tensor::at_mut: ({r},{c}) out of bounds for {:?}", self.shape);
+        assert!(
+            r < rows && c < cols,
+            "Tensor::at_mut: ({r},{c}) out of bounds for {:?}",
+            self.shape
+        );
         &mut self.data[r * cols + c]
     }
 
@@ -186,7 +224,10 @@ impl Tensor {
             shape,
             n
         );
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// In-place reshape (no copy).
@@ -195,7 +236,11 @@ impl Tensor {
     /// If the element counts differ.
     pub fn reshape_in_place(&mut self, shape: &[usize]) {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "Tensor::reshape_in_place: element count mismatch");
+        assert_eq!(
+            n,
+            self.data.len(),
+            "Tensor::reshape_in_place: element count mismatch"
+        );
         self.shape = shape.to_vec();
     }
 
@@ -219,13 +264,24 @@ impl Tensor {
     /// # Panics
     /// If rank is not 1.
     pub fn as_row_matrix(&self) -> Tensor {
-        assert_eq!(self.rank(), 1, "Tensor::as_row_matrix: expected rank-1, got {:?}", self.shape);
-        Tensor { shape: vec![1, self.data.len()], data: self.data.clone() }
+        assert_eq!(
+            self.rank(),
+            1,
+            "Tensor::as_row_matrix: expected rank-1, got {:?}",
+            self.shape
+        );
+        Tensor {
+            shape: vec![1, self.data.len()],
+            data: self.data.clone(),
+        }
     }
 
     /// Flattens to rank 1.
     pub fn flatten(&self) -> Tensor {
-        Tensor { shape: vec![self.data.len()], data: self.data.clone() }
+        Tensor {
+            shape: vec![self.data.len()],
+            data: self.data.clone(),
+        }
     }
 }
 
@@ -235,7 +291,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 16 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:.4}, {:.4}, …, {:.4}]", self.data[0], self.data[1], self.data[self.data.len() - 1])
+            write!(
+                f,
+                " [{:.4}, {:.4}, …, {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1]
+            )
         }
     }
 }

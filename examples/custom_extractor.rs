@@ -10,7 +10,8 @@
 //! ```
 
 use imre::core::{
-    entity_type_table, prepare_bags, train_model, BagContext, HyperParams, ModelSpec, ReModel, TrainConfig,
+    entity_type_table, prepare_bags, train_model, BagContext, HyperParams, ModelSpec, ReModel,
+    TrainConfig,
 };
 use imre::corpus::{Dataset, DatasetConfig, SentenceGenConfig, WorldConfig};
 use imre::eval::evaluate_system;
@@ -30,7 +31,11 @@ fn main() {
             cluster_reuse_prob: 0.4,
             seed: 2024,
         },
-        sentence: SentenceGenConfig { noise_prob: 0.25, min_len: 8, max_len: 20 },
+        sentence: SentenceGenConfig {
+            noise_prob: 0.25,
+            min_len: 8,
+            max_len: 20,
+        },
         train_fraction: 0.75,
         na_train: 150,
         na_test: 60,
@@ -56,7 +61,10 @@ fn main() {
     let train_bags = prepare_bags(&dataset.train, &hp);
     let test_bags = prepare_bags(&dataset.test, &hp);
     let types = entity_type_table(&dataset.world);
-    let ctx = BagContext { entity_embedding: None, entity_types: &types };
+    let ctx = BagContext {
+        entity_embedding: None,
+        entity_types: &types,
+    };
 
     let mut model = ReModel::new(
         ModelSpec::gru_att(),
@@ -67,14 +75,24 @@ fn main() {
         hp.entity_dim,
         7,
     );
-    let stats = train_model(&mut model, &train_bags, &ctx, &TrainConfig::from_hp(&hp, 13));
+    let stats = train_model(
+        &mut model,
+        &train_bags,
+        &ctx,
+        &TrainConfig::from_hp(&hp, 13),
+    );
     println!("trained GRU+ATT: per-epoch loss {:?}", stats.epoch_losses);
 
     // 3. Evaluate and inspect one prediction.
-    let ev = evaluate_system(&test_bags, dataset.num_relations(), |bag| model.predict(bag, &ctx));
+    let ev = evaluate_system(&test_bags, dataset.num_relations(), |bag| {
+        model.predict(bag, &ctx)
+    });
     println!("held-out AUC {:.4}, F1 {:.4}", ev.auc, ev.f1);
 
-    let bag = test_bags.iter().find(|b| b.label != 0).expect("a relational test bag");
+    let bag = test_bags
+        .iter()
+        .find(|b| b.label != 0)
+        .expect("a relational test bag");
     let scores = model.predict(bag, &ctx);
     let best = scores
         .iter()

@@ -18,7 +18,9 @@ fn main() {
 
     // 1. Nearest neighbours of the paper's case-study entities.
     for name in ["Seattle", "University_of_Washington", "Barack_Obama"] {
-        let Some(id) = world.entity_by_name(name) else { continue };
+        let Some(id) = world.entity_by_name(name) else {
+            continue;
+        };
         println!("nearest to {name}:");
         for (v, cos) in nearest(emb, id.0, 5) {
             println!("   {:+.3}  {}", cos, world.entities[v].name);

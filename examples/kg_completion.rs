@@ -32,7 +32,10 @@ fn main() {
     candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
 
     println!("top 15 extracted triplets:");
-    println!("{:<7} {:<28} {:<38} {:<28} {}", "score", "head", "relation", "tail", "in KG?");
+    println!(
+        "{:<7} {:<28} {:<38} {:<28} in KG?",
+        "score", "head", "relation", "tail"
+    );
     let world = &pipeline.dataset.world;
     let mut hits = 0;
     for &(score, h, t, r) in candidates.iter().take(15) {
@@ -49,5 +52,8 @@ fn main() {
             if gold { "yes" } else { "no" }
         );
     }
-    println!("\n{hits}/15 of the top extractions are confirmed KG facts (precision@15 = {:.2})", hits as f32 / 15.0);
+    println!(
+        "\n{hits}/15 of the top extractions are confirmed KG facts (precision@15 = {:.2})",
+        hits as f32 / 15.0
+    );
 }

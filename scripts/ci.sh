@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full CI gate for the workspace. Run from the repository root:
+#
+#   scripts/ci.sh
+#
+# Steps: formatting, clippy with warnings denied, release build, the full
+# test suite, and a 1-second smoke run of the serving-throughput bench
+# (which exercises train -> bundle -> registry -> batched engine end to end).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test"
+cargo test -q --workspace
+
+step "serve_throughput smoke (CRITERION_SAMPLE_MS=1)"
+CRITERION_SAMPLE_MS=1 cargo bench -p imre-bench --bench serve_throughput
+
+printf '\nci.sh: all gates passed\n'

@@ -13,6 +13,7 @@
 //! | [`graph`] | entity proximity graph + LINE embeddings (the implicit mutual relations) |
 //! | [`core`] | the paper's models: PCNN(+ATT), CNN+ATT, GRU+ATT, BGWA, CNN+RL, Mintz/MultiR/MIMLRE, PA-T / PA-MR / PA-TMR |
 //! | [`eval`] | held-out PR/AUC/P@N metrics, slice analyses, the experiment pipeline |
+//! | [`serve`] | batched multi-threaded inference serving: model registry, micro-batching engine, TCP front-end, latency metrics |
 //!
 //! ## Quickstart
 //!
@@ -32,6 +33,7 @@ pub use imre_corpus as corpus;
 pub use imre_eval as eval;
 pub use imre_graph as graph;
 pub use imre_nn as nn;
+pub use imre_serve as serve;
 pub use imre_tensor as tensor;
 
 /// The paper's models and training loops (re-export of `imre-core`; named

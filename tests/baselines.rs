@@ -13,7 +13,10 @@ struct Fixture {
 
 impl Fixture {
     fn new() -> Self {
-        Fixture { dataset: Dataset::generate(&smoke_config(21)), hp: HyperParams::tiny() }
+        Fixture {
+            dataset: Dataset::generate(&smoke_config(21)),
+            hp: HyperParams::tiny(),
+        }
     }
 }
 
@@ -72,14 +75,22 @@ fn cnn_rl_trains_end_to_end() {
     let train = prepare_bags(&f.dataset.train, &f.hp);
     let test = prepare_bags(&f.dataset.test, &f.hp);
     let types = entity_type_table(&f.dataset.world);
-    let ctx = BagContext { entity_embedding: None, entity_types: &types };
+    let ctx = BagContext {
+        entity_embedding: None,
+        entity_types: &types,
+    };
     let m_rel = f.dataset.num_relations();
 
     let mut rl = CnnRl::new(&f.hp, f.dataset.vocab.len(), m_rel, 5);
     rl.train(
         &train,
         &ctx,
-        &RlConfig { pretrain_epochs: 3, joint_epochs: 2, batch_size: 8, ..Default::default() },
+        &RlConfig {
+            pretrain_epochs: 3,
+            joint_epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        },
     );
     let ev = evaluate_system(&test, m_rel, |b| rl.predict(b, &ctx));
     assert!(ev.auc > 0.05 && ev.auc <= 1.0, "CNN+RL auc {}", ev.auc);

@@ -33,7 +33,10 @@ fn training_beats_untrained_model() {
     );
     let before = p.evaluate_model(&untrained).auc;
     let after = p.run_system(ModelSpec::pcnn_att(), 9).auc;
-    assert!(after > before + 0.02, "training must help: {before} → {after}");
+    assert!(
+        after > before + 0.02,
+        "training must help: {before} → {after}"
+    );
 }
 
 #[test]

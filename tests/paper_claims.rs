@@ -21,7 +21,11 @@ fn mid_config(seed: u64) -> DatasetConfig {
             cluster_reuse_prob: 0.5,
             seed: seed ^ 0xfeed,
         },
-        sentence: SentenceGenConfig { noise_prob: 0.4, min_len: 8, max_len: 18 },
+        sentence: SentenceGenConfig {
+            noise_prob: 0.4,
+            min_len: 8,
+            max_len: 18,
+        },
         train_fraction: 0.7,
         na_train: 350,
         na_test: 150,
@@ -63,8 +67,14 @@ fn single_components_also_help() {
     let base = mean_evaluation(&p.run_system_seeds(ModelSpec::pcnn_att(), &seeds)).auc;
     let pa_t = mean_evaluation(&p.run_system_seeds(ModelSpec::pa_t(), &seeds)).auc;
     let pa_mr = mean_evaluation(&p.run_system_seeds(ModelSpec::pa_mr(), &seeds)).auc;
-    assert!(pa_t > base * 0.98, "PA-T ({pa_t:.4}) should not fall below PCNN+ATT ({base:.4})");
-    assert!(pa_mr > base * 0.98, "PA-MR ({pa_mr:.4}) should not fall below PCNN+ATT ({base:.4})");
+    assert!(
+        pa_t > base * 0.98,
+        "PA-T ({pa_t:.4}) should not fall below PCNN+ATT ({base:.4})"
+    );
+    assert!(
+        pa_mr > base * 0.98,
+        "PA-MR ({pa_mr:.4}) should not fall below PCNN+ATT ({base:.4})"
+    );
     assert!(
         pa_t > base || pa_mr > base,
         "at least one single component must improve the base (PA-T {pa_t:.4}, PA-MR {pa_mr:.4}, base {base:.4})"
@@ -95,7 +105,9 @@ fn mutual_relations_cluster_by_relation() {
         for &(h1, t1) in xs {
             for &(h2, t2) in ys {
                 if (h1, t1) != (h2, t2) {
-                    acc += emb.mutual_relation(h1, t1).cosine(&emb.mutual_relation(h2, t2));
+                    acc += emb
+                        .mutual_relation(h1, t1)
+                        .cosine(&emb.mutual_relation(h2, t2));
                     n += 1;
                 }
             }
@@ -114,7 +126,14 @@ fn mutual_relations_cluster_by_relation() {
 fn long_tail_shape_matches_fig1() {
     // Fig 1: the overwhelming majority of pairs have <11 sentences.
     let p = mid_pipeline();
-    let small = p.train_bags.iter().filter(|b| b.sentences.len() <= 10).count();
+    let small = p
+        .train_bags
+        .iter()
+        .filter(|b| b.sentences.len() <= 10)
+        .count();
     let frac = small as f32 / p.train_bags.len() as f32;
-    assert!(frac > 0.85, "long tail missing: only {frac:.2} of pairs have ≤10 sentences");
+    assert!(
+        frac > 0.85,
+        "long tail missing: only {frac:.2} of pairs have ≤10 sentences"
+    );
 }

@@ -11,8 +11,13 @@ use imre::tensor::{Tensor, TensorRng};
 fn proximity_graph_from_generated_unlabeled_corpus() {
     let ds = Dataset::generate(&smoke_config(31));
     let co = generate_unlabeled(&ds.world, &UnlabeledConfig::default());
-    let graph = ProximityGraph::from_counts(co.iter().map(|(&p, &c)| (p, c)), ds.world.num_entities(), 2);
-    assert!(graph.n_edges() > ds.world.facts.len() / 2, "graph too sparse: {} edges", graph.n_edges());
+    let graph =
+        ProximityGraph::from_counts(co.iter().map(|(&p, &c)| (p, c)), ds.world.num_entities(), 2);
+    assert!(
+        graph.n_edges() > ds.world.facts.len() / 2,
+        "graph too sparse: {} edges",
+        graph.n_edges()
+    );
     // weights respect the paper's normalisation
     for &(_, _, w) in graph.edges() {
         assert!(w > 0.0 && w <= 1.0);
@@ -23,8 +28,17 @@ fn proximity_graph_from_generated_unlabeled_corpus() {
 fn line_embeddings_respect_world_clusters() {
     let ds = Dataset::generate(&smoke_config(33));
     let co = generate_unlabeled(&ds.world, &UnlabeledConfig::default());
-    let graph = ProximityGraph::from_counts(co.iter().map(|(&p, &c)| (p, c)), ds.world.num_entities(), 2);
-    let emb = train_line(&graph, &LineConfig { dim: 32, samples_per_epoch: 60_000, epochs: 2, ..Default::default() });
+    let graph =
+        ProximityGraph::from_counts(co.iter().map(|(&p, &c)| (p, c)), ds.world.num_entities(), 2);
+    let emb = train_line(
+        &graph,
+        &LineConfig {
+            dim: 32,
+            samples_per_epoch: 60_000,
+            epochs: 2,
+            ..Default::default()
+        },
+    );
 
     // For entities with edges, nearest neighbours should over-represent the
     // query's own cluster relative to chance.
@@ -94,7 +108,10 @@ fn autograd_trains_on_generated_tokens() {
         }
         last_loss = total;
     }
-    assert!(last_loss < first_loss * 0.8, "bag-of-embeddings failed to learn: {first_loss} → {last_loss}");
+    assert!(
+        last_loss < first_loss * 0.8,
+        "bag-of-embeddings failed to learn: {first_loss} → {last_loss}"
+    );
 }
 
 #[test]

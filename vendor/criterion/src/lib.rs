@@ -1,0 +1,241 @@
+//! Vendored minimal benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the `criterion` API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for ~100 ms, then runs three
+//! timed samples sized to ~200 ms each and reports the fastest per-iteration
+//! mean (minimum-of-means is robust to scheduler noise on shared machines).
+//! Set `CRITERION_SAMPLE_MS` to change the per-sample budget, e.g. a smoke
+//! value like `10` in CI.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id naming only the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure under measurement; drives the timing loop.
+pub struct Bencher {
+    sample_budget: Duration,
+    /// Best observed mean per-iteration time, filled by [`Bencher::iter`].
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_budget: Duration) -> Self {
+        Bencher {
+            sample_budget,
+            result: None,
+        }
+    }
+
+    /// Measures `f`, keeping the fastest of three sample means.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also sizes the batch so one sample hits the budget.
+        let warmup_deadline = Instant::now() + self.sample_budget / 2;
+        let mut iters: u64 = 0;
+        while Instant::now() < warmup_deadline {
+            black_box(f());
+            iters += 1;
+        }
+        let batch = iters.max(1);
+        let mut best: Option<Duration> = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = start.elapsed() / (batch as u32).max(1);
+            best = Some(match best {
+                Some(b) if b < per_iter => b,
+                _ => per_iter,
+            });
+        }
+        self.result = best;
+    }
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms.max(1))
+}
+
+fn report(label: &str, result: Option<Duration>) {
+    match result {
+        Some(d) => println!("{label:<48} time: {d:>12.3?}/iter"),
+        None => println!("{label:<48} (no measurement: closure never ran)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_budget: sample_budget(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line (the first
+    /// non-flag argument, as `cargo bench -- <filter>` passes it).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    fn enabled(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Measures one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(name) {
+            let mut b = Bencher::new(self.sample_budget);
+            f(&mut b);
+            report(name, b.result);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        if self.criterion.enabled(&label) {
+            let mut b = Bencher::new(self.criterion.sample_budget);
+            f(&mut b);
+            report(&label, b.result);
+        }
+        self
+    }
+
+    /// Measures one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        if self.criterion.enabled(&label) {
+            let mut b = Bencher::new(self.criterion.sample_budget);
+            f(&mut b, input);
+            report(&label, b.result);
+        }
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "2");
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            sample_budget: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("other", |_| ran = true);
+        assert!(!ran);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |_, _| ran = true);
+        group.finish();
+        assert!(!ran);
+    }
+}
