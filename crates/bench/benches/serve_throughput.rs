@@ -134,8 +134,11 @@ fn bench_worker_count(c: &mut Criterion) {
 
 /// Non-criterion summary: measured requests/sec per batch bound, plus the
 /// per-stage histogram dump from a fresh engine after one sustained run.
+/// With `IMRE_BENCH_JSON` set, the req/s numbers are also written as flat
+/// JSON for the `scripts/bench_check.sh` regression gate.
 fn print_summary() {
     println!("\n=== serve_throughput summary (burst = {BURST}, workers = 1) ===");
+    let mut sink = imre_bench::MetricSink::new();
     let mut rps_b1 = 0.0f64;
     for &batch_max in &[1usize, 8] {
         let handle = engine(1, batch_max);
@@ -154,12 +157,17 @@ fn print_summary() {
             best = best.min(start.elapsed() / bursts_per_sample);
         }
         let rps = BURST as f64 / best.as_secs_f64();
+        sink.record(&format!("serve_rps_batch{batch_max}"), rps);
         if batch_max == 1 {
             rps_b1 = rps;
         }
         let speedup = if batch_max == 1 {
             String::new()
         } else {
+            sink.record(
+                &format!("info_serve_speedup_batch{batch_max}"),
+                rps / rps_b1,
+            );
             format!("  ({:.2}x vs batch=1)", rps / rps_b1)
         };
         println!("batch_max={batch_max:>2}  {rps:>9.1} req/s{speedup}");
@@ -172,6 +180,7 @@ fn print_summary() {
         }
         handle.shutdown();
     }
+    sink.write_if_requested();
 }
 
 criterion_group!(benches, bench_batch_bound, bench_worker_count);

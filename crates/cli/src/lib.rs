@@ -25,6 +25,11 @@ USAGE:
   imre serve      --bundle FILE [--name NAME] [--addr HOST:PORT] [--workers N]
                   [--batch N] [--deadline-ms N] [--queue N]
 
+GLOBAL FLAGS (any subcommand):
+  --threads N     size of the compute thread pool (default: IMRE_THREADS env
+                  var, else all available cores; results are bit-identical
+                  at any thread count)
+
 MODEL SPECS: pcnn, pcnn-att, cnn-att, gru-att, bgwa, pa-t, pa-mr, pa-tmr";
 
 /// CLI failure modes.
@@ -135,12 +140,36 @@ fn hp_with_epochs(epochs: usize) -> HyperParams {
     hp
 }
 
+/// Applies the global `--threads` flag: pins the compute pool size before
+/// any kernel runs. The pool is process-global and built once, so a second
+/// conflicting request (only possible when `run` is called repeatedly
+/// in-process, as tests do) warns instead of failing the command.
+fn apply_threads_flag(flags: &Flags) -> Result<(), CliError> {
+    let Some(requested) = flags.optional("threads") else {
+        return Ok(());
+    };
+    let threads: usize = requested
+        .parse()
+        .map_err(|_| usage(format!("--threads {requested:?} is not a valid number")))?;
+    let threads = threads.max(1);
+    if let Err(existing) = imre_tensor::pool::init_global(threads) {
+        if existing != threads {
+            eprintln!(
+                "warning: compute pool already initialised with {existing} threads; \
+                 --threads {threads} ignored"
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Entry point used by `main` and the tests.
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage("no subcommand"));
     };
     let flags = Flags::parse(rest)?;
+    apply_threads_flag(&flags)?;
     match cmd.as_str() {
         "stats" => cmd_stats(&flags),
         "train" => cmd_train(&flags),
@@ -420,6 +449,21 @@ mod tests {
     #[test]
     fn stats_runs_on_smoke() {
         run(&s(&["stats", "--dataset", "smoke", "--seed", "3"])).unwrap();
+    }
+
+    #[test]
+    fn threads_flag_rejects_garbage() {
+        match run(&s(&["stats", "--dataset", "smoke", "--threads", "lots"])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("--threads")),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threads_flag_accepted_on_any_subcommand() {
+        // The pool may already be pinned by a concurrent test; the flag must
+        // still be accepted (it warns on conflict rather than failing).
+        run(&s(&["stats", "--dataset", "smoke", "--threads", "2"])).unwrap();
     }
 
     #[test]

@@ -513,14 +513,27 @@ impl ReModel {
     /// Produces exactly the same scores as calling [`ReModel::predict`] per
     /// bag (each bag's graph is independent; the tape is reset in between),
     /// but amortizes tape allocation across the batch.
+    ///
+    /// With a multi-thread compute pool the bags run in parallel, one
+    /// inference tape per bag writing its own output slot — bag-level
+    /// parallelism for the serving engine's batched forward. Scores are
+    /// bit-identical either way: each bag's graph is evaluated by exactly
+    /// one thread with the same kernel code.
     pub fn predict_batch(&self, bags: &[&PreparedBag], ctx: &BagContext) -> Vec<Vec<f32>> {
-        let mut tape = Tape::inference(&self.store);
-        bags.iter()
-            .map(|bag| {
-                tape.reset();
-                self.predict_into(&mut tape, bag, ctx)
-            })
-            .collect()
+        if imre_tensor::pool::current_threads() <= 1 || bags.len() <= 1 {
+            let mut tape = Tape::inference(&self.store);
+            return bags
+                .iter()
+                .map(|bag| {
+                    tape.reset();
+                    self.predict_into(&mut tape, bag, ctx)
+                })
+                .collect();
+        }
+        imre_tensor::pool::par_map(bags.len(), |i| {
+            let mut tape = Tape::inference(&self.store);
+            self.predict_into(&mut tape, bags[i], ctx)
+        })
     }
 
     /// Predicts and returns `(relation, score)` pairs sorted by descending

@@ -29,10 +29,14 @@ impl ProximityGraph {
     where
         I: IntoIterator<Item = ((usize, usize), u32)>,
     {
-        let kept: Vec<((usize, usize), u32)> = counts
+        let mut kept: Vec<((usize, usize), u32)> = counts
             .into_iter()
             .filter(|&((a, b), c)| a != b && c >= threshold)
             .collect();
+        // Canonical edge order regardless of the input iterator's order
+        // (counts typically come out of a HashMap): the edge list seeds the
+        // LINE alias sampler, so its order must not vary per process.
+        kept.sort_unstable();
         let max_count = kept.iter().map(|&(_, c)| c).max().unwrap_or(0);
         // log(1) = 0 would zero out minimum-weight edges when max == 1; the
         // +1 smoothing keeps every retained edge strictly positive while
@@ -141,6 +145,22 @@ mod tests {
         // (2,3) has count 1 < threshold 2; (3,3) is a self-loop
         assert_eq!(g.n_edges(), 3);
         assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn edge_order_independent_of_input_order() {
+        // Counts usually come out of a HashMap, whose iteration order varies
+        // per process; the edge list (which seeds the LINE alias sampler)
+        // must come out canonical either way.
+        let counts = vec![((0, 1), 10), ((1, 2), 5), ((0, 2), 2), ((2, 3), 3)];
+        let mut reversed = counts.clone();
+        reversed.reverse();
+        let a = ProximityGraph::from_counts(counts, 4, 2);
+        let b = ProximityGraph::from_counts(reversed, 4, 2);
+        assert_eq!(a.edges(), b.edges());
+        for v in 0..4 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
     }
 
     #[test]

@@ -326,19 +326,24 @@ impl<'s> Tape<'s> {
         let (t, d) = (xv.rows(), xv.cols());
         let half = window / 2;
         let mut out = Tensor::zeros(&[t, window * d]);
-        for row in 0..t {
-            for o in 0..window {
-                // signed source row
-                let src = row as isize + o as isize - half as isize;
-                if src < 0 || src >= t as isize {
-                    continue;
+        // Row-parallel: output row `row` only reads input rows and writes its
+        // own `window · d` slice, so partitioning cannot change the result.
+        let grain = (4096 / (window * d).max(1)).max(1);
+        let src_data = xv.data();
+        imre_tensor::pool::for_rows(out.data_mut(), t, window * d, grain, |lo, hi, shard| {
+            for row in lo..hi {
+                for o in 0..window {
+                    // signed source row
+                    let src = row as isize + o as isize - half as isize;
+                    if src < 0 || src >= t as isize {
+                        continue;
+                    }
+                    let src = src as usize;
+                    let dst_off = (row - lo) * window * d + o * d;
+                    shard[dst_off..dst_off + d].copy_from_slice(&src_data[src * d..(src + 1) * d]);
                 }
-                let src = src as usize;
-                let dst_off = row * window * d + o * d;
-                out.data_mut()[dst_off..dst_off + d]
-                    .copy_from_slice(&xv.data()[src * d..(src + 1) * d]);
             }
-        }
+        });
         self.push(out, Op::Unfold { x, window })
     }
 
@@ -618,23 +623,34 @@ impl<'s> Tape<'s> {
                 Op::Unfold { x, window } => {
                     let xv = &nodes[x.0].value.tensor();
                     let (t, d) = (xv.rows(), xv.cols());
+                    let window = *window;
                     let half = window / 2;
                     let mut dx = Tensor::zeros(&[t, d]);
-                    for row in 0..t {
-                        for o in 0..*window {
-                            let src = row as isize + o as isize - half as isize;
-                            if src < 0 || src >= t as isize {
-                                continue;
-                            }
-                            let src = src as usize;
-                            let g_off = row * window * d + o * d;
-                            let dst = &mut dx.data_mut()[src * d..(src + 1) * d];
-                            let gsl = &g.data()[g_off..g_off + d];
-                            for (a, &b) in dst.iter_mut().zip(gsl) {
-                                *a += b;
+                    // Inverted loop nest vs. the forward pass: iterate over
+                    // *destination* (input-gradient) rows so each task owns a
+                    // disjoint shard of `dx` — the scatter over overlapping
+                    // windows becomes a per-row gather with no atomics.
+                    // For dx row `src` the contributions are g[row, o·d..]
+                    // with row = src + half − o; descending `o` replays the
+                    // legacy ascending-`row` accumulation order exactly.
+                    let grain = (4096 / (window * d).max(1)).max(1);
+                    let g_data = g.data();
+                    imre_tensor::pool::for_rows(dx.data_mut(), t, d, grain, |lo, hi, shard| {
+                        for src in lo..hi {
+                            let dst = &mut shard[(src - lo) * d..(src - lo + 1) * d];
+                            for o in (0..window).rev() {
+                                let row = src as isize + half as isize - o as isize;
+                                if row < 0 || row >= t as isize {
+                                    continue;
+                                }
+                                let g_off = row as usize * window * d + o * d;
+                                let gsl = &g_data[g_off..g_off + d];
+                                for (a, &b) in dst.iter_mut().zip(gsl) {
+                                    *a += b;
+                                }
                             }
                         }
-                    }
+                    });
                     acc(&mut adj, x.0, dx);
                 }
                 Op::PiecewiseMax {

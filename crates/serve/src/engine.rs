@@ -9,6 +9,13 @@
 //! one registry resolution and one tape allocation per batch instead of per
 //! request.
 //!
+//! The batched forward pass itself is data-parallel: `imre-core` runs the
+//! bags of a batch concurrently on the `imre_tensor::pool` compute pool
+//! (sized by `IMRE_THREADS` / the CLI `--threads` flag). The pool's
+//! determinism contract guarantees batched scores stay bit-identical to
+//! unbatched ones at any thread count, so the engine's batching is purely a
+//! throughput decision.
+//!
 //! Shutdown is graceful: [`ServeHandle::shutdown`] closes the queue (new
 //! submissions get [`ServeError::ShuttingDown`]) and joins the workers,
 //! which drain and answer every already-queued request before exiting.

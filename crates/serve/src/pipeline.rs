@@ -173,8 +173,11 @@ impl ServingModel {
         self.bundle.model.predict(bag, &self.ctx())
     }
 
-    /// Scores a slice of featurized bags on one reused inference tape; the
-    /// scores are identical to per-bag [`ServingModel::predict_prepared`].
+    /// Scores a slice of featurized bags; with a multi-thread compute pool
+    /// the bags run in parallel (one inference tape each), otherwise on one
+    /// reused tape. Either way the scores are bit-identical to per-bag
+    /// [`ServingModel::predict_prepared`] — see `imre_tensor::pool` for the
+    /// determinism contract.
     pub fn predict_prepared_batch(&self, bags: &[&PreparedBag]) -> Vec<Vec<f32>> {
         self.bundle.model.predict_batch(bags, &self.ctx())
     }

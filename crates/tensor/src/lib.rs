@@ -21,6 +21,10 @@
 //! * **Mostly rank-1/rank-2.** Sequence and bag structure is handled one level
 //!   up (in `imre-nn` / `imre-core`) by explicit loops over rows, which keeps
 //!   this crate small and easily verified.
+//! * **Deterministic parallelism.** Hot kernels run on the persistent
+//!   [`pool`] worker pool (sized from `IMRE_THREADS` or the machine), with
+//!   shape-derived row partitions guaranteeing results bit-identical to a
+//!   single-threaded run at any thread count.
 //!
 //! ```
 //! use imre_tensor::Tensor;
@@ -33,12 +37,13 @@
 mod init;
 mod matmul;
 mod ops;
+pub mod pool;
 mod reduce;
 mod rows;
 mod tensor;
 
 pub use init::TensorRng;
-pub use matmul::matmul_into;
+pub use matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
 pub use ops::sigmoid_scalar;
 pub use tensor::Tensor;
 

@@ -1,12 +1,36 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication kernels, row-parallel on the [`crate::pool`] backend.
 //!
 //! All kernels use the `ikj` loop order so the innermost loop walks both the
 //! output row and the right operand row contiguously — the standard BLAS-free
 //! trick from the Rust Performance Book's "bounds-check friendly iteration"
 //! advice. At the matrix sizes this workspace uses (≲ 512 per side) this is
 //! within a small factor of a tuned BLAS and keeps the crate dependency-free.
+//!
+//! Parallel kernels split the *output* into row ranges whose bounds depend
+//! only on the problem shape, and every output element is accumulated by one
+//! task in the same ascending-`l` order the sequential kernel uses — so
+//! results are bit-identical at any thread count (see `pool` module docs).
+//! The reduction (`k`) dimension is additionally cache-blocked so a panel of
+//! `b` stays hot while a chunk of output rows streams over it.
 
+use crate::pool;
 use crate::Tensor;
+
+/// Target multiply-adds per parallel task; keeps dispatch overhead well
+/// under the compute cost of a chunk. Derived from shape only — never from
+/// the thread count — so the partition (and thus any rounding behaviour)
+/// is identical no matter how many workers execute it.
+const GRAIN_FLOPS: usize = 64 * 1024;
+
+/// Reduction-dimension block: `KC × n` floats of `b` (≲ 64 KiB for n = 128)
+/// stay in L1/L2 while a row chunk streams over them.
+const KC: usize = 128;
+
+/// Rows per task for an `m × n`-output kernel with `k`-deep reductions.
+#[inline]
+fn row_grain(k: usize, n: usize) -> usize {
+    (GRAIN_FLOPS / (k * n).max(1)).max(1)
+}
 
 impl Tensor {
     /// Matrix product `self · other` for rank-2 tensors.
@@ -45,24 +69,7 @@ impl Tensor {
             other.shape()
         );
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = other.data();
-        let o = out.data_mut();
-        // out[i][j] += a[l][i] * b[l][j]  — accumulate one rank-1 update per l;
-        // both inner walks are contiguous.
-        for l in 0..k {
-            let arow = &a[l * m..(l + 1) * m];
-            let brow = &b[l * n..(l + 1) * n];
-            for (i, &ai) in arow.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * n..(i + 1) * n];
-                for (oj, &bj) in orow.iter_mut().zip(brow) {
-                    *oj += ai * bj;
-                }
-            }
-        }
+        matmul_tn_into(self.data(), other.data(), out.data_mut(), m, k, n);
         out
     }
 
@@ -83,18 +90,7 @@ impl Tensor {
             other.shape()
         );
         let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = other.data();
-        let o = out.data_mut();
-        // out[i][j] = dot(a_row_i, b_row_j) — both operand walks contiguous.
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for (j, oj) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                *oj = dot(arow, brow);
-            }
-        }
+        matmul_nt_into(self.data(), other.data(), out.data_mut(), m, k, n);
         out
     }
 
@@ -114,8 +110,13 @@ impl Tensor {
         );
         let a = self.data();
         let x = v.data();
-        let data: Vec<f32> = (0..m).map(|i| dot(&a[i * k..(i + 1) * k], x)).collect();
-        Tensor::from_vec(data, &[m])
+        let mut out = Tensor::zeros(&[m]);
+        pool::for_rows(out.data_mut(), m, 1, row_grain(k, 1), |lo, hi, shard| {
+            for (s, i) in shard.iter_mut().zip(lo..hi) {
+                *s = dot(&a[i * k..(i + 1) * k], x);
+            }
+        });
+        out
     }
 
     /// Outer product of two rank-1 tensors: result is `[self.len(), other.len()]`.
@@ -156,24 +157,80 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 
 /// Writes `a · b` into `out` where `a` is `[m, k]`, `b` is `[k, n]`.
 ///
-/// Exposed for `imre-nn`'s fused kernels.
+/// Exposed for `imre-nn`'s fused kernels. Parallel over output-row ranges;
+/// within a range the reduction is `KC`-blocked but still accumulates each
+/// element in ascending-`l` order, so blocking and threading both leave the
+/// float result bit-identical to the naive triple loop.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (l, &al) in arow.iter().enumerate() {
-            if al == 0.0 {
-                continue;
-            }
-            let brow = &b[l * n..(l + 1) * n];
-            for (oj, &bj) in orow.iter_mut().zip(brow) {
-                *oj += al * bj;
+    pool::for_rows(out, m, n, row_grain(k, n), |lo, hi, shard| {
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            for i in lo..hi {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut shard[(i - lo) * n..(i - lo + 1) * n];
+                for (l, &al) in arow.iter().enumerate().take(k1).skip(k0) {
+                    if al == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[l * n..(l + 1) * n];
+                    for (oj, &bj) in orow.iter_mut().zip(brow) {
+                        *oj += al * bj;
+                    }
+                }
             }
         }
-    }
+    });
+}
+
+/// Writes `aᵀ · b` into `out` where `a` is `[k, m]`, `b` is `[k, n]`.
+///
+/// Parallel over ranges of output rows — i.e. over *columns* of `a`. Each
+/// task replays the full ascending-`l` rank-1-update sweep restricted to its
+/// own column segment, so every `out[i][j]` accumulates in exactly the order
+/// the sequential kernel uses.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    pool::for_rows(out, m, n, row_grain(k, n), |lo, hi, shard| {
+        // out[i][j] += a[l][i] * b[l][j] — one rank-1 update per l; both
+        // inner walks are contiguous. Only columns lo..hi of `a` are read.
+        for l in 0..k {
+            let aseg = &a[l * m + lo..l * m + hi];
+            let brow = &b[l * n..(l + 1) * n];
+            for (ii, &ai) in aseg.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                let orow = &mut shard[ii * n..(ii + 1) * n];
+                for (oj, &bj) in orow.iter_mut().zip(brow) {
+                    *oj += ai * bj;
+                }
+            }
+        }
+    });
+}
+
+/// Writes `a · bᵀ` into `out` where `a` is `[m, k]`, `b` is `[n, k]`.
+///
+/// Parallel over output-row ranges; each element is one independent dot
+/// product, so partitioning cannot change results.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    pool::for_rows(out, m, n, row_grain(k, n), |lo, hi, shard| {
+        for i in lo..hi {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut shard[(i - lo) * n..(i - lo + 1) * n];
+            for (j, oj) in orow.iter_mut().enumerate() {
+                *oj = dot(arow, &b[j * k..(j + 1) * k]);
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -258,5 +315,34 @@ mod tests {
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         assert_close(left.data(), right.data(), 1e-5);
+    }
+
+    /// Large enough to cross the parallel grain: results must be bitwise
+    /// equal across pool sizes (the core determinism contract).
+    #[test]
+    fn matmul_bit_identical_across_pool_sizes() {
+        let mut rng = crate::TensorRng::seed(42);
+        let a = Tensor::rand_uniform(&[130, 70], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[70, 90], -1.0, 1.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let p1 = crate::pool::ThreadPool::new(1);
+        let p4 = crate::pool::ThreadPool::new(4);
+        let run = |p: &crate::pool::ThreadPool| {
+            crate::pool::with_pool(p, || {
+                (
+                    a.matmul(&b),
+                    at.matmul_tn(&b),
+                    a.matmul_nt(&bt),
+                    a.matvec(&bt.row_tensor(0)),
+                )
+            })
+        };
+        let (c1, tn1, nt1, mv1) = run(&p1);
+        let (c4, tn4, nt4, mv4) = run(&p4);
+        assert_eq!(c1.data(), c4.data());
+        assert_eq!(tn1.data(), tn4.data());
+        assert_eq!(nt1.data(), nt4.data());
+        assert_eq!(mv1.data(), mv4.data());
     }
 }

@@ -1,13 +1,29 @@
 //! Elementwise and broadcast arithmetic on [`Tensor`].
+//!
+//! Elementwise ops are chunk-parallel on the [`crate::pool`] backend: the
+//! flat buffer is split into fixed [`ELEM_GRAIN`]-sized ranges (shape-derived,
+//! thread-count independent) and each element is written by exactly one task,
+//! so results are bit-identical to a sequential run. Reductions (`dot`,
+//! `norm_l2`) stay sequential to keep their accumulation order fixed.
 
+use crate::pool;
 use crate::Tensor;
+
+/// Elements per parallel task for elementwise kernels. Small tensors (the
+/// common case in this workspace) stay on the inline single-chunk path.
+const ELEM_GRAIN: usize = 32 * 1024;
 
 impl Tensor {
     // ------------------------------------------------------------------
     // Elementwise binary ops (shapes must match exactly)
     // ------------------------------------------------------------------
 
-    fn zip_with(&self, other: &Tensor, op_name: &str, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    fn zip_with(
+        &self,
+        other: &Tensor,
+        op_name: &str,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Tensor {
         assert_eq!(
             self.shape(),
             other.shape(),
@@ -15,13 +31,14 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Tensor::from_vec(data, self.shape())
+        let (a, b) = (self.data(), other.data());
+        let mut out = Tensor::zeros(self.shape());
+        pool::for_rows(out.data_mut(), a.len(), 1, ELEM_GRAIN, |lo, hi, shard| {
+            for ((s, &x), &y) in shard.iter_mut().zip(&a[lo..hi]).zip(&b[lo..hi]) {
+                *s = f(x, y);
+            }
+        });
+        out
     }
 
     /// Elementwise sum.
@@ -53,9 +70,13 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += b;
-        }
+        let b = other.data();
+        let n = b.len();
+        pool::for_rows(self.data_mut(), n, 1, ELEM_GRAIN, |lo, hi, shard| {
+            for (a, &bb) in shard.iter_mut().zip(&b[lo..hi]) {
+                *a += bb;
+            }
+        });
     }
 
     /// In-place `self += alpha * other` (axpy).
@@ -67,9 +88,13 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += alpha * b;
-        }
+        let b = other.data();
+        let n = b.len();
+        pool::for_rows(self.data_mut(), n, 1, ELEM_GRAIN, |lo, hi, shard| {
+            for (a, &bb) in shard.iter_mut().zip(&b[lo..hi]) {
+                *a += alpha * bb;
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -87,15 +112,25 @@ impl Tensor {
     }
 
     /// Applies `f` to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.shape())
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let a = self.data();
+        let mut out = Tensor::zeros(self.shape());
+        pool::for_rows(out.data_mut(), a.len(), 1, ELEM_GRAIN, |lo, hi, shard| {
+            for (s, &x) in shard.iter_mut().zip(&a[lo..hi]) {
+                *s = f(x);
+            }
+        });
+        out
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for x in self.data_mut() {
-            *x = f(*x);
-        }
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let n = self.len();
+        pool::for_rows(self.data_mut(), n, 1, ELEM_GRAIN, |_, _, shard| {
+            for x in shard {
+                *x = f(*x);
+            }
+        });
     }
 
     /// Sets every element to zero, retaining the allocation.
@@ -120,13 +155,17 @@ impl Tensor {
             bias.len(),
             cols
         );
+        let rows = self.rows();
         let mut out = self.clone();
         let b = bias.data();
-        for row in out.data_mut().chunks_mut(cols) {
-            for (x, &bb) in row.iter_mut().zip(b) {
-                *x += bb;
+        let grain = (ELEM_GRAIN / cols.max(1)).max(1);
+        pool::for_rows(out.data_mut(), rows, cols, grain, |_, _, shard| {
+            for row in shard.chunks_mut(cols) {
+                for (x, &bb) in row.iter_mut().zip(b) {
+                    *x += bb;
+                }
             }
-        }
+        });
         out
     }
 
@@ -143,13 +182,17 @@ impl Tensor {
             scale.len(),
             cols
         );
+        let rows = self.rows();
         let mut out = self.clone();
         let s = scale.data();
-        for row in out.data_mut().chunks_mut(cols) {
-            for (x, &ss) in row.iter_mut().zip(s) {
-                *x *= ss;
+        let grain = (ELEM_GRAIN / cols.max(1)).max(1);
+        pool::for_rows(out.data_mut(), rows, cols, grain, |_, _, shard| {
+            for row in shard.chunks_mut(cols) {
+                for (x, &ss) in row.iter_mut().zip(s) {
+                    *x *= ss;
+                }
             }
-        }
+        });
         out
     }
 

@@ -1,0 +1,484 @@
+//! Persistent worker thread pool with deterministic partition helpers.
+//!
+//! This is the parallel compute backend for every hot kernel in the
+//! workspace (matmul, conv unfold, row-parallel elementwise/softmax ops, the
+//! serving engine's batched forward). Design goals, in order:
+//!
+//! 1. **Bit-identical results at any thread count.** Work is split into
+//!    chunks whose bounds depend only on the problem shape — never on the
+//!    pool size — and every output element is produced by exactly one task
+//!    running the same sequential inner loop the single-threaded kernel
+//!    runs. Which worker executes which chunk therefore cannot affect a
+//!    single bit of the result, and `IMRE_THREADS=1` vs `IMRE_THREADS=N`
+//!    agree exactly (the serve engine's batched == unbatched determinism
+//!    contract survives parallelism).
+//! 2. **Spawn once, dispatch over channels.** Workers are spawned when the
+//!    pool is built and park on an `mpsc` channel; each parallel region
+//!    sends one `Arc<Job>` per worker and the caller participates in its own
+//!    job, so a region costs one allocation plus `threads − 1` channel
+//!    sends — no per-op thread spawning.
+//! 3. **Zero overhead when parallelism is off.** A pool of size 1 (or a
+//!    region with a single chunk) never touches a channel, a lock, or an
+//!    atomic: [`ThreadPool::run`] degenerates to a plain loop on the caller
+//!    thread. [`ThreadPool::dispatched_jobs`] counts real dispatches so
+//!    tests and the `kernel_scaling` bench can assert this.
+//!
+//! The pool is **nested-use safe**: a task may itself call [`ThreadPool::run`]
+//! on the same pool. Owners always drain their own job's task counter, so a
+//! job completes even if every other worker is busy — there is no
+//! cross-job blocking and hence no deadlock.
+//!
+//! Kernels resolve their pool through [`with_current`]: a thread-local
+//! override installed by [`with_pool`] (used by tests and benches to compare
+//! thread counts inside one process), falling back to the process-wide
+//! [`global`] pool, which is sized from `IMRE_THREADS` or the machine's
+//! available parallelism and can be pinned early via [`init_global`] (the
+//! CLI's `--threads` flag).
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One parallel region: an erased task body plus claim/completion state.
+struct Job {
+    /// The task body. The `'static` lifetime is a lie told via `transmute`;
+    /// the reference is only dereferenced while the owning
+    /// [`ThreadPool::run`] call is blocked in [`Job::wait`], which keeps the
+    /// real referent alive.
+    f: &'static (dyn Fn(usize) + Sync),
+    n_tasks: usize,
+    /// Next unclaimed task index. Claiming is first-come, but the mapping
+    /// from task index to output shard is fixed, so results are
+    /// schedule-independent.
+    next: AtomicUsize,
+    /// Tasks not yet completed; guarded so the owner can sleep on `done`.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload raised by any task, re-thrown by the owner.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Job {
+    /// Claims and runs tasks until the counter is exhausted.
+    fn execute(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.f)(i))) {
+                let mut slot = self.panic.lock().expect("pool panic slot");
+                slot.get_or_insert(payload);
+            }
+            let mut rem = self.remaining.lock().expect("pool latch");
+            *rem -= 1;
+            if *rem == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task has completed (on any thread).
+    fn wait(&self) {
+        let mut rem = self.remaining.lock().expect("pool latch");
+        while *rem > 0 {
+            rem = self.done.wait(rem).expect("pool latch");
+        }
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// `threads` counts the caller too: a pool of size `t` spawns `t − 1`
+/// workers and the thread calling [`ThreadPool::run`] works alongside them.
+/// Size 1 spawns nothing and runs everything inline.
+pub struct ThreadPool {
+    senders: Vec<mpsc::Sender<Arc<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    dispatched: AtomicU64,
+}
+
+impl ThreadPool {
+    /// Builds a pool of `threads` total threads (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads - 1);
+        let mut workers = Vec::with_capacity(threads - 1);
+        for i in 0..threads - 1 {
+            let (tx, rx) = mpsc::channel::<Arc<Job>>();
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("imre-tensor-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job.execute();
+                        }
+                    })
+                    .expect("spawn imre-tensor worker"),
+            );
+        }
+        ThreadPool {
+            senders,
+            workers,
+            threads,
+            dispatched: AtomicU64::new(0),
+        }
+    }
+
+    /// Total threads this pool computes with (callers + workers).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How many jobs have actually been dispatched over channels. Stays at
+    /// zero for a size-1 pool and for regions below the parallel grain —
+    /// the single-threaded fallback is channel-free by construction.
+    pub fn dispatched_jobs(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f(0)`, `f(1)`, …, `f(n_tasks − 1)`, possibly in parallel.
+    ///
+    /// Tasks must be independent: each must write only state owned by its
+    /// index. With one thread or one task this is a plain inline loop (no
+    /// channels, no locks). A panic inside any task is re-thrown here with
+    /// its original payload once every task has finished; the pool itself
+    /// stays usable afterwards.
+    pub fn run(&self, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if self.threads <= 1 || n_tasks <= 1 {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: the erased reference outlives the job because this call
+        // does not return before `wait()` observes every task complete, and
+        // workers never dereference `f` after the claim counter is
+        // exhausted.
+        let f_erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        let job = Arc::new(Job {
+            f: f_erased,
+            n_tasks,
+            next: AtomicUsize::new(0),
+            remaining: Mutex::new(n_tasks),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+        for tx in &self.senders {
+            // Send failure means the worker died, which only happens if a
+            // worker thread itself was killed; the owner still completes
+            // the job by draining the counter below.
+            let _ = tx.send(Arc::clone(&job));
+        }
+        job.execute();
+        job.wait();
+        let payload = job.panic.lock().expect("pool panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channels wakes the workers out of `recv`.
+        self.senders.clear();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pool resolution: global default + scoped override
+// ----------------------------------------------------------------------
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("IMRE_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide default pool, built on first use from `IMRE_THREADS`
+/// (if set) or the machine's available parallelism.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// Pins the global pool to `threads` before first use (the CLI `--threads`
+/// flag). Returns `Ok(threads)` when this call built the pool and
+/// `Err(existing)` when the pool was already initialised with a different
+/// sizing.
+pub fn init_global(threads: usize) -> Result<usize, usize> {
+    let mut installed = false;
+    let pool = GLOBAL.get_or_init(|| {
+        installed = true;
+        ThreadPool::new(threads)
+    });
+    if installed {
+        Ok(pool.threads())
+    } else {
+        Err(pool.threads())
+    }
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<*const ThreadPool>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with `pool` installed as this thread's compute pool; kernels
+/// invoked inside resolve to it instead of the global pool. Used by tests
+/// and benches to compare thread counts within one process.
+pub fn with_pool<R>(pool: &ThreadPool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<*const ThreadPool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.replace(Some(pool as *const ThreadPool)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Resolves the current compute pool (scoped override, else global) and
+/// hands it to `f`.
+pub fn with_current<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
+    match OVERRIDE.with(|c| c.get()) {
+        // SAFETY: the pointer was installed by `with_pool`, whose borrow of
+        // the pool is still live for the whole override scope.
+        Some(p) => f(unsafe { &*p }),
+        None => f(global()),
+    }
+}
+
+/// Thread count of the current compute pool.
+pub fn current_threads() -> usize {
+    with_current(ThreadPool::threads)
+}
+
+// ----------------------------------------------------------------------
+// Deterministic data-parallel helpers
+// ----------------------------------------------------------------------
+
+/// Raw pointer wrapper so disjoint-shard writers can be captured by `Sync`
+/// task closures. Safety is the caller's obligation: tasks must write
+/// disjoint regions.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+// Manual impls: `derive` would add an unwanted `T: Clone/Copy` bound, but a
+// raw pointer is copyable for any `T`.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw pointer field (edition-2021 closures
+    /// capture disjoint fields).
+    #[inline]
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Splits `out` (a `rows × cols` row-major buffer) into row ranges of
+/// `grain` rows and runs `f(lo, hi, &mut out[lo*cols..hi*cols])` for each,
+/// in parallel on the current pool.
+///
+/// The partition depends only on `(rows, grain)`, and each output row is
+/// written by exactly one task, so results are bit-identical at any thread
+/// count. `f` must compute rows independently of the chunk bounds it is
+/// handed. With one thread or a single chunk, `f(0, rows, out)` is called
+/// directly on the caller thread.
+pub fn for_rows<F>(out: &mut [f32], rows: usize, cols: usize, grain: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * cols, "pool::for_rows: shape mismatch");
+    if rows == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let chunks = rows.div_ceil(grain);
+    with_current(|pool| {
+        if pool.threads() <= 1 || chunks <= 1 {
+            f(0, rows, out);
+            return;
+        }
+        let base = SendPtr(out.as_mut_ptr());
+        pool.run(chunks, &|c| {
+            let lo = c * grain;
+            let hi = ((c + 1) * grain).min(rows);
+            // SAFETY: chunks cover disjoint row ranges of `out`.
+            let shard = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(lo * cols), (hi - lo) * cols)
+            };
+            f(lo, hi, shard);
+        });
+    });
+}
+
+/// Maps `f` over `0..n`, collecting results in index order, running tasks in
+/// parallel on the current pool. Each slot is written by exactly one task,
+/// so the output is identical at any thread count.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    with_current(|pool| {
+        if pool.threads() <= 1 || n <= 1 {
+            return (0..n).map(&f).collect();
+        }
+        let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(n);
+        out.resize_with(n, std::mem::MaybeUninit::uninit);
+        let base = SendPtr(out.as_mut_ptr());
+        pool.run(n, &|i| {
+            // SAFETY: each task writes exactly its own slot.
+            unsafe { (*base.get().add(i)).write(f(i)) };
+        });
+        // `run` re-threw any task panic above, so every slot is initialised.
+        let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+        std::mem::forget(out);
+        // SAFETY: same allocation, every element initialised, layouts of
+        // `MaybeUninit<T>` and `T` agree.
+        unsafe { Vec::from_raw_parts(ptr as *mut T, len, cap) }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_zero_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let mut hits = 0;
+        pool.run(3, &|_| {});
+        pool.run(0, &|_| {});
+        // inline path: closures may capture &mut state because nothing is
+        // dispatched (prove it by counting via a cell-free side effect)
+        let counter = AtomicUsize::new(0);
+        pool.run(5, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        hits += counter.load(Ordering::Relaxed);
+        assert_eq!(hits, 5);
+        assert_eq!(pool.dispatched_jobs(), 0, "size-1 pool must never dispatch");
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(97, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(pool.dispatched_jobs(), 1);
+    }
+
+    #[test]
+    fn single_task_is_inline_even_on_big_pool() {
+        let pool = ThreadPool::new(4);
+        pool.run(1, &|_| {});
+        assert_eq!(pool.dispatched_jobs(), 0);
+    }
+
+    #[test]
+    fn panic_propagates_with_payload_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                assert!(i != 5, "task 5 poisoned the job");
+            });
+        }))
+        .expect_err("panic must propagate to the owner");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"?").to_string());
+        assert!(msg.contains("task 5 poisoned"), "payload preserved: {msg}");
+        // The pool is not poisoned: workers stay alive and later jobs run.
+        let counter = AtomicUsize::new(0);
+        pool.run(16, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn nested_runs_complete() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            pool.run(4, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn with_pool_overrides_and_restores() {
+        let pool = ThreadPool::new(3);
+        let before = current_threads();
+        let inside = with_pool(&pool, current_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_threads(), before);
+    }
+
+    #[test]
+    fn for_rows_partitions_cover_exactly() {
+        let pool = ThreadPool::new(4);
+        with_pool(&pool, || {
+            for rows in [1usize, 2, 7, 33] {
+                for grain in [1usize, 2, 5, 64] {
+                    let cols = 3;
+                    let mut out = vec![0.0f32; rows * cols];
+                    for_rows(&mut out, rows, cols, grain, |lo, hi, shard| {
+                        for r in lo..hi {
+                            for c in 0..cols {
+                                shard[(r - lo) * cols + c] += (r * cols + c) as f32 + 1.0;
+                            }
+                        }
+                    });
+                    for (i, &v) in out.iter().enumerate() {
+                        assert_eq!(v, i as f32 + 1.0, "rows={rows} grain={grain} idx={i}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let pool = ThreadPool::new(4);
+        let out = with_pool(&pool, || par_map(37, |i| i * i));
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        let empty: Vec<usize> = with_pool(&pool, || par_map(0, |i| i));
+        assert!(empty.is_empty());
+    }
+}

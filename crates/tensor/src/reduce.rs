@@ -1,7 +1,15 @@
 //! Reductions and normalisations: sums, means, axis max (with argmax, the
 //! backbone of piecewise max pooling), and numerically stable softmax.
+//!
+//! Row-independent normalisations (`softmax_rows`) are row-parallel on the
+//! [`crate::pool`] backend; true reductions keep their sequential
+//! accumulation order so results stay bit-identical at any thread count.
 
+use crate::pool;
 use crate::Tensor;
+
+/// Target elements per parallel task for row-parallel normalisations.
+const ROW_GRAIN_ELEMS: usize = 8 * 1024;
 
 impl Tensor {
     /// Sum of all elements.
@@ -113,21 +121,25 @@ impl Tensor {
         self.map(|x| x - lz)
     }
 
-    /// Row-wise softmax of a rank-2 tensor.
+    /// Row-wise softmax of a rank-2 tensor. Rows are independent, so this is
+    /// row-parallel with bit-identical results at any thread count.
     pub fn softmax_rows(&self) -> Tensor {
-        let cols = self.cols();
+        let (rows, cols) = (self.rows(), self.cols());
         let mut out = self.clone();
-        for row in out.data_mut().chunks_mut(cols) {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-                z += *x;
+        let grain = (ROW_GRAIN_ELEMS / cols.max(1)).max(1);
+        pool::for_rows(out.data_mut(), rows, cols, grain, |_, _, shard| {
+            for row in shard.chunks_mut(cols) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0;
+                for x in row.iter_mut() {
+                    *x = (*x - m).exp();
+                    z += *x;
+                }
+                for x in row.iter_mut() {
+                    *x /= z;
+                }
             }
-            for x in row.iter_mut() {
-                *x /= z;
-            }
-        }
+        });
         out
     }
 }

@@ -1,7 +1,16 @@
 //! Row-structured operations: slicing, gathering (embedding lookup),
 //! scatter-add (embedding gradient), stacking and concatenation.
+//!
+//! `gather_rows` (the embedding-bag hot path) is row-parallel on the
+//! [`crate::pool`] backend; `scatter_add_rows` deliberately stays
+//! sequential because repeated indices make its writes overlap, and the
+//! determinism contract forbids atomics or reduction-order changes there.
 
+use crate::pool;
 use crate::Tensor;
+
+/// Target elements per parallel task for row-copy kernels.
+const ROW_GRAIN_ELEMS: usize = 8 * 1024;
 
 impl Tensor {
     /// Borrow row `r` of a rank-2 tensor as a slice.
@@ -47,15 +56,32 @@ impl Tensor {
     /// If any index is out of bounds or `self` is not rank-2.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         let (rows, cols) = (self.rows(), self.cols());
-        let mut data = Vec::with_capacity(indices.len() * cols);
+        // Validate before the parallel copy so the panic fires on the caller
+        // thread with this message, not wrapped by the pool.
         for &i in indices {
             assert!(
                 i < rows,
                 "Tensor::gather_rows: index {i} out of bounds for {rows} rows"
             );
-            data.extend_from_slice(&self.data()[i * cols..(i + 1) * cols]);
         }
-        Tensor::from_vec(data, &[indices.len(), cols])
+        let src = self.data();
+        let mut out = Tensor::zeros(&[indices.len(), cols]);
+        if cols == 0 {
+            return out;
+        }
+        let grain = (ROW_GRAIN_ELEMS / cols.max(1)).max(1);
+        pool::for_rows(
+            out.data_mut(),
+            indices.len(),
+            cols,
+            grain,
+            |lo, hi, shard| {
+                for (dst, &i) in shard.chunks_mut(cols).zip(&indices[lo..hi]) {
+                    dst.copy_from_slice(&src[i * cols..(i + 1) * cols]);
+                }
+            },
+        );
+        out
     }
 
     /// Scatter-add: for each `k`, adds row `k` of `updates` into row

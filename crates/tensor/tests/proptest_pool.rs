@@ -1,0 +1,138 @@
+//! Property-based determinism tests for the thread-pool compute backend:
+//! every kernel must produce **bit-identical** results on a 1-thread and an
+//! N-thread pool. Shapes are drawn large enough to cross the parallel grain,
+//! so the N-thread run genuinely dispatches work to workers (asserted via
+//! the dispatch counter), and comparisons use exact `==` on the raw f32
+//! buffers — no tolerance.
+
+use imre_tensor::pool::{with_pool, ThreadPool};
+use imre_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+/// Runs `f` once on a 1-thread pool and once on a 4-thread pool and returns
+/// both results for exact comparison.
+fn on_1_and_4<T>(f: impl Fn() -> T) -> (T, T) {
+    let p1 = ThreadPool::new(1);
+    let p4 = ThreadPool::new(4);
+    (with_pool(&p1, &f), with_pool(&p4, &f))
+}
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = TensorRng::seed(seed);
+    Tensor::rand_uniform(&[rows, cols], -2.0, 2.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // A·B, AᵀB, A·Bᵀ: identical bits at 1 and 4 threads for shapes big
+    // enough that the 4-thread run splits into many row chunks.
+    #[test]
+    fn matmul_family_bit_identical(m in 96usize..200, k in 48usize..96, n in 48usize..96, seed in 0u64..1000) {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0x9e37);
+        let at = a.transpose();
+        let bt = b.transpose();
+        let ((c1, tn1, nt1), (c4, tn4, nt4)) = on_1_and_4(|| {
+            (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
+        });
+        prop_assert_eq!(c1.data(), c4.data());
+        prop_assert_eq!(tn1.data(), tn4.data());
+        prop_assert_eq!(nt1.data(), nt4.data());
+    }
+
+    // Row-parallel softmax: identical bits per row at any thread count.
+    #[test]
+    fn softmax_rows_bit_identical(rows in 64usize..200, cols in 8usize..64, seed in 0u64..1000) {
+        let x = mat(rows, cols, seed);
+        let (s1, s4) = on_1_and_4(|| x.softmax_rows());
+        prop_assert_eq!(s1.data(), s4.data());
+    }
+
+    // Chunk-parallel elementwise ops (including in-place accumulate).
+    #[test]
+    fn elementwise_bit_identical(len in 60_000usize..120_000, seed in 0u64..1000) {
+        let mut rng = TensorRng::seed(seed);
+        let a = Tensor::rand_uniform(&[len], -3.0, 3.0, &mut rng);
+        let b = Tensor::rand_uniform(&[len], -3.0, 3.0, &mut rng);
+        let ((m1, t1, x1), (m4, t4, x4)) = on_1_and_4(|| {
+            let mut acc = a.clone();
+            acc.axpy(0.25, &b);
+            (a.mul(&b), a.tanh(), acc)
+        });
+        prop_assert_eq!(m1.data(), m4.data());
+        prop_assert_eq!(t1.data(), t4.data());
+        prop_assert_eq!(x1.data(), x4.data());
+    }
+
+    // Embedding-bag gather: row-parallel copy is exact.
+    #[test]
+    fn gather_rows_bit_identical(rows in 16usize..64, cols in 64usize..256, n_idx in 200usize..600, seed in 0u64..1000) {
+        let table = mat(rows, cols, seed);
+        let mut rng = TensorRng::seed(seed ^ 0x51ce);
+        let idx: Vec<usize> = (0..n_idx).map(|_| rng.below(rows)).collect();
+        let (g1, g4) = on_1_and_4(|| table.gather_rows(&idx));
+        prop_assert_eq!(g1.data(), g4.data());
+    }
+}
+
+/// The N-thread runs above must actually exercise the parallel path; this
+/// pins the shapes used there above the dispatch threshold.
+#[test]
+fn four_thread_pool_actually_dispatches() {
+    let p4 = ThreadPool::new(4);
+    let a = mat(96, 48, 7);
+    let b = mat(48, 48, 8);
+    with_pool(&p4, || {
+        let _ = a.matmul(&b);
+    });
+    assert!(
+        p4.dispatched_jobs() > 0,
+        "matmul at the smallest proptest shape must cross the parallel grain"
+    );
+}
+
+/// Small ops on a big pool must take the inline path: no channel dispatch.
+#[test]
+fn small_ops_never_dispatch() {
+    let p4 = ThreadPool::new(4);
+    let a = mat(8, 8, 1);
+    let b = mat(8, 8, 2);
+    with_pool(&p4, || {
+        let _ = a.matmul(&b);
+        let _ = a.softmax_rows();
+        let _ = a.add(&b);
+    });
+    assert_eq!(
+        p4.dispatched_jobs(),
+        0,
+        "sub-grain ops must run inline even on a multi-thread pool"
+    );
+}
+
+/// A worker panic (poisoned index) propagates to the caller with its
+/// original message, and the pool keeps working afterwards.
+#[test]
+fn poisoned_worker_panic_propagates_through_kernels() {
+    let p4 = ThreadPool::new(4);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        with_pool(&p4, || {
+            p4.run(64, &|i| {
+                assert!(i != 13, "poisoned worker task {i}");
+            });
+        });
+    }))
+    .expect_err("panic must reach the caller");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("poisoned worker task 13"),
+        "payload kept: {msg}"
+    );
+    // Pool not poisoned: a full kernel still runs and matches 1-thread bits.
+    let a = mat(80, 40, 3);
+    let b = mat(40, 40, 4);
+    let p1 = ThreadPool::new(1);
+    let r4 = with_pool(&p4, || a.matmul(&b));
+    let r1 = with_pool(&p1, || a.matmul(&b));
+    assert_eq!(r1.data(), r4.data());
+}

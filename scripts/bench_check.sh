@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Bench-regression gate: runs the machine-readable benches, merges their
+# metrics, and fails if anything regressed vs the committed baseline.
+#
+# Usage:
+#   scripts/bench_check.sh            # run benches, diff vs BENCH_PR2.json
+#   scripts/bench_check.sh --update   # regenerate BENCH_PR2.json in place
+#
+# The benches (kernel_scaling, serve_throughput) each dump a flat JSON
+# object via IMRE_BENCH_JSON; this script merges them into one object at
+# target/bench/current.json (uploaded as a CI artifact) and compares every
+# key against the committed BENCH_PR2.json:
+#
+#   - keys ending in `_ns` are lower-is-better (latency); everything else
+#     is higher-is-better (throughput);
+#   - keys starting with `info_` are informational and never gate
+#     (machine-dependent speedup ratios);
+#   - a gated key regressing by more than BENCH_TOL (default 0.15 = 15%)
+#     fails the script; so does a baseline key missing from the fresh run.
+#
+# Environment:
+#   BENCH_TOL            relative tolerance, default 0.15
+#   CRITERION_SAMPLE_MS  per-sample budget forwarded to the benches
+#                        (default 100 here; raise it for stabler numbers
+#                        when regenerating the baseline)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_PR2.json
+TOL="${BENCH_TOL:-0.15}"
+export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-100}"
+# Absolute: cargo runs bench binaries with the package dir as cwd.
+OUT="$PWD/target/bench"
+mkdir -p "$OUT"
+
+echo "bench_check: running benches (CRITERION_SAMPLE_MS=$CRITERION_SAMPLE_MS)"
+IMRE_BENCH_JSON="$OUT/kernel_scaling.json" \
+    cargo bench --offline -q -p imre-bench --bench kernel_scaling
+IMRE_BENCH_JSON="$OUT/serve_throughput.json" \
+    cargo bench --offline -q -p imre-bench --bench serve_throughput
+
+# Merge the flat objects: keep every `"key": value` line, normalize commas.
+{
+    printf '{\n'
+    grep -h '":' "$OUT/kernel_scaling.json" "$OUT/serve_throughput.json" \
+        | sed 's/,$//' | sed '$!s/$/,/'
+    printf '}\n'
+} >"$OUT/current.json"
+echo "bench_check: merged metrics -> $OUT/current.json"
+
+if [[ "${1:-}" == "--update" ]]; then
+    cp "$OUT/current.json" "$BASELINE"
+    echo "bench_check: baseline $BASELINE updated"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_check: no committed $BASELINE — run scripts/bench_check.sh --update" >&2
+    exit 1
+fi
+
+awk -v tol="$TOL" '
+    function parse(line, arr) {
+        if (match(line, /"[^"]+"/)) {
+            key = substr(line, RSTART + 1, RLENGTH - 2)
+            val = $NF
+            sub(/,$/, "", val)
+            arr[key] = val + 0
+        }
+    }
+    FNR == NR { parse($0, base); next }
+              { parse($0, cur) }
+    END {
+        bad = 0
+        for (key in base) {
+            if (key ~ /^info_/) continue
+            if (!(key in cur)) {
+                printf "FAIL  %-28s missing from fresh run\n", key
+                bad = 1
+                continue
+            }
+            b = base[key]; c = cur[key]
+            lower = (key ~ /_ns$/)
+            if (lower) { regressed = (c > b * (1 + tol)) } \
+            else       { regressed = (c < b * (1 - tol)) }
+            delta = (b != 0) ? (c - b) / b * 100 : 0
+            verdict = regressed ? "FAIL" : "ok"
+            printf "%-5s %-28s base=%-12.4g cur=%-12.4g (%+.1f%%, %s better)\n", \
+                verdict, key, b, c, delta, (lower ? "lower" : "higher")
+            if (regressed) bad = 1
+        }
+        if (bad) {
+            printf "bench_check: regression beyond %.0f%% tolerance\n", tol * 100 > "/dev/stderr"
+            exit 1
+        }
+        print "bench_check: all gated metrics within tolerance"
+    }
+' "$BASELINE" "$OUT/current.json"

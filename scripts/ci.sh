@@ -1,29 +1,96 @@
 #!/usr/bin/env bash
-# Full CI gate for the workspace. Run from the repository root:
+# CI gate for the workspace. Runs entirely offline (the workspace vendors
+# every dependency) and reports per-step wall-clock timings.
 #
-#   scripts/ci.sh
+# Usage:
+#   scripts/ci.sh                # full gate: fmt, clippy, build, test, bench
+#   scripts/ci.sh --fast         # quick gate: fmt, clippy, test
+#                                # (skips the release build and bench smoke)
+#   scripts/ci.sh <step>...      # run only the named steps, in order:
+#                                #   fmt clippy build test bench
 #
-# Steps: formatting, clippy with warnings denied, release build, the full
-# test suite, and a 1-second smoke run of the serving-throughput bench
-# (which exercises train -> bundle -> registry -> batched engine end to end).
+# Steps:
+#   fmt     cargo fmt --check over the whole workspace
+#   clippy  clippy with warnings denied, all targets
+#   build   release build of the workspace
+#   test    the full test suite (tier-1 gate)
+#   bench   1ms-sample smoke of the serving + kernel-scaling benches, which
+#           also executes their embedded assertions (dispatch fast path,
+#           batched == unbatched); with CI_BENCH_GATE=1 it then runs
+#           scripts/bench_check.sh, the >15% regression gate against the
+#           committed BENCH_PR2.json
+#
+# Environment:
+#   CI_BENCH_GATE=1   enable the bench-regression gate in the bench step
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-step() { printf '\n=== %s ===\n' "$*"; }
+STEP_NAMES=()
+STEP_MS=()
 
-step "cargo fmt --check"
-cargo fmt --all -- --check
+run_step() {
+    local name="$1"
+    shift
+    printf '\n=== %s ===\n' "$name"
+    local t0 t1 ms
+    t0=$(date +%s%N)
+    "$@"
+    t1=$(date +%s%N)
+    ms=$(((t1 - t0) / 1000000))
+    STEP_NAMES+=("$name")
+    STEP_MS+=("$ms")
+    printf -- '--- %s: %d.%03ds ---\n' "$name" $((ms / 1000)) $((ms % 1000))
+}
 
-step "cargo clippy --workspace -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+step_fmt() {
+    cargo fmt --all -- --check
+}
 
-step "cargo build --release"
-cargo build --release --workspace
+step_clippy() {
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
 
-step "cargo test"
-cargo test -q --workspace
+step_build() {
+    cargo build --offline --release --workspace
+}
 
-step "serve_throughput smoke (CRITERION_SAMPLE_MS=1)"
-CRITERION_SAMPLE_MS=1 cargo bench -p imre-bench --bench serve_throughput
+step_test() {
+    cargo test --offline -q --workspace
+}
 
-printf '\nci.sh: all gates passed\n'
+step_bench() {
+    CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_throughput
+    CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench kernel_scaling
+    if [[ "${CI_BENCH_GATE:-0}" == "1" ]]; then
+        scripts/bench_check.sh
+    fi
+}
+
+case "${1:-}" in
+--fast)
+    steps=(fmt clippy test)
+    ;;
+"")
+    steps=(fmt clippy build test bench)
+    ;;
+*)
+    steps=("$@")
+    ;;
+esac
+
+for s in "${steps[@]}"; do
+    case "$s" in
+    fmt | clippy | build | test | bench) run_step "$s" "step_$s" ;;
+    *)
+        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test bench)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+printf '\n=== ci.sh summary ===\n'
+for i in "${!STEP_NAMES[@]}"; do
+    ms=${STEP_MS[$i]}
+    printf '%-8s %6d.%03ds\n' "${STEP_NAMES[$i]}" $((ms / 1000)) $((ms % 1000))
+done
+printf 'ci.sh: all gates passed\n'
