@@ -64,6 +64,7 @@ fn fixture() -> &'static Fixture {
                     tail,
                     text,
                     top_k: 3,
+                    deadline_ms: None,
                 }
             })
             .collect();
@@ -81,6 +82,7 @@ fn engine(workers: usize, batch_max: usize) -> ServeHandle {
             batch_max,
             batch_deadline: Duration::from_millis(1),
             queue_capacity: 2 * BURST,
+            default_deadline_ms: None,
         },
     )
 }
@@ -177,6 +179,19 @@ fn print_summary() {
                 served + 2 * BURST
             );
             println!("{}", handle.stats_text());
+            // Lifecycle counters ride along as informational keys so the
+            // regression gate's artifact records whether the run shed work
+            // (it never should at this queue depth — both stay 0).
+            let m = handle.metrics();
+            sink.record(
+                "info_serve_deadline_expired",
+                m.deadline_expired
+                    .load(std::sync::atomic::Ordering::Relaxed) as f64,
+            );
+            sink.record(
+                "info_serve_shed",
+                m.shed.load(std::sync::atomic::Ordering::Relaxed) as f64,
+            );
         }
         handle.shutdown();
     }

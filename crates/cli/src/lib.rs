@@ -24,6 +24,9 @@ USAGE:
   imre case-study --dataset <nyt|gds|smoke> [--entity NAME] [--k N]
   imre serve      --bundle FILE [--name NAME] [--addr HOST:PORT] [--workers N]
                   [--batch N] [--deadline-ms N] [--queue N]
+                  [--request-deadline-ms N]   default per-request time budget:
+                  requests still queued after N ms are shed with
+                  deadline-exceeded instead of running (0 = never, default)
 
 GLOBAL FLAGS (any subcommand):
   --threads N     size of the compute thread pool (default: IMRE_THREADS env
@@ -241,11 +244,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let bundle_path = PathBuf::from(flags.required("bundle")?);
     let name = flags.optional("name").unwrap_or("default");
     let addr = flags.optional("addr").unwrap_or("127.0.0.1:7878");
+    let request_deadline_ms = flags.number("request-deadline-ms", 0u64)?;
     let config = imre_serve::EngineConfig {
         workers: flags.number("workers", 2usize)?.max(1),
         batch_max: flags.number("batch", 8usize)?.max(1),
         batch_deadline: std::time::Duration::from_millis(flags.number("deadline-ms", 2u64)?),
         queue_capacity: flags.number("queue", 256usize)?.max(1),
+        default_deadline_ms: (request_deadline_ms > 0).then_some(request_deadline_ms),
     };
 
     let registry = std::sync::Arc::new(imre_serve::Registry::new());
@@ -267,8 +272,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         bound.port()
     );
     println!(
-        "workers={} batch_max={} deadline={:?} queue={}",
-        config.workers, config.batch_max, config.batch_deadline, config.queue_capacity
+        "workers={} batch_max={} deadline={:?} queue={} request_deadline_ms={}",
+        config.workers,
+        config.batch_max,
+        config.batch_deadline,
+        config.queue_capacity,
+        match config.default_deadline_ms {
+            Some(ms) => ms.to_string(),
+            None => "none".to_string(),
+        }
     );
     // Serve until killed; the listener thread owns the accept loop.
     loop {
@@ -396,6 +408,8 @@ mod tests {
             "5",
             "--queue",
             "512",
+            "--request-deadline-ms",
+            "250",
         ]))
         .unwrap();
         assert_eq!(f.required("bundle").unwrap(), "m.imrb");
@@ -405,6 +419,7 @@ mod tests {
         assert_eq!(f.number("batch", 8usize).unwrap(), 16);
         assert_eq!(f.number("deadline-ms", 2u64).unwrap(), 5);
         assert_eq!(f.number("queue", 256usize).unwrap(), 512);
+        assert_eq!(f.number("request-deadline-ms", 0u64).unwrap(), 250);
     }
 
     #[test]

@@ -16,9 +16,19 @@
 //! unbatched ones at any thread count, so the engine's batching is purely a
 //! throughput decision.
 //!
-//! Shutdown is graceful: [`ServeHandle::shutdown`] closes the queue (new
-//! submissions get [`ServeError::ShuttingDown`]) and joins the workers,
-//! which drain and answer every already-queued request before exiting.
+//! Requests may carry a time budget ([`InferRequest::deadline_ms`], or the
+//! engine-wide `default_deadline_ms`): a job whose budget ran out while it
+//! sat in the queue is *shed* at dequeue — answered
+//! [`ServeError::DeadlineExceeded`] without featurizing or running a
+//! forward pass — so an overloaded engine stops spending compute on answers
+//! nobody is waiting for anymore.
+//!
+//! Shutdown is graceful and total: [`ServeHandle::shutdown`] closes the
+//! queue (new submissions get [`ServeError::ShuttingDown`]), joins the
+//! workers — which drain and answer every request they can — and then
+//! fail-fasts anything *still* queued (no workers configured, or a worker
+//! died) with [`ServeError::ShuttingDown`], so every [`Pending`] ever
+//! handed out is answered and no caller blocks forever.
 
 use crate::error::ServeError;
 use crate::metrics::Metrics;
@@ -26,7 +36,7 @@ use crate::pipeline::{InferRequest, InferResponse};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::Registry;
 use imre_core::PreparedBag;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -46,6 +56,10 @@ pub struct EngineConfig {
     /// Bounded queue capacity; submissions beyond it are rejected with
     /// [`ServeError::QueueFull`].
     pub queue_capacity: usize,
+    /// Time budget applied to requests that do not set their own
+    /// [`InferRequest::deadline_ms`]; `None` means such requests never
+    /// expire.
+    pub default_deadline_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +69,7 @@ impl Default for EngineConfig {
             batch_max: 8,
             batch_deadline: Duration::from_millis(2),
             queue_capacity: 256,
+            default_deadline_ms: None,
         }
     }
 }
@@ -62,6 +77,9 @@ impl Default for EngineConfig {
 struct Job {
     request: InferRequest,
     enqueued: Instant,
+    /// Absolute expiry instant plus the original budget (for the error
+    /// message); `None` for requests without a time budget.
+    deadline: Option<(Instant, u64)>,
     reply: mpsc::Sender<Result<InferResponse, ServeError>>,
 }
 
@@ -86,6 +104,18 @@ impl Pending {
     /// Non-blocking poll; `None` while the request is still in flight.
     pub fn poll(&self) -> Option<Result<InferResponse, ServeError>> {
         self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the answer; `None` if the request is
+    /// still in flight when the timeout elapses (it stays submitted and can
+    /// be awaited again — giving up on the client side does not cancel the
+    /// queued job).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<InferResponse, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
     }
 }
 
@@ -136,16 +166,24 @@ impl ServeHandle {
         self.shared.metrics.render()
     }
 
-    /// Enqueues a request.
+    /// Enqueues a request. The request's time budget (its own
+    /// `deadline_ms`, else the engine's `default_deadline_ms`) starts
+    /// counting from this call.
     ///
     /// # Errors
     /// [`ServeError::QueueFull`] when the bounded queue is at capacity and
     /// [`ServeError::ShuttingDown`] after [`ServeHandle::shutdown`].
     pub fn submit(&self, request: InferRequest) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::channel();
+        let enqueued = Instant::now();
+        let deadline = request
+            .deadline_ms
+            .or(self.shared.config.default_deadline_ms)
+            .map(|ms| (enqueued + Duration::from_millis(ms), ms));
         let job = Job {
             request,
-            enqueued: Instant::now(),
+            enqueued,
+            deadline,
             reply: tx,
         };
         match self.shared.queue.try_push(job) {
@@ -171,11 +209,23 @@ impl ServeHandle {
     /// Stops accepting new requests, drains and answers everything already
     /// queued, and joins the workers. Idempotent; any clone of the handle
     /// may call it.
+    ///
+    /// Every [`Pending`] handed out before this call is guaranteed an
+    /// answer: workers drain what they can, and whatever is *still* queued
+    /// after they exit — because `workers: 0` was configured or a worker
+    /// died — is failed fast here with [`ServeError::ShuttingDown`] (never
+    /// left for a `Pending::wait` to block on forever).
     pub fn shutdown(&self) {
         self.shared.queue.close();
         let mut workers = self.workers.lock().expect("worker list poisoned");
         for handle in workers.drain(..) {
             let _ = handle.join();
+        }
+        drop(workers);
+        for job in self.shared.queue.drain_remaining() {
+            Metrics::inc(&self.shared.metrics.shed);
+            Metrics::inc(&self.shared.metrics.errors);
+            let _ = job.reply.send(Err(ServeError::ShuttingDown));
         }
     }
 }
@@ -192,12 +242,32 @@ fn worker_loop(shared: &Shared) {
             .metrics
             .batched_jobs
             .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
-        for job in &batch {
+        // Shed jobs whose time budget ran out while they were queued:
+        // answer them now, before featurize/forward spends anything on them.
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
             let wait = dequeued.saturating_duration_since(job.enqueued);
             shared.metrics.queue_wait.record(wait.as_micros() as u64);
+            match job.deadline {
+                Some((expires, budget_ms)) if dequeued >= expires => {
+                    Metrics::inc(&shared.metrics.deadline_expired);
+                    Metrics::inc(&shared.metrics.shed);
+                    Metrics::inc(&shared.metrics.errors);
+                    let _ = job
+                        .reply
+                        .send(Err(ServeError::DeadlineExceeded { budget_ms }));
+                }
+                _ => live.push(job),
+            }
+        }
+        let batch = live;
+        if batch.is_empty() {
+            continue;
         }
         // Group by model so each group runs as one batched forward pass.
-        let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+        // Sorted map, not a hash map: per-model execution order (and with
+        // it metric interleaving) must be deterministic run to run.
+        let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for (i, job) in batch.iter().enumerate() {
             groups
                 .entry(job.request.model.as_str())
@@ -219,6 +289,15 @@ fn worker_loop(shared: &Shared) {
             let _ = job.reply.send(reply);
         }
     }
+}
+
+/// Splits `elapsed_us` evenly over `n` requests: returns the base share and
+/// how many of the first requests carry one extra µs, so that
+/// `n * share + remainder == elapsed_us` — the recorded shares always sum
+/// exactly to the measured batch time.
+fn split_shares(elapsed_us: u64, n: usize) -> (u64, usize) {
+    let n = n as u64;
+    (elapsed_us / n, (elapsed_us % n) as usize)
 }
 
 fn run_group(
@@ -255,20 +334,40 @@ fn run_group(
         return;
     }
     // One batched forward pass over every featurizable request; the cost is
-    // attributed evenly across the requests it served.
+    // attributed evenly across the requests it served, with the integer
+    // remainder spread one extra µs at a time over the first requests so
+    // the shares sum exactly to the elapsed time (a plain division would
+    // truncate to 0 µs for fast large batches and under-report the total).
     let bags: Vec<&PreparedBag> = prepared.iter().map(|(_, bag, _)| bag).collect();
     let start = Instant::now();
     let scores = model.predict_prepared_batch(&bags);
-    let forward_share = (start.elapsed().as_micros() as u64) / prepared.len() as u64;
-    for ((i, _, featurize_us), scores) in prepared.iter().zip(scores) {
-        shared.metrics.forward.record(forward_share);
+    let elapsed_us = start.elapsed().as_micros() as u64;
+    let (share, remainder) = split_shares(elapsed_us, prepared.len());
+    for (j, ((i, _, featurize_us), scores)) in prepared.iter().zip(scores).enumerate() {
+        let forward_us = share + u64::from(j < remainder);
+        shared.metrics.forward.record(forward_us);
         let job = &batch[*i];
         replies[*i] = Some(Ok(InferResponse {
             model: model_name.to_string(),
             ranked: model.rank(&scores, job.request.top_k),
             queue_us: dequeued.saturating_duration_since(job.enqueued).as_micros() as u64,
             featurize_us: *featurize_us,
-            forward_us: forward_share,
+            forward_us,
         }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_shares;
+
+    #[test]
+    fn shares_sum_exactly_to_elapsed() {
+        for &(elapsed, n) in &[(0u64, 1usize), (1, 8), (7, 8), (8, 8), (1000, 3), (999, 16)] {
+            let (share, remainder) = split_shares(elapsed, n);
+            let total: u64 = (0..n).map(|j| share + u64::from(j < remainder)).sum();
+            assert_eq!(total, elapsed, "elapsed={elapsed} n={n}");
+            assert!(remainder < n.max(1), "remainder bounded by batch size");
+        }
     }
 }

@@ -15,6 +15,14 @@ pub enum ServeError {
     /// The engine is shutting down and no longer accepts new requests
     /// (already-queued requests are still drained and answered).
     ShuttingDown,
+    /// The request's time budget ran out while it sat in the queue; the
+    /// engine sheds it at dequeue without featurizing or running a forward
+    /// pass, so an overloaded server spends no compute on answers nobody is
+    /// waiting for anymore.
+    DeadlineExceeded {
+        /// The budget the request was submitted with, in milliseconds.
+        budget_ms: u64,
+    },
     /// No model with this name is registered.
     UnknownModel(String),
     /// The request names an entity the model's entity table does not know,
@@ -39,6 +47,7 @@ impl ServeError {
         match self {
             ServeError::QueueFull { .. } => "queue-full",
             ServeError::ShuttingDown => "shutting-down",
+            ServeError::DeadlineExceeded { .. } => "deadline-exceeded",
             ServeError::UnknownModel(_) => "unknown-model",
             ServeError::UnknownEntity(_) => "unknown-entity",
             ServeError::MentionNotFound(_) => "mention-not-found",
@@ -56,6 +65,9 @@ impl fmt::Display for ServeError {
                 write!(f, "request queue full (capacity {capacity})")
             }
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline of {budget_ms}ms exceeded while queued")
+            }
             ServeError::UnknownModel(name) => write!(f, "no model named {name:?} is registered"),
             ServeError::UnknownEntity(name) => {
                 write!(f, "entity {name:?} not in the model's entity table")
@@ -81,6 +93,7 @@ mod tests {
         let all = [
             ServeError::QueueFull { capacity: 4 },
             ServeError::ShuttingDown,
+            ServeError::DeadlineExceeded { budget_ms: 5 },
             ServeError::UnknownModel("m".into()),
             ServeError::UnknownEntity("e".into()),
             ServeError::MentionNotFound("e".into()),

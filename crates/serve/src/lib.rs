@@ -29,6 +29,7 @@
 //!     tail: "Washington".into(),
 //!     text: "Seattle is a city in Washington".into(),
 //!     top_k: 3,
+//!     deadline_ms: Some(250),
 //! }).unwrap();
 //! println!("{}: {:.3}", resp.ranked[0].relation, resp.ranked[0].score);
 //! handle.shutdown();

@@ -110,12 +110,28 @@ pub struct Metrics {
     pub batches: AtomicU64,
     /// Total requests over all micro-batches (`/ batches` = mean batch size).
     pub batched_jobs: AtomicU64,
+    /// Requests whose deadline expired while queued (answered
+    /// `DeadlineExceeded` without featurize/forward).
+    pub deadline_expired: AtomicU64,
+    /// Requests answered without running the pipeline at all: deadline
+    /// expiry at dequeue plus jobs failed fast during shutdown drain.
+    pub shed: AtomicU64,
+    /// Currently open TCP connections (gauge, not a counter).
+    pub active_connections: AtomicU64,
 }
 
 impl Metrics {
     /// Bumps a counter by one.
     pub fn inc(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one (saturating at zero, so a stray double
+    /// decrement cannot wrap the dump to u64::MAX).
+    pub fn dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     /// Renders the `stats` text dump served over the wire protocol.
@@ -136,6 +152,13 @@ impl Metrics {
             self.completed.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.rejected_full.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "lifecycle: deadline_expired={} shed={} active_connections={}",
+            self.deadline_expired.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.active_connections.load(Ordering::Relaxed),
         );
         let _ = writeln!(out, "batches: count={batches} mean_size={mean_batch:.2}");
         self.queue_wait.render("queue_wait_us", &mut out);
@@ -180,5 +203,29 @@ mod tests {
             "120µs lands in le_250 bucket:\n{text}"
         );
         assert!(text.contains("forward_us: count=1"));
+    }
+
+    #[test]
+    fn render_contains_lifecycle_counters() {
+        let m = Metrics::default();
+        Metrics::inc(&m.deadline_expired);
+        Metrics::inc(&m.shed);
+        Metrics::inc(&m.shed);
+        Metrics::inc(&m.active_connections);
+        let text = m.render();
+        assert!(
+            text.contains("lifecycle: deadline_expired=1 shed=2 active_connections=1"),
+            "lifecycle line missing or wrong:\n{text}"
+        );
+    }
+
+    #[test]
+    fn gauge_dec_saturates_at_zero() {
+        let m = Metrics::default();
+        Metrics::dec(&m.active_connections);
+        assert_eq!(m.active_connections.load(Ordering::Relaxed), 0);
+        Metrics::inc(&m.active_connections);
+        Metrics::dec(&m.active_connections);
+        assert_eq!(m.active_connections.load(Ordering::Relaxed), 0);
     }
 }

@@ -13,7 +13,7 @@ use imre_corpus::EncodedSentence;
 use std::collections::HashMap;
 
 /// One inference request, as submitted by a client.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InferRequest {
     /// Registered model to run.
     pub model: String,
@@ -26,6 +26,12 @@ pub struct InferRequest {
     pub text: String,
     /// How many top relations to return (0 = all).
     pub top_k: usize,
+    /// Optional time budget in milliseconds, measured from submission. A
+    /// request still queued when the budget runs out is shed with
+    /// [`crate::error::ServeError::DeadlineExceeded`] instead of paying for
+    /// featurize/forward. `None` falls back to the engine's
+    /// `default_deadline_ms` (and to no deadline if that is unset too).
+    pub deadline_ms: Option<u64>,
 }
 
 /// One scored relation in a response.

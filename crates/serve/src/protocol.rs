@@ -35,14 +35,10 @@ pub enum Reply {
 /// Parses an `infer` command's `key=value` arguments.
 ///
 /// `text=` must come last: it consumes the rest of the line verbatim.
+/// `deadline=` (milliseconds) optionally bounds how long the request may
+/// wait in the engine queue before being shed with `deadline-exceeded`.
 pub fn parse_infer(args: &str) -> Result<InferRequest, ServeError> {
-    let mut req = InferRequest {
-        model: String::new(),
-        head: String::new(),
-        tail: String::new(),
-        text: String::new(),
-        top_k: 0,
-    };
+    let mut req = InferRequest::default();
     let mut rest = args.trim_start();
     while !rest.is_empty() {
         if let Some(text) = rest.strip_prefix("text=") {
@@ -64,6 +60,13 @@ pub fn parse_infer(args: &str) -> Result<InferRequest, ServeError> {
                 req.top_k = value.parse().map_err(|_| {
                     ServeError::BadRequest(format!("k must be a number, got {value:?}"))
                 })?;
+            }
+            "deadline" => {
+                req.deadline_ms = Some(value.parse().map_err(|_| {
+                    ServeError::BadRequest(format!(
+                        "deadline must be a number of milliseconds, got {value:?}"
+                    ))
+                })?);
             }
             other => {
                 return Err(ServeError::BadRequest(format!(
@@ -155,6 +158,24 @@ mod tests {
     fn parse_infer_text_keeps_equals_signs() {
         let req = parse_infer("model=m head=a tail=b text=a = b | a b").unwrap();
         assert_eq!(req.text, "a = b | a b");
+    }
+
+    #[test]
+    fn parse_infer_deadline_is_optional() {
+        let req = parse_infer("model=m head=a tail=b text=a b").unwrap();
+        assert_eq!(req.deadline_ms, None);
+        let req = parse_infer("model=m deadline=250 head=a tail=b text=a b").unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn parse_infer_bad_deadline_rejected() {
+        assert_eq!(
+            parse_infer("model=m deadline=soon head=a tail=b text=a b")
+                .unwrap_err()
+                .code(),
+            "bad-request"
+        );
     }
 
     #[test]

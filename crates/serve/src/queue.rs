@@ -137,6 +137,18 @@ impl<T> BoundedQueue<T> {
     pub fn is_closed(&self) -> bool {
         self.inner.lock().expect("queue poisoned").closed
     }
+
+    /// Removes and returns every still-queued item in FIFO order.
+    ///
+    /// This is the shutdown fail-fast path: after [`BoundedQueue::close`]
+    /// and joining the consumers, anything a consumer never dequeued (no
+    /// consumers configured, or a consumer died) is handed back so the
+    /// caller can answer each item instead of leaving its producer blocked
+    /// forever. Safe to call on an open queue too — it simply empties it.
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.items.drain(..).collect()
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +217,54 @@ mod tests {
         producer.join().unwrap();
         got.sort_unstable();
         assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_remaining_empties_fifo() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.drain_remaining(), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        assert_eq!(q.drain_remaining(), Vec::<i32>::new());
+        // Draining does not close: the queue keeps accepting work.
+        q.try_push(9).unwrap();
+        assert_eq!(q.drain_remaining(), vec![9]);
+    }
+
+    #[test]
+    fn drain_remaining_after_close_returns_leftovers() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.drain_remaining(), vec![1, 2]);
+        // A consumer arriving after the drain sees closed-and-empty.
+        assert_eq!(q.pop_batch(4, Duration::ZERO), None);
+    }
+
+    #[test]
+    fn close_releases_consumer_holding_partial_batch() {
+        // A consumer holding a partial batch inside a long coalescing
+        // window must return that partial batch promptly when the queue
+        // closes, not sleep out the rest of the window.
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(8, Duration::from_secs(30)))
+        };
+        q.try_push(7).unwrap();
+        // Give the consumer time to take the item and enter the window.
+        std::thread::sleep(Duration::from_millis(20));
+        let closed_at = Instant::now();
+        q.close();
+        let batch = consumer.join().unwrap();
+        assert_eq!(batch, Some(vec![7]));
+        assert!(
+            closed_at.elapsed() < Duration::from_secs(5),
+            "close() must cut the coalescing window short"
+        );
     }
 
     #[test]

@@ -2,11 +2,22 @@
 //!
 //! The accept loop runs on its own thread with a non-blocking listener
 //! polled against a stop flag; each connection gets a thread running the
-//! [`crate::protocol`] dispatch. [`TcpServer::stop`] flips the flag, joins
-//! the accept loop, and shuts the engine's request intake via the shared
-//! [`ServeHandle`] semantics (connections see request errors, then close).
+//! [`crate::protocol`] dispatch. Connections are stop-aware: every accepted
+//! stream carries a read timeout, so a connection thread blocked waiting
+//! for a request wakes at least every [`READ_POLL`] to check the shared
+//! stop flag — an idle client can never pin a thread forever.
+//! [`TcpServer::stop`] flips the flag, joins the accept loop (which in turn
+//! joins every connection thread it spawned — a drain bounded by the read
+//! timeout), and the engine's request intake is shut via the shared
+//! [`ServeHandle`] semantics.
+//!
+//! The engine's [`crate::metrics::Metrics::active_connections`] gauge
+//! tracks the number of currently open connections; it is incremented when
+//! a connection thread starts and decremented when it exits (on any path,
+//! including panics, via a drop guard).
 
 use crate::engine::ServeHandle;
+use crate::metrics::Metrics;
 use crate::protocol::{handle_line, Reply};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -16,6 +27,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// How long a connection thread blocks in a read before re-checking the
+/// stop flag. This bounds how stale a [`TcpServer::stop`] can find any
+/// connection thread: every one notices the flag within one `READ_POLL`.
+pub const READ_POLL: Duration = Duration::from_millis(50);
 
 /// A running TCP front-end.
 pub struct TcpServer {
@@ -54,8 +70,11 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// Stops accepting connections and joins the accept loop. Existing
-    /// connection threads wind down on their next poll tick.
+    /// Stops accepting connections and joins the accept loop, which joins
+    /// every connection thread before exiting. Connection threads poll the
+    /// stop flag at least every [`READ_POLL`], so the whole drain is
+    /// bounded by roughly one read-timeout tick even when clients are idle
+    /// or mid-request. Idempotent.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
@@ -70,32 +89,80 @@ impl Drop for TcpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &AtomicBool) {
+/// Decrements the active-connection gauge when a connection thread exits,
+/// on every path (clean close, I/O error, panic).
+struct ConnectionGuard {
+    handle: ServeHandle,
+}
+
+impl ConnectionGuard {
+    fn new(handle: ServeHandle) -> ConnectionGuard {
+        Metrics::inc(&handle.metrics().active_connections);
+        ConnectionGuard { handle }
+    }
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        Metrics::dec(&self.handle.metrics().active_connections);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &Arc<AtomicBool>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let handle = handle.clone();
-                let _ = std::thread::Builder::new()
+                let stop = Arc::clone(stop);
+                let spawned = std::thread::Builder::new()
                     .name("imre-serve-conn".to_string())
                     .spawn(move || {
-                        let _ = serve_connection(stream, &handle);
+                        let _guard = ConnectionGuard::new(handle.clone());
+                        let _ = serve_connection(stream, &handle, &stop);
                     });
+                if let Ok(h) = spawned {
+                    connections.push(h);
+                }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Reap finished connection threads so a long-lived server
+                // does not accumulate handles without bound.
+                connections.retain(|h| !h.is_finished());
+                std::thread::sleep(ACCEPT_POLL);
+            }
             Err(_) => std::thread::sleep(ACCEPT_POLL),
         }
     }
+    // Bounded drain: every connection thread sees the stop flag within one
+    // READ_POLL tick and exits, so these joins complete promptly.
+    for h in connections {
+        let _ = h.join();
+    }
 }
 
-fn serve_connection(stream: TcpStream, handle: &ServeHandle) -> io::Result<()> {
+fn serve_connection(stream: TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_POLL))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // peer closed
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(_) => {}
+            // Read timeout (reported as WouldBlock or TimedOut depending on
+            // platform): keep any partial line already buffered and poll
+            // the stop flag again.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
         }
         match handle_line(handle, &line) {
             Reply::Quit => return Ok(()),
@@ -110,5 +177,6 @@ fn serve_connection(stream: TcpStream, handle: &ServeHandle) -> io::Result<()> {
                 writer.flush()?;
             }
         }
+        line.clear();
     }
 }

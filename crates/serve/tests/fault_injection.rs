@@ -1,0 +1,325 @@
+//! Deterministic fault-injection tests for the serving request lifecycle:
+//! slow/idle clients, mid-batch and zero-worker shutdown, expired
+//! deadlines, and full-queue shedding.
+//!
+//! Every scenario here is *model-free* — it drives the engine against an
+//! empty registry, because the lifecycle paths under test (deadline shed at
+//! dequeue, shutdown drain, stop-aware connections) must all fire *before*
+//! any model is resolved or a forward pass runs. That keeps the whole suite
+//! fast enough for a tight CI loop (`scripts/ci.sh serve-faults`).
+
+use imre_serve::{EngineConfig, InferRequest, Registry, ServeError, ServeHandle, TcpServer};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// A syntactically valid request; the engine sheds or fails it before any
+/// model lookup, so the empty registry is never consulted.
+fn request(i: usize) -> InferRequest {
+    InferRequest {
+        model: "ghost".to_string(),
+        head: "a".to_string(),
+        tail: "b".to_string(),
+        text: format!("a relates to b case {i}"),
+        top_k: 0,
+        deadline_ms: None,
+    }
+}
+
+fn start_engine(config: EngineConfig) -> ServeHandle {
+    ServeHandle::start(Arc::new(Registry::new()), config)
+}
+
+/// Runs `f` on a helper thread and panics if it has not finished within
+/// `limit` — turns a would-be infinite hang into a crisp test failure.
+fn assert_finishes_within<T: Send + 'static>(
+    limit: Duration,
+    what: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let thread = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(value) => {
+            thread.join().expect("helper thread");
+            value
+        }
+        Err(_) => panic!("{what} did not finish within {limit:?}"),
+    }
+}
+
+#[test]
+fn stop_joins_idle_connection_within_one_second() {
+    let handle = start_engine(EngineConfig::default());
+    let mut server = TcpServer::spawn(handle.clone(), "127.0.0.1:0").expect("bind");
+
+    // An idle client: connects, completes one round-trip so we know its
+    // connection thread is up, then never sends another byte.
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"ping\n").expect("write ping");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read pong");
+    assert_eq!(line.trim_end(), "ok pong");
+    assert_eq!(
+        handle.metrics().active_connections.load(Ordering::Relaxed),
+        1,
+        "connection thread must be tracked while the client is connected"
+    );
+
+    // stop() must join the accept loop AND the idle connection thread —
+    // the connection polls the stop flag on its read-timeout tick, so the
+    // whole drain is bounded well under a second.
+    let start = Instant::now();
+    assert_finishes_within(Duration::from_secs(1), "TcpServer::stop()", move || {
+        server.stop();
+    });
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "stop took {:?} with an idle client connected",
+        start.elapsed()
+    );
+    assert_eq!(
+        handle.metrics().active_connections.load(Ordering::Relaxed),
+        0,
+        "connection gauge must return to zero after stop"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_with_zero_workers_answers_every_queued_pending() {
+    // workers: 0 — nothing ever drains the queue, so shutdown itself must
+    // fail-fast the queued jobs instead of waiting for a drain that will
+    // never happen.
+    let handle = start_engine(EngineConfig {
+        workers: 0,
+        queue_capacity: 16,
+        ..EngineConfig::default()
+    });
+    let pending: Vec<_> = (0..8)
+        .map(|i| handle.submit(request(i)).expect("submit"))
+        .collect();
+
+    {
+        let handle = handle.clone();
+        assert_finishes_within(Duration::from_secs(2), "shutdown(workers=0)", move || {
+            handle.shutdown();
+        });
+    }
+
+    for (i, p) in pending.into_iter().enumerate() {
+        match assert_finishes_within(Duration::from_secs(1), "Pending::wait", move || p.wait()) {
+            Err(ServeError::ShuttingDown) => {}
+            other => panic!("queued request {i}: expected ShuttingDown, got {other:?}"),
+        }
+    }
+    let m = handle.metrics();
+    assert_eq!(m.shed.load(Ordering::Relaxed), 8);
+    assert_eq!(m.errors.load(Ordering::Relaxed), 8);
+    assert_eq!(m.deadline_expired.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn expired_deadline_is_shed_without_featurize_or_forward() {
+    let handle = start_engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    // deadline_ms: 0 — expired the instant it was submitted, so the worker
+    // dequeues an already-dead job. It must be answered DeadlineExceeded
+    // without touching the registry (which would yield UnknownModel), the
+    // featurizer, or the forward pass.
+    let mut req = request(0);
+    req.deadline_ms = Some(0);
+    let p = handle.submit(req).expect("submit");
+    match assert_finishes_within(Duration::from_secs(2), "deadline wait", move || p.wait()) {
+        Err(ServeError::DeadlineExceeded { budget_ms }) => assert_eq!(budget_ms, 0),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let m = handle.metrics();
+    assert_eq!(
+        m.forward.count(),
+        0,
+        "an expired request must not run a forward pass"
+    );
+    assert_eq!(
+        m.featurize.count(),
+        0,
+        "an expired request must not be featurized"
+    );
+    assert_eq!(m.deadline_expired.load(Ordering::Relaxed), 1);
+    assert_eq!(m.shed.load(Ordering::Relaxed), 1);
+
+    // A request without a deadline on the same engine reaches the registry
+    // (UnknownModel), proving the worker is alive and only expired jobs
+    // were short-circuited.
+    match handle.infer(request(1)) {
+        Err(ServeError::UnknownModel(name)) => assert_eq!(name, "ghost"),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn engine_default_deadline_applies_to_requests_without_their_own() {
+    let handle = start_engine(EngineConfig {
+        workers: 1,
+        default_deadline_ms: Some(0),
+        ..EngineConfig::default()
+    });
+    let p = handle.submit(request(0)).expect("submit");
+    match assert_finishes_within(Duration::from_secs(2), "deadline wait", move || p.wait()) {
+        Err(ServeError::DeadlineExceeded { budget_ms }) => assert_eq!(budget_ms, 0),
+        other => panic!("expected DeadlineExceeded via engine default, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn wait_timeout_leaves_request_in_flight() {
+    let handle = start_engine(EngineConfig {
+        workers: 0,
+        ..EngineConfig::default()
+    });
+    let p = handle.submit(request(0)).expect("submit");
+    // Nothing will ever answer (no workers): wait_timeout must give up
+    // cleanly instead of blocking forever…
+    assert!(
+        p.wait_timeout(Duration::from_millis(20)).is_none(),
+        "wait_timeout must report a still-in-flight request as None"
+    );
+    assert!(p.poll().is_none());
+    // …and the request stays submitted: shutdown still answers it.
+    handle.shutdown();
+    match p.wait_timeout(Duration::from_secs(1)) {
+        Some(Err(ServeError::ShuttingDown)) => {}
+        other => panic!("expected ShuttingDown after shutdown, got {other:?}"),
+    }
+}
+
+#[test]
+fn full_queue_sheds_at_submission_and_stats_render_lifecycle_counters() {
+    let handle = start_engine(EngineConfig {
+        workers: 0,
+        queue_capacity: 2,
+        ..EngineConfig::default()
+    });
+    let _p0 = handle.submit(request(0)).expect("first fits");
+    let _p1 = handle.submit(request(1)).expect("second fits");
+    match handle.submit(request(2)) {
+        Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+        Err(other) => panic!("expected QueueFull, got {other:?}"),
+        Ok(_) => panic!("expected QueueFull, got an accepted request"),
+    }
+    handle.shutdown();
+
+    // Regression: the stats dump must render every lifecycle counter.
+    let stats = handle.stats_text();
+    assert!(
+        stats.contains("rejected_queue_full=1"),
+        "stats missing queue-full rejection:\n{stats}"
+    );
+    assert!(
+        stats.contains("lifecycle: deadline_expired=0 shed=2 active_connections=0"),
+        "stats missing lifecycle counters:\n{stats}"
+    );
+}
+
+#[test]
+fn expired_deadline_over_tcp_answers_with_the_wire_code() {
+    let handle = start_engine(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let mut server = TcpServer::spawn(handle.clone(), "127.0.0.1:0").expect("bind");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"infer model=ghost head=a tail=b deadline=0 text=a b\n")
+        .expect("write infer");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    assert!(
+        line.starts_with("err deadline-exceeded"),
+        "expected deadline-exceeded on the wire, got {line:?}"
+    );
+    server.stop();
+    handle.shutdown();
+}
+
+#[test]
+fn stop_with_mid_request_client_still_joins_promptly() {
+    // A "slow loris" client that sends half a request line and stalls: the
+    // connection thread is mid-read with a partial line buffered. stop()
+    // must still take it down on the next read-timeout tick.
+    let handle = start_engine(EngineConfig::default());
+    let mut server = TcpServer::spawn(handle.clone(), "127.0.0.1:0").expect("bind");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer
+        .write_all(b"infer model=ghost hea")
+        .expect("half a line");
+    writer.flush().expect("flush");
+    // Let the connection thread absorb the partial line.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let start = Instant::now();
+    assert_finishes_within(Duration::from_secs(1), "TcpServer::stop()", move || {
+        server.stop();
+    });
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "stop took {:?} with a stalled mid-request client",
+        start.elapsed()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn mid_batch_shutdown_answers_both_halves() {
+    // One worker, batch_max 2, and a queue holding more jobs than one
+    // batch: close the queue while the worker is somewhere in its
+    // batch cycle. Everything the worker dequeues is answered by the
+    // worker (UnknownModel from the empty registry); everything still
+    // queued when the worker exits is failed fast by shutdown. Either way,
+    // every Pending resolves.
+    let handle = start_engine(EngineConfig {
+        workers: 1,
+        batch_max: 2,
+        batch_deadline: Duration::from_millis(1),
+        queue_capacity: 64,
+        default_deadline_ms: None,
+    });
+    let pending: Vec<_> = (0..32)
+        .map(|i| handle.submit(request(i)).expect("submit"))
+        .collect();
+    {
+        let handle = handle.clone();
+        assert_finishes_within(Duration::from_secs(5), "mid-batch shutdown", move || {
+            handle.shutdown();
+        });
+    }
+    let mut answered = 0;
+    for (i, p) in pending.into_iter().enumerate() {
+        match assert_finishes_within(Duration::from_secs(1), "Pending::wait", move || p.wait()) {
+            Err(ServeError::UnknownModel(_)) | Err(ServeError::ShuttingDown) => answered += 1,
+            other => panic!("request {i}: unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(answered, 32, "every pending must resolve across shutdown");
+    let m = handle.metrics();
+    assert_eq!(
+        m.errors.load(Ordering::Relaxed),
+        32,
+        "all 32 must be accounted as errors (UnknownModel or ShuttingDown)"
+    );
+}

@@ -79,6 +79,7 @@ fn request(i: usize) -> InferRequest {
         tail,
         text,
         top_k: 0,
+        deadline_ms: None,
     }
 }
 
@@ -142,6 +143,7 @@ fn engine_serves_64_concurrent_requests_with_correct_rankings() {
         batch_max: 8,
         batch_deadline: Duration::from_millis(2),
         queue_capacity: 256,
+        default_deadline_ms: None,
     });
 
     const N: usize = 64;
@@ -210,12 +212,14 @@ fn batched_and_unbatched_forward_scores_are_identical() {
         batch_max: 16,
         batch_deadline: Duration::from_millis(10),
         queue_capacity: 64,
+        default_deadline_ms: None,
     });
     let serial = start_engine(EngineConfig {
         workers: 1,
         batch_max: 1,
         batch_deadline: Duration::from_millis(0),
         queue_capacity: 64,
+        default_deadline_ms: None,
     });
     let pending: Vec<_> = (0..16)
         .map(|i| coalescing.submit(request(i)).expect("submit"))
@@ -250,6 +254,7 @@ fn full_queue_returns_typed_rejection() {
         batch_max: 8,
         batch_deadline: Duration::from_millis(1),
         queue_capacity: 2,
+        default_deadline_ms: None,
     });
     let _p0 = handle.submit(request(0)).expect("first fits");
     let _p1 = handle.submit(request(1)).expect("second fits");
@@ -269,6 +274,7 @@ fn shutdown_drains_all_queued_requests() {
         batch_max: 4,
         batch_deadline: Duration::from_millis(1),
         queue_capacity: 64,
+        default_deadline_ms: None,
     });
     let pending: Vec<_> = (0..24)
         .map(|i| handle.submit(request(i)).expect("submit"))
@@ -286,6 +292,60 @@ fn shutdown_drains_all_queued_requests() {
         Err(ServeError::ShuttingDown) => {}
         Err(other) => panic!("expected ShuttingDown, got {other:?}"),
         Ok(_) => panic!("expected ShuttingDown, got an accepted request"),
+    }
+}
+
+#[test]
+fn generous_deadline_is_served_and_lifecycle_counters_stay_clean() {
+    let handle = start_engine(EngineConfig::default());
+    let mut req = request(0);
+    req.deadline_ms = Some(60_000);
+    let resp = handle.infer(req).expect("generous deadline must be served");
+    assert!(!resp.ranked.is_empty());
+    let m = handle.metrics();
+    assert_eq!(m.deadline_expired.load(Ordering::Relaxed), 0);
+    assert_eq!(m.shed.load(Ordering::Relaxed), 0);
+    let stats = handle.stats_text();
+    assert!(
+        stats.contains("lifecycle: deadline_expired=0 shed=0 active_connections=0"),
+        "stats must render the lifecycle counters:\n{stats}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn forward_shares_sum_to_elapsed_batch_time() {
+    // The per-request forward shares of a batched pass must sum exactly to
+    // the measured batch time — integer truncation used to drop up to
+    // (batch-1) µs per batch and round fast batches down to 0.
+    let handle = start_engine(EngineConfig {
+        workers: 1,
+        batch_max: 16,
+        batch_deadline: Duration::from_millis(20),
+        queue_capacity: 64,
+        default_deadline_ms: None,
+    });
+    let pending: Vec<_> = (0..16)
+        .map(|i| handle.submit(request(i)).expect("submit"))
+        .collect();
+    let responses: Vec<_> = pending
+        .into_iter()
+        .map(|p| p.wait().expect("reply"))
+        .collect();
+    handle.shutdown();
+    let snap = handle.metrics().forward.snapshot();
+    let share_sum: u64 = responses.iter().map(|r| r.forward_us).sum();
+    assert_eq!(
+        snap.sum_us, share_sum,
+        "histogram total and response shares must agree"
+    );
+    assert_eq!(snap.count, 16);
+    // If the whole burst coalesced into one batch, the remainder spreading
+    // bounds the share skew to a single microsecond.
+    if handle.metrics().batches.load(Ordering::Relaxed) == 1 {
+        let spread: Vec<u64> = responses.iter().map(|r| r.forward_us).collect();
+        let (min, max) = (spread.iter().min().unwrap(), spread.iter().max().unwrap());
+        assert!(max - min <= 1, "one batch must spread shares within 1µs");
     }
 }
 

@@ -14,7 +14,9 @@
 #   - keys ending in `_ns` are lower-is-better (latency); everything else
 #     is higher-is-better (throughput);
 #   - keys starting with `info_` are informational and never gate
-#     (machine-dependent speedup ratios);
+#     (machine-dependent speedup ratios, plus the serve lifecycle counters
+#     `info_serve_deadline_expired` / `info_serve_shed` that serve_throughput
+#     records so the artifact shows whether a run shed work);
 #   - a gated key regressing by more than BENCH_TOL (default 0.15 = 15%)
 #     fails the script; so does a baseline key missing from the fresh run.
 #

@@ -7,13 +7,18 @@
 #   scripts/ci.sh --fast         # quick gate: fmt, clippy, test
 #                                # (skips the release build and bench smoke)
 #   scripts/ci.sh <step>...      # run only the named steps, in order:
-#                                #   fmt clippy build test bench
+#                                #   fmt clippy build test serve-faults bench
 #
 # Steps:
 #   fmt     cargo fmt --check over the whole workspace
 #   clippy  clippy with warnings denied, all targets
 #   build   release build of the workspace
 #   test    the full test suite (tier-1 gate)
+#   serve-faults
+#           the serve-path fault-injection suite on its own (deadline
+#           shedding, zero-worker shutdown drain, stop-aware connections);
+#           model-free and sub-second, so it doubles as a quick lifecycle
+#           smoke when iterating on the serving engine
 #   bench   1ms-sample smoke of the serving + kernel-scaling benches, which
 #           also executes their embedded assertions (dispatch fast path,
 #           batched == unbatched); with CI_BENCH_GATE=1 it then runs
@@ -58,6 +63,10 @@ step_test() {
     cargo test --offline -q --workspace
 }
 
+step_serve_faults() {
+    cargo test --offline -q -p imre-serve --test fault_injection
+}
+
 step_bench() {
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_throughput
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench kernel_scaling
@@ -71,7 +80,7 @@ case "${1:-}" in
     steps=(fmt clippy test)
     ;;
 "")
-    steps=(fmt clippy build test bench)
+    steps=(fmt clippy build test serve-faults bench)
     ;;
 *)
     steps=("$@")
@@ -81,8 +90,9 @@ esac
 for s in "${steps[@]}"; do
     case "$s" in
     fmt | clippy | build | test | bench) run_step "$s" "step_$s" ;;
+    serve-faults) run_step "$s" step_serve_faults ;;
     *)
-        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test bench)" >&2
+        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults bench)" >&2
         exit 2
         ;;
     esac
