@@ -198,6 +198,50 @@ fn bench_pcnn_step(sink: &mut MetricSink) {
     );
 }
 
+/// Steady-state allocation telemetry for PCNN inference: run the forward
+/// pass from a reused arena and report the per-pass pool-miss rate (gated
+/// lower-is-better at a committed baseline of 0) plus pool-pressure info
+/// metrics. A 1-thread pool keeps the warm-up boundary exact — with racy
+/// multi-thread task claiming a cold thread-local stash could legitimately
+/// miss after warm-up.
+fn bench_pcnn_infer_allocs(sink: &mut MetricSink) {
+    let fx = pcnn_fixture();
+    let ctx = BagContext {
+        entity_embedding: None,
+        entity_types: &fx.types,
+    };
+    let bags = [&fx.bag];
+    let pool1 = ThreadPool::new(1);
+    with_pool(&pool1, || {
+        let mut arena = imre_tensor::BufferPool::new();
+        for _ in 0..3 {
+            std::hint::black_box(fx.model.predict_batch_pooled(&bags, &ctx, &mut arena));
+        }
+        const PASSES: usize = 100;
+        let before = arena.stats();
+        for _ in 0..PASSES {
+            std::hint::black_box(fx.model.predict_batch_pooled(&bags, &ctx, &mut arena));
+        }
+        let d = arena.stats().since(&before);
+        let allocs = d.misses as f64 / PASSES as f64;
+        sink.record("pcnn_infer_allocs_steady", allocs);
+        sink.record(
+            "info_pcnn_infer_pool_hits_per_pass",
+            d.hits as f64 / PASSES as f64,
+        );
+        sink.record(
+            "info_pcnn_infer_bytes_recycled_per_pass",
+            d.bytes_recycled as f64 / PASSES as f64,
+        );
+        println!(
+            "pcnn_infer alloc telemetry: {allocs:.3} allocs/pass, \
+             {:.1} pool hits/pass, {:.0} bytes recycled/pass over {PASSES} warm passes",
+            d.hits as f64 / PASSES as f64,
+            d.bytes_recycled as f64 / PASSES as f64,
+        );
+    });
+}
+
 /// Satellite micro-bench: `ThreadPool::run` on a 1-thread pool must be a
 /// plain inline loop — measure its per-call overhead and prove via the
 /// dispatch counter that no job ever crossed a channel. A 4-thread pool
@@ -243,6 +287,7 @@ fn main() {
     bench_matmul(&mut sink);
     bench_conv(&mut sink);
     bench_pcnn_step(&mut sink);
+    bench_pcnn_infer_allocs(&mut sink);
     bench_dispatch_fast_path(&mut sink);
     sink.write_if_requested();
     println!("\nkernel_scaling: all fast-path assertions held");

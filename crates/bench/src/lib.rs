@@ -137,6 +137,59 @@ impl MetricSink {
     }
 }
 
+/// A `std::alloc::System` wrapper that counts heap allocations, for
+/// install as a test binary's `#[global_allocator]`.
+///
+/// `alloc`, `alloc_zeroed`, and growth `realloc` each count as one
+/// allocation; `dealloc` is free. The zero-allocation inference test
+/// (`tests/zero_alloc_inference.rs`) uses the delta of
+/// [`CountingAllocator::allocations`] across a warm forward pass to pin the
+/// steady-state allocation budget of the tape hot path to exactly zero —
+/// a stricter, process-global check than the pool-miss counters the serve
+/// metrics report.
+pub use alloc_counter::CountingAllocator;
+
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// See the re-export docs on [`crate::CountingAllocator`].
+    pub struct CountingAllocator;
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    impl CountingAllocator {
+        /// Total heap allocations since process start.
+        pub fn allocations() -> u64 {
+            ALLOCATIONS.load(Ordering::Relaxed)
+        }
+    }
+
+    // SAFETY: pure delegation to `System`; the counter is a relaxed atomic
+    // and never allocates, so the impl upholds `GlobalAlloc`'s contract
+    // wherever `System` does.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,89 @@
+//! Strict zero-allocation gate for the inference tape hot path.
+//!
+//! Unlike the serve-level gate (which counts buffer-pool misses), this test
+//! installs a counting `#[global_allocator]` and pins the *process-wide*
+//! heap-allocation delta of a warm forward pass to exactly zero — catching
+//! any stray `Vec`/`String`/`Box` on the hot path, not just tensor buffers.
+//!
+//! Everything runs in ONE `#[test]` so `IMRE_THREADS=1` can be pinned
+//! before any tensor code initialises the lazily-created global compute
+//! pool (worker threads would allocate nondeterministically during task
+//! claiming).
+
+use imre_bench::CountingAllocator;
+use imre_nn::{ParamId, ParamStore, Tape};
+use imre_tensor::TensorRng;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const DIM: usize = 8;
+const INDICES: [usize; 6] = [1, 3, 5, 2, 7, 0];
+const SEGMENTS: [(usize, usize); 2] = [(0, 3), (3, 6)];
+
+/// A fixed PCNN-shaped graph: gather → matmul → tanh → piecewise max →
+/// matvec → softmax. Returns the first probability as a checksum.
+fn forward(tape: &mut Tape, emb: ParamId, w: ParamId, q: ParamId) -> f32 {
+    let g = tape.gather(emb, &INDICES);
+    let wv = tape.param(w);
+    let h = tape.matmul(g, wv);
+    let a = tape.tanh(h);
+    let p = tape.piecewise_max(a, &SEGMENTS);
+    let p = tape.reshape(p, &[SEGMENTS.len(), DIM]);
+    let qv = tape.param(q);
+    let s = tape.matvec(p, qv);
+    let sm = tape.softmax(s);
+    tape.value(sm).data()[0]
+}
+
+#[test]
+fn warm_inference_pass_performs_zero_heap_allocations() {
+    // Must run before the first tensor op of this process (safe:
+    // edition-2021 `set_var`, single test fn in this binary).
+    std::env::set_var("IMRE_THREADS", "1");
+
+    let mut rng = TensorRng::seed(7);
+    let mut store = ParamStore::new();
+    let emb = store.uniform("emb", &[10, DIM], 0.5, &mut rng);
+    let w = store.xavier("w", DIM, DIM, &mut rng);
+    let q = store.uniform("q", &[DIM], 0.5, &mut rng);
+
+    let mut tape = Tape::inference(&store);
+
+    // Warm-up: populate the arena and let node/pool vectors reach their
+    // steady-state capacities.
+    let mut sink = 0.0f32;
+    for _ in 0..3 {
+        tape.reset();
+        sink += forward(&mut tape, emb, w, q);
+    }
+
+    let reference = {
+        tape.reset();
+        forward(&mut tape, emb, w, q)
+    };
+    let before = CountingAllocator::allocations();
+    for _ in 0..100 {
+        tape.reset();
+        let p = forward(&mut tape, emb, w, q);
+        assert_eq!(
+            p.to_bits(),
+            reference.to_bits(),
+            "warm pass must be bit-stable"
+        );
+        sink += p;
+    }
+    let delta = CountingAllocator::allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "a warm inference pass must perform zero heap allocations \
+         ({delta} allocations across 100 passes; checksum {sink})"
+    );
+
+    let (hits, misses) = {
+        let s = tape.pool_stats();
+        (s.hits, s.misses)
+    };
+    assert!(hits > 0, "warm passes should be served from the pool");
+    assert!(misses > 0, "warm-up itself must have populated the pool");
+}

@@ -15,7 +15,7 @@ use crate::features::{featurize, SentenceFeatures};
 use imre_corpus::{Bag, World};
 use imre_graph::EntityEmbedding;
 use imre_nn::{GradStore, Linear, ParamStore, Tape, Var};
-use imre_tensor::TensorRng;
+use imre_tensor::{bufpool, BufferPool, PoolStats, TensorRng};
 
 /// Declarative description of a model variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +201,10 @@ pub struct ReModel {
     pub store: ParamStore,
     /// Gradient buffers.
     pub grads: GradStore,
+    /// Tensor-buffer arena threaded through every training step: the tape
+    /// of step *n*+1 is served from the recycled buffers of step *n*, so
+    /// steady-state training performs no per-step tensor allocations.
+    arena: BufferPool,
     encoder: Encoder,
     word_att: Option<WordAttention>,
     att: Option<SelectiveAttention>,
@@ -263,6 +267,7 @@ impl ReModel {
             hp: hp.clone(),
             store,
             grads,
+            arena: BufferPool::new(),
             encoder,
             word_att,
             att,
@@ -342,7 +347,9 @@ impl ReModel {
             let emb = ctx
                 .entity_embedding
                 .expect("spec.use_mr requires BagContext::entity_embedding");
-            mr.logits(tape, emb.mutual_relation(bag.head, bag.tail))
+            let mut mr_vec = tape.alloc(&[emb.dim()]);
+            emb.mutual_relation_into(bag.head, bag.tail, &mut mr_vec);
+            mr.logits(tape, mr_vec)
         });
         let t_logits = self.ty.as_ref().map(|ty| {
             ty.logits(
@@ -378,9 +385,11 @@ impl ReModel {
         rng: &mut TensorRng,
     ) -> f32 {
         // Split borrows: the tape reads `store` (a precise field loan),
-        // backward writes `grads`.
+        // backward writes `grads`. The arena moves into the tape and comes
+        // back from `backward_scaled`, recycled for the next step.
+        let arena = std::mem::take(&mut self.arena);
         let store = &self.store;
-        let mut tape = Tape::new(store);
+        let mut tape = Tape::with_pool(store, arena);
 
         let xs = self.bag_matrix(&mut tape, bag, true, rng);
         let bag_vec = match &self.att {
@@ -414,8 +423,13 @@ impl ReModel {
             }
         };
         let loss_val = tape.value(loss).data()[0];
-        tape.backward_scaled(loss, scale, &mut self.grads);
+        self.arena = tape.backward_scaled(loss, scale, &mut self.grads);
         loss_val
+    }
+
+    /// Allocator-pressure counters of the model's training arena.
+    pub fn arena_stats(&self) -> PoolStats {
+        self.arena.stats()
     }
 
     /// Loads pretrained word embeddings (e.g. skip-gram vectors from
@@ -477,30 +491,36 @@ impl ReModel {
         let mut rng = TensorRng::seed(0); // eval mode: dropout disabled, rng unused
         let xs = self.bag_matrix(tape, bag, false, &mut rng);
 
-        let re_scores: Vec<f32> = match &self.att {
+        // The per-relation score vector lives in a pooled tensor: the only
+        // heap allocation left on this path is the returned response Vec.
+        let mut re_scores = tape.alloc(&[self.num_relations]);
+        match &self.att {
             None => {
                 let bag_vec = mean_aggregate(tape, xs);
                 let logits = self.re_head.forward_vec(tape, bag_vec);
                 let probs = tape.softmax(logits);
-                tape.value(probs).data().to_vec()
+                re_scores
+                    .data_mut()
+                    .copy_from_slice(tape.value(probs).data());
             }
-            Some(att) => (0..self.num_relations)
-                .map(|r| {
+            Some(att) => {
+                for r in 0..self.num_relations {
                     let bag_vec = att.aggregate(tape, xs, r);
                     let logits = self.re_head.forward_vec(tape, bag_vec);
                     let probs = tape.softmax(logits);
-                    tape.value(probs).data()[r]
-                })
-                .collect(),
-        };
+                    re_scores.data_mut()[r] = tape.value(probs).data()[r];
+                }
+            }
+        }
 
         match &self.combiner {
-            None => re_scores,
+            None => {
+                let out = re_scores.data().to_vec();
+                tape.recycle(re_scores);
+                out
+            }
             Some(comb) => {
-                let re = tape.leaf(imre_tensor::Tensor::from_vec(
-                    re_scores,
-                    &[self.num_relations],
-                ));
+                let re = tape.leaf(re_scores);
                 let (c_mr, c_t) = self.side_confidences(tape, bag, ctx);
                 let logits = comb.combine(tape, c_mr, c_t, re);
                 let probs = tape.softmax(logits);
@@ -520,20 +540,56 @@ impl ReModel {
     /// bit-identical either way: each bag's graph is evaluated by exactly
     /// one thread with the same kernel code.
     pub fn predict_batch(&self, bags: &[&PreparedBag], ctx: &BagContext) -> Vec<Vec<f32>> {
+        let mut pool = BufferPool::new();
+        self.predict_batch_pooled(bags, ctx, &mut pool)
+    }
+
+    /// [`ReModel::predict_batch`] served from a caller-owned buffer arena.
+    ///
+    /// The serving engine holds one arena per worker and passes it to every
+    /// batch: after the first batch warms the pool, steady-state forward
+    /// passes perform zero tensor allocations (`pool.stats().misses` stops
+    /// growing). On a multi-thread compute pool each task runs on its
+    /// worker thread's own stash ([`bufpool::with_local`]) — buffers never
+    /// cross threads — and the stash activity is folded into `pool`'s
+    /// counters so the caller sees the whole batch's allocator pressure.
+    /// Scores are bit-identical to [`ReModel::predict_batch`]: pooled
+    /// buffers are re-zeroed on alloc, and batch partitioning never changes
+    /// per-bag kernel order.
+    pub fn predict_batch_pooled(
+        &self,
+        bags: &[&PreparedBag],
+        ctx: &BagContext,
+        pool: &mut BufferPool,
+    ) -> Vec<Vec<f32>> {
         if imre_tensor::pool::current_threads() <= 1 || bags.len() <= 1 {
-            let mut tape = Tape::inference(&self.store);
-            return bags
+            let mut tape = Tape::inference_with_pool(&self.store, std::mem::take(pool));
+            let scores = bags
                 .iter()
                 .map(|bag| {
                     tape.reset();
                     self.predict_into(&mut tape, bag, ctx)
                 })
                 .collect();
+            *pool = tape.into_pool();
+            return scores;
         }
-        imre_tensor::pool::par_map(bags.len(), |i| {
-            let mut tape = Tape::inference(&self.store);
-            self.predict_into(&mut tape, bags[i], ctx)
-        })
+        let results = imre_tensor::pool::par_map(bags.len(), |i| {
+            bufpool::with_local(|stash| {
+                let before = stash.stats();
+                let mut tape = Tape::inference_with_pool(&self.store, std::mem::take(stash));
+                let scores = self.predict_into(&mut tape, bags[i], ctx);
+                *stash = tape.into_pool();
+                (scores, stash.stats().since(&before))
+            })
+        });
+        results
+            .into_iter()
+            .map(|(scores, delta)| {
+                pool.absorb_stats(&delta);
+                scores
+            })
+            .collect()
     }
 
     /// Predicts and returns `(relation, score)` pairs sorted by descending

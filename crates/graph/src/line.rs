@@ -82,12 +82,30 @@ impl EntityEmbedding {
 
     /// The paper's implicit-mutual-relation vector `MR_ij = U_j − U_i`.
     pub fn mutual_relation(&self, head: usize, tail: usize) -> Tensor {
+        let mut out = Tensor::zeros(&[self.dim()]);
+        self.mutual_relation_into(head, tail, &mut out);
+        out
+    }
+
+    /// [`EntityEmbedding::mutual_relation`] into a caller-provided `[dim]`
+    /// tensor (e.g. a pooled buffer on the serving hot path). Bit-identical
+    /// to the allocating variant.
+    ///
+    /// # Panics
+    /// If `out` does not hold exactly `dim` elements.
+    pub fn mutual_relation_into(&self, head: usize, tail: usize, out: &mut Tensor) {
+        assert_eq!(
+            out.len(),
+            self.dim(),
+            "mutual_relation_into: destination holds {} elements, need {}",
+            out.len(),
+            self.dim()
+        );
         let h = self.vectors.row(head);
         let t = self.vectors.row(tail);
-        Tensor::from_vec(
-            t.iter().zip(h).map(|(&tj, &hj)| tj - hj).collect(),
-            &[self.dim()],
-        )
+        for ((o, &tj), &hj) in out.data_mut().iter_mut().zip(t).zip(h) {
+            *o = tj - hj;
+        }
     }
 
     /// Wraps a precomputed matrix (for tests and serialization round-trips).

@@ -13,7 +13,7 @@
 
 use crate::param::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
-use imre_tensor::{Tensor, TensorRng};
+use imre_tensor::TensorRng;
 
 /// One GRU cell's parameters.
 pub struct GruCell {
@@ -119,7 +119,7 @@ impl GruCell {
     pub fn run(&self, tape: &mut Tape, xs: Var) -> Var {
         let t = tape.value(xs).rows();
         let vars = self.vars(tape);
-        let mut h = tape.leaf(Tensor::zeros(&[self.hidden]));
+        let mut h = tape.zeros_leaf(&[self.hidden]);
         let mut hs = Vec::with_capacity(t);
         for step in 0..t {
             let x_t = row_of(tape, xs, step);
@@ -134,7 +134,7 @@ impl GruCell {
     pub fn run_reverse(&self, tape: &mut Tape, xs: Var) -> Var {
         let t = tape.value(xs).rows();
         let vars = self.vars(tape);
-        let mut h = tape.leaf(Tensor::zeros(&[self.hidden]));
+        let mut h = tape.zeros_leaf(&[self.hidden]);
         let mut hs = vec![None; t];
         for step in (0..t).rev() {
             let x_t = row_of(tape, xs, step);
@@ -206,7 +206,7 @@ impl BiGru {
 mod tests {
     use super::*;
     use crate::param::GradStore;
-    use imre_tensor::assert_close;
+    use imre_tensor::{assert_close, Tensor};
 
     #[test]
     fn step_output_bounded() {

@@ -11,6 +11,18 @@
 //! loss. Each op variant owns whatever forward context its backward rule
 //! needs (argmax indices, saved probabilities), so backward never recomputes.
 //!
+//! **Memory model.** Every tape owns a [`BufferPool`]: op results are
+//! allocated from it via the `_into` destination-passing kernels, and
+//! [`Tape::reset`] recycles every owned node tensor back into it. A reused
+//! inference tape therefore reaches a steady state where forward passes
+//! perform **zero heap allocations** — every tensor is a (re-zeroed) pool
+//! hit. Backward context is built lazily: on an inference tape no op payload
+//! (gather indices, argmax tables, saved probabilities) is ever constructed.
+//! [`Tape::backward_scaled`] recycles the node and adjoint tensors it
+//! consumes and returns the pool, so a training loop can thread one arena
+//! through every step. Pooled buffers are always re-zeroed on allocation,
+//! which keeps results bit-identical to the plain allocating kernels.
+//!
 //! Typical usage — one tape per training bag:
 //!
 //! ```
@@ -33,7 +45,7 @@
 //! ```
 
 use crate::param::{GradStore, ParamId, ParamStore};
-use imre_tensor::Tensor;
+use imre_tensor::{BufferPool, PoolStats, Tensor};
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,30 +153,46 @@ pub const LN_EPS: f32 = 1e-8;
 /// context for a later [`Tape::backward`] pass, while [`Tape::inference`]
 /// skips all backward bookkeeping (ops are stored as gradient-free leaves),
 /// which makes pure forward passes cheaper and lets one tape be reused
-/// across many inputs via [`Tape::reset`].
+/// across many inputs via [`Tape::reset`]. Both own a [`BufferPool`] arena;
+/// pass one in via [`Tape::with_pool`] / [`Tape::inference_with_pool`] to
+/// reuse buffers across tape lifetimes.
 pub struct Tape<'s> {
     store: &'s ParamStore,
     nodes: Vec<Node<'s>>,
     record: bool,
+    pool: BufferPool,
 }
 
 impl<'s> Tape<'s> {
     /// Starts an empty recording tape reading parameter values from `store`.
     pub fn new(store: &'s ParamStore) -> Self {
+        Tape::with_pool(store, BufferPool::new())
+    }
+
+    /// [`Tape::new`] with a caller-provided buffer arena (reused across
+    /// tapes; get it back from [`Tape::backward_scaled`] / [`Tape::into_pool`]).
+    pub fn with_pool(store: &'s ParamStore, pool: BufferPool) -> Self {
         Tape {
             store,
             nodes: Vec::with_capacity(64),
             record: true,
+            pool,
         }
     }
 
     /// Starts a forward-only tape: no backward context is recorded, and
     /// [`Tape::backward`] panics. Use for prediction / serving paths.
     pub fn inference(store: &'s ParamStore) -> Self {
+        Tape::inference_with_pool(store, BufferPool::new())
+    }
+
+    /// [`Tape::inference`] with a caller-provided buffer arena.
+    pub fn inference_with_pool(store: &'s ParamStore, pool: BufferPool) -> Self {
         Tape {
             store,
             nodes: Vec::with_capacity(64),
             record: false,
+            pool,
         }
     }
 
@@ -173,10 +201,43 @@ impl<'s> Tape<'s> {
         self.record
     }
 
-    /// Clears all nodes but keeps the allocation, so one tape can serve a
-    /// whole batch of forward passes without reallocating.
+    /// Clears all nodes, recycling every owned node tensor into the tape's
+    /// buffer pool — so a reused tape's next forward pass is served from
+    /// recycled buffers instead of the heap.
     pub fn reset(&mut self) {
-        self.nodes.clear();
+        let Tape {
+            ref mut nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        for node in nodes.drain(..) {
+            if let Val::Owned(t) = node.value {
+                pool.recycle(t);
+            }
+        }
+    }
+
+    /// Consumes the tape, recycling its nodes, and hands the arena back.
+    pub fn into_pool(mut self) -> BufferPool {
+        self.reset();
+        self.pool
+    }
+
+    /// A zero-filled tensor from the tape's arena. Callers use this to build
+    /// leaf inputs without fresh heap allocations; hand unused tensors back
+    /// via [`Tape::recycle`].
+    pub fn alloc(&mut self, shape: &[usize]) -> Tensor {
+        self.pool.alloc(shape)
+    }
+
+    /// Returns a tensor to the tape's arena.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.pool.recycle(t)
+    }
+
+    /// Allocator-pressure counters of the tape's arena.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -186,6 +247,18 @@ impl<'s> Tape<'s> {
     fn push_val(&mut self, value: Val<'s>, op: Op) -> Var {
         let op = if self.record { op } else { Op::Leaf };
         self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Like [`Tape::push`], but builds the op payload lazily: on an
+    /// inference tape the closure never runs, so ops whose backward context
+    /// owns heap data (gather indices, stacked vars) allocate nothing.
+    fn push_with(&mut self, value: Tensor, op: impl FnOnce() -> Op) -> Var {
+        let op = if self.record { op() } else { Op::Leaf };
+        self.nodes.push(Node {
+            value: Val::Owned(value),
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -214,6 +287,13 @@ impl<'s> Tape<'s> {
         self.push(value, Op::Leaf)
     }
 
+    /// Records a zero-filled constant of `shape` drawn from the tape's
+    /// arena — the allocation-free way to seed e.g. an RNN's initial state.
+    pub fn zeros_leaf(&mut self, shape: &[usize]) -> Var {
+        let value = self.pool.alloc(shape);
+        self.push(value, Op::Leaf)
+    }
+
     /// Records a parameter; its gradient accumulates into the grad store.
     /// The value is borrowed from the store, never cloned.
     pub fn param(&mut self, id: ParamId) -> Var {
@@ -221,10 +301,13 @@ impl<'s> Tape<'s> {
     }
 
     /// Embedding lookup: records `indices.len()` rows of parameter `id`
-    /// without copying the whole table onto the tape.
+    /// without copying the whole table onto the tape. The scatter indices
+    /// are copied only on recording tapes.
     pub fn gather(&mut self, id: ParamId, indices: &[usize]) -> Var {
-        let value = self.store.get(id).gather_rows(indices);
-        self.push(value, Op::GatherParam(id, indices.to_vec()))
+        let table = self.store.get(id);
+        let mut out = self.pool.alloc(&[indices.len(), table.cols()]);
+        table.gather_rows_into(indices, &mut out);
+        self.push_with(out, || Op::GatherParam(id, indices.to_vec()))
     }
 
     // ------------------------------------------------------------------
@@ -233,44 +316,74 @@ impl<'s> Tape<'s> {
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push(v, Op::Add(a, b))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let (av, bv) = (nodes[a.0].value.tensor(), nodes[b.0].value.tensor());
+        let mut out = pool.alloc(av.shape());
+        av.add_into(bv, &mut out);
+        self.push(out, Op::Add(a, b))
     }
 
     /// Elementwise difference `a − b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push(v, Op::Sub(a, b))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let (av, bv) = (nodes[a.0].value.tensor(), nodes[b.0].value.tensor());
+        let mut out = pool.alloc(av.shape());
+        av.sub_into(bv, &mut out);
+        self.push(out, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push(v, Op::Mul(a, b))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let (av, bv) = (nodes[a.0].value.tensor(), nodes[b.0].value.tensor());
+        let mut out = pool.alloc(av.shape());
+        av.mul_into(bv, &mut out);
+        self.push(out, Op::Mul(a, b))
     }
 
     /// Multiplication by a compile-time constant.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.value(a).scale(s);
-        self.push(v, Op::Scale(a, s))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let av = nodes[a.0].value.tensor();
+        let mut out = pool.alloc(av.shape());
+        av.scale_into(s, &mut out);
+        self.push(out, Op::Scale(a, s))
     }
 
     /// Matrix (rank-2) plus broadcast rank-1 bias.
     pub fn add_row_broadcast(&mut self, mat: Var, bias: Var) -> Var {
-        let v = self.value(mat).add_row_broadcast(self.value(bias));
-        self.push(v, Op::AddRowBroadcast(mat, bias))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let (mv, bv) = (nodes[mat.0].value.tensor(), nodes[bias.0].value.tensor());
+        let mut out = pool.alloc(mv.shape());
+        mv.add_row_broadcast_into(bv, &mut out);
+        self.push(out, Op::AddRowBroadcast(mat, bias))
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::Matmul(a, b))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let (av, bv) = (nodes[a.0].value.tensor(), nodes[b.0].value.tensor());
+        let (m, k) = (av.rows(), av.cols());
+        let (k2, n) = (bv.rows(), bv.cols());
+        assert_eq!(
+            k,
+            k2,
+            "Tape::matmul: inner dimension mismatch {:?} · {:?}",
+            av.shape(),
+            bv.shape()
+        );
+        let mut out = pool.alloc(&[m, n]);
+        imre_tensor::matmul_into(av.data(), bv.data(), out.data_mut(), m, k, n);
+        self.push(out, Op::Matmul(a, b))
     }
 
     /// Matrix–vector product, result rank-1.
     pub fn matvec(&mut self, mat: Var, vec: Var) -> Var {
-        let v = self.value(mat).matvec(self.value(vec));
-        self.push(v, Op::MatVec(mat, vec))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let (mv, vv) = (nodes[mat.0].value.tensor(), nodes[vec.0].value.tensor());
+        let mut out = pool.alloc(&[mv.rows()]);
+        mv.matvec_into(vv, &mut out);
+        self.push(out, Op::MatVec(mat, vec))
     }
 
     // ------------------------------------------------------------------
@@ -279,36 +392,60 @@ impl<'s> Tape<'s> {
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).tanh();
-        self.push(v, Op::Tanh(a))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let av = nodes[a.0].value.tensor();
+        let mut out = pool.alloc(av.shape());
+        av.tanh_into(&mut out);
+        self.push(out, Op::Tanh(a))
     }
 
     /// Elementwise sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).sigmoid();
-        self.push(v, Op::Sigmoid(a))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let av = nodes[a.0].value.tensor();
+        let mut out = pool.alloc(av.shape());
+        av.sigmoid_into(&mut out);
+        self.push(out, Op::Sigmoid(a))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).relu();
-        self.push(v, Op::Relu(a))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let av = nodes[a.0].value.tensor();
+        let mut out = pool.alloc(av.shape());
+        av.relu_into(&mut out);
+        self.push(out, Op::Relu(a))
     }
 
     /// Elementwise natural log with input clamped to [`LN_EPS`].
     pub fn ln(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(LN_EPS).ln());
-        self.push(v, Op::Ln(a))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let av = nodes[a.0].value.tensor();
+        let mut out = pool.alloc(av.shape());
+        av.map_into(&mut out, |x| x.max(LN_EPS).ln());
+        self.push(out, Op::Ln(a))
     }
 
     // ------------------------------------------------------------------
     // Structure
     // ------------------------------------------------------------------
 
-    /// Shape view with identical data.
+    /// Shape view with identical data (copies into a pooled buffer).
     pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
-        let v = self.value(a).reshape(shape);
-        self.push(v, Op::Reshape(a))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let av = nodes[a.0].value.tensor();
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            n,
+            av.len(),
+            "Tape::reshape: cannot view {:?} ({} elems) as {:?} ({n} elems)",
+            av.shape(),
+            av.len(),
+            shape
+        );
+        let mut out = pool.alloc(shape);
+        out.data_mut().copy_from_slice(av.data());
+        self.push(out, Op::Reshape(a))
     }
 
     /// Sliding-window unfold: row `t` of the output is the concatenation of
@@ -322,10 +459,11 @@ impl<'s> Tape<'s> {
             window % 2 == 1 && window > 0,
             "Tape::unfold: window must be odd and positive, got {window}"
         );
-        let xv = self.value(x);
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let xv = nodes[x.0].value.tensor();
         let (t, d) = (xv.rows(), xv.cols());
         let half = window / 2;
-        let mut out = Tensor::zeros(&[t, window * d]);
+        let mut out = pool.alloc(&[t, window * d]);
         // Row-parallel: output row `row` only reads input rows and writes its
         // own `window · d` slice, so partitioning cannot change the result.
         let grain = (4096 / (window * d).max(1)).max(1);
@@ -352,27 +490,36 @@ impl<'s> Tape<'s> {
     /// max pooling; with the three segments cut by the two entity positions
     /// it is the PCNN pooling of Zeng et al. (2015).
     ///
+    /// On an inference tape this takes the values-only path — no argmax
+    /// tables, no segment copies, no allocations beyond the pooled output.
+    ///
     /// # Panics
     /// If any segment is empty or out of range.
     pub fn piecewise_max(&mut self, x: Var, segments: &[Segment]) -> Var {
-        let xv = self.value(x);
+        let record = self.record;
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let xv = nodes[x.0].value.tensor();
         let cols = xv.cols();
-        let mut vals = Vec::with_capacity(segments.len() * cols);
-        let mut argmax = Vec::with_capacity(segments.len());
-        for &(lo, hi) in segments {
-            let (v, idx) = xv.max_over_rows(lo, hi);
-            vals.extend_from_slice(v.data());
-            argmax.push(idx);
-        }
-        let out = Tensor::from_vec(vals, &[segments.len() * cols]);
-        self.push(
-            out,
+        let mut out = pool.alloc(&[segments.len() * cols]);
+        let op = if record {
+            let mut argmax = Vec::with_capacity(segments.len());
+            for (s, &(lo, hi)) in segments.iter().enumerate() {
+                let (vals, idx) = xv.max_over_rows(lo, hi);
+                out.data_mut()[s * cols..(s + 1) * cols].copy_from_slice(vals.data());
+                argmax.push(idx);
+            }
             Op::PiecewiseMax {
                 x,
                 segments: segments.to_vec(),
                 argmax,
-            },
-        )
+            }
+        } else {
+            for (s, &(lo, hi)) in segments.iter().enumerate() {
+                xv.max_over_rows_into(lo, hi, &mut out.data_mut()[s * cols..(s + 1) * cols]);
+            }
+            Op::Leaf
+        };
+        self.push_val(Val::Owned(out), op)
     }
 
     /// Row `row` of a rank-2 var as a rank-1 var (gradient scatters back
@@ -381,35 +528,97 @@ impl<'s> Tape<'s> {
     /// # Panics
     /// If out of range or `x` is not rank-2.
     pub fn slice_row(&mut self, x: Var, row: usize) -> Var {
-        let v = self.value(x).row_tensor(row);
-        self.push(v, Op::SliceRow { x, row })
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let xv = nodes[x.0].value.tensor();
+        let mut out = pool.alloc(&[xv.cols()]);
+        out.data_mut().copy_from_slice(xv.row(row));
+        self.push(out, Op::SliceRow { x, row })
     }
 
     /// Column-wise mean of a matrix → rank-1 vector.
     pub fn mean_rows(&mut self, x: Var) -> Var {
-        let v = self.value(x).mean_rows();
-        self.push(v, Op::MeanRows(x))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let xv = nodes[x.0].value.tensor();
+        let mut out = pool.alloc(&[xv.cols()]);
+        xv.mean_rows_into(&mut out);
+        self.push(out, Op::MeanRows(x))
     }
 
     /// Stacks rank-1 vars of equal length into a matrix.
     pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = rows.iter().map(|&r| self.value(r)).collect();
-        let v = Tensor::stack_rows(&tensors);
-        self.push(v, Op::StackRows(rows.to_vec()))
+        assert!(!rows.is_empty(), "Tape::stack_rows: nothing to stack");
+        let out = {
+            let (nodes, pool) = (&self.nodes, &mut self.pool);
+            let cols = nodes[rows[0].0].value.tensor().len();
+            let mut out = pool.alloc(&[rows.len(), cols]);
+            for (i, &r) in rows.iter().enumerate() {
+                let rv = nodes[r.0].value.tensor();
+                assert_eq!(
+                    rv.len(),
+                    cols,
+                    "Tape::stack_rows: row {i} has len {} expected {cols}",
+                    rv.len()
+                );
+                out.data_mut()[i * cols..(i + 1) * cols].copy_from_slice(rv.data());
+            }
+            out
+        };
+        self.push_with(out, || Op::StackRows(rows.to_vec()))
     }
 
     /// Concatenates rank-1 vars end to end.
     pub fn concat(&mut self, parts: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat(&tensors);
-        self.push(v, Op::Concat(parts.to_vec()))
+        let out = {
+            let (nodes, pool) = (&self.nodes, &mut self.pool);
+            let total: usize = parts.iter().map(|&p| nodes[p.0].value.tensor().len()).sum();
+            let mut out = pool.alloc(&[total]);
+            let mut off = 0;
+            for &p in parts {
+                let pv = nodes[p.0].value.tensor();
+                out.data_mut()[off..off + pv.len()].copy_from_slice(pv.data());
+                off += pv.len();
+            }
+            out
+        };
+        self.push_with(out, || Op::Concat(parts.to_vec()))
     }
 
     /// Concatenates rank-2 vars side by side (equal row counts).
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_cols(&tensors);
-        self.push(v, Op::ConcatCols(parts.to_vec()))
+        assert!(
+            !parts.is_empty(),
+            "Tape::concat_cols: nothing to concatenate"
+        );
+        let out = {
+            let (nodes, pool) = (&self.nodes, &mut self.pool);
+            let rows = nodes[parts[0].0].value.tensor().rows();
+            let total_cols: usize = parts
+                .iter()
+                .map(|&p| nodes[p.0].value.tensor().cols())
+                .sum();
+            for (i, &p) in parts.iter().enumerate() {
+                let pv = nodes[p.0].value.tensor();
+                assert_eq!(
+                    pv.rows(),
+                    rows,
+                    "Tape::concat_cols: part {i} has {} rows expected {rows}",
+                    pv.rows()
+                );
+            }
+            let mut out = pool.alloc(&[rows, total_cols]);
+            for r in 0..rows {
+                let mut off = 0;
+                for &p in parts {
+                    let pv = nodes[p.0].value.tensor();
+                    let pc = pv.cols();
+                    out.data_mut()[r * total_cols + off..r * total_cols + off + pc]
+                        .copy_from_slice(pv.row(r));
+                    off += pc;
+                }
+            }
+            out
+        };
+        self.push_with(out, || Op::ConcatCols(parts.to_vec()))
     }
 
     // ------------------------------------------------------------------
@@ -418,8 +627,11 @@ impl<'s> Tape<'s> {
 
     /// Rank-1 softmax.
     pub fn softmax(&mut self, a: Var) -> Var {
-        let v = self.value(a).softmax();
-        self.push(v, Op::Softmax(a))
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let av = nodes[a.0].value.tensor();
+        let mut out = pool.alloc(av.shape());
+        av.softmax_into(&mut out);
+        self.push(out, Op::Softmax(a))
     }
 
     /// `x` scaled by a learned `[1]` tensor `s` (the paper's α/β/γ weights).
@@ -427,14 +639,18 @@ impl<'s> Tape<'s> {
     /// # Panics
     /// If `s` does not hold exactly one element.
     pub fn scale_by_var(&mut self, x: Var, s: Var) -> Var {
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let sv = nodes[s.0].value.tensor();
         assert_eq!(
-            self.value(s).len(),
+            sv.len(),
             1,
             "Tape::scale_by_var: scale must be a [1] tensor"
         );
-        let sv = self.value(s).data()[0];
-        let v = self.value(x).scale(sv);
-        self.push(v, Op::ScaleByVar { x, s })
+        let sv = sv.data()[0];
+        let xv = nodes[x.0].value.tensor();
+        let mut out = pool.alloc(xv.shape());
+        xv.scale_into(sv, &mut out);
+        self.push(out, Op::ScaleByVar { x, s })
     }
 
     /// Attention aggregation `Σ_i weights[i] · mat[i, :]` → rank-1.
@@ -442,8 +658,9 @@ impl<'s> Tape<'s> {
     /// # Panics
     /// If `weights.len() != mat.rows()`.
     pub fn weighted_sum_rows(&mut self, mat: Var, weights: Var) -> Var {
-        let m = self.value(mat);
-        let w = self.value(weights);
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let m = nodes[mat.0].value.tensor();
+        let w = nodes[weights.0].value.tensor();
         assert_eq!(
             w.len(),
             m.rows(),
@@ -452,39 +669,60 @@ impl<'s> Tape<'s> {
             m.rows()
         );
         let cols = m.cols();
-        let mut out = vec![0.0f32; cols];
-        for (i, &wi) in w.data().iter().enumerate() {
-            for (o, &x) in out.iter_mut().zip(m.row(i)) {
-                *o += wi * x;
+        let mut out = pool.alloc(&[cols]);
+        {
+            let o = out.data_mut();
+            for (i, &wi) in w.data().iter().enumerate() {
+                for (oo, &x) in o.iter_mut().zip(m.row(i)) {
+                    *oo += wi * x;
+                }
             }
         }
-        let v = Tensor::from_vec(out, &[cols]);
-        self.push(v, Op::WeightedSumRows { mat, weights })
+        self.push(out, Op::WeightedSumRows { mat, weights })
     }
 
     /// Cross-entropy of rank-1 `logits` against a hard `target` class.
     /// Returns a `[1]` tensor holding `−log softmax(logits)[target]`.
     ///
+    /// On an inference tape the probability vector is never materialised —
+    /// the loss is computed scalar-wise with the identical max/exp/sum
+    /// sequence, so the value is bit-identical to the recording path.
+    ///
     /// # Panics
     /// If `target` is out of range.
     pub fn softmax_cross_entropy(&mut self, logits: Var, target: usize) -> Var {
-        let l = self.value(logits);
+        let record = self.record;
+        let (nodes, pool) = (&self.nodes, &mut self.pool);
+        let l = nodes[logits.0].value.tensor();
         assert!(
             target < l.len(),
             "Tape::softmax_cross_entropy: target {target} out of {} classes",
             l.len()
         );
-        let probs = l.softmax();
-        let loss = -(probs.data()[target].max(LN_EPS)).ln();
-        let out = Tensor::from_vec(vec![loss], &[1]);
-        self.push(
-            out,
-            Op::SoftmaxCrossEntropy {
-                logits,
-                target,
-                probs,
-            },
-        )
+        let (loss, op) = if record {
+            let mut probs = pool.alloc(l.shape());
+            l.softmax_into(&mut probs);
+            let loss = -(probs.data()[target].max(LN_EPS)).ln();
+            (
+                loss,
+                Op::SoftmaxCrossEntropy {
+                    logits,
+                    target,
+                    probs,
+                },
+            )
+        } else {
+            let m = l.max();
+            let mut z = 0.0f32;
+            for &x in l.data() {
+                z += (x - m).exp();
+            }
+            let p = (l.data()[target] - m).exp() / z;
+            (-(p.max(LN_EPS)).ln(), Op::Leaf)
+        };
+        let mut out = pool.alloc(&[1]);
+        out.data_mut()[0] = loss;
+        self.push_val(Val::Owned(out), op)
     }
 
     // ------------------------------------------------------------------
@@ -494,16 +732,19 @@ impl<'s> Tape<'s> {
     /// Runs reverse-mode differentiation from scalar node `loss`, multiplying
     /// by `seed`, and accumulates parameter gradients into `grads`.
     ///
-    /// The tape is consumed: one tape, one backward pass.
+    /// The tape is consumed: one tape, one backward pass. Every node tensor
+    /// and adjoint is recycled into the tape's arena, which is returned so
+    /// the next step can reuse it via [`Tape::with_pool`].
     ///
     /// # Panics
     /// If `loss` is not a single-element tensor, or the tape was built with
     /// [`Tape::inference`] (no backward context was recorded).
-    pub fn backward_scaled(self, loss: Var, seed: f32, grads: &mut GradStore) {
+    pub fn backward_scaled(self, loss: Var, seed: f32, grads: &mut GradStore) -> BufferPool {
         let Tape {
             store: _,
             nodes,
             record,
+            mut pool,
         } = self;
         assert!(
             record,
@@ -515,14 +756,27 @@ impl<'s> Tape<'s> {
             "Tape::backward: loss must be scalar"
         );
         let mut adj: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
-        adj[loss.0] = Some(Tensor::from_vec(vec![seed], &[1]));
+        let mut seed_t = pool.alloc(&[1]);
+        seed_t.data_mut()[0] = seed;
+        adj[loss.0] = Some(seed_t);
 
-        // helper to accumulate into adj without double borrow
-        fn acc(adj: &mut [Option<Tensor>], i: usize, delta: Tensor) {
+        // Accumulate a delta into an adjoint slot; merged deltas go back to
+        // the arena immediately.
+        fn acc(adj: &mut [Option<Tensor>], pool: &mut BufferPool, i: usize, delta: Tensor) {
             match &mut adj[i] {
-                Some(g) => g.add_assign(&delta),
+                Some(g) => {
+                    g.add_assign(&delta);
+                    pool.recycle(delta);
+                }
                 slot @ None => *slot = Some(delta),
             }
+        }
+
+        /// A pooled copy of `t` (replaces `t.clone()` on the hot path).
+        fn copy_of(pool: &mut BufferPool, t: &Tensor) -> Tensor {
+            let mut out = pool.alloc(t.shape());
+            out.data_mut().copy_from_slice(t.data());
+            out
         }
 
         for i in (0..nodes.len()).rev() {
@@ -532,100 +786,130 @@ impl<'s> Tape<'s> {
             };
             let node = &nodes[i];
             match &node.op {
-                Op::Leaf => {}
-                Op::Param(id) => grads.accumulate(*id, &g),
+                Op::Leaf => pool.recycle(g),
+                Op::Param(id) => {
+                    grads.accumulate(*id, &g);
+                    pool.recycle(g);
+                }
                 Op::GatherParam(id, indices) => {
                     grads.get_mut(*id).scatter_add_rows(indices, &g);
+                    pool.recycle(g);
                 }
                 Op::Add(a, b) => {
-                    acc(&mut adj, a.0, g.clone());
-                    acc(&mut adj, b.0, g);
+                    let da = copy_of(&mut pool, &g);
+                    acc(&mut adj, &mut pool, a.0, da);
+                    acc(&mut adj, &mut pool, b.0, g);
                 }
                 Op::Sub(a, b) => {
-                    acc(&mut adj, a.0, g.clone());
-                    acc(&mut adj, b.0, g.scale(-1.0));
+                    let da = copy_of(&mut pool, &g);
+                    acc(&mut adj, &mut pool, a.0, da);
+                    let mut db = pool.alloc(g.shape());
+                    g.scale_into(-1.0, &mut db);
+                    acc(&mut adj, &mut pool, b.0, db);
+                    pool.recycle(g);
                 }
                 Op::Mul(a, b) => {
-                    let da = g.mul(nodes[b.0].value.tensor());
-                    let db = g.mul(nodes[a.0].value.tensor());
-                    acc(&mut adj, a.0, da);
-                    acc(&mut adj, b.0, db);
+                    let mut da = pool.alloc(g.shape());
+                    g.mul_into(nodes[b.0].value.tensor(), &mut da);
+                    let mut db = pool.alloc(g.shape());
+                    g.mul_into(nodes[a.0].value.tensor(), &mut db);
+                    acc(&mut adj, &mut pool, a.0, da);
+                    acc(&mut adj, &mut pool, b.0, db);
+                    pool.recycle(g);
                 }
-                Op::Scale(a, s) => acc(&mut adj, a.0, g.scale(*s)),
+                Op::Scale(a, s) => {
+                    let mut da = pool.alloc(g.shape());
+                    g.scale_into(*s, &mut da);
+                    acc(&mut adj, &mut pool, a.0, da);
+                    pool.recycle(g);
+                }
                 Op::AddRowBroadcast(mat, bias) => {
-                    acc(&mut adj, bias.0, g.sum_rows());
-                    acc(&mut adj, mat.0, g);
+                    let mut db = pool.alloc(&[g.cols()]);
+                    g.sum_rows_into(&mut db);
+                    acc(&mut adj, &mut pool, bias.0, db);
+                    acc(&mut adj, &mut pool, mat.0, g);
                 }
                 Op::Matmul(a, b) => {
-                    let da = g.matmul_nt(nodes[b.0].value.tensor());
-                    let db = nodes[a.0].value.tensor().matmul_tn(&g);
-                    acc(&mut adj, a.0, da);
-                    acc(&mut adj, b.0, db);
+                    let av = nodes[a.0].value.tensor();
+                    let bv = nodes[b.0].value.tensor();
+                    let (m, k) = (av.rows(), av.cols());
+                    let n = bv.cols();
+                    // da = g · bᵀ, db = aᵀ · g — the same kernels the
+                    // allocating matmul_nt / matmul_tn wrappers call, into
+                    // zeroed pooled buffers.
+                    let mut da = pool.alloc(&[m, k]);
+                    imre_tensor::matmul_nt_into(g.data(), bv.data(), da.data_mut(), m, n, k);
+                    let mut db = pool.alloc(&[k, n]);
+                    imre_tensor::matmul_tn_into(av.data(), g.data(), db.data_mut(), k, m, n);
+                    acc(&mut adj, &mut pool, a.0, da);
+                    acc(&mut adj, &mut pool, b.0, db);
+                    pool.recycle(g);
                 }
                 Op::MatVec(mat, vec) => {
-                    let dm = g.outer(nodes[vec.0].value.tensor());
+                    let vecv = nodes[vec.0].value.tensor();
+                    let mut dm = pool.alloc(&[g.len(), vecv.len()]);
+                    {
+                        let n = vecv.len();
+                        let o = dm.data_mut();
+                        for (i, &gi) in g.data().iter().enumerate() {
+                            for (r, &b) in o[i * n..(i + 1) * n].iter_mut().zip(vecv.data()) {
+                                *r = gi * b;
+                            }
+                        }
+                    }
                     let dv = nodes[mat.0].value.tensor().transpose().matvec(&g);
-                    acc(&mut adj, mat.0, dm);
-                    acc(&mut adj, vec.0, dv);
+                    acc(&mut adj, &mut pool, mat.0, dm);
+                    acc(&mut adj, &mut pool, vec.0, dv);
+                    pool.recycle(g);
                 }
                 Op::Tanh(a) => {
                     let y = node.value.tensor();
-                    let da = Tensor::from_vec(
-                        g.data()
-                            .iter()
-                            .zip(y.data())
-                            .map(|(&gi, &yi)| gi * (1.0 - yi * yi))
-                            .collect(),
-                        y.shape(),
-                    );
-                    acc(&mut adj, a.0, da);
+                    let mut da = pool.alloc(y.shape());
+                    for ((d, &gi), &yi) in da.data_mut().iter_mut().zip(g.data()).zip(y.data()) {
+                        *d = gi * (1.0 - yi * yi);
+                    }
+                    acc(&mut adj, &mut pool, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::Sigmoid(a) => {
                     let y = node.value.tensor();
-                    let da = Tensor::from_vec(
-                        g.data()
-                            .iter()
-                            .zip(y.data())
-                            .map(|(&gi, &yi)| gi * yi * (1.0 - yi))
-                            .collect(),
-                        y.shape(),
-                    );
-                    acc(&mut adj, a.0, da);
+                    let mut da = pool.alloc(y.shape());
+                    for ((d, &gi), &yi) in da.data_mut().iter_mut().zip(g.data()).zip(y.data()) {
+                        *d = gi * yi * (1.0 - yi);
+                    }
+                    acc(&mut adj, &mut pool, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::Relu(a) => {
-                    let x = &nodes[a.0].value.tensor();
-                    let da = Tensor::from_vec(
-                        g.data()
-                            .iter()
-                            .zip(x.data())
-                            .map(|(&gi, &xi)| if xi > 0.0 { gi } else { 0.0 })
-                            .collect(),
-                        x.shape(),
-                    );
-                    acc(&mut adj, a.0, da);
+                    let x = nodes[a.0].value.tensor();
+                    let mut da = pool.alloc(x.shape());
+                    for ((d, &gi), &xi) in da.data_mut().iter_mut().zip(g.data()).zip(x.data()) {
+                        *d = if xi > 0.0 { gi } else { 0.0 };
+                    }
+                    acc(&mut adj, &mut pool, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::Ln(a) => {
-                    let x = &nodes[a.0].value.tensor();
-                    let da = Tensor::from_vec(
-                        g.data()
-                            .iter()
-                            .zip(x.data())
-                            .map(|(&gi, &xi)| gi / xi.max(LN_EPS))
-                            .collect(),
-                        x.shape(),
-                    );
-                    acc(&mut adj, a.0, da);
+                    let x = nodes[a.0].value.tensor();
+                    let mut da = pool.alloc(x.shape());
+                    for ((d, &gi), &xi) in da.data_mut().iter_mut().zip(g.data()).zip(x.data()) {
+                        *d = gi / xi.max(LN_EPS);
+                    }
+                    acc(&mut adj, &mut pool, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::Reshape(a) => {
-                    let da = g.reshape(nodes[a.0].value.tensor().shape());
-                    acc(&mut adj, a.0, da);
+                    let mut da = pool.alloc(nodes[a.0].value.tensor().shape());
+                    da.data_mut().copy_from_slice(g.data());
+                    acc(&mut adj, &mut pool, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::Unfold { x, window } => {
                     let xv = &nodes[x.0].value.tensor();
                     let (t, d) = (xv.rows(), xv.cols());
                     let window = *window;
                     let half = window / 2;
-                    let mut dx = Tensor::zeros(&[t, d]);
+                    let mut dx = pool.alloc(&[t, d]);
                     // Inverted loop nest vs. the forward pass: iterate over
                     // *destination* (input-gradient) rows so each task owns a
                     // disjoint shard of `dx` — the scatter over overlapping
@@ -651,7 +935,8 @@ impl<'s> Tape<'s> {
                             }
                         }
                     });
-                    acc(&mut adj, x.0, dx);
+                    acc(&mut adj, &mut pool, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::PiecewiseMax {
                     x,
@@ -660,96 +945,111 @@ impl<'s> Tape<'s> {
                 } => {
                     let xv = &nodes[x.0].value.tensor();
                     let cols = xv.cols();
-                    let mut dx = Tensor::zeros(&[xv.rows(), cols]);
+                    let mut dx = pool.alloc(&[xv.rows(), cols]);
                     for (s, seg_argmax) in argmax.iter().enumerate().take(segments.len()) {
                         for (c, &r) in seg_argmax.iter().enumerate() {
                             *dx.at_mut(r, c) += g.data()[s * cols + c];
                         }
                     }
-                    acc(&mut adj, x.0, dx);
+                    acc(&mut adj, &mut pool, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::SliceRow { x, row } => {
                     let xv = &nodes[x.0].value.tensor();
-                    let mut dx = Tensor::zeros(&[xv.rows(), xv.cols()]);
+                    let mut dx = pool.alloc(&[xv.rows(), xv.cols()]);
                     dx.row_mut(*row).copy_from_slice(g.data());
-                    acc(&mut adj, x.0, dx);
+                    acc(&mut adj, &mut pool, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::MeanRows(x) => {
                     let xv = &nodes[x.0].value.tensor();
                     let (rows, cols) = (xv.rows(), xv.cols());
                     let inv = 1.0 / rows as f32;
-                    let mut dx = Tensor::zeros(&[rows, cols]);
+                    let mut dx = pool.alloc(&[rows, cols]);
                     for r in 0..rows {
                         for (d, &gi) in dx.row_mut(r).iter_mut().zip(g.data()) {
                             *d = gi * inv;
                         }
                     }
-                    acc(&mut adj, x.0, dx);
+                    acc(&mut adj, &mut pool, x.0, dx);
+                    pool.recycle(g);
                 }
                 Op::StackRows(rows) => {
                     let cols = node.value.tensor().cols();
                     for (r, var) in rows.iter().enumerate() {
-                        let slice =
-                            Tensor::from_vec(g.data()[r * cols..(r + 1) * cols].to_vec(), &[cols]);
-                        acc(&mut adj, var.0, slice);
+                        let mut slice = pool.alloc(&[cols]);
+                        slice
+                            .data_mut()
+                            .copy_from_slice(&g.data()[r * cols..(r + 1) * cols]);
+                        acc(&mut adj, &mut pool, var.0, slice);
                     }
+                    pool.recycle(g);
                 }
                 Op::Concat(parts) => {
                     let mut off = 0;
                     for var in parts {
                         let n = nodes[var.0].value.tensor().len();
-                        let slice = Tensor::from_vec(g.data()[off..off + n].to_vec(), &[n]);
-                        acc(&mut adj, var.0, slice);
+                        let mut slice = pool.alloc(&[n]);
+                        slice.data_mut().copy_from_slice(&g.data()[off..off + n]);
+                        acc(&mut adj, &mut pool, var.0, slice);
                         off += n;
                     }
+                    pool.recycle(g);
                 }
                 Op::ConcatCols(parts) => {
+                    let rows = node.value.tensor().rows();
+                    let total_cols = node.value.tensor().cols();
                     let mut off = 0;
                     for var in parts {
                         let pc = nodes[var.0].value.tensor().cols();
-                        let hi = off + pc;
-                        let slice = g.slice_cols(off, hi);
-                        acc(&mut adj, var.0, slice);
-                        off = hi;
+                        let mut slice = pool.alloc(&[rows, pc]);
+                        for r in 0..rows {
+                            let src = &g.data()[r * total_cols + off..r * total_cols + off + pc];
+                            slice.data_mut()[r * pc..(r + 1) * pc].copy_from_slice(src);
+                        }
+                        acc(&mut adj, &mut pool, var.0, slice);
+                        off += pc;
                     }
+                    pool.recycle(g);
                 }
                 Op::Softmax(a) => {
                     // dx = y ⊙ (g − ⟨g, y⟩)
                     let y = node.value.tensor();
                     let gy: f32 = g.dot(y);
-                    let da = Tensor::from_vec(
-                        y.data()
-                            .iter()
-                            .zip(g.data())
-                            .map(|(&yi, &gi)| yi * (gi - gy))
-                            .collect(),
-                        y.shape(),
-                    );
-                    acc(&mut adj, a.0, da);
+                    let mut da = pool.alloc(y.shape());
+                    for ((d, &yi), &gi) in da.data_mut().iter_mut().zip(y.data()).zip(g.data()) {
+                        *d = yi * (gi - gy);
+                    }
+                    acc(&mut adj, &mut pool, a.0, da);
+                    pool.recycle(g);
                 }
                 Op::ScaleByVar { x, s } => {
                     let sv = nodes[s.0].value.tensor().data()[0];
-                    let dx = g.scale(sv);
-                    let ds = Tensor::from_vec(vec![g.dot(nodes[x.0].value.tensor())], &[1]);
-                    acc(&mut adj, x.0, dx);
-                    acc(&mut adj, s.0, ds);
+                    let mut dx = pool.alloc(g.shape());
+                    g.scale_into(sv, &mut dx);
+                    let mut ds = pool.alloc(&[1]);
+                    ds.data_mut()[0] = g.dot(nodes[x.0].value.tensor());
+                    acc(&mut adj, &mut pool, x.0, dx);
+                    acc(&mut adj, &mut pool, s.0, ds);
+                    pool.recycle(g);
                 }
                 Op::WeightedSumRows { mat, weights } => {
                     let m = &nodes[mat.0].value.tensor();
                     let w = &nodes[weights.0].value.tensor();
                     let cols = m.cols();
-                    let mut dm = Tensor::zeros(&[m.rows(), cols]);
-                    let mut dw = vec![0.0f32; w.len()];
+                    let mut dm = pool.alloc(&[m.rows(), cols]);
+                    let mut dw = pool.alloc(&[w.len()]);
                     for (i, &wi) in w.data().iter().enumerate() {
                         let row = m.row(i);
                         let drow = dm.row_mut(i);
                         for (d, &gi) in drow.iter_mut().zip(g.data()) {
                             *d = wi * gi;
                         }
-                        dw[i] = g.data().iter().zip(row).map(|(&gi, &xi)| gi * xi).sum();
+                        dw.data_mut()[i] = g.data().iter().zip(row).map(|(&gi, &xi)| gi * xi).sum();
                     }
-                    acc(&mut adj, mat.0, dm);
-                    acc(&mut adj, weights.0, Tensor::from_vec(dw, &[w.len()]));
+                    acc(&mut adj, &mut pool, mat.0, dm);
+                    acc(&mut adj, &mut pool, weights.0, dw);
+                    pool.recycle(g);
                 }
                 Op::SoftmaxCrossEntropy {
                     logits,
@@ -757,16 +1057,32 @@ impl<'s> Tape<'s> {
                     probs,
                 } => {
                     let g0 = g.data()[0];
-                    let mut dl = probs.clone();
+                    let mut dl = copy_of(&mut pool, probs);
                     dl.data_mut()[*target] -= 1.0;
-                    acc(&mut adj, logits.0, dl.scale(g0));
+                    for x in dl.data_mut() {
+                        *x *= g0;
+                    }
+                    acc(&mut adj, &mut pool, logits.0, dl);
+                    pool.recycle(g);
                 }
             }
         }
+
+        // Return every owned forward value to the arena before handing the
+        // pool back for the next step.
+        for node in nodes {
+            if let Val::Owned(t) = node.value {
+                pool.recycle(t);
+            }
+            if let Op::SoftmaxCrossEntropy { probs, .. } = node.op {
+                pool.recycle(probs);
+            }
+        }
+        pool
     }
 
     /// [`Tape::backward_scaled`] with seed 1.
-    pub fn backward(self, loss: Var, grads: &mut GradStore) {
+    pub fn backward(self, loss: Var, grads: &mut GradStore) -> BufferPool {
         self.backward_scaled(loss, 1.0, grads)
     }
 }
@@ -1093,6 +1409,70 @@ mod tests {
             tape.value(y).data().to_vec()
         };
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn warm_inference_tape_hits_pool_only() {
+        // After one warm-up forward, a reused inference tape must serve
+        // every tensor from recycled buffers: zero pool misses per pass.
+        let (mut store, mut rng) = setup();
+        let w = store.register("w", Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng));
+        let emb = store.register("emb", Tensor::rand_uniform(&[6, 4], -1.0, 1.0, &mut rng));
+        let mut tape = Tape::inference(&store);
+        let run = |tape: &mut Tape| {
+            let rows = tape.gather(emb, &[0, 2, 5]);
+            let wv = tape.param(w);
+            let h = tape.matmul(rows, wv);
+            let t = tape.tanh(h);
+            let pooled = tape.piecewise_max(t, &[(0, 2), (2, 3)]);
+            let sm = tape.softmax(pooled);
+            let _ = tape.softmax_cross_entropy(sm, 1);
+        };
+        run(&mut tape);
+        tape.reset();
+        let warm = tape.pool_stats();
+        for _ in 0..50 {
+            run(&mut tape);
+            tape.reset();
+        }
+        let steady = tape.pool_stats().since(&warm);
+        assert_eq!(steady.misses, 0, "warm tape must not allocate: {steady:?}");
+        assert!(steady.hits > 0);
+    }
+
+    #[test]
+    fn backward_returns_reusable_arena() {
+        // Threading the arena through repeated train steps reaches zero
+        // misses, and gradients stay identical to fresh-tape steps.
+        let (mut store, mut rng) = setup();
+        let w = store.register("w", Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng));
+        let step = |tape: &mut Option<Tape>, grads: &mut GradStore| {
+            let mut t = tape.take().expect("tape present");
+            let vw = t.param(w);
+            let x = t.leaf(Tensor::from_vec(vec![1.0, -0.5, 2.0], &[1, 3]));
+            let h = t.matmul(x, vw);
+            let flat = t.reshape(h, &[2]);
+            let loss = t.softmax_cross_entropy(flat, 0);
+            t.backward(loss, grads)
+        };
+        let mut fresh = GradStore::zeros_like(&store);
+        let mut pooled_grads = GradStore::zeros_like(&store);
+        {
+            let mut t = Some(Tape::new(&store));
+            step(&mut t, &mut fresh);
+        }
+        let mut pool = BufferPool::new();
+        for i in 0..5 {
+            let mut t = Some(Tape::with_pool(&store, pool));
+            let before = t.as_ref().unwrap().pool_stats();
+            pooled_grads.zero();
+            pool = step(&mut t, &mut pooled_grads);
+            if i > 0 {
+                let d = pool.stats().since(&before);
+                assert_eq!(d.misses, 0, "warm train step must not allocate: {d:?}");
+            }
+        }
+        assert_eq!(pooled_grads.get(w).data(), fresh.get(w).data());
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::pipeline::{InferRequest, InferResponse};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::Registry;
 use imre_core::PreparedBag;
+use imre_tensor::BufferPool;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -232,6 +233,10 @@ impl ServeHandle {
 
 fn worker_loop(shared: &Shared) {
     let cfg = &shared.config;
+    // One buffer arena per worker, alive across batches: the first batches
+    // warm it up, after which forward passes recycle instead of allocating
+    // (the `alloc:` line of the stats dump tracks hits vs. misses).
+    let mut arena = BufferPool::new();
     while let Some(batch) = shared.queue.pop_batch(cfg.batch_max, cfg.batch_deadline) {
         if batch.is_empty() {
             continue;
@@ -277,7 +282,15 @@ fn worker_loop(shared: &Shared) {
         let mut replies: Vec<Option<Result<InferResponse, ServeError>>> =
             (0..batch.len()).map(|_| None).collect();
         for (model_name, indices) in groups {
-            run_group(shared, &batch, dequeued, model_name, &indices, &mut replies);
+            run_group(
+                shared,
+                &batch,
+                dequeued,
+                model_name,
+                &indices,
+                &mut replies,
+                &mut arena,
+            );
         }
         for (job, reply) in batch.iter().zip(replies) {
             let reply = reply.unwrap_or(Err(ServeError::ShuttingDown));
@@ -300,6 +313,7 @@ fn split_shares(elapsed_us: u64, n: usize) -> (u64, usize) {
     (elapsed_us / n, (elapsed_us % n) as usize)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_group(
     shared: &Shared,
     batch: &[Job],
@@ -307,6 +321,7 @@ fn run_group(
     model_name: &str,
     indices: &[usize],
     replies: &mut [Option<Result<InferResponse, ServeError>>],
+    arena: &mut BufferPool,
 ) {
     let model = match shared.registry.get(model_name) {
         Some(m) => m,
@@ -340,7 +355,21 @@ fn run_group(
     // truncate to 0 µs for fast large batches and under-report the total).
     let bags: Vec<&PreparedBag> = prepared.iter().map(|(_, bag, _)| bag).collect();
     let start = Instant::now();
-    let scores = model.predict_prepared_batch(&bags);
+    let pool_before = arena.stats();
+    let scores = model.predict_prepared_batch_pooled(&bags, arena);
+    let pool_delta = arena.stats().since(&pool_before);
+    shared
+        .metrics
+        .pool_hits
+        .fetch_add(pool_delta.hits, std::sync::atomic::Ordering::Relaxed);
+    shared
+        .metrics
+        .pool_misses
+        .fetch_add(pool_delta.misses, std::sync::atomic::Ordering::Relaxed);
+    shared.metrics.pool_bytes_recycled.fetch_add(
+        pool_delta.bytes_recycled,
+        std::sync::atomic::Ordering::Relaxed,
+    );
     let elapsed_us = start.elapsed().as_micros() as u64;
     let (share, remainder) = split_shares(elapsed_us, prepared.len());
     for (j, ((i, _, featurize_us), scores)) in prepared.iter().zip(scores).enumerate() {

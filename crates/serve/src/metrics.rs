@@ -118,6 +118,16 @@ pub struct Metrics {
     pub shed: AtomicU64,
     /// Currently open TCP connections (gauge, not a counter).
     pub active_connections: AtomicU64,
+    /// Forward-pass tensor requests served from a worker's recycled buffer
+    /// arena (no heap allocation).
+    pub pool_hits: AtomicU64,
+    /// Forward-pass tensor requests that allocated a fresh buffer. After
+    /// warm-up this should stop growing — `pool_misses / completed` is the
+    /// `allocs_per_request` stat, and the CI alloc-gate pins its
+    /// steady-state value to zero.
+    pub pool_misses: AtomicU64,
+    /// Total bytes of buffer capacity returned to worker arenas for reuse.
+    pub pool_bytes_recycled: AtomicU64,
 }
 
 impl Metrics {
@@ -161,6 +171,19 @@ impl Metrics {
             self.active_connections.load(Ordering::Relaxed),
         );
         let _ = writeln!(out, "batches: count={batches} mean_size={mean_batch:.2}");
+        let completed = self.completed.load(Ordering::Relaxed);
+        let misses = self.pool_misses.load(Ordering::Relaxed);
+        let allocs_per_request = if completed == 0 {
+            0.0
+        } else {
+            misses as f64 / completed as f64
+        };
+        let _ = writeln!(
+            out,
+            "alloc: pool_hits={} pool_misses={misses} bytes_recycled={} allocs_per_request={allocs_per_request:.3}",
+            self.pool_hits.load(Ordering::Relaxed),
+            self.pool_bytes_recycled.load(Ordering::Relaxed),
+        );
         self.queue_wait.render("queue_wait_us", &mut out);
         self.featurize.render("featurize_us", &mut out);
         self.forward.render("forward_us", &mut out);

@@ -188,6 +188,21 @@ impl ServingModel {
         self.bundle.model.predict_batch(bags, &self.ctx())
     }
 
+    /// [`ServingModel::predict_prepared_batch`] served from a caller-owned
+    /// buffer arena. The engine passes each worker's arena here so that
+    /// after warm-up a batch's forward pass performs zero tensor
+    /// allocations; `pool.stats().misses` is the engine's
+    /// `allocs_per_request` numerator.
+    pub fn predict_prepared_batch_pooled(
+        &self,
+        bags: &[&PreparedBag],
+        pool: &mut imre_tensor::BufferPool,
+    ) -> Vec<Vec<f32>> {
+        self.bundle
+            .model
+            .predict_batch_pooled(bags, &self.ctx(), pool)
+    }
+
     /// Turns a score vector into named relations ranked by descending score
     /// (ties by relation id), truncated to `top_k` (0 = all).
     pub fn rank(&self, scores: &[f32], top_k: usize) -> Vec<RankedRelation> {

@@ -34,6 +34,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod bufpool;
 mod init;
 mod matmul;
 mod ops;
@@ -42,6 +43,7 @@ mod reduce;
 mod rows;
 mod tensor;
 
+pub use bufpool::{BufferPool, PoolStats};
 pub use init::TensorRng;
 pub use matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
 pub use ops::sigmoid_scalar;

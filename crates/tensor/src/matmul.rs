@@ -119,6 +119,32 @@ impl Tensor {
         out
     }
 
+    /// Matrix–vector product written into a pre-shaped `[m]` destination;
+    /// same partition and dot kernel as [`Tensor::matvec`] — bit-identical.
+    pub fn matvec_into(&self, v: &Tensor, out: &mut Tensor) {
+        let (m, k) = (self.rows(), self.cols());
+        assert_eq!(
+            v.len(),
+            k,
+            "Tensor::matvec_into: {:?} · vec of len {}",
+            self.shape(),
+            v.len()
+        );
+        assert_eq!(
+            out.shape(),
+            [m],
+            "Tensor::matvec_into: destination shape {:?} for {m} rows",
+            out.shape()
+        );
+        let a = self.data();
+        let x = v.data();
+        pool::for_rows(out.data_mut(), m, 1, row_grain(k, 1), |lo, hi, shard| {
+            for (s, i) in shard.iter_mut().zip(lo..hi) {
+                *s = dot(&a[i * k..(i + 1) * k], x);
+            }
+        });
+    }
+
     /// Outer product of two rank-1 tensors: result is `[self.len(), other.len()]`.
     pub fn outer(&self, other: &Tensor) -> Tensor {
         let (m, n) = (self.len(), other.len());

@@ -41,9 +41,47 @@ impl Tensor {
         out
     }
 
+    /// Destination-passing core of the elementwise binary ops: fully
+    /// overwrites `out`, which must already have `self`'s shape (the pool
+    /// hands out pre-shaped buffers). Identical op order to [`zip_with`],
+    /// so results are bit-identical to the allocating path.
+    fn zip_with_into(
+        &self,
+        other: &Tensor,
+        op_name: &str,
+        out: &mut Tensor,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "Tensor::{op_name}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            self.shape(),
+            "Tensor::{op_name}: destination shape {:?} for operands {:?}",
+            out.shape(),
+            self.shape()
+        );
+        let (a, b) = (self.data(), other.data());
+        pool::for_rows(out.data_mut(), a.len(), 1, ELEM_GRAIN, |lo, hi, shard| {
+            for ((s, &x), &y) in shard.iter_mut().zip(&a[lo..hi]).zip(&b[lo..hi]) {
+                *s = f(x, y);
+            }
+        });
+    }
+
     /// Elementwise sum.
     pub fn add(&self, other: &Tensor) -> Tensor {
         self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise sum written into `out` (pre-shaped, fully overwritten).
+    pub fn add_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_with_into(other, "add_into", out, |a, b| a + b)
     }
 
     /// Elementwise difference.
@@ -51,14 +89,29 @@ impl Tensor {
         self.zip_with(other, "sub", |a, b| a - b)
     }
 
+    /// Elementwise difference written into `out`.
+    pub fn sub_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_with_into(other, "sub_into", out, |a, b| a - b)
+    }
+
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         self.zip_with(other, "mul", |a, b| a * b)
     }
 
+    /// Elementwise product written into `out`.
+    pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_with_into(other, "mul_into", out, |a, b| a * b)
+    }
+
     /// Elementwise quotient.
     pub fn div(&self, other: &Tensor) -> Tensor {
         self.zip_with(other, "div", |a, b| a / b)
+    }
+
+    /// Elementwise quotient written into `out`.
+    pub fn div_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_with_into(other, "div_into", out, |a, b| a / b)
     }
 
     /// In-place elementwise accumulate: `self += other`.
@@ -106,6 +159,11 @@ impl Tensor {
         self.map(|x| x * s)
     }
 
+    /// Scaled copy written into `out` (pre-shaped, fully overwritten).
+    pub fn scale_into(&self, s: f32, out: &mut Tensor) {
+        self.map_into(out, |x| x * s)
+    }
+
     /// Adds `s` to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
         self.map(|x| x + s)
@@ -121,6 +179,24 @@ impl Tensor {
             }
         });
         out
+    }
+
+    /// Applies `f` to every element, writing into `out` (pre-shaped, fully
+    /// overwritten). Same partition and op order as [`Tensor::map`].
+    pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) {
+        assert_eq!(
+            out.shape(),
+            self.shape(),
+            "Tensor::map_into: destination shape {:?} for source {:?}",
+            out.shape(),
+            self.shape()
+        );
+        let a = self.data();
+        pool::for_rows(out.data_mut(), a.len(), 1, ELEM_GRAIN, |lo, hi, shard| {
+            for (s, &x) in shard.iter_mut().zip(&a[lo..hi]) {
+                *s = f(x);
+            }
+        });
     }
 
     /// Applies `f` to every element in place.
@@ -169,6 +245,39 @@ impl Tensor {
         out
     }
 
+    /// Row-broadcast bias addition written into `out` (pre-shaped, fully
+    /// overwritten). Computes `out[r][c] = self[r][c] + bias[c]` in one pass;
+    /// the single `+` per element is the same float op the allocating
+    /// clone-then-accumulate path performs, so results are bit-identical.
+    pub fn add_row_broadcast_into(&self, bias: &Tensor, out: &mut Tensor) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert_eq!(
+            bias.len(),
+            cols,
+            "Tensor::add_row_broadcast_into: bias of len {} for {} columns",
+            bias.len(),
+            cols
+        );
+        assert_eq!(
+            out.shape(),
+            self.shape(),
+            "Tensor::add_row_broadcast_into: destination shape {:?} for source {:?}",
+            out.shape(),
+            self.shape()
+        );
+        let a = self.data();
+        let b = bias.data();
+        let grain = (ELEM_GRAIN / cols.max(1)).max(1);
+        pool::for_rows(out.data_mut(), rows, cols, grain, |lo, _, shard| {
+            for (ri, row) in shard.chunks_mut(cols).enumerate() {
+                let src = &a[(lo + ri) * cols..(lo + ri + 1) * cols];
+                for ((o, &x), &bb) in row.iter_mut().zip(src).zip(b) {
+                    *o = x + bb;
+                }
+            }
+        });
+    }
+
     /// Multiplies each row elementwise by a rank-1 `scale` of length `cols`.
     ///
     /// # Panics
@@ -194,6 +303,38 @@ impl Tensor {
             }
         });
         out
+    }
+
+    /// Row-broadcast scaling written into `out` (pre-shaped, fully
+    /// overwritten); see [`Tensor::add_row_broadcast_into`] for the
+    /// bit-identity argument.
+    pub fn mul_row_broadcast_into(&self, scale: &Tensor, out: &mut Tensor) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert_eq!(
+            scale.len(),
+            cols,
+            "Tensor::mul_row_broadcast_into: scale of len {} for {} columns",
+            scale.len(),
+            cols
+        );
+        assert_eq!(
+            out.shape(),
+            self.shape(),
+            "Tensor::mul_row_broadcast_into: destination shape {:?} for source {:?}",
+            out.shape(),
+            self.shape()
+        );
+        let a = self.data();
+        let s = scale.data();
+        let grain = (ELEM_GRAIN / cols.max(1)).max(1);
+        pool::for_rows(out.data_mut(), rows, cols, grain, |lo, _, shard| {
+            for (ri, row) in shard.chunks_mut(cols).enumerate() {
+                let src = &a[(lo + ri) * cols..(lo + ri + 1) * cols];
+                for ((o, &x), &ss) in row.iter_mut().zip(src).zip(s) {
+                    *o = x * ss;
+                }
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -246,14 +387,29 @@ impl Tensor {
         self.map(f32::tanh)
     }
 
+    /// Elementwise tanh written into `out`.
+    pub fn tanh_into(&self, out: &mut Tensor) {
+        self.map_into(out, f32::tanh)
+    }
+
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
         self.map(|x| 1.0 / (1.0 + (-x).exp()))
     }
 
+    /// Elementwise sigmoid written into `out`.
+    pub fn sigmoid_into(&self, out: &mut Tensor) {
+        self.map_into(out, |x| 1.0 / (1.0 + (-x).exp()))
+    }
+
     /// Elementwise rectified linear unit.
     pub fn relu(&self) -> Tensor {
         self.map(|x| x.max(0.0))
+    }
+
+    /// Elementwise ReLU written into `out`.
+    pub fn relu_into(&self, out: &mut Tensor) {
+        self.map_into(out, |x| x.max(0.0))
     }
 }
 

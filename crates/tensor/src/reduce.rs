@@ -46,6 +46,27 @@ impl Tensor {
         Tensor::from_vec(out, &[cols])
     }
 
+    /// Column-wise sum written into a pre-shaped `[cols]` destination.
+    /// Re-zeroes `out` first, then accumulates rows in the same order as
+    /// [`Tensor::sum_rows`] — bit-identical results.
+    pub fn sum_rows_into(&self, out: &mut Tensor) {
+        let cols = self.cols();
+        assert_eq!(
+            out.shape(),
+            [cols],
+            "Tensor::sum_rows_into: destination shape {:?} for {} columns",
+            out.shape(),
+            cols
+        );
+        let o = out.data_mut();
+        o.fill(0.0);
+        for row in self.data().chunks(cols) {
+            for (oo, &x) in o.iter_mut().zip(row) {
+                *oo += x;
+            }
+        }
+    }
+
     /// Row-wise sum of a rank-2 tensor → rank-1 of length `rows`.
     pub fn sum_cols(&self) -> Tensor {
         let cols = self.cols();
@@ -58,6 +79,16 @@ impl Tensor {
     pub fn mean_rows(&self) -> Tensor {
         let rows = self.rows() as f32;
         self.sum_rows().scale(1.0 / rows)
+    }
+
+    /// Column-wise mean written into a pre-shaped `[cols]` destination;
+    /// same sum-then-scale op order as [`Tensor::mean_rows`].
+    pub fn mean_rows_into(&self, out: &mut Tensor) {
+        let inv = 1.0 / self.rows() as f32;
+        self.sum_rows_into(out);
+        for x in out.data_mut() {
+            *x *= inv;
+        }
     }
 
     /// Column-wise max over a contiguous row range `[lo, hi)`, returning the
@@ -89,6 +120,42 @@ impl Tensor {
         (Tensor::from_vec(vals, &[cols]), idx)
     }
 
+    /// Values-only variant of [`Tensor::max_over_rows`] that writes into a
+    /// caller-provided `cols`-long slice and skips the argmax bookkeeping
+    /// entirely — inference tapes need only the pooled values, not the
+    /// gradient routing. Identical comparison order, so the values are
+    /// bit-identical to `max_over_rows(lo, hi).0`. Taking a raw slice lets
+    /// piecewise pooling write every segment into one recycled buffer.
+    ///
+    /// # Panics
+    /// If `lo >= hi`, `hi > rows`, `self` is not rank-2, or `out` does not
+    /// hold exactly `cols` elements.
+    pub fn max_over_rows_into(&self, lo: usize, hi: usize, out: &mut [f32]) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert!(
+            lo < hi && hi <= rows,
+            "Tensor::max_over_rows_into: empty or out-of-range segment [{lo}, {hi}) of {rows} rows"
+        );
+        assert_eq!(
+            out.len(),
+            cols,
+            "Tensor::max_over_rows_into: destination of len {} for {} columns",
+            out.len(),
+            cols
+        );
+        let d = self.data();
+        let vals = out;
+        vals.copy_from_slice(&d[lo * cols..(lo + 1) * cols]);
+        for r in lo + 1..hi {
+            let row = &d[r * cols..(r + 1) * cols];
+            for (v, &x) in vals.iter_mut().zip(row) {
+                if x > *v {
+                    *v = x;
+                }
+            }
+        }
+    }
+
     /// Index of the maximum element of a rank-1 tensor (first on ties).
     ///
     /// # Panics
@@ -111,6 +178,31 @@ impl Tensor {
         let exps: Vec<f32> = self.data().iter().map(|&x| (x - m).exp()).collect();
         let z: f32 = exps.iter().sum();
         Tensor::from_vec(exps.iter().map(|&e| e / z).collect(), self.shape())
+    }
+
+    /// Softmax written into a pre-shaped destination. Same max/exp/sum/div
+    /// op order as [`Tensor::softmax`], so results are bit-identical, with
+    /// zero temporaries: the exponentials land directly in `out`.
+    pub fn softmax_into(&self, out: &mut Tensor) {
+        assert_eq!(
+            out.shape(),
+            self.shape(),
+            "Tensor::softmax_into: destination shape {:?} for source {:?}",
+            out.shape(),
+            self.shape()
+        );
+        let m = self.max();
+        let o = out.data_mut();
+        let mut z = 0.0f32;
+        for (e, &x) in o.iter_mut().zip(self.data()) {
+            *e = (x - m).exp();
+        }
+        for &e in o.iter() {
+            z += e;
+        }
+        for e in o.iter_mut() {
+            *e /= z;
+        }
     }
 
     /// Numerically stable log-softmax over a rank-1 tensor.
@@ -141,6 +233,37 @@ impl Tensor {
             }
         });
         out
+    }
+
+    /// Row-wise softmax written into a pre-shaped destination: copies the
+    /// source row into `out`, then runs the identical in-place normalisation
+    /// [`Tensor::softmax_rows`] uses, with the same partition — results are
+    /// bit-identical at any thread count.
+    pub fn softmax_rows_into(&self, out: &mut Tensor) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert_eq!(
+            out.shape(),
+            self.shape(),
+            "Tensor::softmax_rows_into: destination shape {:?} for source {:?}",
+            out.shape(),
+            self.shape()
+        );
+        let a = self.data();
+        let grain = (ROW_GRAIN_ELEMS / cols.max(1)).max(1);
+        pool::for_rows(out.data_mut(), rows, cols, grain, |lo, hi, shard| {
+            shard.copy_from_slice(&a[lo * cols..hi * cols]);
+            for row in shard.chunks_mut(cols) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0;
+                for x in row.iter_mut() {
+                    *x = (*x - m).exp();
+                    z += *x;
+                }
+                for x in row.iter_mut() {
+                    *x /= z;
+                }
+            }
+        });
     }
 }
 

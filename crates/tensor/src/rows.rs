@@ -84,6 +84,43 @@ impl Tensor {
         out
     }
 
+    /// Row gather written into a pre-shaped `[indices.len(), cols]`
+    /// destination. Same validation, partition, and copy order as
+    /// [`Tensor::gather_rows`] — bit-identical results.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Tensor) {
+        let (rows, cols) = (self.rows(), self.cols());
+        for &i in indices {
+            assert!(
+                i < rows,
+                "Tensor::gather_rows_into: index {i} out of bounds for {rows} rows"
+            );
+        }
+        assert_eq!(
+            out.shape(),
+            [indices.len(), cols],
+            "Tensor::gather_rows_into: destination shape {:?} for {} indices × {} cols",
+            out.shape(),
+            indices.len(),
+            cols
+        );
+        if cols == 0 {
+            return;
+        }
+        let src = self.data();
+        let grain = (ROW_GRAIN_ELEMS / cols.max(1)).max(1);
+        pool::for_rows(
+            out.data_mut(),
+            indices.len(),
+            cols,
+            grain,
+            |lo, hi, shard| {
+                for (dst, &i) in shard.chunks_mut(cols).zip(&indices[lo..hi]) {
+                    dst.copy_from_slice(&src[i * cols..(i + 1) * cols]);
+                }
+            },
+        );
+    }
+
     /// Scatter-add: for each `k`, adds row `k` of `updates` into row
     /// `indices[k]` of `self`. Repeated indices accumulate.
     ///

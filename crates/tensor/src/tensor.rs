@@ -77,6 +77,31 @@ impl Tensor {
         }
     }
 
+    /// Assembles a tensor from a shape vector and a data buffer, both owned.
+    ///
+    /// Unlike [`Tensor::from_vec`] this takes the shape by value, so callers
+    /// that recycle shape vectors (the buffer pool) avoid the `to_vec` copy.
+    ///
+    /// # Panics
+    /// If `data.len()` does not equal the product of `shape`.
+    pub fn from_parts(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "Tensor::from_parts: buffer of {} elements cannot have shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data }
+    }
+
+    /// Consumes the tensor and returns its shape vector and data buffer, so
+    /// both allocations can be recycled (see `bufpool`).
+    pub fn into_parts(self) -> (Vec<usize>, Vec<f32>) {
+        (self.shape, self.data)
+    }
+
     /// Builds a rank-2 tensor from rows; every row must have equal length.
     ///
     /// # Panics

@@ -11,8 +11,9 @@
 # target/bench/current.json (uploaded as a CI artifact) and compares every
 # key against the committed BENCH_PR2.json:
 #
-#   - keys ending in `_ns` are lower-is-better (latency); everything else
-#     is higher-is-better (throughput);
+#   - keys ending in `_ns` (latency) or containing `allocs` (steady-state
+#     allocation budgets, committed at 0 so any fresh allocation fails) are
+#     lower-is-better; everything else is higher-is-better (throughput);
 #   - keys starting with `info_` are informational and never gate
 #     (machine-dependent speedup ratios, plus the serve lifecycle counters
 #     `info_serve_deadline_expired` / `info_serve_shed` that serve_throughput
@@ -82,7 +83,7 @@ awk -v tol="$TOL" '
                 continue
             }
             b = base[key]; c = cur[key]
-            lower = (key ~ /_ns$/)
+            lower = (key ~ /_ns$/ || key ~ /allocs/)
             if (lower) { regressed = (c > b * (1 + tol)) } \
             else       { regressed = (c < b * (1 - tol)) }
             delta = (b != 0) ? (c - b) / b * 100 : 0

@@ -3,11 +3,13 @@
 # every dependency) and reports per-step wall-clock timings.
 #
 # Usage:
-#   scripts/ci.sh                # full gate: fmt, clippy, build, test, bench
+#   scripts/ci.sh                # full gate: fmt, clippy, build, test,
+#                                # serve-faults, alloc-gate, bench
 #   scripts/ci.sh --fast         # quick gate: fmt, clippy, test
 #                                # (skips the release build and bench smoke)
 #   scripts/ci.sh <step>...      # run only the named steps, in order:
-#                                #   fmt clippy build test serve-faults bench
+#                                #   fmt clippy build test serve-faults
+#                                #   alloc-gate bench
 #
 # Steps:
 #   fmt     cargo fmt --check over the whole workspace
@@ -19,6 +21,11 @@
 #           shedding, zero-worker shutdown drain, stop-aware connections);
 #           model-free and sub-second, so it doubles as a quick lifecycle
 #           smoke when iterating on the serving engine
+#   alloc-gate
+#           the steady-state allocation budget: the serve-level gate
+#           (zero buffer-pool misses across ≥100 warm requests) plus the
+#           stricter counting-global-allocator check that a warm inference
+#           pass performs zero heap allocations process-wide
 #   bench   1ms-sample smoke of the serving + kernel-scaling benches, which
 #           also executes their embedded assertions (dispatch fast path,
 #           batched == unbatched); with CI_BENCH_GATE=1 it then runs
@@ -67,6 +74,11 @@ step_serve_faults() {
     cargo test --offline -q -p imre-serve --test fault_injection
 }
 
+step_alloc_gate() {
+    cargo test --offline -q -p imre-serve --test alloc_steady_state
+    cargo test --offline -q -p imre-bench --test zero_alloc_inference
+}
+
 step_bench() {
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_throughput
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench kernel_scaling
@@ -80,7 +92,7 @@ case "${1:-}" in
     steps=(fmt clippy test)
     ;;
 "")
-    steps=(fmt clippy build test serve-faults bench)
+    steps=(fmt clippy build test serve-faults alloc-gate bench)
     ;;
 *)
     steps=("$@")
@@ -91,8 +103,9 @@ for s in "${steps[@]}"; do
     case "$s" in
     fmt | clippy | build | test | bench) run_step "$s" "step_$s" ;;
     serve-faults) run_step "$s" step_serve_faults ;;
+    alloc-gate) run_step "$s" step_alloc_gate ;;
     *)
-        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults bench)" >&2
+        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults alloc-gate bench)" >&2
         exit 2
         ;;
     esac
