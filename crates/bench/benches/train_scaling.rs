@@ -1,0 +1,168 @@
+//! Data-parallel training scaling: bags/s and speedup vs. replica count for
+//! the `imre-dist` engine (ISSUE 5), plus the determinism acceptance checks
+//! run as embedded assertions:
+//!
+//! * two identical `(seed, replicas=4)` runs must produce **byte-identical**
+//!   IMRM artifacts;
+//! * the same configuration on a 1-thread and a 4-thread pool must too.
+//!
+//! The single-replica single-thread throughput gates regressions
+//! (`train_bags_per_sec` in the bench JSON); the R=4 throughput and the
+//! R=4-vs-R=1 speedup are `info_` metrics because they depend on the core
+//! count of the box (the ≥2.5× criterion is asserted by `scripts/ci.sh
+//! train-dp` only on runners with ≥4 cores).
+//!
+//! With `IMRE_BENCH_JSON=<path>` the measurements are written as flat JSON
+//! for `scripts/bench_check.sh`.
+
+use imre_bench::MetricSink;
+use imre_core::persist::write_model;
+use imre_core::{
+    entity_type_table, prepare_bags, BagContext, HyperParams, ModelSpec, PreparedBag, ReModel,
+    TrainConfig,
+};
+use imre_corpus::Dataset;
+use imre_dist::{DataParallel, DistStats, OptimizerKind};
+use imre_eval::smoke_config;
+use imre_tensor::pool::{with_pool, ThreadPool};
+
+struct Fixture {
+    bags: Vec<PreparedBag>,
+    types: Vec<Vec<usize>>,
+    hp: HyperParams,
+    vocab: usize,
+    relations: usize,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        let ds = Dataset::generate(&smoke_config(1));
+        let hp = HyperParams::tiny();
+        let bags = prepare_bags(&ds.train, &hp);
+        let types = entity_type_table(&ds.world);
+        let vocab = ds.vocab.len();
+        let relations = ds.num_relations();
+        Fixture {
+            bags,
+            types,
+            hp,
+            vocab,
+            relations,
+        }
+    }
+
+    fn ctx(&self) -> BagContext<'_> {
+        BagContext {
+            entity_embedding: None,
+            entity_types: &self.types,
+        }
+    }
+
+    fn model(&self) -> ReModel {
+        ReModel::new(
+            ModelSpec::pcnn_att(),
+            &self.hp,
+            self.vocab,
+            self.relations,
+            38,
+            8,
+            7,
+        )
+    }
+
+    fn tc(&self, epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 8,
+            lr: 0.2,
+            lr_decay: 0.95,
+            clip_norm: 5.0,
+            seed: 11,
+        }
+    }
+}
+
+/// One full training run; returns the engine telemetry and the serialized
+/// IMRM bytes of the trained primary.
+fn train_run(
+    fx: &Fixture,
+    replicas: usize,
+    pool_threads: usize,
+    epochs: usize,
+) -> (DistStats, Vec<u8>) {
+    let pool = ThreadPool::new(pool_threads);
+    let tc = fx.tc(epochs);
+    let (stats, model) = with_pool(&pool, || {
+        let mut engine = DataParallel::new(fx.model(), replicas, OptimizerKind::Sgd, tc.lr);
+        let stats = engine.train(&fx.bags, &fx.ctx(), &tc, 0, None);
+        (stats, engine.into_model())
+    });
+    let mut bytes = Vec::new();
+    write_model(&model, &mut bytes).unwrap();
+    (stats, bytes)
+}
+
+fn main() {
+    imre_bench::header(
+        "train_scaling: data-parallel bags/s and determinism contract",
+        "imre-dist engine (ISSUE 5)",
+    );
+    let fx = Fixture::new();
+    let epochs = if imre_bench::fast_mode() { 2 } else { 4 };
+    let mut sink = MetricSink::new();
+
+    // Warm-up: page in buffers, settle the allocator.
+    let _ = train_run(&fx, 1, 1, 1);
+
+    // Gated baseline: serial replica on a serial pool — machine-independent
+    // up to single-core speed, the regression signal for the training path.
+    let (s_r1t1, bytes_r1a) = train_run(&fx, 1, 1, epochs);
+    sink.record("train_bags_per_sec", s_r1t1.bags_per_sec);
+    println!(
+        "R=1 t=1  {:>8.1} bags/s, reduce share {:.2}%",
+        s_r1t1.bags_per_sec,
+        s_r1t1.reduce_share() * 100.0
+    );
+
+    // Reference for the speedup ratio: R=1 on the multi-thread pool (kernel
+    // parallelism only), then R=4 on the same pool (replica parallelism).
+    let (s_r1t4, _) = train_run(&fx, 1, 4, epochs);
+    let (s_r4t4, bytes_r4a) = train_run(&fx, 4, 4, epochs);
+    let speedup = s_r4t4.bags_per_sec / s_r1t4.bags_per_sec;
+    sink.record("info_train_bags_per_sec_r4", s_r4t4.bags_per_sec);
+    sink.record("info_train_dp_speedup_r4", speedup);
+    sink.record("info_train_reduce_share_r4", s_r4t4.reduce_share());
+    let traffic = (s_r4t4.pool.hits + s_r4t4.pool.misses).max(1);
+    sink.record(
+        "info_train_pool_hit_rate_r4",
+        s_r4t4.pool.hits as f64 / traffic as f64,
+    );
+    println!(
+        "R=1 t=4  {:>8.1} bags/s\nR=4 t=4  {:>8.1} bags/s  ({speedup:.2}x vs R=1, \
+         reduce share {:.2}%, arena hit rate {:.3})",
+        s_r1t4.bags_per_sec,
+        s_r4t4.bags_per_sec,
+        s_r4t4.reduce_share() * 100.0,
+        s_r4t4.pool.hits as f64 / traffic as f64,
+    );
+
+    // Embedded determinism assertions (the subsystem's acceptance criteria).
+    let (_, bytes_r1b) = train_run(&fx, 1, 4, epochs);
+    assert_eq!(
+        bytes_r1a, bytes_r1b,
+        "R=1 artifact must be byte-identical across pool sizes"
+    );
+    let (_, bytes_r4b) = train_run(&fx, 4, 4, epochs);
+    assert_eq!(
+        bytes_r4a, bytes_r4b,
+        "repeat R=4 runs must be byte-identical"
+    );
+    let (_, bytes_r4t1) = train_run(&fx, 4, 1, epochs);
+    assert_eq!(
+        bytes_r4a, bytes_r4t1,
+        "R=4 artifact must be byte-identical at 1 and 4 pool threads"
+    );
+
+    sink.write_if_requested();
+    println!("\ntrain_scaling: determinism assertions held");
+}

@@ -19,8 +19,16 @@ USAGE:
   imre stats      --dataset <nyt|gds|smoke> [--seed N]
   imre train      --dataset <nyt|gds|smoke> [--model SPEC] [--epochs N] [--seed N] --out FILE
                   [--bundle FILE]   also write a self-contained .imrb serving bundle
+                  [--data-parallel R]   train on R model replicas (deterministic:
+                  a fixed (seed, R) is byte-identical across runs and --threads)
+                  [--checkpoint FILE] [--checkpoint-every N]   write an atomic
+                  IMRC checkpoint every N epochs (default 1)
+                  [--resume FILE]   continue from an IMRC checkpoint
+                  (bit-identical to the uninterrupted run)
   imre eval       --dataset <nyt|gds|smoke> --model-file FILE [--seed N]
   imre compare    --dataset <nyt|gds|smoke> [--seeds N] [--epochs N]
+                  [--parallel-seeds N]   train at most N seeds concurrently
+                  (0 = all at once, the default)
   imre case-study --dataset <nyt|gds|smoke> [--entity NAME] [--k N]
   imre serve      --bundle FILE [--name NAME] [--addr HOST:PORT] [--workers N]
                   [--batch N] [--deadline-ms N] [--queue N]
@@ -212,11 +220,51 @@ fn cmd_train(flags: &Flags) -> Result<(), CliError> {
     let config = dataset_config(flags.required("dataset")?, seed)?;
     let spec = model_spec(flags.optional("model").unwrap_or("pa-tmr"))?;
     let out = PathBuf::from(flags.required("out")?);
+    let data_parallel = flags.number("data-parallel", 0usize)?;
+    let resume = flags.optional("resume").map(PathBuf::from);
+    let checkpoint = flags.optional("checkpoint").map(PathBuf::from);
+    let checkpoint_every = flags.number("checkpoint-every", 1usize)?;
 
     println!("building pipeline for {} …", config.name);
     let pipeline = Pipeline::build(&config, hp_with_epochs(epochs));
     println!("training {} …", spec.name());
-    let model = pipeline.train_system(spec, seed);
+    // Any data-parallel / checkpoint / resume flag routes through the
+    // deterministic imre-dist engine; otherwise the original serial loop
+    // runs (byte-stable with earlier releases).
+    let use_dist = data_parallel > 0 || resume.is_some() || checkpoint.is_some();
+    let model = if use_dist {
+        let replicas = data_parallel.max(1);
+        let ckpt_cfg = checkpoint.map(|path| imre_dist::CheckpointCfg {
+            every: checkpoint_every.max(1),
+            path,
+        });
+        let (model, stats) =
+            pipeline.train_system_dp(spec, seed, replicas, resume.as_deref(), ckpt_cfg.as_ref());
+        println!(
+            "data-parallel: {replicas} replica(s), {:.1} bags/s, reduce share {:.1}%, \
+             arena hits {} misses {}",
+            stats.bags_per_sec,
+            stats.reduce_share() * 100.0,
+            stats.pool.hits,
+            stats.pool.misses
+        );
+        for (i, ((loss, wall), reduce)) in stats
+            .epoch_losses
+            .iter()
+            .zip(&stats.epoch_wall_ns)
+            .zip(&stats.epoch_reduce_ns)
+            .enumerate()
+        {
+            println!(
+                "  epoch {i}: loss {loss:.4}, {:.2}s wall, {:.0}ms reduce",
+                *wall as f64 / 1e9,
+                *reduce as f64 / 1e6
+            );
+        }
+        model
+    } else {
+        pipeline.train_system(spec, seed)
+    };
     let ev = pipeline.evaluate_model(&model);
     println!(
         "held-out: AUC {:.4}, F1 {:.4}, P@100 {:.2}",
@@ -311,6 +359,7 @@ fn cmd_compare(flags: &Flags) -> Result<(), CliError> {
     let seed = flags.number("seed", 1u64)?;
     let n_seeds: u64 = flags.number("seeds", 1u64)?;
     let epochs = flags.number("epochs", 0usize)?;
+    let parallel_seeds = flags.number("parallel-seeds", 0usize)?;
     let config = dataset_config(flags.required("dataset")?, seed)?;
     let pipeline = Pipeline::build(&config, hp_with_epochs(epochs));
     let seeds: Vec<u64> = (0..n_seeds.max(1)).map(|i| 100 + 37 * i).collect();
@@ -322,7 +371,11 @@ fn cmd_compare(flags: &Flags) -> Result<(), CliError> {
         ModelSpec::pa_mr(),
         ModelSpec::pa_tmr(),
     ] {
-        let m = imre_eval::mean_evaluation(&pipeline.run_system_seeds(spec, &seeds));
+        let m = imre_eval::mean_evaluation(&pipeline.run_system_seeds_bounded(
+            spec,
+            &seeds,
+            parallel_seeds,
+        ));
         println!(
             "{:<10} {:>8.4} {:>8.4} {:>8.2}",
             spec.name(),
@@ -479,6 +532,75 @@ mod tests {
         // The pool may already be pinned by a concurrent test; the flag must
         // still be accepted (it warns on conflict rather than failing).
         run(&s(&["stats", "--dataset", "smoke", "--threads", "2"])).unwrap();
+    }
+
+    #[test]
+    fn flags_dist_flag_set_parses() {
+        let f = Flags::parse(&s(&[
+            "--data-parallel",
+            "4",
+            "--resume",
+            "ck.imrc",
+            "--checkpoint",
+            "ck.imrc",
+            "--checkpoint-every",
+            "2",
+            "--parallel-seeds",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(f.number("data-parallel", 0usize).unwrap(), 4);
+        assert_eq!(f.optional("resume"), Some("ck.imrc"));
+        assert_eq!(f.optional("checkpoint"), Some("ck.imrc"));
+        assert_eq!(f.number("checkpoint-every", 1usize).unwrap(), 2);
+        assert_eq!(f.number("parallel-seeds", 0usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn dp_train_checkpoint_resume_roundtrip_on_smoke() {
+        let dir = std::env::temp_dir().join("imre_cli_dp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("dp.imrm");
+        let ckpt_path = dir.join("dp.imrc");
+        let (mp, cp) = (model_path.to_str().unwrap(), ckpt_path.to_str().unwrap());
+        // Data-parallel train with per-epoch checkpoints …
+        run(&s(&[
+            "train",
+            "--dataset",
+            "smoke",
+            "--model",
+            "pcnn",
+            "--epochs",
+            "2",
+            "--data-parallel",
+            "2",
+            "--checkpoint",
+            cp,
+            "--out",
+            mp,
+        ]))
+        .unwrap();
+        assert!(ckpt_path.exists(), "checkpoint must be written");
+        // … then resume from the final checkpoint (a no-op epoch range is
+        // fine: it must load, skip training, and still write the model).
+        run(&s(&[
+            "train",
+            "--dataset",
+            "smoke",
+            "--model",
+            "pcnn",
+            "--epochs",
+            "2",
+            "--data-parallel",
+            "2",
+            "--resume",
+            cp,
+            "--out",
+            mp,
+        ]))
+        .unwrap();
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&ckpt_path).ok();
     }
 
     #[test]

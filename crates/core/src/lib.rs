@@ -41,4 +41,7 @@ pub use model::{entity_type_table, prepare_bags, BagContext, ModelSpec, Prepared
 pub use oov::prune_to_train_vocab;
 pub use persist::{load_model, read_model, save_model, write_model};
 pub use pretrain::{corpus_sentences, train_skipgram, SkipGramConfig};
-pub use train::{train_model, TrainConfig, TrainStats};
+pub use train::{
+    accumulate_shard, bag_step_rng, epoch_order, replica_shard, train_epoch, train_model,
+    TrainConfig, TrainStats,
+};

@@ -180,10 +180,28 @@ pub fn read_model<R: Read>(r: &mut R) -> io::Result<ReModel> {
     Ok(model)
 }
 
-/// Saves a model to a file.
+/// A sibling temp path for atomic write-rename: `m.imrm` → `m.imrm.tmp`.
+/// Same directory, so the final rename stays within one filesystem.
+pub(crate) fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Saves a model to a file **atomically**: the bytes are written to a
+/// `<path>.tmp` sibling, flushed, and renamed over `path`, so a crash
+/// mid-save (or a reader racing a checkpoint) can never observe a
+/// truncated `.imrm` — it sees either the old complete file or the new one.
 pub fn save_model(model: &ReModel, path: &Path) -> io::Result<()> {
-    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
-    write_model(model, &mut file)
+    let tmp = tmp_sibling(path);
+    let file = std::fs::File::create(&tmp)?;
+    let mut w = io::BufWriter::new(file);
+    write_model(model, &mut w)?;
+    w.flush()?;
+    w.into_inner()
+        .map_err(|e| io::Error::other(e.to_string()))?
+        .sync_all()?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Loads a model from a file.
@@ -308,6 +326,24 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.imrm");
         save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.store.num_scalars(), model.store.num_scalars());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_residue() {
+        let (model, _) = trained_model();
+        let dir = std::env::temp_dir().join("imre_persist_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.imrm");
+        // Overwrite an existing (stale) file: rename must replace it whole.
+        std::fs::write(&path, b"stale").unwrap();
+        save_model(&model, &path).unwrap();
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "tmp sibling must be renamed away"
+        );
         let loaded = load_model(&path).unwrap();
         assert_eq!(loaded.store.num_scalars(), model.store.num_scalars());
         std::fs::remove_file(&path).ok();

@@ -1,0 +1,95 @@
+//! Fixed-order tree all-reduce over replica gradient stores.
+//!
+//! The reduction schedule is a pure function of the replica index: round
+//! with stride *s* combines replica `k + s` into replica `k` for every
+//! `k ≡ 0 (mod 2s)`, doubling `s` each round until the full sum sits in
+//! replica 0. Within a round the pairs touch disjoint stores, so they may
+//! run concurrently on the tensor thread pool — but which thread executes a
+//! pair can never change *what* is added to *what*, and each pairwise
+//! [`GradStore::add_from`] sums element-by-element in buffer order. The
+//! combined gradient is therefore bit-identical across runs and across
+//! `--threads` settings, which is what extends the PR 2 determinism
+//! contract from inference to training.
+
+use imre_nn::GradStore;
+use imre_tensor::pool::par_map;
+
+/// Raw-pointer wrapper so a round's disjoint pair reductions can run on the
+/// pool (same pattern as `imre-tensor`'s kernel fan-out).
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Reduces every store into `grads[0]` by fixed-order binary tree.
+///
+/// After the call `grads[0]` holds the element-wise sum of all inputs;
+/// the other stores hold partial sums and must be zeroed before reuse
+/// (the engine does this after each optimizer step).
+///
+/// The pair schedule for `n` replicas, in rounds:
+/// `s=1: (0,1) (2,3) (4,5) …` → `s=2: (0,2) (4,6) …` → `s=4: (0,4) …`
+/// Odd counts simply leave the unpaired tail store for a later round, so
+/// any `n ≥ 1` reduces completely.
+pub fn tree_all_reduce(grads: &mut [&mut GradStore]) {
+    let n = grads.len();
+    let mut stride = 1;
+    while stride < n {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .step_by(2 * stride)
+            .filter(|k| k + stride < n)
+            .map(|k| (k, k + stride))
+            .collect();
+        let base = SendPtr(grads.as_mut_ptr());
+        let base = &base;
+        par_map(pairs.len(), |p| {
+            let (dst, src) = pairs[p];
+            // SAFETY: within a round every pair is disjoint (dst indices are
+            // multiples of 2·stride, src = dst + stride), so each task has
+            // exclusive access to its two slots.
+            unsafe {
+                let d: &mut GradStore = &mut *base.0.add(dst);
+                let s: &GradStore = &*base.0.add(src);
+                d.add_from(s);
+            }
+        });
+        stride *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imre_nn::ParamStore;
+    use imre_tensor::Tensor;
+
+    /// Integer-valued floats sum exactly, so the tree must match the plain
+    /// element-wise total bit-for-bit here, at every replica count.
+    #[test]
+    fn tree_sums_exactly_for_integer_grads() {
+        for n in 1..=9usize {
+            let mut params = ParamStore::new();
+            let ids = [params.zeros("p0", &[3]), params.zeros("p1", &[2, 2])];
+            let mut stores: Vec<GradStore> = (0..n)
+                .map(|r| {
+                    let mut g = GradStore::zeros_like(&params);
+                    for &pid in &ids {
+                        let shape = params.get(pid).shape().to_vec();
+                        let len: usize = shape.iter().product();
+                        let vals: Vec<f32> = (0..len).map(|j| (r * 10 + j) as f32).collect();
+                        g.accumulate(pid, &Tensor::from_vec(vals, &shape));
+                    }
+                    g
+                })
+                .collect();
+            let mut refs: Vec<&mut GradStore> = stores.iter_mut().collect();
+            tree_all_reduce(&mut refs);
+            for &pid in &ids {
+                let len = params.get(pid).shape().iter().product::<usize>();
+                let want: Vec<f32> = (0..len)
+                    .map(|j| (0..n).map(|r| (r * 10 + j) as f32).sum())
+                    .collect();
+                assert_eq!(stores[0].get(pid).data(), &want[..], "n={n}");
+            }
+        }
+    }
+}

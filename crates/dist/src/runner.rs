@@ -1,0 +1,72 @@
+//! The second axis of parallelism: independent training runs (one per
+//! seed) executed concurrently on OS threads.
+//!
+//! Each seed's run is already deterministic in isolation, so running K of
+//! them side by side changes nothing about any individual result — results
+//! come back in seed order regardless of which finished first. The
+//! `max_parallel` bound caps memory (each concurrent run holds a full model
+//! plus dataset-derived state); `0` means "all at once".
+
+/// Runs `f(seed)` for every seed, at most `max_parallel` concurrently
+/// (`0` = unbounded), returning results in input order.
+///
+/// Panics in `f` propagate to the caller after the wave completes.
+pub fn run_seeds<T, F>(seeds: &[u64], max_parallel: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let cap = if max_parallel == 0 {
+        seeds.len().max(1)
+    } else {
+        max_parallel
+    };
+    let f = &f;
+    let mut out = Vec::with_capacity(seeds.len());
+    for wave in seeds.chunks(cap) {
+        let wave_results: Vec<T> = std::thread::scope(|s| {
+            let handles: Vec<_> = wave.iter().map(|&seed| s.spawn(move || f(seed))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("seed run panicked"))
+                .collect()
+        });
+        out.extend(wave_results);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_seed_order() {
+        let seeds: Vec<u64> = (0..7).collect();
+        for cap in [0usize, 1, 2, 7, 16] {
+            let got = run_seeds(&seeds, cap, |s| s * 10);
+            assert_eq!(got, vec![0, 10, 20, 30, 40, 50, 60], "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn concurrency_is_bounded_by_cap() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let seeds: Vec<u64> = (0..8).collect();
+        run_seeds(&seeds, 2, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn empty_seed_list_is_fine() {
+        let got: Vec<u64> = run_seeds(&[], 4, |s| s);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Checkpoint round-trips: a run killed at an epoch boundary and resumed
+//! from its IMRC checkpoint must finish **bit-identical** to a run that was
+//! never interrupted — for both SGD (decayed lr) and Adam (step clock +
+//! moments).
+
+mod common;
+
+use common::Fixture;
+use imre_core::persist::write_model;
+use imre_dist::{load_checkpoint, save_checkpoint, CheckpointCfg, DataParallel, OptimizerKind};
+use imre_tensor::pool::{with_pool, ThreadPool};
+
+fn model_bytes(m: &imre_core::ReModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_model(m, &mut out).unwrap();
+    out
+}
+
+fn straight_run(fx: &Fixture, kind: OptimizerKind, epochs: usize, replicas: usize) -> Vec<u8> {
+    let pool = ThreadPool::new(2);
+    let tc = fx.tc(epochs, 21);
+    with_pool(&pool, || {
+        let mut e = DataParallel::new(fx.model(7), replicas, kind, tc.lr);
+        e.train(&fx.bags, &fx.ctx(), &tc, 0, None);
+        model_bytes(e.primary())
+    })
+}
+
+fn interrupted_run(fx: &Fixture, kind: OptimizerKind, epochs: usize, replicas: usize) -> Vec<u8> {
+    let pool = ThreadPool::new(2);
+    let dir = std::env::temp_dir().join(format!("imre_dist_ckpt_{kind:?}_{replicas}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.imrc");
+
+    // First half: train to the midpoint, checkpointing every epoch.
+    let mid = epochs / 2;
+    let mut tc = fx.tc(epochs, 21);
+    tc.epochs = mid;
+    let ckpt = CheckpointCfg {
+        every: 1,
+        path: path.clone(),
+    };
+    with_pool(&pool, || {
+        let mut e = DataParallel::new(fx.model(7), replicas, kind, tc.lr);
+        e.train(&fx.bags, &fx.ctx(), &tc, 0, Some(&ckpt));
+    });
+
+    // "Kill" the process: all in-memory state is dropped. Resume from disk.
+    let ck = load_checkpoint(&path).unwrap();
+    assert_eq!(ck.next_epoch, mid);
+    let bytes = with_pool(&pool, || {
+        let (mut e, start) = DataParallel::resume(ck, replicas);
+        let tc = fx.tc(epochs, 21);
+        e.train(&fx.bags, &fx.ctx(), &tc, start, None);
+        model_bytes(e.primary())
+    });
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn sgd_resume_is_bit_identical_to_uninterrupted_run() {
+    let fx = Fixture::new(5);
+    let a = straight_run(&fx, OptimizerKind::Sgd, 4, 2);
+    let b = interrupted_run(&fx, OptimizerKind::Sgd, 4, 2);
+    assert_eq!(a, b, "SGD resume must replay the uninterrupted trajectory");
+}
+
+#[test]
+fn adam_resume_is_bit_identical_to_uninterrupted_run() {
+    let fx = Fixture::new(5);
+    let a = straight_run(&fx, OptimizerKind::Adam, 4, 2);
+    let b = interrupted_run(&fx, OptimizerKind::Adam, 4, 2);
+    assert_eq!(a, b, "Adam resume must restore the step clock and moments");
+}
+
+#[test]
+fn checkpoint_format_roundtrips_optimizer_state() {
+    use imre_dist::OptState;
+    let fx = Fixture::new(5);
+    let pool = ThreadPool::new(1);
+    let tc = fx.tc(2, 3);
+    let (steps, state, model) = with_pool(&pool, || {
+        let mut e = DataParallel::new(fx.model(7), 1, OptimizerKind::Adam, 0.01);
+        e.train(&fx.bags, &fx.ctx(), &tc, 0, None);
+        (e.optimizer_steps().unwrap(), e.opt_state(), e.into_model())
+    });
+    let dir = std::env::temp_dir().join("imre_dist_ckpt_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rt.imrc");
+    save_checkpoint(&model, 2, &state, &path).unwrap();
+    let ck = load_checkpoint(&path).unwrap();
+    assert_eq!(ck.next_epoch, 2);
+    match (&ck.opt, &state) {
+        (
+            OptState::Adam { lr, t, m, v },
+            OptState::Adam {
+                lr: lr0,
+                t: t0,
+                m: m0,
+                v: v0,
+            },
+        ) => {
+            assert_eq!(lr, lr0);
+            assert_eq!(*t, steps);
+            assert_eq!(t, t0);
+            for (a, b) in m.iter().zip(m0).chain(v.iter().zip(v0)) {
+                assert_eq!(a.data(), b.data(), "moments must roundtrip bitwise");
+            }
+        }
+        _ => panic!("expected Adam state on both sides"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn atomic_write_leaves_no_tmp_residue() {
+    let fx = Fixture::new(5);
+    let pool = ThreadPool::new(1);
+    let tc = fx.tc(1, 3);
+    let dir = std::env::temp_dir().join("imre_dist_ckpt_atomic");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("a.imrc");
+    let ckpt = CheckpointCfg {
+        every: 1,
+        path: path.clone(),
+    };
+    with_pool(&pool, || {
+        let mut e = DataParallel::new(fx.model(7), 1, OptimizerKind::Sgd, tc.lr);
+        e.train(&fx.bags, &fx.ctx(), &tc, 0, Some(&ckpt));
+    });
+    assert!(path.exists());
+    let mut tmp = path.clone().into_os_string();
+    tmp.push(".tmp");
+    assert!(
+        !std::path::Path::new(&tmp).exists(),
+        "tmp sibling must be renamed away"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,95 @@
+//! The clip-then-step audit (ISSUE 5 satellite): clipping must apply once
+//! to the combined gradient — not per replica — and Adam's bias-correction
+//! clock must advance once per optimizer step regardless of replica count.
+
+mod common;
+
+use common::Fixture;
+use imre_dist::{DataParallel, OptimizerKind};
+use imre_tensor::pool::{with_pool, ThreadPool};
+
+/// R=1 and R=4 see the same per-bag gradients (dropout is a pure function
+/// of `(seed, epoch, bag)`), so with a clip threshold low enough to trigger
+/// on every batch the two trajectories must agree to FP-reassociation
+/// tolerance. A per-replica clip bug (clipping shard gradients before the
+/// reduce) shrinks the R=4 update by up to 4× and fails this immediately.
+#[test]
+fn r1_and_r4_updates_agree_under_aggressive_clipping() {
+    let fx = Fixture::new(5);
+    let pool = ThreadPool::new(4);
+    let mut tc = fx.tc(2, 11);
+    tc.clip_norm = 0.5; // low: clips virtually every combined gradient
+
+    let train = |replicas: usize| {
+        with_pool(&pool, || {
+            let mut e = DataParallel::new(fx.model(7), replicas, OptimizerKind::Sgd, tc.lr);
+            e.train(&fx.bags, &fx.ctx(), &tc, 0, None);
+            e.into_model()
+        })
+    };
+    let m1 = train(1);
+    let m4 = train(4);
+
+    let mut max_rel = 0.0f32;
+    for (id, _, t1) in m1.store.iter() {
+        let t4 = m4.store.get(id);
+        for (&a, &b) in t1.data().iter().zip(t4.data()) {
+            let rel = (a - b).abs() / a.abs().max(b.abs()).max(1e-3);
+            max_rel = max_rel.max(rel);
+        }
+    }
+    assert!(
+        max_rel < 5e-2,
+        "R=1 and R=4 diverged under clipping (max rel diff {max_rel}): \
+         clipping is being applied per-replica or the step is duplicated"
+    );
+}
+
+/// One Adam step per combined mini-batch: after E epochs over B bags with
+/// batch size s, the step clock reads E·⌈B/s⌉ at any replica count.
+#[test]
+fn adam_step_count_advances_once_per_step_at_any_replica_count() {
+    let fx = Fixture::new(5);
+    let pool = ThreadPool::new(4);
+    let tc = fx.tc(2, 11);
+    let steps_per_epoch = fx.bags.len().div_ceil(tc.batch_size);
+    let want = (tc.epochs * steps_per_epoch) as u64;
+
+    for replicas in [1usize, 2, 4] {
+        let got = with_pool(&pool, || {
+            let mut e = DataParallel::new(fx.model(7), replicas, OptimizerKind::Adam, 0.01);
+            e.train(&fx.bags, &fx.ctx(), &tc, 0, None);
+            e.optimizer_steps().expect("Adam engine reports steps")
+        });
+        assert_eq!(
+            got, want,
+            "replicas={replicas}: Adam clock must tick once per optimizer step"
+        );
+    }
+}
+
+/// SGD engines report no Adam clock.
+#[test]
+fn sgd_engine_has_no_step_clock() {
+    let fx = Fixture::new(5);
+    let e = DataParallel::new(fx.model(7), 2, OptimizerKind::Sgd, 0.2);
+    assert!(e.optimizer_steps().is_none());
+}
+
+/// The serial reference: the R=1 engine and `imre_core::train_model` use
+/// different RNG disciplines by design, but both must actually learn.
+#[test]
+fn dist_training_reduces_loss() {
+    let fx = Fixture::new(5);
+    let pool = ThreadPool::new(4);
+    let tc = fx.tc(6, 13);
+    let stats = with_pool(&pool, || {
+        let mut e = DataParallel::new(fx.model(7), 4, OptimizerKind::Sgd, tc.lr);
+        e.train(&fx.bags, &fx.ctx(), &tc, 0, None)
+    });
+    assert!(
+        stats.final_loss() < stats.epoch_losses[0] * 0.9,
+        "losses {:?}",
+        stats.epoch_losses
+    );
+}

@@ -1,0 +1,90 @@
+//! Shared fixture for the dist integration tests: a small synthetic
+//! dataset and a model builder. Mirrors `imre-eval`'s smoke preset without
+//! creating a dev-dependency cycle (dist sits below eval in the crate DAG).
+
+use imre_core::{
+    entity_type_table, prepare_bags, BagContext, HyperParams, ModelSpec, PreparedBag, ReModel,
+    TrainConfig,
+};
+use imre_corpus::{Dataset, DatasetConfig, SentenceGenConfig, WorldConfig};
+
+pub fn smoke_dataset(seed: u64) -> Dataset {
+    Dataset::generate(&DatasetConfig {
+        name: "dist-smoke".into(),
+        world: WorldConfig {
+            n_relations: 4,
+            entities_per_cluster: 6,
+            facts_per_relation: 10,
+            cluster_reuse_prob: 0.3,
+            seed: seed ^ 0xd157,
+        },
+        sentence: SentenceGenConfig {
+            noise_prob: 0.1,
+            min_len: 6,
+            max_len: 12,
+        },
+        train_fraction: 0.7,
+        na_train: 8,
+        na_test: 4,
+        na_hard_fraction: 0.5,
+        zipf_alpha: 2.0,
+        max_sentences_per_bag: 6,
+        seed,
+    })
+}
+
+pub struct Fixture {
+    pub bags: Vec<PreparedBag>,
+    pub types: Vec<Vec<usize>>,
+    pub hp: HyperParams,
+    pub vocab: usize,
+    pub relations: usize,
+}
+
+impl Fixture {
+    pub fn new(seed: u64) -> Self {
+        let ds = smoke_dataset(seed);
+        let hp = HyperParams::tiny();
+        let bags = prepare_bags(&ds.train, &hp);
+        let types = entity_type_table(&ds.world);
+        let vocab = ds.vocab.len();
+        let relations = ds.num_relations();
+        Fixture {
+            bags,
+            types,
+            hp,
+            vocab,
+            relations,
+        }
+    }
+
+    pub fn ctx(&self) -> BagContext<'_> {
+        BagContext {
+            entity_embedding: None,
+            entity_types: &self.types,
+        }
+    }
+
+    pub fn model(&self, seed: u64) -> ReModel {
+        ReModel::new(
+            ModelSpec::pcnn_att(),
+            &self.hp,
+            self.vocab,
+            self.relations,
+            38,
+            8,
+            seed,
+        )
+    }
+
+    pub fn tc(&self, epochs: usize, seed: u64) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 8,
+            lr: 0.2,
+            lr_decay: 0.95,
+            clip_norm: 5.0,
+            seed,
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Engine-level determinism: a fixed `(seed, replicas)` training
+//! configuration must produce **byte-identical** IMRM artifacts across
+//! repeat runs and across thread-pool sizes — the acceptance criterion of
+//! the data-parallel subsystem.
+
+mod common;
+
+use common::Fixture;
+use imre_core::persist::write_model;
+use imre_dist::{DataParallel, OptimizerKind};
+use imre_tensor::pool::{with_pool, ThreadPool};
+
+fn train_bytes(fx: &Fixture, replicas: usize, pool_threads: usize) -> Vec<u8> {
+    let pool = ThreadPool::new(pool_threads);
+    let tc = fx.tc(3, 11);
+    let model = with_pool(&pool, || {
+        let mut engine = DataParallel::new(fx.model(7), replicas, OptimizerKind::Sgd, tc.lr);
+        engine.train(&fx.bags, &fx.ctx(), &tc, 0, None);
+        engine.into_model()
+    });
+    let mut bytes = Vec::new();
+    write_model(&model, &mut bytes).unwrap();
+    bytes
+}
+
+#[test]
+fn two_r4_runs_are_byte_identical() {
+    let fx = Fixture::new(5);
+    let a = train_bytes(&fx, 4, 4);
+    let b = train_bytes(&fx, 4, 4);
+    assert_eq!(a, b, "repeat --data-parallel 4 runs must match bytewise");
+}
+
+#[test]
+fn r4_artifact_identical_at_1_and_4_pool_threads() {
+    let fx = Fixture::new(5);
+    let a = train_bytes(&fx, 4, 1);
+    let b = train_bytes(&fx, 4, 4);
+    assert_eq!(a, b, "--threads must not change the trained artifact");
+}
+
+#[test]
+fn r1_engine_is_also_deterministic() {
+    let fx = Fixture::new(9);
+    let a = train_bytes(&fx, 1, 1);
+    let b = train_bytes(&fx, 1, 4);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let fx = Fixture::new(5);
+    let pool = ThreadPool::new(2);
+    let bytes = |seed: u64| {
+        let tc = fx.tc(2, seed);
+        let model = with_pool(&pool, || {
+            let mut e = DataParallel::new(fx.model(7), 2, OptimizerKind::Sgd, tc.lr);
+            e.train(&fx.bags, &fx.ctx(), &tc, 0, None);
+            e.into_model()
+        });
+        let mut out = Vec::new();
+        write_model(&model, &mut out).unwrap();
+        out
+    };
+    assert_ne!(bytes(11), bytes(12), "seed must matter");
+}
+
+#[test]
+fn telemetry_is_populated() {
+    let fx = Fixture::new(5);
+    let pool = ThreadPool::new(2);
+    let tc = fx.tc(2, 11);
+    let stats = with_pool(&pool, || {
+        let mut e = DataParallel::new(fx.model(7), 2, OptimizerKind::Sgd, tc.lr);
+        e.train(&fx.bags, &fx.ctx(), &tc, 0, None)
+    });
+    assert_eq!(stats.epoch_losses.len(), 2);
+    assert_eq!(stats.epoch_wall_ns.len(), 2);
+    assert_eq!(stats.epoch_reduce_ns.len(), 2);
+    assert!(stats.epoch_wall_ns.iter().all(|&ns| ns > 0));
+    assert!(stats.bags_per_sec > 0.0);
+    assert!(stats.reduce_share() >= 0.0 && stats.reduce_share() < 1.0);
+    assert!(
+        stats.pool.hits + stats.pool.misses > 0,
+        "replica arenas must report buffer traffic"
+    );
+}

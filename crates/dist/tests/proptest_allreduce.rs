@@ -1,0 +1,81 @@
+//! Property tests for the fixed-order tree all-reduce: the reduction must
+//! be **bit-identical** on a 1-thread and a 4-thread pool for arbitrary
+//! replica counts, buffer shapes, and gradient values — the determinism
+//! contract the training engine is built on.
+
+use imre_dist::tree_all_reduce;
+use imre_nn::{GradStore, ParamStore};
+use imre_tensor::pool::{with_pool, ThreadPool};
+use imre_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+/// Builds `n` replica grad stores over the same parameter shapes, filled
+/// with values drawn from `seed`.
+fn replica_grads(n: usize, shapes: &[Vec<usize>], seed: u64) -> (ParamStore, Vec<GradStore>) {
+    let mut params = ParamStore::new();
+    let ids: Vec<_> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| params.zeros(&format!("p{i}"), s))
+        .collect();
+    let mut rng = TensorRng::seed(seed);
+    let stores = (0..n)
+        .map(|_| {
+            let mut g = GradStore::zeros_like(&params);
+            for (&id, shape) in ids.iter().zip(shapes) {
+                g.accumulate(id, &Tensor::rand_uniform(shape, -2.0, 2.0, &mut rng));
+            }
+            g
+        })
+        .collect();
+    (params, stores)
+}
+
+fn reduced_bits(n: usize, shapes: &[Vec<usize>], seed: u64, pool: &ThreadPool) -> Vec<Vec<f32>> {
+    let (params, mut stores) = replica_grads(n, shapes, seed);
+    with_pool(pool, || {
+        let mut refs: Vec<&mut GradStore> = stores.iter_mut().collect();
+        tree_all_reduce(&mut refs);
+    });
+    params
+        .iter()
+        .map(|(id, _, _)| stores[0].get(id).data().to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The combined gradient in replica 0 has the same bits no matter how
+    // many pool threads executed the pair reductions.
+    #[test]
+    fn tree_reduce_bit_identical_on_1_and_4_threads(
+        n in 1usize..9,
+        rows in 1usize..24,
+        cols in 1usize..24,
+        extra in 1usize..64,
+        seed in 0u64..10_000,
+    ) {
+        let shapes = vec![vec![rows, cols], vec![extra]];
+        let p1 = ThreadPool::new(1);
+        let p4 = ThreadPool::new(4);
+        let a = reduced_bits(n, &shapes, seed, &p1);
+        let b = reduced_bits(n, &shapes, seed, &p4);
+        prop_assert_eq!(a, b);
+    }
+
+    // Same (n, shapes, seed) on the same pool: reduction is a pure
+    // function of its inputs (repeat runs identical).
+    #[test]
+    fn tree_reduce_is_repeatable(
+        n in 2usize..7,
+        len in 1usize..100,
+        seed in 0u64..10_000,
+    ) {
+        let shapes = vec![vec![len]];
+        let p = ThreadPool::new(4);
+        let a = reduced_bits(n, &shapes, seed, &p);
+        let b = reduced_bits(n, &shapes, seed, &p);
+        prop_assert_eq!(a, b);
+    }
+}

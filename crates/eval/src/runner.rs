@@ -106,6 +106,79 @@ impl Pipeline {
         model
     }
 
+    /// The training config [`train_system`](Self::train_system) would use
+    /// for this spec/seed (GRU batch-size adjustment included) — shared so
+    /// the data-parallel path trains under identical hyperparameters.
+    pub fn train_config(&self, spec: ModelSpec, seed: u64) -> TrainConfig {
+        let mut tc = TrainConfig::from_hp(&self.hp, seed ^ 0xabcd);
+        if spec.encoder == imre_core::EncoderKind::Gru {
+            tc.batch_size = (tc.batch_size / 4).max(2);
+        }
+        tc
+    }
+
+    /// Trains one system on the data-parallel engine with `replicas`
+    /// model replicas (`imre train --data-parallel R`). Optionally resumes
+    /// from an IMRC checkpoint and/or writes periodic checkpoints.
+    ///
+    /// For a fixed `(seed, replicas)` the result is byte-identical across
+    /// runs and thread counts; it is *not* bitwise-equal to the serial
+    /// [`train_system`](Self::train_system) path (different RNG
+    /// discipline; see `imre_core::train`).
+    ///
+    /// # Panics
+    /// If a resume checkpoint's architecture differs from `spec`, or the
+    /// checkpoint cannot be read.
+    pub fn train_system_dp(
+        &self,
+        spec: ModelSpec,
+        seed: u64,
+        replicas: usize,
+        resume: Option<&std::path::Path>,
+        checkpoint: Option<&imre_dist::CheckpointCfg>,
+    ) -> (ReModel, imre_dist::DistStats) {
+        let tc = self.train_config(spec, seed);
+        let (mut engine, start_epoch) = match resume {
+            Some(path) => {
+                let mut ck = imre_dist::load_checkpoint(path)
+                    .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+                assert_eq!(
+                    ck.model.spec, spec,
+                    "checkpoint architecture does not match the requested system"
+                );
+                // The IMRM header records the run's total epoch budget; the
+                // checkpoint froze the interrupted run's smaller one. Align
+                // it so a resumed artifact is byte-identical to an
+                // uninterrupted run's.
+                ck.model.hp.epochs = tc.epochs;
+                imre_dist::DataParallel::resume(ck, replicas)
+            }
+            None => {
+                let mut model = ReModel::new(
+                    spec,
+                    &self.hp,
+                    self.dataset.vocab.len(),
+                    self.dataset.num_relations(),
+                    imre_corpus::NUM_COARSE_TYPES,
+                    self.embedding.dim(),
+                    seed,
+                );
+                model.set_word_embeddings(self.word_vectors.clone());
+                (
+                    imre_dist::DataParallel::new(
+                        model,
+                        replicas,
+                        imre_dist::OptimizerKind::Sgd,
+                        tc.lr,
+                    ),
+                    0,
+                )
+            }
+        };
+        let stats = engine.train(&self.train_bags, &self.ctx(), &tc, start_epoch, checkpoint);
+        (engine.into_model(), stats)
+    }
+
     /// Held-out evaluation of a trained model on the test split.
     pub fn evaluate_model(&self, model: &ReModel) -> Evaluation {
         let ctx = self.ctx();
@@ -151,29 +224,28 @@ impl Pipeline {
     }
 
     /// Trains and evaluates one system across several seeds in parallel,
-    /// returning the per-seed evaluations.
+    /// returning the per-seed evaluations. Unbounded: every seed gets its
+    /// own thread (see [`run_system_seeds_bounded`](Self::run_system_seeds_bounded)
+    /// to cap memory).
     pub fn run_system_seeds(&self, spec: ModelSpec, seeds: &[u64]) -> Vec<Evaluation> {
+        self.run_system_seeds_bounded(spec, seeds, 0)
+    }
+
+    /// Trains and evaluates one system across several seeds, at most
+    /// `max_parallel` concurrently (`0` = all at once — `imre compare
+    /// --parallel-seeds N`). Results come back in seed order; each seed's
+    /// run is deterministic in isolation, so the cap changes wall time and
+    /// peak memory, never the numbers.
+    pub fn run_system_seeds_bounded(
+        &self,
+        spec: ModelSpec,
+        seeds: &[u64],
+        max_parallel: usize,
+    ) -> Vec<Evaluation> {
         if seeds.len() == 1 {
             return vec![self.run_system(spec, seeds[0])];
         }
-        let mut out: Vec<Option<Evaluation>> = vec![None; seeds.len()];
-        std::thread::scope(|scope| {
-            let chunks: Vec<(usize, u64)> = seeds.iter().copied().enumerate().collect();
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|(i, seed)| {
-                    let this = &*self;
-                    scope.spawn(move || (i, this.run_system(spec, seed)))
-                })
-                .collect();
-            for h in handles {
-                let (i, ev) = h.join().expect("seed-run thread panicked");
-                out[i] = Some(ev);
-            }
-        });
-        out.into_iter()
-            .map(|o| o.expect("every seed filled"))
-            .collect()
+        imre_dist::run_seeds(seeds, max_parallel, |seed| self.run_system(spec, seed))
     }
 }
 
@@ -281,6 +353,77 @@ mod tests {
             ev_trained.auc,
             ev_untrained.auc
         );
+    }
+
+    #[test]
+    fn dp_training_is_deterministic_and_learns() {
+        let p = smoke_pipeline();
+        let (m1, stats) = p.train_system_dp(ModelSpec::pcnn_att(), 5, 2, None, None);
+        let (m2, _) = p.train_system_dp(ModelSpec::pcnn_att(), 5, 2, None, None);
+        let bytes = |m: &ReModel| {
+            let mut out = Vec::new();
+            imre_core::write_model(m, &mut out).unwrap();
+            out
+        };
+        assert_eq!(bytes(&m1), bytes(&m2), "same (seed, replicas) must match");
+        assert!(
+            stats.final_loss() < stats.epoch_losses[0],
+            "losses {:?}",
+            stats.epoch_losses
+        );
+        let ev = p.evaluate_model(&m1);
+        let serial = p.run_system(ModelSpec::pcnn_att(), 5);
+        assert!(
+            (ev.auc - serial.auc).abs() < 0.25,
+            "dp-trained quality {} drifted far from serial {}",
+            ev.auc,
+            serial.auc
+        );
+    }
+
+    #[test]
+    fn dp_resume_matches_uninterrupted_run_bytewise() {
+        // Mirrors the CLI flow: one process trains to a mid-run checkpoint
+        // with a smaller epoch budget, a second resumes with the full one.
+        // The resumed artifact must equal the uninterrupted run's, byte for
+        // byte — including the hp header, which records the total budget.
+        let mut hp = HyperParams::tiny();
+        hp.epochs = 4;
+        let full = Pipeline::build(&smoke_config(3), hp.clone());
+        hp.epochs = 2;
+        let half = Pipeline::build(&smoke_config(3), hp);
+
+        let dir = std::env::temp_dir().join("imre-eval-dp-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("mid.imrc");
+        let ckpt = imre_dist::CheckpointCfg {
+            every: 1,
+            path: ck.clone(),
+        };
+        let (straight, _) = full.train_system_dp(ModelSpec::pcnn_att(), 5, 2, None, None);
+        let (_, _) = half.train_system_dp(ModelSpec::pcnn_att(), 5, 2, None, Some(&ckpt));
+        let (resumed, _) = full.train_system_dp(ModelSpec::pcnn_att(), 5, 2, Some(&ck), None);
+        let bytes = |m: &ReModel| {
+            let mut out = Vec::new();
+            imre_core::write_model(m, &mut out).unwrap();
+            out
+        };
+        assert_eq!(
+            bytes(&straight),
+            bytes(&resumed),
+            "resume must replay the uninterrupted run exactly"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bounded_seed_runner_matches_unbounded() {
+        let p = smoke_pipeline();
+        let a = p.run_system_seeds(ModelSpec::pcnn(), &[1, 2]);
+        let b = p.run_system_seeds_bounded(ModelSpec::pcnn(), &[1, 2], 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.auc, y.auc, "cap must not change results");
+        }
     }
 
     #[test]

@@ -98,6 +98,31 @@ impl ParamStore {
         self.tensors[id.0] = value;
     }
 
+    /// Copies every parameter value from `other` into this store — the
+    /// broadcast half of data-parallel training: after the optimizer steps
+    /// the primary replica, the updated values are memcpy'd into every
+    /// other replica's store. Both stores must have been built by the same
+    /// architecture (same registration order, names, and shapes).
+    ///
+    /// # Panics
+    /// If the stores differ in parameter count or any tensor shape.
+    pub fn copy_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(
+            self.tensors.len(),
+            other.tensors.len(),
+            "ParamStore::copy_values_from: parameter count mismatch"
+        );
+        for (i, (dst, src)) in self.tensors.iter_mut().zip(&other.tensors).enumerate() {
+            assert_eq!(
+                dst.shape(),
+                src.shape(),
+                "ParamStore::copy_values_from: shape mismatch for {:?}",
+                self.names[i]
+            );
+            dst.data_mut().copy_from_slice(src.data());
+        }
+    }
+
     /// The registered name of a parameter.
     pub fn name(&self, id: ParamId) -> &str {
         &self.names[id.0]
@@ -165,6 +190,24 @@ impl GradStore {
     /// Accumulates `delta` into a parameter's gradient.
     pub fn accumulate(&mut self, id: ParamId, delta: &Tensor) {
         self.grads[id.0].add_assign(delta);
+    }
+
+    /// Accumulates every gradient buffer of `other` into this store — the
+    /// pairwise combine of the data-parallel tree all-reduce. Summation
+    /// order inside each buffer is the element order, so for a fixed pair
+    /// the result is bit-identical no matter which thread runs it.
+    ///
+    /// # Panics
+    /// If the stores differ in buffer count or any tensor shape.
+    pub fn add_from(&mut self, other: &GradStore) {
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "GradStore::add_from: buffer count mismatch"
+        );
+        for (dst, src) in self.grads.iter_mut().zip(&other.grads) {
+            dst.add_assign(src);
+        }
     }
 
     /// Zeroes all gradients (between optimizer steps).
@@ -268,6 +311,45 @@ mod tests {
         assert!((grads.global_norm() - 5.0).abs() < 1e-6);
         grads.scale(0.5);
         assert_eq!(grads.get(a).data(), &[1.5]);
+    }
+
+    #[test]
+    fn copy_values_from_broadcasts() {
+        let mut a = ParamStore::new();
+        let id = a.register("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let mut b = ParamStore::new();
+        b.register("w", Tensor::zeros(&[2]));
+        b.copy_values_from(&a);
+        assert_eq!(b.get(id).data(), &[1.0, 2.0]);
+        // Independent storage: mutating the source must not leak.
+        a.get_mut(id).data_mut()[0] = 9.0;
+        assert_eq!(b.get(id).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_values_from_shape_mismatch_panics() {
+        let a = {
+            let mut s = ParamStore::new();
+            s.zeros("w", &[2]);
+            s
+        };
+        let mut b = ParamStore::new();
+        b.zeros("w", &[3]);
+        b.copy_values_from(&a);
+    }
+
+    #[test]
+    fn add_from_accumulates_pairwise() {
+        let mut store = ParamStore::new();
+        let id = store.zeros("w", &[2]);
+        let mut a = GradStore::zeros_like(&store);
+        let mut b = GradStore::zeros_like(&store);
+        a.accumulate(id, &Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        b.accumulate(id, &Tensor::from_vec(vec![10.0, 20.0], &[2]));
+        a.add_from(&b);
+        assert_eq!(a.get(id).data(), &[11.0, 22.0]);
+        assert_eq!(b.get(id).data(), &[10.0, 20.0], "source unchanged");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 #                                # (skips the release build and bench smoke)
 #   scripts/ci.sh <step>...      # run only the named steps, in order:
 #                                #   fmt clippy build test serve-faults
-#                                #   alloc-gate bench
+#                                #   alloc-gate train-dp bench
 #
 # Steps:
 #   fmt     cargo fmt --check over the whole workspace
@@ -26,6 +26,14 @@
 #           (zero buffer-pool misses across ≥100 warm requests) plus the
 #           stricter counting-global-allocator check that a warm inference
 #           pass performs zero heap allocations process-wide
+#   train-dp
+#           the data-parallel training gate: the imre-dist determinism and
+#           resume suites, then a CLI-level end-to-end check on the smoke
+#           corpus — two `imre train --data-parallel 4` runs plus a
+#           `--threads 1` run must produce byte-identical IMRM artifacts,
+#           and a checkpoint + `--resume` run must match the uninterrupted
+#           run bytewise; on runners with ≥4 cores it finally asserts the
+#           R=4 speedup from the train_scaling bench is ≥2.5x
 #   bench   1ms-sample smoke of the serving + kernel-scaling benches, which
 #           also executes their embedded assertions (dispatch fast path,
 #           batched == unbatched); with CI_BENCH_GATE=1 it then runs
@@ -79,9 +87,63 @@ step_alloc_gate() {
     cargo test --offline -q -p imre-bench --test zero_alloc_inference
 }
 
+step_train_dp() {
+    # Engine-level determinism, clip/step audit, and resume suites.
+    cargo test --offline -q -p imre-dist
+
+    # CLI-level end-to-end: byte-identical artifacts across repeat runs,
+    # across --threads, and across a checkpoint + resume split.
+    cargo build --offline -q --release -p imre-cli
+    local imre=target/release/imre
+    local dir=target/train-dp
+    rm -rf "$dir" && mkdir -p "$dir"
+    local common=(--dataset smoke --model pcnn --seed 5)
+
+    "$imre" train "${common[@]}" --epochs 2 --data-parallel 4 --threads 4 \
+        --out "$dir/a.imrm" >/dev/null
+    "$imre" train "${common[@]}" --epochs 2 --data-parallel 4 --threads 4 \
+        --out "$dir/b.imrm" >/dev/null
+    cmp "$dir/a.imrm" "$dir/b.imrm" ||
+        { echo "train-dp: repeat runs differ" >&2; exit 1; }
+    "$imre" train "${common[@]}" --epochs 2 --data-parallel 4 --threads 1 \
+        --out "$dir/c.imrm" >/dev/null
+    cmp "$dir/a.imrm" "$dir/c.imrm" ||
+        { echo "train-dp: --threads changed the artifact" >&2; exit 1; }
+    echo "train-dp: byte-identical across runs and --threads"
+
+    "$imre" train "${common[@]}" --epochs 4 --data-parallel 2 \
+        --out "$dir/straight.imrm" >/dev/null
+    "$imre" train "${common[@]}" --epochs 2 --data-parallel 2 \
+        --checkpoint "$dir/mid.imrc" --out "$dir/half.imrm" >/dev/null
+    "$imre" train "${common[@]}" --epochs 4 --data-parallel 2 \
+        --resume "$dir/mid.imrc" --out "$dir/resumed.imrm" >/dev/null
+    cmp "$dir/straight.imrm" "$dir/resumed.imrm" ||
+        { echo "train-dp: resume diverged from the uninterrupted run" >&2; exit 1; }
+    echo "train-dp: checkpoint resume matches the uninterrupted run"
+
+    # Scaling criterion — only meaningful with ≥4 cores to spread replicas.
+    local cores
+    cores=$(nproc 2>/dev/null || echo 1)
+    if [[ "$cores" -ge 4 ]]; then
+        IMRE_BENCH_JSON="$dir/train_scaling.json" \
+            cargo bench --offline -q -p imre-bench --bench train_scaling >/dev/null
+        awk '/info_train_dp_speedup_r4/ {
+            v = $2 + 0
+            if (v < 2.5) {
+                printf "train-dp: R=4 speedup %.2fx below 2.5x\n", v > "/dev/stderr"
+                exit 1
+            }
+            printf "train-dp: R=4 speedup %.2fx (>= 2.5x)\n", v
+        }' "$dir/train_scaling.json"
+    else
+        echo "train-dp: $cores core(s) — skipping the >=2.5x speedup assertion"
+    fi
+}
+
 step_bench() {
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_throughput
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench kernel_scaling
+    CRITERION_SAMPLE_MS=1 IMRE_FAST=1 cargo bench --offline -p imre-bench --bench train_scaling
     if [[ "${CI_BENCH_GATE:-0}" == "1" ]]; then
         scripts/bench_check.sh
     fi
@@ -92,7 +154,7 @@ case "${1:-}" in
     steps=(fmt clippy test)
     ;;
 "")
-    steps=(fmt clippy build test serve-faults alloc-gate bench)
+    steps=(fmt clippy build test serve-faults alloc-gate train-dp bench)
     ;;
 *)
     steps=("$@")
@@ -104,8 +166,9 @@ for s in "${steps[@]}"; do
     fmt | clippy | build | test | bench) run_step "$s" "step_$s" ;;
     serve-faults) run_step "$s" step_serve_faults ;;
     alloc-gate) run_step "$s" step_alloc_gate ;;
+    train-dp) run_step "$s" step_train_dp ;;
     *)
-        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults alloc-gate bench)" >&2
+        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults alloc-gate train-dp bench)" >&2
         exit 2
         ;;
     esac

@@ -12,6 +12,7 @@
 //! | [`corpus`] | synthetic distant-supervision corpora (NYT-sim, GDS-sim) and the unlabeled corpus standing in for Wikipedia |
 //! | [`graph`] | entity proximity graph + LINE embeddings (the implicit mutual relations) |
 //! | [`core`] | the paper's models: PCNN(+ATT), CNN+ATT, GRU+ATT, BGWA, CNN+RL, Mintz/MultiR/MIMLRE, PA-T / PA-MR / PA-TMR |
+//! | [`dist`] | deterministic data-parallel training: replica sharding, fixed-order tree all-reduce, checkpoints, parallel multi-seed runner |
 //! | [`eval`] | held-out PR/AUC/P@N metrics, slice analyses, the experiment pipeline |
 //! | [`serve`] | batched multi-threaded inference serving: model registry, micro-batching engine, TCP front-end, latency metrics |
 //!
@@ -30,6 +31,7 @@
 //! for the harness that regenerates every table and figure of the paper.
 
 pub use imre_corpus as corpus;
+pub use imre_dist as dist;
 pub use imre_eval as eval;
 pub use imre_graph as graph;
 pub use imre_nn as nn;
