@@ -1,0 +1,325 @@
+//! The `IMRA` wire format: the ANN section appended to `.imrb` bundles.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic     "IMRA"
+//! version   u32   (currently 1)
+//! body_len  u64
+//! body      body_len bytes:
+//!   seed u64 · m u32 · ef_construction u32 · ef_search u32
+//!   dim u32 · n u32 · entry u32 · max_level u32
+//!   labels   n × u32
+//!   levels   n × u8
+//!   vectors  n·dim × f32
+//!   links    per node, per layer 0..=level: count u32, count × u32
+//! checksum  u64   FNV-1a over body
+//! ```
+//!
+//! The body is length-prefixed and checksummed so a corrupt or truncated
+//! section surfaces as a typed `io::Error` (kind `InvalidData`) before any
+//! structural parsing happens — never a panic, and never a silently wrong
+//! index. After the checksum passes, the parsed graph is still run through
+//! the same structural validation the builder guarantees.
+
+use crate::hnsw::{AnnIndex, HnswConfig, MAX_LEVEL};
+use std::io::{self, Read, Write};
+
+/// Section magic, distinct from the bundle's `IMRB`.
+pub const ANN_MAGIC: &[u8; 4] = b"IMRA";
+
+/// Current section format version.
+pub const ANN_VERSION: u32 = 1;
+
+/// Sections larger than this are rejected as corrupt before allocation
+/// (1 GiB of index for a research corpus means the length field is garbage).
+const MAX_BODY: u64 = 1 << 30;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("ANN section body truncated"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl AnnIndex {
+    /// Serializes the index as one self-delimiting `IMRA` section.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let body = self.body_bytes();
+        w.write_all(ANN_MAGIC)?;
+        w.write_all(&ANN_VERSION.to_le_bytes())?;
+        w.write_all(&(body.len() as u64).to_le_bytes())?;
+        w.write_all(&body)?;
+        w.write_all(&fnv1a(&body).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Exact on-disk size of the serialized section in bytes.
+    pub fn serialized_len(&self) -> usize {
+        // magic + version + body_len + body + checksum
+        4 + 4 + 8 + self.body_len() + 8
+    }
+
+    fn body_len(&self) -> usize {
+        let p = self.raw_parts();
+        let n = p.labels.len();
+        let link_words: usize = p
+            .links
+            .iter()
+            .flat_map(|layers| layers.iter().map(|l| 1 + l.len()))
+            .sum();
+        8 + 4 * 7 + 4 * n + n + 4 * n * p.dim + 4 * link_words
+    }
+
+    fn body_bytes(&self) -> Vec<u8> {
+        let p = self.raw_parts();
+        let mut b = Vec::with_capacity(self.body_len());
+        b.extend_from_slice(&p.cfg.seed.to_le_bytes());
+        for v in [
+            p.cfg.m as u32,
+            p.cfg.ef_construction as u32,
+            p.cfg.ef_search as u32,
+            p.dim as u32,
+            p.labels.len() as u32,
+            p.entry,
+            p.max_level as u32,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        for &l in p.labels {
+            b.extend_from_slice(&l.to_le_bytes());
+        }
+        b.extend_from_slice(p.levels);
+        for &v in p.vectors {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        for layers in p.links {
+            for list in layers {
+                b.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for &nb in list {
+                    b.extend_from_slice(&nb.to_le_bytes());
+                }
+            }
+        }
+        b
+    }
+
+    /// Reads one `IMRA` section. Corruption of any kind — bad magic,
+    /// unknown version, wrong length, checksum mismatch, truncated body,
+    /// or a structurally invalid graph — comes back as `InvalidData`.
+    pub fn read_from(r: &mut impl Read) -> io::Result<AnnIndex> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != ANN_MAGIC {
+            return Err(bad("bad ANN section magic (expected IMRA)"));
+        }
+        let mut word = [0u8; 4];
+        r.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != ANN_VERSION {
+            return Err(bad(format!("unsupported ANN section version {version}")));
+        }
+        let mut len8 = [0u8; 8];
+        r.read_exact(&mut len8)?;
+        let body_len = u64::from_le_bytes(len8);
+        if body_len > MAX_BODY {
+            return Err(bad(format!("ANN section claims {body_len} bytes")));
+        }
+        let mut body = vec![0u8; body_len as usize];
+        r.read_exact(&mut body)
+            .map_err(|_| bad("ANN section body truncated"))?;
+        r.read_exact(&mut len8)
+            .map_err(|_| bad("ANN section checksum missing"))?;
+        if u64::from_le_bytes(len8) != fnv1a(&body) {
+            return Err(bad("ANN section checksum mismatch"));
+        }
+        Self::parse_body(&body)
+    }
+
+    fn parse_body(body: &[u8]) -> io::Result<AnnIndex> {
+        let mut c = Cursor { buf: body, pos: 0 };
+        let seed = c.u64()?;
+        let m = c.u32()? as usize;
+        let ef_construction = c.u32()? as usize;
+        let ef_search = c.u32()? as usize;
+        let dim = c.u32()? as usize;
+        let n = c.u32()? as usize;
+        let entry = c.u32()?;
+        let max_level = c.u32()?;
+        if dim == 0 || n == 0 || m < 2 {
+            return Err(bad("ANN section header degenerate"));
+        }
+        if max_level as usize > MAX_LEVEL {
+            return Err(bad("ANN section max level out of range"));
+        }
+        // The fixed-size arrays alone must fit the remaining body.
+        let fixed = 4 * n + n + 4 * n * dim;
+        if body.len() - c.pos < fixed {
+            return Err(bad("ANN section body shorter than its header claims"));
+        }
+        let labels: Vec<u32> = c
+            .take(4 * n)?
+            .chunks_exact(4)
+            .map(|w| u32::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        let levels: Vec<u8> = c.take(n)?.to_vec();
+        let vectors: Vec<f32> = c
+            .take(4 * n * dim)?
+            .chunks_exact(4)
+            .map(|w| f32::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        let mut links = Vec::with_capacity(n);
+        for &level in &levels {
+            let mut layers = Vec::with_capacity(level as usize + 1);
+            for _ in 0..=level {
+                let count = c.u32()? as usize;
+                if count > n {
+                    return Err(bad("ANN section neighbor count exceeds node count"));
+                }
+                let list: Vec<u32> = c
+                    .take(4 * count)?
+                    .chunks_exact(4)
+                    .map(|w| u32::from_le_bytes(w.try_into().unwrap()))
+                    .collect();
+                layers.push(list);
+            }
+            links.push(layers);
+        }
+        if c.pos != body.len() {
+            return Err(bad("ANN section has trailing bytes"));
+        }
+        let cfg = HnswConfig {
+            m,
+            ef_construction: ef_construction.max(1),
+            ef_search: ef_search.max(1),
+            seed,
+        };
+        let index = AnnIndex::from_raw_parts(crate::hnsw::OwnedParts {
+            cfg,
+            dim,
+            vectors,
+            labels,
+            levels,
+            links,
+            entry,
+            max_level: max_level as u8,
+        });
+        index.validate_structure().map_err(|e| bad(e.to_string()))?;
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index(seed: u64) -> AnnIndex {
+        let n = 40usize;
+        let dim = 3usize;
+        let vectors: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 37 % 97) as f32) * 0.25)
+            .collect();
+        let labels: Vec<u32> = (0..n).map(|i| (i % 5) as u32).collect();
+        AnnIndex::build(dim, vectors, labels, HnswConfig::with_seed(seed)).unwrap()
+    }
+
+    fn to_bytes(index: &AnnIndex) -> Vec<u8> {
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_preserves_bytes_and_results() {
+        let index = sample_index(9);
+        let bytes = to_bytes(&index);
+        assert_eq!(bytes.len(), index.serialized_len());
+        let back = AnnIndex::read_from(&mut &bytes[..]).unwrap();
+        assert_eq!(to_bytes(&back), bytes, "reserialization changed bytes");
+
+        let mut s1 = crate::SearchScratch::new();
+        let mut s2 = crate::SearchScratch::new();
+        let q = [1.0f32, 2.0, 3.0];
+        assert_eq!(index.search(&q, 6, &mut s1), back.search(&q, 6, &mut s2));
+    }
+
+    #[test]
+    fn corrupt_bytes_are_typed_errors_not_panics() {
+        let bytes = to_bytes(&sample_index(4));
+        // Flip one byte at every offset: all must fail cleanly or parse to
+        // a structurally valid index (magic/version/length/checksum guard).
+        for pos in [0usize, 4, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            let got = AnnIndex::read_from(&mut &bad[..]);
+            assert!(got.is_err(), "flip at {pos} was not detected");
+            assert_eq!(got.unwrap_err().kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = to_bytes(&sample_index(4));
+        for keep in [3usize, 11, 17, bytes.len() / 3, bytes.len() - 1] {
+            let got = AnnIndex::read_from(&mut &bytes[..keep]);
+            assert!(got.is_err(), "truncation to {keep} bytes was not detected");
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = to_bytes(&sample_index(4));
+        bytes[4] = 9;
+        let err = AnnIndex::read_from(&mut &bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = to_bytes(&sample_index(4));
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(AnnIndex::read_from(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn two_builds_serialize_identically() {
+        assert_eq!(to_bytes(&sample_index(21)), to_bytes(&sample_index(21)));
+        assert_ne!(
+            to_bytes(&sample_index(21)),
+            to_bytes(&sample_index(22)),
+            "seed should perturb the graph"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: on inputs small enough that the layer-0 graph is
+//! complete (`n ≤ m + 1`, every insertion links to all prior nodes and no
+//! overflow pruning fires), HNSW search with `ef ≥ n` is **exhaustive** and
+//! must therefore equal brute-force exact kNN — order included, since both
+//! sides rank by `(dist, id)`. Larger inputs check the bounded-recall +
+//! determinism contract instead: repeated searches are identical, and
+//! recall against brute force stays high.
+
+use imre_ann::{exact_knn, AnnIndex, HnswConfig, SearchScratch};
+use proptest::prelude::*;
+
+fn flat(points: &[Vec<f32>]) -> Vec<f32> {
+    points.iter().flatten().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn small_index_search_equals_brute_force(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-8.0f32..8.0, 3), 1..17),
+        query in proptest::collection::vec(-8.0f32..8.0, 3),
+        k in 1usize..8,
+        seed in 0u64..64,
+    ) {
+        let n = points.len();
+        let cfg = HnswConfig { m: 16, ef_construction: 64, ef_search: 32, seed };
+        let vectors = flat(&points);
+        let labels: Vec<u32> = (0..n as u32).collect();
+        let index = AnnIndex::build(3, vectors.clone(), labels, cfg).unwrap();
+        let mut scratch = SearchScratch::new();
+        let got = index.search(&query, k, &mut scratch).to_vec();
+        let want = exact_knn(3, &vectors, &query, k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn search_is_deterministic_and_high_recall(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-4.0f32..4.0, 4), 30..120),
+        query in proptest::collection::vec(-4.0f32..4.0, 4),
+        seed in 0u64..16,
+    ) {
+        let n = points.len();
+        let cfg = HnswConfig { m: 8, ef_construction: 48, ef_search: 48, seed };
+        let vectors = flat(&points);
+        let labels: Vec<u32> = (0..n as u32).collect();
+        let index = AnnIndex::build(4, vectors.clone(), labels, cfg).unwrap();
+        let k = 5usize;
+
+        let mut s1 = SearchScratch::new();
+        let first = index.search(&query, k, &mut s1).to_vec();
+        // A fresh scratch and a reused scratch must agree bit for bit.
+        let second = index.search(&query, k, &mut s1).to_vec();
+        let mut s2 = SearchScratch::new();
+        let third = index.search(&query, k, &mut s2).to_vec();
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(&first, &third);
+
+        let want = exact_knn(4, &vectors, &query, k);
+        let hits = first.iter().filter(|nb| want.iter().any(|w| w.id == nb.id)).count();
+        prop_assert!(hits * 2 >= k, "recall collapsed: {hits}/{k}");
+    }
+
+    #[test]
+    fn serialization_roundtrips_arbitrary_indices(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-4.0f32..4.0, 2), 1..60),
+        seed in 0u64..32,
+    ) {
+        let n = points.len();
+        let labels: Vec<u32> = (0..n).map(|i| (i % 7) as u32).collect();
+        let index = AnnIndex::build(2, flat(&points), labels, HnswConfig::with_seed(seed)).unwrap();
+        let mut bytes = Vec::new();
+        index.write_to(&mut bytes).unwrap();
+        let back = AnnIndex::read_from(&mut &bytes[..]).unwrap();
+        let mut bytes2 = Vec::new();
+        back.write_to(&mut bytes2).unwrap();
+        prop_assert_eq!(bytes, bytes2);
+    }
+}

@@ -65,6 +65,7 @@ fn fixture() -> &'static Fixture {
                     text,
                     top_k: 3,
                     deadline_ms: None,
+                    ..InferRequest::default()
                 }
             })
             .collect();
@@ -83,6 +84,7 @@ fn engine(workers: usize, batch_max: usize) -> ServeHandle {
             batch_deadline: Duration::from_millis(1),
             queue_capacity: 2 * BURST,
             default_deadline_ms: None,
+            ..EngineConfig::default()
         },
     )
 }

@@ -1,0 +1,95 @@
+//! Strict zero-allocation gate for the warm kNN interpolation path.
+//!
+//! The serve-level gate (`imre-serve/tests/alloc_steady_state.rs`) pins the
+//! engine's pool-miss counter; this test installs a counting
+//! `#[global_allocator]` and pins the *process-wide* heap-allocation delta
+//! of a warm kNN query — HNSW search, label voting, and score blending —
+//! to exactly zero. `AnnIndex::search` returns a slice borrowed from the
+//! caller's `SearchScratch`, so once the scratch's beam heaps, visited set,
+//! and result buffer have reached steady-state capacity, an interpolated
+//! request must not touch the allocator at all.
+//!
+//! Everything runs in ONE `#[test]` so `IMRE_THREADS=1` can be pinned
+//! before any tensor code initialises the lazily-created global compute
+//! pool (worker threads would allocate nondeterministically during task
+//! claiming).
+
+use imre_ann::{blend_scores, SearchScratch};
+use imre_bench::CountingAllocator;
+use imre_core::{HyperParams, ModelSpec, PreparedBag};
+use imre_eval::{build_index, smoke_config, Pipeline};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_knn_query_performs_zero_heap_allocations() {
+    // Must run before the first tensor op of this process (safe:
+    // edition-2021 `set_var`, single test fn in this binary).
+    std::env::set_var("IMRE_THREADS", "1");
+
+    let hp = HyperParams {
+        epochs: 2,
+        ..HyperParams::tiny()
+    };
+    let pipeline = Pipeline::build(&smoke_config(3), hp);
+    let model = pipeline.train_system(ModelSpec::pcnn(), 5);
+    let index = build_index(&pipeline, &model, 7);
+    let num_relations = pipeline.dataset.num_relations();
+
+    // Query vectors and base scores are precomputed: the gate covers the
+    // kNN machinery itself (the forward pass has its own zero-alloc gate
+    // in `zero_alloc_inference.rs`).
+    let ctx = pipeline.ctx();
+    let bags: Vec<&PreparedBag> = pipeline.test_bags.iter().take(16).collect();
+    assert!(!bags.is_empty(), "smoke split must have test bags");
+    let queries: Vec<Vec<f32>> = bags.iter().map(|b| model.predict_repr(b)).collect();
+    let bases: Vec<Vec<f32>> = bags.iter().map(|b| model.predict(b, &ctx)).collect();
+
+    let k = 8.min(index.len());
+    let mut scratch = SearchScratch::new();
+    let mut votes = vec![0.0f32; num_relations];
+    let mut scores = vec![0.0f32; num_relations];
+
+    let query = |i: usize, scratch: &mut SearchScratch, votes: &mut [f32], scores: &mut [f32]| {
+        let neighbors = index.search(&queries[i], k, scratch);
+        index.label_votes_into(neighbors, votes);
+        scores.copy_from_slice(&bases[i]);
+        blend_scores(scores, votes, 0.3);
+        scores[0]
+    };
+
+    // Warm-up: let the scratch's heaps/visited-set/result buffer grow to
+    // their steady-state capacities across every query shape.
+    let mut sink = 0.0f32;
+    for round in 0..3 {
+        for i in 0..queries.len() {
+            sink += query(i, &mut scratch, &mut votes, &mut scores) * (round as f32 + 1.0);
+        }
+    }
+
+    let reference: Vec<u32> = (0..queries.len())
+        .map(|i| query(i, &mut scratch, &mut votes, &mut scores).to_bits())
+        .collect();
+
+    let before = CountingAllocator::allocations();
+    for _ in 0..25 {
+        for (i, &expected) in reference.iter().enumerate() {
+            let p = query(i, &mut scratch, &mut votes, &mut scores);
+            assert_eq!(
+                p.to_bits(),
+                expected,
+                "warm kNN query must be bit-stable (query {i})"
+            );
+            sink += p;
+        }
+    }
+    let delta = CountingAllocator::allocations() - before;
+    assert_eq!(
+        delta,
+        0,
+        "a warm kNN query must perform zero heap allocations \
+         ({delta} allocations across {} queries; checksum {sink})",
+        25 * queries.len()
+    );
+}

@@ -19,6 +19,9 @@ USAGE:
   imre stats      --dataset <nyt|gds|smoke> [--seed N]
   imre train      --dataset <nyt|gds|smoke> [--model SPEC] [--epochs N] [--seed N] --out FILE
                   [--bundle FILE]   also write a self-contained .imrb serving bundle
+                  [--knn-index <0|1>]   include a kNN index over training-bag
+                  representations in the bundle (default 1; enables the
+                  serve-time knn=K lambda=L interpolation path)
                   [--data-parallel R]   train on R model replicas (deterministic:
                   a fixed (seed, R) is byte-identical across runs and --threads)
                   [--checkpoint FILE] [--checkpoint-every N]   write an atomic
@@ -26,6 +29,10 @@ USAGE:
                   [--resume FILE]   continue from an IMRC checkpoint
                   (bit-identical to the uninterrupted run)
   imre eval       --dataset <nyt|gds|smoke> --model-file FILE [--seed N]
+                  [--knn <0|1>]   additionally report held-out metrics with
+                  kNN label interpolation, per co-occurrence bucket
+                  [--knn-k N] [--knn-lambda L] [--knn-buckets N]
+                  interpolation parameters (default k=8, λ=0.3, 5 buckets)
   imre compare    --dataset <nyt|gds|smoke> [--seeds N] [--epochs N]
                   [--parallel-seeds N]   train at most N seeds concurrently
                   (0 = all at once, the default)
@@ -35,6 +42,10 @@ USAGE:
                   [--request-deadline-ms N]   default per-request time budget:
                   requests still queued after N ms are shed with
                   deadline-exceeded instead of running (0 = never, default)
+                  [--knn-k N]   default neighbors for kNN label interpolation
+                  on requests that do not set knn= (0 = off, the default)
+                  [--knn-lambda L]   default interpolation weight λ ∈ [0,1]
+                  for requests that do not set lambda= (default 0.3)
 
 GLOBAL FLAGS (any subcommand):
   --threads N     size of the compute thread pool (default: IMRE_THREADS env
@@ -274,14 +285,27 @@ fn cmd_train(flags: &Flags) -> Result<(), CliError> {
     println!("model written to {}", out.display());
     if let Some(bundle_out) = flags.optional("bundle") {
         let bundle_out = PathBuf::from(bundle_out);
+        let knn_index = flags.number("knn-index", 1usize)? != 0;
+        // Build the serving kNN index before the model moves into the
+        // bundle; seeded with the training seed so rebuilt bundles are
+        // byte-identical.
+        let ann = knn_index.then(|| imre_eval::build_index(&pipeline, &model, seed));
         let embedding =
             imre_graph::EntityEmbedding::from_matrix(pipeline.embedding.matrix().clone());
-        let bundle = imre_serve::Bundle::new(
+        let mut bundle = imre_serve::Bundle::new(
             model,
             pipeline.dataset.vocab.clone(),
             &pipeline.dataset.world,
             Some(embedding),
         );
+        if let Some(ann) = ann {
+            println!(
+                "kNN index: {} bags, {} bytes",
+                ann.len(),
+                ann.serialized_len()
+            );
+            bundle = bundle.with_ann(ann);
+        }
         imre_serve::save_bundle(&bundle, &bundle_out)?;
         println!("serving bundle written to {}", bundle_out.display());
     }
@@ -293,12 +317,20 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let name = flags.optional("name").unwrap_or("default");
     let addr = flags.optional("addr").unwrap_or("127.0.0.1:7878");
     let request_deadline_ms = flags.number("request-deadline-ms", 0u64)?;
+    let knn_lambda = flags.number("knn-lambda", 0.3f32)?;
+    if !(0.0..=1.0).contains(&knn_lambda) {
+        return Err(usage(format!(
+            "--knn-lambda must be in [0, 1], got {knn_lambda}"
+        )));
+    }
     let config = imre_serve::EngineConfig {
         workers: flags.number("workers", 2usize)?.max(1),
         batch_max: flags.number("batch", 8usize)?.max(1),
         batch_deadline: std::time::Duration::from_millis(flags.number("deadline-ms", 2u64)?),
         queue_capacity: flags.number("queue", 256usize)?.max(1),
         default_deadline_ms: (request_deadline_ms > 0).then_some(request_deadline_ms),
+        knn_k: flags.number("knn-k", 0usize)?,
+        knn_lambda,
     };
 
     let registry = std::sync::Arc::new(imre_serve::Registry::new());
@@ -320,7 +352,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         bound.port()
     );
     println!(
-        "workers={} batch_max={} deadline={:?} queue={} request_deadline_ms={}",
+        "workers={} batch_max={} deadline={:?} queue={} request_deadline_ms={} knn_k={} knn_lambda={}",
         config.workers,
         config.batch_max,
         config.batch_deadline,
@@ -328,7 +360,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         match config.default_deadline_ms {
             Some(ms) => ms.to_string(),
             None => "none".to_string(),
-        }
+        },
+        config.knn_k,
+        config.knn_lambda,
     );
     // Serve until killed; the listener thread owns the accept loop.
     loop {
@@ -347,6 +381,51 @@ fn cmd_eval(flags: &Flags) -> Result<(), CliError> {
         model.store.num_scalars()
     );
     let pipeline = Pipeline::build(&config, model.hp.clone());
+    if flags.number("knn", 0usize)? != 0 {
+        let k = flags.number("knn-k", 8usize)?;
+        let lambda = flags.number("knn-lambda", 0.3f32)?;
+        if !(0.0..=1.0).contains(&lambda) {
+            return Err(usage(format!(
+                "--knn-lambda must be in [0, 1], got {lambda}"
+            )));
+        }
+        let n_buckets = flags.number("knn-buckets", 5usize)?.max(1);
+        let report = imre_eval::evaluate_model_knn(&pipeline, &model, k, lambda, seed, n_buckets);
+        println!(
+            "kNN index: {} bags, {} bytes, built in {:.0}ms",
+            report.index_len, report.index_bytes, report.build_ms
+        );
+        println!(
+            "pure   (λ=0):        AUC {:.4}, P {:.4}, R {:.4}, F1 {:.4}, hard-F1 {:.4}",
+            report.base.auc,
+            report.base.precision,
+            report.base.recall,
+            report.base.f1,
+            report.base_hard_f1
+        );
+        println!(
+            "kNN (k={}, λ={}): AUC {:.4}, P {:.4}, R {:.4}, F1 {:.4}, hard-F1 {:.4}",
+            report.k,
+            report.lambda,
+            report.blended.auc,
+            report.blended.precision,
+            report.blended.recall,
+            report.blended.f1,
+            report.blended_hard_f1
+        );
+        println!("\nF1 by co-occurrence quantile (low → high):");
+        println!("{:<8} {:>8} {:>8} {:>8}", "bucket", "pure", "knn", "delta");
+        for b in &report.buckets {
+            println!(
+                "{:<8} {:>8.4} {:>8.4} {:>+8.4}",
+                b.label,
+                b.base_f1,
+                b.knn_f1,
+                b.knn_f1 - b.base_f1
+            );
+        }
+        return Ok(());
+    }
     let ev = pipeline.evaluate_model(&model);
     println!(
         "held-out: AUC {:.4}, P {:.4}, R {:.4}, F1 {:.4}, P@100 {:.2}, P@200 {:.2}",
@@ -601,6 +680,127 @@ mod tests {
         .unwrap();
         std::fs::remove_file(&model_path).ok();
         std::fs::remove_file(&ckpt_path).ok();
+    }
+
+    #[test]
+    fn flags_knn_flag_set_parses() {
+        let f = Flags::parse(&s(&[
+            "--knn",
+            "1",
+            "--knn-k",
+            "16",
+            "--knn-lambda",
+            "0.4",
+            "--knn-buckets",
+            "5",
+            "--knn-index",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(f.number("knn", 0usize).unwrap(), 1);
+        assert_eq!(f.number("knn-k", 8usize).unwrap(), 16);
+        assert_eq!(f.number("knn-lambda", 0.3f32).unwrap(), 0.4);
+        assert_eq!(f.number("knn-buckets", 5usize).unwrap(), 5);
+        assert_eq!(f.number("knn-index", 1usize).unwrap(), 0);
+    }
+
+    #[test]
+    fn eval_rejects_out_of_range_lambda() {
+        let dir = std::env::temp_dir().join("imre_cli_knn_lambda_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.imrm");
+        let mp = model_path.to_str().unwrap();
+        run(&s(&[
+            "train",
+            "--dataset",
+            "smoke",
+            "--model",
+            "pcnn",
+            "--epochs",
+            "1",
+            "--out",
+            mp,
+        ]))
+        .unwrap();
+        match run(&s(&[
+            "eval",
+            "--dataset",
+            "smoke",
+            "--model-file",
+            mp,
+            "--knn",
+            "1",
+            "--knn-lambda",
+            "1.5",
+        ])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("knn-lambda")),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn train_bundle_knn_eval_roundtrip_on_smoke() {
+        let dir = std::env::temp_dir().join("imre_cli_knn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.imrm");
+        let bundle_path = dir.join("m.imrb");
+        let (mp, bp) = (model_path.to_str().unwrap(), bundle_path.to_str().unwrap());
+        // Train with a bundle: the kNN index is built and embedded by
+        // default, so the bundle loads as a v2 artifact with an index.
+        run(&s(&[
+            "train",
+            "--dataset",
+            "smoke",
+            "--model",
+            "pcnn",
+            "--epochs",
+            "2",
+            "--out",
+            mp,
+            "--bundle",
+            bp,
+        ]))
+        .unwrap();
+        let bundle = imre_serve::load_bundle(&bundle_path).unwrap();
+        let ann = bundle.ann.as_ref().expect("bundle carries a kNN index");
+        assert!(!ann.is_empty());
+        // The interpolated eval path runs end to end on the same model.
+        run(&s(&[
+            "eval",
+            "--dataset",
+            "smoke",
+            "--model-file",
+            mp,
+            "--knn",
+            "1",
+            "--knn-k",
+            "4",
+            "--knn-buckets",
+            "3",
+        ]))
+        .unwrap();
+        // --knn-index 0 opts out: the bundle is a v1 artifact again.
+        run(&s(&[
+            "train",
+            "--dataset",
+            "smoke",
+            "--model",
+            "pcnn",
+            "--epochs",
+            "2",
+            "--out",
+            mp,
+            "--bundle",
+            bp,
+            "--knn-index",
+            "0",
+        ]))
+        .unwrap();
+        let bundle = imre_serve::load_bundle(&bundle_path).unwrap();
+        assert!(bundle.ann.is_none(), "--knn-index 0 must skip the index");
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&bundle_path).ok();
     }
 
     #[test]

@@ -490,7 +490,20 @@ impl ReModel {
     ) -> Vec<f32> {
         let mut rng = TensorRng::seed(0); // eval mode: dropout disabled, rng unused
         let xs = self.bag_matrix(tape, bag, false, &mut rng);
+        self.scores_from_matrix(tape, xs, bag, ctx)
+    }
 
+    /// Scores a bag given its already-stacked sentence matrix — the shared
+    /// tail of [`ReModel::predict_into`] and
+    /// [`ReModel::predict_with_repr_into`], so the encoder runs exactly
+    /// once per bag whether or not a representation is exported.
+    fn scores_from_matrix<'a>(
+        &'a self,
+        tape: &mut Tape<'a>,
+        xs: Var,
+        bag: &PreparedBag,
+        ctx: &BagContext,
+    ) -> Vec<f32> {
         // The per-relation score vector lives in a pooled tensor: the only
         // heap allocation left on this path is the returned response Vec.
         let mut re_scores = tape.alloc(&[self.num_relations]);
@@ -588,6 +601,143 @@ impl ReModel {
             .map(|(scores, delta)| {
                 pool.absorb_stats(&delta);
                 scores
+            })
+            .collect()
+    }
+
+    /// Writes the pooled bag representation for stacked sentence encodings
+    /// `xs` into `out`. This is the **single** pooling code path behind
+    /// every representation consumer — training-time index export,
+    /// `imre eval --knn`, and the serve-time query — so the index and its
+    /// queries can never drift apart (ISSUE 6 satellite).
+    ///
+    /// The representation is the eval-mode unweighted mean over the bag's
+    /// sentence encodings (`mean_aggregate`), dimension
+    /// [`ReModel::sent_dim`]. Attention is deliberately not applied: it is
+    /// relation-conditioned, and the index needs one vector per bag.
+    fn repr_from_matrix<'a>(&'a self, tape: &mut Tape<'a>, xs: Var, out: &mut [f32]) {
+        let pooled = mean_aggregate(tape, xs);
+        out.copy_from_slice(tape.value(pooled).data());
+    }
+
+    /// Pooled bag representation onto a caller-supplied tape; `out` must
+    /// have length [`ReModel::sent_dim`].
+    pub fn predict_repr_into<'a>(
+        &'a self,
+        tape: &mut Tape<'a>,
+        bag: &PreparedBag,
+        out: &mut [f32],
+    ) {
+        let mut rng = TensorRng::seed(0); // eval mode: dropout disabled, rng unused
+        let xs = self.bag_matrix(tape, bag, false, &mut rng);
+        self.repr_from_matrix(tape, xs, out);
+    }
+
+    /// Pooled bag representation of one bag (eval mode, fresh tape).
+    pub fn predict_repr(&self, bag: &PreparedBag) -> Vec<f32> {
+        let mut tape = Tape::inference(&self.store);
+        let mut out = vec![0.0; self.sent_dim()];
+        self.predict_repr_into(&mut tape, bag, &mut out);
+        out
+    }
+
+    /// Pooled bag representations for a batch, parallelized over the
+    /// compute pool exactly like [`ReModel::predict_batch_pooled`] (each
+    /// bag's encodings are computed by one thread in a fixed kernel order,
+    /// so results are bit-identical across `--threads`). Used to export
+    /// the training-bag matrix the ANN index is built over.
+    pub fn predict_repr_batch(&self, bags: &[&PreparedBag]) -> Vec<Vec<f32>> {
+        if imre_tensor::pool::current_threads() <= 1 || bags.len() <= 1 {
+            let mut tape = Tape::inference(&self.store);
+            return bags
+                .iter()
+                .map(|bag| {
+                    tape.reset();
+                    let mut out = vec![0.0; self.sent_dim()];
+                    self.predict_repr_into(&mut tape, bag, &mut out);
+                    out
+                })
+                .collect();
+        }
+        imre_tensor::pool::par_map(bags.len(), |i| {
+            bufpool::with_local(|stash| {
+                let mut tape = Tape::inference_with_pool(&self.store, std::mem::take(stash));
+                let mut out = vec![0.0; self.sent_dim()];
+                self.predict_repr_into(&mut tape, bags[i], &mut out);
+                *stash = tape.into_pool();
+                out
+            })
+        })
+    }
+
+    /// [`ReModel::predict_into`] that additionally exports the bag's pooled
+    /// representation (for the serve-time kNN query) from the same stacked
+    /// sentence matrix — one encoder pass serves both outputs.
+    pub fn predict_with_repr_into<'a>(
+        &'a self,
+        tape: &mut Tape<'a>,
+        bag: &PreparedBag,
+        ctx: &BagContext,
+        repr_out: &mut [f32],
+    ) -> Vec<f32> {
+        let mut rng = TensorRng::seed(0); // eval mode: dropout disabled, rng unused
+        let xs = self.bag_matrix(tape, bag, false, &mut rng);
+        self.repr_from_matrix(tape, xs, repr_out);
+        self.scores_from_matrix(tape, xs, bag, ctx)
+    }
+
+    /// [`ReModel::predict_batch_pooled`] where each bag may additionally
+    /// export its pooled representation (`wants_repr[i]`). Bags that do not
+    /// want a representation run the exact same code as
+    /// [`ReModel::predict_batch_pooled`] — their scores stay bit-identical
+    /// whether or not neighbors in the batch export representations.
+    pub fn predict_batch_pooled_with_repr(
+        &self,
+        bags: &[&PreparedBag],
+        ctx: &BagContext,
+        pool: &mut BufferPool,
+        wants_repr: &[bool],
+    ) -> Vec<(Vec<f32>, Option<Vec<f32>>)> {
+        debug_assert_eq!(bags.len(), wants_repr.len());
+        if imre_tensor::pool::current_threads() <= 1 || bags.len() <= 1 {
+            let mut tape = Tape::inference_with_pool(&self.store, std::mem::take(pool));
+            let out = bags
+                .iter()
+                .zip(wants_repr)
+                .map(|(bag, &wants)| {
+                    tape.reset();
+                    if wants {
+                        let mut repr = vec![0.0; self.sent_dim()];
+                        let scores = self.predict_with_repr_into(&mut tape, bag, ctx, &mut repr);
+                        (scores, Some(repr))
+                    } else {
+                        (self.predict_into(&mut tape, bag, ctx), None)
+                    }
+                })
+                .collect();
+            *pool = tape.into_pool();
+            return out;
+        }
+        let results = imre_tensor::pool::par_map(bags.len(), |i| {
+            bufpool::with_local(|stash| {
+                let before = stash.stats();
+                let mut tape = Tape::inference_with_pool(&self.store, std::mem::take(stash));
+                let item = if wants_repr[i] {
+                    let mut repr = vec![0.0; self.sent_dim()];
+                    let scores = self.predict_with_repr_into(&mut tape, bags[i], ctx, &mut repr);
+                    (scores, Some(repr))
+                } else {
+                    (self.predict_into(&mut tape, bags[i], ctx), None)
+                };
+                *stash = tape.into_pool();
+                (item, stash.stats().since(&before))
+            })
+        });
+        results
+            .into_iter()
+            .map(|(item, delta)| {
+                pool.absorb_stats(&delta);
+                item
             })
             .collect()
     }
@@ -726,6 +876,39 @@ mod tests {
             losses[0],
             losses[24]
         );
+    }
+
+    #[test]
+    fn repr_accessor_is_one_code_path() {
+        let emb = toy_embedding();
+        let types = toy_types();
+        let model = build(ModelSpec::pa_tmr());
+        let ctx = BagContext {
+            entity_embedding: Some(&emb),
+            entity_types: &types,
+        };
+        let (a, b) = (toy_bag(1), toy_bag(2));
+
+        let repr = model.predict_repr(&a);
+        assert_eq!(repr.len(), model.sent_dim());
+        assert!(repr.iter().all(|v| v.is_finite()));
+
+        // Batch export and the combined predict+repr path must agree bit
+        // for bit with the single-bag accessor.
+        let batch = model.predict_repr_batch(&[&a, &b]);
+        assert_eq!(batch[0], repr);
+        assert_eq!(batch[1], model.predict_repr(&b));
+
+        let mut pool = BufferPool::new();
+        let out = model.predict_batch_pooled_with_repr(&[&a, &b], &ctx, &mut pool, &[true, false]);
+        assert_eq!(out[0].1.as_deref(), Some(&repr[..]));
+        assert_eq!(out[1].1, None);
+
+        // Exporting a repr must not perturb the scores, and bags that skip
+        // the export must match plain predict exactly.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out[0].0), bits(&model.predict(&a, &ctx)));
+        assert_eq!(bits(&out[1].0), bits(&model.predict(&b, &ctx)));
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! coarse types), the relation names, and (for `*-MR` models) the LINE
 //! entity embeddings — so one file is a complete, loadable serving unit.
 //!
-//! Layout (`IMRB` v1, little-endian): magic, version, vocabulary words,
-//! entity table, relation names, optional embedding matrix, then the model
-//! in the existing `IMRM` format.
+//! Layout (little-endian): magic, version, vocabulary words, entity table,
+//! relation names, optional embedding matrix, then the model in the
+//! existing `IMRM` format. Version 1 ends there; version 2 appends the
+//! serving-time kNN index as a self-delimiting `IMRA` section
+//! (`imre-ann`'s format, DESIGN.md §4g). A bundle without an index is
+//! always written as version 1, so pre-kNN readers keep loading it —
+//! version 2 is only emitted when there is genuinely new content an old
+//! reader could not serve correctly by skipping.
 
+use imre_ann::AnnIndex;
 use imre_core::{read_model, write_model, ReModel};
 use imre_corpus::{Vocab, World};
 use imre_graph::EntityEmbedding;
@@ -18,7 +24,10 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"IMRB";
-const VERSION: u32 = 1;
+/// Bundle without an ANN section (the only version pre-kNN readers accept).
+pub const VERSION_V1: u32 = 1;
+/// Bundle with a trailing ANN index section.
+pub const VERSION_V2: u32 = 2;
 
 /// A frozen serving artifact: model plus the lookup tables that turn raw
 /// text and entity names into model inputs.
@@ -34,6 +43,9 @@ pub struct Bundle {
     pub embedding: Option<EntityEmbedding>,
     /// The trained model.
     pub model: ReModel,
+    /// Optional kNN index over training-bag representations, enabling the
+    /// serve-time label interpolation path (`knn=K lambda=L`).
+    pub ann: Option<AnnIndex>,
 }
 
 impl Bundle {
@@ -57,7 +69,16 @@ impl Bundle {
             relations,
             embedding,
             model,
+            ann: None,
         }
+    }
+
+    /// Attaches a kNN index (built over the training bags' pooled
+    /// representations via `ReModel::predict_repr_batch`). The bundle is
+    /// then written as version 2.
+    pub fn with_ann(mut self, ann: AnnIndex) -> Self {
+        self.ann = Some(ann);
+        self
     }
 
     /// Checks the cross-references between the tables and the model.
@@ -114,14 +135,38 @@ impl Bundle {
                 return fail(format!("entity {name:?} has type id {tys:?} out of range"));
             }
         }
+        if let Some(ann) = &self.ann {
+            if ann.dim() != self.model.sent_dim() {
+                return fail(format!(
+                    "ANN index dim ({}) != model sentence dim ({})",
+                    ann.dim(),
+                    self.model.sent_dim()
+                ));
+            }
+            if let Some(&bad) = ann
+                .labels()
+                .iter()
+                .find(|&&l| l as usize >= self.relations.len())
+            {
+                return fail(format!(
+                    "ANN index labels a bag with relation {bad}, but the bundle has {} relations",
+                    self.relations.len()
+                ));
+            }
+        }
         Ok(())
     }
 }
 
 /// Writes a bundle to a writer.
 pub fn write_bundle<W: Write>(bundle: &Bundle, w: &mut W) -> io::Result<()> {
+    let version = if bundle.ann.is_some() {
+        VERSION_V2
+    } else {
+        VERSION_V1
+    };
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&version.to_le_bytes())?;
     // vocabulary (all words in id order, specials included)
     write_u64(w, bundle.vocab.len() as u64)?;
     for id in 0..bundle.vocab.len() {
@@ -154,7 +199,11 @@ pub fn write_bundle<W: Write>(bundle: &Bundle, w: &mut W) -> io::Result<()> {
             }
         }
     }
-    write_model(&bundle.model, w)
+    write_model(&bundle.model, w)?;
+    if let Some(ann) = &bundle.ann {
+        ann.write_to(w)?;
+    }
+    Ok(())
 }
 
 /// Reads a bundle written by [`write_bundle`] and validates it.
@@ -171,10 +220,10 @@ pub fn read_bundle<R: Read>(r: &mut R) -> io::Result<Bundle> {
         ));
     }
     let version = read_u32(r)?;
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unsupported IMRB version {version}"),
+            format!("unsupported IMRB version {version} (this reader supports 1-2)"),
         ));
     }
     let vocab_len = read_u64(r)? as usize;
@@ -247,12 +296,18 @@ pub fn read_bundle<R: Read>(r: &mut R) -> io::Result<Bundle> {
         }
     };
     let model = read_model(r)?;
+    let ann = if version >= VERSION_V2 {
+        Some(AnnIndex::read_from(r)?)
+    } else {
+        None
+    };
     let bundle = Bundle {
         vocab,
         entities,
         relations,
         embedding,
         model,
+        ann,
     };
     bundle.validate()?;
     Ok(bundle)

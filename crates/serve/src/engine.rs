@@ -35,6 +35,7 @@ use crate::metrics::Metrics;
 use crate::pipeline::{InferRequest, InferResponse};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::Registry;
+use imre_ann::{blend_scores, SearchScratch};
 use imre_core::PreparedBag;
 use imre_tensor::BufferPool;
 use std::collections::BTreeMap;
@@ -61,6 +62,16 @@ pub struct EngineConfig {
     /// [`InferRequest::deadline_ms`]; `None` means such requests never
     /// expire.
     pub default_deadline_ms: Option<u64>,
+    /// Neighbors retrieved for kNN label interpolation when a request does
+    /// not set its own `knn=` (`--knn-k` on the CLI). `0` — the default —
+    /// disables interpolation engine-wide: the serve path is then
+    /// bit-identical to a pre-kNN engine (representations are never
+    /// computed, the index is never queried).
+    pub knn_k: usize,
+    /// Interpolation weight applied when a request does not set its own
+    /// `lambda=` (`--knn-lambda` on the CLI). Only consulted when the
+    /// effective k is nonzero.
+    pub knn_lambda: f32,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +82,8 @@ impl Default for EngineConfig {
             batch_deadline: Duration::from_millis(2),
             queue_capacity: 256,
             default_deadline_ms: None,
+            knn_k: 0,
+            knn_lambda: 0.3,
         }
     }
 }
@@ -231,12 +244,22 @@ impl ServeHandle {
     }
 }
 
+/// Per-worker kNN scratch, alive across batches like the buffer arena:
+/// the search beam/visited-set and the vote accumulator retain their
+/// capacity, so steady-state interpolated requests allocate nothing.
+#[derive(Default)]
+struct KnnState {
+    scratch: SearchScratch,
+    votes: Vec<f32>,
+}
+
 fn worker_loop(shared: &Shared) {
     let cfg = &shared.config;
     // One buffer arena per worker, alive across batches: the first batches
     // warm it up, after which forward passes recycle instead of allocating
     // (the `alloc:` line of the stats dump tracks hits vs. misses).
     let mut arena = BufferPool::new();
+    let mut knn = KnnState::default();
     while let Some(batch) = shared.queue.pop_batch(cfg.batch_max, cfg.batch_deadline) {
         if batch.is_empty() {
             continue;
@@ -290,6 +313,7 @@ fn worker_loop(shared: &Shared) {
                 &indices,
                 &mut replies,
                 &mut arena,
+                &mut knn,
             );
         }
         for (job, reply) in batch.iter().zip(replies) {
@@ -322,7 +346,9 @@ fn run_group(
     indices: &[usize],
     replies: &mut [Option<Result<InferResponse, ServeError>>],
     arena: &mut BufferPool,
+    knn: &mut KnnState,
 ) {
+    let cfg = &shared.config;
     let model = match shared.registry.get(model_name) {
         Some(m) => m,
         None => {
@@ -332,15 +358,23 @@ fn run_group(
             return;
         }
     };
-    // Featurize each request, timing the stage per request.
-    let mut prepared: Vec<(usize, PreparedBag, u64)> = Vec::with_capacity(indices.len());
+    // Featurize each request and resolve its effective kNN parameters,
+    // timing the stage per request. Requests whose kNN parameters are
+    // invalid (λ out of range, or interpolation against an index-less
+    // bundle) are answered here, before the forward pass spends anything.
+    type PreparedJob = (usize, PreparedBag, u64, Option<(usize, f32)>);
+    let mut prepared: Vec<PreparedJob> = Vec::with_capacity(indices.len());
     for &i in indices {
         let start = Instant::now();
-        match model.featurize_request(&batch[i].request) {
-            Ok(bag) => {
+        let outcome = model.featurize_request(&batch[i].request).and_then(|bag| {
+            let params = model.knn_params(&batch[i].request, cfg.knn_k, cfg.knn_lambda)?;
+            Ok((bag, params))
+        });
+        match outcome {
+            Ok((bag, params)) => {
                 let us = start.elapsed().as_micros() as u64;
                 shared.metrics.featurize.record(us);
-                prepared.push((i, bag, us));
+                prepared.push((i, bag, us, params));
             }
             Err(e) => replies[i] = Some(Err(e)),
         }
@@ -353,10 +387,16 @@ fn run_group(
     // remainder spread one extra µs at a time over the first requests so
     // the shares sum exactly to the elapsed time (a plain division would
     // truncate to 0 µs for fast large batches and under-report the total).
-    let bags: Vec<&PreparedBag> = prepared.iter().map(|(_, bag, _)| bag).collect();
+    // Requests on the interpolation path additionally export their pooled
+    // representation from the same pass (no second encoder run).
+    let bags: Vec<&PreparedBag> = prepared.iter().map(|(_, bag, _, _)| bag).collect();
+    let wants_repr: Vec<bool> = prepared
+        .iter()
+        .map(|(_, _, _, params)| params.is_some())
+        .collect();
     let start = Instant::now();
     let pool_before = arena.stats();
-    let scores = model.predict_prepared_batch_pooled(&bags, arena);
+    let outputs = model.predict_prepared_batch_pooled_with_repr(&bags, arena, &wants_repr);
     let pool_delta = arena.stats().since(&pool_before);
     shared
         .metrics
@@ -372,10 +412,28 @@ fn run_group(
     );
     let elapsed_us = start.elapsed().as_micros() as u64;
     let (share, remainder) = split_shares(elapsed_us, prepared.len());
-    for (j, ((i, _, featurize_us), scores)) in prepared.iter().zip(scores).enumerate() {
+    for (j, ((i, _, featurize_us, params), (mut scores, repr))) in
+        prepared.iter().zip(outputs).enumerate()
+    {
+        let job = &batch[*i];
+        if let Some((k, lambda)) = params {
+            // `knn_params` returned Some, so the index exists; the repr was
+            // requested for exactly these jobs.
+            let ann = model.ann().expect("knn_params verified the index");
+            let repr = repr.expect("repr requested for interpolated job");
+            let knn_start = Instant::now();
+            let neighbors = ann.search(&repr, (*k).min(ann.len()), &mut knn.scratch);
+            knn.votes.resize(scores.len(), 0.0);
+            ann.label_votes_into(neighbors, &mut knn.votes);
+            blend_scores(&mut scores, &knn.votes, *lambda);
+            Metrics::inc(&shared.metrics.knn_queries);
+            shared.metrics.knn_query_ns.fetch_add(
+                knn_start.elapsed().as_nanos() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
         let forward_us = share + u64::from(j < remainder);
         shared.metrics.forward.record(forward_us);
-        let job = &batch[*i];
         replies[*i] = Some(Ok(InferResponse {
             model: model_name.to_string(),
             ranked: model.rank(&scores, job.request.top_k),

@@ -39,6 +39,11 @@ pub enum ServeError {
     /// A model artifact is internally inconsistent (e.g. a bundle whose
     /// embedding width does not match the model's MR component).
     BadArtifact(String),
+    /// The request asked for kNN label interpolation (`knn=K lambda=L`, or
+    /// the engine runs with a kNN default) but the model's bundle shipped
+    /// no index section — rebuild the bundle with one (`imre train` builds
+    /// it by default).
+    NoKnnIndex,
 }
 
 impl ServeError {
@@ -54,6 +59,7 @@ impl ServeError {
             ServeError::EmptyText => "empty-text",
             ServeError::BadRequest(_) => "bad-request",
             ServeError::BadArtifact(_) => "bad-artifact",
+            ServeError::NoKnnIndex => "no-knn-index",
         }
     }
 }
@@ -78,6 +84,10 @@ impl fmt::Display for ServeError {
             ServeError::EmptyText => write!(f, "request text is empty"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::BadArtifact(msg) => write!(f, "bad model artifact: {msg}"),
+            ServeError::NoKnnIndex => write!(
+                f,
+                "model has no kNN index section; rebuild the bundle with one"
+            ),
         }
     }
 }
@@ -100,6 +110,7 @@ mod tests {
             ServeError::EmptyText,
             ServeError::BadRequest("x".into()),
             ServeError::BadArtifact("x".into()),
+            ServeError::NoKnnIndex,
         ];
         let codes: std::collections::HashSet<_> = all.iter().map(|e| e.code()).collect();
         assert_eq!(codes.len(), all.len());

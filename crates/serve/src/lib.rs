@@ -30,6 +30,7 @@
 //!     text: "Seattle is a city in Washington".into(),
 //!     top_k: 3,
 //!     deadline_ms: Some(250),
+//!     ..InferRequest::default()
 //! }).unwrap();
 //! println!("{}: {:.3}", resp.ranked[0].relation, resp.ranked[0].score);
 //! handle.shutdown();
@@ -47,7 +48,9 @@ pub mod queue;
 pub mod registry;
 pub mod server;
 
-pub use bundle::{load_bundle, read_bundle, save_bundle, write_bundle, Bundle};
+pub use bundle::{
+    load_bundle, read_bundle, save_bundle, write_bundle, Bundle, VERSION_V1, VERSION_V2,
+};
 pub use engine::{EngineConfig, Pending, ServeHandle};
 pub use error::ServeError;
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, BUCKET_BOUNDS_US};

@@ -128,6 +128,12 @@ pub struct Metrics {
     pub pool_misses: AtomicU64,
     /// Total bytes of buffer capacity returned to worker arenas for reuse.
     pub pool_bytes_recycled: AtomicU64,
+    /// kNN index queries executed (requests served on the interpolation
+    /// path; pure requests never touch the index).
+    pub knn_queries: AtomicU64,
+    /// Total nanoseconds spent in kNN search + vote + blend
+    /// (`/ knn_queries` = mean per-query cost).
+    pub knn_query_ns: AtomicU64,
 }
 
 impl Metrics {
@@ -184,6 +190,17 @@ impl Metrics {
             self.pool_hits.load(Ordering::Relaxed),
             self.pool_bytes_recycled.load(Ordering::Relaxed),
         );
+        let knn_queries = self.knn_queries.load(Ordering::Relaxed);
+        let knn_ns = self.knn_query_ns.load(Ordering::Relaxed);
+        let mean_query_ns = if knn_queries == 0 {
+            0.0
+        } else {
+            knn_ns as f64 / knn_queries as f64
+        };
+        let _ = writeln!(
+            out,
+            "knn: queries={knn_queries} mean_query_ns={mean_query_ns:.0}"
+        );
         self.queue_wait.render("queue_wait_us", &mut out);
         self.featurize.render("featurize_us", &mut out);
         self.forward.render("forward_us", &mut out);
@@ -239,6 +256,20 @@ mod tests {
         assert!(
             text.contains("lifecycle: deadline_expired=1 shed=2 active_connections=1"),
             "lifecycle line missing or wrong:\n{text}"
+        );
+    }
+
+    #[test]
+    fn render_contains_knn_line() {
+        let m = Metrics::default();
+        assert!(m.render().contains("knn: queries=0 mean_query_ns=0"));
+        Metrics::inc(&m.knn_queries);
+        Metrics::inc(&m.knn_queries);
+        m.knn_query_ns.fetch_add(3000, Ordering::Relaxed);
+        assert!(
+            m.render().contains("knn: queries=2 mean_query_ns=1500"),
+            "knn line missing or wrong:\n{}",
+            m.render()
         );
     }
 

@@ -8,12 +8,13 @@
 
 use crate::bundle::Bundle;
 use crate::error::ServeError;
+use imre_ann::{blend_scores, AnnIndex, SearchScratch};
 use imre_core::{featurize, BagContext, PreparedBag};
 use imre_corpus::EncodedSentence;
 use std::collections::HashMap;
 
 /// One inference request, as submitted by a client.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InferRequest {
     /// Registered model to run.
     pub model: String,
@@ -32,6 +33,15 @@ pub struct InferRequest {
     /// featurize/forward. `None` falls back to the engine's
     /// `default_deadline_ms` (and to no deadline if that is unset too).
     pub deadline_ms: Option<u64>,
+    /// Neighbors to retrieve for kNN label interpolation (`knn=` on the
+    /// wire). `None` falls back to the engine's `knn_k` default; `0`
+    /// forces the pure model path regardless of defaults, which is
+    /// bit-identical to a pre-kNN engine (the index is never queried).
+    pub knn_k: Option<usize>,
+    /// Interpolation weight λ ∈ [0, 1] (`lambda=` on the wire): scores
+    /// become `(1−λ)·model + λ·neighbor-label-distribution`. `None` falls
+    /// back to the engine's `knn_lambda` default; `0` disables blending.
+    pub knn_lambda: Option<f32>,
 }
 
 /// One scored relation in a response.
@@ -102,6 +112,12 @@ impl ServingModel {
     /// Number of relations this model scores.
     pub fn num_relations(&self) -> usize {
         self.bundle.relations.len()
+    }
+
+    /// The bundled kNN index over training-bag representations, if the
+    /// artifact shipped one (`.imrb` version 2).
+    pub fn ann(&self) -> Option<&AnnIndex> {
+        self.bundle.ann.as_ref()
     }
 
     /// The forward-time side context (entity types, LINE embeddings).
@@ -203,6 +219,51 @@ impl ServingModel {
             .predict_batch_pooled(bags, &self.ctx(), pool)
     }
 
+    /// [`ServingModel::predict_prepared_batch_pooled`] where bags flagged in
+    /// `wants_repr` additionally export their pooled representation (the
+    /// ANN query vector) from the same encoder pass. Bags not flagged run
+    /// the exact code of the plain batch path — their scores stay
+    /// bit-identical whether or not batch neighbors export representations.
+    pub fn predict_prepared_batch_pooled_with_repr(
+        &self,
+        bags: &[&PreparedBag],
+        pool: &mut imre_tensor::BufferPool,
+        wants_repr: &[bool],
+    ) -> Vec<(Vec<f32>, Option<Vec<f32>>)> {
+        self.bundle
+            .model
+            .predict_batch_pooled_with_repr(bags, &self.ctx(), pool, wants_repr)
+    }
+
+    /// Resolves a request's effective kNN parameters against engine-level
+    /// defaults: `Some((k, λ))` when interpolation should run.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] when λ is outside `[0, 1]` and
+    /// [`ServeError::NoKnnIndex`] when interpolation is requested but the
+    /// bundle shipped no index.
+    pub fn knn_params(
+        &self,
+        req: &InferRequest,
+        default_k: usize,
+        default_lambda: f32,
+    ) -> Result<Option<(usize, f32)>, ServeError> {
+        let k = req.knn_k.unwrap_or(default_k);
+        let lambda = req.knn_lambda.unwrap_or(default_lambda);
+        if !(0.0..=1.0).contains(&lambda) {
+            return Err(ServeError::BadRequest(format!(
+                "lambda must be in [0, 1], got {lambda}"
+            )));
+        }
+        if k == 0 || lambda == 0.0 {
+            return Ok(None);
+        }
+        if self.ann().is_none() {
+            return Err(ServeError::NoKnnIndex);
+        }
+        Ok(Some((k, lambda)))
+    }
+
     /// Turns a score vector into named relations ranked by descending score
     /// (ties by relation id), truncated to `top_k` (0 = all).
     pub fn rank(&self, scores: &[f32], top_k: usize) -> Vec<RankedRelation> {
@@ -229,10 +290,36 @@ impl ServingModel {
 
     /// The whole pipeline in one call (featurize → forward → rank), used by
     /// single-shot callers and tests; the engine runs the stages separately
-    /// so it can batch the forward pass.
+    /// so it can batch the forward pass and reuse per-worker scratch. A
+    /// request carrying `knn_k`/`knn_lambda` runs the interpolation path
+    /// (with throwaway scratch — the engine's is recycled).
     pub fn infer(&self, req: &InferRequest) -> Result<Vec<RankedRelation>, ServeError> {
         let bag = self.featurize_request(req)?;
-        let scores = self.predict_prepared(&bag);
+        let params = self.knn_params(req, 0, req.knn_k.map(|_| 0.3).unwrap_or(0.0))?;
+        let (k, lambda) = match params {
+            // The λ=0 / k=0 path never computes a representation or touches
+            // the index: bit-identical to a model without one.
+            None => {
+                let scores = self.predict_prepared(&bag);
+                return Ok(self.rank(&scores, req.top_k));
+            }
+            Some(p) => p,
+        };
+        let ann = self.ann().expect("knn_params verified the index");
+        let mut pool = imre_tensor::BufferPool::new();
+        let mut out = self.bundle.model.predict_batch_pooled_with_repr(
+            &[&bag],
+            &self.ctx(),
+            &mut pool,
+            &[true],
+        );
+        let (mut scores, repr) = out.remove(0);
+        let repr = repr.expect("repr requested");
+        let mut scratch = SearchScratch::new();
+        let neighbors = ann.search(&repr, k.min(ann.len()), &mut scratch);
+        let mut votes = vec![0.0f32; scores.len()];
+        ann.label_votes_into(neighbors, &mut votes);
+        blend_scores(&mut scores, &votes, lambda);
         Ok(self.rank(&scores, req.top_k))
     }
 }

@@ -37,6 +37,10 @@ pub enum Reply {
 /// `text=` must come last: it consumes the rest of the line verbatim.
 /// `deadline=` (milliseconds) optionally bounds how long the request may
 /// wait in the engine queue before being shed with `deadline-exceeded`.
+/// `knn=` and `lambda=` override the engine's kNN interpolation defaults
+/// per request: `knn=K` retrieves K training-bag neighbors and `lambda=L`
+/// (L ∈ [0, 1]) blends their label distribution into the scores; `knn=0`
+/// or `lambda=0` forces the pure model path.
 pub fn parse_infer(args: &str) -> Result<InferRequest, ServeError> {
     let mut req = InferRequest::default();
     let mut rest = args.trim_start();
@@ -67,6 +71,22 @@ pub fn parse_infer(args: &str) -> Result<InferRequest, ServeError> {
                         "deadline must be a number of milliseconds, got {value:?}"
                     ))
                 })?);
+            }
+            "knn" => {
+                req.knn_k = Some(value.parse().map_err(|_| {
+                    ServeError::BadRequest(format!("knn must be a neighbor count, got {value:?}"))
+                })?);
+            }
+            "lambda" => {
+                let lambda: f32 = value.parse().map_err(|_| {
+                    ServeError::BadRequest(format!("lambda must be a number, got {value:?}"))
+                })?;
+                if !lambda.is_finite() || !(0.0..=1.0).contains(&lambda) {
+                    return Err(ServeError::BadRequest(format!(
+                        "lambda must be in [0, 1], got {value:?}"
+                    )));
+                }
+                req.knn_lambda = Some(lambda);
             }
             other => {
                 return Err(ServeError::BadRequest(format!(
@@ -193,6 +213,34 @@ mod tests {
                 .code(),
             "bad-request"
         );
+    }
+
+    #[test]
+    fn parse_infer_knn_and_lambda() {
+        let req = parse_infer("model=m head=a tail=b text=a b").unwrap();
+        assert_eq!(req.knn_k, None);
+        assert_eq!(req.knn_lambda, None);
+        let req = parse_infer("model=m knn=4 lambda=0.3 head=a tail=b text=a b").unwrap();
+        assert_eq!(req.knn_k, Some(4));
+        assert_eq!(req.knn_lambda, Some(0.3));
+        let req = parse_infer("model=m knn=0 head=a tail=b text=a b").unwrap();
+        assert_eq!(req.knn_k, Some(0));
+    }
+
+    #[test]
+    fn parse_infer_bad_knn_rejected() {
+        for args in [
+            "model=m knn=many head=a tail=b text=a b",
+            "model=m lambda=1.5 head=a tail=b text=a b",
+            "model=m lambda=-0.1 head=a tail=b text=a b",
+            "model=m lambda=NaN head=a tail=b text=a b",
+        ] {
+            assert_eq!(
+                parse_infer(args).unwrap_err().code(),
+                "bad-request",
+                "{args}"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn request(entity_names: &[String], i: usize) -> InferRequest {
         text,
         top_k: 3,
         deadline_ms: None,
+        ..InferRequest::default()
     }
 }
 
@@ -57,13 +58,18 @@ fn steady_state_serve_allocs_per_request_is_zero() {
     };
     let pipeline = Pipeline::build(&smoke_config(5), hp);
     let model = pipeline.train_system(ModelSpec::pa_tmr(), 11);
+    // The bundle ships a kNN index so the same engine can gate the K>0
+    // interpolation path below; requests that do not opt in still run the
+    // pure path (engine default knn_k = 0).
+    let ann = imre_eval::build_index(&pipeline, &model, 11);
     let embedding = EntityEmbedding::from_matrix(pipeline.embedding.matrix().clone());
     let bundle = Bundle::new(
         model,
         pipeline.dataset.vocab.clone(),
         &pipeline.dataset.world,
         Some(embedding),
-    );
+    )
+    .with_ann(ann);
     let entity_names: Vec<String> = bundle
         .entities
         .iter()
@@ -83,6 +89,7 @@ fn steady_state_serve_allocs_per_request_is_zero() {
             batch_deadline: Duration::from_millis(1),
             queue_capacity: 256,
             default_deadline_ms: None,
+            ..EngineConfig::default()
         },
     );
 
@@ -130,6 +137,45 @@ fn steady_state_serve_allocs_per_request_is_zero() {
     assert!(
         stats.contains("alloc: pool_hits=") && stats.contains("allocs_per_request="),
         "stats should report the alloc line:\n{stats}"
+    );
+
+    // K>0: the interpolation path must hold the same steady-state budget.
+    // Its per-worker scratch (search beam, visited set, vote accumulator)
+    // warms up alongside the buffer arena, after which interpolated
+    // requests recycle everything too.
+    let knn_run = |lo: usize, hi: usize| {
+        let pending: Vec<_> = (lo..hi)
+            .map(|i| {
+                let mut req = request(&entity_names, i);
+                req.knn_k = Some(4);
+                req.knn_lambda = Some(0.3);
+                handle.submit(req).expect("queue accepts")
+            })
+            .collect();
+        for p in pending {
+            p.wait().expect("interpolated request succeeds");
+        }
+    };
+    knn_run(160, 200); // warm-up: repr buffers join the arena
+    let warm_misses = handle.metrics().pool_misses.load(Ordering::Relaxed);
+    let warm_queries = handle.metrics().knn_queries.load(Ordering::Relaxed);
+    assert!(warm_queries >= 40, "kNN phase must query the index");
+    knn_run(200, 320);
+    let steady_misses = handle.metrics().pool_misses.load(Ordering::Relaxed) - warm_misses;
+    assert_eq!(
+        steady_misses, 0,
+        "steady-state kNN serving must not allocate tensor buffers \
+         (pool grew by {steady_misses} buffers over 120 interpolated requests)"
+    );
+    assert_eq!(
+        handle.metrics().knn_queries.load(Ordering::Relaxed) - warm_queries,
+        120,
+        "every interpolated request queries the index exactly once"
+    );
+    let stats = handle.stats_text();
+    assert!(
+        stats.contains("knn: queries="),
+        "stats should report the knn line:\n{stats}"
     );
     handle.shutdown();
 }

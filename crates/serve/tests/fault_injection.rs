@@ -25,6 +25,7 @@ fn request(i: usize) -> InferRequest {
         text: format!("a relates to b case {i}"),
         top_k: 0,
         deadline_ms: None,
+        ..InferRequest::default()
     }
 }
 
@@ -298,6 +299,7 @@ fn mid_batch_shutdown_answers_both_halves() {
         batch_deadline: Duration::from_millis(1),
         queue_capacity: 64,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let pending: Vec<_> = (0..32)
         .map(|i| handle.submit(request(i)).expect("submit"))

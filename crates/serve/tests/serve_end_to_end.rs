@@ -80,6 +80,7 @@ fn request(i: usize) -> InferRequest {
         text,
         top_k: 0,
         deadline_ms: None,
+        ..InferRequest::default()
     }
 }
 
@@ -144,6 +145,7 @@ fn engine_serves_64_concurrent_requests_with_correct_rankings() {
         batch_deadline: Duration::from_millis(2),
         queue_capacity: 256,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
 
     const N: usize = 64;
@@ -213,6 +215,7 @@ fn batched_and_unbatched_forward_scores_are_identical() {
         batch_deadline: Duration::from_millis(10),
         queue_capacity: 64,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let serial = start_engine(EngineConfig {
         workers: 1,
@@ -220,6 +223,7 @@ fn batched_and_unbatched_forward_scores_are_identical() {
         batch_deadline: Duration::from_millis(0),
         queue_capacity: 64,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let pending: Vec<_> = (0..16)
         .map(|i| coalescing.submit(request(i)).expect("submit"))
@@ -255,6 +259,7 @@ fn full_queue_returns_typed_rejection() {
         batch_deadline: Duration::from_millis(1),
         queue_capacity: 2,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let _p0 = handle.submit(request(0)).expect("first fits");
     let _p1 = handle.submit(request(1)).expect("second fits");
@@ -275,6 +280,7 @@ fn shutdown_drains_all_queued_requests() {
         batch_deadline: Duration::from_millis(1),
         queue_capacity: 64,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let pending: Vec<_> = (0..24)
         .map(|i| handle.submit(request(i)).expect("submit"))
@@ -324,6 +330,7 @@ fn forward_shares_sum_to_elapsed_batch_time() {
         batch_deadline: Duration::from_millis(20),
         queue_capacity: 64,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let pending: Vec<_> = (0..16)
         .map(|i| handle.submit(request(i)).expect("submit"))

@@ -6,7 +6,7 @@
 #   scripts/bench_check.sh            # run benches, diff vs BENCH_PR2.json
 #   scripts/bench_check.sh --update   # regenerate BENCH_PR2.json in place
 #
-# The benches (kernel_scaling, serve_throughput, train_scaling) each dump a flat JSON
+# The benches (kernel_scaling, serve_throughput, knn_serve, train_scaling) each dump a flat JSON
 # object via IMRE_BENCH_JSON; this script merges them into one object at
 # target/bench/current.json (uploaded as a CI artifact) and compares every
 # key against the committed BENCH_PR2.json:
@@ -41,6 +41,8 @@ IMRE_BENCH_JSON="$OUT/kernel_scaling.json" \
     cargo bench --offline -q -p imre-bench --bench kernel_scaling
 IMRE_BENCH_JSON="$OUT/serve_throughput.json" \
     cargo bench --offline -q -p imre-bench --bench serve_throughput
+IMRE_BENCH_JSON="$OUT/knn_serve.json" \
+    cargo bench --offline -q -p imre-bench --bench knn_serve
 IMRE_BENCH_JSON="$OUT/train_scaling.json" \
     cargo bench --offline -q -p imre-bench --bench train_scaling
 
@@ -48,7 +50,7 @@ IMRE_BENCH_JSON="$OUT/train_scaling.json" \
 {
     printf '{\n'
     grep -h '":' "$OUT/kernel_scaling.json" "$OUT/serve_throughput.json" \
-        "$OUT/train_scaling.json" \
+        "$OUT/knn_serve.json" "$OUT/train_scaling.json" \
         | sed 's/,$//' | sed '$!s/$/,/'
     printf '}\n'
 } >"$OUT/current.json"

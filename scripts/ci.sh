@@ -4,12 +4,12 @@
 #
 # Usage:
 #   scripts/ci.sh                # full gate: fmt, clippy, build, test,
-#                                # serve-faults, alloc-gate, bench
+#                                # serve-faults, alloc-gate, knn, bench
 #   scripts/ci.sh --fast         # quick gate: fmt, clippy, test
 #                                # (skips the release build and bench smoke)
 #   scripts/ci.sh <step>...      # run only the named steps, in order:
 #                                #   fmt clippy build test serve-faults
-#                                #   alloc-gate train-dp bench
+#                                #   alloc-gate train-dp knn bench
 #
 # Steps:
 #   fmt     cargo fmt --check over the whole workspace
@@ -34,6 +34,13 @@
 #           and a checkpoint + `--resume` run must match the uninterrupted
 #           run bytewise; on runners with ≥4 cores it finally asserts the
 #           R=4 speedup from the train_scaling bench is ≥2.5x
+#   knn     the kNN-interpolation gate: the imre-ann determinism/serialize
+#           suites, the .imrb v1/v2 compatibility tests, the counting-
+#           allocator zero-alloc kNN query gate, and a CLI-level end-to-end
+#           check on the smoke corpus — a bundle trained with the default
+#           kNN index must serve, two index builds (--threads 1 vs 4) must
+#           be byte-identical, and `imre eval --knn` must report the
+#           per-bucket table
 #   bench   1ms-sample smoke of the serving + kernel-scaling benches, which
 #           also executes their embedded assertions (dispatch fast path,
 #           batched == unbatched); with CI_BENCH_GATE=1 it then runs
@@ -85,6 +92,43 @@ step_serve_faults() {
 step_alloc_gate() {
     cargo test --offline -q -p imre-serve --test alloc_steady_state
     cargo test --offline -q -p imre-bench --test zero_alloc_inference
+    cargo test --offline -q -p imre-bench --test zero_alloc_knn
+}
+
+step_knn() {
+    # Index-structure suites: HNSW determinism, serialization, blending.
+    cargo test --offline -q -p imre-ann
+
+    # Bundle compatibility: v1/v2 layouts, corruption rejection, λ=0
+    # bit-identity, thread-count determinism of the index build.
+    cargo test --offline -q -p imre-serve --test bundle_compat
+
+    # Process-global zero-allocation budget of a warm kNN query.
+    cargo test --offline -q -p imre-bench --test zero_alloc_knn
+
+    # CLI-level end-to-end on the smoke corpus: bundles embed the index by
+    # default, index builds are byte-identical across --threads, and
+    # `imre eval --knn` reports the per-bucket comparison table.
+    cargo build --offline -q --release -p imre-cli
+    local imre=target/release/imre
+    local dir=target/knn-ci
+    rm -rf "$dir" && mkdir -p "$dir"
+    local common=(--dataset smoke --model pcnn --seed 5 --epochs 2)
+
+    "$imre" train "${common[@]}" --threads 4 \
+        --out "$dir/a.imrm" --bundle "$dir/a.imrb" >/dev/null
+    "$imre" train "${common[@]}" --threads 1 \
+        --out "$dir/b.imrm" --bundle "$dir/b.imrb" >/dev/null
+    cmp "$dir/a.imrb" "$dir/b.imrb" ||
+        { echo "knn: --threads changed the bundle (index not deterministic)" >&2; exit 1; }
+    echo "knn: bundle byte-identical across --threads"
+
+    "$imre" eval --dataset smoke --model-file "$dir/a.imrm" --seed 5 \
+        --knn 1 --knn-k 4 --knn-lambda 0.3 --knn-buckets 3 >"$dir/eval.txt"
+    grep -q "bucket" "$dir/eval.txt" ||
+        { echo "knn: eval --knn did not print the per-bucket table" >&2
+          cat "$dir/eval.txt" >&2; exit 1; }
+    echo "knn: eval --knn reports the per-bucket table"
 }
 
 step_train_dp() {
@@ -142,6 +186,7 @@ step_train_dp() {
 
 step_bench() {
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_throughput
+    CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench knn_serve
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench kernel_scaling
     CRITERION_SAMPLE_MS=1 IMRE_FAST=1 cargo bench --offline -p imre-bench --bench train_scaling
     if [[ "${CI_BENCH_GATE:-0}" == "1" ]]; then
@@ -154,7 +199,7 @@ case "${1:-}" in
     steps=(fmt clippy test)
     ;;
 "")
-    steps=(fmt clippy build test serve-faults alloc-gate train-dp bench)
+    steps=(fmt clippy build test serve-faults alloc-gate train-dp knn bench)
     ;;
 *)
     steps=("$@")
@@ -163,12 +208,12 @@ esac
 
 for s in "${steps[@]}"; do
     case "$s" in
-    fmt | clippy | build | test | bench) run_step "$s" "step_$s" ;;
+    fmt | clippy | build | test | knn | bench) run_step "$s" "step_$s" ;;
     serve-faults) run_step "$s" step_serve_faults ;;
     alloc-gate) run_step "$s" step_alloc_gate ;;
     train-dp) run_step "$s" step_train_dp ;;
     *)
-        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults alloc-gate train-dp bench)" >&2
+        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults alloc-gate train-dp knn bench)" >&2
         exit 2
         ;;
     esac
