@@ -7,10 +7,16 @@
 //! * the same configuration on a 1-thread and a 4-thread pool must too.
 //!
 //! The single-replica single-thread throughput gates regressions
-//! (`train_bags_per_sec` in the bench JSON); the R=4 throughput and the
-//! R=4-vs-R=1 speedup are `info_` metrics because they depend on the core
-//! count of the box (the ≥2.5× criterion is asserted by `scripts/ci.sh
-//! train-dp` only on runners with ≥4 cores).
+//! (`train_bags_per_sec` in the bench JSON). The R=4 throughput and the
+//! R=4-vs-R=1 replica speedup are `info_` metrics because they depend on
+//! the core count of the box (the ≥2.5× criterion is asserted by
+//! `scripts/ci.sh train-dp` only on runners with ≥4 cores). What gates is
+//! `floor_train_dp_speedup_t4`: the *same* R=4 workload on a 4-thread vs a
+//! 1-thread pool — identical computation and identical bits, so the ratio
+//! isolates pure pool dispatch cost and must stay at `max(baseline, 1.0)`
+//! within tolerance in `scripts/bench_check.sh`. A thread pool that
+//! actively loses on training (the grain-sizing bug class) fails the gate
+//! on any machine.
 //!
 //! With `IMRE_BENCH_JSON=<path>` the measurements are written as flat JSON
 //! for `scripts/bench_check.sh`.
@@ -124,13 +130,45 @@ fn main() {
         s_r1t1.reduce_share() * 100.0
     );
 
-    // Reference for the speedup ratio: R=1 on the multi-thread pool (kernel
-    // parallelism only), then R=4 on the same pool (replica parallelism).
-    let (s_r1t4, _) = train_run(&fx, 1, 4, epochs);
+    // Embedded determinism assertions (the subsystem's acceptance criteria).
+    let (s_r1t4, bytes_r1b) = train_run(&fx, 1, 4, epochs);
+    assert_eq!(
+        bytes_r1a, bytes_r1b,
+        "R=1 artifact must be byte-identical across pool sizes"
+    );
     let (s_r4t4, bytes_r4a) = train_run(&fx, 4, 4, epochs);
-    let speedup = s_r4t4.bags_per_sec / s_r1t4.bags_per_sec;
-    sink.record("info_train_bags_per_sec_r4", s_r4t4.bags_per_sec);
-    sink.record("info_train_dp_speedup_r4", speedup);
+    let (s_r4t4b, bytes_r4b) = train_run(&fx, 4, 4, epochs);
+    assert_eq!(
+        bytes_r4a, bytes_r4b,
+        "repeat R=4 runs must be byte-identical"
+    );
+    let (s_r4t1, bytes_r4t1) = train_run(&fx, 4, 1, epochs);
+    assert_eq!(
+        bytes_r4a, bytes_r4t1,
+        "R=4 artifact must be byte-identical at 1 and 4 pool threads"
+    );
+
+    // Throughput sampling for the speedup ratios: the machine this gates on
+    // can drift ~2× in absolute throughput between moments (shared vCPU),
+    // so a single adjacent pair of runs would make the ratio a lottery.
+    // Interleave the three configurations across rounds and take the best
+    // run per configuration — min-of-times sampling where every
+    // configuration gets a shot at each fast window.
+    let mut r1t4 = s_r1t4.bags_per_sec;
+    let mut r4t4 = s_r4t4.bags_per_sec.max(s_r4t4b.bags_per_sec);
+    let mut r4t1 = s_r4t1.bags_per_sec;
+    for _ in 0..3 {
+        r1t4 = r1t4.max(train_run(&fx, 1, 4, epochs).0.bags_per_sec);
+        r4t4 = r4t4.max(train_run(&fx, 4, 4, epochs).0.bags_per_sec);
+        r4t1 = r4t1.max(train_run(&fx, 4, 1, epochs).0.bags_per_sec);
+    }
+    // Gated floor: thread scaling of the identical R=4 workload. Replica
+    // scaling (R=4 vs R=1) stays info_ — it measures the box, not the code.
+    let speedup_t4 = r4t4 / r4t1;
+    let speedup_r4 = r4t4 / r1t4;
+    sink.record("info_train_bags_per_sec_r4", r4t4);
+    sink.record("floor_train_dp_speedup_t4", speedup_t4);
+    sink.record("info_train_dp_speedup_r4", speedup_r4);
     sink.record("info_train_reduce_share_r4", s_r4t4.reduce_share());
     let traffic = (s_r4t4.pool.hits + s_r4t4.pool.misses).max(1);
     sink.record(
@@ -138,29 +176,11 @@ fn main() {
         s_r4t4.pool.hits as f64 / traffic as f64,
     );
     println!(
-        "R=1 t=4  {:>8.1} bags/s\nR=4 t=4  {:>8.1} bags/s  ({speedup:.2}x vs R=1, \
+        "R=1 t=4  {r1t4:>8.1} bags/s\nR=4 t=1  {r4t1:>8.1} bags/s\n\
+         R=4 t=4  {r4t4:>8.1} bags/s  ({speedup_t4:.2}x vs t=1, {speedup_r4:.2}x vs R=1, \
          reduce share {:.2}%, arena hit rate {:.3})",
-        s_r1t4.bags_per_sec,
-        s_r4t4.bags_per_sec,
         s_r4t4.reduce_share() * 100.0,
         s_r4t4.pool.hits as f64 / traffic as f64,
-    );
-
-    // Embedded determinism assertions (the subsystem's acceptance criteria).
-    let (_, bytes_r1b) = train_run(&fx, 1, 4, epochs);
-    assert_eq!(
-        bytes_r1a, bytes_r1b,
-        "R=1 artifact must be byte-identical across pool sizes"
-    );
-    let (_, bytes_r4b) = train_run(&fx, 4, 4, epochs);
-    assert_eq!(
-        bytes_r4a, bytes_r4b,
-        "repeat R=4 runs must be byte-identical"
-    );
-    let (_, bytes_r4t1) = train_run(&fx, 4, 1, epochs);
-    assert_eq!(
-        bytes_r4a, bytes_r4t1,
-        "R=4 artifact must be byte-identical at 1 and 4 pool threads"
     );
 
     sink.write_if_requested();

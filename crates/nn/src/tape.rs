@@ -466,7 +466,10 @@ impl<'s> Tape<'s> {
         let mut out = pool.alloc(&[t, window * d]);
         // Row-parallel: output row `row` only reads input rows and writes its
         // own `window · d` slice, so partitioning cannot change the result.
-        let grain = (4096 / (window * d).max(1)).max(1);
+        // Unfold is a pure copy (~0.25 ns/element), so the grain must be
+        // large for a chunk to dwarf the ~650 ns pool dispatch cost (a
+        // 64 Ki-element chunk copies for ~16 µs).
+        let grain = (65536 / (window * d).max(1)).max(1);
         let src_data = xv.data();
         imre_tensor::pool::for_rows(out.data_mut(), t, window * d, grain, |lo, hi, shard| {
             for row in lo..hi {
@@ -917,7 +920,10 @@ impl<'s> Tape<'s> {
                     // For dx row `src` the contributions are g[row, o·d..]
                     // with row = src + half − o; descending `o` replays the
                     // legacy ascending-`row` accumulation order exactly.
-                    let grain = (4096 / (window * d).max(1)).max(1);
+                    // Large grain: the gather is memory-bound, so small
+                    // chunks would be dominated by dispatch overhead
+                    // (64 Ki elements ≈ 16 µs per chunk).
+                    let grain = (65536 / (window * d).max(1)).max(1);
                     let g_data = g.data();
                     imre_tensor::pool::for_rows(dx.data_mut(), t, d, grain, |lo, hi, shard| {
                         for src in lo..hi {

@@ -25,6 +25,10 @@
 //!   [`pool`] worker pool (sized from `IMRE_THREADS` or the machine), with
 //!   shape-derived row partitions guaranteeing results bit-identical to a
 //!   single-threaded run at any thread count.
+//! * **Runtime-dispatched SIMD.** The hot `*_into` kernels pick an AVX2 or
+//!   AVX-512 register-blocked implementation at runtime via [`simd`], with a
+//!   scalar fallback (`IMRE_FORCE_SCALAR=1` forces it) that is bit-identical
+//!   to every vector path by construction.
 //!
 //! ```
 //! use imre_tensor::Tensor;
@@ -41,6 +45,7 @@ mod ops;
 pub mod pool;
 mod reduce;
 mod rows;
+pub mod simd;
 mod tensor;
 
 pub use bufpool::{BufferPool, PoolStats};

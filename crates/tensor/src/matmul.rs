@@ -1,35 +1,35 @@
-//! Matrix multiplication kernels, row-parallel on the [`crate::pool`] backend.
+//! Matrix multiplication kernels, row-parallel on the [`crate::pool`] backend
+//! and SIMD-dispatched through [`crate::simd`].
 //!
-//! All kernels use the `ikj` loop order so the innermost loop walks both the
-//! output row and the right operand row contiguously — the standard BLAS-free
-//! trick from the Rust Performance Book's "bounds-check friendly iteration"
-//! advice. At the matrix sizes this workspace uses (≲ 512 per side) this is
-//! within a small factor of a tuned BLAS and keeps the crate dependency-free.
+//! Each output row is produced by [`simd::row_times_mat`] (register-blocked
+//! AVX2/AVX-512 tiles with a scalar `ikj` fallback) for the `nn`/`tn` forms,
+//! or by the fixed-lane [`simd::dot`] for the `nt`/`matvec` dot forms. All
+//! backends perform the same IEEE ops per output element in the same order,
+//! so backend choice never changes the bits (see `simd` module docs).
 //!
 //! Parallel kernels split the *output* into row ranges whose bounds depend
 //! only on the problem shape, and every output element is accumulated by one
 //! task in the same ascending-`l` order the sequential kernel uses — so
 //! results are bit-identical at any thread count (see `pool` module docs).
-//! The reduction (`k`) dimension is additionally cache-blocked so a panel of
-//! `b` stays hot while a chunk of output rows streams over it.
 
 use crate::pool;
+use crate::simd;
 use crate::Tensor;
 
-/// Target multiply-adds per parallel task; keeps dispatch overhead well
-/// under the compute cost of a chunk. Derived from shape only — never from
-/// the thread count — so the partition (and thus any rounding behaviour)
-/// is identical no matter how many workers execute it.
-const GRAIN_FLOPS: usize = 64 * 1024;
-
-/// Reduction-dimension block: `KC × n` floats of `b` (≲ 64 KiB for n = 128)
-/// stay in L1/L2 while a row chunk streams over them.
-const KC: usize = 128;
+/// Target multiply-adds per parallel task. Sized so a chunk costs ≫ the
+/// measured pool dispatch overhead (`dispatch_inline_ns` ≈ 650 ns in
+/// `BENCH_PR2.json`) *at the SIMD kernel's speed*: at ~55 GFLOP/s an
+/// 8 Mi-MAC chunk runs for ~300 µs, making dispatch and scheduler noise
+/// < 1% even when workers timeshare a small box. Everything below the
+/// grain (the conv256 workload, every matmul in a smoke-scale PCNN step)
+/// runs inline. Derived from shape only — never from the thread count — so
+/// the partition is identical no matter how many workers execute it.
+const GRAIN_MACS: usize = 8 * 1024 * 1024;
 
 /// Rows per task for an `m × n`-output kernel with `k`-deep reductions.
 #[inline]
 fn row_grain(k: usize, n: usize) -> usize {
-    (GRAIN_FLOPS / (k * n).max(1)).max(1)
+    (GRAIN_MACS / (k * n).max(1)).max(1)
 }
 
 impl Tensor {
@@ -110,10 +110,12 @@ impl Tensor {
         );
         let a = self.data();
         let x = v.data();
+        let be = simd::backend();
+        simd::note(be);
         let mut out = Tensor::zeros(&[m]);
         pool::for_rows(out.data_mut(), m, 1, row_grain(k, 1), |lo, hi, shard| {
             for (s, i) in shard.iter_mut().zip(lo..hi) {
-                *s = dot(&a[i * k..(i + 1) * k], x);
+                *s = simd::dot(be, &a[i * k..(i + 1) * k], x);
             }
         });
         out
@@ -138,9 +140,11 @@ impl Tensor {
         );
         let a = self.data();
         let x = v.data();
+        let be = simd::backend();
+        simd::note(be);
         pool::for_rows(out.data_mut(), m, 1, row_grain(k, 1), |lo, hi, shard| {
             for (s, i) in shard.iter_mut().zip(lo..hi) {
-                *s = dot(&a[i * k..(i + 1) * k], x);
+                *s = simd::dot(be, &a[i * k..(i + 1) * k], x);
             }
         });
     }
@@ -160,100 +164,57 @@ impl Tensor {
     }
 }
 
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    // Four-way unrolled accumulation: lets the compiler vectorise and avoids
-    // a long sequential dependency chain on the accumulator.
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for c in 0..chunks {
-        let i = c * 4;
-        s0 += a[i] * b[i];
-        s1 += a[i + 1] * b[i + 1];
-        s2 += a[i + 2] * b[i + 2];
-        s3 += a[i + 3] * b[i + 3];
-    }
-    let mut s = s0 + s1 + s2 + s3;
-    for i in chunks * 4..a.len() {
-        s += a[i] * b[i];
-    }
-    s
-}
-
 /// Writes `a · b` into `out` where `a` is `[m, k]`, `b` is `[k, n]`.
 ///
 /// Exposed for `imre-nn`'s fused kernels. Parallel over output-row ranges;
-/// within a range the reduction is `KC`-blocked but still accumulates each
-/// element in ascending-`l` order, so blocking and threading both leave the
-/// float result bit-identical to the naive triple loop.
+/// each range is one [`simd::rows_times_mat`] call (four output rows per
+/// register tile on the vector backends) accumulating every element in
+/// ascending-`l` order, so backend and threading both leave the float
+/// result bit-identical to the naive triple loop.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    let be = simd::backend();
+    simd::note(be);
     pool::for_rows(out, m, n, row_grain(k, n), |lo, hi, shard| {
-        for k0 in (0..k).step_by(KC) {
-            let k1 = (k0 + KC).min(k);
-            for i in lo..hi {
-                let arow = &a[i * k..(i + 1) * k];
-                let orow = &mut shard[(i - lo) * n..(i - lo + 1) * n];
-                for (l, &al) in arow.iter().enumerate().take(k1).skip(k0) {
-                    if al == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[l * n..(l + 1) * n];
-                    for (oj, &bj) in orow.iter_mut().zip(brow) {
-                        *oj += al * bj;
-                    }
-                }
-            }
-        }
+        simd::rows_times_mat(be, a, lo * k, k, 1, hi - lo, k, b, n, shard);
     });
 }
 
 /// Writes `aᵀ · b` into `out` where `a` is `[k, m]`, `b` is `[k, n]`.
 ///
-/// Parallel over ranges of output rows — i.e. over *columns* of `a`. Each
-/// task replays the full ascending-`l` rank-1-update sweep restricted to its
-/// own column segment, so every `out[i][j]` accumulates in exactly the order
-/// the sequential kernel uses.
+/// Parallel over ranges of output rows — i.e. over *columns* of `a`. Row `i`
+/// of the output walks column `i` of `a` (stride `m`) through the same
+/// multi-row microkernel, so every `out[i][j]` accumulates in exactly the
+/// ascending-`l` order the sequential rank-1-update sweep uses.
 pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    let be = simd::backend();
+    simd::note(be);
     pool::for_rows(out, m, n, row_grain(k, n), |lo, hi, shard| {
-        // out[i][j] += a[l][i] * b[l][j] — one rank-1 update per l; both
-        // inner walks are contiguous. Only columns lo..hi of `a` are read.
-        for l in 0..k {
-            let aseg = &a[l * m + lo..l * m + hi];
-            let brow = &b[l * n..(l + 1) * n];
-            for (ii, &ai) in aseg.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let orow = &mut shard[ii * n..(ii + 1) * n];
-                for (oj, &bj) in orow.iter_mut().zip(brow) {
-                    *oj += ai * bj;
-                }
-            }
-        }
+        simd::rows_times_mat(be, a, lo, 1, m, hi - lo, k, b, n, shard);
     });
 }
 
 /// Writes `a · bᵀ` into `out` where `a` is `[m, k]`, `b` is `[n, k]`.
 ///
-/// Parallel over output-row ranges; each element is one independent dot
-/// product, so partitioning cannot change results.
+/// Parallel over output-row ranges; each element is one independent
+/// fixed-lane [`simd::dot`], so partitioning cannot change results.
 pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
+    let be = simd::backend();
+    simd::note(be);
     pool::for_rows(out, m, n, row_grain(k, n), |lo, hi, shard| {
         for i in lo..hi {
             let arow = &a[i * k..(i + 1) * k];
             let orow = &mut shard[(i - lo) * n..(i - lo + 1) * n];
             for (j, oj) in orow.iter_mut().enumerate() {
-                *oj = dot(arow, &b[j * k..(j + 1) * k]);
+                *oj = simd::dot(be, arow, &b[j * k..(j + 1) * k]);
             }
         }
     });
@@ -263,6 +224,7 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
 mod tests {
     use super::*;
     use crate::assert_close;
+    use crate::simd::Backend;
 
     #[test]
     fn matmul_small_known() {
@@ -326,14 +288,6 @@ mod tests {
     }
 
     #[test]
-    fn dot_unrolled_matches_naive() {
-        let a: Vec<f32> = (0..23).map(|i| (i as f32).cos()).collect();
-        let b: Vec<f32> = (0..23).map(|i| (i as f32).sin()).collect();
-        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert!((dot(&a, &b) - naive).abs() < 1e-5);
-    }
-
-    #[test]
     fn matmul_associativity_approx() {
         let a = Tensor::from_vec((0..4).map(|i| i as f32 * 0.1).collect(), &[2, 2]);
         let b = Tensor::from_vec((0..4).map(|i| 1.0 - i as f32 * 0.2).collect(), &[2, 2]);
@@ -343,13 +297,14 @@ mod tests {
         assert_close(left.data(), right.data(), 1e-5);
     }
 
-    /// Large enough to cross the parallel grain: results must be bitwise
-    /// equal across pool sizes (the core determinism contract).
+    /// Large enough to cross the parallel grain (`k·n` = 90 000 MACs/row ⇒
+    /// ~93-row chunks): results must be bitwise equal across pool sizes
+    /// (the core determinism contract).
     #[test]
     fn matmul_bit_identical_across_pool_sizes() {
         let mut rng = crate::TensorRng::seed(42);
-        let a = Tensor::rand_uniform(&[130, 70], -1.0, 1.0, &mut rng);
-        let b = Tensor::rand_uniform(&[70, 90], -1.0, 1.0, &mut rng);
+        let a = Tensor::rand_uniform(&[130, 300], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[300, 300], -1.0, 1.0, &mut rng);
         let bt = b.transpose();
         let at = a.transpose();
         let p1 = crate::pool::ThreadPool::new(1);
@@ -370,5 +325,59 @@ mod tests {
         assert_eq!(tn1.data(), tn4.data());
         assert_eq!(nt1.data(), nt4.data());
         assert_eq!(mv1.data(), mv4.data());
+    }
+
+    /// Backend choice must not change a single bit of any matmul variant.
+    #[test]
+    fn matmul_variants_bit_identical_across_backends() {
+        let mut rng = crate::TensorRng::seed(7);
+        let a = Tensor::rand_uniform(&[33, 70], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[70, 53], -2.0, 2.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let run = |be: Backend| {
+            crate::simd::with_backend(be, || {
+                (
+                    a.matmul(&b),
+                    at.matmul_tn(&b),
+                    a.matmul_nt(&bt),
+                    a.matvec(&bt.row_tensor(0)),
+                )
+            })
+        };
+        let (c_s, tn_s, nt_s, mv_s) = run(Backend::Scalar);
+        for be in [Backend::Avx2, Backend::Avx512] {
+            let (c, tn, nt, mv) = run(be);
+            assert_eq!(c_s.data(), c.data(), "matmul vs {}", be.name());
+            assert_eq!(tn_s.data(), tn.data(), "matmul_tn vs {}", be.name());
+            assert_eq!(nt_s.data(), nt.data(), "matmul_nt vs {}", be.name());
+            assert_eq!(mv_s.data(), mv.data(), "matvec vs {}", be.name());
+        }
+    }
+
+    /// Grain sizing: a sub-grain matmul must take the inline fast path on a
+    /// multi-thread pool, and a super-grain one must dispatch to workers.
+    #[test]
+    fn grain_sizing_inline_vs_dispatch() {
+        let p4 = crate::pool::ThreadPool::new(4);
+        crate::pool::with_pool(&p4, || {
+            let mut rng = crate::TensorRng::seed(3);
+            let small_a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+            let small_b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+            let before = p4.dispatched_jobs();
+            let _ = small_a.matmul(&small_b); // 64·64 MACs/row ⇒ grain ≫ 64 rows
+            assert_eq!(
+                p4.dispatched_jobs(),
+                before,
+                "sub-grain matmul must stay inline"
+            );
+            let big_a = Tensor::rand_uniform(&[64, 512], -1.0, 1.0, &mut rng);
+            let big_b = Tensor::rand_uniform(&[512, 512], -1.0, 1.0, &mut rng);
+            let _ = big_a.matmul(&big_b); // 512·512 MACs/row ⇒ 32-row chunks
+            assert!(
+                p4.dispatched_jobs() > before,
+                "super-grain matmul must dispatch to the pool"
+            );
+        });
     }
 }

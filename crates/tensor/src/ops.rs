@@ -3,27 +3,29 @@
 //! Elementwise ops are chunk-parallel on the [`crate::pool`] backend: the
 //! flat buffer is split into fixed [`ELEM_GRAIN`]-sized ranges (shape-derived,
 //! thread-count independent) and each element is written by exactly one task,
-//! so results are bit-identical to a sequential run. Reductions (`dot`,
-//! `norm_l2`) stay sequential to keep their accumulation order fixed.
+//! so results are bit-identical to a sequential run. The binary ops, `scale`,
+//! `add_assign`, `axpy`, and the row broadcasts dispatch through
+//! [`crate::simd`] (per-lane IEEE ops — backend choice never changes bits);
+//! generic `map` closures and the reductions (`dot`, `norm_l2`) stay scalar
+//! to keep their accumulation order fixed.
 
 use crate::pool;
+use crate::simd;
+use crate::simd::EwOp;
 use crate::Tensor;
 
-/// Elements per parallel task for elementwise kernels. Small tensors (the
-/// common case in this workspace) stay on the inline single-chunk path.
-const ELEM_GRAIN: usize = 32 * 1024;
+/// Elements per parallel task for elementwise kernels. These kernels are
+/// memory-bound (≲ 1 ns/element), so a chunk must be large for its compute
+/// to dwarf the ~650 ns dispatch cost; small tensors (the common case in
+/// this workspace) stay on the inline single-chunk path.
+const ELEM_GRAIN: usize = 128 * 1024;
 
 impl Tensor {
     // ------------------------------------------------------------------
     // Elementwise binary ops (shapes must match exactly)
     // ------------------------------------------------------------------
 
-    fn zip_with(
-        &self,
-        other: &Tensor,
-        op_name: &str,
-        f: impl Fn(f32, f32) -> f32 + Sync,
-    ) -> Tensor {
+    fn zip_with(&self, other: &Tensor, op_name: &str, op: EwOp) -> Tensor {
         assert_eq!(
             self.shape(),
             other.shape(),
@@ -32,11 +34,11 @@ impl Tensor {
             other.shape()
         );
         let (a, b) = (self.data(), other.data());
+        let be = simd::backend();
+        simd::note(be);
         let mut out = Tensor::zeros(self.shape());
         pool::for_rows(out.data_mut(), a.len(), 1, ELEM_GRAIN, |lo, hi, shard| {
-            for ((s, &x), &y) in shard.iter_mut().zip(&a[lo..hi]).zip(&b[lo..hi]) {
-                *s = f(x, y);
-            }
+            simd::ew(be, op, &a[lo..hi], &b[lo..hi], shard);
         });
         out
     }
@@ -45,13 +47,7 @@ impl Tensor {
     /// overwrites `out`, which must already have `self`'s shape (the pool
     /// hands out pre-shaped buffers). Identical op order to [`zip_with`],
     /// so results are bit-identical to the allocating path.
-    fn zip_with_into(
-        &self,
-        other: &Tensor,
-        op_name: &str,
-        out: &mut Tensor,
-        f: impl Fn(f32, f32) -> f32 + Sync,
-    ) {
+    fn zip_with_into(&self, other: &Tensor, op_name: &str, out: &mut Tensor, op: EwOp) {
         assert_eq!(
             self.shape(),
             other.shape(),
@@ -67,51 +63,51 @@ impl Tensor {
             self.shape()
         );
         let (a, b) = (self.data(), other.data());
+        let be = simd::backend();
+        simd::note(be);
         pool::for_rows(out.data_mut(), a.len(), 1, ELEM_GRAIN, |lo, hi, shard| {
-            for ((s, &x), &y) in shard.iter_mut().zip(&a[lo..hi]).zip(&b[lo..hi]) {
-                *s = f(x, y);
-            }
+            simd::ew(be, op, &a[lo..hi], &b[lo..hi], shard);
         });
     }
 
     /// Elementwise sum.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, "add", |a, b| a + b)
+        self.zip_with(other, "add", EwOp::Add)
     }
 
     /// Elementwise sum written into `out` (pre-shaped, fully overwritten).
     pub fn add_into(&self, other: &Tensor, out: &mut Tensor) {
-        self.zip_with_into(other, "add_into", out, |a, b| a + b)
+        self.zip_with_into(other, "add_into", out, EwOp::Add)
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, "sub", |a, b| a - b)
+        self.zip_with(other, "sub", EwOp::Sub)
     }
 
     /// Elementwise difference written into `out`.
     pub fn sub_into(&self, other: &Tensor, out: &mut Tensor) {
-        self.zip_with_into(other, "sub_into", out, |a, b| a - b)
+        self.zip_with_into(other, "sub_into", out, EwOp::Sub)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, "mul", |a, b| a * b)
+        self.zip_with(other, "mul", EwOp::Mul)
     }
 
     /// Elementwise product written into `out`.
     pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) {
-        self.zip_with_into(other, "mul_into", out, |a, b| a * b)
+        self.zip_with_into(other, "mul_into", out, EwOp::Mul)
     }
 
     /// Elementwise quotient.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.zip_with(other, "div", |a, b| a / b)
+        self.zip_with(other, "div", EwOp::Div)
     }
 
     /// Elementwise quotient written into `out`.
     pub fn div_into(&self, other: &Tensor, out: &mut Tensor) {
-        self.zip_with_into(other, "div_into", out, |a, b| a / b)
+        self.zip_with_into(other, "div_into", out, EwOp::Div)
     }
 
     /// In-place elementwise accumulate: `self += other`.
@@ -125,14 +121,15 @@ impl Tensor {
         );
         let b = other.data();
         let n = b.len();
+        let be = simd::backend();
+        simd::note(be);
         pool::for_rows(self.data_mut(), n, 1, ELEM_GRAIN, |lo, hi, shard| {
-            for (a, &bb) in shard.iter_mut().zip(&b[lo..hi]) {
-                *a += bb;
-            }
+            simd::add_assign(be, shard, &b[lo..hi]);
         });
     }
 
-    /// In-place `self += alpha * other` (axpy).
+    /// In-place `self += alpha * other` (axpy). The multiply and add stay
+    /// unfused on every backend, preserving the bits of the scalar loop.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(
             self.shape(),
@@ -143,10 +140,10 @@ impl Tensor {
         );
         let b = other.data();
         let n = b.len();
+        let be = simd::backend();
+        simd::note(be);
         pool::for_rows(self.data_mut(), n, 1, ELEM_GRAIN, |lo, hi, shard| {
-            for (a, &bb) in shard.iter_mut().zip(&b[lo..hi]) {
-                *a += alpha * bb;
-            }
+            simd::axpy(be, shard, alpha, &b[lo..hi]);
         });
     }
 
@@ -156,12 +153,31 @@ impl Tensor {
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|x| x * s)
+        let a = self.data();
+        let be = simd::backend();
+        simd::note(be);
+        let mut out = Tensor::zeros(self.shape());
+        pool::for_rows(out.data_mut(), a.len(), 1, ELEM_GRAIN, |lo, hi, shard| {
+            simd::scale(be, &a[lo..hi], s, shard);
+        });
+        out
     }
 
     /// Scaled copy written into `out` (pre-shaped, fully overwritten).
     pub fn scale_into(&self, s: f32, out: &mut Tensor) {
-        self.map_into(out, |x| x * s)
+        assert_eq!(
+            out.shape(),
+            self.shape(),
+            "Tensor::scale_into: destination shape {:?} for source {:?}",
+            out.shape(),
+            self.shape()
+        );
+        let a = self.data();
+        let be = simd::backend();
+        simd::note(be);
+        pool::for_rows(out.data_mut(), a.len(), 1, ELEM_GRAIN, |lo, hi, shard| {
+            simd::scale(be, &a[lo..hi], s, shard);
+        });
     }
 
     /// Adds `s` to every element.
@@ -232,14 +248,16 @@ impl Tensor {
             cols
         );
         let rows = self.rows();
-        let mut out = self.clone();
+        let a = self.data();
         let b = bias.data();
+        let be = simd::backend();
+        simd::note(be);
+        let mut out = Tensor::zeros(self.shape());
         let grain = (ELEM_GRAIN / cols.max(1)).max(1);
-        pool::for_rows(out.data_mut(), rows, cols, grain, |_, _, shard| {
-            for row in shard.chunks_mut(cols) {
-                for (x, &bb) in row.iter_mut().zip(b) {
-                    *x += bb;
-                }
+        pool::for_rows(out.data_mut(), rows, cols, grain, |lo, _, shard| {
+            for (ri, row) in shard.chunks_mut(cols).enumerate() {
+                let src = &a[(lo + ri) * cols..(lo + ri + 1) * cols];
+                simd::ew(be, EwOp::Add, src, b, row);
             }
         });
         out
@@ -267,13 +285,13 @@ impl Tensor {
         );
         let a = self.data();
         let b = bias.data();
+        let be = simd::backend();
+        simd::note(be);
         let grain = (ELEM_GRAIN / cols.max(1)).max(1);
         pool::for_rows(out.data_mut(), rows, cols, grain, |lo, _, shard| {
             for (ri, row) in shard.chunks_mut(cols).enumerate() {
                 let src = &a[(lo + ri) * cols..(lo + ri + 1) * cols];
-                for ((o, &x), &bb) in row.iter_mut().zip(src).zip(b) {
-                    *o = x + bb;
-                }
+                simd::ew(be, EwOp::Add, src, b, row);
             }
         });
     }
@@ -292,14 +310,16 @@ impl Tensor {
             cols
         );
         let rows = self.rows();
-        let mut out = self.clone();
+        let a = self.data();
         let s = scale.data();
+        let be = simd::backend();
+        simd::note(be);
+        let mut out = Tensor::zeros(self.shape());
         let grain = (ELEM_GRAIN / cols.max(1)).max(1);
-        pool::for_rows(out.data_mut(), rows, cols, grain, |_, _, shard| {
-            for row in shard.chunks_mut(cols) {
-                for (x, &ss) in row.iter_mut().zip(s) {
-                    *x *= ss;
-                }
+        pool::for_rows(out.data_mut(), rows, cols, grain, |lo, _, shard| {
+            for (ri, row) in shard.chunks_mut(cols).enumerate() {
+                let src = &a[(lo + ri) * cols..(lo + ri + 1) * cols];
+                simd::ew(be, EwOp::Mul, src, s, row);
             }
         });
         out
@@ -326,13 +346,13 @@ impl Tensor {
         );
         let a = self.data();
         let s = scale.data();
+        let be = simd::backend();
+        simd::note(be);
         let grain = (ELEM_GRAIN / cols.max(1)).max(1);
         pool::for_rows(out.data_mut(), rows, cols, grain, |lo, _, shard| {
             for (ri, row) in shard.chunks_mut(cols).enumerate() {
                 let src = &a[(lo + ri) * cols..(lo + ri + 1) * cols];
-                for ((o, &x), &ss) in row.iter_mut().zip(src).zip(s) {
-                    *o = x * ss;
-                }
+                simd::ew(be, EwOp::Mul, src, s, row);
             }
         });
     }

@@ -172,7 +172,12 @@ impl ThreadPool {
             panic: Mutex::new(None),
         });
         self.dispatched.fetch_add(1, Ordering::Relaxed);
-        for tx in &self.senders {
+        // Wake only as many workers as there are tasks beyond the caller's
+        // own: waking the full pool for a 2-task region just burns context
+        // switches (worst on boxes with fewer cores than pool threads).
+        // Which workers wake can never matter — task claiming is
+        // first-come over a fixed index→shard mapping.
+        for tx in self.senders.iter().take(n_tasks - 1) {
             // Send failure means the worker died, which only happens if a
             // worker thread itself was killed; the owner still completes
             // the job by draining the counter below.
@@ -302,15 +307,43 @@ impl<T> SendPtr<T> {
     }
 }
 
+/// Elements of one 64-byte cache line (`f32`), the false-sharing unit.
+const LINE_F32: usize = 16;
+
+const fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Rounds a row grain up so every chunk spans a whole number of 64-byte
+/// cache lines (where `cols` permits — for `cols` sharing no factor with
+/// 16 the smallest such multiple is 16 rows). Adjacent chunks then never
+/// write the same line, so workers do not ping-pong a shared line at shard
+/// boundaries (false sharing). Inputs are shape-derived only, so the
+/// partition stays thread-count independent.
+fn align_grain(grain: usize, cols: usize) -> usize {
+    if cols == 0 {
+        return grain;
+    }
+    let step = LINE_F32 / gcd(cols, LINE_F32);
+    grain.div_ceil(step) * step
+}
+
 /// Splits `out` (a `rows × cols` row-major buffer) into row ranges of
 /// `grain` rows and runs `f(lo, hi, &mut out[lo*cols..hi*cols])` for each,
 /// in parallel on the current pool.
 ///
-/// The partition depends only on `(rows, grain)`, and each output row is
-/// written by exactly one task, so results are bit-identical at any thread
-/// count. `f` must compute rows independently of the chunk bounds it is
-/// handed. With one thread or a single chunk, `f(0, rows, out)` is called
-/// directly on the caller thread.
+/// The grain is first rounded up by [`align_grain`] so chunk boundaries
+/// fall on cache-line offsets. The partition depends only on
+/// `(rows, cols, grain)`, and each output row is written by exactly one
+/// task, so results are bit-identical at any thread count. `f` must compute
+/// rows independently of the chunk bounds it is handed. With one thread or
+/// a single chunk, `f(0, rows, out)` is called directly on the caller
+/// thread.
 pub fn for_rows<F>(out: &mut [f32], rows: usize, cols: usize, grain: usize, f: F)
 where
     F: Fn(usize, usize, &mut [f32]) + Sync,
@@ -319,7 +352,7 @@ where
     if rows == 0 {
         return;
     }
-    let grain = grain.max(1);
+    let grain = align_grain(grain.max(1), cols);
     let chunks = rows.div_ceil(grain);
     with_current(|pool| {
         if pool.threads() <= 1 || chunks <= 1 {
@@ -471,6 +504,25 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn align_grain_covers_whole_cache_lines() {
+        // Chunk size in elements must be a multiple of 16 f32 (one line).
+        for cols in [1usize, 2, 3, 4, 7, 8, 16, 48, 50, 90, 256] {
+            for grain in [1usize, 2, 5, 23, 64] {
+                let g = align_grain(grain, cols);
+                assert!(g >= grain, "never shrink: cols={cols} grain={grain}");
+                assert_eq!(
+                    (g * cols) % LINE_F32,
+                    0,
+                    "chunk not line-aligned: cols={cols} grain={grain} -> {g}"
+                );
+            }
+        }
+        // Already-aligned grains pass through unchanged.
+        assert_eq!(align_grain(4, 16), 4);
+        assert_eq!(align_grain(7, 0), 7);
     }
 
     #[test]

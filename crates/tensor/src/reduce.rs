@@ -6,10 +6,13 @@
 //! accumulation order so results stay bit-identical at any thread count.
 
 use crate::pool;
+use crate::simd;
 use crate::Tensor;
 
 /// Target elements per parallel task for row-parallel normalisations.
-const ROW_GRAIN_ELEMS: usize = 8 * 1024;
+/// Softmax costs ~5 ns/element (the `exp`), so a chunk runs for ≫ the
+/// ~650 ns dispatch cost; typical logit matrices stay on the inline path.
+const ROW_GRAIN_ELEMS: usize = 64 * 1024;
 
 impl Tensor {
     /// Sum of all elements.
@@ -214,22 +217,19 @@ impl Tensor {
     }
 
     /// Row-wise softmax of a rank-2 tensor. Rows are independent, so this is
-    /// row-parallel with bit-identical results at any thread count.
+    /// row-parallel with bit-identical results at any thread count. The row
+    /// max and partition-function sum use the fixed 8-lane reduction
+    /// structure of [`crate::simd`] (identical on every backend); the `exp`
+    /// stays scalar.
     pub fn softmax_rows(&self) -> Tensor {
         let (rows, cols) = (self.rows(), self.cols());
         let mut out = self.clone();
+        let be = simd::backend();
+        simd::note(be);
         let grain = (ROW_GRAIN_ELEMS / cols.max(1)).max(1);
         pool::for_rows(out.data_mut(), rows, cols, grain, |_, _, shard| {
             for row in shard.chunks_mut(cols) {
-                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut z = 0.0;
-                for x in row.iter_mut() {
-                    *x = (*x - m).exp();
-                    z += *x;
-                }
-                for x in row.iter_mut() {
-                    *x /= z;
-                }
+                softmax_row_in_place(be, row);
             }
         });
         out
@@ -249,22 +249,28 @@ impl Tensor {
             self.shape()
         );
         let a = self.data();
+        let be = simd::backend();
+        simd::note(be);
         let grain = (ROW_GRAIN_ELEMS / cols.max(1)).max(1);
         pool::for_rows(out.data_mut(), rows, cols, grain, |lo, hi, shard| {
             shard.copy_from_slice(&a[lo * cols..hi * cols]);
             for row in shard.chunks_mut(cols) {
-                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut z = 0.0;
-                for x in row.iter_mut() {
-                    *x = (*x - m).exp();
-                    z += *x;
-                }
-                for x in row.iter_mut() {
-                    *x /= z;
-                }
+                softmax_row_in_place(be, row);
             }
         });
     }
+}
+
+/// Shared per-row normalisation of the row-parallel softmax kernels:
+/// lane-structured max, scalar `exp`, lane-structured sum, per-lane divide.
+#[inline]
+fn softmax_row_in_place(be: simd::Backend, row: &mut [f32]) {
+    let m = simd::row_max(be, row);
+    for x in row.iter_mut() {
+        *x = (*x - m).exp();
+    }
+    let z = simd::row_sum(be, row);
+    simd::div_inplace(be, row, z);
 }
 
 #[cfg(test)]

@@ -7,8 +7,15 @@
 //! a destination drawn from a deliberately dirtied [`BufferPool`] (the pool
 //! re-zeroes on alloc) and with a plain poisoned buffer that the kernel must
 //! fully overwrite, at one and several worker threads.
+//!
+//! The second block extends the contract across SIMD backends: every kernel
+//! must produce the same bits under the scalar fallback and under each
+//! vector backend, again at 1 and 4 threads with pool-poisoned
+//! destinations. (On hardware without a given instruction set the request
+//! clamps to the best available, so the comparison degrades gracefully.)
 
 use imre_tensor::pool::{self, ThreadPool};
+use imre_tensor::simd::{self, Backend};
 use imre_tensor::{BufferPool, Tensor};
 use proptest::prelude::*;
 
@@ -209,5 +216,99 @@ proptest! {
             t.data_mut().iter_mut().for_each(|v| *v = 3.25);
             pool.recycle(t);
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// SIMD vs scalar bit-identity
+// ----------------------------------------------------------------------
+
+/// Runs `f` under the scalar backend and under each vector backend, each at
+/// 1 and 4 pool threads; asserts every combination produces identical bits
+/// and returns the scalar result.
+fn across_backends_and_threads(mut f: impl FnMut() -> Tensor) -> Tensor {
+    let reference = simd::with_backend(Backend::Scalar, || at_both_thread_counts(&mut f));
+    for be in [Backend::Avx2, Backend::Avx512] {
+        let got = simd::with_backend(be, || at_both_thread_counts(&mut f));
+        assert_eq!(
+            reference.data(),
+            got.data(),
+            "backend {} changed the bits",
+            be.name()
+        );
+    }
+    reference
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Matmul family: `n` ranges past the 64-wide AVX-512 tile, the 48-wide
+    // AVX2 tile, the 16/8-wide tails, and the scalar remainder; `matmul_into`
+    // additionally accumulates into a pool-poisoned (re-zeroed) destination.
+    #[test]
+    fn matmul_family_bitwise_matches_across_backends(
+        m in 1usize..12, k in 1usize..48, n in 1usize..140, seed in 0u64..1000
+    ) {
+        let mut rng = imre_tensor::TensorRng::seed(seed);
+        let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, &mut rng);
+        let at = a.transpose();
+        let bt = b.transpose();
+        let _ = across_backends_and_threads(|| a.matmul(&b));
+        let _ = across_backends_and_threads(|| at.matmul_tn(&b));
+        let _ = across_backends_and_threads(|| a.matmul_nt(&bt));
+        let _ = across_backends_and_threads(|| a.matvec(&bt.row_tensor(0)));
+        let mut pool = dirty_pool(&[&[m, n]]);
+        let _ = across_backends_and_threads(|| {
+            let mut out = pool.alloc(&[m, n]);
+            imre_tensor::matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+            let r = out.clone();
+            pool.recycle(out);
+            r
+        });
+    }
+
+    // Elementwise kernels: lengths cross the 8-lane width and its tail.
+    #[test]
+    fn elementwise_bitwise_matches_across_backends(
+        len in 1usize..80, s in -3.0f32..3.0, seed in 0u64..1000
+    ) {
+        let mut rng = imre_tensor::TensorRng::seed(seed);
+        let a = Tensor::rand_uniform(&[len], -5.0, 5.0, &mut rng);
+        let b = Tensor::rand_uniform(&[len], -5.0, 5.0, &mut rng);
+        let _ = across_backends_and_threads(|| a.add(&b));
+        let _ = across_backends_and_threads(|| a.sub(&b));
+        let _ = across_backends_and_threads(|| a.mul(&b));
+        let _ = across_backends_and_threads(|| a.div(&b));
+        let _ = across_backends_and_threads(|| a.scale(s));
+        let _ = across_backends_and_threads(|| {
+            let mut acc = a.clone();
+            acc.add_assign(&b);
+            acc.axpy(s, &b);
+            acc
+        });
+    }
+
+    // Softmax rows and broadcasts: per-row reductions use the fixed 8-lane
+    // structure; widths cross the lane width and its tail.
+    #[test]
+    fn rowwise_bitwise_matches_across_backends(
+        rows in 1usize..10, cols in 1usize..40, seed in 0u64..1000
+    ) {
+        let mut rng = imre_tensor::TensorRng::seed(seed);
+        let m = Tensor::rand_uniform(&[rows, cols], -4.0, 4.0, &mut rng);
+        let bias = Tensor::rand_uniform(&[cols], -2.0, 2.0, &mut rng);
+        let _ = across_backends_and_threads(|| m.softmax_rows());
+        let _ = across_backends_and_threads(|| m.add_row_broadcast(&bias));
+        let _ = across_backends_and_threads(|| m.mul_row_broadcast(&bias));
+        let mut pool = dirty_pool(&[m.shape()]);
+        let _ = across_backends_and_threads(|| {
+            let mut out = pool.alloc(m.shape());
+            m.softmax_rows_into(&mut out);
+            let r = out.clone();
+            pool.recycle(out);
+            r
+        });
     }
 }

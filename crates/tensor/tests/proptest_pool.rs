@@ -1,9 +1,10 @@
 //! Property-based determinism tests for the thread-pool compute backend:
 //! every kernel must produce **bit-identical** results on a 1-thread and an
-//! N-thread pool. Shapes are drawn large enough to cross the parallel grain,
-//! so the N-thread run genuinely dispatches work to workers (asserted via
-//! the dispatch counter), and comparisons use exact `==` on the raw f32
-//! buffers — no tolerance.
+//! N-thread pool. Shape ranges straddle the parallel grains, so cases land
+//! on both the inline fast path and genuine multi-chunk dispatch (a
+//! dedicated test pins that a super-grain matmul really dispatches, via the
+//! counter), and comparisons use exact `==` on the raw f32 buffers — no
+//! tolerance.
 
 use imre_tensor::pool::{with_pool, ThreadPool};
 use imre_tensor::{Tensor, TensorRng};
@@ -25,10 +26,11 @@ fn mat(rows: usize, cols: usize, seed: u64) -> Tensor {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    // A·B, AᵀB, A·Bᵀ: identical bits at 1 and 4 threads for shapes big
-    // enough that the 4-thread run splits into many row chunks.
+    // A·B, AᵀB, A·Bᵀ: identical bits at 1 and 4 threads. The ranges reach
+    // past the ~8 Mi-MAC grain (k·n up to 65 536 MACs/row ⇒ chunks of
+    // ~128 rows), so large draws split into several row chunks.
     #[test]
-    fn matmul_family_bit_identical(m in 96usize..200, k in 48usize..96, n in 48usize..96, seed in 0u64..1000) {
+    fn matmul_family_bit_identical(m in 150usize..300, k in 128usize..256, n in 128usize..256, seed in 0u64..1000) {
         let a = mat(m, k, seed);
         let b = mat(k, n, seed ^ 0x9e37);
         let at = a.transpose();
@@ -41,17 +43,19 @@ proptest! {
         prop_assert_eq!(nt1.data(), nt4.data());
     }
 
-    // Row-parallel softmax: identical bits per row at any thread count.
+    // Row-parallel softmax: identical bits per row at any thread count;
+    // row counts straddle the 64 Ki-element grain.
     #[test]
-    fn softmax_rows_bit_identical(rows in 64usize..200, cols in 8usize..64, seed in 0u64..1000) {
+    fn softmax_rows_bit_identical(rows in 600usize..1600, cols in 8usize..64, seed in 0u64..1000) {
         let x = mat(rows, cols, seed);
         let (s1, s4) = on_1_and_4(|| x.softmax_rows());
         prop_assert_eq!(s1.data(), s4.data());
     }
 
-    // Chunk-parallel elementwise ops (including in-place accumulate).
+    // Chunk-parallel elementwise ops (including in-place accumulate);
+    // lengths straddle the 128 Ki-element grain.
     #[test]
-    fn elementwise_bit_identical(len in 60_000usize..120_000, seed in 0u64..1000) {
+    fn elementwise_bit_identical(len in 100_000usize..300_000, seed in 0u64..1000) {
         let mut rng = TensorRng::seed(seed);
         let a = Tensor::rand_uniform(&[len], -3.0, 3.0, &mut rng);
         let b = Tensor::rand_uniform(&[len], -3.0, 3.0, &mut rng);
@@ -76,19 +80,20 @@ proptest! {
     }
 }
 
-/// The N-thread runs above must actually exercise the parallel path; this
-/// pins the shapes used there above the dispatch threshold.
+/// A super-grain matmul must genuinely dispatch to workers; this pins the
+/// multi-chunk path the properties above rely on for their large draws
+/// (512·512 MACs/row ⇒ 32-row chunks under the ~8 Mi-MAC grain).
 #[test]
 fn four_thread_pool_actually_dispatches() {
     let p4 = ThreadPool::new(4);
-    let a = mat(96, 48, 7);
-    let b = mat(48, 48, 8);
+    let a = mat(64, 512, 7);
+    let b = mat(512, 512, 8);
     with_pool(&p4, || {
         let _ = a.matmul(&b);
     });
     assert!(
         p4.dispatched_jobs() > 0,
-        "matmul at the smallest proptest shape must cross the parallel grain"
+        "a super-grain matmul must cross the parallel grain"
     );
 }
 

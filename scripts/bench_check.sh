@@ -14,10 +14,17 @@
 #   - keys ending in `_ns` (latency) or containing `allocs` (steady-state
 #     allocation budgets, committed at 0 so any fresh allocation fails) are
 #     lower-is-better; everything else is higher-is-better (throughput);
+#   - keys starting with `floor_` are lower-bound gates for ratios that
+#     must never invert (thread-scaling speedups, the SIMD-over-scalar
+#     matmul ratio): the fresh value must stay at or above
+#     `max(baseline, 1.0) * (1 - tol)`. Raising the bar to at least 1.0
+#     means a speedup curve that collapses below parity fails even where
+#     the committed baseline was measured on a box too small to scale;
 #   - keys starting with `info_` are informational and never gate
-#     (machine-dependent speedup ratios, plus the serve lifecycle counters
-#     `info_serve_deadline_expired` / `info_serve_shed` that serve_throughput
-#     records so the artifact shows whether a run shed work);
+#     (machine-dependent raw multi-thread throughputs, plus the serve
+#     lifecycle counters `info_serve_deadline_expired` / `info_serve_shed`
+#     that serve_throughput records so the artifact shows whether a run
+#     shed work);
 #   - a gated key regressing by more than BENCH_TOL (default 0.15 = 15%)
 #     fails the script; so does a baseline key missing from the fresh run.
 #
@@ -88,12 +95,24 @@ awk -v tol="$TOL" '
                 continue
             }
             b = base[key]; c = cur[key]
+            if (key ~ /^floor_/) {
+                # Lower-bound ratio: must hold >= max(baseline, 1.0) within
+                # tolerance, so an inverted speedup curve always fails.
+                bound = (b > 1.0) ? b : 1.0
+                regressed = (c < bound * (1 - tol))
+                delta = (bound != 0) ? (c - bound) / bound * 100 : 0
+                verdict = regressed ? "FAIL" : "ok"
+                printf "%-5s %-32s bound=%-11.4g cur=%-12.4g (%+.1f%%, floor)\n", \
+                    verdict, key, bound, c, delta
+                if (regressed) bad = 1
+                continue
+            }
             lower = (key ~ /_ns$/ || key ~ /allocs/)
             if (lower) { regressed = (c > b * (1 + tol)) } \
             else       { regressed = (c < b * (1 - tol)) }
             delta = (b != 0) ? (c - b) / b * 100 : 0
             verdict = regressed ? "FAIL" : "ok"
-            printf "%-5s %-28s base=%-12.4g cur=%-12.4g (%+.1f%%, %s better)\n", \
+            printf "%-5s %-32s base=%-12.4g cur=%-12.4g (%+.1f%%, %s better)\n", \
                 verdict, key, b, c, delta, (lower ? "lower" : "higher")
             if (regressed) bad = 1
         }

@@ -4,12 +4,13 @@
 #
 # Usage:
 #   scripts/ci.sh                # full gate: fmt, clippy, build, test,
-#                                # serve-faults, alloc-gate, knn, bench
-#   scripts/ci.sh --fast         # quick gate: fmt, clippy, test
+#                                # serve-faults, alloc-gate, train-dp, knn,
+#                                # simd, bench
+#   scripts/ci.sh --fast         # quick gate: fmt, clippy, test, serve-faults
 #                                # (skips the release build and bench smoke)
 #   scripts/ci.sh <step>...      # run only the named steps, in order:
 #                                #   fmt clippy build test serve-faults
-#                                #   alloc-gate train-dp knn bench
+#                                #   alloc-gate train-dp knn simd bench
 #
 # Steps:
 #   fmt     cargo fmt --check over the whole workspace
@@ -41,14 +42,25 @@
 #           kNN index must serve, two index builds (--threads 1 vs 4) must
 #           be byte-identical, and `imre eval --knn` must report the
 #           per-bucket table
+#   simd    the SIMD kernel gate: the bit-identity proptests and the
+#           dispatch suite run twice — once with runtime detection (on
+#           capable hardware the dispatch counters must show the vector
+#           path was really taken) and once under IMRE_FORCE_SCALAR=1, so
+#           the scalar fallback stays exercised on every runner
 #   bench   1ms-sample smoke of the serving + kernel-scaling benches, which
 #           also executes their embedded assertions (dispatch fast path,
 #           batched == unbatched); with CI_BENCH_GATE=1 it then runs
 #           scripts/bench_check.sh, the >15% regression gate against the
 #           committed BENCH_PR2.json
 #
+# Per-step wall-clock timings are printed in the summary and appended as
+# JSON lines to target/ci/step_timings.jsonl, which CI uploads as an
+# artifact next to the bench JSON.
+#
 # Environment:
-#   CI_BENCH_GATE=1   enable the bench-regression gate in the bench step
+#   CI_BENCH_GATE=1     enable the bench-regression gate in the bench step
+#   IMRE_FORCE_SCALAR=1 pin the scalar kernels (the simd step sets this
+#                       itself for its second pass)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +79,11 @@ run_step() {
     STEP_NAMES+=("$name")
     STEP_MS+=("$ms")
     printf -- '--- %s: %d.%03ds ---\n' "$name" $((ms / 1000)) $((ms % 1000))
+    # Append-only log: CI invokes ci.sh once per workflow step in the same
+    # workspace, so the artifact accumulates every step of the job.
+    mkdir -p target/ci
+    printf '{"ts":%d,"step":"%s","ms":%d}\n' "$(date +%s)" "$name" "$ms" \
+        >>target/ci/step_timings.jsonl
 }
 
 step_fmt() {
@@ -184,6 +201,23 @@ step_train_dp() {
     fi
 }
 
+step_simd() {
+    # Pass 1 — runtime detection: bit-identity of every *_into kernel at 1
+    # and 4 threads, plus the dispatch suite, which asserts via the
+    # dispatch-path counters that SIMD-capable hardware really took the
+    # vector path (counted, not inferred).
+    cargo test --offline -q -p imre-tensor --test proptest_into_kernels
+    cargo test --offline -q -p imre-tensor --test simd_dispatch
+    cargo test --offline -q -p imre-tensor --test proptest_pool
+
+    # Pass 2 — forced scalar fallback: the same suites must hold with the
+    # vector kernels pinned off, so the fallback path stays green on every
+    # runner regardless of what the CPU reports.
+    IMRE_FORCE_SCALAR=1 cargo test --offline -q -p imre-tensor --test proptest_into_kernels
+    IMRE_FORCE_SCALAR=1 cargo test --offline -q -p imre-tensor --test simd_dispatch
+    echo "simd: vector and forced-scalar passes both green"
+}
+
 step_bench() {
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_throughput
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench knn_serve
@@ -196,10 +230,10 @@ step_bench() {
 
 case "${1:-}" in
 --fast)
-    steps=(fmt clippy test)
+    steps=(fmt clippy test serve-faults)
     ;;
 "")
-    steps=(fmt clippy build test serve-faults alloc-gate train-dp knn bench)
+    steps=(fmt clippy build test serve-faults alloc-gate train-dp knn simd bench)
     ;;
 *)
     steps=("$@")
@@ -208,12 +242,12 @@ esac
 
 for s in "${steps[@]}"; do
     case "$s" in
-    fmt | clippy | build | test | knn | bench) run_step "$s" "step_$s" ;;
+    fmt | clippy | build | test | knn | simd | bench) run_step "$s" "step_$s" ;;
     serve-faults) run_step "$s" step_serve_faults ;;
     alloc-gate) run_step "$s" step_alloc_gate ;;
     train-dp) run_step "$s" step_train_dp ;;
     *)
-        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults alloc-gate train-dp knn bench)" >&2
+        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults alloc-gate train-dp knn simd bench)" >&2
         exit 2
         ;;
     esac
@@ -222,6 +256,6 @@ done
 printf '\n=== ci.sh summary ===\n'
 for i in "${!STEP_NAMES[@]}"; do
     ms=${STEP_MS[$i]}
-    printf '%-8s %6d.%03ds\n' "${STEP_NAMES[$i]}" $((ms / 1000)) $((ms % 1000))
+    printf '%-12s %6d.%03ds\n' "${STEP_NAMES[$i]}" $((ms / 1000)) $((ms % 1000))
 done
 printf 'ci.sh: all gates passed\n'
