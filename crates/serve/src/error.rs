@@ -44,6 +44,16 @@ pub enum ServeError {
     /// no index section — rebuild the bundle with one (`imre train` builds
     /// it by default).
     NoKnnIndex,
+    /// The front end refused the work because a connection-level limit was
+    /// hit: the global connection cap, the per-connection in-flight cap, or
+    /// an accept-path resource failure (e.g. thread spawn / fd exhaustion).
+    /// The caller should back off and retry — nothing was enqueued.
+    ServerBusy {
+        /// Which limit was hit (`"connections"` or `"in-flight"`).
+        what: &'static str,
+        /// The configured limit that was reached.
+        limit: usize,
+    },
 }
 
 impl ServeError {
@@ -60,6 +70,7 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad-request",
             ServeError::BadArtifact(_) => "bad-artifact",
             ServeError::NoKnnIndex => "no-knn-index",
+            ServeError::ServerBusy { .. } => "server-busy",
         }
     }
 }
@@ -88,6 +99,9 @@ impl fmt::Display for ServeError {
                 f,
                 "model has no kNN index section; rebuild the bundle with one"
             ),
+            ServeError::ServerBusy { what, limit } => {
+                write!(f, "server busy: {what} limit ({limit}) reached")
+            }
         }
     }
 }
@@ -111,9 +125,21 @@ mod tests {
             ServeError::BadRequest("x".into()),
             ServeError::BadArtifact("x".into()),
             ServeError::NoKnnIndex,
+            ServeError::ServerBusy {
+                what: "connections",
+                limit: 1,
+            },
         ];
         let codes: std::collections::HashSet<_> = all.iter().map(|e| e.code()).collect();
         assert_eq!(codes.len(), all.len());
         assert_eq!(ServeError::QueueFull { capacity: 4 }.code(), "queue-full");
+        assert_eq!(
+            ServeError::ServerBusy {
+                what: "in-flight",
+                limit: 32,
+            }
+            .code(),
+            "server-busy"
+        );
     }
 }

@@ -118,6 +118,20 @@ pub struct Metrics {
     pub shed: AtomicU64,
     /// Currently open TCP connections (gauge, not a counter).
     pub active_connections: AtomicU64,
+    /// Connections admitted by the front end over its lifetime.
+    pub conns_opened: AtomicU64,
+    /// Connections refused at accept time because the global connection cap
+    /// was hit, or because the front end could not allocate resources for
+    /// the connection (e.g. thread spawn failure). Each one got a
+    /// best-effort `server-busy` reply before the socket was closed.
+    pub rejected_conn_cap: AtomicU64,
+    /// Requests refused with `server-busy` because the connection already
+    /// had the maximum number of pipelined requests in flight.
+    pub rejected_inflight: AtomicU64,
+    /// `accept(2)` failures other than "no connection waiting" (e.g. EMFILE
+    /// fd exhaustion). The accept path backs off exponentially on these
+    /// instead of spinning.
+    pub accept_errors: AtomicU64,
     /// Forward-pass tensor requests served from a worker's recycled buffer
     /// arena (no heap allocation).
     pub pool_hits: AtomicU64,
@@ -175,6 +189,15 @@ impl Metrics {
             self.deadline_expired.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
             self.active_connections.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "conns: active={} opened={} rejected_conn_cap={} rejected_inflight={} accept_errors={}",
+            self.active_connections.load(Ordering::Relaxed),
+            self.conns_opened.load(Ordering::Relaxed),
+            self.rejected_conn_cap.load(Ordering::Relaxed),
+            self.rejected_inflight.load(Ordering::Relaxed),
+            self.accept_errors.load(Ordering::Relaxed),
         );
         let _ = writeln!(out, "batches: count={batches} mean_size={mean_batch:.2}");
         let completed = self.completed.load(Ordering::Relaxed);
@@ -256,6 +279,25 @@ mod tests {
         assert!(
             text.contains("lifecycle: deadline_expired=1 shed=2 active_connections=1"),
             "lifecycle line missing or wrong:\n{text}"
+        );
+    }
+
+    #[test]
+    fn render_contains_conns_line() {
+        let m = Metrics::default();
+        Metrics::inc(&m.active_connections);
+        Metrics::inc(&m.conns_opened);
+        Metrics::inc(&m.conns_opened);
+        Metrics::inc(&m.rejected_conn_cap);
+        Metrics::inc(&m.rejected_inflight);
+        Metrics::inc(&m.rejected_inflight);
+        Metrics::inc(&m.rejected_inflight);
+        let text = m.render();
+        assert!(
+            text.contains(
+                "conns: active=1 opened=2 rejected_conn_cap=1 rejected_inflight=3 accept_errors=0"
+            ),
+            "conns line missing or wrong:\n{text}"
         );
     }
 

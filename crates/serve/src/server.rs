@@ -28,6 +28,17 @@ use std::time::Duration;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
+/// Accept-error backoff bounds: the first EMFILE/ENFILE-style failure waits
+/// `ACCEPT_BACKOFF_MIN`, doubling per consecutive failure up to the max, so
+/// fd exhaustion never turns the accept loop into a hot error spin.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// Reap finished connection handles whenever the live list reaches this
+/// floor (and thereafter a doubling watermark), keeping the reap cost
+/// amortized O(1) per accepted connection.
+const REAP_WATERMARK_MIN: usize = 64;
+
 /// How long a connection thread blocks in a read before re-checking the
 /// stop flag. This bounds how stale a [`TcpServer::stop`] can find any
 /// connection thread: every one notices the flag within one `READ_POLL`.
@@ -98,8 +109,22 @@ struct ConnectionGuard {
 impl ConnectionGuard {
     fn new(handle: ServeHandle) -> ConnectionGuard {
         Metrics::inc(&handle.metrics().active_connections);
+        Metrics::inc(&handle.metrics().conns_opened);
         ConnectionGuard { handle }
     }
+}
+
+/// Tells a connection the server cannot take it right now, then closes it.
+/// Best-effort: the peer may already be gone, and we never block the accept
+/// path on a slow receiver.
+fn reject_busy(stream: &TcpStream, limit: usize) {
+    let err = crate::error::ServeError::ServerBusy {
+        what: "connections",
+        limit,
+    };
+    let line = format!("{}\n\n", crate::protocol::format_error(&err));
+    stream.set_nonblocking(true).ok();
+    let _ = (&*stream).write_all(line.as_bytes());
 }
 
 impl Drop for ConnectionGuard {
@@ -110,28 +135,62 @@ impl Drop for ConnectionGuard {
 
 fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &Arc<AtomicBool>) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    // Doubling watermark: reap whenever the handle list reaches it, then
+    // reset it to twice the number of live handles. A server under sustained
+    // accept traffic never hits the idle (WouldBlock) branch, so reaping
+    // must not depend on it — without this, one handle leaks per connection
+    // for the lifetime of the server.
+    let mut reap_at = REAP_WATERMARK_MIN;
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let handle = handle.clone();
-                let stop = Arc::clone(stop);
+                backoff = ACCEPT_BACKOFF_MIN;
+                if connections.len() >= reap_at {
+                    connections.retain(|h| !h.is_finished());
+                    reap_at = (connections.len() * 2).max(REAP_WATERMARK_MIN);
+                }
+                // The stream is shared so that a failed spawn can still
+                // answer the client instead of silently dropping the
+                // accepted socket.
+                let stream = Arc::new(stream);
+                let conn_stream = Arc::clone(&stream);
+                let conn_handle = handle.clone();
+                let conn_stop = Arc::clone(stop);
                 let spawned = std::thread::Builder::new()
                     .name("imre-serve-conn".to_string())
                     .spawn(move || {
-                        let _guard = ConnectionGuard::new(handle.clone());
-                        let _ = serve_connection(stream, &handle, &stop);
+                        let _guard = ConnectionGuard::new(conn_handle.clone());
+                        let _ = serve_connection(&conn_stream, &conn_handle, &conn_stop);
                     });
-                if let Ok(h) = spawned {
-                    connections.push(h);
+                match spawned {
+                    Ok(h) => connections.push(h),
+                    Err(_) => {
+                        // Thread spawn failed (resource exhaustion): tell
+                        // the client we are overloaded, count it, and back
+                        // off before accepting more.
+                        Metrics::inc(&handle.metrics().rejected_conn_cap);
+                        reject_busy(&stream, connections.len());
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                // Reap finished connection threads so a long-lived server
-                // does not accumulate handles without bound.
+                // Idle: reap finished connection threads and poll the stop
+                // flag again.
                 connections.retain(|h| !h.is_finished());
+                reap_at = (connections.len() * 2).max(REAP_WATERMARK_MIN);
                 std::thread::sleep(ACCEPT_POLL);
             }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => {
+                // Real accept failure (EMFILE/ENFILE under fd pressure):
+                // count it and back off exponentially rather than spinning
+                // on an error that will not clear instantly.
+                Metrics::inc(&handle.metrics().accept_errors);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
         }
     }
     // Bounded drain: every connection thread sees the stop flag within one
@@ -141,10 +200,10 @@ fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &Arc<AtomicBo
     }
 }
 
-fn serve_connection(stream: TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> io::Result<()> {
+fn serve_connection(stream: &TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_POLL))?;
-    let mut writer = stream.try_clone()?;
+    let mut writer = stream;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
