@@ -46,6 +46,13 @@ USAGE:
                   on requests that do not set knn= (0 = off, the default)
                   [--knn-lambda L]   default interpolation weight λ ∈ [0,1]
                   for requests that do not set lambda= (default 0.3)
+                  [--max-connections N]   global connection cap; arrivals
+                  beyond it get err server-busy and close (default 1024)
+                  [--max-inflight-per-conn N]   pipelined requests one
+                  connection may have in the engine at once (default 32)
+                  [--frontend <auto|epoll|threads>]   accept/connection
+                  implementation (default auto: epoll on linux; the env var
+                  IMRE_SERVE_FRONTEND overrides auto)
 
 GLOBAL FLAGS (any subcommand):
   --threads N     size of the compute thread pool (default: IMRE_THREADS env
@@ -333,6 +340,23 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         knn_lambda,
     };
 
+    let frontend = match flags.optional("frontend").unwrap_or("auto") {
+        "auto" => imre_serve::FrontendKind::Auto,
+        "epoll" => imre_serve::FrontendKind::EventLoop,
+        "threads" => imre_serve::FrontendKind::Threads,
+        other => {
+            return Err(usage(format!(
+                "--frontend must be auto, epoll, or threads, got {other:?}"
+            )))
+        }
+    };
+    let frontend_config = imre_serve::FrontendConfig {
+        frontend,
+        max_connections: flags.number("max-connections", 1024usize)?.max(1),
+        max_inflight_per_conn: flags.number("max-inflight-per-conn", 32usize)?.max(1),
+        ..imre_serve::FrontendConfig::default()
+    };
+
     let registry = std::sync::Arc::new(imre_serve::Registry::new());
     registry.load_file(name, &bundle_path)?;
     let model = registry.get(name).expect("model registered above");
@@ -344,7 +368,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         model.bundle().vocab.len(),
     );
     let handle = imre_serve::ServeHandle::start(registry, config);
-    let server = imre_serve::TcpServer::spawn(handle.clone(), addr)?;
+    let server = imre_serve::TcpServer::spawn_with(handle.clone(), addr, frontend_config)?;
     let bound = server.local_addr();
     println!(
         "listening on {bound} — try: echo ping | nc {} {}",
@@ -363,6 +387,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         },
         config.knn_k,
         config.knn_lambda,
+    );
+    println!(
+        "frontend={:?} max_connections={} max_inflight_per_conn={}",
+        frontend_config.frontend,
+        frontend_config.max_connections,
+        frontend_config.max_inflight_per_conn,
     );
     // Serve until killed; the listener thread owns the accept loop.
     loop {
@@ -542,6 +572,12 @@ mod tests {
             "512",
             "--request-deadline-ms",
             "250",
+            "--max-connections",
+            "2048",
+            "--max-inflight-per-conn",
+            "8",
+            "--frontend",
+            "epoll",
         ]))
         .unwrap();
         assert_eq!(f.required("bundle").unwrap(), "m.imrb");
@@ -552,6 +588,17 @@ mod tests {
         assert_eq!(f.number("deadline-ms", 2u64).unwrap(), 5);
         assert_eq!(f.number("queue", 256usize).unwrap(), 512);
         assert_eq!(f.number("request-deadline-ms", 0u64).unwrap(), 250);
+        assert_eq!(f.number("max-connections", 1024usize).unwrap(), 2048);
+        assert_eq!(f.number("max-inflight-per-conn", 32usize).unwrap(), 8);
+        assert_eq!(f.optional("frontend"), Some("epoll"));
+    }
+
+    #[test]
+    fn serve_rejects_unknown_frontend() {
+        match run(&s(&["serve", "--bundle", "m.imrb", "--frontend", "uring"])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("frontend"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -88,13 +88,20 @@ impl Default for EngineConfig {
     }
 }
 
+/// Completion callback attached to every queued job: invoked exactly once
+/// with the request's answer, on whatever thread resolves it (a worker, or
+/// the shutdown fail-fast path). [`ServeHandle::submit`] wraps an mpsc
+/// sender in one; the event-loop front end passes a closure that routes the
+/// answer back into its wakeup pipe without parking a thread per request.
+type ReplyFn = Box<dyn FnOnce(Result<InferResponse, ServeError>) + Send>;
+
 struct Job {
     request: InferRequest,
     enqueued: Instant,
     /// Absolute expiry instant plus the original budget (for the error
     /// message); `None` for requests without a time budget.
     deadline: Option<(Instant, u64)>,
-    reply: mpsc::Sender<Result<InferResponse, ServeError>>,
+    reply: ReplyFn,
 }
 
 struct Shared {
@@ -189,6 +196,27 @@ impl ServeHandle {
     /// [`ServeError::ShuttingDown`] after [`ServeHandle::shutdown`].
     pub fn submit(&self, request: InferRequest) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::channel();
+        // A vanished receiver just means the client gave up waiting.
+        self.submit_with(request, move |reply| {
+            let _ = tx.send(reply);
+        })?;
+        Ok(Pending { rx })
+    }
+
+    /// Enqueues a request with a completion callback instead of a
+    /// [`Pending`] channel: `reply` is invoked exactly once with the answer,
+    /// on whatever thread resolves the job. This is the non-blocking intake
+    /// used by the event-loop front end — thousands of in-flight requests
+    /// cost one queued closure each, not one parked thread.
+    ///
+    /// # Errors
+    /// Same as [`ServeHandle::submit`]. On a rejection the callback is
+    /// *not* invoked — nothing was enqueued, and the caller already holds
+    /// the error.
+    pub fn submit_with<F>(&self, request: InferRequest, reply: F) -> Result<(), ServeError>
+    where
+        F: FnOnce(Result<InferResponse, ServeError>) + Send + 'static,
+    {
         let enqueued = Instant::now();
         let deadline = request
             .deadline_ms
@@ -198,12 +226,12 @@ impl ServeHandle {
             request,
             enqueued,
             deadline,
-            reply: tx,
+            reply: Box::new(reply),
         };
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 Metrics::inc(&self.shared.metrics.submitted);
-                Ok(Pending { rx })
+                Ok(())
             }
             Err(PushError::Full(_)) => {
                 Metrics::inc(&self.shared.metrics.rejected_full);
@@ -239,7 +267,7 @@ impl ServeHandle {
         for job in self.shared.queue.drain_remaining() {
             Metrics::inc(&self.shared.metrics.shed);
             Metrics::inc(&self.shared.metrics.errors);
-            let _ = job.reply.send(Err(ServeError::ShuttingDown));
+            (job.reply)(Err(ServeError::ShuttingDown));
         }
     }
 }
@@ -281,9 +309,7 @@ fn worker_loop(shared: &Shared) {
                     Metrics::inc(&shared.metrics.deadline_expired);
                     Metrics::inc(&shared.metrics.shed);
                     Metrics::inc(&shared.metrics.errors);
-                    let _ = job
-                        .reply
-                        .send(Err(ServeError::DeadlineExceeded { budget_ms }));
+                    (job.reply)(Err(ServeError::DeadlineExceeded { budget_ms }));
                 }
                 _ => live.push(job),
             }
@@ -316,14 +342,13 @@ fn worker_loop(shared: &Shared) {
                 &mut knn,
             );
         }
-        for (job, reply) in batch.iter().zip(replies) {
+        for (job, reply) in batch.into_iter().zip(replies) {
             let reply = reply.unwrap_or(Err(ServeError::ShuttingDown));
             match &reply {
                 Ok(_) => Metrics::inc(&shared.metrics.completed),
                 Err(_) => Metrics::inc(&shared.metrics.errors),
             }
-            // A vanished receiver just means the client gave up waiting.
-            let _ = job.reply.send(reply);
+            (job.reply)(reply);
         }
     }
 }

@@ -1,0 +1,835 @@
+//! Single-threaded epoll readiness front end (Linux).
+//!
+//! One thread multiplexes every client connection: a nonblocking listener,
+//! a wakeup pipe, and per-connection nonblocking sockets are registered on
+//! one epoll instance (level-triggered). Request lines are framed
+//! incrementally from a per-connection read buffer — a line split across
+//! TCP segments, or a slow-loris client trickling bytes, parks state in
+//! that buffer without holding a thread or stalling any other connection.
+//!
+//! Requests on one connection are pipelined: each parsed line gets a
+//! sequence number and `infer` lines go to the engine through
+//! [`ServeHandle::submit_with`] with a callback that pushes the answer onto
+//! the shared completion queue and tickles the wakeup pipe. Micro-batches
+//! complete out of order, so finished responses wait in a per-connection
+//! reorder buffer until every earlier sequence number has flushed —
+//! responses always leave in request order.
+//!
+//! Admission control happens in two places: at accept time (global
+//! connection cap → `err server-busy`, socket closed) and at submit time
+//! (per-connection in-flight cap → `err server-busy` for that request
+//! only). Slow readers get backpressure instead of unbounded buffering:
+//! once a connection's unflushed output exceeds a high-water mark, the loop
+//! stops reading from it (drops `EPOLLIN` interest) until the backlog
+//! drains.
+//!
+//! Stop semantics match the thread-per-connection front end:
+//! [`crate::TcpServer::stop`] sets the flag and wakes the pipe; the loop
+//! observes it within one wakeup (or one 50 ms safety tick), gives every
+//! connection one greedy nonblocking flush, closes everything, and exits.
+//! Completions that arrive for connections that no longer exist are
+//! dropped — the engine's own shutdown drain still answers every queued
+//! job, exactly as before.
+
+use crate::engine::ServeHandle;
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    classify_line, encode_lines, format_error, format_response, LineAction, Reply,
+};
+use crate::server::{reject_busy, FrontendConfig, ACCEPT_BACKOFF_MAX, ACCEPT_BACKOFF_MIN};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, OwnedFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Safety tick: the longest the loop sleeps in `epoll_wait` before
+/// re-checking the stop flag, so `TcpServer::stop()` terminates within
+/// roughly one tick even if the wakeup write itself were lost.
+const TICK_MS: i32 = 50;
+
+/// Events fetched per `epoll_wait`; level-triggered epoll re-reports
+/// anything that did not fit on the next iteration.
+const EVENTS_PER_WAIT: usize = 256;
+
+/// Socket read chunk size (stack scratch, reused across connections).
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Slow-reader backpressure: once a connection's unflushed output exceeds
+/// this, the loop stops reading its requests until the backlog drains.
+const OUT_HIGH_WATER: usize = 256 * 1024;
+
+const DATA_LISTENER: u64 = 0;
+const DATA_WAKER: u64 = 1;
+const FIRST_CONN_ID: u64 = 2;
+
+pub(crate) mod sys {
+    //! Raw syscall bindings for epoll/pipe/rlimit — the workspace is
+    //! std-only (no libc crate), so the handful of symbols the loop needs
+    //! are declared here directly. Linux x86-64 ABI.
+
+    use std::io;
+    use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+    use std::os::raw::{c_int, c_void};
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+    const RLIMIT_NOFILE: c_int = 7;
+
+    /// Mirrors the kernel's `struct epoll_event`, which is packed on
+    /// x86-64 (no padding between the 32-bit event mask and 64-bit data).
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn pipe2(pipefd: *mut c_int, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<OwnedFd> {
+        // SAFETY: plain syscall; on success the returned fd is fresh and
+        // exclusively ours to wrap.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+    }
+
+    fn epoll_ctl_op(epfd: RawFd, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        epoll_ctl_op(epfd, EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        epoll_ctl_op(epfd, EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+        // The event argument is ignored for DEL but must be non-null on
+        // pre-2.6.9 kernels; pass a dummy.
+        epoll_ctl_op(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    pub fn epoll_wait_events(
+        epfd: RawFd,
+        events: &mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<usize> {
+        // SAFETY: `events` is a valid writable slice; the kernel fills at
+        // most `events.len()` entries.
+        let n = cvt(unsafe {
+            epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+        })?;
+        Ok(n as usize)
+    }
+
+    /// A nonblocking close-on-exec pipe; returns `(read_end, write_end)`.
+    pub fn make_pipe() -> io::Result<(OwnedFd, OwnedFd)> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a valid 2-element array for pipe2 to fill.
+        cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        // SAFETY: on success both fds are fresh and exclusively ours.
+        Ok(unsafe { (OwnedFd::from_raw_fd(fds[0]), OwnedFd::from_raw_fd(fds[1])) })
+    }
+
+    pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is a valid writable slice of the stated length.
+        let n = unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
+    }
+
+    pub fn write_fd(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+        // SAFETY: `buf` is a valid readable slice of the stated length.
+        let n = unsafe { write(fd, buf.as_ptr().cast::<c_void>(), buf.len()) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
+    }
+
+    /// Raises the process soft `RLIMIT_NOFILE` toward `want` file
+    /// descriptors, lifting the hard limit too when the process may (e.g.
+    /// root). Returns the soft limit actually in effect afterwards, which
+    /// may be lower than `want` in unprivileged processes.
+    pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        // SAFETY: `lim` is a valid RLimit for the kernel to fill.
+        cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+        if lim.cur >= want {
+            return Ok(lim.cur);
+        }
+        let raised = RLimit {
+            cur: want,
+            max: lim.max.max(want),
+        };
+        // SAFETY: `raised` is a valid RLimit; the kernel copies it.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+            return Ok(raised.cur);
+        }
+        // Raising the hard limit needs privileges: settle for the hard cap.
+        let capped = RLimit {
+            cur: lim.max.min(want).max(lim.cur),
+            max: lim.max,
+        };
+        // SAFETY: as above.
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &capped) })?;
+        Ok(capped.cur)
+    }
+}
+
+/// Raises the process soft fd limit toward `want` descriptors (hard limit
+/// too when privileged); returns the soft limit in effect afterwards.
+/// Exposed for connection-scale harnesses — a 10k-connection sweep needs
+/// ~2×10k fds in one process (server + client side).
+///
+/// # Errors
+/// When `getrlimit`/`setrlimit` fail outright.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    sys::raise_nofile_limit(want)
+}
+
+/// Wakes the event loop from any thread by writing one byte into its pipe.
+pub(crate) struct Waker {
+    fd: OwnedFd,
+}
+
+impl Waker {
+    /// Makes the loop's next `epoll_wait` return promptly. Best-effort by
+    /// design: a full pipe already guarantees a pending wakeup, and `EPIPE`
+    /// after the loop exited means nobody is left to wake.
+    pub(crate) fn wake(&self) {
+        let _ = sys::write_fd(self.fd.as_raw_fd(), &[1]);
+    }
+}
+
+/// One finished engine request, routed back to `(connection, sequence)`.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    result: Result<crate::pipeline::InferResponse, ServeError>,
+}
+
+/// Shared funnel from worker threads back into the loop: push the answer,
+/// wake the pipe (only on the empty→non-empty transition — the loop drains
+/// the whole queue per wakeup, so one byte covers any number of pushes).
+struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: Arc<Waker>,
+}
+
+impl Completions {
+    fn push(&self, c: Completion) {
+        let was_empty = {
+            let mut q = self.queue.lock().expect("completion queue poisoned");
+            let was_empty = q.is_empty();
+            q.push(c);
+            was_empty
+        };
+        if was_empty {
+            self.waker.wake();
+        }
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
+    }
+}
+
+/// A finished response waiting for its turn in sequence order.
+struct DoneReply {
+    bytes: Vec<u8>,
+    close_after: bool,
+}
+
+/// Per-connection state: framing buffer in, ordered responses out.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet framed into complete lines.
+    rbuf: Vec<u8>,
+    /// Where the newline scan resumes (everything before it was scanned),
+    /// so a slowly-trickled long line costs O(bytes), not O(bytes²).
+    scan_from: usize,
+    /// Encoded responses not yet fully written to the socket…
+    out: Vec<u8>,
+    /// …and how much of the front of `out` already went out.
+    out_pos: usize,
+    /// Sequence number the next parsed request line will get.
+    next_seq: u64,
+    /// Next sequence number allowed to flush: pipelined responses leave in
+    /// request order even though micro-batches complete out of order.
+    flush_seq: u64,
+    /// Out-of-order completions parked until `flush_seq` reaches them.
+    done: BTreeMap<u64, DoneReply>,
+    /// Requests currently submitted to the engine.
+    inflight: usize,
+    /// No more request intake (EOF, `quit`, oversized line); the
+    /// connection closes once everything in flight has flushed.
+    read_closed: bool,
+    /// Close as soon as `out` drains (a `quit` or fatal protocol error
+    /// reached the front of the response stream).
+    close_after_flush: bool,
+    /// Currently registered epoll interest, to skip redundant MODs.
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, interest: u32) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            scan_from: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            flush_seq: 0,
+            done: BTreeMap::new(),
+            inflight: 0,
+            read_closed: false,
+            close_after_flush: false,
+            interest,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+/// What to do with a connection after an I/O pass.
+#[derive(PartialEq)]
+enum After {
+    Keep,
+    Close,
+}
+
+/// Running event-loop thread plus the handle used to wake it.
+pub(crate) struct EventLoopHandles {
+    pub(crate) waker: Arc<Waker>,
+    pub(crate) thread: JoinHandle<()>,
+}
+
+/// Binds the loop's epoll instance and wakeup pipe and spawns its thread.
+pub(crate) fn start(
+    listener: TcpListener,
+    handle: ServeHandle,
+    cfg: FrontendConfig,
+    stop: Arc<AtomicBool>,
+) -> io::Result<EventLoopHandles> {
+    let (wake_rx, wake_tx) = sys::make_pipe()?;
+    let waker = Arc::new(Waker { fd: wake_tx });
+    let epfd = sys::epoll_create()?;
+    sys::epoll_add(
+        epfd.as_raw_fd(),
+        listener.as_raw_fd(),
+        sys::EPOLLIN,
+        DATA_LISTENER,
+    )?;
+    sys::epoll_add(
+        epfd.as_raw_fd(),
+        wake_rx.as_raw_fd(),
+        sys::EPOLLIN,
+        DATA_WAKER,
+    )?;
+    let completions = Arc::new(Completions {
+        queue: Mutex::new(Vec::new()),
+        waker: Arc::clone(&waker),
+    });
+    let mut el = EventLoop {
+        epfd,
+        wake_rx,
+        listener,
+        handle,
+        cfg,
+        stop,
+        completions,
+        conns: BTreeMap::new(),
+        next_id: FIRST_CONN_ID,
+        accept_paused_until: None,
+        accept_backoff: ACCEPT_BACKOFF_MIN,
+    };
+    let thread = std::thread::Builder::new()
+        .name("imre-serve-epoll".to_string())
+        .spawn(move || el.run())?;
+    Ok(EventLoopHandles { waker, thread })
+}
+
+struct EventLoop {
+    epfd: OwnedFd,
+    wake_rx: OwnedFd,
+    listener: TcpListener,
+    handle: ServeHandle,
+    cfg: FrontendConfig,
+    stop: Arc<AtomicBool>,
+    completions: Arc<Completions>,
+    /// Sorted map, not a hash map: shutdown iteration (and with it the
+    /// order of final flushes) stays deterministic run to run.
+    conns: BTreeMap<u64, Conn>,
+    next_id: u64,
+    /// While `Some`, the listener is deregistered and accepting resumes at
+    /// the stored instant (accept-error backoff without sleeping the loop).
+    accept_paused_until: Option<Instant>,
+    accept_backoff: Duration,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; EVENTS_PER_WAIT];
+        while !self.stop.load(Ordering::SeqCst) {
+            let n = match sys::epoll_wait_events(
+                self.epfd.as_raw_fd(),
+                &mut events,
+                self.wait_timeout_ms(),
+            ) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                // The epoll fd itself failing is unrecoverable; fall
+                // through to the shutdown drain.
+                Err(_) => break,
+            };
+            let mut accept_ready = false;
+            for ev in events.iter().take(n) {
+                let (mask, data) = (ev.events, ev.data);
+                match data {
+                    DATA_LISTENER => accept_ready = true,
+                    DATA_WAKER => self.drain_wake_pipe(),
+                    id => self.on_conn_event(id, mask),
+                }
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            self.deliver_completions();
+            self.maybe_resume_accept();
+            if accept_ready && self.accept_paused_until.is_none() {
+                self.accept_burst();
+            }
+        }
+        self.shutdown_conns();
+    }
+
+    fn wait_timeout_ms(&self) -> i32 {
+        match self.accept_paused_until {
+            Some(resume) => {
+                let left = resume.saturating_duration_since(Instant::now());
+                (left.as_millis() as i32 + 1).min(TICK_MS)
+            }
+            None => TICK_MS,
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match sys::read_fd(self.wake_rx.as_raw_fd(), &mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    let metrics = self.handle.metrics();
+                    if self.conns.len() >= self.cfg.max_connections {
+                        Metrics::inc(&metrics.rejected_conn_cap);
+                        reject_busy(&stream, self.cfg.max_connections);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let id = self.next_id;
+                    let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+                    if sys::epoll_add(self.epfd.as_raw_fd(), stream.as_raw_fd(), interest, id)
+                        .is_err()
+                    {
+                        // Registration failing is a resource problem, same
+                        // as hitting the cap from the client's view.
+                        Metrics::inc(&metrics.rejected_conn_cap);
+                        reject_busy(&stream, self.cfg.max_connections);
+                        continue;
+                    }
+                    self.next_id += 1;
+                    Metrics::inc(&metrics.active_connections);
+                    Metrics::inc(&metrics.conns_opened);
+                    self.conns.insert(id, Conn::new(stream, interest));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // EMFILE-style accept failure: deregister the listener
+                    // and resume after an exponential backoff instead of
+                    // spinning on a level-triggered error.
+                    Metrics::inc(&self.handle.metrics().accept_errors);
+                    let _ = sys::epoll_del(self.epfd.as_raw_fd(), self.listener.as_raw_fd());
+                    self.accept_paused_until = Some(Instant::now() + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn maybe_resume_accept(&mut self) {
+        if let Some(resume) = self.accept_paused_until {
+            if Instant::now() >= resume {
+                self.accept_paused_until = None;
+                let _ = sys::epoll_add(
+                    self.epfd.as_raw_fd(),
+                    self.listener.as_raw_fd(),
+                    sys::EPOLLIN,
+                    DATA_LISTENER,
+                );
+            }
+        }
+    }
+
+    fn on_conn_event(&mut self, id: u64, mask: u32) {
+        // A connection closed earlier in this same event batch can leave a
+        // stale event behind.
+        if !self.conns.contains_key(&id) {
+            return;
+        }
+        if mask & sys::EPOLLERR != 0 {
+            self.close_conn(id);
+            return;
+        }
+        if mask & sys::EPOLLOUT != 0 && !self.flush_conn(id) {
+            return;
+        }
+        if mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0 {
+            self.read_conn(id);
+        }
+    }
+
+    /// Reads everything currently available on `id`, framing and
+    /// dispatching complete request lines as they appear.
+    fn read_conn(&mut self, id: u64) {
+        let EventLoop {
+            conns,
+            handle,
+            cfg,
+            completions,
+            ..
+        } = self;
+        let Some(conn) = conns.get_mut(&id) else {
+            return;
+        };
+        let mut scratch = [0u8; READ_CHUNK];
+        let after = loop {
+            if conn.read_closed || conn.backlog() >= OUT_HIGH_WATER {
+                break After::Keep;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    // Peer finished sending (EOF or half-close). Anything
+                    // already submitted still gets answered and flushed.
+                    conn.read_closed = true;
+                    break After::Keep;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&scratch[..n]);
+                    process_input(conn, id, handle, cfg, completions);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break After::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break After::Close,
+            }
+        };
+        if after == After::Close {
+            self.close_conn(id);
+        } else {
+            self.flush_conn(id);
+        }
+    }
+
+    /// Writes as much buffered output as the socket takes. Returns `false`
+    /// when the connection was closed (fatal write error, or an orderly
+    /// close once everything owed was flushed).
+    fn flush_conn(&mut self, id: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return false;
+        };
+        match flush_into_socket(conn) {
+            After::Close => {
+                self.close_conn(id);
+                false
+            }
+            After::Keep => {
+                self.update_interest(id);
+                true
+            }
+        }
+    }
+
+    /// Re-registers the connection's epoll interest from its state: read
+    /// while intake is open and the backlog is under the high-water mark,
+    /// write while output is pending.
+    fn update_interest(&mut self, id: u64) {
+        let epfd = self.epfd.as_raw_fd();
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let mut want = sys::EPOLLRDHUP;
+        if !conn.read_closed && conn.backlog() < OUT_HIGH_WATER {
+            want |= sys::EPOLLIN;
+        }
+        if conn.backlog() > 0 {
+            want |= sys::EPOLLOUT;
+        }
+        if want != conn.interest && sys::epoll_mod(epfd, conn.stream.as_raw_fd(), want, id).is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    /// Routes finished engine requests back onto their connections and
+    /// flushes each touched connection once.
+    fn deliver_completions(&mut self) {
+        let batch = self.completions.drain();
+        if batch.is_empty() {
+            return;
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity(batch.len());
+        for c in batch {
+            // The client may have vanished mid-request; its answer has
+            // nowhere to go, which is exactly the disconnect semantics the
+            // threaded front end had (reply into a dropped channel).
+            let Some(conn) = self.conns.get_mut(&c.conn) else {
+                continue;
+            };
+            conn.inflight = conn.inflight.saturating_sub(1);
+            let line = match &c.result {
+                Ok(resp) => format_response(resp),
+                Err(e) => format_error(e),
+            };
+            complete(conn, c.seq, encode_lines(&[line]), false);
+            touched.push(c.conn);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for id in touched {
+            self.flush_conn(id);
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = sys::epoll_del(self.epfd.as_raw_fd(), conn.stream.as_raw_fd());
+            Metrics::dec(&self.handle.metrics().active_connections);
+            // Dropping `conn.stream` closes the fd.
+        }
+    }
+
+    /// Stop-path drain: one greedy nonblocking flush per connection, then
+    /// close everything. In-flight answers that complete later find no
+    /// connection and are dropped (fail-fast, same as PR 3's stop).
+    fn shutdown_conns(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            if let Some(conn) = self.conns.get_mut(&id) {
+                let _ = flush_into_socket(conn);
+            }
+            self.close_conn(id);
+        }
+    }
+}
+
+fn flush_into_socket(conn: &mut Conn) -> After {
+    loop {
+        if conn.out_pos >= conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+            break;
+        }
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return After::Close,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return After::Close,
+        }
+    }
+    let owes_nothing = conn.inflight == 0 && conn.done.is_empty();
+    if conn.out.is_empty() && (conn.close_after_flush || (conn.read_closed && owes_nothing)) {
+        After::Close
+    } else {
+        After::Keep
+    }
+}
+
+/// Frames complete lines out of the connection's read buffer and
+/// dispatches each one. Oversized lines — complete or still growing — get
+/// a typed `bad-request` and close the connection after pending responses
+/// flush, so a hostile client cannot grow the buffer without bound.
+fn process_input(
+    conn: &mut Conn,
+    id: u64,
+    handle: &ServeHandle,
+    cfg: &FrontendConfig,
+    completions: &Arc<Completions>,
+) {
+    let mut consumed = 0usize;
+    while !conn.read_closed {
+        let Some(rel) = conn.rbuf[conn.scan_from..].iter().position(|&b| b == b'\n') else {
+            conn.scan_from = conn.rbuf.len();
+            break;
+        };
+        let end = conn.scan_from + rel;
+        if end - consumed > cfg.max_line_bytes {
+            reject_oversized(conn, cfg);
+            break;
+        }
+        let line = String::from_utf8_lossy(&conn.rbuf[consumed..end]).into_owned();
+        consumed = end + 1;
+        conn.scan_from = consumed;
+        handle_request_line(conn, id, &line, handle, cfg, completions);
+    }
+    if conn.read_closed {
+        conn.rbuf.clear();
+        conn.scan_from = 0;
+        return;
+    }
+    conn.rbuf.drain(..consumed);
+    conn.scan_from -= consumed;
+    if conn.rbuf.len() > cfg.max_line_bytes {
+        reject_oversized(conn, cfg);
+    }
+}
+
+fn reject_oversized(conn: &mut Conn, cfg: &FrontendConfig) {
+    let err = ServeError::BadRequest(format!("request line exceeds {} bytes", cfg.max_line_bytes));
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    complete(conn, seq, encode_lines(&[format_error(&err)]), true);
+    conn.read_closed = true;
+}
+
+/// Classifies and resolves one request line at sequence number `seq`:
+/// immediate commands complete on the spot, `infer` goes to the engine
+/// under the per-connection in-flight cap.
+fn handle_request_line(
+    conn: &mut Conn,
+    id: u64,
+    line: &str,
+    handle: &ServeHandle,
+    cfg: &FrontendConfig,
+    completions: &Arc<Completions>,
+) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    match classify_line(handle, line) {
+        LineAction::Respond(Reply::Quit) => {
+            // Stop intake now; earlier pipelined responses still flush,
+            // then the connection closes (no reply for `quit` itself).
+            conn.read_closed = true;
+            complete(conn, seq, Vec::new(), true);
+        }
+        LineAction::Respond(Reply::Lines(lines)) => {
+            complete(conn, seq, encode_lines(&lines), false);
+        }
+        LineAction::Submit(req) => {
+            if conn.inflight >= cfg.max_inflight_per_conn {
+                Metrics::inc(&handle.metrics().rejected_inflight);
+                let e = ServeError::ServerBusy {
+                    what: "in-flight",
+                    limit: cfg.max_inflight_per_conn,
+                };
+                complete(conn, seq, encode_lines(&[format_error(&e)]), false);
+                return;
+            }
+            let comp = Arc::clone(completions);
+            let submitted = handle.submit_with(req, move |result| {
+                comp.push(Completion {
+                    conn: id,
+                    seq,
+                    result,
+                });
+            });
+            match submitted {
+                Ok(()) => conn.inflight += 1,
+                // Rejected at the queue (full / shutting down): the
+                // callback was not invoked, answer here.
+                Err(e) => complete(conn, seq, encode_lines(&[format_error(&e)]), false),
+            }
+        }
+    }
+}
+
+/// Lands the finished response for `seq`, then moves every consecutively
+/// finished response (in `flush_seq` order) into the output buffer —
+/// pipelined responses leave in request order no matter how the engine
+/// reordered their completions.
+fn complete(conn: &mut Conn, seq: u64, bytes: Vec<u8>, close_after: bool) {
+    conn.done.insert(seq, DoneReply { bytes, close_after });
+    while let Some(reply) = conn.done.remove(&conn.flush_seq) {
+        conn.flush_seq += 1;
+        conn.out.extend_from_slice(&reply.bytes);
+        if reply.close_after {
+            conn.close_after_flush = true;
+            conn.read_closed = true;
+            // Anything sequenced after a close point is moot.
+            conn.done.clear();
+            break;
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //!   batched forward pass on a reused inference tape);
 //! - [`metrics`] — per-stage latency histograms and throughput counters;
 //! - [`server`] / [`protocol`] — a line-delimited TCP front-end that plain
-//!   `nc` can talk to, plus the in-process [`ServeHandle`] API.
+//!   `nc` can talk to, plus the in-process [`ServeHandle`] API. On Linux
+//!   the default front end is a single-threaded epoll readiness loop
+//!   multiplexing thousands of pipelined connections; a
+//!   thread-per-connection fallback remains selectable via
+//!   [`FrontendConfig`] or `IMRE_SERVE_FRONTEND=threads`.
 //!
 //! ```no_run
 //! use imre_serve::{EngineConfig, Registry, ServeHandle, InferRequest};
@@ -41,6 +45,8 @@
 pub mod bundle;
 pub mod engine;
 pub mod error;
+#[cfg(target_os = "linux")]
+pub(crate) mod eventloop;
 pub mod metrics;
 pub mod pipeline;
 pub mod protocol;
@@ -57,4 +63,7 @@ pub use metrics::{Histogram, HistogramSnapshot, Metrics, BUCKET_BOUNDS_US};
 pub use pipeline::{InferRequest, InferResponse, RankedRelation, ServingModel};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::Registry;
-pub use server::TcpServer;
+pub use server::{FrontendConfig, FrontendKind, TcpServer};
+
+#[cfg(target_os = "linux")]
+pub use eventloop::raise_nofile_limit;

@@ -32,6 +32,20 @@ pub enum Reply {
     Quit,
 }
 
+/// A classified request line: either something the front end can answer
+/// without touching the engine queue, or an `infer` to submit. Splitting
+/// classification from resolution lets the event-loop front end submit
+/// asynchronously ([`crate::engine::ServeHandle::submit_with`]) while the
+/// thread-per-connection path keeps blocking in [`handle_line`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineAction {
+    /// Answer immediately (possibly [`Reply::Quit`]).
+    Respond(Reply),
+    /// Submit this request to the engine; its answer becomes the response
+    /// line ([`format_response`] / [`format_error`]).
+    Submit(InferRequest),
+}
+
 /// Parses an `infer` command's `key=value` arguments.
 ///
 /// `text=` must come last: it consumes the rest of the line verbatim.
@@ -125,36 +139,61 @@ pub fn format_error(err: &ServeError) -> String {
     format!("err {} {err}", err.code())
 }
 
-/// Dispatches one request line against the engine.
-pub fn handle_line(handle: &ServeHandle, line: &str) -> Reply {
+/// Encodes reply lines to wire bytes: each line followed by `\n`, then the
+/// empty terminator line every response ends with.
+pub fn encode_lines(lines: &[String]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 1);
+    for line in lines {
+        out.extend_from_slice(line.as_bytes());
+        out.push(b'\n');
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Classifies one request line: commands the front end answers on the spot
+/// (`ping`, `stats`, `models`, parse errors, `quit`) versus an `infer` that
+/// must go through the engine.
+pub fn classify_line(handle: &ServeHandle, line: &str) -> LineAction {
     let line = line.trim();
     let (command, args) = match line.split_once(char::is_whitespace) {
         Some((c, a)) => (c, a),
         None => (line, ""),
     };
     match command {
-        "" => Reply::Lines(vec![]),
-        "quit" => Reply::Quit,
-        "ping" => Reply::Lines(vec!["ok pong".to_string()]),
+        "" => LineAction::Respond(Reply::Lines(vec![])),
+        "quit" => LineAction::Respond(Reply::Quit),
+        "ping" => LineAction::Respond(Reply::Lines(vec!["ok pong".to_string()])),
         "models" => {
             let mut line = String::from("ok");
             for name in handle.registry().names() {
                 line.push(' ');
                 line.push_str(&name);
             }
-            Reply::Lines(vec![line])
+            LineAction::Respond(Reply::Lines(vec![line]))
         }
-        "stats" => Reply::Lines(handle.stats_text().lines().map(str::to_string).collect()),
-        "infer" => {
-            let result = parse_infer(args).and_then(|req| handle.infer(req));
-            match result {
-                Ok(resp) => Reply::Lines(vec![format_response(&resp)]),
-                Err(e) => Reply::Lines(vec![format_error(&e)]),
-            }
-        }
-        other => Reply::Lines(vec![format_error(&ServeError::BadRequest(format!(
-            "unknown command {other:?}"
-        )))]),
+        "stats" => LineAction::Respond(Reply::Lines(
+            handle.stats_text().lines().map(str::to_string).collect(),
+        )),
+        "infer" => match parse_infer(args) {
+            Ok(req) => LineAction::Submit(req),
+            Err(e) => LineAction::Respond(Reply::Lines(vec![format_error(&e)])),
+        },
+        other => LineAction::Respond(Reply::Lines(vec![format_error(&ServeError::BadRequest(
+            format!("unknown command {other:?}"),
+        ))])),
+    }
+}
+
+/// Dispatches one request line against the engine, blocking for `infer`
+/// answers (the thread-per-connection path).
+pub fn handle_line(handle: &ServeHandle, line: &str) -> Reply {
+    match classify_line(handle, line) {
+        LineAction::Respond(reply) => reply,
+        LineAction::Submit(req) => match handle.infer(req) {
+            Ok(resp) => Reply::Lines(vec![format_response(&resp)]),
+            Err(e) => Reply::Lines(vec![format_error(&e)]),
+        },
     }
 }
 

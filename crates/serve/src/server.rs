@@ -1,24 +1,30 @@
 //! TCP front-end: line-delimited protocol over `std::net::TcpListener`.
 //!
-//! The accept loop runs on its own thread with a non-blocking listener
-//! polled against a stop flag; each connection gets a thread running the
-//! [`crate::protocol`] dispatch. Connections are stop-aware: every accepted
-//! stream carries a read timeout, so a connection thread blocked waiting
-//! for a request wakes at least every [`READ_POLL`] to check the shared
-//! stop flag — an idle client can never pin a thread forever.
-//! [`TcpServer::stop`] flips the flag, joins the accept loop (which in turn
-//! joins every connection thread it spawned — a drain bounded by the read
-//! timeout), and the engine's request intake is shut via the shared
-//! [`ServeHandle`] semantics.
+//! Two interchangeable front-end implementations sit behind [`TcpServer`]:
+//!
+//! - **Event loop** (default on Linux): a single thread multiplexes every
+//!   connection over epoll — nonblocking sockets, incremental line
+//!   framing, pipelined requests with ordered responses, and admission
+//!   control. See [`crate::eventloop`]. This is the connection-scale path:
+//!   10k idle clients cost 10k sockets, not 10k threads.
+//! - **Thread-per-connection** (fallback and non-Linux path): the accept
+//!   loop spawns one thread per client running the [`crate::protocol`]
+//!   dispatch, with read timeouts bounding how stale a stop can find any
+//!   connection thread.
+//!
+//! Both enforce [`FrontendConfig`]'s global connection cap (typed
+//! `server-busy` reject at accept) and oversized-line bound (typed
+//! `bad-request`), and both deliver the same stop semantics:
+//! [`TcpServer::stop`] terminates within roughly one poll tick, flushing
+//! or fail-fasting whatever was in flight.
 //!
 //! The engine's [`crate::metrics::Metrics::active_connections`] gauge
-//! tracks the number of currently open connections; it is incremented when
-//! a connection thread starts and decremented when it exits (on any path,
-//! including panics, via a drop guard).
+//! tracks currently open connections on either path; `conns_opened` and
+//! the rejection counters feed the `conns:` stats line.
 
 use crate::engine::ServeHandle;
 use crate::metrics::Metrics;
-use crate::protocol::{handle_line, Reply};
+use crate::protocol::{encode_lines, format_error, handle_line, Reply};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,8 +37,8 @@ const ACCEPT_POLL: Duration = Duration::from_millis(20);
 /// Accept-error backoff bounds: the first EMFILE/ENFILE-style failure waits
 /// `ACCEPT_BACKOFF_MIN`, doubling per consecutive failure up to the max, so
 /// fd exhaustion never turns the accept loop into a hot error spin.
-const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
-const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+pub(crate) const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+pub(crate) const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
 
 /// Reap finished connection handles whenever the live list reaches this
 /// floor (and thereafter a doubling watermark), keeping the reap cost
@@ -44,36 +50,136 @@ const REAP_WATERMARK_MIN: usize = 64;
 /// connection thread: every one notices the flag within one `READ_POLL`.
 pub const READ_POLL: Duration = Duration::from_millis(50);
 
+/// Which accept/connection implementation [`TcpServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendKind {
+    /// The epoll event loop on Linux, thread-per-connection elsewhere.
+    /// `IMRE_SERVE_FRONTEND=threads|epoll` overrides the choice (useful
+    /// for A/B benchmarks and for exercising both paths in CI).
+    Auto,
+    /// The single-threaded epoll readiness loop (Linux only; spawning
+    /// fails with [`io::ErrorKind::Unsupported`] elsewhere).
+    EventLoop,
+    /// The thread-per-connection loop.
+    Threads,
+}
+
+impl FrontendKind {
+    fn resolve(self) -> FrontendKind {
+        match self {
+            FrontendKind::Auto => match std::env::var("IMRE_SERVE_FRONTEND").as_deref() {
+                Ok("threads") => FrontendKind::Threads,
+                Ok("epoll") => FrontendKind::EventLoop,
+                _ if cfg!(target_os = "linux") => FrontendKind::EventLoop,
+                _ => FrontendKind::Threads,
+            },
+            other => other,
+        }
+    }
+}
+
+/// Front-end tuning knobs (the engine has its own
+/// [`crate::engine::EngineConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontendConfig {
+    /// Which front-end implementation to run.
+    pub frontend: FrontendKind,
+    /// Global cap on concurrently open connections; arrivals beyond it are
+    /// answered `err server-busy` and closed at accept time.
+    pub max_connections: usize,
+    /// Maximum pipelined requests one connection may have in the engine at
+    /// once (event loop only — the threaded path reads one request at a
+    /// time, so it can never exceed 1). Further `infer` lines are answered
+    /// `err server-busy` without touching the queue.
+    pub max_inflight_per_conn: usize,
+    /// Longest request line accepted before the connection is answered
+    /// `err bad-request` and closed — bounds per-connection buffer growth
+    /// against hostile or broken clients.
+    pub max_line_bytes: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            frontend: FrontendKind::Auto,
+            max_connections: 1024,
+            max_inflight_per_conn: 32,
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
 /// A running TCP front-end.
 pub struct TcpServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    #[cfg(target_os = "linux")]
+    waker: Option<Arc<crate::eventloop::Waker>>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 impl TcpServer {
     /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 picks a free port) and
-    /// starts serving the engine behind `handle`.
+    /// starts serving the engine behind `handle` with default front-end
+    /// limits ([`FrontendConfig::default`]).
     ///
     /// # Errors
     /// When the address cannot be bound.
     pub fn spawn(handle: ServeHandle, addr: &str) -> io::Result<TcpServer> {
+        TcpServer::spawn_with(handle, addr, FrontendConfig::default())
+    }
+
+    /// [`TcpServer::spawn`] with explicit front-end selection and limits.
+    ///
+    /// # Errors
+    /// When the address cannot be bound, or [`FrontendKind::EventLoop`] is
+    /// requested off Linux ([`io::ErrorKind::Unsupported`]).
+    pub fn spawn_with(
+        handle: ServeHandle,
+        addr: &str,
+        cfg: FrontendConfig,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("imre-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &handle, &stop))
-                .expect("spawn accept thread")
-        };
-        Ok(TcpServer {
-            local_addr,
-            stop,
-            accept_thread: Some(accept_thread),
-        })
+        match cfg.frontend.resolve() {
+            FrontendKind::EventLoop => {
+                #[cfg(target_os = "linux")]
+                {
+                    let parts = crate::eventloop::start(listener, handle, cfg, Arc::clone(&stop))?;
+                    Ok(TcpServer {
+                        local_addr,
+                        stop,
+                        waker: Some(parts.waker),
+                        accept_thread: Some(parts.thread),
+                    })
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "the epoll front end requires linux; use FrontendKind::Threads",
+                    ))
+                }
+            }
+            _ => {
+                let accept_thread = {
+                    let stop = Arc::clone(&stop);
+                    std::thread::Builder::new()
+                        .name("imre-serve-accept".to_string())
+                        .spawn(move || accept_loop(&listener, &handle, &stop, &cfg))
+                        .expect("spawn accept thread")
+                };
+                Ok(TcpServer {
+                    local_addr,
+                    stop,
+                    #[cfg(target_os = "linux")]
+                    waker: None,
+                    accept_thread: Some(accept_thread),
+                })
+            }
+        }
     }
 
     /// The bound address (useful with port 0).
@@ -81,13 +187,18 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// Stops accepting connections and joins the accept loop, which joins
-    /// every connection thread before exiting. Connection threads poll the
-    /// stop flag at least every [`READ_POLL`], so the whole drain is
-    /// bounded by roughly one read-timeout tick even when clients are idle
-    /// or mid-request. Idempotent.
+    /// Stops the front end and joins its thread(s). On the event loop this
+    /// wakes the loop, which flushes what it can without blocking, closes
+    /// every connection, and exits; on the threaded path the accept loop
+    /// joins every connection thread (each notices the flag within one
+    /// [`READ_POLL`]). Either way the drain is bounded by roughly one poll
+    /// tick even with idle or mid-request clients. Idempotent.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
@@ -114,26 +225,31 @@ impl ConnectionGuard {
     }
 }
 
-/// Tells a connection the server cannot take it right now, then closes it.
-/// Best-effort: the peer may already be gone, and we never block the accept
-/// path on a slow receiver.
-fn reject_busy(stream: &TcpStream, limit: usize) {
-    let err = crate::error::ServeError::ServerBusy {
-        what: "connections",
-        limit,
-    };
-    let line = format!("{}\n\n", crate::protocol::format_error(&err));
-    stream.set_nonblocking(true).ok();
-    let _ = (&*stream).write_all(line.as_bytes());
-}
-
 impl Drop for ConnectionGuard {
     fn drop(&mut self) {
         Metrics::dec(&self.handle.metrics().active_connections);
     }
 }
 
-fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &Arc<AtomicBool>) {
+/// Tells a connection the server cannot take it right now, then closes it.
+/// Best-effort: the peer may already be gone, and we never block the
+/// accept path on a slow receiver.
+pub(crate) fn reject_busy(stream: &TcpStream, limit: usize) {
+    let err = crate::error::ServeError::ServerBusy {
+        what: "connections",
+        limit,
+    };
+    let line = format!("{}\n\n", format_error(&err));
+    stream.set_nonblocking(true).ok();
+    let _ = (&*stream).write_all(line.as_bytes());
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    handle: &ServeHandle,
+    stop: &Arc<AtomicBool>,
+    cfg: &FrontendConfig,
+) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     // Doubling watermark: reap whenever the handle list reaches it, then
     // reset it to twice the number of live handles. A server under sustained
@@ -146,9 +262,14 @@ fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &Arc<AtomicBo
         match listener.accept() {
             Ok((stream, _)) => {
                 backoff = ACCEPT_BACKOFF_MIN;
-                if connections.len() >= reap_at {
+                if connections.len() >= reap_at || connections.len() >= cfg.max_connections {
                     connections.retain(|h| !h.is_finished());
                     reap_at = (connections.len() * 2).max(REAP_WATERMARK_MIN);
+                }
+                if connections.len() >= cfg.max_connections {
+                    Metrics::inc(&handle.metrics().rejected_conn_cap);
+                    reject_busy(&stream, cfg.max_connections);
+                    continue;
                 }
                 // The stream is shared so that a failed spawn can still
                 // answer the client instead of silently dropping the
@@ -157,11 +278,17 @@ fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &Arc<AtomicBo
                 let conn_stream = Arc::clone(&stream);
                 let conn_handle = handle.clone();
                 let conn_stop = Arc::clone(stop);
+                let max_line_bytes = cfg.max_line_bytes;
                 let spawned = std::thread::Builder::new()
                     .name("imre-serve-conn".to_string())
                     .spawn(move || {
                         let _guard = ConnectionGuard::new(conn_handle.clone());
-                        let _ = serve_connection(&conn_stream, &conn_handle, &conn_stop);
+                        let _ = serve_connection(
+                            &conn_stream,
+                            &conn_handle,
+                            &conn_stop,
+                            max_line_bytes,
+                        );
                     });
                 match spawned {
                     Ok(h) => connections.push(h),
@@ -200,7 +327,12 @@ fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &Arc<AtomicBo
     }
 }
 
-fn serve_connection(stream: &TcpStream, handle: &ServeHandle, stop: &AtomicBool) -> io::Result<()> {
+fn serve_connection(
+    stream: &TcpStream,
+    handle: &ServeHandle,
+    stop: &AtomicBool,
+    max_line_bytes: usize,
+) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_POLL))?;
     let mut writer = stream;
@@ -208,6 +340,16 @@ fn serve_connection(stream: &TcpStream, handle: &ServeHandle, stop: &AtomicBool)
     let mut line = String::new();
     loop {
         if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Bound line growth on every pass, including timeout passes where a
+        // slow client keeps a partial line parked in `line` — same typed
+        // reject as the event loop's framer.
+        if line.len() > max_line_bytes {
+            let err = crate::error::ServeError::BadRequest(format!(
+                "request line exceeds {max_line_bytes} bytes"
+            ));
+            let _ = writer.write_all(&encode_lines(&[format_error(&err)]));
             return Ok(());
         }
         match reader.read_line(&mut line) {
@@ -223,16 +365,17 @@ fn serve_connection(stream: &TcpStream, handle: &ServeHandle, stop: &AtomicBool)
             }
             Err(e) => return Err(e),
         }
+        if line.trim_end_matches(['\r', '\n']).len() > max_line_bytes {
+            let err = crate::error::ServeError::BadRequest(format!(
+                "request line exceeds {max_line_bytes} bytes"
+            ));
+            writer.write_all(&encode_lines(&[format_error(&err)]))?;
+            return Ok(());
+        }
         match handle_line(handle, &line) {
             Reply::Quit => return Ok(()),
             Reply::Lines(lines) => {
-                let mut out = String::new();
-                for l in &lines {
-                    out.push_str(l);
-                    out.push('\n');
-                }
-                out.push('\n'); // empty terminator line
-                writer.write_all(out.as_bytes())?;
+                writer.write_all(&encode_lines(&lines))?;
                 writer.flush()?;
             }
         }

@@ -15,6 +15,35 @@ use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+/// Reads one protocol reply — payload lines up to (and consuming) the empty
+/// terminator line. Panics on EOF mid-reply so a dropped connection shows up
+/// as a crisp failure, not a hang.
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Vec<String> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read reply line");
+        assert!(n > 0, "peer closed mid-reply; got {lines:?}");
+        let line = line.trim_end_matches(['\r', '\n']).to_string();
+        if line.is_empty() {
+            return lines;
+        }
+        lines.push(line);
+    }
+}
+
+/// Polls `probe` until it returns true or `limit` elapses.
+fn wait_until(limit: Duration, what: &str, mut probe: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !probe() {
+        assert!(
+            start.elapsed() < limit,
+            "{what} not reached within {limit:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 /// A syntactically valid request; the engine sheds or fails it before any
 /// model lookup, so the empty registry is never consulted.
 fn request(i: usize) -> InferRequest {
@@ -324,4 +353,322 @@ fn mid_batch_shutdown_answers_both_halves() {
         32,
         "all 32 must be accounted as errors (UnknownModel or ShuttingDown)"
     );
+}
+
+/// Fault injection specific to the epoll event-loop front end: incremental
+/// framing under trickled input, admission control (per-connection in-flight
+/// cap, global connection cap), oversized-line rejection, completions racing
+/// disconnects, and stop at connection scale. Each test pins
+/// [`FrontendKind::EventLoop`] explicitly so the suite keeps exercising the
+/// event loop even if the `Auto` default or `IMRE_SERVE_FRONTEND` changes.
+#[cfg(target_os = "linux")]
+mod event_loop {
+    use super::*;
+    use imre_serve::{FrontendConfig, FrontendKind};
+
+    fn epoll_cfg() -> FrontendConfig {
+        FrontendConfig {
+            frontend: FrontendKind::EventLoop,
+            ..FrontendConfig::default()
+        }
+    }
+
+    /// Connects to `server`, returning a writer plus a buffered reader with
+    /// a generous read timeout so a lost reply fails the test instead of
+    /// hanging it.
+    fn connect(server: &TcpServer) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        (stream, reader)
+    }
+
+    const INFER_LINE: &[u8] = b"infer model=ghost head=a tail=b text=a b\n";
+
+    #[test]
+    fn trickled_request_line_does_not_stall_other_connections() {
+        let handle = start_engine(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let mut server =
+            TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", epoll_cfg()).expect("bind");
+
+        // A slow-loris client trickles one request line a few bytes at a
+        // time; between every fragment a second connection must stay fully
+        // responsive (its reads would time out if the loop stalled on the
+        // partial line).
+        let (mut slow, mut slow_reader) = connect(&server);
+        let (mut fast, mut fast_reader) = connect(&server);
+        for chunk in INFER_LINE.chunks(5) {
+            slow.write_all(chunk).expect("trickle fragment");
+            slow.flush().expect("flush fragment");
+            fast.write_all(b"ping\n").expect("interleaved ping");
+            assert_eq!(read_reply(&mut fast_reader), vec!["ok pong".to_string()]);
+        }
+
+        // Once the final fragment lands, the reassembled line parses and
+        // resolves like any other request (UnknownModel from the empty
+        // registry proves it reached the engine intact).
+        let reply = read_reply(&mut slow_reader);
+        assert_eq!(reply.len(), 1, "one reply line, got {reply:?}");
+        assert!(
+            reply[0].starts_with("err unknown-model"),
+            "trickled line must reassemble into a real request, got {reply:?}"
+        );
+        server.stop();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_answers_typed_bad_request_and_closes() {
+        // Both front ends share the max_line_bytes bound and the typed
+        // reject; pin each explicitly.
+        for frontend in [FrontendKind::EventLoop, FrontendKind::Threads] {
+            let handle = start_engine(EngineConfig::default());
+            let cfg = FrontendConfig {
+                frontend,
+                max_line_bytes: 256,
+                ..FrontendConfig::default()
+            };
+            let mut server =
+                TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", cfg).expect("bind");
+            let (mut stream, mut reader) = connect(&server);
+            // 1 KiB with no newline: the framer must reject the connection
+            // without ever seeing a complete line.
+            stream.write_all(&[b'a'; 1024]).expect("write oversized");
+            stream.flush().expect("flush");
+            let reply = read_reply(&mut reader);
+            assert!(
+                reply[0].starts_with("err bad-request"),
+                "{frontend:?}: expected typed bad-request, got {reply:?}"
+            );
+            let mut extra = String::new();
+            assert_eq!(
+                reader.read_line(&mut extra).expect("read after reject"),
+                0,
+                "{frontend:?}: connection must close after the oversized reject"
+            );
+            server.stop();
+            handle.shutdown();
+        }
+    }
+
+    #[test]
+    fn mid_request_disconnect_drops_the_completion_safely() {
+        // workers: 0 — the submitted request can only resolve at shutdown,
+        // by which point the client is long gone. The completion must be
+        // dropped (dead socket), the connection closed, and the gauge
+        // returned to zero; nothing may panic or hang.
+        let handle = start_engine(EngineConfig {
+            workers: 0,
+            ..EngineConfig::default()
+        });
+        let mut server =
+            TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", epoll_cfg()).expect("bind");
+        let (mut stream, reader) = connect(&server);
+        stream.write_all(INFER_LINE).expect("write infer");
+        stream.flush().expect("flush");
+        let metrics = handle.metrics();
+        wait_until(Duration::from_secs(2), "request submitted", || {
+            metrics.submitted.load(Ordering::Relaxed) == 1
+        });
+        drop(stream);
+        drop(reader);
+
+        {
+            let handle = handle.clone();
+            assert_finishes_within(
+                Duration::from_secs(2),
+                "shutdown with a dead client",
+                move || handle.shutdown(),
+            );
+        }
+        // The loop delivers the ShuttingDown completion, finds the peer
+        // gone, and closes the connection.
+        wait_until(Duration::from_secs(2), "connection reaped", || {
+            metrics.active_connections.load(Ordering::Relaxed) == 0
+        });
+        assert_finishes_within(Duration::from_secs(1), "TcpServer::stop()", move || {
+            server.stop();
+        });
+    }
+
+    #[test]
+    fn stop_with_a_thousand_idle_connections_is_prompt() {
+        let handle = start_engine(EngineConfig::default());
+        let cfg = FrontendConfig {
+            frontend: FrontendKind::EventLoop,
+            max_connections: 1_200,
+            ..FrontendConfig::default()
+        };
+        let mut server = TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", cfg).expect("bind");
+        let conns: Vec<TcpStream> = (0..1_000)
+            .map(|i| {
+                TcpStream::connect(server.local_addr())
+                    .unwrap_or_else(|e| panic!("connect {i}: {e}"))
+            })
+            .collect();
+        let metrics = handle.metrics();
+        wait_until(Duration::from_secs(10), "1000 connections accepted", || {
+            metrics.active_connections.load(Ordering::Relaxed) == 1_000
+        });
+
+        // One loop thread owns all 1000 sockets: stop() wakes it once and it
+        // closes everything — no per-connection threads to join.
+        let start = Instant::now();
+        assert_finishes_within(Duration::from_secs(2), "TcpServer::stop()", move || {
+            server.stop();
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "stop took {:?} with 1000 idle connections",
+            start.elapsed()
+        );
+        assert_eq!(
+            metrics.active_connections.load(Ordering::Relaxed),
+            0,
+            "gauge must return to zero after stop"
+        );
+        drop(conns);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_burst_beyond_inflight_cap_rejects_and_keeps_reply_order() {
+        // workers: 0 keeps the first four submissions parked in the queue,
+        // so the burst deterministically exceeds the in-flight cap.
+        let handle = start_engine(EngineConfig {
+            workers: 0,
+            queue_capacity: 64,
+            ..EngineConfig::default()
+        });
+        let cfg = FrontendConfig {
+            frontend: FrontendKind::EventLoop,
+            max_inflight_per_conn: 4,
+            ..FrontendConfig::default()
+        };
+        let mut server = TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", cfg).expect("bind");
+        let (mut stream, mut reader) = connect(&server);
+        let burst: Vec<u8> = INFER_LINE.repeat(7);
+        stream.write_all(&burst).expect("write burst");
+        stream.flush().expect("flush");
+
+        let metrics = handle.metrics();
+        wait_until(Duration::from_secs(2), "3 in-flight rejections", || {
+            metrics.rejected_inflight.load(Ordering::Relaxed) == 3
+        });
+        assert_eq!(
+            metrics.submitted.load(Ordering::Relaxed),
+            4,
+            "exactly the cap's worth of requests may reach the queue"
+        );
+
+        // The rejects (seq 4..6) resolved instantly but must wait in the
+        // reorder buffer until shutdown fail-fasts seq 0..3 — replies come
+        // back in submission order regardless of completion order.
+        handle.shutdown();
+        let replies: Vec<String> = (0..7).map(|_| read_reply(&mut reader).join(" ")).collect();
+        for (i, reply) in replies[..4].iter().enumerate() {
+            assert!(
+                reply.starts_with("err shutting-down"),
+                "reply {i}: expected shutting-down, got {reply:?}"
+            );
+        }
+        for (i, reply) in replies[4..].iter().enumerate() {
+            assert!(
+                reply.starts_with("err server-busy"),
+                "reply {}: expected server-busy, got {reply:?}",
+                i + 4
+            );
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn connection_cap_rejects_the_excess_connection() {
+        let handle = start_engine(EngineConfig::default());
+        let cfg = FrontendConfig {
+            frontend: FrontendKind::EventLoop,
+            max_connections: 2,
+            ..FrontendConfig::default()
+        };
+        let mut server = TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", cfg).expect("bind");
+
+        // Fill the cap with two live connections (round-trips prove both
+        // are registered, not just queued in the accept backlog).
+        let (mut s1, mut r1) = connect(&server);
+        s1.write_all(b"ping\n").expect("ping 1");
+        assert_eq!(read_reply(&mut r1), vec!["ok pong".to_string()]);
+        let (mut s2, mut r2) = connect(&server);
+        s2.write_all(b"ping\n").expect("ping 2");
+        assert_eq!(read_reply(&mut r2), vec!["ok pong".to_string()]);
+
+        // The third connection is told why and closed — never silently
+        // dropped.
+        let (_s3, mut r3) = connect(&server);
+        let reply = read_reply(&mut r3);
+        assert!(
+            reply[0].starts_with("err server-busy"),
+            "expected typed server-busy at accept, got {reply:?}"
+        );
+        let mut extra = String::new();
+        assert_eq!(
+            r3.read_line(&mut extra).expect("read after reject"),
+            0,
+            "rejected connection must be closed"
+        );
+        assert_eq!(
+            handle.metrics().rejected_conn_cap.load(Ordering::Relaxed),
+            1
+        );
+
+        // Capacity frees as soon as an admitted connection leaves.
+        s1.write_all(b"quit\n").expect("quit");
+        let mut eof = String::new();
+        assert_eq!(r1.read_line(&mut eof).expect("quit closes"), 0);
+        wait_until(Duration::from_secs(2), "slot released", || {
+            handle.metrics().active_connections.load(Ordering::Relaxed) == 1
+        });
+        let (mut s4, mut r4) = connect(&server);
+        s4.write_all(b"ping\n").expect("ping 4");
+        assert_eq!(read_reply(&mut r4), vec!["ok pong".to_string()]);
+
+        server.stop();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiry_over_pipelined_connection_keeps_reply_order() {
+        let handle = start_engine(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let mut server =
+            TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", epoll_cfg()).expect("bind");
+        let (mut stream, mut reader) = connect(&server);
+        // Two pipelined requests in one segment: the first is born expired
+        // (deadline=0) and is shed at dequeue; the second resolves normally
+        // (UnknownModel from the empty registry). Replies must come back in
+        // submission order with the right code on each.
+        stream
+            .write_all(b"infer model=ghost head=a tail=b deadline=0 text=a b\ninfer model=ghost head=a tail=b text=a b\n")
+            .expect("write pipelined pair");
+        stream.flush().expect("flush");
+        let first = read_reply(&mut reader);
+        assert!(
+            first[0].starts_with("err deadline-exceeded"),
+            "first reply must be the shed request, got {first:?}"
+        );
+        let second = read_reply(&mut reader);
+        assert!(
+            second[0].starts_with("err unknown-model"),
+            "second reply must resolve normally, got {second:?}"
+        );
+        assert_eq!(handle.metrics().deadline_expired.load(Ordering::Relaxed), 1);
+        server.stop();
+        handle.shutdown();
+    }
 }
