@@ -1,0 +1,307 @@
+//! Front-end concurrency sweep: requests/sec over real TCP as the number of
+//! concurrent connections grows from 10 to 10 000, for both front-end
+//! implementations (the epoll event loop and thread-per-connection).
+//!
+//! Each rung connects N clients, runs ping waves (every client writes one
+//! request, then every reply is read back and checked), and reports
+//! `N * waves / elapsed` req/s. Pings deliberately bypass the inference
+//! engine: this bench isolates the *front end* — readiness multiplexing,
+//! framing, and reply delivery — from model cost, which
+//! `serve_throughput` already covers.
+//!
+//! Leak accounting is part of the bench contract, not a side check: every
+//! rung asserts that the process file-descriptor count and thread count
+//! return to their pre-rung baseline after `stop()`, and every event-loop
+//! rung asserts the front end ran on exactly ONE thread even with 10 000
+//! connections open. The thread-per-connection path is only swept to 256
+//! connections — beyond that its per-client threads are the bottleneck
+//! being replaced, which is the point of the comparison ratio
+//! (`floor_serve_epoll_vs_threads_c256` gates the event loop staying within
+//! tolerance of the threaded path at moderate scale; it must never fall
+//! behind by more than the gate's margin).
+//!
+//! Honors `CRITERION_SAMPLE_MS` (default 100): wave count scales with it,
+//! and the big rung drops from 10 000 to 1 000 connections below 10 ms so
+//! the CI smoke stays fast (logged, never silent). With `IMRE_BENCH_JSON`
+//! set, req/s numbers and the epoll-vs-threads ratio are written for the
+//! `scripts/bench_check.sh` regression gate.
+
+#[cfg(not(target_os = "linux"))]
+fn main() {
+    // The sweep leans on linux-only plumbing: the epoll front end itself,
+    // `raise_nofile_limit`, and `/proc`-based leak accounting. Still write
+    // an (empty) metrics file so `scripts/bench_check.sh` can merge it.
+    println!("serve_concurrency: skipped (linux-only bench)");
+    imre_bench::MetricSink::new().write_if_requested();
+}
+
+#[cfg(target_os = "linux")]
+fn main() {
+    linux::main();
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use imre_serve::{
+        raise_nofile_limit, EngineConfig, FrontendConfig, FrontendKind, Registry, ServeHandle,
+        TcpServer,
+    };
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// The full wire reply to `ping`: the payload line plus the empty
+    /// terminator. Fixed-size, so clients read with `read_exact` instead of
+    /// per-connection buffered readers (10 000 `BufReader`s would cost 80 MB).
+    const PONG: &[u8] = b"ok pong\n\n";
+
+    fn sample_ms() -> u64 {
+        std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(100)
+    }
+
+    /// Open file descriptors of this process (including the one `read_dir`
+    /// itself holds — constant, so before/after deltas are exact).
+    fn proc_fds() -> usize {
+        std::fs::read_dir("/proc/self/fd")
+            .expect("/proc/self/fd")
+            .count()
+    }
+
+    /// Live threads of this process, from `/proc/self/status`.
+    fn proc_threads() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line")
+    }
+
+    /// Polls until `probe` holds or `limit` elapses; returns whether it held.
+    /// Thread/fd teardown after `stop()` is prompt but not synchronous with the
+    /// call returning, so leak checks poll briefly instead of racing it.
+    fn settles(limit: Duration, mut probe: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while !probe() {
+            if start.elapsed() > limit {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        true
+    }
+
+    /// One ping wave: write a request on every connection, then read back and
+    /// verify every reply.
+    fn wave(conns: &mut [TcpStream]) {
+        for (i, c) in conns.iter_mut().enumerate() {
+            c.write_all(b"ping\n")
+                .unwrap_or_else(|e| panic!("conn {i}: write ping: {e}"));
+        }
+        let mut buf = [0u8; PONG.len()];
+        for (i, c) in conns.iter_mut().enumerate() {
+            c.read_exact(&mut buf)
+                .unwrap_or_else(|e| panic!("conn {i}: read pong: {e}"));
+            assert_eq!(buf, PONG, "conn {i}: bad reply");
+        }
+    }
+
+    struct Rung {
+        rps: f64,
+        /// Threads the front end added while all connections were open.
+        frontend_threads: usize,
+    }
+
+    /// Spawns a fresh engine + server, connects `clients`, times `waves` ping
+    /// waves, then tears everything down and asserts nothing leaked.
+    fn run_rung(frontend: FrontendKind, clients: usize, waves: usize) -> Rung {
+        let fds_before = proc_fds();
+        let threads_before = proc_threads();
+
+        let handle = ServeHandle::start(
+            Arc::new(Registry::new()),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let threads_engine = proc_threads();
+        let cfg = FrontendConfig {
+            frontend,
+            max_connections: clients + 16,
+            ..FrontendConfig::default()
+        };
+        let mut server = TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", cfg).expect("bind");
+        let mut conns: Vec<TcpStream> = (0..clients)
+            .map(|i| {
+                let s = TcpStream::connect(server.local_addr())
+                    .unwrap_or_else(|e| panic!("connect {i}: {e}"));
+                s.set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("read timeout");
+                s.set_nodelay(true).ok();
+                s
+            })
+            .collect();
+
+        // Warm wave (untimed): proves every connection was admitted and is
+        // answering before the clock starts.
+        wave(&mut conns);
+        let frontend_threads = proc_threads() - threads_engine;
+
+        let start = Instant::now();
+        for _ in 0..waves {
+            wave(&mut conns);
+        }
+        let rps = (clients * waves) as f64 / start.elapsed().as_secs_f64();
+
+        drop(conns);
+        server.stop();
+        // The server struct itself holds the waker pipe's write end; drop
+        // it so the fd accounting below sees a fully torn-down front end.
+        drop(server);
+        handle.shutdown();
+
+        // The leak contract: fds and threads must return to the pre-rung
+        // baseline once the server is stopped and the engine shut down.
+        assert!(
+            settles(Duration::from_secs(5), || proc_fds() <= fds_before),
+            "{frontend:?}/{clients}: leaked fds ({} before, {} after stop)",
+            fds_before,
+            proc_fds()
+        );
+        assert!(
+            settles(Duration::from_secs(5), || proc_threads() <= threads_before),
+            "{frontend:?}/{clients}: leaked threads ({} before, {} after stop)",
+            threads_before,
+            proc_threads()
+        );
+        Rung {
+            rps,
+            frontend_threads,
+        }
+    }
+
+    pub fn main() {
+        let sample_ms = sample_ms();
+        let waves = (sample_ms / 10).clamp(2, 20) as usize;
+        let big_clients = if sample_ms >= 10 {
+            10_000
+        } else {
+            println!("serve_concurrency: CRITERION_SAMPLE_MS={sample_ms} < 10 — big rung scaled down to 1000 connections");
+            1_000
+        };
+        let big_waves = (waves / 5).max(1);
+
+        println!("=== serve_concurrency (waves = {waves}, big rung = {big_clients} conns) ===");
+        println!(
+            "{:>8}  {:>10}  {:>12}  {:>16}",
+            "clients", "frontend", "req/s", "frontend threads"
+        );
+        let mut sink = imre_bench::MetricSink::new();
+
+        // Moderate rungs, both front ends. At 256 the pair is interleaved and
+        // best-of-3 so the comparison ratio is not skewed by a one-off
+        // scheduler stall on either side (each rung is a fresh engine +
+        // server + connection set, so rounds are independent).
+        let best = |frontend: FrontendKind, clients: usize, rounds: usize| -> Rung {
+            let mut best = run_rung(frontend, clients, waves);
+            for _ in 1..rounds {
+                let r = run_rung(frontend, clients, waves);
+                if r.rps > best.rps {
+                    best = r;
+                }
+            }
+            println!(
+                "{clients:>8}  {frontend:>10?}  {:>12.1}  {:>16}",
+                best.rps, best.frontend_threads
+            );
+            best
+        };
+        for clients in [10usize, 64] {
+            let e = best(FrontendKind::EventLoop, clients, 1);
+            let t = best(FrontendKind::Threads, clients, 1);
+            assert_eq!(
+                e.frontend_threads, 1,
+                "event loop must stay single-threaded at {clients} connections"
+            );
+            if clients == 64 {
+                sink.record("serve_conc_rps_c64", e.rps);
+            } else {
+                sink.record("info_serve_conc_rps_c10_epoll", e.rps);
+            }
+            sink.record(&format!("info_serve_conc_rps_c{clients}_threads"), t.rps);
+        }
+        let (e256, t256) = {
+            let mut e = run_rung(FrontendKind::EventLoop, 256, waves);
+            let mut t = run_rung(FrontendKind::Threads, 256, waves);
+            for _ in 1..3 {
+                let er = run_rung(FrontendKind::EventLoop, 256, waves);
+                if er.rps > e.rps {
+                    e = er;
+                }
+                let tr = run_rung(FrontendKind::Threads, 256, waves);
+                if tr.rps > t.rps {
+                    t = tr;
+                }
+            }
+            for (r, f) in [(&e, FrontendKind::EventLoop), (&t, FrontendKind::Threads)] {
+                println!(
+                    "{:>8}  {f:>10?}  {:>12.1}  {:>16}",
+                    256, r.rps, r.frontend_threads
+                );
+            }
+            (e, t)
+        };
+        assert_eq!(e256.frontend_threads, 1);
+        sink.record("serve_conc_rps_c256", e256.rps);
+        sink.record("info_serve_conc_rps_c256_threads", t256.rps);
+        sink.record("floor_serve_epoll_vs_threads_c256", e256.rps / t256.rps);
+
+        // Connection-scale rungs: event loop only. One front-end thread for
+        // every rung is asserted, not assumed.
+        let e1k = best(FrontendKind::EventLoop, 1024, 1);
+        assert_eq!(e1k.frontend_threads, 1);
+        sink.record("info_serve_conc_rps_c1024", e1k.rps);
+
+        // The big rung needs ~2 fds per connection (client + server side) in
+        // this one process.
+        let want_fds = 2 * big_clients as u64 + 4_000;
+        let got = raise_nofile_limit(want_fds).expect("raise_nofile_limit");
+        let big_clients = if got < want_fds {
+            let capped = ((got.saturating_sub(4_000)) / 2) as usize;
+            println!(
+            "serve_concurrency: fd limit {got} < {want_fds} — big rung capped to {capped} connections"
+        );
+            capped
+        } else {
+            big_clients
+        };
+        let ebig = {
+            let r = run_rung(FrontendKind::EventLoop, big_clients, big_waves);
+            println!(
+                "{big_clients:>8}  {:>10?}  {:>12.1}  {:>16}",
+                FrontendKind::EventLoop,
+                r.rps,
+                r.frontend_threads
+            );
+            r
+        };
+        assert_eq!(
+            ebig.frontend_threads, 1,
+            "event loop must stay single-threaded at {big_clients} connections"
+        );
+        sink.record("info_serve_conc_big_clients", big_clients as f64);
+        sink.record("info_serve_conc_rps_big", ebig.rps);
+
+        println!(
+        "epoll/threads @256: {:.2}x  |  epoll @{big_clients}: {:.1} req/s on 1 front-end thread, zero leaks",
+        e256.rps / t256.rps,
+        ebig.rps
+    );
+        sink.write_if_requested();
+    }
+}

@@ -6,7 +6,8 @@
 #   scripts/bench_check.sh            # run benches, diff vs BENCH_PR2.json
 #   scripts/bench_check.sh --update   # regenerate BENCH_PR2.json in place
 #
-# The benches (kernel_scaling, serve_throughput, knn_serve, train_scaling) each dump a flat JSON
+# The benches (kernel_scaling, serve_throughput, serve_concurrency,
+# knn_serve, train_scaling) each dump a flat JSON
 # object via IMRE_BENCH_JSON; this script merges them into one object at
 # target/bench/current.json (uploaded as a CI artifact) and compares every
 # key against the committed BENCH_PR2.json:
@@ -48,6 +49,8 @@ IMRE_BENCH_JSON="$OUT/kernel_scaling.json" \
     cargo bench --offline -q -p imre-bench --bench kernel_scaling
 IMRE_BENCH_JSON="$OUT/serve_throughput.json" \
     cargo bench --offline -q -p imre-bench --bench serve_throughput
+IMRE_BENCH_JSON="$OUT/serve_concurrency.json" \
+    cargo bench --offline -q -p imre-bench --bench serve_concurrency
 IMRE_BENCH_JSON="$OUT/knn_serve.json" \
     cargo bench --offline -q -p imre-bench --bench knn_serve
 IMRE_BENCH_JSON="$OUT/train_scaling.json" \
@@ -57,7 +60,7 @@ IMRE_BENCH_JSON="$OUT/train_scaling.json" \
 {
     printf '{\n'
     grep -h '":' "$OUT/kernel_scaling.json" "$OUT/serve_throughput.json" \
-        "$OUT/knn_serve.json" "$OUT/train_scaling.json" \
+        "$OUT/serve_concurrency.json" "$OUT/knn_serve.json" "$OUT/train_scaling.json" \
         | sed 's/,$//' | sed '$!s/$/,/'
     printf '}\n'
 } >"$OUT/current.json"
