@@ -184,8 +184,20 @@ impl AnnIndex {
         if max_level as usize > MAX_LEVEL {
             return Err(bad("ANN section max level out of range"));
         }
-        // The fixed-size arrays alone must fit the remaining body.
-        let fixed = 4 * n + n + 4 * n * dim;
+        // The fixed-size arrays alone must fit the remaining body. `n` and
+        // `dim` are attacker-controlled (each up to u32::MAX), so the size
+        // is computed with checked arithmetic — `4 * n * dim` can exceed
+        // usize, and an overflow panic in a debug build would break this
+        // module's never-panic contract on corrupt-but-checksummed input.
+        let fixed = n
+            .checked_mul(4)
+            .and_then(|labels| labels.checked_add(n))
+            .and_then(|head| {
+                n.checked_mul(dim)
+                    .and_then(|elems| elems.checked_mul(4))
+                    .and_then(|vectors| head.checked_add(vectors))
+            })
+            .ok_or_else(|| bad("ANN section header sizes overflow"))?;
         if body.len() - c.pos < fixed {
             return Err(bad("ANN section body shorter than its header claims"));
         }
@@ -311,6 +323,22 @@ mod tests {
         let mut bytes = to_bytes(&sample_index(4));
         bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(AnnIndex::read_from(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn huge_header_sizes_error_instead_of_overflowing() {
+        // A corrupt-but-checksummed header claiming u32::MAX nodes of
+        // u32::MAX dims makes `4 * n * dim` exceed usize; the size math
+        // must report InvalidData rather than panic on overflow (debug
+        // builds) or wrap (release).
+        let mut bytes = to_bytes(&sample_index(4));
+        bytes[36..40].copy_from_slice(&u32::MAX.to_le_bytes()); // dim (body offset 20)
+        bytes[44..48].copy_from_slice(&u32::MAX.to_le_bytes()); // n (body offset 24)
+        let body_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let sum = fnv1a(&bytes[16..16 + body_len]);
+        bytes[16 + body_len..16 + body_len + 8].copy_from_slice(&sum.to_le_bytes());
+        let err = AnnIndex::read_from(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
     }
 
     #[test]

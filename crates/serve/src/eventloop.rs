@@ -70,7 +70,8 @@ const FIRST_CONN_ID: u64 = 2;
 pub(crate) mod sys {
     //! Raw syscall bindings for epoll/pipe/rlimit — the workspace is
     //! std-only (no libc crate), so the handful of symbols the loop needs
-    //! are declared here directly. Linux x86-64 ABI.
+    //! are declared here directly. The only arch-sensitive piece is
+    //! `EpollEvent`'s layout, handled per-arch below.
 
     use std::io;
     use std::os::fd::{FromRawFd, OwnedFd, RawFd};
@@ -90,14 +91,27 @@ pub(crate) mod sys {
     const O_CLOEXEC: c_int = 0o2000000;
     const RLIMIT_NOFILE: c_int = 7;
 
-    /// Mirrors the kernel's `struct epoll_event`, which is packed on
-    /// x86-64 (no padding between the 32-bit event mask and 64-bit data).
-    #[repr(C, packed)]
+    /// Mirrors the kernel's `struct epoll_event`, whose layout is
+    /// arch-dependent: x86-64 packs it to 12 bytes (no padding between the
+    /// 32-bit event mask and the 64-bit data word — a compatibility quirk
+    /// inherited from the 32-bit ABI), while every other Linux arch uses
+    /// the plain C layout of `{u32; u64}` (16 bytes on aarch64 and other
+    /// 64-bit arches, which `repr(C)` reproduces exactly). Packing
+    /// unconditionally would make `epoll_wait` on aarch64 write 16-byte
+    /// entries into a 12-byte-stride buffer — out-of-bounds heap writes and
+    /// events routed to the wrong connections — so the packing is gated on
+    /// the target arch instead of assumed.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
         pub data: u64,
     }
+
+    // Layout guard for the one arch where we override the C ABI.
+    #[cfg(target_arch = "x86_64")]
+    const _: () = assert!(std::mem::size_of::<EpollEvent>() == 12);
 
     #[repr(C)]
     #[derive(Clone, Copy)]

@@ -337,48 +337,86 @@ fn serve_connection(
     stream.set_read_timeout(Some(READ_POLL))?;
     let mut writer = stream;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    // Partial-line accumulator. Framing goes through bounded
+    // `fill_buf`/`consume` chunks — never `read_line`, which appends until
+    // it sees a newline no matter how long that takes — so the
+    // `max_line_bytes` cap is enforced *mid-line*: a client streaming a
+    // newline-free byte stream (fast enough to never hit the read timeout)
+    // is rejected within one BufReader chunk of the cap instead of growing
+    // the buffer without bound. Same typed reject as the event loop's
+    // framer.
+    let mut buf: Vec<u8> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
-        // Bound line growth on every pass, including timeout passes where a
-        // slow client keeps a partial line parked in `line` — same typed
-        // reject as the event loop's framer.
-        if line.len() > max_line_bytes {
+        let (consumed, complete) = {
+            let chunk = match reader.fill_buf() {
+                Ok([]) => return Ok(()), // peer closed
+                Ok(chunk) => chunk,
+                // Read timeout (reported as WouldBlock or TimedOut depending
+                // on platform): keep any partial line already buffered and
+                // poll the stop flag again.
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&chunk[..=pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(chunk);
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        // A complete line is judged on its content (terminator trimmed); a
+        // partial line past the cap can never shrink, so it is rejected as
+        // soon as the accumulator crosses the bound.
+        let over_cap = if complete {
+            trim_line(&buf).len() > max_line_bytes
+        } else {
+            buf.len() > max_line_bytes
+        };
+        if over_cap {
             let err = crate::error::ServeError::BadRequest(format!(
                 "request line exceeds {max_line_bytes} bytes"
             ));
             let _ = writer.write_all(&encode_lines(&[format_error(&err)]));
             return Ok(());
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // peer closed
-            Ok(_) => {}
-            // Read timeout (reported as WouldBlock or TimedOut depending on
-            // platform): keep any partial line already buffered and poll
-            // the stop flag again.
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e),
+        if !complete {
+            continue;
         }
-        if line.trim_end_matches(['\r', '\n']).len() > max_line_bytes {
-            let err = crate::error::ServeError::BadRequest(format!(
-                "request line exceeds {max_line_bytes} bytes"
-            ));
-            writer.write_all(&encode_lines(&[format_error(&err)]))?;
-            return Ok(());
-        }
-        match handle_line(handle, &line) {
+        let line = std::str::from_utf8(&buf).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request line is not valid UTF-8",
+            )
+        })?;
+        match handle_line(handle, line) {
             Reply::Quit => return Ok(()),
             Reply::Lines(lines) => {
                 writer.write_all(&encode_lines(&lines))?;
                 writer.flush()?;
             }
         }
-        line.clear();
+        buf.clear();
     }
+}
+
+/// Strips the trailing `\n` / `\r\n` from a framed line's bytes.
+fn trim_line(line: &[u8]) -> &[u8] {
+    let mut end = line.len();
+    while end > 0 && (line[end - 1] == b'\n' || line[end - 1] == b'\r') {
+        end -= 1;
+    }
+    &line[..end]
 }

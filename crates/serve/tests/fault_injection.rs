@@ -457,6 +457,47 @@ mod event_loop {
     }
 
     #[test]
+    fn fast_newline_free_stream_is_rejected_mid_line() {
+        // A hostile client streaming newline-free bytes *without pausing*
+        // never trips a read timeout, so the cap must be enforced per read
+        // chunk, mid-line — not only between reads. Regression test for the
+        // threaded framer, which previously let `read_line` grow the buffer
+        // unboundedly for exactly this client; the event loop rides along.
+        for frontend in [FrontendKind::EventLoop, FrontendKind::Threads] {
+            let handle = start_engine(EngineConfig::default());
+            let cfg = FrontendConfig {
+                frontend,
+                max_line_bytes: 256,
+                ..FrontendConfig::default()
+            };
+            let mut server =
+                TcpServer::spawn_with(handle.clone(), "127.0.0.1:0", cfg).expect("bind");
+            let (stream, mut reader) = connect(&server);
+            let writer = std::thread::spawn(move || {
+                // Stream far past the cap with no gap between writes; stop
+                // only when the server closes the socket on us.
+                let chunk = [b'x'; 4096];
+                let mut sent = 0usize;
+                let mut stream = stream;
+                while sent < 8 * 1024 * 1024 {
+                    match stream.write_all(&chunk) {
+                        Ok(()) => sent += chunk.len(),
+                        Err(_) => break, // reset/EPIPE after the reject
+                    }
+                }
+            });
+            let reply = read_reply(&mut reader);
+            assert!(
+                reply[0].starts_with("err bad-request"),
+                "{frontend:?}: expected typed bad-request mid-stream, got {reply:?}"
+            );
+            writer.join().expect("writer thread");
+            server.stop();
+            handle.shutdown();
+        }
+    }
+
+    #[test]
     fn mid_request_disconnect_drops_the_completion_safely() {
         // workers: 0 — the submitted request can only resolve at shutdown,
         // by which point the client is long gone. The completion must be

@@ -99,6 +99,10 @@ pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
     threads: usize,
     dispatched: AtomicU64,
+    /// Round-robin start index for wake-limited dispatch, so concurrent
+    /// parallel regions spread across the pool instead of all queueing on
+    /// the first few workers' channels.
+    wake_cursor: AtomicUsize,
 }
 
 impl ThreadPool {
@@ -126,6 +130,7 @@ impl ThreadPool {
             workers,
             threads,
             dispatched: AtomicU64::new(0),
+            wake_cursor: AtomicUsize::new(0),
         }
     }
 
@@ -175,9 +180,16 @@ impl ThreadPool {
         // Wake only as many workers as there are tasks beyond the caller's
         // own: waking the full pool for a 2-task region just burns context
         // switches (worst on boxes with fewer cores than pool threads).
-        // Which workers wake can never matter — task claiming is
-        // first-come over a fixed index→shard mapping.
-        for tx in self.senders.iter().take(n_tasks - 1) {
+        // The starting worker rotates per dispatch so concurrent regions
+        // (e.g. several serve engine workers dispatching small jobs at
+        // once) spread across the pool instead of piling up behind the
+        // first few workers' channels. Which workers wake can never affect
+        // results — task claiming is first-come over a fixed index→shard
+        // mapping, and the owner drains the counter itself regardless.
+        let wakes = (n_tasks - 1).min(self.senders.len());
+        let start = self.wake_cursor.fetch_add(wakes, Ordering::Relaxed);
+        for j in 0..wakes {
+            let tx = &self.senders[(start + j) % self.senders.len()];
             // Send failure means the worker died, which only happens if a
             // worker thread itself was killed; the owner still completes
             // the job by draining the counter below.
