@@ -8,11 +8,67 @@
 //! distances are non-negative, so their IEEE-754 bit patterns sort like the
 //! values themselves).
 
+use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 /// Hard cap on a node's top layer; `u8`-sized and far above what the
 /// geometric level distribution reaches for any realistic corpus.
 pub(crate) const MAX_LEVEL: usize = 15;
+
+/// Backing storage for the vector matrix: owned (built or stream-loaded
+/// indices) or borrowed zero-copy from an external allocation — in practice
+/// the 64-byte-aligned vectors block of a memory-mapped v3 bundle section.
+/// The `_keep` handle (the mapping) outlives every borrow by construction.
+pub(crate) enum VecStorage {
+    Owned(Vec<f32>),
+    Borrowed {
+        ptr: *const f32,
+        len: usize,
+        _keep: Arc<dyn Any + Send + Sync>,
+    },
+}
+
+// SAFETY: the borrowed variant is an immutable view of memory owned by the
+// `Send + Sync` keepalive; nothing ever writes through `ptr`.
+#[allow(unsafe_code)]
+unsafe impl Send for VecStorage {}
+#[allow(unsafe_code)]
+unsafe impl Sync for VecStorage {}
+
+impl VecStorage {
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        match self {
+            VecStorage::Owned(v) => v,
+            // SAFETY: constructor contract — `ptr..ptr+len` stays valid and
+            // unmodified for as long as `_keep` is alive.
+            #[allow(unsafe_code)]
+            VecStorage::Borrowed { ptr, len, .. } => unsafe {
+                std::slice::from_raw_parts(*ptr, *len)
+            },
+        }
+    }
+
+    fn is_borrowed(&self) -> bool {
+        matches!(self, VecStorage::Borrowed { .. })
+    }
+}
+
+impl fmt::Debug for VecStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VecStorage({}, {} floats)",
+            if self.is_borrowed() {
+                "borrowed"
+            } else {
+                "owned"
+            },
+            self.as_slice().len()
+        )
+    }
+}
 
 /// Construction and search parameters for [`AnnIndex`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -132,8 +188,8 @@ impl SearchScratch {
 pub struct AnnIndex {
     cfg: HnswConfig,
     dim: usize,
-    /// Row-major `[n, dim]` vectors, insertion order.
-    vectors: Vec<f32>,
+    /// Row-major `[n, dim]` vectors, insertion order (owned or mmap-borrowed).
+    vectors: VecStorage,
     /// Relation label per vector.
     labels: Vec<u32>,
     /// Top layer per node.
@@ -272,7 +328,7 @@ pub(crate) struct RawParts<'a> {
 pub(crate) struct OwnedParts {
     pub cfg: HnswConfig,
     pub dim: usize,
-    pub vectors: Vec<f32>,
+    pub vectors: VecStorage,
     pub labels: Vec<u32>,
     pub levels: Vec<u8>,
     pub links: Vec<Vec<Vec<u32>>>,
@@ -332,7 +388,7 @@ impl AnnIndex {
         let mut index = AnnIndex {
             cfg,
             dim,
-            vectors,
+            vectors: VecStorage::Owned(vectors),
             labels,
             levels,
             links,
@@ -375,14 +431,20 @@ impl AnnIndex {
     /// The indexed vector for `id`.
     pub fn vector(&self, id: u32) -> &[f32] {
         let d = self.dim;
-        &self.vectors[id as usize * d..(id as usize + 1) * d]
+        &self.vectors.as_slice()[id as usize * d..(id as usize + 1) * d]
+    }
+
+    /// Whether the vector matrix borrows from an external mapping rather
+    /// than owning its storage.
+    pub fn is_borrowed(&self) -> bool {
+        self.vectors.is_borrowed()
     }
 
     pub(crate) fn raw_parts(&self) -> RawParts<'_> {
         RawParts {
             cfg: &self.cfg,
             dim: self.dim,
-            vectors: &self.vectors,
+            vectors: self.vectors.as_slice(),
             labels: &self.labels,
             levels: &self.levels,
             links: &self.links,
@@ -462,12 +524,13 @@ impl AnnIndex {
     fn shrink(&mut self, node: u32, layer: usize) {
         let m_max = self.m_max(layer);
         let base = node as usize * self.dim;
+        let vs = self.vectors.as_slice();
         let mut keys: Vec<u64> = self.links[node as usize][layer]
             .iter()
             .map(|&nb| {
                 let d = l2sq(
-                    &self.vectors[base..base + self.dim],
-                    &self.vectors[nb as usize * self.dim..(nb as usize + 1) * self.dim],
+                    &vs[base..base + self.dim],
+                    &vs[nb as usize * self.dim..(nb as usize + 1) * self.dim],
                 );
                 pack(d, nb)
             })
@@ -578,7 +641,10 @@ impl AnnIndex {
     /// declared levels, `max_level` consistent.
     pub(crate) fn validate_structure(&self) -> Result<(), AnnError> {
         let n = self.len();
-        if self.vectors.len() != n * self.dim || self.levels.len() != n || self.links.len() != n {
+        if self.vectors.as_slice().len() != n * self.dim
+            || self.levels.len() != n
+            || self.links.len() != n
+        {
             return Err(AnnError::BadInput("array lengths disagree".into()));
         }
         if (self.entry as usize) >= n {

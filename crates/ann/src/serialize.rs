@@ -22,14 +22,27 @@
 //! index. After the checksum passes, the parsed graph is still run through
 //! the same structural validation the builder guarantees.
 
-use crate::hnsw::{AnnIndex, HnswConfig, MAX_LEVEL};
+use crate::hnsw::{AnnIndex, HnswConfig, VecStorage, MAX_LEVEL};
+use std::any::Any;
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 /// Section magic, distinct from the bundle's `IMRB`.
 pub const ANN_MAGIC: &[u8; 4] = b"IMRA";
 
 /// Current section format version.
 pub const ANN_VERSION: u32 = 1;
+
+/// Version tag of the 64-byte-aligned layout used inside v3 bundle
+/// sections ([`AnnIndex::write_aligned`]). Distinct from [`ANN_VERSION`]
+/// so a classic stream reader can never misparse an aligned section.
+pub const ANN_ALIGNED_VERSION: u32 = 2;
+
+/// Alignment of the vectors block inside an aligned section, relative to
+/// the section start (which the bundle layer places at a 64-byte-aligned
+/// file offset — and mappings are page-aligned, so file alignment carries
+/// over to memory).
+pub const ANN_SECTION_ALIGN: usize = 64;
 
 /// Sections larger than this are rejected as corrupt before allocation
 /// (1 GiB of index for a research corpus means the length field is garbage).
@@ -241,6 +254,174 @@ impl AnnIndex {
         let index = AnnIndex::from_raw_parts(crate::hnsw::OwnedParts {
             cfg,
             dim,
+            vectors: VecStorage::Owned(vectors),
+            labels,
+            levels,
+            links,
+            entry,
+            max_level: max_level as u8,
+        });
+        index.validate_structure().map_err(|e| bad(e.to_string()))?;
+        Ok(index)
+    }
+
+    /// Serializes the index in the **aligned** layout used by v3 bundle
+    /// sections: the fixed header and small arrays first, then zero padding
+    /// so the f32 vectors block starts at a multiple of
+    /// [`ANN_SECTION_ALIGN`] *relative to the section start*, then the link
+    /// lists. No trailing checksum — the v3 section table checksums every
+    /// section as a whole.
+    ///
+    /// ```text
+    /// magic "IMRA" · version u32 (=2)
+    /// seed u64 · m u32 · ef_construction u32 · ef_search u32
+    /// dim u32 · n u32 · entry u32 · max_level u32
+    /// labels n × u32 · levels n × u8
+    /// zero padding to 64-alignment
+    /// vectors n·dim × f32          ← zero-copy borrowable
+    /// links   per node, per layer 0..=level: count u32, count × u32
+    /// ```
+    pub fn write_aligned(&self) -> Vec<u8> {
+        let p = self.raw_parts();
+        let n = p.labels.len();
+        let mut b = Vec::with_capacity(64 + 5 * n + 4 * n * p.dim);
+        b.extend_from_slice(ANN_MAGIC);
+        b.extend_from_slice(&ANN_ALIGNED_VERSION.to_le_bytes());
+        b.extend_from_slice(&p.cfg.seed.to_le_bytes());
+        for v in [
+            p.cfg.m as u32,
+            p.cfg.ef_construction as u32,
+            p.cfg.ef_search as u32,
+            p.dim as u32,
+            n as u32,
+            p.entry,
+            p.max_level as u32,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        for &l in p.labels {
+            b.extend_from_slice(&l.to_le_bytes());
+        }
+        b.extend_from_slice(p.levels);
+        let pad = b.len().next_multiple_of(ANN_SECTION_ALIGN) - b.len();
+        b.resize(b.len() + pad, 0);
+        for &v in p.vectors {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        for layers in p.links {
+            for list in layers {
+                b.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for &nb in list {
+                    b.extend_from_slice(&nb.to_le_bytes());
+                }
+            }
+        }
+        b
+    }
+
+    /// Parses an aligned section written by [`AnnIndex::write_aligned`].
+    ///
+    /// With `keep = Some(owner)` and a suitably aligned vectors block (the
+    /// mmap case), the vector matrix is **borrowed zero-copy** from
+    /// `bytes`, kept alive by `owner`; the caller guarantees `bytes`
+    /// remains valid and unmodified for `owner`'s lifetime. Otherwise (or
+    /// on a big-endian target) the vectors are copied. Small arrays and
+    /// link lists are always copied. Corruption of any kind surfaces as
+    /// `InvalidData` — callers are expected to have verified the section
+    /// checksum already, so this guards structure, not bit rot.
+    pub fn read_aligned(
+        bytes: &[u8],
+        keep: Option<Arc<dyn Any + Send + Sync>>,
+    ) -> io::Result<AnnIndex> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        if c.take(4)? != ANN_MAGIC {
+            return Err(bad("bad ANN section magic (expected IMRA)"));
+        }
+        let version = c.u32()?;
+        if version != ANN_ALIGNED_VERSION {
+            return Err(bad(format!("unsupported aligned ANN version {version}")));
+        }
+        let seed = c.u64()?;
+        let m = c.u32()? as usize;
+        let ef_construction = c.u32()? as usize;
+        let ef_search = c.u32()? as usize;
+        let dim = c.u32()? as usize;
+        let n = c.u32()? as usize;
+        let entry = c.u32()?;
+        let max_level = c.u32()?;
+        if dim == 0 || n == 0 || m < 2 {
+            return Err(bad("ANN section header degenerate"));
+        }
+        if max_level as usize > MAX_LEVEL {
+            return Err(bad("ANN section max level out of range"));
+        }
+        // `n`/`dim` come from the file: all size math is checked so a
+        // corrupt header reports InvalidData instead of overflowing.
+        let vec_bytes = n
+            .checked_mul(dim)
+            .and_then(|e| e.checked_mul(4))
+            .ok_or_else(|| bad("ANN section header sizes overflow"))?;
+        let labels: Vec<u32> = c
+            .take(4 * n)?
+            .chunks_exact(4)
+            .map(|w| u32::from_le_bytes(w.try_into().unwrap()))
+            .collect();
+        let levels: Vec<u8> = c.take(n)?.to_vec();
+        let pad = c.pos.next_multiple_of(ANN_SECTION_ALIGN) - c.pos;
+        if c.take(pad)?.iter().any(|&b| b != 0) {
+            return Err(bad("ANN section alignment padding not zeroed"));
+        }
+        let vec_slice = c.take(vec_bytes)?;
+        let vectors = match &keep {
+            Some(owner)
+                if cfg!(target_endian = "little")
+                    && (vec_slice.as_ptr() as usize).is_multiple_of(4) =>
+            {
+                // SAFETY: alignment just checked, any bit pattern is a
+                // valid f32, and `owner` keeps the backing memory alive
+                // and immutable per this function's contract.
+                VecStorage::Borrowed {
+                    ptr: vec_slice.as_ptr() as *const f32,
+                    len: n * dim,
+                    _keep: Arc::clone(owner),
+                }
+            }
+            _ => VecStorage::Owned(
+                vec_slice
+                    .chunks_exact(4)
+                    .map(|w| f32::from_le_bytes(w.try_into().unwrap()))
+                    .collect(),
+            ),
+        };
+        let mut links = Vec::with_capacity(n);
+        for &level in &levels {
+            let mut layers = Vec::with_capacity(level as usize + 1);
+            for _ in 0..=level {
+                let count = c.u32()? as usize;
+                if count > n {
+                    return Err(bad("ANN section neighbor count exceeds node count"));
+                }
+                let list: Vec<u32> = c
+                    .take(4 * count)?
+                    .chunks_exact(4)
+                    .map(|w| u32::from_le_bytes(w.try_into().unwrap()))
+                    .collect();
+                layers.push(list);
+            }
+            links.push(layers);
+        }
+        if c.pos != bytes.len() {
+            return Err(bad("ANN section has trailing bytes"));
+        }
+        let cfg = HnswConfig {
+            m,
+            ef_construction: ef_construction.max(1),
+            ef_search: ef_search.max(1),
+            seed,
+        };
+        let index = AnnIndex::from_raw_parts(crate::hnsw::OwnedParts {
+            cfg,
+            dim,
             vectors,
             labels,
             levels,
@@ -338,6 +519,72 @@ mod tests {
         let sum = fnv1a(&bytes[16..16 + body_len]);
         bytes[16 + body_len..16 + body_len + 8].copy_from_slice(&sum.to_le_bytes());
         let err = AnnIndex::read_from(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn aligned_roundtrip_owned_and_borrowed_agree() {
+        let index = sample_index(9);
+        let bytes = index.write_aligned();
+        // Owned parse (no keepalive).
+        let owned = AnnIndex::read_aligned(&bytes, None).unwrap();
+        assert!(!owned.is_borrowed());
+        // Borrowed parse: the Vec is 4-aligned in practice, but the code
+        // copies if not, so either storage mode must give identical results.
+        let keep: Arc<Vec<u8>> = Arc::new(bytes.clone());
+        // SAFETY: `keep` is cloned into the index as its keepalive, so the
+        // view outlives every borrow taken from it.
+        #[allow(unsafe_code)]
+        let view = unsafe { std::slice::from_raw_parts(keep.as_ptr(), keep.len()) };
+        let borrowed = AnnIndex::read_aligned(view, Some(keep.clone() as _)).unwrap();
+        let mut s = crate::SearchScratch::new();
+        let q = [1.0f32, 2.0, 3.0];
+        let want = index.search(&q, 7, &mut s).to_vec();
+        let mut s2 = crate::SearchScratch::new();
+        assert_eq!(owned.search(&q, 7, &mut s2), &want[..]);
+        let mut s3 = crate::SearchScratch::new();
+        assert_eq!(borrowed.search(&q, 7, &mut s3), &want[..]);
+        // Re-serialization is byte-identical regardless of storage mode.
+        assert_eq!(owned.write_aligned(), bytes);
+        assert_eq!(borrowed.write_aligned(), bytes);
+    }
+
+    #[test]
+    fn aligned_vectors_block_is_64_aligned_relative_to_section() {
+        for seed in [4u64, 9, 21] {
+            let index = sample_index(seed);
+            let bytes = index.write_aligned();
+            let n = index.len();
+            let voff = (44 + 5 * n).next_multiple_of(ANN_SECTION_ALIGN);
+            let dim = index.dim();
+            let got: Vec<f32> = bytes[voff..voff + 4 * n * dim]
+                .chunks_exact(4)
+                .map(|w| f32::from_le_bytes(w.try_into().unwrap()))
+                .collect();
+            assert_eq!(&got[..dim], index.vector(0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn aligned_truncation_and_trailing_bytes_rejected() {
+        let bytes = sample_index(4).write_aligned();
+        for keep in [3usize, 12, 47, bytes.len() / 2, bytes.len() - 1] {
+            let err = AnnIndex::read_aligned(&bytes[..keep], None).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "keep {keep}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(AnnIndex::read_aligned(&long, None).is_err());
+        // The classic stream reader must not accept the aligned layout.
+        assert!(AnnIndex::read_from(&mut &bytes[..]).is_err());
+    }
+
+    #[test]
+    fn aligned_huge_header_sizes_error_instead_of_overflowing() {
+        let mut bytes = sample_index(4).write_aligned();
+        bytes[28..32].copy_from_slice(&u32::MAX.to_le_bytes()); // dim
+        bytes[32..36].copy_from_slice(&u32::MAX.to_le_bytes()); // n
+        let err = AnnIndex::read_aligned(&bytes, None).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
     }
 

@@ -37,6 +37,15 @@ USAGE:
                   [--parallel-seeds N]   train at most N seeds concurrently
                   (0 = all at once, the default)
   imre case-study --dataset <nyt|gds|smoke> [--entity NAME] [--k N]
+  imre quantize   --bundle FILE --out FILE   re-export a bundle with a
+                  per-row int8 copy of the model (.imrb version 3; loads
+                  zero-copy from a memory mapping, ~1/4 the weight bytes)
+                  [--check <nyt|gds|smoke>] [--seed N]   score the int8
+                  model against f32 on the dataset's held-out split and
+                  report max score drift + AUC / P@100/200/300 deltas
+                  [--max-drift D] [--max-pn-delta P]   fail (exit nonzero)
+                  when the --check drift exceeds D or any P@N delta
+                  exceeds P percentage points — the CI gate
   imre serve      --bundle FILE [--name NAME] [--addr HOST:PORT] [--workers N]
                   [--batch N] [--deadline-ms N] [--queue N]
                   [--request-deadline-ms N]   default per-request time budget:
@@ -53,6 +62,9 @@ USAGE:
                   [--frontend <auto|epoll|threads>]   accept/connection
                   implementation (default auto: epoll on linux; the env var
                   IMRE_SERVE_FRONTEND overrides auto)
+                  [--precision <f32|int8>]   forward-pass precision
+                  (default f32; int8 needs a bundle re-exported by
+                  `imre quantize`)
 
 GLOBAL FLAGS (any subcommand):
   --threads N     size of the compute thread pool (default: IMRE_THREADS env
@@ -205,6 +217,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "eval" => cmd_eval(&flags),
         "compare" => cmd_compare(&flags),
         "case-study" => cmd_case_study(&flags),
+        "quantize" => cmd_quantize(&flags),
         "serve" => cmd_serve(&flags),
         other => Err(usage(format!("unknown subcommand {other:?}"))),
     }
@@ -319,6 +332,100 @@ fn cmd_train(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `imre quantize`: load a bundle, attach a per-row int8 copy of its model,
+/// and write it back as an `.imrb` version-3 artifact. With `--check`, the
+/// int8 model is scored against f32 on a dataset's held-out split first;
+/// `--max-drift` / `--max-pn-delta` turn the report into a hard gate (CI
+/// runs it that way).
+fn cmd_quantize(flags: &Flags) -> Result<(), CliError> {
+    let in_path = PathBuf::from(flags.required("bundle")?);
+    let out_path = PathBuf::from(flags.required("out")?);
+    let bundle = imre_serve::load_bundle(&in_path)?;
+    let quant = imre_core::QuantModel::from_model(&bundle.model, bundle.embedding.as_ref())
+        .map_err(|e| usage(format!("cannot quantize {}: {e}", in_path.display())))?;
+    let f32_bytes = bundle.model.store.num_scalars() * 4;
+    let q_bytes = quant.bytes();
+    println!(
+        "weights: f32 {f32_bytes} bytes → int8 {q_bytes} bytes ({:.1}% of f32)",
+        q_bytes as f64 / f32_bytes as f64 * 100.0
+    );
+
+    if let Some(dataset) = flags.optional("check") {
+        let seed = flags.number("seed", 1u64)?;
+        let max_drift = flags.number("max-drift", f32::INFINITY)?;
+        let max_pn_delta = flags.number("max-pn-delta", f32::INFINITY)?;
+        let config = dataset_config(dataset, seed)?;
+        let pipeline = Pipeline::build(&config, bundle.model.hp.clone());
+        let types = imre_core::entity_type_table(&pipeline.dataset.world);
+        let ctx = imre_core::BagContext {
+            entity_embedding: bundle.embedding.as_ref(),
+            entity_types: &types,
+        };
+        let nr = bundle.relations.len();
+        let mut scratch = imre_core::QuantScratch::new();
+        // One pass per precision over the held-out bags; the score pairs
+        // feed both the drift check and the metric deltas.
+        let mut drift = 0.0f32;
+        let mut q_scores: Vec<Vec<f32>> = Vec::with_capacity(pipeline.test_bags.len());
+        for bag in &pipeline.test_bags {
+            let f = bundle.model.predict(bag, &ctx);
+            let mut q = vec![0.0f32; nr];
+            quant.predict_quant_into(bag, &types, &mut scratch, &mut q, None);
+            for (a, b) in f.iter().zip(&q) {
+                drift = drift.max((a - b).abs());
+            }
+            q_scores.push(q);
+        }
+        let f32_ev = imre_eval::evaluate_system(&pipeline.test_bags, nr, |bag| {
+            bundle.model.predict(bag, &ctx)
+        });
+        let mut it = q_scores.into_iter();
+        let q_ev = imre_eval::evaluate_system(&pipeline.test_bags, nr, |_| {
+            it.next().expect("one score vector per bag")
+        });
+        println!(
+            "check {}: bags={} max_score_drift={drift:.6}",
+            config.name,
+            pipeline.test_bags.len()
+        );
+        println!(
+            "  AUC   f32 {:.4}  int8 {:.4}  delta {:+.4}",
+            f32_ev.auc,
+            q_ev.auc,
+            q_ev.auc - f32_ev.auc
+        );
+        let pn = [
+            ("P@100", f32_ev.p_at_100, q_ev.p_at_100),
+            ("P@200", f32_ev.p_at_200, q_ev.p_at_200),
+            ("P@300", f32_ev.p_at_300, q_ev.p_at_300),
+        ];
+        let mut worst_pn_delta = 0.0f32;
+        for (label, f, q) in pn {
+            println!("  {label} f32 {f:.4}  int8 {q:.4}  delta {:+.4}", q - f);
+            worst_pn_delta = worst_pn_delta.max((q - f).abs());
+        }
+        if drift > max_drift {
+            return Err(usage(format!(
+                "max score drift {drift:.6} exceeds --max-drift {max_drift}"
+            )));
+        }
+        if worst_pn_delta * 100.0 > max_pn_delta {
+            return Err(usage(format!(
+                "P@N delta {:.2}pt exceeds --max-pn-delta {max_pn_delta}pt",
+                worst_pn_delta * 100.0
+            )));
+        }
+    }
+
+    let bundle = bundle.with_quant(quant);
+    imre_serve::save_bundle(&bundle, &out_path)?;
+    println!(
+        "quantized bundle (.imrb v3) written to {}",
+        out_path.display()
+    );
+    Ok(())
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let bundle_path = PathBuf::from(flags.required("bundle")?);
     let name = flags.optional("name").unwrap_or("default");
@@ -330,6 +437,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
             "--knn-lambda must be in [0, 1], got {knn_lambda}"
         )));
     }
+    let precision: imre_serve::Precision = flags
+        .optional("precision")
+        .unwrap_or("f32")
+        .parse()
+        .map_err(|e: String| usage(format!("--precision: {e}")))?;
     let config = imre_serve::EngineConfig {
         workers: flags.number("workers", 2usize)?.max(1),
         batch_max: flags.number("batch", 8usize)?.max(1),
@@ -338,6 +450,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         default_deadline_ms: (request_deadline_ms > 0).then_some(request_deadline_ms),
         knn_k: flags.number("knn-k", 0usize)?,
         knn_lambda,
+        precision,
     };
 
     let frontend = match flags.optional("frontend").unwrap_or("auto") {
@@ -360,8 +473,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let registry = std::sync::Arc::new(imre_serve::Registry::new());
     registry.load_file(name, &bundle_path)?;
     let model = registry.get(name).expect("model registered above");
+    // Fail fast at startup instead of answering every request with the
+    // typed error: --precision int8 needs the bundle's quantized section.
+    if precision == imre_serve::Precision::Int8 && model.quant().is_none() {
+        return Err(imre_serve::ServeError::NoQuantModel.into());
+    }
     println!(
-        "serving {} as {name:?} ({} relations, {} entities, vocab {})",
+        "serving {} as {name:?} ({} relations, {} entities, vocab {}, precision {precision})",
         model.bundle().model.spec.name(),
         model.num_relations(),
         model.bundle().entities.len(),
@@ -458,8 +576,8 @@ fn cmd_eval(flags: &Flags) -> Result<(), CliError> {
     }
     let ev = pipeline.evaluate_model(&model);
     println!(
-        "held-out: AUC {:.4}, P {:.4}, R {:.4}, F1 {:.4}, P@100 {:.2}, P@200 {:.2}",
-        ev.auc, ev.precision, ev.recall, ev.f1, ev.p_at_100, ev.p_at_200
+        "held-out: AUC {:.4}, P {:.4}, R {:.4}, F1 {:.4}, P@100 {:.2}, P@200 {:.2}, P@300 {:.2}",
+        ev.auc, ev.precision, ev.recall, ev.f1, ev.p_at_100, ev.p_at_200, ev.p_at_300
     );
     Ok(())
 }
@@ -848,6 +966,88 @@ mod tests {
         assert!(bundle.ann.is_none(), "--knn-index 0 must skip the index");
         std::fs::remove_file(&model_path).ok();
         std::fs::remove_file(&bundle_path).ok();
+    }
+
+    #[test]
+    fn serve_rejects_unknown_precision() {
+        match run(&s(&["serve", "--bundle", "m.imrb", "--precision", "fp8"])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("precision"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantize_requires_bundle_and_out() {
+        match run(&s(&["quantize", "--bundle", "m.imrb"])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("out"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantize_check_roundtrip_on_smoke() {
+        let dir = std::env::temp_dir().join("imre_cli_quant_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.imrm");
+        let bundle_path = dir.join("m.imrb");
+        let quant_path = dir.join("m.q.imrb");
+        let (mp, bp, qp) = (
+            model_path.to_str().unwrap(),
+            bundle_path.to_str().unwrap(),
+            quant_path.to_str().unwrap(),
+        );
+        run(&s(&[
+            "train",
+            "--dataset",
+            "smoke",
+            "--model",
+            "pa-tmr",
+            "--epochs",
+            "2",
+            "--out",
+            mp,
+            "--bundle",
+            bp,
+        ]))
+        .unwrap();
+        // Quantize with the CI-style gates on the same dataset.
+        run(&s(&[
+            "quantize",
+            "--bundle",
+            bp,
+            "--out",
+            qp,
+            "--check",
+            "smoke",
+            "--max-drift",
+            "0.01",
+            "--max-pn-delta",
+            "0.5",
+        ]))
+        .unwrap();
+        let quantized = imre_serve::load_bundle(&quant_path).unwrap();
+        assert!(
+            quantized.quant.is_some(),
+            "quantize must attach the int8 model"
+        );
+        // Impossible gate: must fail with a usage error naming the limit.
+        match run(&s(&[
+            "quantize",
+            "--bundle",
+            bp,
+            "--out",
+            qp,
+            "--check",
+            "smoke",
+            "--max-drift",
+            "0",
+        ])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("max-drift"), "{msg}"),
+            other => panic!("expected gate failure, got {other:?}"),
+        }
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&bundle_path).ok();
+        std::fs::remove_file(&quant_path).ok();
     }
 
     #[test]

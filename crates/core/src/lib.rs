@@ -29,6 +29,7 @@ pub mod model;
 pub mod oov;
 pub mod persist;
 pub mod pretrain;
+pub mod quant;
 pub mod train;
 
 pub use adversarial::{adversarial_bag_step, train_adversarial, AdvConfig};
@@ -41,6 +42,7 @@ pub use model::{entity_type_table, prepare_bags, BagContext, ModelSpec, Prepared
 pub use oov::prune_to_train_vocab;
 pub use persist::{load_model, read_model, save_model, write_model};
 pub use pretrain::{corpus_sentences, train_skipgram, SkipGramConfig};
+pub use quant::{QuantModel, QuantScratch, QuantizeError};
 pub use train::{
     accumulate_shard, bag_step_rng, epoch_order, replica_shard, train_epoch, train_model,
     TrainConfig, TrainStats,

@@ -1,0 +1,878 @@
+//! Post-training int8 quantization of a trained [`ReModel`] and the
+//! tape-free quantized inference forward (`predict_batch_quant`).
+//!
+//! [`QuantModel::from_model`] snapshots every large table of a trained
+//! model — the word/position embedding front-end, the conv filter bank,
+//! the selective-attention queries (pre-multiplied by the diagonal `A`),
+//! the relation head, and the optional MR / entity-type / combiner
+//! components plus the LINE entity embeddings — into per-row affine
+//! [`QuantTensor`]s (`imre_tensor::quant`). Small parameters (biases,
+//! α/β/γ) stay f32.
+//!
+//! The forward replays the eval-mode f32 graph exactly, with every
+//! matrix-vector product running in i8×i8→i32 and dequantizing only at the
+//! nonlinearity boundaries (tanh, softmax) and the attention-weighted sums:
+//!
+//! ```text
+//! gather-dequant embeddings → unfold → qmatvec(conv) → piecewise max →
+//! tanh → [per-relation: qmatvec(a⊙q) → softmax → weighted sum →
+//! qmatvec(re_head) → softmax] → combiner (f32 mix → qmatvec → softmax)
+//! ```
+//!
+//! All intermediate storage lives in a [`QuantScratch`] whose `Vec`s are
+//! `clear()`+`resize()`d — capacity is retained across calls, so a warm
+//! quantized inference performs **zero** heap allocations (gated by
+//! `crates/bench/tests/zero_alloc_quant.rs`), mirroring the PR 4 arena
+//! discipline of the f32 path.
+//!
+//! GRU-family encoders (GRU+ATT, BGWA) are recurrent with per-step
+//! activation ranges; they are not supported by the post-training scheme
+//! and [`QuantModel::from_model`] reports a typed error for them.
+
+use crate::config::HyperParams;
+use crate::model::{ModelSpec, PreparedBag};
+use imre_graph::EntityEmbedding;
+use imre_nn::pcnn_segments_array;
+use imre_tensor::quant::{self, QuantRowParams};
+use imre_tensor::{QuantTensor, Tensor};
+
+use crate::encoder::EncoderKind;
+use crate::model::ReModel;
+use crate::AggKind;
+
+/// Why a model cannot be quantized.
+#[derive(Debug)]
+pub enum QuantizeError {
+    /// The architecture is outside the post-training int8 scheme.
+    Unsupported(String),
+    /// A required parameter or input was missing.
+    Missing(String),
+}
+
+impl std::fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizeError::Unsupported(what) => {
+                write!(f, "unsupported for int8 quantization: {what}")
+            }
+            QuantizeError::Missing(what) => write!(f, "missing quantization input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// A quantized dense layer: `[out, in]` int8 weight rows + f32 bias.
+pub struct QuantLinear {
+    /// Weight rows, one per output unit (transposed from the f32 layout).
+    pub w: QuantTensor,
+    /// f32 bias, length `w.rows()`.
+    pub b: Vec<f32>,
+}
+
+impl QuantLinear {
+    fn from_store(store: &imre_nn::ParamStore, name: &str) -> Result<QuantLinear, QuantizeError> {
+        let w = find(store, &format!("{name}.w"))?;
+        let b = find(store, &format!("{name}.b"))?;
+        Ok(QuantLinear {
+            w: QuantTensor::quantize_transposed(w),
+            b: b.data().to_vec(),
+        })
+    }
+
+    /// `out = dequant(act · wᵀ) + b` for a pre-quantized activation row.
+    fn apply(&self, act: &[i8], p: QuantRowParams, out: &mut [f32]) {
+        quant::qmatvec_into(&self.w, act, p, Some(&self.b), out);
+    }
+}
+
+/// The quantized entity-type component.
+pub struct QuantType {
+    /// Type-embedding table `[num_types, type_dim]`.
+    pub emb: QuantTensor,
+    /// Confidence head `2·type_dim → num_relations`.
+    pub fc: QuantLinear,
+}
+
+/// The quantized combiner (α/β/γ stay f32; the near-identity output map is
+/// quantized like any other linear layer).
+pub struct QuantCombiner {
+    /// Mixing weight for `C_MR`.
+    pub alpha: f32,
+    /// Mixing weight for `C_T`.
+    pub beta: f32,
+    /// Mixing weight for the RE score vector.
+    pub gamma: f32,
+    /// Final `num_relations → num_relations` map.
+    pub out: QuantLinear,
+}
+
+/// An int8-quantized, inference-only snapshot of a trained [`ReModel`].
+///
+/// Fields are public so the bundle layer can serialize them and rebuild the
+/// struct from (possibly memory-mapped) parts; always run
+/// [`QuantModel::validate`] after manual construction.
+pub struct QuantModel {
+    /// The architecture this snapshot implements.
+    pub spec: ModelSpec,
+    /// Hyperparameters (featurization + widths).
+    pub hp: HyperParams,
+    /// Word embeddings `[vocab, word_dim]`.
+    pub word_emb: QuantTensor,
+    /// Head relative-position embeddings `[pos_vocab, pos_dim]`.
+    pub head_pos_emb: QuantTensor,
+    /// Tail relative-position embeddings `[pos_vocab, pos_dim]`.
+    pub tail_pos_emb: QuantTensor,
+    /// Conv filter bank `[filters, window·in_dim]` (transposed).
+    pub conv: QuantLinear,
+    /// Selective-attention query rows `a ⊙ q_r`, `[num_relations,
+    /// sent_dim]` (absent under mean aggregation).
+    pub att_queries: Option<QuantTensor>,
+    /// Relation head `sent_dim → num_relations`.
+    pub re_head: QuantLinear,
+    /// MR head `entity_dim → num_relations` (PA-MR/PA-TMR).
+    pub mr: Option<QuantLinear>,
+    /// LINE entity embeddings `[entities, entity_dim]` (required with
+    /// `mr`).
+    pub entity_emb: Option<QuantTensor>,
+    /// Entity-type component (PA-T/PA-TMR).
+    pub ty: Option<QuantType>,
+    /// Confidence combiner (any PA-* variant).
+    pub comb: Option<QuantCombiner>,
+    /// Number of relation labels.
+    pub num_relations: usize,
+}
+
+fn find<'a>(store: &'a imre_nn::ParamStore, name: &str) -> Result<&'a Tensor, QuantizeError> {
+    store
+        .find(name)
+        .map(|id| store.get(id))
+        .ok_or_else(|| QuantizeError::Missing(format!("parameter {name}")))
+}
+
+impl QuantModel {
+    /// Quantizes a trained model (plus, for MR variants, the LINE entity
+    /// embeddings that live next to the model in the bundle).
+    pub fn from_model(
+        model: &ReModel,
+        entity_emb: Option<&EntityEmbedding>,
+    ) -> Result<QuantModel, QuantizeError> {
+        let spec = model.spec;
+        if spec.encoder == EncoderKind::Gru || spec.word_att {
+            return Err(QuantizeError::Unsupported(format!(
+                "{} uses a recurrent encoder; post-training int8 covers the CNN/PCNN family",
+                spec.name()
+            )));
+        }
+        let store = &model.store;
+        let word_emb = QuantTensor::quantize(find(store, "enc.word_emb")?);
+        let head_pos_emb = QuantTensor::quantize(find(store, "enc.head_pos_emb")?);
+        let tail_pos_emb = QuantTensor::quantize(find(store, "enc.tail_pos_emb")?);
+        let conv = QuantLinear::from_store(store, "enc.conv")?;
+        let att_queries = if spec.agg == AggKind::Att {
+            let a = find(store, "att.a_diag")?;
+            let q = find(store, "att.queries")?;
+            let (rows, cols) = (q.rows(), q.cols());
+            let mut aq = Tensor::zeros(&[rows, cols]);
+            for r in 0..rows {
+                for c in 0..cols {
+                    aq.data_mut()[r * cols + c] = a.data()[c] * q.data()[r * cols + c];
+                }
+            }
+            Some(QuantTensor::quantize(&aq))
+        } else {
+            None
+        };
+        let re_head = QuantLinear::from_store(store, "re_head")?;
+        let mr = if spec.use_mr {
+            Some(QuantLinear::from_store(store, "mr")?)
+        } else {
+            None
+        };
+        let entity_emb = if spec.use_mr {
+            let emb = entity_emb.ok_or_else(|| {
+                QuantizeError::Missing("entity embeddings (spec.use_mr)".to_string())
+            })?;
+            Some(QuantTensor::quantize(emb.matrix()))
+        } else {
+            None
+        };
+        let ty = if spec.use_type {
+            Some(QuantType {
+                emb: QuantTensor::quantize(find(store, "ty.emb")?),
+                fc: QuantLinear::from_store(store, "ty.fc")?,
+            })
+        } else {
+            None
+        };
+        let comb = if spec.use_mr || spec.use_type {
+            Some(QuantCombiner {
+                alpha: find(store, "comb.alpha")?.data()[0],
+                beta: find(store, "comb.beta")?.data()[0],
+                gamma: find(store, "comb.gamma")?.data()[0],
+                out: QuantLinear::from_store(store, "comb.out")?,
+            })
+        } else {
+            None
+        };
+        let qm = QuantModel {
+            spec,
+            hp: model.hp.clone(),
+            word_emb,
+            head_pos_emb,
+            tail_pos_emb,
+            conv,
+            att_queries,
+            re_head,
+            mr,
+            entity_emb,
+            ty,
+            comb,
+            num_relations: model.num_relations(),
+        };
+        qm.validate().map_err(QuantizeError::Unsupported)?;
+        Ok(qm)
+    }
+
+    /// Per-token encoder input width.
+    pub fn in_dim(&self) -> usize {
+        self.hp.word_dim + 2 * self.hp.pos_dim
+    }
+
+    /// Sentence-vector width (`filters` for CNN, `3·filters` for PCNN).
+    pub fn sent_dim(&self) -> usize {
+        match self.spec.encoder {
+            EncoderKind::Cnn => self.hp.filters,
+            EncoderKind::Pcnn => 3 * self.hp.filters,
+            EncoderKind::Gru => unreachable!("GRU specs are rejected at construction"),
+        }
+    }
+
+    /// Total bytes of quantized payload (weights + per-row parameters) —
+    /// the `quant_bytes_per_model` metric.
+    pub fn bytes(&self) -> usize {
+        let lin = |l: &QuantLinear| l.w.bytes() + l.b.len() * 4;
+        let mut total = self.word_emb.bytes()
+            + self.head_pos_emb.bytes()
+            + self.tail_pos_emb.bytes()
+            + lin(&self.conv)
+            + lin(&self.re_head);
+        if let Some(q) = &self.att_queries {
+            total += q.bytes();
+        }
+        if let Some(mr) = &self.mr {
+            total += lin(mr);
+        }
+        if let Some(e) = &self.entity_emb {
+            total += e.bytes();
+        }
+        if let Some(ty) = &self.ty {
+            total += ty.emb.bytes() + lin(&ty.fc);
+        }
+        if let Some(c) = &self.comb {
+            total += lin(&c.out) + 3 * 4;
+        }
+        total
+    }
+
+    /// Whether any table borrows from an external (mmap) allocation.
+    pub fn is_borrowed(&self) -> bool {
+        self.word_emb.is_borrowed()
+    }
+
+    /// Checks internal shape consistency (bundle loads call this before
+    /// serving; [`QuantModel::from_model`] output always passes).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.spec.encoder == EncoderKind::Gru || self.spec.word_att {
+            return Err("quantized model with a recurrent encoder".to_string());
+        }
+        let (in_dim, sent_dim, nr) = (self.in_dim(), self.sent_dim(), self.num_relations);
+        if self.word_emb.cols() != self.hp.word_dim {
+            return Err("word embedding width != hp.word_dim".to_string());
+        }
+        for (name, t) in [
+            ("head_pos_emb", &self.head_pos_emb),
+            ("tail_pos_emb", &self.tail_pos_emb),
+        ] {
+            if t.cols() != self.hp.pos_dim || t.rows() != self.hp.pos_vocab() {
+                return Err(format!("{name} shape inconsistent with hyperparameters"));
+            }
+        }
+        if self.conv.w.rows() != self.hp.filters
+            || self.conv.w.cols() != self.hp.window * in_dim
+            || self.conv.b.len() != self.hp.filters
+        {
+            return Err("conv table shape inconsistent with hyperparameters".to_string());
+        }
+        if (self.spec.agg == AggKind::Att) != self.att_queries.is_some() {
+            return Err("attention queries presence does not match spec.agg".to_string());
+        }
+        if let Some(q) = &self.att_queries {
+            if q.rows() != nr || q.cols() != sent_dim {
+                return Err("attention query table shape mismatch".to_string());
+            }
+        }
+        if self.re_head.w.rows() != nr || self.re_head.w.cols() != sent_dim {
+            return Err("relation head shape mismatch".to_string());
+        }
+        if self.spec.use_mr != self.mr.is_some() || self.spec.use_mr != self.entity_emb.is_some() {
+            return Err("MR component presence does not match spec.use_mr".to_string());
+        }
+        if let (Some(mr), Some(emb)) = (&self.mr, &self.entity_emb) {
+            if mr.w.rows() != nr || mr.w.cols() != emb.cols() {
+                return Err("MR head shape inconsistent with entity embeddings".to_string());
+            }
+        }
+        if self.spec.use_type != self.ty.is_some() {
+            return Err("type component presence does not match spec.use_type".to_string());
+        }
+        if let Some(ty) = &self.ty {
+            if ty.fc.w.rows() != nr || ty.fc.w.cols() != 2 * ty.emb.cols() {
+                return Err("type head shape inconsistent with type embeddings".to_string());
+            }
+        }
+        if (self.spec.use_mr || self.spec.use_type) != self.comb.is_some() {
+            return Err("combiner presence does not match spec".to_string());
+        }
+        if let Some(c) = &self.comb {
+            if c.out.w.rows() != nr || c.out.w.cols() != nr {
+                return Err("combiner output map shape mismatch".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Capacity-retaining workspace of the quantized forward. One per serving
+/// worker (or thread-local under bag-level parallelism); after the first
+/// bag warms the capacities, further passes allocate nothing.
+#[derive(Default)]
+pub struct QuantScratch {
+    emb: Vec<f32>,
+    unf: Vec<f32>,
+    qrow: Vec<i8>,
+    conv: Vec<f32>,
+    xs: Vec<f32>,
+    att_scores: Vec<f32>,
+    alpha: Vec<f32>,
+    bag_vec: Vec<f32>,
+    logits: Vec<f32>,
+    re_scores: Vec<f32>,
+    side: Vec<f32>,
+    side_b: Vec<f32>,
+}
+
+impl QuantScratch {
+    /// An empty workspace (capacities grow on first use).
+    pub fn new() -> QuantScratch {
+        QuantScratch::default()
+    }
+}
+
+/// `clear` + `resize` without shrinking: reuses capacity, so a warm vector
+/// of sufficient capacity never reallocates.
+fn reuse(v: &mut Vec<f32>, n: usize) -> &mut [f32] {
+    v.clear();
+    v.resize(n, 0.0);
+    v
+}
+
+/// Numerically stable in-place softmax (same max/exp/sum/div order as
+/// `Tensor::softmax_into`).
+fn softmax_in_place(xs: &mut [f32]) {
+    let mut m = f32::NEG_INFINITY;
+    for &x in xs.iter() {
+        if x > m {
+            m = x;
+        }
+    }
+    let mut z = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - m).exp();
+    }
+    for &x in xs.iter() {
+        z += x;
+    }
+    for x in xs.iter_mut() {
+        *x /= z;
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch for bag-level parallel quantized batches,
+    /// mirroring `bufpool::with_local` for the f32 arena.
+    static LOCAL_SCRATCH: std::cell::RefCell<QuantScratch> =
+        std::cell::RefCell::new(QuantScratch::new());
+}
+
+impl QuantModel {
+    /// Quantized [`ReModel::predict`]: per-relation probabilities for one
+    /// bag, written into `out` (length [`QuantModel::num_relations`]).
+    ///
+    /// `entity_types` is the per-entity type table (only read when
+    /// `spec.use_type`). When `repr` is given it receives the eval-mode
+    /// mean sentence encoding (length [`QuantModel::sent_dim`]) — the same
+    /// representation contract as [`ReModel::predict_repr_into`], computed
+    /// from the quantized encoder.
+    pub fn predict_quant_into(
+        &self,
+        bag: &PreparedBag,
+        entity_types: &[Vec<usize>],
+        scratch: &mut QuantScratch,
+        out: &mut [f32],
+        repr: Option<&mut [f32]>,
+    ) {
+        let nr = self.num_relations;
+        assert_eq!(out.len(), nr, "output length != num_relations");
+        let (in_dim, sent_dim) = (self.in_dim(), self.sent_dim());
+        let (window, filters) = (self.hp.window, self.hp.filters);
+        let half = window / 2;
+        let n = bag.sentences.len();
+
+        // --- encode every sentence into xs[n, sent_dim] ---
+        let max_t = bag
+            .sentences
+            .iter()
+            .map(|s| s.tokens.len())
+            .max()
+            .unwrap_or(0);
+        assert!(max_t > 0, "bag with no tokens");
+        scratch.xs.clear();
+        scratch.xs.resize(n * sent_dim, 0.0);
+        scratch.emb.reserve(max_t * in_dim);
+        scratch.conv.reserve(max_t * filters);
+        for (j, feats) in bag.sentences.iter().enumerate() {
+            let t = feats.tokens.len();
+            let emb = reuse(&mut scratch.emb, t * in_dim);
+            // Gather-dequant the three embedding tables, interleaved
+            // per token (word ‖ head-pos ‖ tail-pos).
+            let (wd, pd) = (self.hp.word_dim, self.hp.pos_dim);
+            for row in 0..t {
+                let base = row * in_dim;
+                self.word_emb
+                    .dequant_row_into(feats.tokens[row], &mut emb[base..base + wd]);
+                self.head_pos_emb
+                    .dequant_row_into(feats.head_offsets[row], &mut emb[base + wd..base + wd + pd]);
+                self.tail_pos_emb.dequant_row_into(
+                    feats.tail_offsets[row],
+                    &mut emb[base + wd + pd..base + in_dim],
+                );
+            }
+            // Conv as unfold → quantized matvec per output row. The
+            // unfolded window is zero-padded exactly like `Tape::unfold`,
+            // and quantization keeps zeros exact, so padding contributes
+            // nothing — matching the f32 graph.
+            let conv = {
+                scratch.conv.clear();
+                scratch.conv.resize(t * filters, 0.0);
+                &mut scratch.conv
+            };
+            for row in 0..t {
+                let unf = reuse(&mut scratch.unf, window * in_dim);
+                for o in 0..window {
+                    let src = row as isize + o as isize - half as isize;
+                    if src >= 0 && (src as usize) < t {
+                        let s = src as usize * in_dim;
+                        unf[o * in_dim..(o + 1) * in_dim].copy_from_slice(&emb[s..s + in_dim]);
+                    }
+                }
+                scratch.qrow.clear();
+                scratch.qrow.resize(window * in_dim, 0);
+                let p = quant::quantize_row_into(unf, &mut scratch.qrow);
+                self.conv.apply(
+                    &scratch.qrow,
+                    p,
+                    &mut conv[row * filters..(row + 1) * filters],
+                );
+            }
+            // Piecewise max-pool + tanh into this sentence's xs row.
+            let segs = match self.spec.encoder {
+                EncoderKind::Cnn => [(0, t); 3],
+                EncoderKind::Pcnn => pcnn_segments_array(t, feats.head_pos, feats.tail_pos),
+                EncoderKind::Gru => unreachable!(),
+            };
+            let n_segs = sent_dim / filters;
+            let xrow = &mut scratch.xs[j * sent_dim..(j + 1) * sent_dim];
+            for (si, &(lo, hi)) in segs.iter().take(n_segs).enumerate() {
+                for c in 0..filters {
+                    let mut m = f32::NEG_INFINITY;
+                    for r in lo..hi {
+                        let v = conv[r * filters + c];
+                        if v > m {
+                            m = v;
+                        }
+                    }
+                    xrow[si * filters + c] = m.tanh();
+                }
+            }
+        }
+
+        if let Some(r) = repr {
+            assert_eq!(r.len(), sent_dim, "repr length != sent_dim");
+            // Mean over sentence encodings — the single pooled-representation
+            // contract shared with the f32 path (`repr_from_matrix`).
+            r.fill(0.0);
+            for j in 0..n {
+                for (d, acc) in r.iter_mut().enumerate() {
+                    *acc += scratch.xs[j * sent_dim + d];
+                }
+            }
+            let inv = 1.0 / n as f32;
+            for acc in r.iter_mut() {
+                *acc *= inv;
+            }
+        }
+
+        // --- aggregate + relation head → re_scores[nr] ---
+        let re_scores = {
+            scratch.re_scores.clear();
+            scratch.re_scores.resize(nr, 0.0);
+            &mut scratch.re_scores
+        };
+        match &self.att_queries {
+            None => {
+                let bag_vec = reuse(&mut scratch.bag_vec, sent_dim);
+                let inv = 1.0 / n as f32;
+                for j in 0..n {
+                    for (d, acc) in bag_vec.iter_mut().enumerate() {
+                        *acc += scratch.xs[j * sent_dim + d];
+                    }
+                }
+                for acc in bag_vec.iter_mut() {
+                    *acc *= inv;
+                }
+                scratch.qrow.clear();
+                scratch.qrow.resize(sent_dim, 0);
+                let p = quant::quantize_row_into(bag_vec, &mut scratch.qrow);
+                let logits = reuse(&mut scratch.logits, nr);
+                self.re_head.apply(&scratch.qrow, p, logits);
+                softmax_in_place(logits);
+                re_scores.copy_from_slice(logits);
+            }
+            Some(aq) => {
+                // Score every sentence against every relation query in one
+                // quantized matvec per sentence: att_scores[j, r] = x_j·(a⊙q_r).
+                let att_scores = {
+                    scratch.att_scores.clear();
+                    scratch.att_scores.resize(n * nr, 0.0);
+                    &mut scratch.att_scores
+                };
+                for j in 0..n {
+                    scratch.qrow.clear();
+                    scratch.qrow.resize(sent_dim, 0);
+                    let p = quant::quantize_row_into(
+                        &scratch.xs[j * sent_dim..(j + 1) * sent_dim],
+                        &mut scratch.qrow,
+                    );
+                    quant::qmatvec_into(
+                        aq,
+                        &scratch.qrow,
+                        p,
+                        None,
+                        &mut att_scores[j * nr..(j + 1) * nr],
+                    );
+                }
+                for (r, score) in re_scores.iter_mut().enumerate() {
+                    let alpha = reuse(&mut scratch.alpha, n);
+                    for (j, a) in alpha.iter_mut().enumerate() {
+                        *a = scratch.att_scores[j * nr + r];
+                    }
+                    softmax_in_place(alpha);
+                    let bag_vec = reuse(&mut scratch.bag_vec, sent_dim);
+                    for j in 0..n {
+                        let a = scratch.alpha[j];
+                        for (d, acc) in bag_vec.iter_mut().enumerate() {
+                            *acc += a * scratch.xs[j * sent_dim + d];
+                        }
+                    }
+                    scratch.qrow.clear();
+                    scratch.qrow.resize(sent_dim, 0);
+                    let p = quant::quantize_row_into(&scratch.bag_vec, &mut scratch.qrow);
+                    let logits = reuse(&mut scratch.logits, nr);
+                    self.re_head.apply(&scratch.qrow, p, logits);
+                    softmax_in_place(logits);
+                    *score = scratch.logits[r];
+                }
+            }
+        }
+
+        // --- side components + combiner (or plain RE scores) ---
+        let Some(comb) = &self.comb else {
+            out.copy_from_slice(re_scores);
+            return;
+        };
+        let acc = reuse(&mut scratch.side, nr);
+        for (a, &re) in acc.iter_mut().zip(re_scores.iter()) {
+            *a = comb.gamma * re;
+        }
+        if let (Some(mr), Some(emb)) = (&self.mr, &self.entity_emb) {
+            // MR_ij = U_j − U_i from the quantized LINE table.
+            let dim = emb.cols();
+            let head = reuse(&mut scratch.bag_vec, dim);
+            emb.dequant_row_into(bag.head, head);
+            let tail = reuse(&mut scratch.side_b, dim);
+            emb.dequant_row_into(bag.tail, tail);
+            for (t, &h) in tail.iter_mut().zip(scratch.bag_vec.iter()) {
+                *t -= h;
+            }
+            scratch.qrow.clear();
+            scratch.qrow.resize(dim, 0);
+            let p = quant::quantize_row_into(&scratch.side_b, &mut scratch.qrow);
+            let logits = reuse(&mut scratch.logits, nr);
+            mr.apply(&scratch.qrow, p, logits);
+            softmax_in_place(logits);
+            for (a, &c) in scratch.side.iter_mut().zip(scratch.logits.iter()) {
+                *a += comb.alpha * c;
+            }
+        }
+        if let Some(ty) = &self.ty {
+            let td = ty.emb.cols();
+            let cat = reuse(&mut scratch.side_b, 2 * td);
+            for (half, types) in [(0, &entity_types[bag.head]), (1, &entity_types[bag.tail])] {
+                // Mean over the entity's type embeddings.
+                let dst = &mut cat[half * td..(half + 1) * td];
+                let inv = 1.0 / types.len() as f32;
+                let row = reuse(&mut scratch.bag_vec, td);
+                for &tid in types.iter() {
+                    ty.emb.dequant_row_into(tid, row);
+                    for (d, &v) in dst.iter_mut().zip(row.iter()) {
+                        *d += v;
+                    }
+                }
+                for d in dst.iter_mut() {
+                    *d *= inv;
+                }
+            }
+            scratch.qrow.clear();
+            scratch.qrow.resize(2 * td, 0);
+            let p = quant::quantize_row_into(&scratch.side_b, &mut scratch.qrow);
+            let logits = reuse(&mut scratch.logits, nr);
+            ty.fc.apply(&scratch.qrow, p, logits);
+            softmax_in_place(logits);
+            for (a, &c) in scratch.side.iter_mut().zip(scratch.logits.iter()) {
+                *a += comb.beta * c;
+            }
+        }
+        scratch.qrow.clear();
+        scratch.qrow.resize(nr, 0);
+        let p = quant::quantize_row_into(&scratch.side, &mut scratch.qrow);
+        let logits = reuse(&mut scratch.logits, nr);
+        comb.out.apply(&scratch.qrow, p, logits);
+        softmax_in_place(logits);
+        out.copy_from_slice(logits);
+    }
+
+    /// Quantized [`ReModel::predict_batch_pooled`]: scores a micro-batch,
+    /// optionally exporting each bag's pooled representation.
+    ///
+    /// Single-threaded (or single-bag) batches run on the caller's
+    /// `scratch`; with a multi-thread compute pool, bags run in parallel on
+    /// per-thread scratches (results are identical — each bag is evaluated
+    /// by exactly one thread with the same kernel order either way).
+    pub fn predict_batch_quant_with_repr(
+        &self,
+        bags: &[&PreparedBag],
+        entity_types: &[Vec<usize>],
+        scratch: &mut QuantScratch,
+        wants_repr: &[bool],
+    ) -> Vec<(Vec<f32>, Option<Vec<f32>>)> {
+        assert_eq!(bags.len(), wants_repr.len());
+        let run_one = |bag: &PreparedBag, want: bool, scratch: &mut QuantScratch| {
+            let mut scores = vec![0.0f32; self.num_relations];
+            let mut repr = want.then(|| vec![0.0f32; self.sent_dim()]);
+            self.predict_quant_into(bag, entity_types, scratch, &mut scores, repr.as_deref_mut());
+            (scores, repr)
+        };
+        if imre_tensor::pool::current_threads() <= 1 || bags.len() <= 1 {
+            return bags
+                .iter()
+                .zip(wants_repr)
+                .map(|(bag, &want)| run_one(bag, want, scratch))
+                .collect();
+        }
+        imre_tensor::pool::par_map(bags.len(), |i| {
+            LOCAL_SCRATCH.with(|s| run_one(bags[i], wants_repr[i], &mut s.borrow_mut()))
+        })
+    }
+
+    /// Quantized batch scoring without representation export.
+    pub fn predict_batch_quant(
+        &self,
+        bags: &[&PreparedBag],
+        entity_types: &[Vec<usize>],
+        scratch: &mut QuantScratch,
+    ) -> Vec<Vec<f32>> {
+        let wants = vec![false; bags.len()];
+        self.predict_batch_quant_with_repr(bags, entity_types, scratch, &wants)
+            .into_iter()
+            .map(|(scores, _)| scores)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BagContext;
+    use crate::SentenceFeatures;
+    use imre_tensor::TensorRng;
+
+    fn tiny_hp() -> HyperParams {
+        HyperParams {
+            epochs: 1,
+            ..HyperParams::tiny()
+        }
+    }
+
+    fn toy_bag(label: usize, seed: u64) -> PreparedBag {
+        let mut rng = TensorRng::seed(seed);
+        let sentences = (0..3)
+            .map(|_| {
+                let t = 4 + rng.below(6);
+                let head_pos = rng.below(t);
+                let mut tail_pos = rng.below(t);
+                if tail_pos == head_pos {
+                    tail_pos = (tail_pos + 1) % t;
+                }
+                SentenceFeatures {
+                    tokens: (0..t).map(|_| rng.below(10)).collect(),
+                    head_offsets: (0..t).map(|_| rng.below(2 * 20 + 1)).collect(),
+                    tail_offsets: (0..t).map(|_| rng.below(2 * 20 + 1)).collect(),
+                    head_pos,
+                    tail_pos,
+                }
+            })
+            .collect();
+        PreparedBag {
+            head: 0,
+            tail: 1,
+            label,
+            sentences,
+        }
+    }
+
+    fn toy_types() -> Vec<Vec<usize>> {
+        vec![vec![0, 2], vec![1], vec![3], vec![4, 1]]
+    }
+
+    fn toy_embedding(dim: usize) -> EntityEmbedding {
+        let mut rng = TensorRng::seed(77);
+        EntityEmbedding::from_matrix(Tensor::rand_uniform(&[4, dim], -1.0, 1.0, &mut rng))
+    }
+
+    fn build(spec: ModelSpec) -> ReModel {
+        ReModel::new(spec, &tiny_hp(), 10, 4, 5, 8, 7)
+    }
+
+    #[test]
+    fn gru_and_bgwa_rejected_with_typed_error() {
+        for spec in [ModelSpec::gru_att(), ModelSpec::bgwa()] {
+            let model = build(spec);
+            match QuantModel::from_model(&model, None) {
+                Err(QuantizeError::Unsupported(msg)) => {
+                    assert!(msg.contains("recurrent"), "message: {msg}")
+                }
+                other => panic!("expected Unsupported, got {other:?}", other = other.err()),
+            }
+        }
+    }
+
+    #[test]
+    fn mr_spec_requires_entity_embeddings() {
+        let model = build(ModelSpec::pa_mr());
+        assert!(matches!(
+            QuantModel::from_model(&model, None),
+            Err(QuantizeError::Missing(_))
+        ));
+    }
+
+    /// The quantized forward must track the f32 reference closely on every
+    /// supported spec — this is the in-crate version of the CI drift gate.
+    #[test]
+    fn quantized_scores_track_f32_for_every_supported_spec() {
+        let emb = toy_embedding(8);
+        let types = toy_types();
+        for spec in [
+            ModelSpec::pcnn(),
+            ModelSpec::pcnn_att(),
+            ModelSpec::cnn_att(),
+            ModelSpec::pa_t(),
+            ModelSpec::pa_mr(),
+            ModelSpec::pa_tmr(),
+        ] {
+            let model = build(spec);
+            let qm = QuantModel::from_model(&model, Some(&emb)).expect("quantizes");
+            let ctx = BagContext {
+                entity_embedding: Some(&emb),
+                entity_types: &types,
+            };
+            let mut scratch = QuantScratch::new();
+            for seed in 0..4u64 {
+                let bag = toy_bag(seed as usize % 4, 100 + seed);
+                let want = model.predict(&bag, &ctx);
+                let mut got = vec![0.0f32; 4];
+                qm.predict_quant_into(&bag, &types, &mut scratch, &mut got, None);
+                // Attention scores take the diagonal of per-relation
+                // softmaxes, so only the full-softmax outputs (mean agg, or
+                // any combiner variant) form a distribution — as in f32.
+                if spec.agg == AggKind::Mean || spec.use_mr || spec.use_type {
+                    let sum: f32 = got.iter().sum();
+                    assert!(
+                        (sum - 1.0).abs() < 1e-4,
+                        "{}: not a distribution",
+                        spec.name()
+                    );
+                }
+                for r in 0..4 {
+                    assert!(
+                        (want[r] - got[r]).abs() < 0.06,
+                        "{} bag {seed} rel {r}: f32 {} vs int8 {}",
+                        spec.name(),
+                        want[r],
+                        got[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_and_exports_repr() {
+        let model = build(ModelSpec::pcnn_att());
+        let qm = QuantModel::from_model(&model, None).expect("quantizes");
+        let types = toy_types();
+        let bags: Vec<PreparedBag> = (0..5).map(|i| toy_bag(i % 4, 200 + i as u64)).collect();
+        let refs: Vec<&PreparedBag> = bags.iter().collect();
+        let mut scratch = QuantScratch::new();
+        let wants = vec![true; bags.len()];
+        let batch = qm.predict_batch_quant_with_repr(&refs, &types, &mut scratch, &wants);
+        for (i, bag) in bags.iter().enumerate() {
+            let mut one = vec![0.0f32; 4];
+            let mut repr = vec![0.0f32; qm.sent_dim()];
+            qm.predict_quant_into(bag, &types, &mut scratch, &mut one, Some(&mut repr));
+            assert_eq!(batch[i].0, one, "bag {i} scores differ batch-vs-single");
+            assert_eq!(batch[i].1.as_ref().unwrap(), &repr, "bag {i} repr differs");
+        }
+    }
+
+    #[test]
+    fn quantized_model_reports_smaller_footprint() {
+        let model = build(ModelSpec::pa_tmr());
+        let emb = toy_embedding(8);
+        let qm = QuantModel::from_model(&model, Some(&emb)).expect("quantizes");
+        let f32_bytes: usize = model
+            .store
+            .iter()
+            .map(|(_, _, t)| t.len() * 4)
+            .sum::<usize>()
+            + emb.matrix().len() * 4;
+        // Tiny test dims understate the win (the 9-byte/row parameter
+        // overhead is large next to 3-wide embedding rows); the realistic
+        // ≤30% ratio is gated in the `quant_serve` bench instead.
+        assert!(
+            qm.bytes() * 2 < f32_bytes,
+            "quantized {} bytes vs f32 {f32_bytes}",
+            qm.bytes()
+        );
+    }
+}

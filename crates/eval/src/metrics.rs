@@ -41,6 +41,9 @@ pub struct Evaluation {
     pub p_at_100: f32,
     /// Precision over the top-200 predictions.
     pub p_at_200: f32,
+    /// Precision over the top-300 predictions (paper Table III reports
+    /// P@N for N ∈ {100, 200, 300}).
+    pub p_at_300: f32,
 }
 
 /// Computes the PR curve from scored predictions and the number of true
@@ -112,6 +115,7 @@ pub fn p_at_n(predictions: &[Prediction], n: usize) -> f32 {
 pub fn evaluate_predictions(predictions: Vec<Prediction>, total_positives: usize) -> Evaluation {
     let p100 = p_at_n(&predictions, 100);
     let p200 = p_at_n(&predictions, 200);
+    let p300 = p_at_n(&predictions, 300);
     let curve = pr_curve(predictions, total_positives);
     let a = auc(&curve);
     let (f1, precision, recall) = max_f1(&curve);
@@ -123,6 +127,7 @@ pub fn evaluate_predictions(predictions: Vec<Prediction>, total_positives: usize
         recall,
         p_at_100: p100,
         p_at_200: p200,
+        p_at_300: p300,
     }
 }
 

@@ -264,6 +264,8 @@ pub struct MeanEvaluation {
     pub p_at_100: f32,
     /// Mean P@200.
     pub p_at_200: f32,
+    /// Mean P@300.
+    pub p_at_300: f32,
     /// Number of seeds averaged.
     pub n_seeds: usize,
 }
@@ -282,6 +284,7 @@ pub fn mean_evaluation(evals: &[Evaluation]) -> MeanEvaluation {
         recall: evals.iter().map(|e| e.recall).sum::<f32>() / n,
         p_at_100: evals.iter().map(|e| e.p_at_100).sum::<f32>() / n,
         p_at_200: evals.iter().map(|e| e.p_at_200).sum::<f32>() / n,
+        p_at_300: evals.iter().map(|e| e.p_at_300).sum::<f32>() / n,
         n_seeds: evals.len(),
     }
 }

@@ -108,9 +108,16 @@ pub fn piecewise_max_pool_tanh(
 /// # Panics
 /// If `t == 0` or a position is out of range.
 pub fn pcnn_segments(t: usize, head_pos: usize, tail_pos: usize) -> Vec<(usize, usize)> {
+    pcnn_segments_array(t, head_pos, tail_pos).to_vec()
+}
+
+/// [`pcnn_segments`] without the heap allocation: the fixed three-segment
+/// split as an array. The int8 inference path calls this per sentence inside
+/// its zero-allocation steady state.
+pub fn pcnn_segments_array(t: usize, head_pos: usize, tail_pos: usize) -> [(usize, usize); 3] {
     assert!(t > 0, "pcnn_segments: empty sequence");
     if t == 1 {
-        return vec![(0, 1), (0, 1), (0, 1)];
+        return [(0, 1), (0, 1), (0, 1)];
     }
     let (p1, p2) = if head_pos <= tail_pos {
         (head_pos, tail_pos)
@@ -124,7 +131,7 @@ pub fn pcnn_segments(t: usize, head_pos: usize, tail_pos: usize) -> Vec<(usize, 
     // Boundary-sharing segments, each including its entity token(s), as in
     // the reference PCNN implementations: [0, p1], [p1, p2], [p2, t). Sharing
     // the entity rows keeps every segment non-empty for all positions.
-    vec![(0, p1 + 1), (p1, p2 + 1), (p2, t)]
+    [(0, p1 + 1), (p1, p2 + 1), (p2, t)]
 }
 
 #[cfg(test)]

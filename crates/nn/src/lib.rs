@@ -29,7 +29,9 @@ pub mod param;
 pub mod serialize;
 pub mod tape;
 
-pub use conv::{max_pool_tanh, pcnn_segments, piecewise_max_pool_tanh, Conv1d};
+pub use conv::{
+    max_pool_tanh, pcnn_segments, pcnn_segments_array, piecewise_max_pool_tanh, Conv1d,
+};
 pub use dropout::Dropout;
 pub use gru::{BiGru, GruCell, GruVars};
 pub use linear::Linear;

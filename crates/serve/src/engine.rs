@@ -36,13 +36,58 @@ use crate::pipeline::{InferRequest, InferResponse};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::Registry;
 use imre_ann::{blend_scores, SearchScratch};
-use imre_core::PreparedBag;
+use imre_core::{PreparedBag, QuantScratch};
 use imre_tensor::BufferPool;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Numeric precision of the serving forward pass (`--precision` on the
+/// CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision forward pass on the bundle's f32 model (the default).
+    #[default]
+    F32,
+    /// Integer forward pass on the bundle's int8 section (`.imrb` v3,
+    /// written by `imre quantize`). Roughly a quarter of the weight bytes;
+    /// scores drift from f32 by at most the CI-gated tolerance. Requests
+    /// against a bundle without the section are answered
+    /// [`ServeError::NoQuantModel`].
+    Int8,
+}
+
+impl Precision {
+    /// The CLI spelling (`f32` / `int8`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "int8" => Ok(Precision::Int8),
+            other => Err(format!(
+                "unknown precision {other:?} (expected f32 or int8)"
+            )),
+        }
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +117,9 @@ pub struct EngineConfig {
     /// `lambda=` (`--knn-lambda` on the CLI). Only consulted when the
     /// effective k is nonzero.
     pub knn_lambda: f32,
+    /// Forward-pass precision (`--precision` on the CLI). [`Precision::Int8`]
+    /// serves every request from the bundle's quantized section.
+    pub precision: Precision,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +132,7 @@ impl Default for EngineConfig {
             default_deadline_ms: None,
             knn_k: 0,
             knn_lambda: 0.3,
+            precision: Precision::F32,
         }
     }
 }
@@ -281,13 +330,26 @@ struct KnnState {
     votes: Vec<f32>,
 }
 
+/// Per-worker forward-pass scratch, alive across batches. The f32 path
+/// recycles tensor buffers through the arena; the int8 path recycles its
+/// integer/activation workspaces through [`QuantScratch`]. Either way a
+/// warm worker's steady-state forward pass allocates nothing.
+struct WorkerState {
+    arena: BufferPool,
+    quant: QuantScratch,
+    knn: KnnState,
+}
+
 fn worker_loop(shared: &Shared) {
     let cfg = &shared.config;
     // One buffer arena per worker, alive across batches: the first batches
     // warm it up, after which forward passes recycle instead of allocating
     // (the `alloc:` line of the stats dump tracks hits vs. misses).
-    let mut arena = BufferPool::new();
-    let mut knn = KnnState::default();
+    let mut state = WorkerState {
+        arena: BufferPool::new(),
+        quant: QuantScratch::new(),
+        knn: KnnState::default(),
+    };
     while let Some(batch) = shared.queue.pop_batch(cfg.batch_max, cfg.batch_deadline) {
         if batch.is_empty() {
             continue;
@@ -338,8 +400,7 @@ fn worker_loop(shared: &Shared) {
                 model_name,
                 &indices,
                 &mut replies,
-                &mut arena,
-                &mut knn,
+                &mut state,
             );
         }
         for (job, reply) in batch.into_iter().zip(replies) {
@@ -370,8 +431,7 @@ fn run_group(
     model_name: &str,
     indices: &[usize],
     replies: &mut [Option<Result<InferResponse, ServeError>>],
-    arena: &mut BufferPool,
-    knn: &mut KnnState,
+    state: &mut WorkerState,
 ) {
     let cfg = &shared.config;
     let model = match shared.registry.get(model_name) {
@@ -420,21 +480,43 @@ fn run_group(
         .map(|(_, _, _, params)| params.is_some())
         .collect();
     let start = Instant::now();
-    let pool_before = arena.stats();
-    let outputs = model.predict_prepared_batch_pooled_with_repr(&bags, arena, &wants_repr);
-    let pool_delta = arena.stats().since(&pool_before);
-    shared
-        .metrics
-        .pool_hits
-        .fetch_add(pool_delta.hits, std::sync::atomic::Ordering::Relaxed);
-    shared
-        .metrics
-        .pool_misses
-        .fetch_add(pool_delta.misses, std::sync::atomic::Ordering::Relaxed);
-    shared.metrics.pool_bytes_recycled.fetch_add(
-        pool_delta.bytes_recycled,
-        std::sync::atomic::Ordering::Relaxed,
-    );
+    let outputs = match cfg.precision {
+        Precision::F32 => {
+            let pool_before = state.arena.stats();
+            let outputs =
+                model.predict_prepared_batch_pooled_with_repr(&bags, &mut state.arena, &wants_repr);
+            let pool_delta = state.arena.stats().since(&pool_before);
+            shared
+                .metrics
+                .pool_hits
+                .fetch_add(pool_delta.hits, std::sync::atomic::Ordering::Relaxed);
+            shared
+                .metrics
+                .pool_misses
+                .fetch_add(pool_delta.misses, std::sync::atomic::Ordering::Relaxed);
+            shared.metrics.pool_bytes_recycled.fetch_add(
+                pool_delta.bytes_recycled,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            outputs
+        }
+        // Integer forward pass on the worker's recycled QuantScratch (its
+        // zero-alloc counterpart of the arena). A bundle without an int8
+        // section fails the whole group with the typed error — precision is
+        // an engine-wide deployment decision, not a per-request fallback.
+        Precision::Int8 => {
+            match model.predict_prepared_batch_quant_with_repr(&bags, &mut state.quant, &wants_repr)
+            {
+                Ok(outputs) => outputs,
+                Err(e) => {
+                    for (i, _, _, _) in prepared {
+                        replies[i] = Some(Err(e.clone()));
+                    }
+                    return;
+                }
+            }
+        }
+    };
     let elapsed_us = start.elapsed().as_micros() as u64;
     let (share, remainder) = split_shares(elapsed_us, prepared.len());
     for (j, ((i, _, featurize_us, params), (mut scores, repr))) in
@@ -447,10 +529,10 @@ fn run_group(
             let ann = model.ann().expect("knn_params verified the index");
             let repr = repr.expect("repr requested for interpolated job");
             let knn_start = Instant::now();
-            let neighbors = ann.search(&repr, (*k).min(ann.len()), &mut knn.scratch);
-            knn.votes.resize(scores.len(), 0.0);
-            ann.label_votes_into(neighbors, &mut knn.votes);
-            blend_scores(&mut scores, &knn.votes, *lambda);
+            let neighbors = ann.search(&repr, (*k).min(ann.len()), &mut state.knn.scratch);
+            state.knn.votes.resize(scores.len(), 0.0);
+            ann.label_votes_into(neighbors, &mut state.knn.votes);
+            blend_scores(&mut scores, &state.knn.votes, *lambda);
             Metrics::inc(&shared.metrics.knn_queries);
             shared.metrics.knn_query_ns.fetch_add(
                 knn_start.elapsed().as_nanos() as u64,

@@ -44,6 +44,10 @@ pub enum ServeError {
     /// no index section — rebuild the bundle with one (`imre train` builds
     /// it by default).
     NoKnnIndex,
+    /// The engine runs with `--precision int8` but the model's bundle
+    /// shipped no quantized section — re-export the bundle with
+    /// `imre quantize` (which writes `.imrb` version 3).
+    NoQuantModel,
     /// The front end refused the work because a connection-level limit was
     /// hit: the global connection cap, the per-connection in-flight cap, or
     /// an accept-path resource failure (e.g. thread spawn / fd exhaustion).
@@ -70,6 +74,7 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad-request",
             ServeError::BadArtifact(_) => "bad-artifact",
             ServeError::NoKnnIndex => "no-knn-index",
+            ServeError::NoQuantModel => "no-quant-model",
             ServeError::ServerBusy { .. } => "server-busy",
         }
     }
@@ -99,6 +104,10 @@ impl fmt::Display for ServeError {
                 f,
                 "model has no kNN index section; rebuild the bundle with one"
             ),
+            ServeError::NoQuantModel => write!(
+                f,
+                "model has no int8 section; re-export the bundle with `imre quantize`"
+            ),
             ServeError::ServerBusy { what, limit } => {
                 write!(f, "server busy: {what} limit ({limit}) reached")
             }
@@ -125,6 +134,7 @@ mod tests {
             ServeError::BadRequest("x".into()),
             ServeError::BadArtifact("x".into()),
             ServeError::NoKnnIndex,
+            ServeError::NoQuantModel,
             ServeError::ServerBusy {
                 what: "connections",
                 limit: 1,

@@ -48,16 +48,19 @@ pub mod error;
 #[cfg(target_os = "linux")]
 pub(crate) mod eventloop;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod mmap;
 pub mod pipeline;
 pub mod protocol;
+pub mod quantio;
 pub mod queue;
 pub mod registry;
 pub mod server;
 
 pub use bundle::{
-    load_bundle, read_bundle, save_bundle, write_bundle, Bundle, VERSION_V1, VERSION_V2,
+    load_bundle, read_bundle, save_bundle, write_bundle, Bundle, VERSION_V1, VERSION_V2, VERSION_V3,
 };
-pub use engine::{EngineConfig, Pending, ServeHandle};
+pub use engine::{EngineConfig, Pending, Precision, ServeHandle};
 pub use error::ServeError;
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, BUCKET_BOUNDS_US};
 pub use pipeline::{InferRequest, InferResponse, RankedRelation, ServingModel};

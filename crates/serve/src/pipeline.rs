@@ -9,7 +9,7 @@
 use crate::bundle::Bundle;
 use crate::error::ServeError;
 use imre_ann::{blend_scores, AnnIndex, SearchScratch};
-use imre_core::{featurize, BagContext, PreparedBag};
+use imre_core::{featurize, BagContext, PreparedBag, QuantModel, QuantScratch};
 use imre_corpus::EncodedSentence;
 use std::collections::HashMap;
 
@@ -68,6 +68,10 @@ pub struct InferResponse {
     pub forward_us: u64,
 }
 
+/// One bag's scores plus its optional pooled representation (flagged via
+/// `wants_repr` in the batch-with-repr paths).
+pub type ScoredBag = (Vec<f32>, Option<Vec<f32>>);
+
 /// A bundle prepared for serving: adds the entity-name index and exposes
 /// the request pipeline.
 pub struct ServingModel {
@@ -118,6 +122,12 @@ impl ServingModel {
     /// artifact shipped one (`.imrb` version 2).
     pub fn ann(&self) -> Option<&AnnIndex> {
         self.bundle.ann.as_ref()
+    }
+
+    /// The bundled int8 model, if the artifact shipped one (`.imrb`
+    /// version 3, written by `imre quantize`).
+    pub fn quant(&self) -> Option<&QuantModel> {
+        self.bundle.quant.as_ref()
     }
 
     /// The forward-time side context (entity types, LINE embeddings).
@@ -229,10 +239,30 @@ impl ServingModel {
         bags: &[&PreparedBag],
         pool: &mut imre_tensor::BufferPool,
         wants_repr: &[bool],
-    ) -> Vec<(Vec<f32>, Option<Vec<f32>>)> {
+    ) -> Vec<ScoredBag> {
         self.bundle
             .model
             .predict_batch_pooled_with_repr(bags, &self.ctx(), pool, wants_repr)
+    }
+
+    /// The int8 counterpart of
+    /// [`ServingModel::predict_prepared_batch_pooled_with_repr`]: one
+    /// integer forward pass per bag on the caller's recycled
+    /// [`QuantScratch`] (the engine passes each worker's, so warm batches
+    /// allocate nothing). Exported representations come from the quantized
+    /// encoder, so kNN interpolation keeps working against the bundled f32
+    /// index.
+    ///
+    /// # Errors
+    /// [`ServeError::NoQuantModel`] when the bundle has no int8 section.
+    pub fn predict_prepared_batch_quant_with_repr(
+        &self,
+        bags: &[&PreparedBag],
+        scratch: &mut QuantScratch,
+        wants_repr: &[bool],
+    ) -> Result<Vec<ScoredBag>, ServeError> {
+        let qm = self.quant().ok_or(ServeError::NoQuantModel)?;
+        Ok(qm.predict_batch_quant_with_repr(bags, &self.entity_types, scratch, wants_repr))
     }
 
     /// Resolves a request's effective kNN parameters against engine-level

@@ -136,10 +136,10 @@ fn v1_bytes_are_identical_with_and_without_knn_support_compiled_in() {
 #[test]
 fn unknown_version_is_a_typed_error() {
     let mut bytes = bundle_bytes(true);
-    bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
+    bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
     let err = read_bundle(&mut bytes.as_slice())
         .map(|_| ())
-        .expect_err("version 3 must be rejected");
+        .expect_err("version 9 must be rejected");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     assert!(
         err.to_string().contains("version"),

@@ -1,0 +1,222 @@
+//! `.imrb` version-3 contract: compat matrix across v1/v2/v3, zero-copy
+//! mmap-vs-owned load identity, and typed rejection of corrupt or
+//! truncated aligned sections.
+//!
+//! v3 is only emitted when a quantized model rides along; bundles without
+//! one keep writing v1/v2 byte-identically (pinned in `bundle_compat.rs`).
+
+use imre_core::quant::QuantScratch;
+use imre_core::{entity_type_table, HyperParams, ModelSpec, QuantModel};
+use imre_eval::{build_index, smoke_config, Pipeline};
+use imre_graph::EntityEmbedding;
+use imre_serve::{
+    load_bundle, read_bundle, save_bundle, write_bundle, Bundle, VERSION_V1, VERSION_V2, VERSION_V3,
+};
+use std::io::ErrorKind;
+use std::sync::OnceLock;
+
+struct Fixture {
+    pipeline: Pipeline,
+    model_bytes: Vec<u8>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let hp = HyperParams {
+            epochs: 2,
+            ..HyperParams::tiny()
+        };
+        let pipeline = Pipeline::build(&smoke_config(5), hp);
+        let model = pipeline.train_system(ModelSpec::pa_tmr(), 11);
+        let mut model_bytes = Vec::new();
+        imre_core::write_model(&model, &mut model_bytes).expect("serialize model");
+        Fixture {
+            pipeline,
+            model_bytes,
+        }
+    })
+}
+
+/// A bundle of the fixture model at the requested on-disk version.
+fn bundle(version: u32) -> Bundle {
+    let fx = fixture();
+    let model = imre_core::read_model(&mut fx.model_bytes.as_slice()).expect("model deserializes");
+    let embedding = EntityEmbedding::from_matrix(fx.pipeline.embedding.matrix().clone());
+    let mut b = Bundle::new(
+        model,
+        fx.pipeline.dataset.vocab.clone(),
+        &fx.pipeline.dataset.world,
+        Some(embedding),
+    );
+    if version >= VERSION_V2 {
+        let ann = build_index(&fx.pipeline, &b.model, 7);
+        b = b.with_ann(ann);
+    }
+    if version >= VERSION_V3 {
+        let quant = QuantModel::from_model(&b.model, b.embedding.as_ref()).expect("quantizes");
+        b = b.with_quant(quant);
+    }
+    b
+}
+
+fn bytes_of(b: &Bundle) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_bundle(b, &mut bytes).expect("serialize");
+    bytes
+}
+
+fn version_of(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[4..8].try_into().unwrap())
+}
+
+/// Quantized scores of the first few test bags, as bit patterns.
+fn quant_scores(qm: &QuantModel) -> Vec<u32> {
+    let fx = fixture();
+    let types = entity_type_table(&fx.pipeline.dataset.world);
+    let mut scratch = QuantScratch::new();
+    let mut out = Vec::new();
+    for bag in fx.pipeline.test_bags.iter().take(5) {
+        let mut scores = vec![0.0f32; qm.num_relations];
+        qm.predict_quant_into(bag, &types, &mut scratch, &mut scores, None);
+        out.extend(scores.iter().map(|s| s.to_bits()));
+    }
+    out
+}
+
+#[test]
+fn version_matrix_round_trips() {
+    for version in [VERSION_V1, VERSION_V2, VERSION_V3] {
+        let b = bundle(version);
+        let bytes = bytes_of(&b);
+        assert_eq!(version_of(&bytes), version, "wrong on-disk version");
+        let loaded = read_bundle(&mut bytes.as_slice()).expect("loads");
+        assert_eq!(loaded.ann.is_some(), version >= VERSION_V2);
+        assert_eq!(loaded.quant.is_some(), version >= VERSION_V3);
+        assert_eq!(loaded.relations, b.relations);
+        assert_eq!(loaded.vocab.len(), b.vocab.len());
+        // Reserialization is a fixed point at every version.
+        assert_eq!(bytes_of(&loaded), bytes, "v{version} not byte-stable");
+    }
+}
+
+#[test]
+fn v3_quant_model_survives_the_round_trip_bit_exactly() {
+    let b = bundle(VERSION_V3);
+    let want = quant_scores(b.quant.as_ref().unwrap());
+    let loaded = read_bundle(&mut bytes_of(&b).as_slice()).expect("v3 loads");
+    let qm = loaded.quant.as_ref().expect("quant section survives");
+    assert!(!qm.is_borrowed(), "stream read must own its tables");
+    assert_eq!(quant_scores(qm), want, "round-trip changed the int8 scores");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn mmap_load_is_zero_copy_and_byte_identical_to_owned() {
+    let b = bundle(VERSION_V3);
+    let bytes = bytes_of(&b);
+    let dir = std::env::temp_dir().join("imre_bundle_v3_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.imrb");
+    save_bundle(&b, &path).expect("saves");
+    assert_eq!(std::fs::read(&path).unwrap(), bytes, "save != in-memory");
+
+    let mapped = load_bundle(&path).expect("mmap loads");
+    let qm = mapped.quant.as_ref().expect("quant section");
+    assert!(
+        qm.is_borrowed(),
+        "v3 file load must borrow from the mapping"
+    );
+    assert!(
+        mapped.ann.as_ref().unwrap().is_borrowed(),
+        "ANN vectors must borrow from the mapping"
+    );
+
+    let owned = read_bundle(&mut bytes.as_slice()).expect("owned loads");
+    assert_eq!(
+        quant_scores(qm),
+        quant_scores(owned.quant.as_ref().unwrap()),
+        "mmap and owned loads must predict bit-identically"
+    );
+    // Both loads reserialize to the original file bytes.
+    assert_eq!(bytes_of(&mapped), bytes);
+    assert_eq!(bytes_of(&owned), bytes);
+
+    // The mapping must stay alive through the tensors even after the file
+    // is unlinked and the bundle's other parts are gone.
+    std::fs::remove_file(&path).ok();
+    let scores = quant_scores(mapped.quant.as_ref().unwrap());
+    assert_eq!(scores.len(), 5 * mapped.model.num_relations());
+}
+
+#[test]
+fn corrupt_v3_sections_are_typed_errors() {
+    let bytes = bytes_of(&bundle(VERSION_V3));
+    // Section count starts at offset 8; the directory entries follow.
+    let n = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    assert!(n >= 4, "fixture should carry META/MODL/QNT8/IMRA");
+
+    // Flip one byte inside every section: the table checksum must catch it.
+    for i in 0..n {
+        let e = 12 + i * 28;
+        let offset = u64::from_le_bytes(bytes[e + 4..e + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[e + 12..e + 20].try_into().unwrap()) as usize;
+        let mut bad = bytes.clone();
+        bad[offset + len / 2] ^= 0x20;
+        let err = read_bundle(&mut bad.as_slice())
+            .map(|_| ())
+            .expect_err("corrupt section accepted");
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "section {i}");
+        assert!(err.to_string().contains("checksum"), "section {i}: {err}");
+    }
+
+    // Misaligned or out-of-bounds directory offsets are rejected by the
+    // checked size math before any section parsing.
+    let mut misaligned = bytes.clone();
+    let off = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    misaligned[16..24].copy_from_slice(&(off + 1).to_le_bytes());
+    assert_eq!(
+        read_bundle(&mut misaligned.as_slice())
+            .map(|_| ())
+            .unwrap_err()
+            .kind(),
+        ErrorKind::InvalidData
+    );
+    let mut oob = bytes.clone();
+    oob[24..32].copy_from_slice(&u64::MAX.to_le_bytes()); // first entry len
+    assert_eq!(
+        read_bundle(&mut oob.as_slice())
+            .map(|_| ())
+            .unwrap_err()
+            .kind(),
+        ErrorKind::InvalidData
+    );
+
+    // Truncations anywhere in the file.
+    for keep in [6usize, 13, 40, bytes.len() / 2, bytes.len() - 3] {
+        let err = read_bundle(&mut &bytes[..keep])
+            .map(|_| ())
+            .expect_err("truncation accepted");
+        assert!(
+            err.kind() == ErrorKind::InvalidData || err.kind() == ErrorKind::UnexpectedEof,
+            "keep {keep}: {err}"
+        );
+    }
+}
+
+#[test]
+fn v3_sections_are_64_byte_aligned() {
+    let bytes = bytes_of(&bundle(VERSION_V3));
+    let n = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    for i in 0..n {
+        let e = 12 + i * 28;
+        let tag = &bytes[e..e + 4];
+        let offset = u64::from_le_bytes(bytes[e + 4..e + 12].try_into().unwrap());
+        assert_eq!(
+            offset % 64,
+            0,
+            "section {} not 64-byte aligned",
+            String::from_utf8_lossy(tag)
+        );
+    }
+}

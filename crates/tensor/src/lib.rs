@@ -43,6 +43,7 @@ mod init;
 mod matmul;
 mod ops;
 pub mod pool;
+pub mod quant;
 mod reduce;
 mod rows;
 pub mod simd;
@@ -52,6 +53,7 @@ pub use bufpool::{BufferPool, PoolStats};
 pub use init::TensorRng;
 pub use matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
 pub use ops::sigmoid_scalar;
+pub use quant::QuantTensor;
 pub use tensor::Tensor;
 
 /// Absolute tolerance used by the test helpers in this workspace.

@@ -1,0 +1,1059 @@
+//! Post-training int8 quantization: per-row affine `QuantTensor` storage and
+//! the i8×i8→i32 kernels of the quantized inference path.
+//!
+//! ## Scheme
+//!
+//! Every row of a matrix is quantized independently with an affine map
+//! `q = round(x / scale) + zero_point` clamped to `[-127, 127]` (−128 is
+//! never produced, so negation stays in range). The quantization range
+//! always covers `0.0`, which makes real zeros — conv zero-padding, unused
+//! position slots — round-trip *exactly* to `0.0`.
+//!
+//! A dot product between a quantized activation row `(qa, sa, za)` and a
+//! quantized weight row `(qw, sw, zw)` expands to
+//!
+//! ```text
+//! Σ (qa−za)·sa · (qw−zw)·sw
+//!   = [Σ qa·qw − zw·Σqa − za·Σqw + n·za·zw] · sa·sw
+//! ```
+//!
+//! where `Σ qa·qw` is the integer kernel and the per-row sums are
+//! precomputed (`row_sums` for weights, returned by [`quantize_row_into`]
+//! for activations). Integer accumulation is **exact**, so every backend —
+//! scalar, AVX2, AVX-512 — produces the same `i32` regardless of summation
+//! order, and the single f32 epilogue expression is shared; the quantized
+//! kernels are therefore bit-identical across backends *by construction*
+//! (a stronger property than the fixed-virtual-lane f32 kernels in `simd`,
+//! which must emulate the vector reduction shape in scalar code).
+//!
+//! f32 appears only at dequantization boundaries: nonlinearities (tanh,
+//! softmax), attention-weighted sums, and bias adds.
+//!
+//! ## Storage
+//!
+//! [`QuantTensor`] buffers are either owned (`Vec`) or *borrowed* from a
+//! caller-provided allocation kept alive by an `Arc` — the zero-copy path
+//! used by memory-mapped `.imrb` v3 bundles, where the i8 payload, scales,
+//! zero points, and row sums are read straight out of the file mapping.
+//!
+//! Dispatch mirrors the `simd` module: `simd::backend()` picks the backend
+//! (honoring `IMRE_SIMD`/`IMRE_FORCE_SCALAR` and `simd::with_backend`
+//! overrides), and every kernel invocation is counted — see
+//! [`quant_vector_kernels`]/[`quant_scalar_kernels`].
+
+use crate::simd::{self, Backend};
+use crate::Tensor;
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Smallest quantized value. −128 is excluded so `-q` never overflows.
+pub const QMIN: i8 = -127;
+/// Largest quantized value.
+pub const QMAX: i8 = 127;
+
+/// Largest supported row width. Bounds the exact-i32 accumulator:
+/// `MAX_COLS · 127 · 127 < i32::MAX` with a wide margin.
+pub const MAX_COLS: usize = 1 << 17;
+
+// ----------------------------------------------------------------------
+// Dispatch counters (quantized-kernel slice of the PR 7 counters)
+// ----------------------------------------------------------------------
+
+static QUANT_VECTOR: AtomicU64 = AtomicU64::new(0);
+static QUANT_SCALAR: AtomicU64 = AtomicU64::new(0);
+
+/// Counts one quantized-kernel dispatch, and mirrors it into the global
+/// `simd` vector/scalar counters so existing dispatch assertions see the
+/// quantized path too.
+#[inline]
+fn note_quant(be: Backend) {
+    if be == Backend::Scalar {
+        QUANT_SCALAR.fetch_add(1, Ordering::Relaxed);
+    } else {
+        QUANT_VECTOR.fetch_add(1, Ordering::Relaxed);
+    }
+    simd::note(be);
+}
+
+/// Quantized kernel invocations that took a vector backend.
+pub fn quant_vector_kernels() -> u64 {
+    QUANT_VECTOR.load(Ordering::Relaxed)
+}
+
+/// Quantized kernel invocations that fell back to scalar.
+pub fn quant_scalar_kernels() -> u64 {
+    QUANT_SCALAR.load(Ordering::Relaxed)
+}
+
+// ----------------------------------------------------------------------
+// Storage
+// ----------------------------------------------------------------------
+
+/// Owned-or-borrowed buffer. The borrowed form carries an `Arc` keepalive
+/// (typically the file mapping the pointer points into).
+enum Buf<T: Copy> {
+    Owned(Vec<T>),
+    Borrowed {
+        ptr: *const T,
+        len: usize,
+        _keep: Arc<dyn Any + Send + Sync>,
+    },
+}
+
+// SAFETY: `Borrowed` is an immutable view of memory owned by the `Arc`
+// keepalive; `T` is a plain `Copy` scalar, so sharing/sending the view is
+// as safe as sharing the owning allocation.
+unsafe impl<T: Copy + Send + Sync> Send for Buf<T> {}
+unsafe impl<T: Copy + Send + Sync> Sync for Buf<T> {}
+
+impl<T: Copy> Buf<T> {
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Buf::Owned(v) => v,
+            // SAFETY: construction contract (`from_borrowed_parts`)
+            // guarantees `ptr` is valid for `len` elements for as long as
+            // the keepalive is alive, which is at least `&self`'s lifetime.
+            Buf::Borrowed { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+/// A 2-D int8 matrix quantized row-wise: `data` is `[rows, cols]`
+/// row-major i8, and each row `r` carries `scales[r]`, `zeros[r]`, and the
+/// precomputed integer row sum `row_sums[r] = Σ data[r][..] as i32`.
+pub struct QuantTensor {
+    rows: usize,
+    cols: usize,
+    data: Buf<i8>,
+    scales: Buf<f32>,
+    zeros: Buf<i8>,
+    row_sums: Buf<i32>,
+}
+
+/// One quantized activation row, as produced by [`quantize_row_into`].
+#[derive(Clone, Copy, Debug)]
+pub struct QuantRowParams {
+    /// Dequantization scale.
+    pub scale: f32,
+    /// Zero point in the quantized domain.
+    pub zero_point: i8,
+    /// `Σ q` over the row.
+    pub sum: i32,
+}
+
+impl QuantTensor {
+    /// Quantizes a 2-D `Tensor` row-wise.
+    ///
+    /// # Panics
+    /// When `t` is not 2-D or wider than [`MAX_COLS`].
+    pub fn quantize(t: &Tensor) -> QuantTensor {
+        let (rows, cols) = dims2(t);
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![0f32; rows];
+        let mut zeros = vec![0i8; rows];
+        let mut row_sums = vec![0i32; rows];
+        for r in 0..rows {
+            let p = quantize_row_into(
+                &t.data()[r * cols..(r + 1) * cols],
+                &mut data[r * cols..(r + 1) * cols],
+            );
+            scales[r] = p.scale;
+            zeros[r] = p.zero_point;
+            row_sums[r] = p.sum;
+        }
+        QuantTensor {
+            rows,
+            cols,
+            data: Buf::Owned(data),
+            scales: Buf::Owned(scales),
+            zeros: Buf::Owned(zeros),
+            row_sums: Buf::Owned(row_sums),
+        }
+    }
+
+    /// Quantizes the *transpose* of a 2-D `Tensor` row-wise — the layout
+    /// [`qmatvec_into`] wants for a `[in, out]` linear weight: the result
+    /// has one row per output unit.
+    pub fn quantize_transposed(t: &Tensor) -> QuantTensor {
+        let (trows, tcols) = dims2(t);
+        let (rows, cols) = (tcols, trows);
+        let mut scratch = vec![0f32; cols];
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![0f32; rows];
+        let mut zeros = vec![0i8; rows];
+        let mut row_sums = vec![0i32; rows];
+        for r in 0..rows {
+            for (c, s) in scratch.iter_mut().enumerate() {
+                *s = t.data()[c * tcols + r];
+            }
+            let p = quantize_row_into(&scratch, &mut data[r * cols..(r + 1) * cols]);
+            scales[r] = p.scale;
+            zeros[r] = p.zero_point;
+            row_sums[r] = p.sum;
+        }
+        QuantTensor {
+            rows,
+            cols,
+            data: Buf::Owned(data),
+            scales: Buf::Owned(scales),
+            zeros: Buf::Owned(zeros),
+            row_sums: Buf::Owned(row_sums),
+        }
+    }
+
+    /// Rebuilds a tensor from owned parts (the owned `.imrb` v3 load path).
+    pub fn from_owned_parts(
+        rows: usize,
+        cols: usize,
+        data: Vec<i8>,
+        scales: Vec<f32>,
+        zeros: Vec<i8>,
+        row_sums: Vec<i32>,
+    ) -> Result<QuantTensor, String> {
+        if cols == 0 || cols > MAX_COLS {
+            return Err(format!("quant tensor cols {cols} out of range"));
+        }
+        if data.len() != rows * cols
+            || scales.len() != rows
+            || zeros.len() != rows
+            || row_sums.len() != rows
+        {
+            return Err(format!(
+                "quant tensor part lengths inconsistent with [{rows}, {cols}]"
+            ));
+        }
+        Ok(QuantTensor {
+            rows,
+            cols,
+            data: Buf::Owned(data),
+            scales: Buf::Owned(scales),
+            zeros: Buf::Owned(zeros),
+            row_sums: Buf::Owned(row_sums),
+        })
+    }
+
+    /// Builds a tensor whose buffers *borrow* from memory owned by `keep`
+    /// (the zero-copy mmap load path). The tensor holds `keep` alive, so
+    /// dropping the last clone of the mapping `Arc` is deferred until the
+    /// tensor itself drops.
+    ///
+    /// # Safety
+    /// Every pointer must be properly aligned for its element type and
+    /// valid for the stated element count (`data`: `rows * cols`; the
+    /// rest: `rows`) for as long as `keep` is alive, and the memory must
+    /// not be mutated for that lifetime.
+    pub unsafe fn from_borrowed_parts(
+        rows: usize,
+        cols: usize,
+        data: *const i8,
+        scales: *const f32,
+        zeros: *const i8,
+        row_sums: *const i32,
+        keep: Arc<dyn Any + Send + Sync>,
+    ) -> QuantTensor {
+        assert!(
+            cols > 0 && cols <= MAX_COLS,
+            "quant tensor cols out of range"
+        );
+        QuantTensor {
+            rows,
+            cols,
+            data: Buf::Borrowed {
+                ptr: data,
+                len: rows * cols,
+                _keep: Arc::clone(&keep),
+            },
+            scales: Buf::Borrowed {
+                ptr: scales,
+                len: rows,
+                _keep: Arc::clone(&keep),
+            },
+            zeros: Buf::Borrowed {
+                ptr: zeros,
+                len: rows,
+                _keep: Arc::clone(&keep),
+            },
+            row_sums: Buf::Borrowed {
+                ptr: row_sums,
+                len: rows,
+                _keep: keep,
+            },
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The i8 payload, `[rows, cols]` row-major.
+    pub fn data(&self) -> &[i8] {
+        self.data.as_slice()
+    }
+
+    /// Per-row dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        self.scales.as_slice()
+    }
+
+    /// Per-row zero points.
+    pub fn zeros(&self) -> &[i8] {
+        self.zeros.as_slice()
+    }
+
+    /// Per-row precomputed integer sums.
+    pub fn row_sums(&self) -> &[i32] {
+        self.row_sums.as_slice()
+    }
+
+    /// Whether the buffers borrow from an external allocation (mmap).
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.data, Buf::Borrowed { .. })
+    }
+
+    /// Total payload bytes across all four buffers (the serialized and
+    /// resident size of the quantized table, excluding headers).
+    pub fn bytes(&self) -> usize {
+        self.rows * self.cols + self.rows * (4 + 1 + 4)
+    }
+
+    /// Dequantizes row `r` into `out` (len `cols`).
+    pub fn dequant_row_into(&self, r: usize, out: &mut [f32]) {
+        assert!(r < self.rows && out.len() == self.cols);
+        let be = simd::backend();
+        note_quant(be);
+        dequant(
+            be,
+            &self.data.as_slice()[r * self.cols..(r + 1) * self.cols],
+            self.zeros.as_slice()[r],
+            self.scales.as_slice()[r],
+            out,
+        );
+    }
+}
+
+fn dims2(t: &Tensor) -> (usize, usize) {
+    assert!(
+        t.shape().len() == 2,
+        "QuantTensor::quantize wants a 2-D tensor"
+    );
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    assert!(
+        cols > 0 && cols <= MAX_COLS,
+        "quant tensor cols out of range"
+    );
+    (rows, cols)
+}
+
+// ----------------------------------------------------------------------
+// Activation quantization (deterministic scalar; O(n) next to O(n·m) matvec)
+// ----------------------------------------------------------------------
+
+/// Quantizes one f32 row into `dst` and returns its affine parameters.
+///
+/// The range is widened to include `0.0` so exact zeros stay exact. The
+/// AVX-512 form mirrors the scalar formula operation for operation
+/// (elementwise IEEE ops have no summation-order freedom) and routes rows
+/// containing non-finite values back to the scalar loop, so the output is
+/// bit-identical on every backend. Not counted in the kernel dispatch
+/// counters — those track the O(n·m) matvec/gather work, and the existing
+/// count assertions would shift.
+pub fn quantize_row_into(src: &[f32], dst: &mut [i8]) -> QuantRowParams {
+    assert_eq!(src.len(), dst.len());
+    assert!(src.len() <= MAX_COLS, "row wider than MAX_COLS");
+    #[cfg(target_arch = "x86_64")]
+    if simd::backend() == Backend::Avx512 && avx512bw_available() && avx512vl_available() {
+        // SAFETY: runtime-detected avx512f (backend) + avx512bw + avx512vl.
+        return unsafe { quantize_row_avx512(src, dst) };
+    }
+    quantize_row_scalar(src, dst)
+}
+
+fn quantize_row_scalar(src: &[f32], dst: &mut [i8]) -> QuantRowParams {
+    let mut min = 0.0f32;
+    let mut max = 0.0f32;
+    for &x in src {
+        if x.is_finite() {
+            if x < min {
+                min = x;
+            }
+            if x > max {
+                max = x;
+            }
+        }
+    }
+    let scale = if max > min {
+        (max - min) / (QMAX as f32 - QMIN as f32)
+    } else {
+        1.0
+    };
+    let zp = (QMIN as f32 - min / scale)
+        .round()
+        .clamp(QMIN as f32, QMAX as f32) as i32;
+    let inv = 1.0 / scale;
+    let mut sum = 0i32;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        // Round-half-away-from-zero via truncation: one multiply, one add,
+        // one `cvttss2si` — no libm `roundf` call in the hot loop. `as i32`
+        // truncates (and saturates), matching on every platform.
+        let y = x * inv;
+        let q =
+            ((y + if y >= 0.0 { 0.5 } else { -0.5 }) as i32 + zp).clamp(QMIN as i32, QMAX as i32);
+        *d = q as i8;
+        sum += q;
+    }
+    QuantRowParams {
+        scale,
+        zero_point: zp as i8,
+        sum,
+    }
+}
+
+/// Vector [`quantize_row_scalar`]: same min/max selection (exact — no
+/// rounding in comparisons), same shared `scale`/`zp` scalars, and an
+/// elementwise pipeline (`mul`, signed `±0.5`, truncating convert, `+zp`,
+/// clamp) whose every step is the IEEE operation the scalar loop performs,
+/// so the two agree bitwise. Rows with non-finite elements (or a subnormal
+/// scale, whose reciprocal overflows) fall back to the scalar loop rather
+/// than emulating Rust's saturating-cast edge cases lane by lane.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vl")]
+unsafe fn quantize_row_avx512(src: &[f32], dst: &mut [i8]) -> QuantRowParams {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    unsafe {
+        // Pass 1: min/max over finite lanes, starting from 0.0 like scalar.
+        let absmask = _mm512_castsi512_ps(_mm512_set1_epi32(0x7fff_ffff));
+        let vinf = _mm512_set1_ps(f32::INFINITY);
+        let mut vmin = _mm512_setzero_ps();
+        let mut vmax = _mm512_setzero_ps();
+        let mut nonfinite: __mmask16 = 0;
+        let mut i = 0;
+        while i + 16 <= n {
+            let v = _mm512_loadu_ps(src.as_ptr().add(i));
+            let fin = _mm512_cmp_ps_mask(_mm512_and_ps(v, absmask), vinf, _CMP_LT_OQ);
+            nonfinite |= !fin;
+            vmin = _mm512_mask_min_ps(vmin, fin, vmin, v);
+            vmax = _mm512_mask_max_ps(vmax, fin, vmax, v);
+            i += 16;
+        }
+        let ktail: __mmask16 = if i < n { (1u16 << (n - i)) - 1 } else { 0 };
+        if i < n {
+            let v = _mm512_maskz_loadu_ps(ktail, src.as_ptr().add(i));
+            let fin = _mm512_cmp_ps_mask(_mm512_and_ps(v, absmask), vinf, _CMP_LT_OQ);
+            nonfinite |= !fin & ktail;
+            let fin = fin & ktail;
+            vmin = _mm512_mask_min_ps(vmin, fin, vmin, v);
+            vmax = _mm512_mask_max_ps(vmax, fin, vmax, v);
+        }
+        if nonfinite != 0 {
+            return quantize_row_scalar(src, dst);
+        }
+        let min = _mm512_reduce_min_ps(vmin);
+        let max = _mm512_reduce_max_ps(vmax);
+        let scale = if max > min {
+            (max - min) / (QMAX as f32 - QMIN as f32)
+        } else {
+            1.0
+        };
+        let zp = (QMIN as f32 - min / scale)
+            .round()
+            .clamp(QMIN as f32, QMAX as f32) as i32;
+        let inv = 1.0 / scale;
+        if !inv.is_finite() {
+            return quantize_row_scalar(src, dst);
+        }
+        // With `inv` finite and every x inside [min, max] ∋ 0, |x·inv| stays
+        // below ~255, so the truncating convert never saturates.
+        let vinv = _mm512_set1_ps(inv);
+        let vhalf = _mm512_set1_ps(0.5);
+        let vsign = _mm512_castsi512_ps(_mm512_set1_epi32(u32::MAX as i32 ^ 0x7fff_ffff));
+        let vzp = _mm512_set1_epi32(zp);
+        let vqmin = _mm512_set1_epi32(QMIN as i32);
+        let vqmax = _mm512_set1_epi32(QMAX as i32);
+        let mut vsum = _mm512_setzero_si512();
+        let quantize_block = |v: __m512, vsum: &mut __m512i| -> __m512i {
+            let y = _mm512_mul_ps(v, vinv);
+            // `y >= 0.0 ? 0.5 : -0.5`: y = -0.0 takes +0.5 in scalar and
+            // -0.5 here, but both truncate to 0, so results agree.
+            let half = _mm512_or_ps(_mm512_and_ps(y, vsign), vhalf);
+            let vi = _mm512_cvttps_epi32(_mm512_add_ps(y, half));
+            let vq = _mm512_max_epi32(_mm512_min_epi32(_mm512_add_epi32(vi, vzp), vqmax), vqmin);
+            *vsum = _mm512_add_epi32(*vsum, vq);
+            vq
+        };
+        let mut i = 0;
+        while i + 16 <= n {
+            let v = _mm512_loadu_ps(src.as_ptr().add(i));
+            let vq = quantize_block(v, &mut vsum);
+            _mm_storeu_si128(
+                dst.as_mut_ptr().add(i) as *mut __m128i,
+                _mm512_cvtepi32_epi8(vq),
+            );
+            i += 16;
+        }
+        if i < n {
+            let v = _mm512_maskz_loadu_ps(ktail, src.as_ptr().add(i));
+            // Masked-off lanes quantize the placeholder 0.0; exclude them
+            // from the stored sum and the masked store.
+            let mut vsum_tail = _mm512_setzero_si512();
+            let vq = quantize_block(v, &mut vsum_tail);
+            vsum = _mm512_add_epi32(vsum, _mm512_maskz_mov_epi32(ktail, vq));
+            _mm_mask_storeu_epi8(dst.as_mut_ptr().add(i), ktail, _mm512_cvtepi32_epi8(vq));
+        }
+        QuantRowParams {
+            scale,
+            zero_point: zp as i8,
+            sum: _mm512_reduce_add_epi32(vsum),
+        }
+    }
+}
+
+/// Whether the 128/256-bit forms of AVX-512 ops (`avx512vl`) are available.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx512vl_available() -> bool {
+    use std::sync::OnceLock;
+    static VL: OnceLock<bool> = OnceLock::new();
+    *VL.get_or_init(|| std::arch::is_x86_feature_detected!("avx512vl"))
+}
+
+// ----------------------------------------------------------------------
+// Kernels
+// ----------------------------------------------------------------------
+
+/// `out[r] = dequant(act · weight_row_r) + bias[r]` for every weight row.
+///
+/// `act` is a row previously quantized with [`quantize_row_into`] (its
+/// params in `p`). The integer dot is exact on every backend and the f32
+/// epilogue is one shared expression, so the result is bit-identical
+/// scalar-vs-SIMD.
+pub fn qmatvec_into(
+    w: &QuantTensor,
+    act: &[i8],
+    p: QuantRowParams,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(act.len(), w.cols, "activation/weight width mismatch");
+    assert_eq!(out.len(), w.rows, "output/weight rows mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), w.rows, "bias/weight rows mismatch");
+    }
+    let be = simd::backend();
+    note_quant(be);
+    #[cfg(target_arch = "x86_64")]
+    if be == Backend::Avx512
+        && w.cols <= VNNI_MAX_COLS
+        && avx512bw_available()
+        && avx512vnni_available()
+    {
+        // SAFETY: runtime-detected avx512f (backend) + avx512bw + avx512vnni.
+        unsafe { qmatvec_avx512vnni(w, act, p, bias, out) };
+        return;
+    }
+    let n = w.cols as i64;
+    let za = p.zero_point as i64;
+    let data = w.data.as_slice();
+    let scales = w.scales.as_slice();
+    let zeros = w.zeros.as_slice();
+    let sums = w.row_sums.as_slice();
+    for r in 0..w.rows {
+        let acc = qdot(be, act, &data[r * w.cols..(r + 1) * w.cols]);
+        let zw = zeros[r] as i64;
+        let int = acc as i64 - zw * p.sum as i64 - za * sums[r] as i64 + n * za * zw;
+        let real = int as f32 * (p.scale * scales[r]);
+        out[r] = match bias {
+            Some(b) => real + b[r],
+            None => real,
+        };
+    }
+}
+
+/// Width cap of the VNNI matvec: the biased-u8 dot is bounded by
+/// `255·128·cols`, which must stay inside the exact-i32 accumulator.
+#[cfg(target_arch = "x86_64")]
+const VNNI_MAX_COLS: usize = 1 << 16;
+
+/// Whether AVX512-VNNI (`vpdpbusd`) is available.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx512vnni_available() -> bool {
+    use std::sync::OnceLock;
+    static VNNI: OnceLock<bool> = OnceLock::new();
+    *VNNI.get_or_init(|| std::arch::is_x86_feature_detected!("avx512vnni"))
+}
+
+/// VNNI matvec: `vpdpbusd` needs an unsigned left operand, so activations
+/// are biased to u8 on the fly (`a ⊕ 0x80 = a + 128`) and the exact
+/// surplus `128·Σw_r` is subtracted per row — all in integers, so the
+/// result is bit-identical to the scalar/qdot paths. Weight rows run four
+/// at a time sharing each activation load; the sub-64 tail is a zero-masked
+/// load on the *weight* side (zeroed weight lanes annihilate whatever the
+/// biased activation holds there).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512vnni")]
+unsafe fn qmatvec_avx512vnni(
+    w: &QuantTensor,
+    act: &[i8],
+    p: QuantRowParams,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let cols = w.cols;
+    let n = cols as i64;
+    let za = p.zero_point as i64;
+    let data = w.data.as_slice();
+    let scales = w.scales.as_slice();
+    let zeros = w.zeros.as_slice();
+    let sums = w.row_sums.as_slice();
+    let vbias = _mm512_set1_epi8(-128i8);
+    let blocks = cols / 64;
+    let tail = cols % 64;
+    let kmask: __mmask64 = if tail == 0 { 0 } else { (1u64 << tail) - 1 };
+
+    let epilogue = |r: usize, biased: i64| {
+        let acc = biased - 128 * sums[r] as i64;
+        let zw = zeros[r] as i64;
+        let int = acc - zw * p.sum as i64 - za * sums[r] as i64 + n * za * zw;
+        let real = int as f32 * (p.scale * scales[r]);
+        match bias {
+            Some(b) => real + b[r],
+            None => real,
+        }
+    };
+
+    let mut r = 0;
+    unsafe {
+        while r + 4 <= w.rows {
+            let mut acc = [_mm512_setzero_si512(); 4];
+            for bi in 0..blocks {
+                let i = bi * 64;
+                let va =
+                    _mm512_xor_si512(_mm512_loadu_si512(act.as_ptr().add(i) as *const _), vbias);
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let vw = _mm512_loadu_si512(data.as_ptr().add((r + j) * cols + i) as *const _);
+                    *a = _mm512_dpbusd_epi32(*a, va, vw);
+                }
+            }
+            if tail != 0 {
+                let i = blocks * 64;
+                let va =
+                    _mm512_xor_si512(_mm512_maskz_loadu_epi8(kmask, act.as_ptr().add(i)), vbias);
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let vw = _mm512_maskz_loadu_epi8(kmask, data.as_ptr().add((r + j) * cols + i));
+                    *a = _mm512_dpbusd_epi32(*a, va, vw);
+                }
+            }
+            for (j, a) in acc.iter().enumerate() {
+                out[r + j] = epilogue(r + j, _mm512_reduce_add_epi32(*a) as i64);
+            }
+            r += 4;
+        }
+        while r < w.rows {
+            let mut a = _mm512_setzero_si512();
+            for bi in 0..blocks {
+                let i = bi * 64;
+                let va =
+                    _mm512_xor_si512(_mm512_loadu_si512(act.as_ptr().add(i) as *const _), vbias);
+                let vw = _mm512_loadu_si512(data.as_ptr().add(r * cols + i) as *const _);
+                a = _mm512_dpbusd_epi32(a, va, vw);
+            }
+            if tail != 0 {
+                let i = blocks * 64;
+                let va =
+                    _mm512_xor_si512(_mm512_maskz_loadu_epi8(kmask, act.as_ptr().add(i)), vbias);
+                let vw = _mm512_maskz_loadu_epi8(kmask, data.as_ptr().add(r * cols + i));
+                a = _mm512_dpbusd_epi32(a, va, vw);
+            }
+            out[r] = epilogue(r, _mm512_reduce_add_epi32(a) as i64);
+            r += 1;
+        }
+    }
+}
+
+/// Gathers `ids` rows of a quantized table, dequantized, into `out`
+/// (`ids.len() × cols` row-major) — the embedding-lookup kernel.
+pub fn gather_dequant_into(table: &QuantTensor, ids: &[usize], out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        ids.len() * table.cols,
+        "gather output size mismatch"
+    );
+    let be = simd::backend();
+    note_quant(be);
+    let data = table.data.as_slice();
+    let scales = table.scales.as_slice();
+    let zeros = table.zeros.as_slice();
+    for (i, &id) in ids.iter().enumerate() {
+        assert!(
+            id < table.rows,
+            "gather id {id} out of range {}",
+            table.rows
+        );
+        dequant(
+            be,
+            &data[id * table.cols..(id + 1) * table.cols],
+            zeros[id],
+            scales[id],
+            &mut out[i * table.cols..(i + 1) * table.cols],
+        );
+    }
+}
+
+/// Whether the byte-granular AVX-512 tier (`avx512bw`) is available.
+/// `Backend::Avx512` alone only guarantees `avx512f`, which has no 8/16-bit
+/// integer ops.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx512bw_available() -> bool {
+    use std::sync::OnceLock;
+    static BW: OnceLock<bool> = OnceLock::new();
+    *BW.get_or_init(|| std::arch::is_x86_feature_detected!("avx512bw"))
+}
+
+/// Exact integer dot `Σ a[i]·b[i]` over i8 operands.
+fn qdot(be: Backend, a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if be == Backend::Avx512 && avx512bw_available() {
+            // SAFETY: gated on runtime avx512f (backend) + avx512bw checks.
+            return unsafe { qdot_avx512(a, b) };
+        }
+        if be != Backend::Scalar {
+            // SAFETY: vector backends imply avx2 support (see `simd::backend`).
+            return unsafe { qdot_avx2(a, b) };
+        }
+    }
+    let _ = be;
+    let mut sum = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        sum += x as i32 * y as i32;
+    }
+    sum
+}
+
+/// `out[i] = (q[i] − zp) · scale`. The scalar and vector forms both
+/// compute `float(q) − float(zp)` on exactly representable small integers
+/// followed by one multiply, so they agree bitwise.
+fn dequant(be: Backend, q: &[i8], zp: i8, scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(q.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if be != Backend::Scalar {
+        // SAFETY: vector backends imply avx2 support (see `simd::backend`).
+        unsafe { dequant_avx2(q, zp as f32, scale, out) };
+        return;
+    }
+    let _ = be;
+    let zpf = zp as f32;
+    for (o, &x) in out.iter_mut().zip(q) {
+        *o = (x as f32 - zpf) * scale;
+    }
+}
+
+// ----------------------------------------------------------------------
+// AVX2 bodies
+// ----------------------------------------------------------------------
+
+/// i8 dot via sign-extension to i16 and 512-bit `madd_epi16`
+/// pair-accumulation into sixteen i32 lanes; the sub-64 tail is one
+/// zero-masked load (zeroed lanes contribute exact zeros), so no element
+/// ever takes a scalar path. Integer adds are associative, so any lane
+/// structure yields the scalar sum exactly; per-lane magnitude stays far
+/// below `i32::MAX` for all widths ≤ [`MAX_COLS`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx512bw")]
+unsafe fn qdot_avx512(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let mut acc = _mm512_setzero_si512();
+    let mut i = 0;
+    unsafe {
+        let mut fma = |va: __m512i, vb: __m512i| {
+            let alo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(va));
+            let ahi = _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(va, 1));
+            let blo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(vb));
+            let bhi = _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(vb, 1));
+            acc = _mm512_add_epi32(acc, _mm512_madd_epi16(alo, blo));
+            acc = _mm512_add_epi32(acc, _mm512_madd_epi16(ahi, bhi));
+        };
+        while i + 64 <= n {
+            let va = _mm512_loadu_si512(a.as_ptr().add(i) as *const _);
+            let vb = _mm512_loadu_si512(b.as_ptr().add(i) as *const _);
+            fma(va, vb);
+            i += 64;
+        }
+        if i < n {
+            let k: __mmask64 = (1u64 << (n - i)) - 1; // n - i in 1..=63
+            let va = _mm512_maskz_loadu_epi8(k, a.as_ptr().add(i));
+            let vb = _mm512_maskz_loadu_epi8(k, b.as_ptr().add(i));
+            fma(va, vb);
+        }
+    }
+    _mm512_reduce_add_epi32(acc)
+}
+
+/// i8 dot via sign-extension to i16 and `madd_epi16` pair-accumulation
+/// into eight i32 lanes. Integer adds are associative, so any lane
+/// structure yields the scalar sum exactly; per-lane magnitude stays far
+/// below `i32::MAX` for all widths ≤ [`MAX_COLS`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qdot_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 32 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+        let ahi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+        let blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+        let bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(alo, blo));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(ahi, bhi));
+        i += 32;
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut sum: i32 = lanes.iter().sum();
+    while i < n {
+        sum += a[i] as i32 * b[i] as i32;
+        i += 1;
+    }
+    sum
+}
+
+/// Vector dequant: sign-extend 8 bytes to i32, convert, subtract the zero
+/// point, scale. Element-wise — no reduction — so bit-identity with the
+/// scalar loop needs no lane emulation.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dequant_avx2(q: &[i8], zpf: f32, scale: f32, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = q.len();
+    let vz = _mm256_set1_ps(zpf);
+    let vs = _mm256_set1_ps(scale);
+    let mut i = 0;
+    while i + 8 <= n {
+        let raw = _mm_loadl_epi64(q.as_ptr().add(i) as *const __m128i);
+        let vi = _mm256_cvtepi8_epi32(raw);
+        let vf = _mm256_cvtepi32_ps(vi);
+        let r = _mm256_mul_ps(_mm256_sub_ps(vf, vz), vs);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 8;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) = (*q.get_unchecked(i) as f32 - zpf) * scale;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+
+    fn random_matrix(rng: &mut TensorRng, rows: usize, cols: usize, amp: f32) -> Tensor {
+        let mut t = Tensor::zeros(&[rows, cols]);
+        for v in t.data_mut() {
+            *v = (rng.f32() * 2.0 - 1.0) * amp;
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let mut rng = TensorRng::seed(11);
+        let t = random_matrix(&mut rng, 7, 33, 3.0);
+        let q = QuantTensor::quantize(&t);
+        let mut row = vec![0f32; 33];
+        for r in 0..7 {
+            q.dequant_row_into(r, &mut row);
+            let scale = q.scales()[r];
+            for (c, &d) in row.iter().enumerate() {
+                let x = t.data()[r * 33 + c];
+                assert!(
+                    (x - d).abs() <= scale * 0.5 + 1e-6,
+                    "row {r} col {c}: {x} vs {d} (scale {scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_zero_stays_exact() {
+        let t = Tensor::from_vec(vec![0.0, 1.5, -2.0, 0.0, 0.25, 0.0], &[2, 3]);
+        let q = QuantTensor::quantize(&t);
+        let mut row = vec![0f32; 3];
+        for r in 0..2 {
+            q.dequant_row_into(r, &mut row);
+            for (c, &d) in row.iter().enumerate() {
+                if t.data()[r * 3 + c] == 0.0 {
+                    assert_eq!(
+                        d.to_bits(),
+                        0.0f32.to_bits(),
+                        "zero must round-trip exactly"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_row_quantizes_without_nan() {
+        let t = Tensor::from_vec(vec![2.5; 8], &[1, 8]);
+        let q = QuantTensor::quantize(&t);
+        let mut row = vec![0f32; 8];
+        q.dequant_row_into(0, &mut row);
+        for &d in &row {
+            assert!(d.is_finite());
+            assert!((d - 2.5).abs() <= q.scales()[0] * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn qmatvec_tracks_f32_reference() {
+        let mut rng = TensorRng::seed(5);
+        let w = random_matrix(&mut rng, 16, 96, 1.0);
+        let x = random_matrix(&mut rng, 1, 96, 1.0);
+        let bias: Vec<f32> = (0..16).map(|i| i as f32 * 0.01).collect();
+        // f32 reference: x · w^T + b over rows of w.
+        let mut want = [0f32; 16];
+        for (r, wr) in want.iter_mut().enumerate() {
+            let mut acc = 0f32;
+            for c in 0..96 {
+                acc += x.data()[c] * w.data()[r * 96 + c];
+            }
+            *wr = acc + bias[r];
+        }
+        let qw = QuantTensor::quantize(&w);
+        let mut qx = vec![0i8; 96];
+        let p = quantize_row_into(x.data(), &mut qx);
+        let mut got = vec![0f32; 16];
+        qmatvec_into(&qw, &qx, p, Some(&bias), &mut got);
+        for r in 0..16 {
+            assert!(
+                (want[r] - got[r]).abs() < 0.05,
+                "row {r}: f32 {} vs int8 {}",
+                want[r],
+                got[r]
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_transposed_matches_manual_transpose() {
+        let mut rng = TensorRng::seed(9);
+        let t = random_matrix(&mut rng, 12, 5, 2.0);
+        let mut tt = Tensor::zeros(&[5, 12]);
+        for r in 0..12 {
+            for c in 0..5 {
+                tt.data_mut()[c * 12 + r] = t.data()[r * 5 + c];
+            }
+        }
+        let a = QuantTensor::quantize_transposed(&t);
+        let b = QuantTensor::quantize(&tt);
+        assert_eq!(a.data(), b.data());
+        assert_eq!(a.scales(), b.scales());
+        assert_eq!(a.zeros(), b.zeros());
+        assert_eq!(a.row_sums(), b.row_sums());
+    }
+
+    #[test]
+    fn backends_agree_bitwise_and_counters_move() {
+        let mut rng = TensorRng::seed(23);
+        let w = random_matrix(&mut rng, 9, 131, 1.0);
+        let x = random_matrix(&mut rng, 1, 131, 1.0);
+        let qw = QuantTensor::quantize(&w);
+        let mut qx = vec![0i8; 131];
+        let p = quantize_row_into(x.data(), &mut qx);
+        let run = |be: Backend| {
+            simd::with_backend(be, || {
+                let mut out = vec![0f32; 9];
+                qmatvec_into(&qw, &qx, p, None, &mut out);
+                let mut deq = vec![0f32; 131 * 2];
+                gather_dequant_into(&qw, &[3, 7], &mut deq);
+                (out, deq)
+            })
+        };
+        let before = (quant_scalar_kernels(), quant_vector_kernels());
+        let scalar = run(Backend::Scalar);
+        assert!(
+            quant_scalar_kernels() > before.0,
+            "scalar counter must move"
+        );
+        for be in [Backend::Avx2, Backend::Avx512] {
+            let vec = run(be);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&scalar.0), bits(&vec.0), "{be:?} qmatvec diverged");
+            assert_eq!(bits(&scalar.1), bits(&vec.1), "{be:?} dequant diverged");
+        }
+        if simd::hardware_backend() != Backend::Scalar {
+            assert!(
+                quant_vector_kernels() > before.1,
+                "vector counter must move"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_parts_read_identically_and_keepalive_holds() {
+        let mut rng = TensorRng::seed(31);
+        let t = random_matrix(&mut rng, 4, 16, 1.0);
+        let owned = QuantTensor::quantize(&t);
+        // Back the borrowed view with boxed copies owned by one Arc.
+        struct Backing {
+            data: Vec<i8>,
+            scales: Vec<f32>,
+            zeros: Vec<i8>,
+            sums: Vec<i32>,
+        }
+        let keep = Arc::new(Backing {
+            data: owned.data().to_vec(),
+            scales: owned.scales().to_vec(),
+            zeros: owned.zeros().to_vec(),
+            sums: owned.row_sums().to_vec(),
+        });
+        let borrowed = unsafe {
+            QuantTensor::from_borrowed_parts(
+                4,
+                16,
+                keep.data.as_ptr(),
+                keep.scales.as_ptr(),
+                keep.zeros.as_ptr(),
+                keep.sums.as_ptr(),
+                keep.clone(),
+            )
+        };
+        assert!(borrowed.is_borrowed() && !owned.is_borrowed());
+        let weak = Arc::downgrade(&keep);
+        drop(keep);
+        assert!(
+            weak.upgrade().is_some(),
+            "tensor must keep the backing alive"
+        );
+        assert_eq!(owned.data(), borrowed.data());
+        assert_eq!(owned.row_sums(), borrowed.row_sums());
+        let mut a = vec![0f32; 16];
+        let mut b = vec![0f32; 16];
+        owned.dequant_row_into(2, &mut a);
+        borrowed.dequant_row_into(2, &mut b);
+        assert_eq!(a, b);
+        drop(borrowed);
+        assert!(
+            weak.upgrade().is_none(),
+            "backing must free after last drop"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Bit-identity of the int8 quantized kernels across SIMD backends and
+//! thread counts.
+//!
+//! The quantized path's determinism story is stronger than the f32
+//! kernels': the i8×i8→i32 inner product is *exact* integer arithmetic, so
+//! every summation order yields the same `i32`, and the single shared f32
+//! dequant epilogue then yields the same bits on every backend. These
+//! properties pin that down empirically: random matrices and activations,
+//! every backend (`IMRE_FORCE_SCALAR=1` in CI re-runs the whole file with
+//! the scalar fallback pinned), at 1 and 4 pool threads.
+
+use imre_tensor::pool::{self, ThreadPool};
+use imre_tensor::quant::{self, QuantRowParams, QuantTensor};
+use imre_tensor::simd::{self, Backend};
+use imre_tensor::Tensor;
+use proptest::prelude::*;
+
+fn matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-8.0f32..8.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]))
+    })
+}
+
+/// Quantizes `x`'s single row and runs `qmatvec` under the given backend.
+fn qmatvec_under(
+    be: Backend,
+    w: &QuantTensor,
+    qx: &[i8],
+    p: QuantRowParams,
+    bias: &[f32],
+) -> Vec<u32> {
+    simd::with_backend(be, || {
+        let mut out = vec![0f32; w.rows()];
+        quant::qmatvec_into(w, qx, p, Some(bias), &mut out);
+        out.iter().map(|v| v.to_bits()).collect()
+    })
+}
+
+fn gather_under(be: Backend, w: &QuantTensor, ids: &[usize]) -> Vec<u32> {
+    simd::with_backend(be, || {
+        let mut out = vec![0f32; ids.len() * w.cols()];
+        quant::gather_dequant_into(w, ids, &mut out);
+        out.iter().map(|v| v.to_bits()).collect()
+    })
+}
+
+/// Runs `f` single-threaded and on a 4-worker pool; asserts identical bits.
+fn at_both_thread_counts(mut f: impl FnMut() -> Vec<u32>) -> Vec<u32> {
+    let t1 = pool::with_pool(&ThreadPool::new(1), &mut f);
+    let t4 = pool::with_pool(&ThreadPool::new(4), &mut f);
+    assert_eq!(t1, t4, "thread count changed the quantized bits");
+    t1
+}
+
+proptest! {
+    #[test]
+    fn qmatvec_bit_identical_across_backends_and_threads(
+        w in matrix(12, 140),
+        xs in proptest::collection::vec(-8.0f32..8.0, 140),
+    ) {
+        let cols = w.shape()[1];
+        let rows = w.shape()[0];
+        let qw = QuantTensor::quantize(&w);
+        let mut qx = vec![0i8; cols];
+        let p = quant::quantize_row_into(&xs[..cols], &mut qx);
+        let bias: Vec<f32> = (0..rows).map(|i| i as f32 * 0.017 - 0.1).collect();
+        let scalar = at_both_thread_counts(|| qmatvec_under(Backend::Scalar, &qw, &qx, p, &bias));
+        for be in [Backend::Avx2, Backend::Avx512] {
+            let got = at_both_thread_counts(|| qmatvec_under(be, &qw, &qx, p, &bias));
+            prop_assert_eq!(&scalar, &got, "{:?} diverged from scalar", be);
+        }
+    }
+
+    #[test]
+    fn gather_dequant_bit_identical_across_backends_and_threads(
+        w in matrix(20, 70),
+        picks in proptest::collection::vec(0usize..1000, 1..12),
+    ) {
+        let rows = w.shape()[0];
+        let qw = QuantTensor::quantize(&w);
+        let ids: Vec<usize> = picks.iter().map(|&p| p % rows).collect();
+        let scalar = at_both_thread_counts(|| gather_under(Backend::Scalar, &qw, &ids));
+        for be in [Backend::Avx2, Backend::Avx512] {
+            let got = at_both_thread_counts(|| gather_under(be, &qw, &ids));
+            prop_assert_eq!(&scalar, &got, "{:?} diverged from scalar", be);
+        }
+    }
+
+    #[test]
+    fn quantize_row_bit_identical_across_backends(
+        xs in proptest::collection::vec(-50.0f32..50.0, 1..200),
+    ) {
+        let mut q_scalar = vec![0i8; xs.len()];
+        let p_scalar = simd::with_backend(Backend::Scalar, || {
+            quant::quantize_row_into(&xs, &mut q_scalar)
+        });
+        for be in [Backend::Avx2, Backend::Avx512] {
+            let mut q = vec![0i8; xs.len()];
+            let p = simd::with_backend(be, || quant::quantize_row_into(&xs, &mut q));
+            prop_assert_eq!(&q_scalar, &q, "{:?} payload diverged from scalar", be);
+            prop_assert_eq!(p_scalar.scale.to_bits(), p.scale.to_bits());
+            prop_assert_eq!(p_scalar.zero_point, p.zero_point);
+            prop_assert_eq!(p_scalar.sum, p.sum);
+        }
+    }
+
+    #[test]
+    fn quantize_row_round_trip_error_within_half_step(
+        xs in proptest::collection::vec(-50.0f32..50.0, 1..200),
+    ) {
+        let mut q = vec![0i8; xs.len()];
+        let p = quant::quantize_row_into(&xs, &mut q);
+        prop_assert!(p.scale > 0.0 && p.scale.is_finite());
+        let sum: i32 = q.iter().map(|&v| v as i32).sum();
+        prop_assert_eq!(sum, p.sum, "stored row sum must match the payload");
+        for (&x, &qi) in xs.iter().zip(&q) {
+            let deq = (qi as f32 - p.zero_point as f32) * p.scale;
+            prop_assert!(
+                (x - deq).abs() <= p.scale * 0.5 + 1e-5,
+                "{} -> {} (scale {})", x, deq, p.scale
+            );
+        }
+    }
+
+    #[test]
+    fn row_sums_always_match_payload(w in matrix(10, 64)) {
+        let q = QuantTensor::quantize(&w);
+        for r in 0..q.rows() {
+            let sum: i32 = q.data()[r * q.cols()..(r + 1) * q.cols()]
+                .iter()
+                .map(|&v| v as i32)
+                .sum();
+            prop_assert_eq!(sum, q.row_sums()[r]);
+        }
+    }
+}

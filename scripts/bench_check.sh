@@ -7,13 +7,14 @@
 #   scripts/bench_check.sh --update   # regenerate BENCH_PR2.json in place
 #
 # The benches (kernel_scaling, serve_throughput, serve_concurrency,
-# knn_serve, train_scaling) each dump a flat JSON
+# knn_serve, quant_serve, train_scaling) each dump a flat JSON
 # object via IMRE_BENCH_JSON; this script merges them into one object at
 # target/bench/current.json (uploaded as a CI artifact) and compares every
 # key against the committed BENCH_PR2.json:
 #
-#   - keys ending in `_ns` (latency) or containing `allocs` (steady-state
-#     allocation budgets, committed at 0 so any fresh allocation fails) are
+#   - keys ending in `_ns` (latency), containing `allocs` (steady-state
+#     allocation budgets, committed at 0 so any fresh allocation fails), or
+#     containing `bytes_per_model` (quantized weight footprint) are
 #     lower-is-better; everything else is higher-is-better (throughput);
 #   - keys starting with `floor_` are lower-bound gates for ratios that
 #     must never invert (thread-scaling speedups, the SIMD-over-scalar
@@ -53,6 +54,8 @@ IMRE_BENCH_JSON="$OUT/serve_concurrency.json" \
     cargo bench --offline -q -p imre-bench --bench serve_concurrency
 IMRE_BENCH_JSON="$OUT/knn_serve.json" \
     cargo bench --offline -q -p imre-bench --bench knn_serve
+IMRE_BENCH_JSON="$OUT/quant_serve.json" \
+    cargo bench --offline -q -p imre-bench --bench quant_serve
 IMRE_BENCH_JSON="$OUT/train_scaling.json" \
     cargo bench --offline -q -p imre-bench --bench train_scaling
 
@@ -60,7 +63,8 @@ IMRE_BENCH_JSON="$OUT/train_scaling.json" \
 {
     printf '{\n'
     grep -h '":' "$OUT/kernel_scaling.json" "$OUT/serve_throughput.json" \
-        "$OUT/serve_concurrency.json" "$OUT/knn_serve.json" "$OUT/train_scaling.json" \
+        "$OUT/serve_concurrency.json" "$OUT/knn_serve.json" "$OUT/quant_serve.json" \
+        "$OUT/train_scaling.json" \
         | sed 's/,$//' | sed '$!s/$/,/'
     printf '}\n'
 } >"$OUT/current.json"
@@ -110,7 +114,7 @@ awk -v tol="$TOL" '
                 if (regressed) bad = 1
                 continue
             }
-            lower = (key ~ /_ns$/ || key ~ /allocs/)
+            lower = (key ~ /_ns$/ || key ~ /allocs/ || key ~ /bytes_per_model/)
             if (lower) { regressed = (c > b * (1 + tol)) } \
             else       { regressed = (c < b * (1 - tol)) }
             delta = (b != 0) ? (c - b) / b * 100 : 0

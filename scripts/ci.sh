@@ -5,13 +5,13 @@
 # Usage:
 #   scripts/ci.sh                # full gate: fmt, clippy, build, test,
 #                                # serve-faults, serve-epoll, alloc-gate,
-#                                # train-dp, knn, simd, bench
+#                                # train-dp, knn, simd, quant, bench
 #   scripts/ci.sh --fast         # quick gate: fmt, clippy, test, serve-faults
 #                                # (skips the release build and bench smoke)
 #   scripts/ci.sh <step>...      # run only the named steps, in order:
 #                                #   fmt clippy build test serve-faults
 #                                #   serve-epoll alloc-gate train-dp knn
-#                                #   simd bench
+#                                #   simd quant bench
 #
 # Steps:
 #   fmt     cargo fmt --check over the whole workspace
@@ -55,6 +55,15 @@
 #           capable hardware the dispatch counters must show the vector
 #           path was really taken) and once under IMRE_FORCE_SCALAR=1, so
 #           the scalar fallback stays exercised on every runner
+#   quant   the int8 quantized-inference gate: the i8 kernel bit-identity
+#           proptests with runtime dispatch and again under
+#           IMRE_FORCE_SCALAR=1, the .imrb v3 layout + int8 serving
+#           integration suites, the counting-allocator check that a warm
+#           quantized inference pass performs zero heap allocations, and a
+#           CLI-level end-to-end eval gate on the smoke corpus: train a
+#           bundle, `imre quantize --check smoke` it, and fail unless the
+#           int8 scores stay within max drift 1e-2 and P@N delta 0.5pt of
+#           f32
 #   bench   1ms-sample smoke of the serving + kernel-scaling benches, which
 #           also executes their embedded assertions (dispatch fast path,
 #           batched == unbatched); with CI_BENCH_GATE=1 it then runs
@@ -132,6 +141,7 @@ step_alloc_gate() {
     cargo test --offline -q -p imre-serve --test alloc_steady_state
     cargo test --offline -q -p imre-bench --test zero_alloc_inference
     cargo test --offline -q -p imre-bench --test zero_alloc_knn
+    cargo test --offline -q -p imre-bench --test zero_alloc_quant
 }
 
 step_knn() {
@@ -240,10 +250,40 @@ step_simd() {
     echo "simd: vector and forced-scalar passes both green"
 }
 
+step_quant() {
+    # Bit-identity of the i8 kernels across backends and thread counts —
+    # once with runtime dispatch, once with the scalar fallback pinned, so
+    # the exact-integer determinism contract holds on every runner.
+    cargo test --offline -q -p imre-tensor --test proptest_quant
+    IMRE_FORCE_SCALAR=1 cargo test --offline -q -p imre-tensor --test proptest_quant
+
+    # .imrb v3 layout (alignment, checksums, zero-copy borrows, v1/v2
+    # passthrough) and the int8 serving integration suite.
+    cargo test --offline -q -p imre-serve --test bundle_v3
+    cargo test --offline -q -p imre-serve --test quant_serving
+
+    # Process-global zero-allocation budget of a warm quantized pass.
+    cargo test --offline -q -p imre-bench --test zero_alloc_quant
+
+    # CLI-level end-to-end eval gate on the smoke corpus: the quantized
+    # model must track f32 within max score drift 1e-2 and P@N delta 0.5pt
+    # on the held-out split, or `imre quantize` exits nonzero.
+    cargo build --offline -q --release -p imre-cli
+    local imre=target/release/imre
+    local dir=target/quant-ci
+    rm -rf "$dir" && mkdir -p "$dir"
+    "$imre" train --dataset smoke --model pa-tmr --seed 5 --epochs 2 \
+        --out "$dir/m.imrm" --bundle "$dir/m.imrb" >/dev/null
+    "$imre" quantize --bundle "$dir/m.imrb" --out "$dir/m.q.imrb" \
+        --check smoke --seed 5 --max-drift 0.01 --max-pn-delta 0.5
+    echo "quant: int8 eval gate held (drift <= 1e-2, P@N delta <= 0.5pt)"
+}
+
 step_bench() {
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_throughput
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_concurrency
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench knn_serve
+    CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench quant_serve
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench kernel_scaling
     CRITERION_SAMPLE_MS=1 IMRE_FAST=1 cargo bench --offline -p imre-bench --bench train_scaling
     if [[ "${CI_BENCH_GATE:-0}" == "1" ]]; then
@@ -256,7 +296,7 @@ case "${1:-}" in
     steps=(fmt clippy test serve-faults)
     ;;
 "")
-    steps=(fmt clippy build test serve-faults serve-epoll alloc-gate train-dp knn simd bench)
+    steps=(fmt clippy build test serve-faults serve-epoll alloc-gate train-dp knn simd quant bench)
     ;;
 *)
     steps=("$@")
@@ -265,13 +305,13 @@ esac
 
 for s in "${steps[@]}"; do
     case "$s" in
-    fmt | clippy | build | test | knn | simd | bench) run_step "$s" "step_$s" ;;
+    fmt | clippy | build | test | knn | simd | quant | bench) run_step "$s" "step_$s" ;;
     serve-faults) run_step "$s" step_serve_faults ;;
     serve-epoll) run_step "$s" step_serve_epoll ;;
     alloc-gate) run_step "$s" step_alloc_gate ;;
     train-dp) run_step "$s" step_train_dp ;;
     *)
-        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults serve-epoll alloc-gate train-dp knn simd bench)" >&2
+        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults serve-epoll alloc-gate train-dp knn simd quant bench)" >&2
         exit 2
         ;;
     esac
