@@ -1,0 +1,213 @@
+//! Streaming-ingest benchmark: delta-batch throughput of the incremental
+//! proximity graph, the per-batch latency of warm-start LINE refinement,
+//! and the end-to-end publish-to-visible latency of the hot-swap path.
+//!
+//! Gated metrics (`scripts/bench_check.sh`):
+//!   - `stream_deltas_per_s` — delta batches folded into the incremental
+//!     graph per second (dedup → catalog → sharded pair counting → graph
+//!     delta), higher is better;
+//!   - `stream_refine_update_ns` — mean per-batch cost of refine-mode
+//!     ingest once the LINE tables are warm (touched-edge alias rebuild +
+//!     bounded SGD), lower is better.
+//!
+//! Informational: `info_stream_publish_visible_ns` — one full publish:
+//! canonical embedding refresh, base-bundle reload from disk, table swap,
+//! revalidation, and `Registry::insert` (dominated by the LINE retrain).
+//!
+//! Honors `CRITERION_SAMPLE_MS` for a quick CI smoke run.
+
+use criterion::{criterion_group, Criterion};
+use imre_core::{HyperParams, ModelSpec};
+use imre_corpus::stream::{DeltaBatch, LineDeltaSource, StreamSource};
+use imre_corpus::synth_delta_text;
+use imre_eval::{smoke_config, Pipeline};
+use imre_graph::{EntityEmbedding, LineConfig, RefineConfig};
+use imre_serve::{load_bundle, save_bundle, Bundle, Registry, ServingModel};
+use imre_stream::{RefreshMode, StreamBuild, StreamBuildConfig};
+use std::io::Cursor;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+const BATCHES: usize = 24;
+const EVENTS_PER_BATCH: usize = 32;
+
+struct Fixture {
+    bundle_path: std::path::PathBuf,
+    base_entities: Vec<(String, Vec<usize>)>,
+    num_types: usize,
+    embedding_dim: usize,
+    batches: Vec<DeltaBatch>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let hp = HyperParams {
+            epochs: 1,
+            ..HyperParams::tiny()
+        };
+        let pipeline = Pipeline::build(&smoke_config(5), hp);
+        let model = pipeline.train_system(ModelSpec::pa_tmr(), 11);
+        let num_types = model.num_types();
+        let embedding = EntityEmbedding::from_matrix(pipeline.embedding.matrix().clone());
+        let embedding_dim = embedding.dim();
+        let bundle = Bundle::new(
+            model,
+            pipeline.dataset.vocab.clone(),
+            &pipeline.dataset.world,
+            Some(embedding),
+        );
+        let base_entities = bundle.entities.clone();
+        let dir = std::env::temp_dir().join(format!("imre_stream_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("bench temp dir");
+        let bundle_path = dir.join("base.imrb");
+        save_bundle(&bundle, &bundle_path).expect("save base bundle");
+
+        // Deltas over the base entity names plus a block of cold-start
+        // names, so ingest exercises admission as well as count updates.
+        let mut names: Vec<String> = base_entities.iter().map(|(n, _)| n.clone()).collect();
+        names.extend((0..16).map(|i| format!("fresh{i}")));
+        let text = synth_delta_text(&names, BATCHES, EVENTS_PER_BATCH, 41);
+        let mut src = LineDeltaSource::new(Cursor::new(text.into_bytes()));
+        let mut batches = Vec::new();
+        while let Some(b) = src.next_batch().expect("synthetic deltas parse") {
+            batches.push(b);
+        }
+        Fixture {
+            bundle_path,
+            base_entities,
+            num_types,
+            embedding_dim,
+            batches,
+        }
+    })
+}
+
+fn build_config(refresh: RefreshMode, dim: usize) -> StreamBuildConfig {
+    StreamBuildConfig {
+        threshold: 2,
+        line: LineConfig {
+            dim,
+            samples_per_epoch: 20_000,
+            epochs: 1,
+            ..Default::default()
+        },
+        threads: 2,
+        refresh,
+    }
+}
+
+/// One full graph-only ingest pass over every delta batch.
+fn ingest_all(refresh: RefreshMode) -> StreamBuild {
+    let fx = fixture();
+    let mut build = StreamBuild::new(
+        &fx.base_entities,
+        fx.num_types,
+        build_config(refresh, fx.embedding_dim),
+    );
+    for batch in &fx.batches {
+        build.apply_batch(batch.clone()).expect("batch applies");
+    }
+    build
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_update");
+    group.bench_function(
+        criterion::BenchmarkId::from_parameter("ingest_24_batches"),
+        |b| {
+            b.iter(|| std::hint::black_box(ingest_all(RefreshMode::Canonical).graph().n_edges()));
+        },
+    );
+    group.finish();
+}
+
+/// Best-of mean duration of `runs` timed executions of `f`.
+fn best_of(samples: usize, runs: u32, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..runs {
+            f();
+        }
+        best = best.min(start.elapsed() / runs);
+    }
+    best
+}
+
+fn print_summary() {
+    let fx = fixture();
+    println!(
+        "\n=== stream_update summary ({BATCHES} batches x {EVENTS_PER_BATCH} events, threads = 2) ==="
+    );
+    let mut sink = imre_bench::MetricSink::new();
+
+    // Graph-only ingest throughput (what the updater does on every batch).
+    ingest_all(RefreshMode::Canonical); // warm up
+    let per_pass = best_of(5, 3, || {
+        std::hint::black_box(ingest_all(RefreshMode::Canonical).graph().n_edges());
+    });
+    let deltas_per_s = BATCHES as f64 / per_pass.as_secs_f64();
+    sink.record("stream_deltas_per_s", deltas_per_s);
+    println!("ingest     {deltas_per_s:>9.1} delta batches/s");
+
+    // Warm refine-mode ingest: tables are initialised by the first batch
+    // with edges; the steady-state per-batch cost is what serving pays.
+    let rc = RefineConfig {
+        samples: 2_000,
+        lr: 0.005,
+        negatives: 5,
+    };
+    let refine_ns = {
+        let mut build = StreamBuild::new(
+            &fx.base_entities,
+            fx.num_types,
+            build_config(RefreshMode::Refine(rc), fx.embedding_dim),
+        );
+        let (head, tail) = fx.batches.split_at(fx.batches.len() / 2);
+        for batch in head {
+            build.apply_batch(batch.clone()).expect("warm-up batch");
+        }
+        let start = Instant::now();
+        for batch in tail {
+            build.apply_batch(batch.clone()).expect("timed batch");
+        }
+        start.elapsed().as_nanos() as f64 / tail.len() as f64
+    };
+    sink.record("stream_refine_update_ns", refine_ns);
+    println!("refine     {:>9.3} ms/batch (warm tables)", refine_ns / 1e6);
+
+    // End-to-end publish: canonical refresh + bundle reload + swap +
+    // revalidate + registry insert — the latency from "deltas ingested" to
+    // "new model answers requests".
+    let publish_ns = {
+        let mut build = ingest_all(RefreshMode::Canonical);
+        let registry = Registry::new();
+        registry
+            .load_file("smoke", &fx.bundle_path)
+            .expect("base load");
+        let start = Instant::now();
+        let embedding = build.embedding().expect("refresh");
+        let mut bundle = load_bundle(&fx.bundle_path).expect("reload");
+        bundle.entities = build.catalog().entries().to_vec();
+        bundle.embedding = Some(embedding);
+        let model = ServingModel::new(bundle).expect("validates");
+        registry.insert("smoke", model);
+        start.elapsed().as_nanos() as f64
+    };
+    sink.record("info_stream_publish_visible_ns", publish_ns);
+    println!("publish    {:>9.3} ms to visible", publish_ns / 1e6);
+
+    sink.write_if_requested();
+    std::fs::remove_dir_all(fx.bundle_path.parent().expect("bench dir")).ok();
+}
+
+criterion_group!(benches, bench_ingest);
+
+fn main() {
+    // Pin the compute pool to one thread before any tensor op initialises
+    // it lazily (see serve_throughput.rs for the rationale).
+    std::env::set_var("IMRE_THREADS", "1");
+    benches();
+    print_summary();
+}

@@ -47,6 +47,22 @@ USAGE:
                   when the --check drift exceeds D or any P@N delta
                   exceeds P percentage points — the CI gate
   imre serve      --bundle FILE [--name NAME] [--addr HOST:PORT] [--workers N]
+                  [--stream FILE]   consume a delta stream (file or fifo; one
+                  `ts<TAB>entity[:types]<TAB>entity...` sentence per line,
+                  blank line = batch boundary) on a background updater that
+                  folds counts into the proximity graph, refreshes the LINE
+                  embedding, and hot-swaps the refreshed bundle into the
+                  registry while serving — watch the `stats` stream: line
+                  [--publish-every N]   publish after every N delta batches
+                  (default 1; 0 = only at end of stream)
+                  [--stream-refresh <canonical|refine>]   embedding refresh
+                  contract (default canonical: full retrain on the merged
+                  graph, batching-invariant; refine: warm-start refinement
+                  over delta-touched edges, cheaper, replay-reproducible)
+                  [--stream-threshold N]   co-occurrence admission threshold
+                  (default 2, the offline builder's)
+                  [--stream-publish-out FILE]   also persist each published
+                  bundle (atomic tmp + rename)
                   [--batch N] [--deadline-ms N] [--queue N]
                   [--request-deadline-ms N]   default per-request time budget:
                   requests still queued after N ms are shed with
@@ -65,6 +81,14 @@ USAGE:
                   [--precision <f32|int8>]   forward-pass precision
                   (default f32; int8 needs a bundle re-exported by
                   `imre quantize`)
+  imre stream-replay --bundle FILE --deltas FILE --out FILE
+                  re-derive offline the bundle a live `serve --stream` run
+                  publishes: same base bundle + same deltas give
+                  byte-identical output; under the default canonical refresh
+                  the bytes are also invariant to batch boundaries and to
+                  --threads
+                  [--stream-refresh <canonical|refine>] [--stream-threshold N]
+                  same meaning as under `serve`
 
 GLOBAL FLAGS (any subcommand):
   --threads N     size of the compute thread pool (default: IMRE_THREADS env
@@ -82,6 +106,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Serving-engine failure (bad bundle, engine error).
     Serve(imre_serve::ServeError),
+    /// Streaming-update failure (bad delta source, publish failure).
+    Stream(imre_stream::StreamUpdateError),
 }
 
 impl From<imre_serve::ServeError> for CliError {
@@ -93,6 +119,12 @@ impl From<imre_serve::ServeError> for CliError {
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+
+impl From<imre_stream::StreamUpdateError> for CliError {
+    fn from(e: imre_stream::StreamUpdateError) -> Self {
+        CliError::Stream(e)
     }
 }
 
@@ -219,6 +251,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "case-study" => cmd_case_study(&flags),
         "quantize" => cmd_quantize(&flags),
         "serve" => cmd_serve(&flags),
+        "stream-replay" => cmd_stream_replay(&flags),
         other => Err(usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -473,6 +506,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let registry = std::sync::Arc::new(imre_serve::Registry::new());
     registry.load_file(name, &bundle_path)?;
     let model = registry.get(name).expect("model registered above");
+    if flags.optional("stream").is_some() && model.bundle().embedding.is_none() {
+        // Fail fast: streaming refresh rewrites the LINE embedding; a bundle
+        // without one has nothing to refresh.
+        return Err(imre_stream::StreamUpdateError::NoEmbedding.into());
+    }
     // Fail fast at startup instead of answering every request with the
     // typed error: --precision int8 needs the bundle's quantized section.
     if precision == imre_serve::Precision::Int8 && model.quant().is_none() {
@@ -485,7 +523,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         model.bundle().entities.len(),
         model.bundle().vocab.len(),
     );
-    let handle = imre_serve::ServeHandle::start(registry, config);
+    let handle = imre_serve::ServeHandle::start(std::sync::Arc::clone(&registry), config);
     let server = imre_serve::TcpServer::spawn_with(handle.clone(), addr, frontend_config)?;
     let bound = server.local_addr();
     println!(
@@ -512,10 +550,92 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         frontend_config.max_connections,
         frontend_config.max_inflight_per_conn,
     );
+    // Optional live ingest: a background updater folds delta batches into
+    // the proximity graph and hot-swaps refreshed bundles into the registry
+    // the front end serves from. Keep the handle alive for the server's
+    // lifetime; the thread ends on its own at end of stream.
+    let _stream_updater = match flags.optional("stream") {
+        Some(path) => {
+            let build = stream_build_config(flags)?;
+            let publish_every = flags.number("publish-every", 1usize)?;
+            let out_path = flags.optional("stream-publish-out").map(PathBuf::from);
+            let source = imre_corpus::LineDeltaSource::open(std::path::Path::new(path))?;
+            let updater = imre_stream::StreamUpdater::spawn(
+                source,
+                bundle_path.clone(),
+                registry,
+                handle.metrics_arc(),
+                imre_stream::StreamUpdaterConfig {
+                    model_name: name.to_string(),
+                    publish_every,
+                    build,
+                    out_path,
+                },
+            )?;
+            println!(
+                "streaming deltas from {path} (publish-every={publish_every}, refresh={})",
+                flags.optional("stream-refresh").unwrap_or("canonical"),
+            );
+            Some(updater)
+        }
+        None => None,
+    };
     // Serve until killed; the listener thread owns the accept loop.
     loop {
         std::thread::park();
     }
+}
+
+/// Parses the shared streaming flags (`--stream-threshold`,
+/// `--stream-refresh`) used by `serve --stream` and `stream-replay`. The
+/// LINE dimension is overridden to the base bundle's embedding width when
+/// the stream starts, so it is not a flag.
+fn stream_build_config(flags: &Flags) -> Result<imre_stream::StreamBuildConfig, CliError> {
+    let threshold = flags.number("stream-threshold", 2u32)?;
+    let line = imre_graph::LineConfig::default();
+    let threads = match flags.optional("threads") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| usage(format!("--threads {v:?} is not a valid number")))?
+            .max(1),
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    };
+    let refresh = match flags.optional("stream-refresh").unwrap_or("canonical") {
+        "canonical" => imre_stream::RefreshMode::Canonical,
+        "refine" => imre_stream::RefreshMode::Refine(imre_graph::RefineConfig::from_line(&line)),
+        other => {
+            return Err(usage(format!(
+                "--stream-refresh must be canonical or refine, got {other:?}"
+            )))
+        }
+    };
+    Ok(imre_stream::StreamBuildConfig {
+        threshold,
+        line,
+        threads,
+        refresh,
+    })
+}
+
+fn cmd_stream_replay(flags: &Flags) -> Result<(), CliError> {
+    let bundle_path = PathBuf::from(flags.required("bundle")?);
+    let delta_path = PathBuf::from(flags.required("deltas")?);
+    let out = PathBuf::from(flags.required("out")?);
+    let config = stream_build_config(flags)?;
+    let report = imre_stream::replay(&bundle_path, &delta_path, config)?;
+    std::fs::write(&out, &report.bundle)?;
+    println!(
+        "replayed {} batches: {} duplicates dropped, {} malformed skipped",
+        report.batches, report.duplicates, report.malformed,
+    );
+    println!(
+        "admitted {} entities; proximity graph has {} edges",
+        report.entities_admitted, report.n_edges,
+    );
+    println!("wrote {} bytes to {}", report.bundle.len(), out.display());
+    Ok(())
 }
 
 fn cmd_eval(flags: &Flags) -> Result<(), CliError> {
@@ -734,6 +854,44 @@ mod tests {
             Err(CliError::Usage(_)) => {}
             other => panic!("expected usage error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stream_replay_requires_its_flags() {
+        match run(&s(&["stream-replay", "--bundle", "m.imrb"])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("deltas"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_refresh_rejects_unknown_mode() {
+        match run(&s(&[
+            "stream-replay",
+            "--bundle",
+            "m.imrb",
+            "--deltas",
+            "d.tsv",
+            "--out",
+            "o.imrb",
+            "--stream-refresh",
+            "turbo",
+        ])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("stream-refresh"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_build_config_parses_modes() {
+        let f = Flags::parse(&s(&["--stream-threshold", "3", "--threads", "2"])).unwrap();
+        let c = stream_build_config(&f).unwrap();
+        assert_eq!(c.threshold, 3);
+        assert_eq!(c.threads, 2);
+        assert!(matches!(c.refresh, imre_stream::RefreshMode::Canonical));
+        let f = Flags::parse(&s(&["--stream-refresh", "refine"])).unwrap();
+        let c = stream_build_config(&f).unwrap();
+        assert!(matches!(c.refresh, imre_stream::RefreshMode::Refine(_)));
     }
 
     #[test]

@@ -30,5 +30,9 @@ fn main() {
             eprintln!("serve error: {e}");
             std::process::exit(1);
         }
+        Err(CliError::Stream(e)) => {
+            eprintln!("stream error: {e}");
+            std::process::exit(1);
+        }
     }
 }

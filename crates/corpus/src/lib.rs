@@ -17,6 +17,9 @@
 //!   noisy) and [`dataset::gds_sim`] (5 relations, cleaner, smaller).
 //! * [`unlabeled`] — the co-occurrence table standing in for Wikipedia,
 //!   with cluster-structured neighbourhoods the proximity graph preserves.
+//! * [`stream`] — the streaming flavour of the above: timestamped sentence
+//!   batches with batching-stable dedup, feeding `imre-stream`'s
+//!   incremental proximity graph.
 //! * [`types`] — the 38 coarse FIGER entity types the paper's type
 //!   component embeds.
 //! * [`stats`] — the Figure 1 histograms and Table II summaries.
@@ -24,6 +27,7 @@
 pub mod dataset;
 pub mod sentences;
 pub mod stats;
+pub mod stream;
 pub mod templates;
 pub mod types;
 pub mod unlabeled;
@@ -32,6 +36,10 @@ pub mod world;
 
 pub use dataset::{gds_sim, nyt_sim, Bag, Dataset, DatasetConfig, Zipf};
 pub use sentences::{EncodedSentence, SentenceGenConfig};
+pub use stream::{
+    count_events, synth_delta_text, DeltaBatch, EntityMention, LineDeltaSource, SentenceEvent,
+    StableDedup, StreamError, StreamSource,
+};
 pub use templates::{RelationId, RelationSchema, NA};
 pub use types::{TypeId, COARSE_TYPES, NUM_COARSE_TYPES};
 pub use unlabeled::{generate_unlabeled, CoOccurrence, UnlabeledConfig};

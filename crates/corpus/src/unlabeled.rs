@@ -80,6 +80,18 @@ impl CoOccurrence {
     pub fn max_count(&self) -> u32 {
         self.counts.values().copied().max().unwrap_or(0)
     }
+
+    /// Folds another table into this one, summing per-pair counts.
+    ///
+    /// Order-independent: both tables hold canonical keys and addition
+    /// commutes, so `a.merge(&b)` equals `b.merge(&a)` pair-for-pair — the
+    /// streaming path relies on this to fold delta batches in arrival order
+    /// without caring how the corpus was partitioned.
+    pub fn merge(&mut self, other: &CoOccurrence) {
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+    }
 }
 
 /// Configuration for [`generate_unlabeled`].

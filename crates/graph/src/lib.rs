@@ -25,6 +25,7 @@ pub mod knn;
 pub mod line;
 pub mod pca;
 pub mod proximity;
+pub mod refine;
 
 pub use alias::AliasTable;
 pub use gnn::{propagate, PropagationConfig};
@@ -32,3 +33,4 @@ pub use knn::{nearest, nearest_pairs};
 pub use line::{train_line, EntityEmbedding, LineConfig};
 pub use pca::pca_project;
 pub use proximity::ProximityGraph;
+pub use refine::{LineState, RefineConfig};

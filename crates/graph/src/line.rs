@@ -15,9 +15,8 @@
 //! for a vertex by concatenating corresponding embedding vectors learned
 //! from the two models").
 
-use crate::alias::AliasTable;
 use crate::proximity::ProximityGraph;
-use imre_tensor::{sigmoid_scalar, Tensor, TensorRng};
+use imre_tensor::{sigmoid_scalar, Tensor};
 
 /// LINE training hyperparameters.
 #[derive(Debug, Clone)]
@@ -125,67 +124,25 @@ impl EntityEmbedding {
 pub fn train_line(graph: &ProximityGraph, config: &LineConfig) -> EntityEmbedding {
     assert!(graph.n_edges() > 0, "train_line: graph has no edges");
     assert!(config.dim >= 2, "train_line: dim must be at least 2");
-    let n = graph.n_vertices();
-    let half = config.dim / 2;
-    let mut rng = TensorRng::seed(config.seed);
-
-    let init_bound = 0.5 / half as f32;
-    let mut first = Tensor::rand_uniform(&[n, half], -init_bound, init_bound, &mut rng);
-    let mut second_v = Tensor::rand_uniform(&[n, half], -init_bound, init_bound, &mut rng);
-    let mut second_c = Tensor::zeros(&[n, half]);
-
-    let edge_weights: Vec<f32> = graph.edges().iter().map(|&(_, _, w)| w).collect();
-    let edge_table = AliasTable::new(&edge_weights);
-    let degree_pow: Vec<f32> = (0..n).map(|v| graph.degree(v).powf(0.75)).collect();
-    let noise_table = AliasTable::new(&degree_pow);
-
-    let total_samples = (config.samples_per_epoch * config.epochs).max(1);
-    let mut done = 0usize;
-
-    for _epoch in 0..config.epochs {
-        for _ in 0..config.samples_per_epoch {
-            let progress = done as f32 / total_samples as f32;
-            let lr = (config.lr * (1.0 - progress)).max(config.lr * 1e-4);
-            done += 1;
-
-            let (u, v, _) = graph.edges()[edge_table.sample(&mut rng)];
-            // undirected edge: treat both directions, alternating cheaply
-            let (src, dst) = if done.is_multiple_of(2) {
-                (u, v)
-            } else {
-                (v, u)
-            };
-
-            // ---- first order: shared table ----
-            sgd_pair(&mut first, src, dst, true, lr, half);
-            for _ in 0..config.negatives {
-                let neg = noise_table.sample(&mut rng);
-                if neg != src && neg != dst {
-                    sgd_pair(&mut first, src, neg, false, lr, half);
-                }
-            }
-
-            // ---- second order: vertex × context tables ----
-            sgd_cross(&mut second_v, &mut second_c, src, dst, true, lr, half);
-            for _ in 0..config.negatives {
-                let neg = noise_table.sample(&mut rng);
-                if neg != dst {
-                    sgd_cross(&mut second_v, &mut second_c, src, neg, false, lr, half);
-                }
-            }
-        }
-    }
-
-    // Concatenate [first ; second_v] and L2-normalise each half (as the
-    // reference LINE implementation does before concatenation).
-    normalize_rows(&mut first);
-    normalize_rows(&mut second_v);
-    let vectors = Tensor::concat_cols(&[&first, &second_v]);
-    EntityEmbedding { vectors }
+    // The batch path is the streaming path run to completion: initialise the
+    // live state, run the full schedule, snapshot. `LineState` preserves the
+    // exact RNG draw order and update sequence of the original inline loop,
+    // so this delegation is byte-identical (pinned by
+    // `refine::tests::warm_start_matches_train_line_bitwise`).
+    let mut state = crate::refine::LineState::init(graph, config);
+    state.run_base_epochs(graph);
+    state.into_embedding()
 }
 
 /// One negative-sampling SGD update where both vectors live in `table`.
-fn sgd_pair(table: &mut Tensor, a: usize, b: usize, positive: bool, lr: f32, dim: usize) {
+pub(crate) fn sgd_pair(
+    table: &mut Tensor,
+    a: usize,
+    b: usize,
+    positive: bool,
+    lr: f32,
+    dim: usize,
+) {
     let (va, vb) = two_rows(table, a, b, dim);
     let x: f32 = va.iter().zip(vb.iter()).map(|(&p, &q)| p * q).sum();
     let label = if positive { 1.0 } else { 0.0 };
@@ -199,7 +156,7 @@ fn sgd_pair(table: &mut Tensor, a: usize, b: usize, positive: bool, lr: f32, dim
 }
 
 /// One update where the source lives in `vertex` and target in `context`.
-fn sgd_cross(
+pub(crate) fn sgd_cross(
     vertex: &mut Tensor,
     context: &mut Tensor,
     src: usize,
@@ -238,7 +195,7 @@ fn two_rows(table: &mut Tensor, a: usize, b: usize, dim: usize) -> (&mut [f32], 
     }
 }
 
-fn normalize_rows(t: &mut Tensor) {
+pub(crate) fn normalize_rows(t: &mut Tensor) {
     let cols = t.cols();
     for row in t.data_mut().chunks_mut(cols) {
         let norm: f32 = row.iter().map(|&x| x * x).sum::<f32>().sqrt();

@@ -156,7 +156,7 @@ struct Job {
 struct Shared {
     registry: Arc<Registry>,
     queue: BoundedQueue<Job>,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     config: EngineConfig,
 }
 
@@ -202,7 +202,7 @@ impl ServeHandle {
         let shared = Arc::new(Shared {
             registry,
             queue: BoundedQueue::new(config.queue_capacity.max(1)),
-            metrics: Metrics::default(),
+            metrics: Arc::new(Metrics::default()),
             config,
         });
         let workers = (0..config.workers)
@@ -229,6 +229,12 @@ impl ServeHandle {
     /// Engine metrics (live; also rendered by [`ServeHandle::stats_text`]).
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// A shared handle to the same metrics — for sidecars (e.g. the stream
+    /// updater) that report through this engine's `stats` output.
+    pub fn metrics_arc(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// The text `stats` dump.

@@ -70,3 +70,5 @@ pub use server::{FrontendConfig, FrontendKind, TcpServer};
 
 #[cfg(target_os = "linux")]
 pub use eventloop::raise_nofile_limit;
+#[cfg(target_os = "linux")]
+pub use mmap::live_mappings;

@@ -148,6 +148,25 @@ pub struct Metrics {
     /// Total nanoseconds spent in kNN search + vote + blend
     /// (`/ knn_queries` = mean per-query cost).
     pub knn_query_ns: AtomicU64,
+    /// Streaming ingestion: delta batches folded into the incremental graph.
+    pub stream_deltas_applied: AtomicU64,
+    /// Streaming ingestion: sentence events dropped as re-deliveries by the
+    /// batching-stable dedup.
+    pub stream_duplicates_dropped: AtomicU64,
+    /// Streaming ingestion: entities newly admitted to the serving entity
+    /// table (cold-start entities absent from training).
+    pub stream_entities_admitted: AtomicU64,
+    /// Streaming ingestion: bundles published through the hot-swap registry.
+    pub stream_publishes: AtomicU64,
+    /// Streaming ingestion: wall-clock milliseconds (unix epoch) of the last
+    /// publish; 0 until the first publish (`stats` renders `age=never`).
+    pub stream_last_publish_unix_ms: AtomicU64,
+    /// Streaming ingestion: total nanoseconds spent refreshing embeddings
+    /// (`/ stream_publishes` = mean refresh cost).
+    pub stream_refine_ns: AtomicU64,
+    /// Streaming ingestion: malformed delta lines rejected with a typed
+    /// error.
+    pub stream_malformed: AtomicU64,
 }
 
 impl Metrics {
@@ -223,6 +242,31 @@ impl Metrics {
         let _ = writeln!(
             out,
             "knn: queries={knn_queries} mean_query_ns={mean_query_ns:.0}"
+        );
+        let publishes = self.stream_publishes.load(Ordering::Relaxed);
+        let refine_ns = self.stream_refine_ns.load(Ordering::Relaxed);
+        let mean_refine_ns = if publishes == 0 {
+            0.0
+        } else {
+            refine_ns as f64 / publishes as f64
+        };
+        let last_ms = self.stream_last_publish_unix_ms.load(Ordering::Relaxed);
+        let age = if last_ms == 0 {
+            "never".to_string()
+        } else {
+            let now_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            format!("{}ms", now_ms.saturating_sub(last_ms))
+        };
+        let _ = writeln!(
+            out,
+            "stream: deltas_applied={} duplicates_dropped={} entities_admitted={} publishes={publishes} last_publish_age={age} mean_refine_ns={mean_refine_ns:.0} malformed={}",
+            self.stream_deltas_applied.load(Ordering::Relaxed),
+            self.stream_duplicates_dropped.load(Ordering::Relaxed),
+            self.stream_entities_admitted.load(Ordering::Relaxed),
+            self.stream_malformed.load(Ordering::Relaxed),
         );
         self.queue_wait.render("queue_wait_us", &mut out);
         self.featurize.render("featurize_us", &mut out);
@@ -313,6 +357,29 @@ mod tests {
             "knn line missing or wrong:\n{}",
             m.render()
         );
+    }
+
+    #[test]
+    fn render_contains_stream_line() {
+        let m = Metrics::default();
+        assert!(
+            m.render().contains(
+                "stream: deltas_applied=0 duplicates_dropped=0 entities_admitted=0 publishes=0 last_publish_age=never mean_refine_ns=0 malformed=0"
+            ),
+            "stream line missing or wrong:\n{}",
+            m.render()
+        );
+        m.stream_deltas_applied.fetch_add(3, Ordering::Relaxed);
+        Metrics::inc(&m.stream_entities_admitted);
+        Metrics::inc(&m.stream_publishes);
+        m.stream_refine_ns.fetch_add(5000, Ordering::Relaxed);
+        m.stream_last_publish_unix_ms.store(1, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("deltas_applied=3"), "{text}");
+        assert!(text.contains("entities_admitted=1"), "{text}");
+        assert!(text.contains("publishes=1"), "{text}");
+        assert!(text.contains("mean_refine_ns=5000"), "{text}");
+        assert!(!text.contains("last_publish_age=never"), "{text}");
     }
 
     #[test]

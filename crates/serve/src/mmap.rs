@@ -19,9 +19,22 @@ use std::io;
 use std::os::fd::AsRawFd;
 use std::os::raw::{c_int, c_void};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 const PROT_READ: c_int = 1;
 const MAP_PRIVATE: c_int = 2;
+
+/// Number of [`Mapping`]s currently alive in the process — the deferred-unmap
+/// observability hook: a hot-swap that replaces a v3 bundle leaves the old
+/// mapping alive until the last in-flight borrower drops its `Arc`, at which
+/// point this gauge ticks back down. Tests (and the hot-swap fault-injection
+/// suite) assert on it instead of poking `/proc/self/maps`.
+static LIVE_MAPPINGS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of live [`Mapping`]s process-wide.
+pub fn live_mappings() -> usize {
+    LIVE_MAPPINGS.load(Ordering::SeqCst)
+}
 
 extern "C" {
     fn mmap(
@@ -89,6 +102,7 @@ impl Mapping {
         if ptr as isize == -1 {
             return Err(io::Error::last_os_error());
         }
+        LIVE_MAPPINGS.fetch_add(1, Ordering::SeqCst);
         Ok(Mapping {
             ptr: ptr as *const u8,
             len,
@@ -125,6 +139,7 @@ impl Drop for Mapping {
         unsafe {
             munmap(self.ptr as *mut c_void, self.len);
         }
+        LIVE_MAPPINGS.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -178,6 +193,22 @@ mod tests {
         let clone = Arc::clone(&map);
         drop(map);
         assert_eq!(clone.as_slice(), b"staying alive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn live_gauge_tracks_mapping_lifetime() {
+        // Other tests in this process create mappings too, so assert on
+        // deltas rather than absolute values.
+        let path = tmp_file("gauge.bin", b"gauge payload");
+        let before = live_mappings();
+        let map = Arc::new(Mapping::of_path(&path).unwrap());
+        assert_eq!(live_mappings(), before + 1);
+        let clone = Arc::clone(&map);
+        drop(map);
+        assert_eq!(live_mappings(), before + 1, "clone must keep pages mapped");
+        drop(clone);
+        assert_eq!(live_mappings(), before);
         std::fs::remove_file(&path).ok();
     }
 }

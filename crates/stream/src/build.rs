@@ -1,0 +1,351 @@
+//! The shared ingest core: delta batches → dedup → catalog → incremental
+//! graph → embedding refresh.
+//!
+//! Both consumers — the live [`StreamUpdater`](crate::StreamUpdater) thread
+//! and the offline `stream-replay` determinism checker — drive this exact
+//! pipeline, so what replay verifies is what serving runs.
+//!
+//! Two embedding refresh modes exist, with different determinism contracts
+//! (DESIGN §4i):
+//!
+//! * [`RefreshMode::Canonical`] — retrain LINE from scratch on the merged
+//!   graph. A pure function of `(merged counts, seed)`, therefore invariant
+//!   to how the stream was batched; this is what publishes and what the
+//!   byte-compare acceptance pins.
+//! * [`RefreshMode::Refine`] — warm-start [`LineState`] refinement over the
+//!   delta-touched edges. Path-dependent (different batchings give different
+//!   tables) but byte-reproducible for a fixed delta sequence, and much
+//!   cheaper per publish.
+
+use imre_corpus::stream::DeltaBatch;
+use imre_corpus::CoOccurrence;
+use imre_graph::{train_line, EntityEmbedding, LineConfig, LineState, RefineConfig};
+
+use crate::catalog::EntityCatalog;
+use crate::error::StreamUpdateError;
+use crate::incremental::IncrementalProximityGraph;
+
+/// How an embedding refresh is computed.
+#[derive(Debug, Clone)]
+pub enum RefreshMode {
+    /// Full LINE retrain on the merged graph — batching-invariant.
+    Canonical,
+    /// Warm-start refinement over touched edges — replay-reproducible.
+    Refine(RefineConfig),
+}
+
+/// Configuration for a [`StreamBuild`].
+#[derive(Debug, Clone)]
+pub struct StreamBuildConfig {
+    /// Co-occurrence admission threshold (same meaning as the offline
+    /// builder's).
+    pub threshold: u32,
+    /// LINE hyperparameters for the canonical rebuild / warm start.
+    pub line: LineConfig,
+    /// Worker threads for per-batch pair counting (events are sharded
+    /// round-robin and the shard tables summed — order-independent, so any
+    /// thread count yields the same counts).
+    pub threads: usize,
+    /// Embedding refresh mode.
+    pub refresh: RefreshMode,
+}
+
+/// What one batch application did — feeds the `stream:` stats line.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Events surviving dedup.
+    pub fresh_events: usize,
+    /// Events dropped as re-deliveries.
+    pub duplicates: usize,
+    /// Entities newly admitted to the catalog.
+    pub entities_admitted: usize,
+    /// Edges newly admitted past the threshold.
+    pub edges_admitted: usize,
+    /// SGD samples applied by refine mode (0 in canonical mode).
+    pub refine_samples: usize,
+}
+
+/// Live ingest state: dedup window, entity catalog, incremental graph, and
+/// (in refine mode) the warm LINE tables.
+pub struct StreamBuild {
+    config: StreamBuildConfig,
+    dedup: imre_corpus::StableDedup,
+    catalog: EntityCatalog,
+    graph: IncrementalProximityGraph,
+    state: Option<LineState>,
+}
+
+impl StreamBuild {
+    /// Starts from a bundle's entity table.
+    pub fn new(
+        base_entities: &[(String, Vec<usize>)],
+        num_types: usize,
+        config: StreamBuildConfig,
+    ) -> Self {
+        let catalog = EntityCatalog::from_entities(base_entities, num_types);
+        let mut graph = IncrementalProximityGraph::new(config.threshold);
+        graph.ensure_vertices(catalog.len());
+        StreamBuild {
+            config,
+            dedup: imre_corpus::StableDedup::new(),
+            catalog,
+            graph,
+            state: None,
+        }
+    }
+
+    /// Folds one delta batch into the graph (and, in refine mode, the warm
+    /// LINE tables).
+    pub fn apply_batch(&mut self, batch: DeltaBatch) -> Result<BatchOutcome, StreamUpdateError> {
+        let before = batch.events.len();
+        let fresh = self.dedup.retain_fresh(batch);
+        let mut outcome = BatchOutcome {
+            fresh_events: fresh.len(),
+            duplicates: before - fresh.len(),
+            ..BatchOutcome::default()
+        };
+        if fresh.is_empty() {
+            return Ok(outcome);
+        }
+        let admitted_before = self.catalog.admitted();
+        // Resolve ids sequentially in arrival order — id assignment must be
+        // a pure function of the deduplicated event sequence.
+        let mut resolved: Vec<Vec<usize>> = Vec::with_capacity(fresh.len());
+        for ev in &fresh {
+            let ids = ev
+                .entities
+                .iter()
+                .map(|m| self.catalog.resolve_or_admit(m))
+                .collect::<Result<Vec<usize>, _>>()?;
+            resolved.push(ids);
+        }
+        outcome.entities_admitted = self.catalog.admitted() - admitted_before;
+        let co = count_pairs_sharded(&resolved, self.config.threads.max(1));
+        self.graph.ensure_vertices(self.catalog.len());
+        let delta = self.graph.apply_delta(co.iter().map(|(&p, &c)| (p, c)));
+        outcome.edges_admitted = delta.edges_admitted;
+        if let RefreshMode::Refine(rc) = &self.config.refresh {
+            if self.graph.n_edges() > 0 {
+                let snapshot = self.graph.snapshot();
+                let rc = rc.clone();
+                match &mut self.state {
+                    Some(state) => {
+                        outcome.refine_samples = state.refine(&snapshot, &delta.touched, &rc);
+                    }
+                    None => {
+                        // First edges just arrived: warm-start the tables
+                        // with the full batch schedule, then refinement
+                        // takes over for subsequent deltas.
+                        let mut state = LineState::init(&snapshot, &self.config.line);
+                        state.run_base_epochs(&snapshot);
+                        self.state = Some(state);
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Computes the current embedding snapshot per the configured refresh
+    /// mode.
+    ///
+    /// # Errors
+    /// [`StreamUpdateError::EmptyGraph`] before any edge is admitted.
+    pub fn embedding(&mut self) -> Result<EntityEmbedding, StreamUpdateError> {
+        if self.graph.n_edges() == 0 {
+            return Err(StreamUpdateError::EmptyGraph);
+        }
+        self.graph.ensure_vertices(self.catalog.len());
+        match &self.config.refresh {
+            RefreshMode::Canonical => Ok(train_line(&self.graph.snapshot(), &self.config.line)),
+            RefreshMode::Refine(_) => match &mut self.state {
+                Some(state) => {
+                    // catalog may have grown past the last refine (isolated
+                    // admissions); extend tables before snapshotting
+                    state.grow(&self.graph.snapshot());
+                    Ok(state.embedding())
+                }
+                None => {
+                    let snapshot = self.graph.snapshot();
+                    let mut state = LineState::init(&snapshot, &self.config.line);
+                    state.run_base_epochs(&snapshot);
+                    let emb = state.embedding();
+                    self.state = Some(state);
+                    Ok(emb)
+                }
+            },
+        }
+    }
+
+    /// The entity catalog (base + admitted).
+    pub fn catalog(&self) -> &EntityCatalog {
+        &self.catalog
+    }
+
+    /// The incremental graph.
+    pub fn graph(&self) -> &IncrementalProximityGraph {
+        &self.graph
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &StreamBuildConfig {
+        &self.config
+    }
+}
+
+/// Counts co-occurrence pairs for resolved events, sharding the event list
+/// round-robin over `threads` workers and summing the shard tables. Counts
+/// are additive and keys canonical, so the result is independent of the
+/// shard count and of scheduling — `--threads 1` and `--threads 4` are
+/// byte-identical downstream.
+pub fn count_pairs_sharded(resolved: &[Vec<usize>], threads: usize) -> CoOccurrence {
+    let count_shard = |shard: usize, stride: usize| {
+        let mut co = CoOccurrence::new();
+        let mut i = shard;
+        while i < resolved.len() {
+            let ids = &resolved[i];
+            for a in 0..ids.len() {
+                for b in (a + 1)..ids.len() {
+                    co.add(ids[a], ids[b], 1);
+                }
+            }
+            i += stride;
+        }
+        co
+    };
+    if threads <= 1 || resolved.len() < 2 {
+        return count_shard(0, 1);
+    }
+    let shards: Vec<CoOccurrence> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || count_shard(t, threads)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("count shard panicked"))
+            .collect()
+    });
+    let mut total = CoOccurrence::new();
+    for shard in &shards {
+        total.merge(shard);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imre_corpus::stream::{LineDeltaSource, StreamSource};
+    use imre_corpus::synth_delta_text;
+    use std::io::Cursor;
+
+    fn base_entities(n: usize) -> Vec<(String, Vec<usize>)> {
+        (0..n).map(|i| (format!("ent{i}"), vec![i % 5])).collect()
+    }
+
+    fn config(refresh: RefreshMode) -> StreamBuildConfig {
+        StreamBuildConfig {
+            threshold: 2,
+            line: LineConfig {
+                dim: 8,
+                samples_per_epoch: 1_500,
+                epochs: 1,
+                ..Default::default()
+            },
+            threads: 2,
+            refresh,
+        }
+    }
+
+    fn batches_of(text: &str) -> Vec<DeltaBatch> {
+        let mut src = LineDeltaSource::new(Cursor::new(text.as_bytes().to_vec()));
+        let mut out = Vec::new();
+        while let Some(b) = src.next_batch().unwrap() {
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_counting_matches_single_thread() {
+        let resolved: Vec<Vec<usize>> = (0..50)
+            .map(|i| vec![i % 7, (i * 3) % 7, (i * 5 + 1) % 7])
+            .collect();
+        let one = count_pairs_sharded(&resolved, 1);
+        let four = count_pairs_sharded(&resolved, 4);
+        assert_eq!(one.len(), four.len());
+        for (&(a, b), &c) in one.iter() {
+            assert_eq!(four.count(a, b), c, "pair ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn canonical_embedding_is_batching_invariant() {
+        let names: Vec<String> = (0..8).map(|i| format!("ent{i}")).collect();
+        let text = synth_delta_text(&names, 3, 10, 7);
+        let merged = text.replace("\n\n", "\n");
+        let build_with = |t: &str| {
+            let mut b = StreamBuild::new(&base_entities(8), 38, config(RefreshMode::Canonical));
+            for batch in batches_of(t) {
+                b.apply_batch(batch).unwrap();
+            }
+            b.embedding().unwrap()
+        };
+        let a = build_with(&text);
+        let b = build_with(&merged);
+        assert_eq!(a.matrix().data(), b.matrix().data());
+    }
+
+    #[test]
+    fn refine_mode_is_replay_reproducible() {
+        let names: Vec<String> = (0..8).map(|i| format!("ent{i}")).collect();
+        let text = synth_delta_text(&names, 4, 8, 3);
+        let run = || {
+            let rc = RefineConfig {
+                samples: 300,
+                lr: 0.01,
+                negatives: 5,
+            };
+            let mut b = StreamBuild::new(&base_entities(8), 38, config(RefreshMode::Refine(rc)));
+            for batch in batches_of(&text) {
+                b.apply_batch(batch).unwrap();
+            }
+            b.embedding().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.matrix().data(), b.matrix().data());
+    }
+
+    #[test]
+    fn cold_start_entity_is_admitted_and_embedded() {
+        let mut b = StreamBuild::new(&base_entities(3), 38, config(RefreshMode::Canonical));
+        let text = "1\tent0\tnova:4\n2\tent0\tnova\n3\tent1\tent2\n4\tent1\tent2\n";
+        for batch in batches_of(text) {
+            b.apply_batch(batch).unwrap();
+        }
+        assert_eq!(b.catalog().admitted(), 1);
+        assert_eq!(b.catalog().entries()[3], ("nova".to_string(), vec![4]));
+        let emb = b.embedding().unwrap();
+        assert_eq!(emb.len(), 4);
+        assert!(emb.vector(3).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn empty_graph_embedding_is_typed_error() {
+        let mut b = StreamBuild::new(&base_entities(3), 38, config(RefreshMode::Canonical));
+        assert!(matches!(b.embedding(), Err(StreamUpdateError::EmptyGraph)));
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_applied() {
+        let mut b = StreamBuild::new(&base_entities(3), 38, config(RefreshMode::Canonical));
+        let text = "1\tent0\tent1\n\n1\tent0\tent1\n2\tent0\tent1\n";
+        let batches = batches_of(text);
+        let o1 = b.apply_batch(batches[0].clone()).unwrap();
+        assert_eq!((o1.fresh_events, o1.duplicates), (1, 0));
+        let o2 = b.apply_batch(batches[1].clone()).unwrap();
+        assert_eq!((o2.fresh_events, o2.duplicates), (1, 1));
+        assert_eq!(b.graph().counts()[&(0, 1)], 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! The live entity catalog: the serving entity table plus a name index,
+//! growable as the stream admits entities absent from training.
+
+use imre_corpus::stream::EntityMention;
+use std::collections::HashMap;
+
+use crate::error::StreamUpdateError;
+
+/// Entity table (`(name, coarse type ids)` indexed by entity id) with a
+/// name → id index. Ids are assigned in first-sight order over the
+/// deduplicated event stream, so the assignment is a pure function of the
+/// event sequence — independent of batching.
+pub struct EntityCatalog {
+    entries: Vec<(String, Vec<usize>)>,
+    index: HashMap<String, usize>,
+    /// Valid type-id range (the model's type-embedding table height).
+    num_types: usize,
+    admitted: usize,
+}
+
+impl EntityCatalog {
+    /// Starts from a bundle's frozen entity table.
+    pub fn from_entities(entities: &[(String, Vec<usize>)], num_types: usize) -> Self {
+        let index = entities
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name.clone(), i))
+            .collect();
+        EntityCatalog {
+            entries: entities.to_vec(),
+            index,
+            num_types,
+            admitted: 0,
+        }
+    }
+
+    /// Resolves a mention to an entity id, admitting it with a fresh id if
+    /// unseen. A new entity takes the mention's type annotation (default
+    /// type `0` when absent — `embed_types` requires a non-empty list).
+    ///
+    /// # Errors
+    /// [`StreamUpdateError::TypeOutOfRange`] if an annotated type id does
+    /// not fit the model's type-embedding table.
+    pub fn resolve_or_admit(
+        &mut self,
+        mention: &EntityMention,
+    ) -> Result<usize, StreamUpdateError> {
+        if let Some(&id) = self.index.get(&mention.name) {
+            return Ok(id);
+        }
+        for &t in &mention.types {
+            if t >= self.num_types {
+                return Err(StreamUpdateError::TypeOutOfRange {
+                    entity: mention.name.clone(),
+                    type_id: t,
+                    num_types: self.num_types,
+                });
+            }
+        }
+        let types = if mention.types.is_empty() {
+            vec![0]
+        } else {
+            mention.types.clone()
+        };
+        let id = self.entries.len();
+        self.entries.push((mention.name.clone(), types));
+        self.index.insert(mention.name.clone(), id);
+        self.admitted += 1;
+        Ok(id)
+    }
+
+    /// The full entity table (base + admitted), cloneable into a bundle.
+    pub fn entries(&self) -> &[(String, Vec<usize>)] {
+        &self.entries
+    }
+
+    /// Total entities (base + admitted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entities admitted by the stream (beyond the base table).
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mention(name: &str, types: &[usize]) -> EntityMention {
+        EntityMention {
+            name: name.to_string(),
+            types: types.to_vec(),
+        }
+    }
+
+    #[test]
+    fn base_entities_resolve_without_admission() {
+        let base = vec![
+            ("alpha".to_string(), vec![1]),
+            ("beta".to_string(), vec![2]),
+        ];
+        let mut cat = EntityCatalog::from_entities(&base, 38);
+        assert_eq!(cat.resolve_or_admit(&mention("beta", &[])).unwrap(), 1);
+        assert_eq!(cat.admitted(), 0);
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn new_entities_get_sequential_ids_and_types() {
+        let base = vec![("alpha".to_string(), vec![1])];
+        let mut cat = EntityCatalog::from_entities(&base, 38);
+        let id = cat.resolve_or_admit(&mention("gamma", &[3, 5])).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(cat.entries()[1], ("gamma".to_string(), vec![3, 5]));
+        // untyped admission falls back to type 0
+        let id2 = cat.resolve_or_admit(&mention("delta", &[])).unwrap();
+        assert_eq!(cat.entries()[id2].1, vec![0]);
+        assert_eq!(cat.admitted(), 2);
+        // re-resolving keeps the id and does not re-admit
+        assert_eq!(cat.resolve_or_admit(&mention("gamma", &[])).unwrap(), 1);
+        assert_eq!(cat.admitted(), 2);
+    }
+
+    #[test]
+    fn out_of_range_type_is_a_typed_error() {
+        let mut cat = EntityCatalog::from_entities(&[], 4);
+        let err = cat.resolve_or_admit(&mention("x", &[9])).unwrap_err();
+        match err {
+            StreamUpdateError::TypeOutOfRange {
+                entity,
+                type_id,
+                num_types,
+            } => {
+                assert_eq!(entity, "x");
+                assert_eq!(type_id, 9);
+                assert_eq!(num_types, 4);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert_eq!(cat.len(), 0, "failed admission must not grow the table");
+    }
+}

@@ -1,0 +1,368 @@
+//! The incremental entity proximity graph.
+//!
+//! [`ProximityGraph::from_counts`](imre_graph::ProximityGraph) freezes a
+//! corpus and builds once; [`IncrementalProximityGraph`] folds co-occurrence
+//! count *deltas* in as they arrive and maintains the same edge list and
+//! adjacency lists the offline builder would produce on the merged corpus —
+//! **byte-identical**, pinned by the determinism proptests in
+//! `tests/determinism.rs`. That identity is what makes batching semantically
+//! invisible: however the stream is cut, the graph (and therefore the
+//! canonical embedding rebuild trained on it) is the same.
+//!
+//! How the identity is maintained:
+//!
+//! * Counts accumulate in a canonical-keyed `BTreeMap` via
+//!   [`ProximityGraph::merge_counts`], which also reports the touched pairs.
+//! * The offline builder sorts canonical keys, so its edge list is
+//!   lexicographically ascending and every adjacency list is ascending by
+//!   neighbour id. Both properties make binary-search insertion exact: a new
+//!   edge lands at its `Err(pos)` slot, a count bump updates in place.
+//! * Counts only grow (deltas are sentence observations), so edges never
+//!   fall back below the threshold and the max count never decreases.
+//! * The paper's weight `ln(c+1)/ln(max+1)` couples every edge to the global
+//!   max. When a delta raises the max, all weights are recomputed from the
+//!   stored per-edge counts and the adjacency lists are rebuilt in one O(E)
+//!   pass; otherwise only the touched pairs' entries are rewritten — the
+//!   "re-sort only touched adjacency lists" fast path.
+
+use imre_graph::ProximityGraph;
+use std::collections::BTreeMap;
+
+/// What one [`IncrementalProximityGraph::apply_delta`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Canonical pairs whose count changed, sorted, deduplicated.
+    pub touched: Vec<(usize, usize)>,
+    /// Edges newly admitted past the threshold by this delta.
+    pub edges_admitted: usize,
+    /// Whether the global max count rose (forcing the O(E) reweight pass).
+    pub reweighted_all: bool,
+}
+
+/// A proximity graph that grows by count deltas, byte-identical to an
+/// offline [`ProximityGraph::from_counts`] build on the merged corpus.
+pub struct IncrementalProximityGraph {
+    counts: BTreeMap<(usize, usize), u32>,
+    threshold: u32,
+    n_vertices: usize,
+    /// Max count among kept (≥ threshold) pairs — the weight denominator's
+    /// input. Tracked over kept pairs only, exactly as `from_counts` takes
+    /// its max over the filtered list.
+    max_kept: u32,
+    /// Canonical edge list, lexicographically sorted, mirrored by the
+    /// offline builder.
+    edges: Vec<(usize, usize, f32)>,
+    /// Per-edge raw counts, parallel to `edges` (needed to recompute weights
+    /// when the denominator moves).
+    edge_counts: Vec<u32>,
+    adjacency: Vec<Vec<(usize, f32)>>,
+}
+
+impl IncrementalProximityGraph {
+    /// An empty graph with the given admission threshold.
+    pub fn new(threshold: u32) -> Self {
+        IncrementalProximityGraph {
+            counts: BTreeMap::new(),
+            threshold: threshold.max(1),
+            n_vertices: 0,
+            max_kept: 0,
+            edges: Vec::new(),
+            edge_counts: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Grows the vertex set to at least `n` (for entities admitted to the
+    /// catalog before any co-occurrence crosses the threshold).
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.n_vertices {
+            self.n_vertices = n;
+            self.adjacency.resize(n, Vec::new());
+        }
+    }
+
+    /// Folds a count delta in, updating edges, weights, and adjacency lists.
+    pub fn apply_delta<I>(&mut self, delta: I) -> DeltaOutcome
+    where
+        I: IntoIterator<Item = ((usize, usize), u32)>,
+    {
+        let touched = ProximityGraph::merge_counts(&mut self.counts, delta);
+        if let Some(&(_, b)) = touched.last() {
+            // touched is sorted by (u, v) with u < v, so the largest second
+            // component over the whole list bounds the vertex set.
+            let max_v = touched.iter().map(|&(_, v)| v).max().unwrap_or(b);
+            self.ensure_vertices(max_v + 1);
+        }
+
+        // Does this delta raise the kept-max (and therefore the denominator)?
+        let mut new_max = self.max_kept;
+        for &pair in &touched {
+            let c = self.counts[&pair];
+            if c >= self.threshold && c > new_max {
+                new_max = c;
+            }
+        }
+
+        let mut edges_admitted = 0usize;
+        if new_max > self.max_kept {
+            self.max_kept = new_max;
+            // Denominator moved: splice the touched pairs' counts into the
+            // edge list first, then recompute every weight and rebuild
+            // adjacency in one deterministic O(E) pass.
+            for &pair in &touched {
+                let c = self.counts[&pair];
+                if c < self.threshold {
+                    continue;
+                }
+                match self.find_edge(pair) {
+                    Ok(i) => self.edge_counts[i] = c,
+                    Err(i) => {
+                        self.edges.insert(i, (pair.0, pair.1, 0.0));
+                        self.edge_counts.insert(i, c);
+                        edges_admitted += 1;
+                    }
+                }
+            }
+            let denom = ((self.max_kept + 1) as f32).ln();
+            for (e, &c) in self.edges.iter_mut().zip(&self.edge_counts) {
+                e.2 = ((c + 1) as f32).ln() / denom;
+            }
+            self.rebuild_adjacency();
+            return DeltaOutcome {
+                touched,
+                edges_admitted,
+                reweighted_all: true,
+            };
+        }
+
+        // Fast path: denominator unchanged; only touched pairs move.
+        let denom = ((self.max_kept + 1) as f32).ln();
+        for &pair in &touched {
+            let c = self.counts[&pair];
+            if c < self.threshold {
+                continue;
+            }
+            let w = ((c + 1) as f32).ln() / denom;
+            match self.find_edge(pair) {
+                Ok(i) => {
+                    self.edges[i].2 = w;
+                    self.edge_counts[i] = c;
+                    self.update_adjacency(pair.0, pair.1, w);
+                    self.update_adjacency(pair.1, pair.0, w);
+                }
+                Err(i) => {
+                    self.edges.insert(i, (pair.0, pair.1, w));
+                    self.edge_counts.insert(i, c);
+                    self.insert_adjacency(pair.0, pair.1, w);
+                    self.insert_adjacency(pair.1, pair.0, w);
+                    edges_admitted += 1;
+                }
+            }
+        }
+        DeltaOutcome {
+            touched,
+            edges_admitted,
+            reweighted_all: false,
+        }
+    }
+
+    fn find_edge(&self, (u, v): (usize, usize)) -> Result<usize, usize> {
+        self.edges
+            .binary_search_by(|&(a, b, _)| (a, b).cmp(&(u, v)))
+    }
+
+    /// Rewrites the weight of the existing `at → neighbor` adjacency entry.
+    fn update_adjacency(&mut self, at: usize, neighbor: usize, w: f32) {
+        let list = &mut self.adjacency[at];
+        let i = list
+            .binary_search_by(|&(n, _)| n.cmp(&neighbor))
+            .expect("adjacency entry must exist for an existing edge");
+        list[i].1 = w;
+    }
+
+    /// Inserts `at → neighbor` keeping the list ascending by neighbour id —
+    /// the touched-list "re-sort" is a single positioned insert because the
+    /// list is always sorted.
+    fn insert_adjacency(&mut self, at: usize, neighbor: usize, w: f32) {
+        let list = &mut self.adjacency[at];
+        let i = list
+            .binary_search_by(|&(n, _)| n.cmp(&neighbor))
+            .expect_err("edge already present in adjacency");
+        list.insert(i, (neighbor, w));
+    }
+
+    /// Rebuilds every adjacency list from the sorted edge list — the same
+    /// derivation `from_counts` performs, so the result is byte-identical.
+    fn rebuild_adjacency(&mut self) {
+        for list in &mut self.adjacency {
+            list.clear();
+        }
+        for &(u, v, w) in &self.edges {
+            self.adjacency[u].push((v, w));
+            self.adjacency[v].push((u, w));
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of admitted (≥ threshold) edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Admission threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Neighbours of `v` with weights, ascending by neighbour id.
+    pub fn neighbors(&self, v: usize) -> &[(usize, f32)] {
+        &self.adjacency[v]
+    }
+
+    /// The canonical sorted edge list.
+    pub fn edges(&self) -> &[(usize, usize, f32)] {
+        &self.edges
+    }
+
+    /// The merged canonical count table (all pairs, kept or not).
+    pub fn counts(&self) -> &BTreeMap<(usize, usize), u32> {
+        &self.counts
+    }
+
+    /// Materialises a [`ProximityGraph`] snapshot for the embedding layer.
+    /// Byte-identical to `ProximityGraph::from_counts` on the merged counts
+    /// (pinned by proptest).
+    pub fn snapshot(&self) -> ProximityGraph {
+        ProximityGraph::from_parts(self.n_vertices, self.edges.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offline(counts: &BTreeMap<(usize, usize), u32>, n: usize, threshold: u32) -> ProximityGraph {
+        ProximityGraph::from_merged_with(counts, n, threshold)
+    }
+
+    fn assert_matches_offline(inc: &IncrementalProximityGraph) {
+        let off = offline(inc.counts(), inc.n_vertices(), inc.threshold());
+        assert_eq!(inc.n_edges(), off.n_edges());
+        for (&(u1, v1, w1), &(u2, v2, w2)) in inc.edges().iter().zip(off.edges()) {
+            assert_eq!((u1, v1, w1.to_bits()), (u2, v2, w2.to_bits()));
+        }
+        for v in 0..inc.n_vertices() {
+            let a: Vec<(usize, u32)> = inc
+                .neighbors(v)
+                .iter()
+                .map(|&(n, w)| (n, w.to_bits()))
+                .collect();
+            let b: Vec<(usize, u32)> = off
+                .neighbors(v)
+                .iter()
+                .map(|&(n, w)| (n, w.to_bits()))
+                .collect();
+            assert_eq!(a, b, "adjacency of {v}");
+        }
+        // and the snapshot hand-off preserves it
+        let snap = inc.snapshot();
+        assert_eq!(snap.n_edges(), off.n_edges());
+        for (&(u1, v1, w1), &(u2, v2, w2)) in snap.edges().iter().zip(off.edges()) {
+            assert_eq!((u1, v1, w1.to_bits()), (u2, v2, w2.to_bits()));
+        }
+    }
+
+    #[test]
+    fn single_delta_matches_offline_build() {
+        let mut inc = IncrementalProximityGraph::new(2);
+        inc.apply_delta(vec![((0, 1), 10), ((1, 2), 5), ((0, 2), 2), ((2, 3), 1)]);
+        assert_matches_offline(&inc);
+        assert_eq!(inc.n_edges(), 3);
+    }
+
+    #[test]
+    fn threshold_crossing_admits_edge_later() {
+        let mut inc = IncrementalProximityGraph::new(3);
+        let out = inc.apply_delta(vec![((0, 1), 2)]);
+        assert_eq!(out.edges_admitted, 0);
+        assert_eq!(inc.n_edges(), 0);
+        let out = inc.apply_delta(vec![((1, 0), 1)]);
+        assert_eq!(out.edges_admitted, 1);
+        assert_eq!(inc.n_edges(), 1);
+        assert_matches_offline(&inc);
+    }
+
+    #[test]
+    fn new_vertices_grow_the_graph() {
+        let mut inc = IncrementalProximityGraph::new(1);
+        inc.apply_delta(vec![((0, 1), 3)]);
+        assert_eq!(inc.n_vertices(), 2);
+        inc.apply_delta(vec![((5, 9), 4)]);
+        assert_eq!(inc.n_vertices(), 10);
+        assert_matches_offline(&inc);
+    }
+
+    #[test]
+    fn max_bump_reweights_everything() {
+        let mut inc = IncrementalProximityGraph::new(1);
+        inc.apply_delta(vec![((0, 1), 3), ((1, 2), 2)]);
+        let w_before = inc.neighbors(2)[0].1;
+        let out = inc.apply_delta(vec![((0, 1), 50)]);
+        assert!(out.reweighted_all);
+        let w_after = inc.neighbors(2)[0].1;
+        assert!(w_after < w_before, "denominator grew, weights must shrink");
+        assert_matches_offline(&inc);
+    }
+
+    #[test]
+    fn fast_path_touches_only_updated_pairs() {
+        let mut inc = IncrementalProximityGraph::new(1);
+        inc.apply_delta(vec![((0, 1), 9), ((1, 2), 2), ((2, 3), 2)]);
+        // bump (1,2) without passing the max of 9
+        let out = inc.apply_delta(vec![((2, 1), 3)]);
+        assert!(!out.reweighted_all);
+        assert_eq!(out.touched, vec![(1, 2)]);
+        assert_matches_offline(&inc);
+    }
+
+    #[test]
+    fn many_random_deltas_stay_identical_to_offline() {
+        // deterministic pseudo-random delta stream
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut inc = IncrementalProximityGraph::new(2);
+        for _ in 0..40 {
+            let k = 1 + (step() % 6) as usize;
+            let delta: Vec<((usize, usize), u32)> = (0..k)
+                .map(|_| {
+                    let a = (step() % 12) as usize;
+                    let b = (step() % 12) as usize;
+                    let c = 1 + (step() % 5) as u32;
+                    ((a, b), c)
+                })
+                .collect();
+            inc.apply_delta(delta);
+            assert_matches_offline(&inc);
+        }
+    }
+
+    #[test]
+    fn ensure_vertices_only_grows() {
+        let mut inc = IncrementalProximityGraph::new(1);
+        inc.ensure_vertices(4);
+        assert_eq!(inc.n_vertices(), 4);
+        inc.ensure_vertices(2);
+        assert_eq!(inc.n_vertices(), 4);
+        inc.apply_delta(vec![((0, 1), 2)]);
+        assert_matches_offline(&inc);
+    }
+}

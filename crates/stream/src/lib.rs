@@ -1,0 +1,44 @@
+//! imre-stream: streaming corpus ingestion with an incremental proximity
+//! graph, online LINE refinement, and live bundle hot-swap.
+//!
+//! The crate closes the loop from a *growing* corpus back into a *serving*
+//! model without ever pausing the front end:
+//!
+//! - [`incremental`] — [`IncrementalProximityGraph`] folds co-occurrence
+//!   count deltas into the proximity graph one batch at a time, staying
+//!   byte-identical to a from-scratch
+//!   [`ProximityGraph::from_counts`](imre_graph::ProximityGraph) build on
+//!   the merged corpus (touched-only binary-search updates; an O(E)
+//!   reweight only when the max count — the weight denominator — moves);
+//! - [`catalog`] — [`EntityCatalog`] admits entities unseen at training
+//!   time, assigning ids in first-sight order over the deduplicated event
+//!   stream so the assignment is batching-invariant;
+//! - [`build`] — [`StreamBuild`] is the shared ingest core (dedup →
+//!   resolve → sharded pair counting → graph delta → embedding refresh)
+//!   used by both the live updater and offline replay, with two refresh
+//!   contracts ([`RefreshMode`]): `Canonical` re-derives the embedding from
+//!   the merged graph (partition- and thread-invariant), `Refine`
+//!   warm-starts from current parameters and touches only delta edges
+//!   (path-dependent but byte-reproducible for a fixed delta sequence);
+//! - [`updater`] — [`StreamUpdater`] runs ingest on a background thread and
+//!   publishes refreshed bundles through the hot-swap
+//!   [`Registry`](imre_serve::Registry) while the epoll front end keeps
+//!   serving, reporting through the `stream:` stats line;
+//! - [`replay`] — [`replay()`](replay::replay) re-derives the published
+//!   bundle offline for audit (`imre stream-replay`).
+
+#![deny(missing_docs)]
+
+pub mod build;
+pub mod catalog;
+pub mod error;
+pub mod incremental;
+pub mod replay;
+pub mod updater;
+
+pub use build::{BatchOutcome, RefreshMode, StreamBuild, StreamBuildConfig};
+pub use catalog::EntityCatalog;
+pub use error::StreamUpdateError;
+pub use incremental::{DeltaOutcome, IncrementalProximityGraph};
+pub use replay::{replay, ReplayReport};
+pub use updater::{StreamSummary, StreamUpdater, StreamUpdaterConfig};

@@ -7,7 +7,7 @@
 #   scripts/bench_check.sh --update   # regenerate BENCH_PR2.json in place
 #
 # The benches (kernel_scaling, serve_throughput, serve_concurrency,
-# knn_serve, quant_serve, train_scaling) each dump a flat JSON
+# knn_serve, quant_serve, train_scaling, stream_update) each dump a flat JSON
 # object via IMRE_BENCH_JSON; this script merges them into one object at
 # target/bench/current.json (uploaded as a CI artifact) and compares every
 # key against the committed BENCH_PR2.json:
@@ -58,13 +58,15 @@ IMRE_BENCH_JSON="$OUT/quant_serve.json" \
     cargo bench --offline -q -p imre-bench --bench quant_serve
 IMRE_BENCH_JSON="$OUT/train_scaling.json" \
     cargo bench --offline -q -p imre-bench --bench train_scaling
+IMRE_BENCH_JSON="$OUT/stream_update.json" \
+    cargo bench --offline -q -p imre-bench --bench stream_update
 
 # Merge the flat objects: keep every `"key": value` line, normalize commas.
 {
     printf '{\n'
     grep -h '":' "$OUT/kernel_scaling.json" "$OUT/serve_throughput.json" \
         "$OUT/serve_concurrency.json" "$OUT/knn_serve.json" "$OUT/quant_serve.json" \
-        "$OUT/train_scaling.json" \
+        "$OUT/train_scaling.json" "$OUT/stream_update.json" \
         | sed 's/,$//' | sed '$!s/$/,/'
     printf '}\n'
 } >"$OUT/current.json"

@@ -5,13 +5,13 @@
 # Usage:
 #   scripts/ci.sh                # full gate: fmt, clippy, build, test,
 #                                # serve-faults, serve-epoll, alloc-gate,
-#                                # train-dp, knn, simd, quant, bench
+#                                # train-dp, knn, simd, quant, stream, bench
 #   scripts/ci.sh --fast         # quick gate: fmt, clippy, test, serve-faults
 #                                # (skips the release build and bench smoke)
 #   scripts/ci.sh <step>...      # run only the named steps, in order:
 #                                #   fmt clippy build test serve-faults
 #                                #   serve-epoll alloc-gate train-dp knn
-#                                #   simd quant bench
+#                                #   simd quant stream bench
 #
 # Steps:
 #   fmt     cargo fmt --check over the whole workspace
@@ -64,6 +64,14 @@
 #           bundle, `imre quantize --check smoke` it, and fail unless the
 #           int8 scores stay within max drift 1e-2 and P@N delta 0.5pt of
 #           f32
+#   stream  the streaming-ingest gate: the imre-stream suites (incremental
+#           proximity-graph byte-identity, canonical/refine determinism
+#           proptests, the live background updater with cold-start
+#           admission), the 256-connection hot-swap-under-load fault
+#           injection with its deferred mmap-unmap assertion, and a
+#           CLI-level end-to-end check that `imre stream-replay` of a
+#           3-batch delta stream is byte-identical to the single-batch
+#           build on the merged corpus at --threads 1 and 4
 #   bench   1ms-sample smoke of the serving + kernel-scaling benches, which
 #           also executes their embedded assertions (dispatch fast path,
 #           batched == unbatched); with CI_BENCH_GATE=1 it then runs
@@ -279,6 +287,48 @@ step_quant() {
     echo "quant: int8 eval gate held (drift <= 1e-2, P@N delta <= 0.5pt)"
 }
 
+step_stream() {
+    # Streaming-ingest suites: incremental-graph byte-identity and refine
+    # determinism proptests, the live background-updater integration (cold
+    # start entity answerable after a hot-swap publish), and the
+    # 256-connection hot-swap-under-load fault injection with the deferred
+    # mmap-unmap assertion.
+    cargo test --offline -q -p imre-stream
+    cargo test --offline -q -p imre-serve --test hot_swap_under_load
+
+    # CLI-level end-to-end: replaying a 3-batch delta stream must produce a
+    # bundle byte-identical to the single-batch build on the merged corpus,
+    # at --threads 1 and --threads 4 (the canonical-refresh contract).
+    cargo build --offline -q --release -p imre-cli
+    local imre=target/release/imre
+    local dir=target/stream-ci
+    rm -rf "$dir" && mkdir -p "$dir"
+    "$imre" train --dataset smoke --model pa-tmr --seed 5 --epochs 2 \
+        --out "$dir/m.imrm" --bundle "$dir/m.imrb" >/dev/null
+
+    # Three delta batches over cold-start entities (admission + graph
+    # growth), plus a duplicate line that dedup must drop identically
+    # however the stream is batched.
+    printf '%s\n' \
+        $'1\tnovaA:1\tnovaB' $'2\tnovaA\tnovaC:2' $'3\tnovaA\tnovaB' '' \
+        $'4\tnovaB\tnovaC' $'2\tnovaA\tnovaC:2' $'5\tnovaA\tnovaC' '' \
+        $'6\tnovaB\tnovaC\tnovaA' $'7\tnovaA\tnovaB' \
+        >"$dir/deltas.tsv"
+    grep -v '^$' "$dir/deltas.tsv" >"$dir/merged.tsv"
+
+    "$imre" stream-replay --bundle "$dir/m.imrb" --deltas "$dir/deltas.tsv" \
+        --out "$dir/batched_t4.imrb" --threads 4 >/dev/null
+    "$imre" stream-replay --bundle "$dir/m.imrb" --deltas "$dir/deltas.tsv" \
+        --out "$dir/batched_t1.imrb" --threads 1 >/dev/null
+    "$imre" stream-replay --bundle "$dir/m.imrb" --deltas "$dir/merged.tsv" \
+        --out "$dir/merged_t1.imrb" --threads 1 >/dev/null
+    cmp "$dir/batched_t4.imrb" "$dir/batched_t1.imrb" ||
+        { echo "stream: --threads changed the replayed bundle" >&2; exit 1; }
+    cmp "$dir/batched_t4.imrb" "$dir/merged_t1.imrb" ||
+        { echo "stream: batching changed the replayed bundle" >&2; exit 1; }
+    echo "stream: replay byte-identical across batching and --threads"
+}
+
 step_bench() {
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_throughput
     CRITERION_SAMPLE_MS=1 cargo bench --offline -p imre-bench --bench serve_concurrency
@@ -296,7 +346,7 @@ case "${1:-}" in
     steps=(fmt clippy test serve-faults)
     ;;
 "")
-    steps=(fmt clippy build test serve-faults serve-epoll alloc-gate train-dp knn simd quant bench)
+    steps=(fmt clippy build test serve-faults serve-epoll alloc-gate train-dp knn simd quant stream bench)
     ;;
 *)
     steps=("$@")
@@ -305,13 +355,13 @@ esac
 
 for s in "${steps[@]}"; do
     case "$s" in
-    fmt | clippy | build | test | knn | simd | quant | bench) run_step "$s" "step_$s" ;;
+    fmt | clippy | build | test | knn | simd | quant | stream | bench) run_step "$s" "step_$s" ;;
     serve-faults) run_step "$s" step_serve_faults ;;
     serve-epoll) run_step "$s" step_serve_epoll ;;
     alloc-gate) run_step "$s" step_alloc_gate ;;
     train-dp) run_step "$s" step_train_dp ;;
     *)
-        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults serve-epoll alloc-gate train-dp knn simd quant bench)" >&2
+        echo "ci.sh: unknown step '$s' (valid: fmt clippy build test serve-faults serve-epoll alloc-gate train-dp knn simd quant stream bench)" >&2
         exit 2
         ;;
     esac

@@ -15,6 +15,7 @@
 //! | [`dist`] | deterministic data-parallel training: replica sharding, fixed-order tree all-reduce, checkpoints, parallel multi-seed runner |
 //! | [`eval`] | held-out PR/AUC/P@N metrics, slice analyses, the experiment pipeline |
 //! | [`serve`] | batched multi-threaded inference serving: model registry, micro-batching engine, TCP front-end, latency metrics |
+//! | [`stream`] | streaming corpus ingestion: incremental proximity graph, online LINE refinement, live bundle hot-swap publishing |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@ pub use imre_eval as eval;
 pub use imre_graph as graph;
 pub use imre_nn as nn;
 pub use imre_serve as serve;
+pub use imre_stream as stream;
 pub use imre_tensor as tensor;
 
 /// The paper's models and training loops (re-export of `imre-core`; named
